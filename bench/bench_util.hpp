@@ -1,0 +1,68 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+//
+// Every harness prints a self-describing report: the paper artifact it
+// regenerates, the machine context, then rows/series matching the paper's
+// layout. `scale()` (env VMC_BENCH_SCALE, default 1.0) multiplies particle
+// counts and grid sizes so the same binaries run in seconds for smoke tests
+// and at full fidelity for real measurements.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exec/machine.hpp"
+#include "prof/profiler.hpp"
+#include "simd/simd.hpp"
+
+namespace vmc::bench {
+
+/// Global size multiplier from VMC_BENCH_SCALE.
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("VMC_BENCH_SCALE");
+    return env != nullptr ? std::atof(env) : 1.0;
+  }();
+  return s <= 0.0 ? 1.0 : s;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const double v = static_cast<double>(n) * scale();
+  return v < 1.0 ? 1 : static_cast<std::size_t>(v);
+}
+
+/// Standard report header.
+inline void header(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("VectorMC reproduction: %s\n", artifact);
+  std::printf("  %s\n", description);
+  std::printf("  host ISA: %s (%d-bit vectors), bench scale: %.3g\n",
+              simd::isa_name(), simd::native_bits(), scale());
+  std::printf("==============================================================\n");
+}
+
+/// Best-of-k wall time for a callable.
+template <class Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = prof::now_seconds();
+    fn();
+    const double dt = prof::now_seconds() - t0;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+/// The measured per-particle work profile used when a harness needs device
+/// projections without running a full transport simulation first.
+inline exec::WorkProfile default_hm_large_profile() {
+  exec::WorkProfile w;
+  w.lookups_per_particle = 34.0;
+  w.terms_per_lookup = 323.0;
+  w.collisions_per_particle = 16.0;
+  w.crossings_per_particle = 18.0;
+  return w;
+}
+
+}  // namespace vmc::bench

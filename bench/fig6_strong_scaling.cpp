@@ -1,0 +1,53 @@
+// Figure 6: strong scaling of the H.M. Large simulation (1e7 total
+// particles) on the Stampede model, to 2^10 nodes.
+//
+// Three curves: CPU-only, CPU+1 MIC, CPU+2 MIC (the paper's 2-MIC curve
+// stops at 384 nodes because only 384 Stampede nodes had two MICs).
+// Expected shape: ~95% efficiency at 128 nodes; the 1-MIC curve tails at
+// 1,024 nodes where each MIC gets only ~6.6k particles.
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "exec/symmetric.hpp"
+
+int main() {
+  using namespace vmc;
+  bench::header("Figure 6", "strong scaling, H.M. Large, N = 1e7 (Stampede)");
+
+  const exec::WorkProfile w = bench::default_hm_large_profile();
+  const std::size_t n_total = 10'000'000;
+  const double alpha = 0.42;  // the paper's measured Stampede alpha
+  const comm::ClusterModel fabric = comm::ClusterModel::stampede();
+
+  struct Curve {
+    const char* name;
+    int mics;
+    int max_nodes;
+  };
+  for (const Curve c : {Curve{"CPU only", 0, 1024}, Curve{"CPU + 1 MIC", 1, 1024},
+                        Curve{"CPU + 2 MIC", 2, 384}}) {
+    std::printf("--- %s ---\n", c.name);
+    std::printf("%8s %14s %14s %12s\n", "nodes", "rate (n/s)", "batch (s)",
+                "efficiency");
+    double base_rate_per_node = 0.0;
+    for (int nodes = 4; nodes <= c.max_nodes; nodes *= 2) {
+      exec::NodeSetup setup = exec::NodeSetup::stampede(std::max(1, c.mics));
+      if (c.mics == 0) setup.mic_ranks_per_node = 0;
+      const exec::SymmetricRunner runner(setup, fabric);
+      const auto r = runner.run_batch(
+          w, n_total, nodes,
+          c.mics == 0 ? std::optional<double>{} : std::optional<double>{alpha});
+      const double per_node = r.rate / nodes;
+      if (base_rate_per_node == 0.0) base_rate_per_node = per_node;
+      std::printf("%8d %14.0f %14.3f %11.1f%%\n", nodes, r.rate,
+                  r.batch_seconds, 100.0 * per_node / base_rate_per_node);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: near-perfect strong scaling (95%% of ideal at 128 nodes,\n"
+      "17,664 cores); the 1-MIC curve tails at 1,024 nodes because Eq. 3\n"
+      "assigns only ~6,643 particles to each MIC and alpha drifts.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8: RSBench (windowed multipole) execution time — original vs.
+// vectorized implementation.
+//
+// Both kernels are real and measured on this host: the original variable-
+// poles-per-window scalar w4 evaluation vs. the fixed-poles-per-window SIMD
+// evaluation (the paper's "assuring vectorization and fixing the number of
+// poles per window"). Projections for the Stampede CPU and MIC follow.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "multipole/multipole.hpp"
+#include "rng/stream.hpp"
+
+int main() {
+  using namespace vmc;
+  bench::header("Figure 8", "RSBench: original vs. vectorized multipole");
+
+  multipole::WindowedMultipole::Params params;
+  params.n_windows = 200;
+  params.poles_per_window_mean = 16;
+  params.poles_per_window_fixed = 24;
+  const auto wmp = multipole::WindowedMultipole::make_synthetic(7, params);
+  const double dopp = multipole::doppler_width(2.53e-8, 238.0);
+  std::printf("pole data: %zu poles, %d windows, %.1f KB total (the\n"
+              "\"remarkably low memory cost\" vs. %s of pointwise data)\n\n",
+              wmp.n_poles(), wmp.n_windows(), wmp.data_bytes() / 1e3,
+              "hundreds of MB");
+
+  const std::size_t n = bench::scaled(300000);
+  rng::Stream rs(3);
+  std::vector<double> es(n);
+  for (auto& e : es) {
+    e = wmp.e_min() * std::pow(wmp.e_max() / wmp.e_min(), rs.next()) * 0.999;
+  }
+
+  double sink = 0.0;
+  const double t_orig = bench::best_seconds(3, [&] {
+    double acc = 0.0;
+    for (const double e : es) acc += wmp.evaluate(e, dopp).total;
+    sink = acc;
+  });
+  const double check_orig = sink;
+  const double t_vec = bench::best_seconds(3, [&] {
+    double acc = 0.0;
+    for (const double e : es) acc += wmp.evaluate_fixed(e, dopp).total;
+    sink = acc;
+  });
+
+  std::printf("measured on this host (%zu lookups):\n", n);
+  std::printf("%-28s %10.3f s   (%8.0f lookups/s)\n", "original (scalar w4)",
+              t_orig, n / t_orig);
+  std::printf("%-28s %10.3f s   (%8.0f lookups/s)\n",
+              "vectorized (fixed poles)", t_vec, n / t_vec);
+  std::printf("speedup: %.2fx   (checksum agreement: %.3g vs %.3g)\n\n",
+              t_orig / t_vec, check_orig, sink);
+
+  // Stampede projection: the multipole kernel is compute-bound (Faddeeva
+  // evaluations), so device times scale with FLOP throughput rather than
+  // memory bandwidth; the MIC's wide vectors shine once vectorized.
+  const double host_vec_speedup = t_orig / t_vec;
+  std::printf("Figure 8 shape (Stampede projection):\n");
+  std::printf("  CPU original : 1.00 (normalized)\n");
+  std::printf("  CPU vectorized: %.2f\n", 1.0 / host_vec_speedup);
+  std::printf("  MIC original : %.2f (scalar penalty / thread ratio)\n",
+              4.2 * 1.13 / 6.86);
+  std::printf("  MIC vectorized: %.2f (512-bit lanes on compute-bound W)\n",
+              4.2 * 1.13 / 6.86 / (host_vec_speedup * 2.0));
+  std::printf(
+      "\npaper shape: vectorization + fixed poles/window gives the MIC the\n"
+      "advantage; RSBench reaches ~2x the FLOP rate of table lookups.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark micro-kernels for the SIMD substrate primitives the
+// reproduction is built on: vectorized log/exp, gathers, RNG block fills,
+// and the Faddeeva function.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "multipole/faddeeva.hpp"
+#include "rng/streamset.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace vmc;
+
+void BM_ScalarLog(benchmark::State& state) {
+  const std::size_t n = 4096;
+  simd::aligned_vector<float> x(n), y(n);
+  rng::StreamSet s(1);
+  s.fill_uniform(0, x);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = std::log(x[i] + 1e-9f);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ScalarLog);
+
+void BM_VectorLog(benchmark::State& state) {
+  using VF = simd::vfloat;
+  constexpr int L = simd::native_lanes<float>;
+  const std::size_t n = 4096;
+  simd::aligned_vector<float> x(n), y(n);
+  rng::StreamSet s(1);
+  s.fill_uniform(0, x);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; i += L) {
+      simd::vlog(VF::load(x.data() + i) + VF(1e-9f)).store(y.data() + i);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_VectorLog);
+
+void BM_VectorExpDouble(benchmark::State& state) {
+  using VD = simd::vdouble;
+  constexpr int L = simd::native_lanes<double>;
+  const std::size_t n = 4096;
+  simd::aligned_vector<double> x(n), y(n);
+  rng::StreamSet s(1);
+  s.fill_uniform(0, x);
+  for (auto& v : x) v = -20.0 + 40.0 * v;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; i += L) {
+      simd::vexp(VD::load(x.data() + i)).store(y.data() + i);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_VectorExpDouble);
+
+void BM_Gather(benchmark::State& state) {
+  using VF = simd::vfloat;
+  using VI = simd::Vec<std::int32_t, simd::native_lanes<float>>;
+  constexpr int L = simd::native_lanes<float>;
+  const std::size_t table_size = static_cast<std::size_t>(state.range(0));
+  simd::aligned_vector<float> table(table_size, 1.5f);
+  simd::aligned_vector<std::int32_t> idx(4096);
+  rng::Stream rs(7);
+  for (auto& i : idx) {
+    i = static_cast<std::int32_t>(rs.next() * static_cast<double>(table_size));
+  }
+  VF acc(0.0f);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < idx.size(); i += L) {
+      acc += VF::gather(table.data(), VI::load(idx.data() + i));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * idx.size()));
+}
+BENCHMARK(BM_Gather)->Arg(1 << 12)->Arg(1 << 18)->Arg(1 << 24);
+
+void BM_RngBlockFill(benchmark::State& state) {
+  rng::StreamSet s(1);
+  simd::aligned_vector<float> out(65536);
+  for (auto _ : state) {
+    s.fill_uniform(0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * out.size()));
+}
+BENCHMARK(BM_RngBlockFill);
+
+void BM_RngScalarDraws(benchmark::State& state) {
+  rng::Stream s(1);
+  simd::aligned_vector<float> out(65536);
+  for (auto _ : state) {
+    for (auto& v : out) v = s.next_float();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * out.size()));
+}
+BENCHMARK(BM_RngScalarDraws);
+
+void BM_FaddeevaScalar(benchmark::State& state) {
+  rng::Stream rs(3);
+  std::vector<std::complex<double>> zs(1024);
+  for (auto& z : zs) z = {4.0 * (rs.next() - 0.5), 0.5 + 3.0 * rs.next()};
+  std::complex<double> acc{};
+  for (auto _ : state) {
+    for (const auto& z : zs) acc += multipole::faddeeva(z);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * zs.size()));
+}
+BENCHMARK(BM_FaddeevaScalar);
+
+void BM_FaddeevaVector(benchmark::State& state) {
+  constexpr int L = simd::native_lanes<double>;
+  using VD = simd::Vec<double, L>;
+  rng::Stream rs(3);
+  simd::aligned_vector<double> xs(1024), ys(1024);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 4.0 * (rs.next() - 0.5);
+    ys[i] = 0.9 + 3.0 * rs.next();
+  }
+  VD acc(0.0);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < xs.size(); i += L) {
+      VD re, im;
+      multipole::faddeeva_region3(VD::load(xs.data() + i),
+                                  VD::load(ys.data() + i), re, im);
+      acc += re;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * xs.size()));
+}
+BENCHMARK(BM_FaddeevaVector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table III: symmetric-mode calculation rates on one JLSE node — original
+// (uniform MPI split) vs. Eq. 3 static load balancing with alpha = 0.62.
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "exec/symmetric.hpp"
+
+int main() {
+  using namespace vmc;
+  bench::header("Table III",
+                "symmetric-mode rates, original vs. load balanced (alpha=0.62)");
+
+  const exec::WorkProfile w = bench::default_hm_large_profile();
+  const std::size_t n = 100000;  // paper: 1e5 active particles
+  const comm::ClusterModel fabric = comm::ClusterModel::stampede();
+
+  const exec::NodeSetup jlse1 = exec::NodeSetup::jlse(1);
+  const double cpu_rate = jlse1.cpu.calculation_rate(w, n);
+  const double mic_rate = jlse1.mic.calculation_rate(w, n);
+  const double alpha = cpu_rate / mic_rate;
+
+  std::printf("%-16s %14s %14s %12s %12s\n", "configuration", "original",
+              "balanced", "ideal", "bal/ideal");
+  std::printf("%-16s %14.0f %14s %12s %12s   (paper: 4,050)\n", "CPU only",
+              cpu_rate, "N/A", "-", "-");
+  std::printf("%-16s %14.0f %14s %12s %12s   (paper: 6,641)\n", "MIC only",
+              mic_rate, "N/A", "-", "-");
+
+  for (const int mics : {1, 2}) {
+    const exec::SymmetricRunner runner(exec::NodeSetup::jlse(mics), fabric);
+    const auto original = runner.run_batch(w, n, 1, std::nullopt);
+    const auto balanced = runner.run_batch(w, n, 1, 0.62);
+    std::printf("%-16s %14.0f %14.0f %12.0f %11.1f%%   (paper: %s)\n",
+                mics == 1 ? "CPU + 1 MIC" : "CPU + 2 MIC", original.rate,
+                balanced.rate, balanced.ideal_rate,
+                100.0 * balanced.rate / balanced.ideal_rate,
+                mics == 1 ? "8,988 -> 10,068" : "11,860 -> 17,098");
+    std::printf("%-16s original %.1f%% below ideal (paper: %s), balanced "
+                "%.1f%% below\n",
+                "", 100.0 * (1.0 - original.rate / original.ideal_rate),
+                mics == 1 ? "16%" : "32%",
+                100.0 * (1.0 - balanced.rate / balanced.ideal_rate));
+  }
+
+  std::printf("\nmeasured alpha = %.3f (paper: 0.62)\n", alpha);
+  std::printf("relative speedups vs CPU-only (paper: MIC 1.6x, CPU+1MIC 2.5x, "
+              "CPU+2MIC 4.2x):\n");
+  const exec::SymmetricRunner r1(exec::NodeSetup::jlse(1), fabric);
+  const exec::SymmetricRunner r2(exec::NodeSetup::jlse(2), fabric);
+  std::printf("  MIC/CPU = %.2fx, (CPU+1MIC)/CPU = %.2fx, (CPU+2MIC)/CPU = %.2fx\n",
+              mic_rate / cpu_rate,
+              r1.run_batch(w, n, 1, 0.62).rate / cpu_rate,
+              r2.run_batch(w, n, 1, 0.62).rate / cpu_rate);
+
+  // The Section V adaptive-alpha feature.
+  std::printf("\nruntime alpha estimation (batch 0 uniform, then measured):\n");
+  const auto batches = r2.run_adaptive(w, n, 1, 4);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    std::printf("  batch %zu: %.0f n/s (%.1f%% of ideal)\n", b,
+                batches[b].rate,
+                100.0 * batches[b].rate / batches[b].ideal_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Temperature-feedback scenario (the Section IV-B motivation): the same
+// windowed-multipole pole set reconstructs cross sections at two fuel
+// temperatures; a pin-cell eigenvalue run at each shows the Doppler effect
+// on resonance absorption — with one compact pole set instead of one
+// pointwise library per temperature.
+//
+//   $ ./doppler_feedback [n_particles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/eigenvalue.hpp"
+#include "multipole/doppler.hpp"
+#include "xsdata/lookup.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc;
+
+/// Infinite (reflective-box) medium: multipole-broadened resonant absorber
+/// + hydrogen-like moderator + a flat fissile driver.
+struct TempCase {
+  xs::Library lib;
+  geom::Geometry geo;
+  int mat = -1;
+};
+
+TempCase build_case(const multipole::WindowedMultipole& wmp, double kelvin) {
+  TempCase c;
+  multipole::BroadenOptions opt;
+  opt.kt_mev = multipole::kt_from_kelvin(kelvin);
+  opt.awr = 238.0;
+  opt.grid_points = 3000;
+  const int absorber = c.lib.add_nuclide(
+      multipole::broadened_nuclide(wmp, "mp-absorber", opt));
+  auto h = xs::SynthParams::light_like(1.0);
+  h.with_thermal = false;
+  h.grid_points = 400;
+  const int moderator =
+      c.lib.add_nuclide(xs::make_synthetic_nuclide("H1", 1, h));
+  const int driver = c.lib.add_nuclide(
+      xs::make_flat_nuclide("driver", 4.0, 2.0, 1.6, 2.43));
+  xs::Material m;
+  m.add(absorber, 0.005);
+  m.add(moderator, 0.06);
+  m.add(driver, 0.004);
+  c.mat = c.lib.add_material(std::move(m));
+  c.lib.finalize();
+
+  const int sx0 = c.geo.add_surface(geom::Surface::x_plane(-20));
+  const int sx1 = c.geo.add_surface(geom::Surface::x_plane(20));
+  const int sy0 = c.geo.add_surface(geom::Surface::y_plane(-20));
+  const int sy1 = c.geo.add_surface(geom::Surface::y_plane(20));
+  const int sz0 = c.geo.add_surface(geom::Surface::z_plane(-20));
+  const int sz1 = c.geo.add_surface(geom::Surface::z_plane(20));
+  for (int s : {sx0, sx1, sy0, sy1, sz0, sz1}) {
+    c.geo.surface(s).set_bc(geom::BoundaryCondition::reflective);
+  }
+  geom::Cell cell;
+  cell.region = {{sx0, true}, {sx1, false}, {sy0, true},
+                 {sy1, false}, {sz0, true}, {sz1, false}};
+  cell.fill = c.mat;
+  geom::Universe root;
+  root.cells = {c.geo.add_cell(std::move(cell))};
+  c.geo.set_root(c.geo.add_universe(std::move(root)));
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+  multipole::WindowedMultipole::Params params;
+  params.n_windows = 150;
+  params.poles_per_window_mean = 10;
+  const auto wmp = multipole::WindowedMultipole::make_synthetic(42, params);
+  std::printf("pole set: %zu poles, %.1f KB — reconstructs sigma(E, T) at\n"
+              "ANY temperature (vs. one pointwise library per temperature)\n\n",
+              wmp.n_poles(), wmp.data_bytes() / 1e3);
+
+  for (const double kelvin : {293.6, 1200.0}) {
+    TempCase c = build_case(wmp, kelvin);
+    // Peak resonance cross section at this temperature.
+    double peak = 0.0;
+    for (double e = wmp.e_min(); e < wmp.e_max() * 0.99; e *= 1.002) {
+      peak = std::max(peak,
+                      xs::macro_xs_history(c.lib, c.mat, e).total);
+    }
+    core::Settings st;
+    st.n_particles = n;
+    st.n_inactive = 3;
+    st.n_active = 8;
+    st.source_lo = {-20, -20, -20};
+    st.source_hi = {20, 20, 20};
+    core::Simulation sim(c.geo, c.lib, st);
+    const auto r = sim.run();
+    std::printf("T = %7.1f K: peak Sigma_t = %7.3f /cm, k_inf = %.5f "
+                "+- %.5f\n",
+                kelvin, peak, r.k_eff, r.k_std);
+  }
+  std::printf(
+      "\nDoppler broadening flattens the resonance peaks (lower peak\n"
+      "Sigma_t at 1200 K) while conserving the resonance integral — the\n"
+      "physics the multipole method delivers without extra memory.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Heterogeneous-cluster scenario: symmetric-mode execution with real
+// message passing between ranks (the in-process MPI substitute) plus Eq. 3
+// static load balancing across CPU and MIC ranks.
+//
+// Four ranks transport disjoint particle blocks of one generation of the
+// mini H.M. model, allreduce their tallies — exactly OpenMC's symmetric-mode
+// communication pattern — and then the Eq. 3 balancer is demonstrated on
+// the Table III configurations.
+//
+//   $ ./heterogeneous_cluster [n_particles]
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "comm/comm.hpp"
+#include "core/eigenvalue.hpp"
+#include "exec/distributed.hpp"
+#include "exec/symmetric.hpp"
+#include "hm/hm_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmc;
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8000;
+
+  hm::ModelOptions options;
+  options.fuel = hm::FuelSize::small;
+  options.full_core = false;
+  options.grid_scale = 0.2;
+  const hm::Model model = hm::build_model(options);
+
+  // --- real multi-rank generation over the comm library -------------------
+  constexpr int kRanks = 4;
+  std::printf("part 1: one generation across %d MPI-style ranks\n", kRanks);
+  comm::World world(kRanks);
+  world.run([&](comm::Comm& c) {
+    core::Settings st;
+    st.n_particles = n / kRanks;
+    st.n_inactive = 0;
+    st.n_active = 1;
+    st.seed = 42 + static_cast<std::uint64_t>(c.rank());
+    st.source_lo = model.source_lo;
+    st.source_hi = model.source_hi;
+    core::Simulation sim(model.geometry, model.library, st);
+    auto source = sim.initial_source();
+    std::vector<particle::FissionSite> next;
+    const auto gen = sim.run_generation(source, next, 0, /*active=*/true);
+
+    // OpenMC's per-batch pattern: allreduce the global tallies and the
+    // fission-site count.
+    const std::vector<double> local{
+        gen.tallies.k_collision, gen.tallies.absorption, gen.tallies.leakage,
+        static_cast<double>(next.size())};
+    const std::vector<double> global = c.allreduce_sum(local);
+    c.barrier();
+    if (c.rank() == 0) {
+      std::printf("  global: k_coll = %.4f, absorbed = %.0f, leaked = %.0f, "
+                  "sites = %.0f\n",
+                  global[0] / static_cast<double>(n), global[1], global[2],
+                  global[3]);
+    }
+  });
+
+  // --- Eq. 3 balancing across heterogeneous devices ------------------------
+  std::printf("\npart 2: Eq. 3 static load balancing (Table III setup)\n");
+  const exec::WorkProfile w = [] {
+    exec::WorkProfile p;
+    p.lookups_per_particle = 34.0;
+    p.terms_per_lookup = 323.0;
+    p.collisions_per_particle = 16.0;
+    p.crossings_per_particle = 18.0;
+    return p;
+  }();
+  const exec::StaticSplit split = exec::balance_eq3(10'000'000, 1, 1, 0.62);
+  std::printf("  1e7 particles, alpha = 0.62: n_mic = %zu, n_cpu = %zu "
+              "(paper: 6,172,840 / 3,827,160)\n",
+              split.n_mic, split.n_cpu);
+
+  const exec::SymmetricRunner runner(exec::NodeSetup::jlse(2),
+                                     comm::ClusterModel::stampede());
+  const auto unbalanced = runner.run_batch(w, 100000, 1, std::nullopt);
+  const auto balanced = runner.run_batch(w, 100000, 1, 0.62);
+  std::printf("  CPU + 2 MIC: %.0f n/s uniform -> %.0f n/s balanced "
+              "(ideal %.0f)\n",
+              unbalanced.rate, balanced.rate, balanced.ideal_rate);
+
+  std::printf("\npart 3: runtime alpha estimation (Section V)\n");
+  for (const auto& batch : runner.run_adaptive(w, 100000, 1, 3)) {
+    std::printf("  rate %.0f n/s (%.1f%% of ideal)\n", batch.rate,
+                100.0 * batch.rate / batch.ideal_rate);
+  }
+
+  // --- full distributed eigenvalue iteration with Eq. 3 quotas ------------
+  std::printf("\npart 4: distributed eigenvalue run, Eq. 3 quotas "
+              "(1 'MIC' + 1 'CPU' rank)\n");
+  exec::DistributedSettings ds;
+  ds.n_total = n;
+  ds.n_inactive = 2;
+  ds.n_active = 4;
+  ds.source_lo = model.source_lo;
+  ds.source_hi = model.source_hi;
+  comm::World world2(2);
+  const auto quotas = exec::per_rank_counts(n, 1, 1, 0.62);
+  const auto dr = exec::run_distributed(world2, model.geometry, model.library,
+                                        ds, quotas);
+  std::printf("  quotas: %zu / %zu particles, k_eff = %.5f +- %.5f\n",
+              dr.quotas[0], dr.quotas[1], dr.k_eff, dr.k_std);
+  std::printf("  (the split changes wall time only: histories and banks are\n"
+              "   identical to a serial run — see tests/exec/test_distributed)\n");
+  return 0;
+}

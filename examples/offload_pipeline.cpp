@@ -1,0 +1,87 @@
+// Offload scenario: the event-based banking pipeline of Section III-A —
+// bank particles into a SoA bank, sweep the banked cross-section kernel,
+// and account for the (simulated) PCIe offload, with double-buffered
+// transfer/compute overlap.
+//
+//   $ ./offload_pipeline [n_particles]
+#include <cstdio>
+#include <cstdlib>
+
+#include <cmath>
+
+#include "exec/offload.hpp"
+#include "rng/stream.hpp"
+#include "xsdata/lookup.hpp"
+#include "hm/hm_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vmc;
+
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+
+  hm::ModelOptions options;
+  options.fuel = hm::FuelSize::small;
+  options.grid_scale = 0.5;
+  int fuel = -1;
+  const xs::Library lib = hm::build_library(options, &fuel);
+
+  const exec::OffloadRuntime runtime(
+      lib, exec::CostModel(exec::DeviceSpec::jlse_host()),
+      exec::CostModel(exec::DeviceSpec::mic_7120a()));
+
+  std::printf("offload pipeline, %zu particles, %zu-nuclide material\n\n", n,
+              lib.material(fuel).size());
+  const auto rep = runtime.run_iteration(fuel, n, /*seed=*/1);
+
+  std::printf("this host, measured:\n");
+  std::printf("  bank %zu particles        : %8.2f ms (%zu B/particle)\n", n,
+              rep.wall_bank_s * 1e3, exec::offload_record_bytes());
+  std::printf("  banked SIMD sweep (4-ch)  : %8.2f ms\n",
+              rep.wall_banked_lookup_s * 1e3);
+  std::printf("  banked SIMD sweep (total) : %8.2f ms\n",
+              rep.wall_banked_total_s * 1e3);
+  std::printf("  scalar history sweep      : %8.2f ms\n\n",
+              rep.wall_scalar_lookup_s * 1e3);
+
+  std::printf("Xeon Phi offload projection (calibrated models):\n");
+  std::printf("  bank on host              : %8.2f ms\n",
+              rep.model_bank_host_s * 1e3);
+  std::printf("  PCIe transfer (%6.1f MB) : %8.2f ms\n", rep.bank_bytes / 1e6,
+              rep.model_transfer_s * 1e3);
+  std::printf("  compute on MIC            : %8.2f ms\n",
+              rep.model_compute_device_s * 1e3);
+  std::printf("  compute on host (scalar)  : %8.2f ms\n\n",
+              rep.model_compute_host_s * 1e3);
+
+  std::printf("double-buffered pipeline (4 banks of %zu):\n", n / 4);
+  // Really execute the overlap: a "DMA" pool thread stages the next bank
+  // while the "device" thread sweeps the current one.
+  {
+    vmc::rng::Stream rs(2);
+    vmc::simd::aligned_vector<double> es(n);
+    for (auto& e : es) {
+      e = xs::kEnergyMin * std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
+    }
+    const auto run = runtime.run_pipelined(fuel, es, 4);
+    std::printf("  real 2-thread pipeline    : %8.2f ms over %d stages "
+                "(checksum %.3e)\n",
+                run.wall_s * 1e3, run.n_stages, run.checksum);
+  }
+  const double terms = static_cast<double>(lib.material(fuel).size());
+  const double pipelined = runtime.pipelined_seconds(n, terms, 4);
+  const double serial =
+      4 * (runtime.device().transfer_seconds(
+               n / 4 * exec::offload_record_bytes(), false) +
+           runtime.device().banked_lookup_seconds(n / 4, terms));
+  std::printf("  without overlap: %.2f ms, with overlap: %.2f ms\n",
+              serial * 1e3, pipelined * 1e3);
+  std::printf(
+      "  (overlap hides min(transfer, compute) per stage; with our lean\n"
+      "   bank records the link is the bottleneck, so the savings equal the\n"
+      "   device compute time)\n");
+  std::printf(
+      "\nverdict (Fig. 3): offloading pays off once the bank exceeds ~1e4\n"
+      "particles; the one-time energy-grid staging amortizes over batches.\n");
+  return 0;
+}

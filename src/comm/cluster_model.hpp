@@ -1,0 +1,43 @@
+// Interconnect cost model for the distributed-scaling projections.
+//
+// Figures 6-7 scale the symmetric-mode simulation to 1,024 Stampede nodes
+// (FDR InfiniBand). The per-batch communication of OpenMC's eigenvalue loop
+// is one allreduce of the tally/k vector plus fission-bank redistribution;
+// both are modeled here with the standard latency/bandwidth/log(p) terms.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace vmc::comm {
+
+struct ClusterModel {
+  double latency_s = 2.0e-6;      // per message, FDR IB MPI ~1-3 us
+  double bandwidth_gbs = 6.0;     // per-link effective (FDR 56 Gb/s raw)
+  double per_rank_overhead_s = 5.0e-6;  // software per-rank cost at the root
+
+  /// Recursive-doubling allreduce of `bytes` across `ranks`.
+  double allreduce_seconds(int ranks, std::size_t bytes) const {
+    if (ranks <= 1) return 0.0;
+    const double stages = std::ceil(std::log2(static_cast<double>(ranks)));
+    return stages *
+           (latency_s + static_cast<double>(bytes) / (bandwidth_gbs * 1e9));
+  }
+
+  /// Point-to-point transfer.
+  double p2p_seconds(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+  }
+
+  /// Fission-bank rebalance: modeled as each rank exchanging `site_bytes`
+  /// with a neighbor plus one counting allreduce.
+  double bank_exchange_seconds(int ranks, std::size_t site_bytes) const {
+    if (ranks <= 1) return 0.0;
+    return allreduce_seconds(ranks, 8) + p2p_seconds(site_bytes);
+  }
+
+  /// Stampede-like FDR InfiniBand fabric.
+  static ClusterModel stampede() { return ClusterModel{}; }
+};
+
+}  // namespace vmc::comm

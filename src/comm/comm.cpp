@@ -1,0 +1,124 @@
+#include "comm/comm.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace vmc::comm {
+
+World::World(int n_ranks) : size_(n_ranks) {
+  if (n_ranks < 1) throw std::invalid_argument("World needs >= 1 rank");
+  mail_.resize(static_cast<std::size_t>(size_) * static_cast<std::size_t>(size_));
+  reduce_slots_.resize(static_cast<std::size_t>(size_));
+  coll_slots_.resize(static_cast<std::size_t>(size_));
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &first_error, &err_mu] {
+      Comm c(*this, r, size_);
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Comm::send_bytes(int dest, int tag, const std::byte* p, std::size_t n) {
+  if (dest < 0 || dest >= size_) throw std::out_of_range("bad dest rank");
+  std::vector<std::byte> msg(p, p + n);
+  {
+    std::lock_guard lk(world_.mu_);
+    world_
+        .mail_[static_cast<std::size_t>(rank_) * static_cast<std::size_t>(size_) +
+               static_cast<std::size_t>(dest)][tag]
+        .messages.push_back(std::move(msg));
+  }
+  world_.cv_.notify_all();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  if (src < 0 || src >= size_) throw std::out_of_range("bad src rank");
+  std::unique_lock lk(world_.mu_);
+  auto& box =
+      world_.mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size_) +
+                   static_cast<std::size_t>(rank_)];
+  world_.cv_.wait(lk, [&] {
+    auto it = box.find(tag);
+    return it != box.end() && !it->second.messages.empty();
+  });
+  auto& fifo = box[tag].messages;
+  std::vector<std::byte> out = std::move(fifo.front());
+  fifo.pop_front();
+  return out;
+}
+
+void Comm::barrier() {
+  std::unique_lock lk(world_.mu_);
+  const std::uint64_t gen = world_.barrier_generation_;
+  if (++world_.barrier_waiting_ == size_) {
+    world_.barrier_waiting_ = 0;
+    ++world_.barrier_generation_;
+    world_.cv_.notify_all();
+    return;
+  }
+  world_.cv_.wait(lk, [&] { return world_.barrier_generation_ != gen; });
+}
+
+std::vector<double> Comm::allreduce_sum(const std::vector<double>& v) {
+  {
+    std::lock_guard lk(world_.mu_);
+    world_.reduce_slots_[static_cast<std::size_t>(rank_)] = v;
+  }
+  barrier();
+  std::vector<double> out(v.size(), 0.0);
+  {
+    std::lock_guard lk(world_.mu_);
+    for (int r = 0; r < size_; ++r) {
+      const auto& slot = world_.reduce_slots_[static_cast<std::size_t>(r)];
+      if (slot.size() != out.size()) {
+        throw std::logic_error("allreduce size mismatch across ranks");
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += slot[i];
+    }
+  }
+  barrier();  // nobody rewrites slots until everyone has read
+  return out;
+}
+
+double Comm::allreduce_sum(double v) { return allreduce_sum(std::vector{v})[0]; }
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t v) {
+  return static_cast<std::uint64_t>(
+      allreduce_sum(std::vector{static_cast<double>(v)})[0] + 0.5);
+}
+
+double Comm::allreduce_max(double v) {
+  {
+    std::lock_guard lk(world_.mu_);
+    world_.reduce_slots_[static_cast<std::size_t>(rank_)] = {v};
+  }
+  barrier();
+  double out = v;
+  {
+    std::lock_guard lk(world_.mu_);
+    for (int r = 0; r < size_; ++r) {
+      const auto& slot = world_.reduce_slots_[static_cast<std::size_t>(r)];
+      if (!slot.empty() && slot[0] > out) out = slot[0];
+    }
+  }
+  barrier();
+  return out;
+}
+
+}  // namespace vmc::comm

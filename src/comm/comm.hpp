@@ -1,0 +1,159 @@
+// In-process message-passing library — VectorMC's MPI substitute.
+//
+// The paper's symmetric-mode experiments run OpenMC with MPI across host and
+// MIC ranks. Real MPI is unavailable offline, so this module provides the
+// subset OpenMC's eigenvalue loop needs — point-to-point send/recv, barrier,
+// allreduce, broadcast, gather — with ranks mapped to std::threads in one
+// process. Semantics follow the MPI standard's message-ordering guarantees
+// (per (source, dest, tag) FIFO). The distributed-scaling *figures* combine
+// this (for correctness at small rank counts) with comm/cluster_model.hpp
+// (for projected cost at Stampede scale).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace vmc::comm {
+
+class World;
+
+/// Per-rank communicator handle (analogous to MPI_COMM_WORLD seen from one
+/// rank). Obtained inside World::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Blocking typed send/recv (T must be trivially copyable).
+  template <class T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               reinterpret_cast<const std::byte*>(data.data()),
+               data.size() * sizeof(T));
+  }
+  template <class T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv_bytes(src, tag);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Scalar convenience wrappers.
+  template <class T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, std::vector<T>{v});
+  }
+  template <class T>
+  T recv_value(int src, int tag) {
+    return recv<T>(src, tag).at(0);
+  }
+
+  /// All ranks wait until everyone arrives.
+  void barrier();
+
+  /// Element-wise sum across ranks; every rank gets the result.
+  std::vector<double> allreduce_sum(const std::vector<double>& v);
+  double allreduce_sum(double v);
+  std::uint64_t allreduce_sum(std::uint64_t v);
+
+  /// Element-wise max across ranks.
+  double allreduce_max(double v);
+
+  /// Root's data replaces everyone's.
+  template <class T>
+  void bcast(std::vector<T>& data, int root);
+
+  /// Root receives the concatenation of all ranks' vectors (rank order);
+  /// non-roots receive an empty vector.
+  template <class T>
+  std::vector<T> gather(const std::vector<T>& mine, int root);
+
+ private:
+  friend class World;
+  Comm(World& w, int rank, int size) : world_(w), rank_(rank), size_(size) {}
+
+  void send_bytes(int dest, int tag, const std::byte* p, std::size_t n);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  World& world_;
+  int rank_;
+  int size_;
+};
+
+/// Owns the shared state for `n_ranks` communicating threads.
+class World {
+ public:
+  explicit World(int n_ranks);
+
+  int size() const { return size_; }
+
+  /// Spawn `size()` threads, each running fn with its own Comm. Returns when
+  /// all ranks finish. Exceptions from ranks are rethrown (first wins).
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+  struct Mailbox {
+    std::deque<std::vector<std::byte>> messages;
+  };
+
+  int size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // (src * size + dest) -> tag -> FIFO
+  std::vector<std::map<int, Mailbox>> mail_;
+
+  // Barrier state (generation-counting).
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Collective scratch: one slot per rank.
+  std::vector<std::vector<double>> reduce_slots_;
+  std::vector<std::vector<std::byte>> coll_slots_;
+};
+
+// --- template bodies that need World internals ------------------------------
+
+template <class T>
+void Comm::bcast(std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r != root) send(r, /*tag=*/-2, data);
+    }
+  } else {
+    data = recv<T>(root, /*tag=*/-2);
+  }
+}
+
+template <class T>
+std::vector<T> Comm::gather(const std::vector<T>& mine, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank_ == root) {
+    std::vector<T> all;
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) {
+        all.insert(all.end(), mine.begin(), mine.end());
+      } else {
+        const std::vector<T> part = recv<T>(r, /*tag=*/-3);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+    }
+    return all;
+  }
+  send(root, /*tag=*/-3, mine);
+  return {};
+}
+
+}  // namespace vmc::comm

@@ -1,0 +1,222 @@
+#include "core/eigenvalue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+#include "prof/profiler.hpp"
+
+namespace vmc::core {
+
+Simulation::Simulation(const geom::Geometry& geometry, const xs::Library& lib,
+                       Settings settings)
+    : geometry_(geometry),
+      lib_(lib),
+      settings_(settings),
+      collision_(lib, settings.physics),
+      history_(geometry, lib, collision_, settings.tracker),
+      event_(geometry, lib, collision_, settings.event) {
+  if (!lib.finalized()) throw std::logic_error("library not finalized");
+}
+
+std::vector<particle::FissionSite> Simulation::initial_source() const {
+  // Which materials can fission?
+  std::vector<bool> fissionable(static_cast<std::size_t>(lib_.n_materials()),
+                                false);
+  for (int m = 0; m < lib_.n_materials(); ++m) {
+    for (const auto id : lib_.material(m).nuclides) {
+      if (lib_.nuclide(id).fissionable) {
+        fissionable[static_cast<std::size_t>(m)] = true;
+        break;
+      }
+    }
+  }
+
+  rng::Stream s(settings_.seed ^ 0x5150c0ffeeULL);
+  std::vector<particle::FissionSite> src;
+  src.reserve(settings_.n_particles);
+  const geom::Position lo = settings_.source_lo;
+  const geom::Position hi = settings_.source_hi;
+  const std::size_t max_tries = 10000 * settings_.n_particles + 100000;
+  std::size_t tries = 0;
+  while (src.size() < settings_.n_particles) {
+    if (++tries > max_tries) {
+      throw std::runtime_error(
+          "initial source sampling failed: no fissionable material found in "
+          "the source box");
+    }
+    geom::Position r{lo.x + s.next() * (hi.x - lo.x),
+                     lo.y + s.next() * (hi.y - lo.y),
+                     lo.z + s.next() * (hi.z - lo.z)};
+    const int mat = geometry_.find_material(r);
+    if (mat < 0 || !fissionable[static_cast<std::size_t>(mat)]) continue;
+    src.push_back(particle::FissionSite{r, rng::sample_watt(s)});
+  }
+  return src;
+}
+
+std::vector<particle::FissionSite> resample_bank(
+    const std::vector<particle::FissionSite>& bank, std::size_t n,
+    rng::Stream& stream) {
+  if (bank.empty()) {
+    throw std::runtime_error("fission bank empty: system far subcritical?");
+  }
+  std::vector<particle::FissionSite> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = std::min<std::size_t>(
+        bank.size() - 1,
+        static_cast<std::size_t>(stream.next() * bank.size()));
+    out.push_back(bank[j]);
+  }
+  return out;
+}
+
+double Simulation::shannon_entropy(
+    const std::vector<particle::FissionSite>& sites) const {
+  if (sites.empty()) return 0.0;
+  const int m = settings_.entropy_mesh;
+  const geom::Position lo = settings_.source_lo;
+  const geom::Position hi = settings_.source_hi;
+  std::vector<std::uint32_t> bins(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(m) *
+          static_cast<std::size_t>(m),
+      0);
+  const auto bin_of = [&](double x, double a, double b) {
+    int i = static_cast<int>((x - a) / (b - a) * m);
+    return std::clamp(i, 0, m - 1);
+  };
+  for (const auto& site : sites) {
+    const int ix = bin_of(site.r.x, lo.x, hi.x);
+    const int iy = bin_of(site.r.y, lo.y, hi.y);
+    const int iz = bin_of(site.r.z, lo.z, hi.z);
+    ++bins[static_cast<std::size_t>((iz * m + iy) * m + ix)];
+  }
+  double h = 0.0;
+  const double total = static_cast<double>(sites.size());
+  for (const auto c : bins) {
+    if (c == 0) continue;
+    const double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+GenerationResult Simulation::run_generation(
+    std::vector<particle::FissionSite>& source,
+    std::vector<particle::FissionSite>& next, int generation_index,
+    bool active) {
+  const std::size_t n = source.size();
+  const double t0 = prof::now_seconds();
+
+  TallyAccumulator acc(settings_.tally_mode);
+  EventCounts counts_total;
+  std::mutex merge_mu;
+
+  // Seed block for this generation: ids unique across generations.
+  const std::uint64_t id_base =
+      static_cast<std::uint64_t>(generation_index) * (settings_.n_particles + 1);
+
+  MeshTally* mesh = active ? settings_.mesh_tally : nullptr;
+  parallel_chunks(settings_.n_threads, n, [&](int /*tid*/, std::size_t begin,
+                                              std::size_t end) {
+    TallyScores local;
+    EventCounts counts;
+    std::vector<particle::FissionSite> local_bank;
+    local_bank.reserve((end - begin) * 3);
+
+    std::vector<particle::Particle> ps;
+    ps.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      particle::Particle p = particle::Particle::born(
+          settings_.seed, id_base + i, source[i].r, source[i].energy);
+      ps.push_back(p);
+    }
+
+    if (settings_.mode == TransportMode::history) {
+      for (auto& p : ps) {
+        if (settings_.tally_mode == TallyMode::thread_local_reduce) {
+          history_.track(p, local, counts, local_bank, mesh);
+        } else {
+          // Per-history commit so the synchronization cost is exercised.
+          TallyScores one;
+          history_.track(p, one, counts, local_bank, mesh);
+          acc.score(one);
+        }
+      }
+    } else {
+      event_.run(ps, local, counts, local_bank, mesh);
+    }
+
+    if (settings_.tally_mode == TallyMode::thread_local_reduce ||
+        settings_.mode == TransportMode::event) {
+      acc.score(local);
+    }
+    std::lock_guard lk(merge_mu);
+    counts_total += counts;
+    next.insert(next.end(), local_bank.begin(), local_bank.end());
+  });
+
+  GenerationResult g;
+  g.active = active;
+  g.tallies = acc.total();
+  g.counts = counts_total;
+  g.n_sites = next.size();
+  g.entropy = shannon_entropy(next);
+  const double w = static_cast<double>(n);
+  g.k_collision = g.tallies.k_collision / w;
+  g.k_absorption = g.tallies.k_absorption / w;
+  g.k_tracklength = g.tallies.k_tracklength / w;
+  g.k_combined =
+      (g.k_collision + g.k_absorption + g.k_tracklength) / 3.0;
+  g.seconds = prof::now_seconds() - t0;
+  return g;
+}
+
+RunResult Simulation::run() {
+  RunResult result;
+  std::vector<particle::FissionSite> source = initial_source();
+  rng::Stream resample_stream(settings_.seed ^ 0xbadc0deULL);
+
+  BatchStatistics k_stats;
+  const int total_gens = settings_.n_inactive + settings_.n_active;
+  std::uint64_t active_particles = 0;
+  std::uint64_t inactive_particles = 0;
+
+  for (int gen = 0; gen < total_gens; ++gen) {
+    const bool active = gen >= settings_.n_inactive;
+    std::vector<particle::FissionSite> next;
+    next.reserve(source.size() * 2);
+    GenerationResult g = run_generation(source, next, gen, active);
+
+    if (active) {
+      k_stats.add(g.k_combined);
+      result.active_seconds += g.seconds;
+      result.counts_active += g.counts;
+      active_particles += source.size();
+    } else {
+      result.inactive_seconds += g.seconds;
+      inactive_particles += source.size();
+    }
+    result.counts_total += g.counts;
+    result.generations.push_back(std::move(g));
+
+    source = resample_bank(next, settings_.n_particles, resample_stream);
+  }
+
+  result.k_eff = k_stats.mean();
+  result.k_std = k_stats.std_err();
+  if (result.active_seconds > 0.0) {
+    result.rate_active =
+        static_cast<double>(active_particles) / result.active_seconds;
+  }
+  if (result.inactive_seconds > 0.0) {
+    result.rate_inactive =
+        static_cast<double>(inactive_particles) / result.inactive_seconds;
+  }
+  return result;
+}
+
+}  // namespace vmc::core

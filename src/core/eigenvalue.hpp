@@ -1,0 +1,113 @@
+// Eigenvalue (k-effective) power iteration: the OpenMC simulation driver.
+//
+// Generations of `n_particles` are run in batches; the first `n_inactive`
+// batches converge the fission source (no tallies kept — the paper's
+// "inactive batches"), the following `n_active` accumulate tallies. Between
+// generations the fission bank is resampled to exactly `n_particles` source
+// sites. The *calculation rate* (simulated neutrons per wall-clock second)
+// this driver reports is the paper's primary metric (Fig. 5, Table III).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/mesh_tally.hpp"
+#include "core/history.hpp"
+#include "core/tally.hpp"
+#include "geom/geometry.hpp"
+#include "physics/collision.hpp"
+#include "xsdata/library.hpp"
+
+namespace vmc::core {
+
+enum class TransportMode : unsigned char { history, event };
+
+struct Settings {
+  std::uint64_t n_particles = 10000;
+  int n_inactive = 2;
+  int n_active = 3;
+  std::uint64_t seed = 42;
+  int n_threads = 1;
+  TransportMode mode = TransportMode::history;
+  TallyMode tally_mode = TallyMode::thread_local_reduce;
+  physics::PhysicsSettings physics = physics::PhysicsSettings::full();
+  TrackerOptions tracker;
+  EventTracker::Options event;
+  /// Optional phase-space tally, scored during ACTIVE generations only (the
+  /// expensive user-defined tallies of Section III-B1). Non-owning.
+  MeshTally* mesh_tally = nullptr;
+  /// Bounding box for initial-source rejection sampling (should cover the
+  /// fuel region).
+  geom::Position source_lo{-100, -100, -100};
+  geom::Position source_hi{100, 100, 100};
+  int entropy_mesh = 8;  // Shannon-entropy mesh cells per axis
+};
+
+struct GenerationResult {
+  bool active = false;
+  double k_collision = 0.0;
+  double k_absorption = 0.0;
+  double k_tracklength = 0.0;
+  double k_combined = 0.0;
+  double entropy = 0.0;     // Shannon entropy of the fission source (bits)
+  std::size_t n_sites = 0;  // fission sites banked
+  double seconds = 0.0;     // wall time of this generation
+  TallyScores tallies;
+  EventCounts counts;
+};
+
+struct RunResult {
+  double k_eff = 0.0;       // mean of combined estimator over active batches
+  double k_std = 0.0;       // standard error
+  double active_seconds = 0.0;
+  double inactive_seconds = 0.0;
+  double rate_active = 0.0;    // particles / second (the paper's metric)
+  double rate_inactive = 0.0;
+  EventCounts counts_active;   // summed over active generations
+  EventCounts counts_total;
+  std::vector<GenerationResult> generations;
+};
+
+class Simulation {
+ public:
+  Simulation(const geom::Geometry& geometry, const xs::Library& lib,
+             Settings settings);
+
+  /// Run the full batch schedule.
+  RunResult run();
+
+  /// Run a single generation from `source`, appending the next generation's
+  /// sites to `next`. Exposed for the execution-model runtimes, which drive
+  /// generations themselves (offload/symmetric modes).
+  GenerationResult run_generation(
+      std::vector<particle::FissionSite>& source,
+      std::vector<particle::FissionSite>& next, int generation_index,
+      bool active);
+
+  /// Sample the initial source (uniform over fissionable material inside
+  /// the source box, Watt energies).
+  std::vector<particle::FissionSite> initial_source() const;
+
+  const Settings& settings() const { return settings_; }
+
+ private:
+  double shannon_entropy(
+      const std::vector<particle::FissionSite>& sites) const;
+
+  const geom::Geometry& geometry_;
+  const xs::Library& lib_;
+  Settings settings_;
+  physics::Collision collision_;
+  HistoryTracker history_;
+  EventTracker event_;
+};
+
+/// Resample `bank` to exactly `n` sites (uniform with replacement), using
+/// `stream`. The standard OpenMC bank-sampling step between generations.
+std::vector<particle::FissionSite> resample_bank(
+    const std::vector<particle::FissionSite>& bank, std::size_t n,
+    rng::Stream& stream);
+
+}  // namespace vmc::core

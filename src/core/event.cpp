@@ -1,0 +1,223 @@
+#include "core/event.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/simd.hpp"
+#include "xsdata/lookup.hpp"
+
+namespace vmc::core {
+
+namespace {
+constexpr double kEnergyFloor = 1.0e-11;
+}
+
+EventTracker::EventTracker(const geom::Geometry& geometry,
+                           const xs::Library& lib,
+                           const physics::Collision& coll, Options opt)
+    : geometry_(geometry),
+      lib_(lib),
+      coll_(coll),
+      opt_(opt),
+      t_xs_(prof::registry().handle("calculate_xs_banked")),
+      t_dist_(prof::registry().handle("sample_distance_banked")),
+      t_advance_(prof::registry().handle("advance_geometry")),
+      t_collide_(prof::registry().handle("collide")) {}
+
+void EventTracker::run(std::span<particle::Particle> particles,
+                       TallyScores& tally, EventCounts& counts,
+                       std::vector<particle::FissionSite>& bank,
+                       MeshTally* mesh) const {
+  const std::size_t n = particles.size();
+  const bool profile = opt_.profile;
+  auto& reg = prof::registry();
+
+  std::vector<geom::Geometry::State> states(n);
+  std::vector<std::uint32_t> alive;
+  alive.reserve(n);
+  counts.histories += n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    particle::Particle& p = particles[i];
+    if (geometry_.locate(p.r, p.u, states[i])) {
+      alive.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      tally.leakage += p.weight;
+      p.alive = false;
+    }
+  }
+
+  // Reusable stage buffers in *alive order*.
+  simd::aligned_vector<double> energies;
+  simd::aligned_vector<double> sig_total;
+  simd::aligned_vector<double> xi;
+  simd::aligned_vector<double> dist;
+  std::vector<xs::XsSet> sigma(n);
+  std::vector<xs::XsSet> bucket_sigma;
+  simd::aligned_vector<double> bucket_e;
+  std::vector<std::vector<std::uint32_t>> buckets(
+      static_cast<std::size_t>(lib_.n_materials()));
+  std::vector<std::uint32_t> collide_list;
+  std::vector<std::uint32_t> next_alive;
+
+  for (int iter = 0; !alive.empty() && iter < opt_.max_iterations; ++iter) {
+    const std::size_t na = alive.size();
+
+    // --- Stage 1: banked cross-section lookups (bucketed by material) -----
+    if (profile) reg.start(t_xs_);
+    for (auto& b : buckets) b.clear();
+    for (const std::uint32_t i : alive) {
+      buckets[static_cast<std::size_t>(states[i].material)].push_back(i);
+    }
+    for (int m = 0; m < lib_.n_materials(); ++m) {
+      const auto& bucket = buckets[static_cast<std::size_t>(m)];
+      if (bucket.empty()) continue;
+      bucket_e.resize(bucket.size());
+      bucket_sigma.resize(bucket.size());
+      for (std::size_t j = 0; j < bucket.size(); ++j) {
+        bucket_e[j] = particles[bucket[j]].energy;
+      }
+      if (opt_.simd_lookup) {
+        xs::macro_xs_banked(lib_, m, bucket_e, bucket_sigma);
+      } else {
+        xs::macro_xs_banked_scalar(lib_, m, bucket_e, bucket_sigma);
+      }
+      for (std::size_t j = 0; j < bucket.size(); ++j) {
+        sigma[bucket[j]] = bucket_sigma[j];
+      }
+      counts.nuclide_terms +=
+          bucket.size() * lib_.material(m).size();
+    }
+    counts.lookups += na;
+    if (profile) reg.stop(t_xs_);
+
+    // --- Stage 2: banked distance sampling (Eq. 1, Algorithm 4) -----------
+    if (profile) reg.start(t_dist_);
+    xi.resize(na);
+    sig_total.resize(na);
+    dist.resize(na);
+    for (std::size_t j = 0; j < na; ++j) {
+      xi[j] = particles[alive[j]].stream.next();
+      sig_total[j] = sigma[alive[j]].total;
+    }
+    counts.rng_draws_est += na;
+    if (opt_.simd_distance) {
+      using VD = simd::vdouble;
+      constexpr int L = simd::native_lanes<double>;
+      const std::size_t nv = na / L * L;
+      for (std::size_t j = 0; j < nv; j += L) {
+        const VD x = VD::load(xi.data() + j);
+        const VD st = VD::load(sig_total.data() + j);
+        (-simd::vlog(x) / st).store(dist.data() + j);
+      }
+      for (std::size_t j = nv; j < na; ++j) {
+        dist[j] = -std::log(xi[j]) / sig_total[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < na; ++j) {
+        dist[j] = sig_total[j] > 0.0 ? -std::log(xi[j]) / sig_total[j]
+                                     : geom::kInfDistance;
+      }
+    }
+    if (profile) reg.stop(t_dist_);
+
+    // --- Stage 3: geometry advance / crossing (scalar) --------------------
+    if (profile) reg.start(t_advance_);
+    collide_list.clear();
+    next_alive.clear();
+    for (std::size_t j = 0; j < na; ++j) {
+      const std::uint32_t i = alive[j];
+      particle::Particle& p = particles[i];
+      geom::Geometry::State& gs = states[i];
+      const double d_coll = dist[j];
+      const geom::Geometry::Boundary b = geometry_.distance_to_boundary(gs);
+      const double d = d_coll < b.distance ? d_coll : b.distance;
+      tally.track_length += p.weight * d;
+      tally.k_tracklength += p.weight * d * opt_.nu_bar * sigma[i].fission;
+
+      if (d_coll < b.distance) {
+        geometry_.advance(gs, d_coll);
+        p.r = gs.position();
+        collide_list.push_back(i);
+      } else {
+        counts.crossings += 1;
+        p.n_crossings += 1;
+        const geom::Geometry::CrossResult cr = geometry_.cross(gs, b);
+        if (cr == geom::Geometry::CrossResult::leaked) {
+          tally.leakage += p.weight;
+          p.alive = false;
+        } else {
+          p.r = gs.position();
+          p.u = gs.direction();
+          next_alive.push_back(i);
+        }
+      }
+    }
+    if (profile) reg.stop(t_advance_);
+
+    // --- Stage 4: collision physics (scalar) ------------------------------
+    if (profile) reg.start(t_collide_);
+    for (const std::uint32_t i : collide_list) {
+      particle::Particle& p = particles[i];
+      geom::Geometry::State& gs = states[i];
+      const xs::XsSet& sg = sigma[i];
+      counts.collisions += 1;
+      p.n_collisions += 1;
+      tally.collision += p.weight;
+      if (sg.total > 0.0) {
+        tally.k_collision += p.weight * opt_.nu_bar * sg.fission / sg.total;
+      }
+      if (mesh != nullptr) {
+        mesh->score_collision(p.r, p.energy, p.weight, sg.total,
+                              opt_.nu_bar * sg.fission);
+      }
+      const physics::CollisionResult res =
+          coll_.collide(gs.material, p.energy, p.u, sg, p.stream);
+      counts.rng_draws_est += 4;
+      switch (res.type) {
+        case physics::CollisionType::scatter:
+          p.energy = res.energy;
+          p.u = res.direction;
+          gs.set_direction(p.u);
+          if (p.energy <= kEnergyFloor) {
+            p.alive = false;
+          } else {
+            next_alive.push_back(i);
+          }
+          break;
+        case physics::CollisionType::capture:
+          tally.absorption += p.weight;
+          if (sg.absorption > 0.0) {
+            tally.k_absorption +=
+                p.weight * opt_.nu_bar * sg.fission / sg.absorption;
+          }
+          p.alive = false;
+          break;
+        case physics::CollisionType::fission:
+          tally.absorption += p.weight;
+          if (sg.absorption > 0.0) {
+            tally.k_absorption +=
+                p.weight * opt_.nu_bar * sg.fission / sg.absorption;
+          }
+          for (int k = 0; k < res.n_fission_neutrons; ++k) {
+            bank.push_back(
+                particle::FissionSite{p.r, rng::sample_watt(p.stream)});
+          }
+          p.alive = false;
+          break;
+      }
+    }
+    if (profile) reg.stop(t_collide_);
+
+    // Keep alive-order stable (ascending index) so stage buffers stay
+    // deterministic regardless of stage-3/4 interleaving.
+    std::sort(next_alive.begin(), next_alive.end());
+    alive.swap(next_alive);
+    (void)na;
+  }
+
+  // Safety cap: force-kill stragglers.
+  for (const std::uint32_t i : alive) particles[i].alive = false;
+}
+
+}  // namespace vmc::core

@@ -1,0 +1,174 @@
+#include "core/history.hpp"
+
+#include <cmath>
+
+#include "xsdata/lookup.hpp"
+
+namespace vmc::core {
+
+namespace {
+constexpr double kEnergyFloor = 1.0e-11;  // MeV; below this the history ends
+}
+
+HistoryTracker::HistoryTracker(const geom::Geometry& geometry,
+                               const xs::Library& lib,
+                               const physics::Collision& coll,
+                               TrackerOptions opt)
+    : geometry_(geometry),
+      lib_(lib),
+      coll_(coll),
+      opt_(opt),
+      t_xs_(prof::registry().handle("calculate_xs")),
+      t_boundary_(prof::registry().handle("distance_to_boundary")),
+      t_collide_(prof::registry().handle("collide")),
+      t_cross_(prof::registry().handle("cross_surface")) {}
+
+void HistoryTracker::track(particle::Particle& p, TallyScores& tally,
+                           EventCounts& counts,
+                           std::vector<particle::FissionSite>& bank,
+                           MeshTally* mesh) const {
+  geom::Geometry::State gs;
+  if (!geometry_.locate(p.r, p.u, gs)) {
+    // Born outside the geometry: immediate leak.
+    tally.leakage += p.weight;
+    p.alive = false;
+    counts.histories += 1;
+    return;
+  }
+
+  counts.histories += 1;
+  const bool profile = opt_.profile;
+  auto& reg = prof::registry();
+
+  for (int event = 0; p.alive && event < opt_.max_events; ++event) {
+    // --- macroscopic cross section (the bottleneck; Algorithm 1) ---------
+    if (profile) reg.start(t_xs_);
+    const xs::XsSet sigma = xs::macro_xs_history(lib_, gs.material, p.energy);
+    if (profile) reg.stop(t_xs_);
+    counts.lookups += 1;
+    counts.nuclide_terms += lib_.material(gs.material).size();
+
+    // --- distance to collision, Eq. (1) -----------------------------------
+    const double xi = p.stream.next();
+    counts.rng_draws_est += 1;
+    const double d_coll =
+        sigma.total > 0.0 ? -std::log(xi) / sigma.total : geom::kInfDistance;
+
+    // --- distance to boundary ---------------------------------------------
+    if (profile) reg.start(t_boundary_);
+    const geom::Geometry::Boundary b = geometry_.distance_to_boundary(gs);
+    if (profile) reg.stop(t_boundary_);
+
+    const double d = d_coll < b.distance ? d_coll : b.distance;
+    // Track-length estimators score over the full flight segment.
+    tally.track_length += p.weight * d;
+    tally.k_tracklength += p.weight * d * opt_.nu_bar * sigma.fission;
+
+    if (d_coll < b.distance) {
+      // ----- collision -----------------------------------------------------
+      geometry_.advance(gs, d_coll);
+      p.r = gs.position();
+      counts.collisions += 1;
+      p.n_collisions += 1;
+      tally.collision += p.weight;
+      if (sigma.total > 0.0) {
+        tally.k_collision +=
+            p.weight * opt_.nu_bar * sigma.fission / sigma.total;
+      }
+      if (mesh != nullptr) {
+        mesh->score_collision(p.r, p.energy, p.weight, sigma.total,
+                              opt_.nu_bar * sigma.fission);
+      }
+
+      if (opt_.survival_biasing && sigma.total > 0.0) {
+        // ---- implicit capture (variance reduction) ----------------------
+        // Expected fission production is banked continuously; the absorbed
+        // weight fraction is deposited; the survivor always scatters.
+        const double production =
+            p.weight * opt_.nu_bar * sigma.fission / sigma.total;
+        const int nsites = static_cast<int>(production + p.stream.next());
+        for (int i = 0; i < nsites; ++i) {
+          bank.push_back(
+              particle::FissionSite{p.r, rng::sample_watt(p.stream)});
+        }
+        const double f_abs = sigma.absorption / sigma.total;
+        tally.absorption += p.weight * f_abs;
+        tally.k_absorption += production;  // = absorbed wgt * nu sig_f/sig_a
+        p.weight *= 1.0 - f_abs;
+
+        if (profile) reg.start(t_collide_);
+        const physics::CollisionResult res =
+            coll_.force_scatter(gs.material, p.energy, p.u, sigma, p.stream);
+        if (profile) reg.stop(t_collide_);
+        counts.rng_draws_est += 4;
+        p.energy = res.energy;
+        p.u = res.direction;
+        gs.set_direction(p.u);
+        if (p.energy <= kEnergyFloor) p.alive = false;
+
+        // Russian roulette below the weight cutoff.
+        if (p.alive && p.weight < opt_.weight_cutoff) {
+          if (p.stream.next() < p.weight / opt_.weight_survival) {
+            p.weight = opt_.weight_survival;
+          } else {
+            p.alive = false;
+          }
+        }
+        continue;
+      }
+
+      if (profile) reg.start(t_collide_);
+      const physics::CollisionResult res =
+          coll_.collide(gs.material, p.energy, p.u, sigma, p.stream);
+      if (profile) reg.stop(t_collide_);
+      counts.rng_draws_est += 4;
+
+      switch (res.type) {
+        case physics::CollisionType::scatter:
+          p.energy = res.energy;
+          p.u = res.direction;
+          gs.set_direction(p.u);
+          if (p.energy <= kEnergyFloor) p.alive = false;
+          break;
+        case physics::CollisionType::capture:
+          tally.absorption += p.weight;
+          if (sigma.absorption > 0.0) {
+            tally.k_absorption +=
+                p.weight * opt_.nu_bar * sigma.fission / sigma.absorption;
+          }
+          p.alive = false;
+          break;
+        case physics::CollisionType::fission: {
+          tally.absorption += p.weight;
+          if (sigma.absorption > 0.0) {
+            tally.k_absorption +=
+                p.weight * opt_.nu_bar * sigma.fission / sigma.absorption;
+          }
+          for (int i = 0; i < res.n_fission_neutrons; ++i) {
+            bank.push_back(particle::FissionSite{
+                p.r, rng::sample_watt(p.stream)});
+          }
+          p.alive = false;
+          break;
+        }
+      }
+    } else {
+      // ----- boundary crossing ---------------------------------------------
+      counts.crossings += 1;
+      p.n_crossings += 1;
+      if (profile) reg.start(t_cross_);
+      const geom::Geometry::CrossResult cr = geometry_.cross(gs, b);
+      if (profile) reg.stop(t_cross_);
+      if (cr == geom::Geometry::CrossResult::leaked) {
+        tally.leakage += p.weight;
+        p.alive = false;
+      } else {
+        p.r = gs.position();
+        p.u = gs.direction();
+      }
+    }
+  }
+  p.alive = false;  // max_events cap (pathological histories)
+}
+
+}  // namespace vmc::core

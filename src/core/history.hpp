@@ -1,0 +1,61 @@
+// History-based transport: one thread follows one particle from birth to
+// death — OpenMC's native algorithm, the MIMD-style method of the paper's
+// title. All control flow is per-particle and data-dependent, which is
+// precisely why it vectorizes poorly and why the event-based alternative
+// (core/event.hpp) exists.
+#pragma once
+
+#include <vector>
+
+#include "core/mesh_tally.hpp"
+#include "core/tally.hpp"
+#include "geom/geometry.hpp"
+#include "particle/particle.hpp"
+#include "physics/collision.hpp"
+#include "prof/profiler.hpp"
+#include "xsdata/library.hpp"
+
+namespace vmc::core {
+
+struct TrackerOptions {
+  double nu_bar = 2.43;        // effective nu for the k estimators
+  int max_events = 1 << 20;    // per-history safety cap
+  bool profile = false;        // emit prof timers (calculate_xs, ...)
+
+  // Variance reduction (OpenMC's survival_biasing option): collisions never
+  // kill the particle outright; the absorbed fraction of the weight is
+  // deposited and the survivor continues with reduced weight. Expected
+  // fission production is banked every collision. Particles below
+  // weight_cutoff play Russian roulette to weight_survival.
+  bool survival_biasing = false;
+  double weight_cutoff = 0.25;
+  double weight_survival = 1.0;
+};
+
+/// Tracks single particles to completion, scoring tallies and banking
+/// fission sites. Stateless w.r.t. particles: safe to share across threads
+/// (each thread passes its own tally/bank/count buffers).
+class HistoryTracker {
+ public:
+  HistoryTracker(const geom::Geometry& geometry, const xs::Library& lib,
+                 const physics::Collision& coll, TrackerOptions opt = {});
+
+  /// Simulate one history. Scores into `tally` (always; the caller decides
+  /// whether an inactive generation's scores are kept), increments `counts`,
+  /// and appends fission sites to `bank`.
+  void track(particle::Particle& p, TallyScores& tally, EventCounts& counts,
+             std::vector<particle::FissionSite>& bank,
+             MeshTally* mesh = nullptr) const;
+
+  const TrackerOptions& options() const { return opt_; }
+
+ private:
+  const geom::Geometry& geometry_;
+  const xs::Library& lib_;
+  const physics::Collision& coll_;
+  TrackerOptions opt_;
+  // Pre-registered profile timers (cheap handles; used when opt_.profile).
+  prof::TimerHandle t_xs_, t_boundary_, t_collide_, t_cross_;
+};
+
+}  // namespace vmc::core

@@ -1,0 +1,138 @@
+#include "core/mesh_tally.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmc::core {
+
+namespace {
+void atomic_add(std::atomic<double>& a, double x) {
+  double old = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(old, old + x, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+MeshTally::MeshTally(Spec spec) : spec_(std::move(spec)) {
+  if (spec_.nx <= 0 || spec_.ny <= 0 || spec_.nz <= 0) {
+    throw std::invalid_argument("mesh dimensions must be positive");
+  }
+  if (!(spec_.lower.x < spec_.upper.x && spec_.lower.y < spec_.upper.y &&
+        spec_.lower.z < spec_.upper.z)) {
+    throw std::invalid_argument("mesh bounds must be a proper box");
+  }
+  if (!spec_.group_edges.empty()) {
+    if (spec_.group_edges.size() < 2 ||
+        !std::is_sorted(spec_.group_edges.begin(), spec_.group_edges.end())) {
+      throw std::invalid_argument("group edges must be >= 2, ascending");
+    }
+    n_groups_ = static_cast<int>(spec_.group_edges.size()) - 1;
+  }
+  const std::size_t total = n_cells() * static_cast<std::size_t>(n_groups_);
+  flux_ = std::vector<std::atomic<double>>(total);
+  fission_ = std::vector<std::atomic<double>>(total);
+}
+
+std::int64_t MeshTally::bin_of(geom::Position r, double energy) const {
+  const auto axis = [](double x, double lo, double hi, int n) {
+    if (x < lo || x >= hi) return -1;
+    const int i = static_cast<int>((x - lo) / (hi - lo) * n);
+    return std::clamp(i, 0, n - 1);
+  };
+  const int ix = axis(r.x, spec_.lower.x, spec_.upper.x, spec_.nx);
+  const int iy = axis(r.y, spec_.lower.y, spec_.upper.y, spec_.ny);
+  const int iz = axis(r.z, spec_.lower.z, spec_.upper.z, spec_.nz);
+  if (ix < 0 || iy < 0 || iz < 0) return -1;
+
+  int ig = 0;
+  if (n_groups_ > 1) {
+    const auto& e = spec_.group_edges;
+    if (energy < e.front() || energy >= e.back()) return -1;
+    const auto it = std::upper_bound(e.begin(), e.end(), energy);
+    ig = static_cast<int>(it - e.begin()) - 1;
+    ig = std::clamp(ig, 0, n_groups_ - 1);
+  }
+  const std::int64_t cell =
+      (static_cast<std::int64_t>(iz) * spec_.ny + iy) * spec_.nx + ix;
+  return cell * n_groups_ + ig;
+}
+
+void MeshTally::score_collision(geom::Position r, double energy, double weight,
+                                double sigma_t, double nu_sigma_f) {
+  const std::int64_t bin = bin_of(r, energy);
+  if (bin < 0 || sigma_t <= 0.0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  scored_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(flux_[static_cast<std::size_t>(bin)], weight / sigma_t);
+  atomic_add(fission_[static_cast<std::size_t>(bin)],
+             weight * nu_sigma_f / sigma_t);
+}
+
+std::vector<double> MeshTally::radial_map(
+    const std::vector<std::atomic<double>>& score) const {
+  std::vector<double> map(static_cast<std::size_t>(spec_.nx) *
+                              static_cast<std::size_t>(spec_.ny),
+                          0.0);
+  for (int iz = 0; iz < spec_.nz; ++iz) {
+    for (int iy = 0; iy < spec_.ny; ++iy) {
+      for (int ix = 0; ix < spec_.nx; ++ix) {
+        const std::size_t cell = (static_cast<std::size_t>(iz) *
+                                      static_cast<std::size_t>(spec_.ny) +
+                                  static_cast<std::size_t>(iy)) *
+                                     static_cast<std::size_t>(spec_.nx) +
+                                 static_cast<std::size_t>(ix);
+        double sum = 0.0;
+        for (int g = 0; g < n_groups_; ++g) {
+          sum += score[cell * static_cast<std::size_t>(n_groups_) +
+                       static_cast<std::size_t>(g)]
+                     .load(std::memory_order_relaxed);
+        }
+        map[static_cast<std::size_t>(iy) * static_cast<std::size_t>(spec_.nx) +
+            static_cast<std::size_t>(ix)] += sum;
+      }
+    }
+  }
+  return map;
+}
+
+std::vector<double> MeshTally::radial_flux_map() const {
+  return radial_map(flux_);
+}
+
+std::vector<double> MeshTally::radial_fission_map() const {
+  return radial_map(fission_);
+}
+
+std::vector<double> MeshTally::energy_spectrum() const {
+  std::vector<double> spectrum(static_cast<std::size_t>(n_groups_), 0.0);
+  for (std::size_t bin = 0; bin < flux_.size(); ++bin) {
+    spectrum[bin % static_cast<std::size_t>(n_groups_)] +=
+        flux_[bin].load(std::memory_order_relaxed);
+  }
+  return spectrum;
+}
+
+void MeshTally::reset() {
+  for (auto& f : flux_) f.store(0.0, std::memory_order_relaxed);
+  for (auto& f : fission_) f.store(0.0, std::memory_order_relaxed);
+  dropped_.store(0);
+  scored_.store(0);
+}
+
+std::vector<double> log_group_edges(double e_min, double e_max, int n_groups) {
+  if (n_groups < 1 || e_min <= 0.0 || e_max <= e_min) {
+    throw std::invalid_argument("bad group structure");
+  }
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(n_groups) + 1);
+  for (int g = 0; g <= n_groups; ++g) {
+    edges.push_back(e_min * std::pow(e_max / e_min,
+                                     static_cast<double>(g) / n_groups));
+  }
+  return edges;
+}
+
+}  // namespace vmc::core

@@ -1,0 +1,40 @@
+// Minimal fork-join helper for the generation loop.
+//
+// OpenMC's shared-memory layer is OpenMP; VectorMC uses plain std::thread
+// with a static chunk decomposition, which is what `#pragma omp parallel for
+// schedule(static)` over particles amounts to. The thread count is a runtime
+// setting so the same binary models "CPU with 32 threads" and "MIC with 244
+// threads" style configurations.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace vmc::core {
+
+/// Invoke fn(thread_index, begin, end) on `n_threads` threads over a static
+/// partition of [0, n_items). fn must be thread-safe across disjoint ranges.
+/// n_threads <= 1 runs inline (no thread spawn).
+template <class Fn>
+void parallel_chunks(int n_threads, std::size_t n_items, Fn&& fn) {
+  if (n_threads <= 1 || n_items == 0) {
+    fn(0, std::size_t{0}, n_items);
+    return;
+  }
+  const std::size_t nt = static_cast<std::size_t>(n_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(nt);
+  const std::size_t chunk = (n_items + nt - 1) / nt;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = begin + chunk < n_items ? begin + chunk : n_items;
+    if (begin >= end) break;
+    threads.emplace_back([&fn, t, begin, end] {
+      fn(static_cast<int>(t), begin, end);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace vmc::core

@@ -1,0 +1,114 @@
+#include "core/statepoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace vmc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'M', 'C', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <class T>
+void write_pod(std::FILE* f, const T& v) {
+  if (std::fwrite(&v, sizeof(T), 1, f) != 1) {
+    throw std::runtime_error("statepoint write failed");
+  }
+}
+
+template <class T>
+T read_pod(std::FILE* f) {
+  T v;
+  if (std::fread(&v, sizeof(T), 1, f) != 1) {
+    throw std::runtime_error("statepoint truncated");
+  }
+  return v;
+}
+
+}  // namespace
+
+bool StatePoint::operator==(const StatePoint& o) const {
+  if (seed != o.seed || resample_state != o.resample_state ||
+      generations_completed != o.generations_completed ||
+      k_history != o.k_history || source.size() != o.source.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i].r.x != o.source[i].r.x || source[i].r.y != o.source[i].r.y ||
+        source[i].r.z != o.source[i].r.z ||
+        source[i].energy != o.source[i].energy) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_statepoint(const std::string& path, const StatePoint& sp) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open statepoint for writing: " + path);
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
+    throw std::runtime_error("statepoint write failed");
+  }
+  write_pod(f.get(), kVersion);
+  write_pod(f.get(), sp.seed);
+  write_pod(f.get(), sp.resample_state);
+  write_pod(f.get(), sp.generations_completed);
+  write_pod(f.get(), static_cast<std::uint64_t>(sp.k_history.size()));
+  write_pod(f.get(), static_cast<std::uint64_t>(sp.source.size()));
+  for (const double k : sp.k_history) write_pod(f.get(), k);
+  for (const auto& s : sp.source) {
+    write_pod(f.get(), s.r.x);
+    write_pod(f.get(), s.r.y);
+    write_pod(f.get(), s.r.z);
+    write_pod(f.get(), s.energy);
+  }
+  if (std::fflush(f.get()) != 0) {
+    throw std::runtime_error("statepoint flush failed");
+  }
+}
+
+StatePoint read_statepoint(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open statepoint: " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("not a VectorMC statepoint: " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(f.get());
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported statepoint version");
+  }
+  StatePoint sp;
+  sp.seed = read_pod<std::uint64_t>(f.get());
+  sp.resample_state = read_pod<std::uint64_t>(f.get());
+  sp.generations_completed = read_pod<std::int32_t>(f.get());
+  const auto nk = read_pod<std::uint64_t>(f.get());
+  const auto ns = read_pod<std::uint64_t>(f.get());
+  sp.k_history.reserve(nk);
+  for (std::uint64_t i = 0; i < nk; ++i) {
+    sp.k_history.push_back(read_pod<double>(f.get()));
+  }
+  sp.source.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    particle::FissionSite s;
+    s.r.x = read_pod<double>(f.get());
+    s.r.y = read_pod<double>(f.get());
+    s.r.z = read_pod<double>(f.get());
+    s.energy = read_pod<double>(f.get());
+    sp.source.push_back(s);
+  }
+  return sp;
+}
+
+}  // namespace vmc::core

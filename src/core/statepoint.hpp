@@ -1,0 +1,37 @@
+// Statepoint I/O: checkpoint the eigenvalue iteration (fission-bank source,
+// RNG bookkeeping, k history) to a binary file and resume it exactly —
+// OpenMC's statepoint capability, needed for long full-core campaigns and
+// for the restart-equivalence tests.
+//
+// Format: a fixed little-endian header (magic "VMCS", version, counts)
+// followed by the resampling-stream state, per-generation k values, and the
+// source sites as raw (x, y, z, E) doubles. Self-describing enough for
+// round-tripping between runs of the same build; not an archival format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "particle/particle.hpp"
+
+namespace vmc::core {
+
+struct StatePoint {
+  std::uint64_t seed = 0;              // master seed of the campaign
+  std::uint64_t resample_state = 0;    // bank-resampling stream state
+  std::int32_t generations_completed = 0;
+  std::vector<double> k_history;       // per completed generation
+  std::vector<particle::FissionSite> source;  // next generation's source
+
+  bool operator==(const StatePoint& o) const;
+};
+
+/// Serialize to `path` (overwrites). Throws std::runtime_error on I/O error.
+void write_statepoint(const std::string& path, const StatePoint& sp);
+
+/// Deserialize from `path`. Throws std::runtime_error on I/O error or
+/// malformed content (bad magic/version/truncation).
+StatePoint read_statepoint(const std::string& path);
+
+}  // namespace vmc::core

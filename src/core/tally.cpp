@@ -1,0 +1,78 @@
+#include "core/tally.hpp"
+
+#include <cmath>
+
+namespace vmc::core {
+
+namespace {
+void atomic_add(std::atomic<double>& a, double x) {
+  double old = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(old, old + x, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+void TallyAccumulator::score(const TallyScores& s) {
+  switch (mode_) {
+    case TallyMode::thread_local_reduce:
+    case TallyMode::critical: {
+      std::lock_guard lk(mu_);
+      guarded_ += s;
+      break;
+    }
+    case TallyMode::atomic_add:
+      atomic_add(a_kc_, s.k_collision);
+      atomic_add(a_ka_, s.k_absorption);
+      atomic_add(a_kt_, s.k_tracklength);
+      atomic_add(a_col_, s.collision);
+      atomic_add(a_abs_, s.absorption);
+      atomic_add(a_trk_, s.track_length);
+      atomic_add(a_leak_, s.leakage);
+      break;
+  }
+}
+
+TallyScores TallyAccumulator::total() const {
+  if (mode_ == TallyMode::atomic_add) {
+    TallyScores t;
+    t.k_collision = a_kc_.load();
+    t.k_absorption = a_ka_.load();
+    t.k_tracklength = a_kt_.load();
+    t.collision = a_col_.load();
+    t.absorption = a_abs_.load();
+    t.track_length = a_trk_.load();
+    t.leakage = a_leak_.load();
+    return t;
+  }
+  std::lock_guard lk(mu_);
+  return guarded_;
+}
+
+void TallyAccumulator::reset() {
+  std::lock_guard lk(mu_);
+  guarded_ = TallyScores{};
+  a_kc_ = 0.0;
+  a_ka_ = 0.0;
+  a_kt_ = 0.0;
+  a_col_ = 0.0;
+  a_abs_ = 0.0;
+  a_trk_ = 0.0;
+  a_leak_ = 0.0;
+}
+
+void BatchStatistics::add(double x) {
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double BatchStatistics::mean() const { return n_ > 0 ? sum_ / n_ : 0.0; }
+
+double BatchStatistics::std_err() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ / n_ - m * m) * n_ / (n_ - 1.0);
+  return std::sqrt(std::max(0.0, var) / n_);
+}
+
+}  // namespace vmc::core

@@ -1,0 +1,113 @@
+// Global tallies and k-effective estimators.
+//
+// OpenMC's default global tallies — total collision, absorption, and
+// track-length scores — are what the paper's "active batches" accumulate
+// (Section III-B1: "only the default global tallies are considered").
+// Three accumulation strategies are provided because switching from manual
+// reductions/critical sections to OpenMP-style reductions and atomics was
+// one of the paper's key full-physics optimizations (Section III-B):
+//   * thread-local buffers merged at generation end (the fast path),
+//   * atomic read-modify-write per score,
+//   * a mutex ("critical section") per score.
+// bench/abl_tally_sync quantifies the difference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace vmc::core {
+
+enum class TallyMode : unsigned char { thread_local_reduce, atomic_add, critical };
+
+/// Scores accumulated over one generation (per thread or globally).
+struct TallyScores {
+  // k-eff estimators: production scored three ways.
+  double k_collision = 0.0;    // wgt * nu Sigma_f / Sigma_t at collisions
+  double k_absorption = 0.0;   // wgt * nu sigma_f / sigma_a at absorptions
+  double k_tracklength = 0.0;  // wgt * d * nu Sigma_f along flights
+  // Default global tallies.
+  double collision = 0.0;      // total collision score (wgt)
+  double absorption = 0.0;     // total absorbed weight
+  double track_length = 0.0;   // total path length (wgt * d)
+  double leakage = 0.0;        // leaked weight
+
+  TallyScores& operator+=(const TallyScores& o) {
+    k_collision += o.k_collision;
+    k_absorption += o.k_absorption;
+    k_tracklength += o.k_tracklength;
+    collision += o.collision;
+    absorption += o.absorption;
+    track_length += o.track_length;
+    leakage += o.leakage;
+    return *this;
+  }
+};
+
+/// Event counters — the quantities the device cost model converts into
+/// simulated per-device times (DESIGN.md §2).
+struct EventCounts {
+  std::uint64_t lookups = 0;          // macroscopic xs evaluations
+  std::uint64_t nuclide_terms = 0;    // inner-loop nuclide contributions
+  std::uint64_t collisions = 0;
+  std::uint64_t crossings = 0;        // surface/lattice crossings
+  std::uint64_t histories = 0;
+  std::uint64_t rng_draws_est = 0;    // coarse estimate
+
+  EventCounts& operator+=(const EventCounts& o) {
+    lookups += o.lookups;
+    nuclide_terms += o.nuclide_terms;
+    collisions += o.collisions;
+    crossings += o.crossings;
+    histories += o.histories;
+    rng_draws_est += o.rng_draws_est;
+    return *this;
+  }
+};
+
+/// Accumulator implementing the three synchronization strategies behind a
+/// single scoring interface. Thread-compatible: score() may be called
+/// concurrently; merge_local() commits a thread's local buffer.
+class TallyAccumulator {
+ public:
+  explicit TallyAccumulator(TallyMode mode) : mode_(mode) {}
+
+  TallyMode mode() const { return mode_; }
+
+  /// Commit one history's (or one event's) scores. In thread_local_reduce
+  /// mode the caller batches into a local TallyScores and commits rarely; in
+  /// atomic/critical modes every call synchronizes (that is the point of the
+  /// ablation).
+  void score(const TallyScores& s);
+
+  /// Snapshot of everything committed so far.
+  TallyScores total() const;
+
+  void reset();
+
+ private:
+  TallyMode mode_;
+  mutable std::mutex mu_;
+  TallyScores guarded_;  // critical + thread_local_reduce commits
+  // Atomic mode: one atomic per field.
+  std::atomic<double> a_kc_{0.0}, a_ka_{0.0}, a_kt_{0.0};
+  std::atomic<double> a_col_{0.0}, a_abs_{0.0}, a_trk_{0.0}, a_leak_{0.0};
+};
+
+/// Running mean / standard deviation over active batches (OpenMC-style
+/// batch statistics).
+class BatchStatistics {
+ public:
+  void add(double x);
+  int n() const { return n_; }
+  double mean() const;
+  /// Standard error of the mean (0 for n < 2).
+  double std_err() const;
+
+ private:
+  int n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace vmc::core

@@ -1,0 +1,57 @@
+// Distributed eigenvalue driver: the REAL symmetric-mode execution — ranks
+// (threads of the in-process comm::World, standing in for MPI processes)
+// transport disjoint particle blocks, allreduce the tallies, and the root
+// redistributes the fission bank between generations, exactly OpenMC's
+// per-batch communication pattern.
+//
+// The decomposition is exact, not just statistically equivalent: particle
+// ids are globally indexed and the bank is gathered in rank order, so the
+// same seed produces bit-identical particle histories and fission banks for
+// ANY rank count and ANY quota split; the tally scalars agree to
+// floating-point summation-order precision (tested in
+// tests/exec/test_distributed.cpp) — the property that makes Eq. 3's
+// heterogeneous splits safe to use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/history.hpp"
+#include "core/tally.hpp"
+#include "geom/geometry.hpp"
+#include "physics/collision.hpp"
+#include "xsdata/library.hpp"
+
+namespace vmc::exec {
+
+struct DistributedSettings {
+  std::size_t n_total = 10000;  // particles per generation, across all ranks
+  int n_inactive = 2;
+  int n_active = 3;
+  std::uint64_t seed = 42;
+  physics::PhysicsSettings physics = physics::PhysicsSettings::full();
+  core::TrackerOptions tracker;
+  geom::Position source_lo{-1, -1, -1};
+  geom::Position source_hi{1, 1, 1};
+};
+
+struct DistributedResult {
+  double k_eff = 0.0;
+  double k_std = 0.0;
+  std::vector<double> k_per_generation;  // collision estimator
+  double leakage_fraction = 0.0;         // over active generations
+  std::vector<std::size_t> quotas;       // particles per rank
+};
+
+/// Run the eigenvalue iteration across `world`'s ranks with the given
+/// per-rank particle quotas (sum must equal settings.n_total; use
+/// exec::uniform_counts or exec::per_rank_counts to build them). Every rank
+/// returns the same result.
+DistributedResult run_distributed(comm::World& world,
+                                  const geom::Geometry& geometry,
+                                  const xs::Library& lib,
+                                  const DistributedSettings& settings,
+                                  std::vector<std::size_t> quotas);
+
+}  // namespace vmc::exec

@@ -1,0 +1,77 @@
+#include "exec/load_balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmc::exec {
+
+StaticSplit balance_eq3(std::size_t n_total, int p_mic, int p_cpu,
+                        double alpha) {
+  if (p_mic < 0 || p_cpu < 0 || p_mic + p_cpu == 0) {
+    throw std::invalid_argument("need at least one rank");
+  }
+  if (alpha <= 0.0) throw std::invalid_argument("alpha must be positive");
+  StaticSplit s;
+  if (p_mic == 0) {
+    s.n_cpu = n_total / static_cast<std::size_t>(p_cpu);
+    return s;
+  }
+  if (p_cpu == 0) {
+    s.n_mic = n_total / static_cast<std::size_t>(p_mic);
+    return s;
+  }
+  const double denom = static_cast<double>(p_mic) +
+                       static_cast<double>(p_cpu) * alpha;
+  const double n_mic = static_cast<double>(n_total) / denom;
+  s.n_mic = static_cast<std::size_t>(std::llround(n_mic));
+  const std::size_t mic_total = s.n_mic * static_cast<std::size_t>(p_mic);
+  const std::size_t rest = n_total > mic_total ? n_total - mic_total : 0;
+  s.n_cpu = rest / static_cast<std::size_t>(p_cpu);
+  return s;
+}
+
+std::vector<std::size_t> per_rank_counts(std::size_t n_total, int p_mic,
+                                         int p_cpu, double alpha) {
+  const StaticSplit s = balance_eq3(n_total, p_mic, p_cpu, alpha);
+  std::vector<std::size_t> counts;
+  counts.reserve(static_cast<std::size_t>(p_mic + p_cpu));
+  std::size_t assigned = 0;
+  for (int r = 0; r < p_mic; ++r) {
+    counts.push_back(s.n_mic);
+    assigned += s.n_mic;
+  }
+  for (int r = 0; r < p_cpu; ++r) {
+    counts.push_back(s.n_cpu);
+    assigned += s.n_cpu;
+  }
+  // Distribute any rounding remainder one particle at a time (CPU ranks
+  // first — they are cheapest to perturb).
+  std::size_t i = static_cast<std::size_t>(p_mic);
+  while (assigned < n_total && !counts.empty()) {
+    counts[i] += 1;
+    ++assigned;
+    ++i;
+    if (i >= counts.size()) i = 0;
+  }
+  while (assigned > n_total) {
+    for (auto& c : counts) {
+      if (c > 0 && assigned > n_total) {
+        --c;
+        --assigned;
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<std::size_t> uniform_counts(std::size_t n_total, int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("ranks must be positive");
+  std::vector<std::size_t> counts(static_cast<std::size_t>(ranks),
+                                  n_total / static_cast<std::size_t>(ranks));
+  std::size_t rem = n_total % static_cast<std::size_t>(ranks);
+  for (std::size_t r = 0; r < rem; ++r) counts[r] += 1;
+  return counts;
+}
+
+}  // namespace vmc::exec

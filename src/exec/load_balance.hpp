@@ -1,0 +1,62 @@
+// Static load balancing between heterogeneous devices (Section III-B3).
+//
+// With p_mic MIC ranks and p_cpu CPU ranks sharing n_total particles, the
+// paper solves p_mic*n_mic + p_cpu*n_cpu = n_total with n_cpu/n_mic = alpha
+// (Eq. 3):
+//   n_mic = n_total / (p_mic + p_cpu * alpha),   n_cpu = alpha * n_mic.
+// alpha = CPU rate / MIC rate (Eq. 2), ~0.62 on JLSE for H.M. Large.
+// The runtime estimator below implements the paper's Section V future-work
+// feature: set alpha = 1/p on the first batch, then update from measured
+// per-batch calculation rates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vmc::exec {
+
+struct StaticSplit {
+  std::size_t n_mic = 0;  // particles per MIC rank
+  std::size_t n_cpu = 0;  // particles per CPU rank
+};
+
+/// Eq. 3 with integer rounding that preserves the total exactly: MIC ranks
+/// get round(n_mic); the CPU ranks split the remainder evenly (first ranks
+/// take the odd particles).
+StaticSplit balance_eq3(std::size_t n_total, int p_mic, int p_cpu,
+                        double alpha);
+
+/// Expand a split into per-rank counts (MIC ranks first), summing exactly to
+/// n_total.
+std::vector<std::size_t> per_rank_counts(std::size_t n_total, int p_mic,
+                                         int p_cpu, double alpha);
+
+/// Uniform (unbalanced, OpenMC-default) per-rank counts.
+std::vector<std::size_t> uniform_counts(std::size_t n_total, int ranks);
+
+/// Runtime alpha estimator: observes per-batch (cpu_rate, mic_rate) pairs
+/// and exposes a smoothed alpha for the next batch.
+class AlphaEstimator {
+ public:
+  /// `initial_alpha` of 1.0 reproduces the paper's 1/p uniform first batch.
+  explicit AlphaEstimator(double initial_alpha = 1.0)
+      : alpha_(initial_alpha) {}
+
+  void observe(double cpu_rate, double mic_rate) {
+    if (cpu_rate <= 0.0 || mic_rate <= 0.0) return;
+    const double measured = cpu_rate / mic_rate;
+    // The paper notes rates vary little between batches, so a light
+    // exponential smoothing converges in 1-2 batches without chatter.
+    alpha_ = n_obs_ == 0 ? measured : 0.5 * alpha_ + 0.5 * measured;
+    ++n_obs_;
+  }
+
+  double alpha() const { return alpha_; }
+  int observations() const { return n_obs_; }
+
+ private:
+  double alpha_;
+  int n_obs_ = 0;
+};
+
+}  // namespace vmc::exec

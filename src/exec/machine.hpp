@@ -1,0 +1,139 @@
+// Device performance models — the substitution for the retired Xeon Phi
+// hardware (DESIGN.md §2).
+//
+// The paper's cross-device results are ratios of throughput between a
+// 16-core Xeon host and 61-core MIC coprocessors. We reproduce them with a
+// two-part scheme:
+//   1. the *work* is measured from real runs of our transport core
+//      (core::EventCounts → WorkProfile: lookups, nuclide terms, collisions,
+//      crossings per particle), and
+//   2. a DeviceSpec supplies per-operation costs and parallel efficiency for
+//      each machine, calibrated against the paper's published numbers
+//      (Table I-III, Fig. 5: alpha = 0.61-0.62, 4,050 n/s host H.M. Large,
+//      6,641 n/s MIC, banked-lookup ~10x, PCIe 1.1 GB/s bank payloads).
+// CostModel turns (WorkProfile, DeviceSpec, N, threads) into seconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/tally.hpp"
+
+namespace vmc::exec {
+
+/// Per-operation costs in nanoseconds on ONE hardware thread, plus the
+/// machine's parallel shape.
+struct DeviceSpec {
+  std::string name;
+  int hw_threads = 1;             // usable threads (32 host / 244 MIC)
+  double thread_efficiency = 1.0; // sustained fraction of linear scaling
+  /// Particles per thread needed to approach full efficiency: the
+  /// load-imbalance ramp that makes small-N rates droop (Fig. 5's shape and
+  /// the 1-MIC tail at 1,024 nodes). Efficiency multiplier is
+  /// n / (n + ramp * threads).
+  double ramp_particles_per_thread = 4.0;
+
+  // Scalar (history-method) per-op costs.
+  double ns_grid_search = 80.0;        // one unionized-grid binary search
+  double ns_lookup_term = 25.0;        // one nuclide term, scalar
+  double ns_collision_base = 120.0;    // collision bookkeeping + kinematics
+  double ns_collision_term = 10.0;     // nuclide-sampling loop, per nuclide
+  double ns_crossing = 250.0;          // boundary distance + relocate
+  double ns_rng_scalar = 15.0;         // one call-based draw (+log)
+  // Vector (event-method) per-op costs.
+  double ns_lookup_term_banked = 6.0;  // one nuclide term, SIMD gathers
+  double ns_rng_vector = 0.8;          // one block-filled draw
+  double ns_log_vector = 0.6;          // one lane of vectorized log
+  double ns_bank_particle = 40.0;      // banking one particle (write-bound)
+
+  // Per-generation fixed cost (thread fork/join, tally reduction).
+  double generation_overhead_s = 0.0;
+
+  // Streaming memory bandwidth (the optimized Table I kernels are
+  // bandwidth-bound) and the cost of one *naive* call-per-number distance
+  // sample (posix rand_r + scalar log), per thread.
+  double mem_bw_gbs = 30.0;
+  double ns_naive_sample = 105.0;
+
+  // Offload link (only meaningful for coprocessors).
+  double pcie_bank_gbs = 0.0;   // effective rate for bank-sized payloads
+  double pcie_bulk_gbs = 0.0;   // effective rate for large staging transfers
+  double pcie_latency_s = 0.0;  // per-transfer setup
+
+  /// JLSE host: 2x Intel E5-2687W, 16 cores / 32 threads @ 3.40 GHz.
+  static DeviceSpec jlse_host();
+  /// Intel Xeon Phi 7120a: 61 cores / 244 threads @ 1.238 GHz, 16 GB.
+  static DeviceSpec mic_7120a();
+  /// Stampede host: 2x E5-2680, 16 cores / 32 threads @ 2.6-2.7 GHz.
+  static DeviceSpec stampede_host();
+  /// Stampede SE10P MIC: 61 cores @ 1.1 GHz.
+  static DeviceSpec mic_se10p();
+};
+
+/// Average work per particle, measured from a real run.
+struct WorkProfile {
+  double lookups_per_particle = 0.0;
+  double terms_per_lookup = 0.0;
+  double collisions_per_particle = 0.0;
+  double crossings_per_particle = 0.0;
+
+  /// Derive from accumulated counters.
+  static WorkProfile from_counts(const core::EventCounts& c);
+};
+
+/// Converts work into simulated seconds on a device.
+class CostModel {
+ public:
+  explicit CostModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Serial nanoseconds to transport one particle, history method.
+  double history_ns_per_particle(const WorkProfile& w) const;
+
+  /// Wall seconds for a generation of `n` particles with `threads` threads
+  /// (0 = all hardware threads), history method.
+  double generation_seconds(const WorkProfile& w, std::size_t n,
+                            int threads = 0) const;
+
+  /// Calculation rate (particles/second) for the history method.
+  double calculation_rate(const WorkProfile& w, std::size_t n,
+                          int threads = 0) const;
+
+  /// Seconds to sweep a bank of `n` lookups with `terms` nuclides each,
+  /// banked SIMD method (Algorithm 2's inner loop).
+  double banked_lookup_seconds(std::size_t n, double terms,
+                               int threads = 0) const;
+
+  /// Seconds to sweep `n` lookups scalar (history-method micro-benchmark).
+  double scalar_lookup_seconds(std::size_t n, double terms,
+                               int threads = 0) const;
+
+  /// Seconds to bank `n` particles.
+  double bank_seconds(std::size_t n, int threads = 0) const;
+
+  /// Seconds to move `bytes` across the PCIe link.
+  double transfer_seconds(std::size_t bytes, bool bulk) const;
+
+  /// Table I models: seconds for `n` naive call-per-number distance samples,
+  /// and for a bandwidth-bound vector kernel moving `bytes`
+  /// (`efficiency` > 1 models the intrinsics variant's higher sustained BW).
+  double naive_sample_seconds(std::size_t n, int threads = 0) const;
+  double bandwidth_kernel_seconds(std::size_t bytes,
+                                  double efficiency = 1.0) const;
+
+  /// Effective parallel speedup for `threads` threads (asymptotic, large N).
+  double parallel_speedup(int threads) const;
+
+  /// Speedup including the small-N load-imbalance ramp.
+  double effective_speedup(std::size_t n, int threads) const;
+
+ private:
+  int resolve_threads(int threads) const {
+    return threads <= 0 ? spec_.hw_threads : threads;
+  }
+  DeviceSpec spec_;
+};
+
+}  // namespace vmc::exec

@@ -1,0 +1,167 @@
+#include "exec/offload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "prof/profiler.hpp"
+#include "rng/stream.hpp"
+#include "exec/thread_pool.hpp"
+#include "xsdata/lookup.hpp"
+
+namespace vmc::exec {
+
+std::size_t offload_record_bytes() {
+  return particle::SoABank::bytes_per_particle() +
+         sizeof(geom::Geometry::State) + sizeof(std::uint64_t);
+}
+
+OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
+    int material, std::size_t n, std::uint64_t seed) const {
+  IterationReport rep;
+  const auto& mat = lib_.material(material);
+  const double terms = static_cast<double>(mat.size());
+
+  // --- bank particles (real, timed) ---------------------------------------
+  rng::Stream rs(seed);
+  particle::SoABank bank(n);
+  const double t0 = prof::now_seconds();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Log-uniform energies: what the bank looks like mid-simulation.
+    const double e = xs::kEnergyMin *
+                     std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
+    bank.push(geom::Position{rs.next(), rs.next(), rs.next()},
+              geom::Direction{0, 0, 1}, e, 1.0, i, material);
+  }
+  rep.wall_bank_s = prof::now_seconds() - t0;
+
+  // --- banked SIMD sweep (real, timed) -------------------------------------
+  std::vector<xs::XsSet> out(n);
+  const double t1 = prof::now_seconds();
+  xs::macro_xs_banked(lib_, material, bank.energy, out);
+  rep.wall_banked_lookup_s = prof::now_seconds() - t1;
+
+  // --- scalar control sweep (real, timed) ----------------------------------
+  const double t2 = prof::now_seconds();
+  xs::macro_xs_banked_scalar(lib_, material, bank.energy, out);
+  rep.wall_scalar_lookup_s = prof::now_seconds() - t2;
+
+  // --- Sigma_t-only sweeps (what Algorithm 1 / Fig. 2 actually compute) ----
+  std::vector<double> totals(n);
+  const double t3 = prof::now_seconds();
+  xs::macro_total_banked(lib_, material, bank.energy, totals);
+  rep.wall_banked_total_s = prof::now_seconds() - t3;
+  const double t4 = prof::now_seconds();
+  for (std::size_t i = 0; i < n; ++i) {
+    totals[i] = xs::macro_total_history(lib_, material, bank.energy[i]);
+  }
+  rep.wall_scalar_total_s = prof::now_seconds() - t4;
+
+  // --- byte counts (real) ---------------------------------------------------
+  rep.bank_bytes = n * offload_record_bytes();
+  rep.grid_bytes = lib_.union_bytes() + lib_.pointwise_bytes();
+
+  // --- paper-hardware projections -------------------------------------------
+  rep.model_bank_host_s = host_.bank_seconds(n);
+  rep.model_bank_device_s = device_.bank_seconds(n);
+  rep.model_transfer_s = device_.transfer_seconds(rep.bank_bytes, false);
+  rep.model_grid_transfer_s = device_.transfer_seconds(rep.grid_bytes, true);
+  rep.model_compute_device_s = device_.banked_lookup_seconds(n, terms);
+  rep.model_compute_host_s = host_.scalar_lookup_seconds(n, terms);
+  return rep;
+}
+
+OffloadRuntime::RatioPoint OffloadRuntime::ratios(const WorkProfile& w,
+                                                  std::size_t n) const {
+  RatioPoint p;
+  p.n = n;
+  p.generation_s = host_.generation_seconds(w, n);
+  const std::size_t lookups =
+      static_cast<std::size_t>(w.lookups_per_particle * static_cast<double>(n));
+  const double terms = w.terms_per_lookup;
+
+  const double bank_cpu = host_.bank_seconds(n);
+  const double transfer =
+      device_.transfer_seconds(n * offload_record_bytes(), false);
+  // A device sweep pays the device's launch overhead once per iteration.
+  const double xs_mic = device_.banked_lookup_seconds(lookups, terms) +
+                        device_.spec().generation_overhead_s * 0.1;
+  const double xs_cpu = host_.scalar_lookup_seconds(lookups, terms);
+
+  p.bank_cpu = bank_cpu / p.generation_s;
+  p.offload = transfer / p.generation_s;
+  p.xs_mic = xs_mic / p.generation_s;
+  p.xs_cpu = xs_cpu / p.generation_s;
+  return p;
+}
+
+OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
+    int material, std::span<const double> energies, int n_banks) const {
+  PipelineRun run;
+  if (n_banks <= 0 || energies.empty()) return run;
+  const std::size_t n = energies.size();
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(n_banks) - 1) /
+      static_cast<std::size_t>(n_banks);
+
+  ThreadPool pool(2);  // one "DMA" lane, one "device" lane
+  // Two staging buffers: while the device sweeps buffer `cur`, the DMA lane
+  // fills buffer `nxt` — the classic double buffer.
+  simd::aligned_vector<double> staging[2];
+  simd::aligned_vector<double> totals[2];
+  const double t0 = prof::now_seconds();
+
+  // Prime the first transfer (cannot be hidden).
+  std::size_t begin = 0;
+  std::size_t end = std::min(n, chunk);
+  staging[0].assign(energies.begin() + static_cast<std::ptrdiff_t>(begin),
+                    energies.begin() + static_cast<std::ptrdiff_t>(end));
+  int cur = 0;
+  double checksum = 0.0;
+  while (begin < n) {
+    const std::size_t next_begin = end;
+    const std::size_t next_end = std::min(n, next_begin + chunk);
+    const int nxt = 1 - cur;
+
+    std::future<void> transfer;
+    if (next_begin < n) {
+      transfer = pool.submit([&, next_begin, next_end, nxt] {
+        staging[nxt].assign(
+            energies.begin() + static_cast<std::ptrdiff_t>(next_begin),
+            energies.begin() + static_cast<std::ptrdiff_t>(next_end));
+      });
+    }
+    auto compute = pool.submit([&, cur] {
+      totals[cur].resize(staging[cur].size());
+      xs::macro_total_banked(lib_, material, staging[cur], totals[cur]);
+    });
+    compute.get();
+    if (transfer.valid()) transfer.get();
+    for (const double t : totals[cur]) checksum += t;
+
+    ++run.n_stages;
+    begin = next_begin;
+    end = next_end;
+    cur = nxt;
+  }
+  run.wall_s = prof::now_seconds() - t0;
+  run.checksum = checksum;
+  return run;
+}
+
+double OffloadRuntime::pipelined_seconds(std::size_t n_particles, double terms,
+                                         int n_banks) const {
+  if (n_banks <= 0) return 0.0;
+  const std::size_t per_bank = n_particles / static_cast<std::size_t>(n_banks);
+  const double transfer =
+      device_.transfer_seconds(per_bank * offload_record_bytes(), false);
+  const double compute = device_.banked_lookup_seconds(per_bank, terms);
+  // Double buffering: transfer of bank i+1 overlaps compute of bank i. The
+  // first transfer and the last compute cannot be hidden:
+  //   T = t_1 + sum_{i=2..n} max(t_i, c_{i-1}) + c_n.
+  return transfer + (n_banks - 1) * std::max(transfer, compute) + compute;
+}
+
+}  // namespace vmc::exec

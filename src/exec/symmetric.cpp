@@ -1,0 +1,103 @@
+#include "exec/symmetric.hpp"
+
+#include <algorithm>
+
+namespace vmc::exec {
+
+NodeSetup NodeSetup::jlse(int mics_per_node) {
+  NodeSetup s{CostModel(DeviceSpec::jlse_host()),
+              CostModel(DeviceSpec::mic_7120a()), 1, mics_per_node};
+  return s;
+}
+
+NodeSetup NodeSetup::stampede(int mics_per_node) {
+  NodeSetup s{CostModel(DeviceSpec::stampede_host()),
+              CostModel(DeviceSpec::mic_se10p()), 1, mics_per_node};
+  return s;
+}
+
+SymmetricResult SymmetricRunner::run_batch(const WorkProfile& w,
+                                           std::size_t n_total, int nodes,
+                                           std::optional<double> alpha) const {
+  const int p_mic = nodes * setup_.mic_ranks_per_node;
+  const int p_cpu = nodes * setup_.cpu_ranks_per_node;
+  const int ranks = p_mic + p_cpu;
+
+  SymmetricResult res;
+  res.per_rank_particles =
+      alpha ? per_rank_counts(n_total, p_mic, p_cpu, *alpha)
+            : uniform_counts(n_total, ranks);
+
+  // MIC ranks come first in per_rank_counts; mirror that for uniform too.
+  double slowest = 0.0;
+  double fastest = 1e300;
+  for (int r = 0; r < ranks; ++r) {
+    const bool is_mic = r < p_mic;
+    const CostModel& m = is_mic ? setup_.mic : setup_.cpu;
+    const double t = m.generation_seconds(
+        w, res.per_rank_particles[static_cast<std::size_t>(r)]);
+    slowest = std::max(slowest, t);
+    fastest = std::min(fastest, t);
+  }
+  res.slowest_rank_s = slowest;
+  res.fastest_rank_s = fastest;
+
+  // Per-batch communication: global-tally/k allreduce (a few hundred bytes)
+  // plus fission-bank redistribution.
+  const std::size_t tally_bytes = 64 * sizeof(double);
+  res.comm_seconds = fabric_.allreduce_seconds(ranks, tally_bytes) +
+                     fabric_.bank_exchange_seconds(
+                         ranks, (n_total / static_cast<std::size_t>(ranks)) *
+                                    32 / 8);
+  res.batch_seconds = slowest + res.comm_seconds;
+  res.rate = static_cast<double>(n_total) / res.batch_seconds;
+
+  // Ideal: every device runs at its stand-alone rate on its own share
+  // (the paper's Table III ideal is the sum of the individual rates).
+  const StaticSplit s = balance_eq3(
+      n_total, p_mic, p_cpu,
+      alpha.value_or(setup_.cpu.calculation_rate(w, n_total / 2) /
+                     std::max(1.0, setup_.mic.calculation_rate(
+                                       w, n_total / 2))));
+  double ideal = 0.0;
+  if (p_mic > 0) {
+    ideal += p_mic * setup_.mic.calculation_rate(w, std::max<std::size_t>(
+                                                        1, s.n_mic));
+  }
+  if (p_cpu > 0) {
+    ideal += p_cpu * setup_.cpu.calculation_rate(w, std::max<std::size_t>(
+                                                        1, s.n_cpu));
+  }
+  res.ideal_rate = ideal;
+  return res;
+}
+
+std::vector<SymmetricResult> SymmetricRunner::run_adaptive(
+    const WorkProfile& w, std::size_t n_total, int nodes,
+    int n_batches) const {
+  std::vector<SymmetricResult> out;
+  AlphaEstimator est(1.0);  // first batch: uniform (alpha = 1 <=> 1/p split)
+  for (int b = 0; b < n_batches; ++b) {
+    const std::optional<double> alpha =
+        est.observations() == 0 ? std::nullopt
+                                : std::optional<double>(est.alpha());
+    SymmetricResult r = run_batch(w, n_total, nodes, alpha);
+
+    // Measure per-device rates from this batch to update alpha, exactly as
+    // the paper's runtime scheme prescribes.
+    const int p_mic = nodes * setup_.mic_ranks_per_node;
+    if (p_mic > 0 && !r.per_rank_particles.empty()) {
+      const std::size_t n_mic = r.per_rank_particles.front();
+      const std::size_t n_cpu = r.per_rank_particles.back();
+      const double mic_rate =
+          static_cast<double>(n_mic) / setup_.mic.generation_seconds(w, n_mic);
+      const double cpu_rate =
+          static_cast<double>(n_cpu) / setup_.cpu.generation_seconds(w, n_cpu);
+      est.observe(cpu_rate, mic_rate);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace vmc::exec

@@ -1,0 +1,65 @@
+// Symmetric-mode runner: host CPUs and MIC coprocessors as peer MPI ranks
+// (Sections III-B2/3, Table III, Figures 6-7).
+//
+// The runner simulates one batch of the eigenvalue loop across
+// nodes x (cpu ranks + mic ranks): each rank transports its particle share
+// (time from the per-device cost model driven by a measured work profile),
+// the batch completes at max(rank time) — which is where static-uniform
+// assignment loses to Eq. 3 balancing — plus the interconnect's allreduce.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comm/cluster_model.hpp"
+#include "exec/load_balance.hpp"
+#include "exec/machine.hpp"
+
+namespace vmc::exec {
+
+struct NodeSetup {
+  CostModel cpu;
+  CostModel mic;
+  int cpu_ranks_per_node = 1;
+  int mic_ranks_per_node = 1;  // 0 = CPU-only nodes
+
+  static NodeSetup jlse(int mics_per_node);
+  static NodeSetup stampede(int mics_per_node);
+};
+
+struct SymmetricResult {
+  double batch_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double rate = 0.0;        // particles / second (the paper's metric)
+  double ideal_rate = 0.0;  // sum of stand-alone device rates (Table III)
+  double slowest_rank_s = 0.0;
+  double fastest_rank_s = 0.0;
+  std::vector<std::size_t> per_rank_particles;
+};
+
+class SymmetricRunner {
+ public:
+  SymmetricRunner(NodeSetup setup, comm::ClusterModel fabric)
+      : setup_(std::move(setup)), fabric_(fabric) {}
+
+  /// One batch of `n_total` particles on `nodes` nodes. `alpha` empty =
+  /// OpenMC's default uniform split ("Original" column of Table III);
+  /// set = Eq. 3 static balancing ("Load Balanced" column).
+  SymmetricResult run_batch(const WorkProfile& w, std::size_t n_total,
+                            int nodes, std::optional<double> alpha) const;
+
+  /// Multi-batch run with the runtime alpha estimator (Section V): batch 0
+  /// uniform, later batches balanced with the measured alpha. Returns the
+  /// per-batch rates.
+  std::vector<SymmetricResult> run_adaptive(const WorkProfile& w,
+                                            std::size_t n_total, int nodes,
+                                            int n_batches) const;
+
+  const NodeSetup& setup() const { return setup_; }
+
+ private:
+  NodeSetup setup_;
+  comm::ClusterModel fabric_;
+};
+
+}  // namespace vmc::exec

@@ -1,0 +1,50 @@
+// Work-queue thread pool.
+//
+// Used by the offload runtime to overlap "device" compute with asynchronous
+// transfer (the paper stresses "the importance of overlapping computation
+// with asynchronous data transfer"), and by benchmarks for parallel sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vmc::exec {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every queued task has finished.
+  void wait_idle();
+
+  /// Static-chunked parallel for over [0, n): fn(begin, end) per chunk.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vmc::exec

@@ -1,0 +1,255 @@
+#include "geom/geometry.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace vmc::geom {
+
+namespace {
+/// Positional bump past a crossed boundary (cm). Large enough to clear
+/// floating-point fuzz, tiny relative to the thinnest region (the 0.06 cm
+/// cladding).
+constexpr double kBump = 1e-9;
+}  // namespace
+
+int Geometry::add_surface(Surface s) {
+  surfaces_.push_back(s);
+  return static_cast<int>(surfaces_.size()) - 1;
+}
+
+int Geometry::add_cell(Cell c) {
+  cells_.push_back(std::move(c));
+  return static_cast<int>(cells_.size()) - 1;
+}
+
+int Geometry::add_universe(Universe u) {
+  universes_.push_back(std::move(u));
+  return static_cast<int>(universes_.size()) - 1;
+}
+
+int Geometry::add_lattice(Lattice l) {
+  assert(l.nx > 0 && l.ny > 0 && l.pitch > 0.0);
+  assert(l.universe.size() ==
+         static_cast<std::size_t>(l.nx) * static_cast<std::size_t>(l.ny));
+  lattices_.push_back(std::move(l));
+  return static_cast<int>(lattices_.size()) - 1;
+}
+
+bool Geometry::cell_contains(const Cell& c, Position r) const {
+  for (const HalfSpace& h : c.region) {
+    const double f = surfaces_[static_cast<std::size_t>(h.surface)].sense(r);
+    if ((f > 0.0) != h.positive) return false;
+  }
+  return true;
+}
+
+bool Geometry::locate_recursive(int universe, int lev, State& s) const {
+  if (lev >= kMaxLevels) return false;
+  const Universe& u = universes_[static_cast<std::size_t>(universe)];
+  Level& L = s.level[static_cast<std::size_t>(lev)];
+  L.universe = universe;
+  L.cell = -1;
+  L.lattice = -1;
+  L.ix = L.iy = -1;
+
+  for (const std::int32_t ci : u.cells) {
+    const Cell& c = cells_[static_cast<std::size_t>(ci)];
+    if (!cell_contains(c, L.r)) continue;
+    L.cell = ci;
+    s.n_levels = lev + 1;
+    switch (c.fill_type) {
+      case FillType::material:
+        s.material = c.fill;
+        return true;
+      case FillType::universe: {
+        Level& next = s.level[static_cast<std::size_t>(lev + 1)];
+        next.r = L.r;
+        next.u = L.u;
+        return locate_recursive(c.fill, lev + 1, s);
+      }
+      case FillType::lattice: {
+        const Lattice& lat = lattices_[static_cast<std::size_t>(c.fill)];
+        int ix = static_cast<int>(std::floor((L.r.x - lat.x0) / lat.pitch));
+        int iy = static_cast<int>(std::floor((L.r.y - lat.y0) / lat.pitch));
+        std::int32_t fill_universe = lat.outer;
+        if (ix >= 0 && ix < lat.nx && iy >= 0 && iy < lat.ny) {
+          const std::int32_t e =
+              lat.universe[static_cast<std::size_t>(iy) *
+                               static_cast<std::size_t>(lat.nx) +
+                           static_cast<std::size_t>(ix)];
+          if (e >= 0) fill_universe = e;
+        }
+        if (fill_universe < 0) return false;
+        Level& next = s.level[static_cast<std::size_t>(lev + 1)];
+        // Local coordinates centered on the lattice element.
+        const double cx = lat.x0 + (ix + 0.5) * lat.pitch;
+        const double cy = lat.y0 + (iy + 0.5) * lat.pitch;
+        next.r = {L.r.x - cx, L.r.y - cy, L.r.z};
+        next.u = L.u;
+        // Record descent info on the *child* level so its boundary check
+        // includes the element walls.
+        const bool ok = locate_recursive(fill_universe, lev + 1, s);
+        if (ok) {
+          Level& child = s.level[static_cast<std::size_t>(lev + 1)];
+          child.lattice = c.fill;
+          child.ix = ix;
+          child.iy = iy;
+        }
+        return ok;
+      }
+    }
+  }
+  return false;
+}
+
+bool Geometry::locate(Position r, Direction u, State& s) const {
+  assert(root_ >= 0);
+  s.n_levels = 0;
+  s.material = -1;
+  s.level[0].r = r;
+  s.level[0].u = u;
+  return locate_recursive(root_, 0, s);
+}
+
+int Geometry::find_material(Position r) const {
+  State s;
+  if (!locate(r, Direction{0, 0, 1}, s)) return -1;
+  return s.material;
+}
+
+Geometry::Boundary Geometry::distance_to_boundary(const State& s) const {
+  // Candidates within a relative tie tolerance are resolved in favor of
+  // surfaces carrying a boundary condition: a root reflective/vacuum plane
+  // frequently coincides exactly with a lattice element wall (e.g. the edge
+  // of a reflected assembly), and transmitting through the lattice wall
+  // there would step outside the geometry.
+  constexpr double kTieRel = 1e-11;
+  Boundary best;
+  bool best_is_bc = false;
+
+  const auto consider = [&](double d, int lev, std::int32_t surface,
+                            bool is_bc) {
+    if (d <= 0.0 || d == kInfDistance) return;
+    const double tol = kTieRel * d;
+    if (d < best.distance - tol ||
+        (is_bc && !best_is_bc && d < best.distance + tol)) {
+      best = Boundary{d, lev, surface};
+      best_is_bc = is_bc;
+    }
+  };
+
+  for (int lev = 0; lev < s.n_levels; ++lev) {
+    const Level& L = s.level[static_cast<std::size_t>(lev)];
+    if (L.cell >= 0) {
+      const Cell& c = cells_[static_cast<std::size_t>(L.cell)];
+      for (const HalfSpace& h : c.region) {
+        const Surface& surf = surfaces_[static_cast<std::size_t>(h.surface)];
+        const double d = surf.distance(L.r, L.u, false);
+        consider(d, lev, h.surface,
+                 surf.bc() != BoundaryCondition::transmission);
+      }
+    }
+    // Lattice element walls, in element-local coordinates.
+    if (L.lattice >= 0) {
+      const Lattice& lat = lattices_[static_cast<std::size_t>(L.lattice)];
+      const double half = 0.5 * lat.pitch;
+      if (L.u.x != 0.0) {
+        const double wall = L.u.x > 0.0 ? half : -half;
+        consider((wall - L.r.x) / L.u.x, lev, -1, false);
+      }
+      if (L.u.y != 0.0) {
+        const double wall = L.u.y > 0.0 ? half : -half;
+        consider((wall - L.r.y) / L.u.y, lev, -1, false);
+      }
+    }
+  }
+  return best;
+}
+
+void Geometry::advance(State& s, double d) const {
+  for (int lev = 0; lev < s.n_levels; ++lev) {
+    Level& L = s.level[static_cast<std::size_t>(lev)];
+    L.r += d * L.u;
+  }
+}
+
+Geometry::CrossResult Geometry::cross(State& s, const Boundary& b) const {
+  // Move to the crossing point at the root level.
+  const Position start = s.level[0].r;  // known to be inside
+  const Position r_root = start + b.distance * s.level[0].u;
+  Direction u = s.level[0].u;
+
+  // Grazing-crossing recovery: when the bumped point falls outside the
+  // geometry, check whether this flight ALSO crossed a boundary-condition
+  // surface (a lattice wall frequently coincides with a reflective plane,
+  // and near-corner hits can clip two surfaces within one bump length).
+  // Vacuum -> genuine leak; reflective -> mirror the position across the
+  // plane, reflect the direction, and retry.
+  const auto recover = [&](Position p, Direction& dir,
+                           int attempts) -> CrossResult {
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (locate(p, dir, s)) {
+        return CrossResult::reflected;  // caller adjusts to interior if needed
+      }
+      bool reflected = false;
+      for (const Surface& bs : surfaces_) {
+        if (bs.bc() == BoundaryCondition::transmission) continue;
+        const double f_in = bs.sense(start);
+        const double f_out = bs.sense(p);
+        if ((f_in > 0.0) == (f_out > 0.0)) continue;  // not crossed
+        if (bs.bc() == BoundaryCondition::vacuum) return CrossResult::leaked;
+        // Mirror across the surface and reflect the flight direction.
+        const Direction n = bs.normal(p);
+        const double depth = bs.signed_distance(p);
+        p = {p.x - 2.0 * depth * n.x, p.y - 2.0 * depth * n.y,
+             p.z - 2.0 * depth * n.z};
+        const double dot = dir.dot(n);
+        dir = {dir.x - 2.0 * dot * n.x, dir.y - 2.0 * dot * n.y,
+               dir.z - 2.0 * dot * n.z};
+        p += kBump * dir;
+        reflected = true;
+        break;
+      }
+      if (!reflected) return CrossResult::leaked;
+    }
+    return CrossResult::leaked;
+  };
+
+  if (b.surface >= 0) {
+    const Surface& surf = surfaces_[static_cast<std::size_t>(b.surface)];
+    if (surf.bc() == BoundaryCondition::vacuum) {
+      s.level[0].r = r_root;
+      return CrossResult::leaked;
+    }
+    if (surf.bc() == BoundaryCondition::reflective) {
+      // Reflect about the surface normal at the crossing point, evaluated in
+      // the crossing level's local coordinates (BCs only appear at level 0
+      // in practice, where local == global).
+      Position r_local =
+          s.level[static_cast<std::size_t>(b.level)].r +
+          b.distance * s.level[static_cast<std::size_t>(b.level)].u;
+      const Direction n = surf.normal(r_local);
+      const double dot = u.dot(n);
+      u = {u.x - 2.0 * dot * n.x, u.y - 2.0 * dot * n.y,
+           u.z - 2.0 * dot * n.z};
+      const Position bumped = r_root + kBump * u;
+      if (!locate(bumped, u, s)) {
+        Direction dir = u;
+        return recover(bumped, dir, 4);
+      }
+      return CrossResult::reflected;
+    }
+  }
+  // Transmission (interior surface or lattice wall): bump past and relocate.
+  const Position bumped = r_root + kBump * u;
+  if (!locate(bumped, u, s)) {
+    Direction dir = u;
+    const CrossResult r = recover(bumped, dir, 4);
+    // A successful recovery reflected off a boundary; report it as such so
+    // callers refresh the particle direction.
+    return r;
+  }
+  return CrossResult::interior;
+}
+
+}  // namespace vmc::geom

@@ -1,0 +1,43 @@
+#include "geom/plot.hpp"
+
+#include <stdexcept>
+
+namespace vmc::geom {
+
+std::vector<int> material_slice(const Geometry& g, double z, Position lo,
+                                Position hi, int nx, int ny) {
+  if (nx <= 0 || ny <= 0) throw std::invalid_argument("raster must be positive");
+  std::vector<int> out(static_cast<std::size_t>(nx) *
+                       static_cast<std::size_t>(ny));
+  const double dx = (hi.x - lo.x) / nx;
+  const double dy = (hi.y - lo.y) / ny;
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const Position p{lo.x + (ix + 0.5) * dx, lo.y + (iy + 0.5) * dy, z};
+      out[static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx) +
+          static_cast<std::size_t>(ix)] = g.find_material(p);
+    }
+  }
+  return out;
+}
+
+std::string ascii_slice(const Geometry& g, double z, Position lo, Position hi,
+                        int nx, int ny, const std::string& palette) {
+  const std::vector<int> slice = material_slice(g, z, lo, hi, nx, ny);
+  std::string out;
+  out.reserve(static_cast<std::size_t>((nx + 1) * ny));
+  for (int iy = ny - 1; iy >= 0; --iy) {  // top row first
+    for (int ix = 0; ix < nx; ++ix) {
+      const int m = slice[static_cast<std::size_t>(iy) *
+                              static_cast<std::size_t>(nx) +
+                          static_cast<std::size_t>(ix)];
+      out.push_back(m < 0 ? ' '
+                          : palette[static_cast<std::size_t>(m) %
+                                    palette.size()]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace vmc::geom

@@ -1,0 +1,26 @@
+// Geometry plotting: rasterize a z-slice of the material map — the
+// quickest way to verify a CSG model by eye (OpenMC ships the same
+// capability for the same reason).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace vmc::geom {
+
+/// Materials on an (nx x ny) raster of the z = `z` plane over
+/// [lo.x, hi.x] x [lo.y, hi.y], sampled at pixel centers, row-major with
+/// iy = 0 at lo.y. Outside-geometry pixels are -1.
+std::vector<int> material_slice(const Geometry& g, double z, Position lo,
+                                Position hi, int nx, int ny);
+
+/// Render a slice as ASCII art: material m prints as `palette[m]`, outside
+/// as ' '. Materials beyond the palette wrap around. Rows are emitted top
+/// (hi.y) to bottom so the picture is orientation-correct.
+std::string ascii_slice(const Geometry& g, double z, Position lo, Position hi,
+                        int nx, int ny,
+                        const std::string& palette = "#o.+*%@x");
+
+}  // namespace vmc::geom

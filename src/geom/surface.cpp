@@ -1,0 +1,209 @@
+#include "geom/surface.hpp"
+
+#include <cmath>
+
+namespace vmc::geom {
+
+namespace {
+// Tolerance for "on the surface" when deciding crossing roots.
+constexpr double kCoincidentTol = 1e-10;
+
+/// Distance to an axis-aligned plane at `plane` along component (x0, ux).
+double plane_distance(double x0, double ux, double plane, bool coincident) {
+  if (ux == 0.0) return kInfDistance;
+  const double d = (plane - x0) / ux;
+  return (d <= 0.0 || (coincident && d < kCoincidentTol)) ? kInfDistance : d;
+}
+
+/// Distance to a circle of radius r in a 2D subspace: point (dx, dy) is
+/// relative to the center, (ux, uy) the in-plane direction components.
+double quadric_distance(double dx, double dy, double ux, double uy, double r,
+                        bool coincident) {
+  const double a = ux * ux + uy * uy;
+  if (a == 0.0) return kInfDistance;  // travelling parallel to the axis
+  const double k = dx * ux + dy * uy;
+  const double c = dx * dx + dy * dy - r * r;
+  const double quad = k * k - a * c;
+  if (quad < 0.0) return kInfDistance;
+  const double sq = std::sqrt(quad);
+  if (coincident || std::abs(c) < kCoincidentTol * r * r) {
+    // On the surface: take the far root if it moves inward, else none.
+    const double d = (-k + sq) / a;
+    return (d <= kCoincidentTol || k >= 0.0) ? kInfDistance : d;
+  }
+  if (c < 0.0) {
+    // Inside: always exits through the far root.
+    return (-k + sq) / a;
+  }
+  // Outside: near root if approaching.
+  const double d = (-k - sq) / a;
+  return d <= 0.0 ? kInfDistance : d;
+}
+
+/// 3D version for the sphere.
+double sphere_distance(double dx, double dy, double dz, Direction u, double r,
+                       bool coincident) {
+  const double k = dx * u.x + dy * u.y + dz * u.z;
+  const double c = dx * dx + dy * dy + dz * dz - r * r;
+  const double quad = k * k - c;  // |u| = 1
+  if (quad < 0.0) return kInfDistance;
+  const double sq = std::sqrt(quad);
+  if (coincident || std::abs(c) < kCoincidentTol * r * r) {
+    const double d = -k + sq;
+    return (d <= kCoincidentTol || k >= 0.0) ? kInfDistance : d;
+  }
+  if (c < 0.0) return -k + sq;
+  const double d = -k - sq;
+  return d <= 0.0 ? kInfDistance : d;
+}
+
+}  // namespace
+
+double Surface::sense(Position p) const {
+  switch (kind_) {
+    case Kind::xplane:
+      return p.x - a_;
+    case Kind::yplane:
+      return p.y - a_;
+    case Kind::zplane:
+      return p.z - a_;
+    case Kind::xcylinder: {
+      const double dy = p.y - a_;
+      const double dz = p.z - b_;
+      return dy * dy + dz * dz - c_ * c_;
+    }
+    case Kind::ycylinder: {
+      const double dx = p.x - a_;
+      const double dz = p.z - b_;
+      return dx * dx + dz * dz - c_ * c_;
+    }
+    case Kind::zcylinder: {
+      const double dx = p.x - a_;
+      const double dy = p.y - b_;
+      return dx * dx + dy * dy - c_ * c_;
+    }
+    case Kind::sphere: {
+      const double dx = p.x - a_;
+      const double dy = p.y - b_;
+      const double dz = p.z - c_;
+      return dx * dx + dy * dy + dz * dz - r_ * r_;
+    }
+  }
+  return 0.0;
+}
+
+double Surface::signed_distance(Position p) const {
+  switch (kind_) {
+    case Kind::xplane:
+    case Kind::yplane:
+    case Kind::zplane:
+      return sense(p);  // sense is already the signed distance for planes
+    case Kind::xcylinder: {
+      const double dy = p.y - a_;
+      const double dz = p.z - b_;
+      return std::sqrt(dy * dy + dz * dz) - c_;
+    }
+    case Kind::ycylinder: {
+      const double dx = p.x - a_;
+      const double dz = p.z - b_;
+      return std::sqrt(dx * dx + dz * dz) - c_;
+    }
+    case Kind::zcylinder: {
+      const double dx = p.x - a_;
+      const double dy = p.y - b_;
+      return std::sqrt(dx * dx + dy * dy) - c_;
+    }
+    case Kind::sphere: {
+      const double dx = p.x - a_;
+      const double dy = p.y - b_;
+      const double dz = p.z - c_;
+      return std::sqrt(dx * dx + dy * dy + dz * dz) - r_;
+    }
+  }
+  return 0.0;
+}
+
+double Surface::distance(Position p, Direction u, bool coincident) const {
+  switch (kind_) {
+    case Kind::xplane:
+      return plane_distance(p.x, u.x, a_, coincident);
+    case Kind::yplane:
+      return plane_distance(p.y, u.y, a_, coincident);
+    case Kind::zplane:
+      return plane_distance(p.z, u.z, a_, coincident);
+    case Kind::xcylinder:
+      return quadric_distance(p.y - a_, p.z - b_, u.y, u.z, c_, coincident);
+    case Kind::ycylinder:
+      return quadric_distance(p.x - a_, p.z - b_, u.x, u.z, c_, coincident);
+    case Kind::zcylinder:
+      return quadric_distance(p.x - a_, p.y - b_, u.x, u.y, c_, coincident);
+    case Kind::sphere:
+      return sphere_distance(p.x - a_, p.y - b_, p.z - c_, u, r_, coincident);
+  }
+  return kInfDistance;
+}
+
+Direction Surface::normal(Position p) const {
+  switch (kind_) {
+    case Kind::xplane:
+      return {1.0, 0.0, 0.0};
+    case Kind::yplane:
+      return {0.0, 1.0, 0.0};
+    case Kind::zplane:
+      return {0.0, 0.0, 1.0};
+    case Kind::xcylinder: {
+      const double dy = p.y - a_;
+      const double dz = p.z - b_;
+      const double n = std::sqrt(dy * dy + dz * dz);
+      if (n == 0.0) return {0.0, 1.0, 0.0};
+      return {0.0, dy / n, dz / n};
+    }
+    case Kind::ycylinder: {
+      const double dx = p.x - a_;
+      const double dz = p.z - b_;
+      const double n = std::sqrt(dx * dx + dz * dz);
+      if (n == 0.0) return {1.0, 0.0, 0.0};
+      return {dx / n, 0.0, dz / n};
+    }
+    case Kind::zcylinder: {
+      const double dx = p.x - a_;
+      const double dy = p.y - b_;
+      const double n = std::sqrt(dx * dx + dy * dy);
+      if (n == 0.0) return {1.0, 0.0, 0.0};
+      return {dx / n, dy / n, 0.0};
+    }
+    case Kind::sphere: {
+      const double dx = p.x - a_;
+      const double dy = p.y - b_;
+      const double dz = p.z - c_;
+      const double n = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (n == 0.0) return {1.0, 0.0, 0.0};
+      return {dx / n, dy / n, dz / n};
+    }
+  }
+  return {0.0, 0.0, 1.0};
+}
+
+Direction rotate_direction(Direction u, double mu, double phi) {
+  // Standard MC frame rotation [Lux & Koblinger]. Handles the pole
+  // singularity |w| -> 1 explicitly.
+  const double sinphi = std::sin(phi);
+  const double cosphi = std::cos(phi);
+  const double s = std::sqrt(std::max(0.0, 1.0 - mu * mu));
+  const double a = std::sqrt(std::max(1e-30, 1.0 - u.z * u.z));
+  Direction out;
+  if (a > 1e-10) {
+    out.x = mu * u.x + s * (u.x * u.z * cosphi - u.y * sinphi) / a;
+    out.y = mu * u.y + s * (u.y * u.z * cosphi + u.x * sinphi) / a;
+    out.z = mu * u.z - s * a * cosphi;
+  } else {
+    // Travelling along +-z: rotate about x.
+    out.x = s * cosphi;
+    out.y = s * sinphi;
+    out.z = mu * (u.z > 0.0 ? 1.0 : -1.0);
+  }
+  // Renormalize to guard against drift over many collisions.
+  return out.unit();
+}
+
+}  // namespace vmc::geom

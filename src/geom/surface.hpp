@@ -1,0 +1,84 @@
+// Quadric surfaces for CSG tracking: axis-aligned planes and z-cylinders —
+// the complete set the Hoogenboom-Martin PWR model needs.
+#pragma once
+
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace vmc::geom {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Boundary condition attached to a surface (only meaningful on the outer
+/// boundary of the root universe).
+enum class BoundaryCondition : unsigned char {
+  transmission,  // interior surface
+  vacuum,        // particle leaks
+  reflective,    // specular reflection
+};
+
+class Surface {
+ public:
+  enum class Kind : unsigned char {
+    xplane,
+    yplane,
+    zplane,
+    xcylinder,
+    ycylinder,
+    zcylinder,
+    sphere,
+  };
+
+  static Surface x_plane(double x0) { return Surface(Kind::xplane, x0, 0, 0); }
+  static Surface y_plane(double y0) { return Surface(Kind::yplane, y0, 0, 0); }
+  static Surface z_plane(double z0) { return Surface(Kind::zplane, z0, 0, 0); }
+  /// Infinite cylinder parallel to x through (y0, z0) with radius r.
+  static Surface x_cylinder(double y0, double z0, double r) {
+    return Surface(Kind::xcylinder, y0, z0, r);
+  }
+  /// Infinite cylinder parallel to y through (x0, z0) with radius r.
+  static Surface y_cylinder(double x0, double z0, double r) {
+    return Surface(Kind::ycylinder, x0, z0, r);
+  }
+  /// Infinite cylinder parallel to z through (x0, y0) with radius r.
+  static Surface z_cylinder(double x0, double y0, double r) {
+    return Surface(Kind::zcylinder, x0, y0, r);
+  }
+  /// Sphere centered at (x0, y0, z0) with radius r.
+  static Surface sphere(double x0, double y0, double z0, double r) {
+    Surface s(Kind::sphere, x0, y0, z0);
+    s.r_ = r;
+    return s;
+  }
+
+  Kind kind() const { return kind_; }
+  BoundaryCondition bc() const { return bc_; }
+  void set_bc(BoundaryCondition bc) { bc_ = bc; }
+
+  /// Signed sense function f(p): positive half-space is f > 0.
+  double sense(Position p) const;
+
+  /// Signed geometric distance to the surface (same sign convention as
+  /// sense); used to mirror a point across the surface.
+  double signed_distance(Position p) const;
+
+  /// Distance along `u` from `p` to the surface; kInfDistance if no positive
+  /// crossing. `coincident` indicates the particle currently sits on this
+  /// surface (suppresses the zero root).
+  double distance(Position p, Direction u, bool coincident) const;
+
+  /// Outward unit normal at point p (for reflective boundaries).
+  Direction normal(Position p) const;
+
+ private:
+  Surface(Kind k, double a, double b, double c)
+      : kind_(k), a_(a), b_(b), c_(c) {}
+
+  Kind kind_;
+  BoundaryCondition bc_ = BoundaryCondition::transmission;
+  double a_, b_, c_;
+  double r_ = 0.0;  // sphere radius (cylinders keep theirs in c_)
+};
+
+}  // namespace vmc::geom

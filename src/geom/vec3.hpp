@@ -1,0 +1,46 @@
+// Minimal 3-vector types for particle tracking.
+#pragma once
+
+#include <cmath>
+
+namespace vmc::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator*(double s, Vec3 a) { return {s * a.x, s * a.y, s * a.z}; }
+  Vec3& operator+=(Vec3 b) {
+    x += b.x;
+    y += b.y;
+    z += b.z;
+    return *this;
+  }
+
+  double dot(Vec3 b) const { return x * b.x + y * b.y + z * b.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+
+  /// Normalized copy (caller guarantees non-zero length).
+  Vec3 unit() const {
+    const double n = norm();
+    return {x / n, y / n, z / n};
+  }
+};
+
+using Position = Vec3;
+using Direction = Vec3;
+
+/// Build a unit direction from polar cosine mu (w.r.t. +z) and azimuth phi.
+inline Direction direction_from_angles(double mu, double phi) {
+  const double s = std::sqrt(std::max(0.0, 1.0 - mu * mu));
+  return {s * std::cos(phi), s * std::sin(phi), mu};
+}
+
+/// Rotate direction `u` to a new direction with scattering cosine `mu`
+/// relative to `u` and azimuth `phi` about it (standard MC kinematics).
+Direction rotate_direction(Direction u, double mu, double phi);
+
+}  // namespace vmc::geom

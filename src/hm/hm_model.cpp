@@ -1,0 +1,354 @@
+#include "hm/hm_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "rng/stream.hpp"
+
+namespace vmc::hm {
+
+namespace {
+
+// Pin-cell dimensions (cm) from the H.M. specification.
+constexpr double kFuelRadius = 0.4096;
+constexpr double kCladRadius = 0.475;
+constexpr double kGuideInnerRadius = 0.561;
+constexpr double kGuideOuterRadius = 0.612;
+constexpr double kPinPitch = 1.26;
+constexpr double kAssemblyPitch = 21.42;  // 17 * 1.26
+constexpr int kCoreMap = 19;              // 19x19 assembly positions
+constexpr double kCoreHalfWidth = 0.5 * kCoreMap * kAssemblyPitch;  // 203.49
+constexpr double kFuelHalfHeight = 183.0;  // 366 cm active fuel
+constexpr double kReflectorHeight = 36.0;
+
+/// Scale a SynthParams grid size.
+void scale_grid(xs::SynthParams& p, double s) {
+  p.grid_points = std::max(64, static_cast<int>(p.grid_points * s));
+}
+
+}  // namespace
+
+int fuel_nuclide_count(FuelSize size) {
+  return size == FuelSize::small ? 34 : 320;
+}
+
+bool is_guide_tube(int ix, int iy) {
+  // Standard Westinghouse 17x17 layout: 24 guide tubes + the central
+  // instrumentation tube.
+  static constexpr std::array<std::array<int, 2>, 25> kTubes = {{
+      {5, 2},  {8, 2},  {11, 2},
+      {3, 3},  {13, 3},
+      {2, 5},  {5, 5},  {8, 5},  {11, 5}, {14, 5},
+      {2, 8},  {5, 8},  {8, 8},  {11, 8}, {14, 8},
+      {2, 11}, {5, 11}, {8, 11}, {11, 11}, {14, 11},
+      {3, 13}, {13, 13},
+      {5, 14}, {8, 14}, {11, 14},
+  }};
+  for (const auto& t : kTubes) {
+    if (t[0] == ix && t[1] == iy) return true;
+  }
+  return false;
+}
+
+bool is_fuel_assembly(int ix, int iy) {
+  // The 241 positions nearest the core axis, deterministic tie-break.
+  static const auto map = [] {
+    struct Pos {
+      int ix, iy;
+      double r2;
+    };
+    std::vector<Pos> all;
+    const double c = (kCoreMap - 1) / 2.0;
+    for (int iy2 = 0; iy2 < kCoreMap; ++iy2) {
+      for (int ix2 = 0; ix2 < kCoreMap; ++ix2) {
+        const double dx = ix2 - c;
+        const double dy = iy2 - c;
+        all.push_back({ix2, iy2, dx * dx + dy * dy});
+      }
+    }
+    std::sort(all.begin(), all.end(), [](const Pos& a, const Pos& b) {
+      if (a.r2 != b.r2) return a.r2 < b.r2;
+      if (a.iy != b.iy) return a.iy < b.iy;
+      return a.ix < b.ix;
+    });
+    std::array<bool, kCoreMap * kCoreMap> m{};
+    for (int k = 0; k < 241; ++k) {
+      m[static_cast<std::size_t>(all[static_cast<std::size_t>(k)].iy * kCoreMap +
+                                 all[static_cast<std::size_t>(k)].ix)] = true;
+    }
+    return m;
+  }();
+  return map[static_cast<std::size_t>(iy * kCoreMap + ix)];
+}
+
+namespace {
+
+struct MaterialIds {
+  int fuel, water, clad;
+};
+
+MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
+  rng::Stream ds(0xD05EULL);  // deterministic density jitter
+
+  // --- shared / structural nuclides --------------------------------------
+  auto o16p = xs::SynthParams::light_like(15.86);
+  o16p.with_thermal = false;
+  scale_grid(o16p, opt.grid_scale);
+  const int o16 = lib.add_nuclide(xs::make_synthetic_nuclide("O16", 16, o16p));
+
+  auto h1p = xs::SynthParams::light_like(0.9992);
+  h1p.with_thermal = opt.with_thermal;
+  scale_grid(h1p, opt.grid_scale);
+  const int h1 = lib.add_nuclide(xs::make_synthetic_nuclide("H1", 1, h1p));
+
+  auto b10p = xs::SynthParams::light_like(9.93);
+  b10p.with_thermal = false;
+  b10p.sigma_a_thermal = 3837.0;  // the strong 1/v boron absorber
+  scale_grid(b10p, opt.grid_scale);
+  const int b10 = lib.add_nuclide(xs::make_synthetic_nuclide("B10", 10, b10p));
+
+  auto zrp = xs::SynthParams::fission_product_like();
+  zrp.awr = 90.44;
+  zrp.sigma_a_thermal = 0.19;  // zirconium is nearly transparent
+  zrp.sigma0_mean = 30.0;
+  zrp.n_resonances = 60;
+  zrp.with_urr = opt.with_urr;
+  scale_grid(zrp, opt.grid_scale);
+  const int zr = lib.add_nuclide(xs::make_synthetic_nuclide("Zr-nat", 40, zrp));
+
+  // --- fuel nuclides -------------------------------------------------------
+  xs::Material fuel;
+  fuel.name = opt.fuel == FuelSize::small ? "HM-small-fuel" : "HM-large-fuel";
+
+  auto u238p = xs::SynthParams::u238_like();
+  u238p.with_urr = opt.with_urr;
+  scale_grid(u238p, opt.grid_scale);
+  const int u238 =
+      lib.add_nuclide(xs::make_synthetic_nuclide("U238", 92238, u238p));
+
+  auto u235p = xs::SynthParams::u235_like();
+  u235p.with_urr = opt.with_urr;
+  scale_grid(u235p, opt.grid_scale);
+  const int u235 =
+      lib.add_nuclide(xs::make_synthetic_nuclide("U235", 92235, u235p));
+
+  fuel.add(u238, 2.21e-2);
+  fuel.add(u235, 1.25e-3);  // ~5.5 w/o enrichment
+  fuel.add(o16, 4.58e-2);
+
+  const int extra = fuel_nuclide_count(opt.fuel) - 3;
+  // A handful of higher-density actinides (some fissionable), the remainder
+  // fission products with trace densities.
+  const int n_actinides = std::min(8, extra);
+  for (int i = 0; i < n_actinides; ++i) {
+    auto p = xs::SynthParams::u238_like();
+    p.fissionable = (i % 2 == 0);
+    p.fission_fraction = p.fissionable ? 0.6 : 0.0;
+    p.n_resonances = 200;
+    p.grid_points = 2500;
+    p.with_urr = opt.with_urr;
+    scale_grid(p, opt.grid_scale);
+    const int id = lib.add_nuclide(xs::make_synthetic_nuclide(
+        "actinide-" + std::to_string(i), 93000 + i, p));
+    fuel.add(id, 1.0e-5 * std::exp(1.5 * (ds.next() - 0.5)));
+  }
+  for (int i = 0; i < extra - n_actinides; ++i) {
+    auto p = xs::SynthParams::fission_product_like();
+    p.awr = 80.0 + 80.0 * ds.next();
+    p.with_urr = opt.with_urr;
+    scale_grid(p, opt.grid_scale);
+    const int id = lib.add_nuclide(xs::make_synthetic_nuclide(
+        "fp-" + std::to_string(i), 50000 + i, p));
+    fuel.add(id, 1.0e-6 * std::exp(3.0 * (ds.next() - 0.5)));
+  }
+
+  xs::Material water;
+  water.name = "borated-water";
+  water.add(h1, 6.69e-2);
+  water.add(o16, 3.34e-2);
+  water.add(b10, 4.0e-6);
+
+  xs::Material clad;
+  clad.name = "zircaloy";
+  clad.add(zr, 4.23e-2);
+
+  MaterialIds ids;
+  ids.fuel = lib.add_material(std::move(fuel));
+  ids.water = lib.add_material(std::move(water));
+  ids.clad = lib.add_material(std::move(clad));
+  return ids;
+}
+
+}  // namespace
+
+xs::Library build_library(const ModelOptions& opt, int* fuel_material) {
+  xs::Library lib(opt.max_union_points);
+  const MaterialIds ids = build_materials(lib, opt);
+  lib.finalize();
+  if (fuel_material != nullptr) *fuel_material = ids.fuel;
+  return lib;
+}
+
+Model build_model(const ModelOptions& opt) {
+  Model m;
+  m.library = xs::Library(opt.max_union_points);
+  const MaterialIds ids = build_materials(m.library, opt);
+  m.library.finalize();
+  m.fuel_material = ids.fuel;
+  m.water_material = ids.water;
+  m.clad_material = ids.clad;
+
+  geom::Geometry& g = m.geometry;
+
+  // --- pin universes --------------------------------------------------------
+  const int s_fuel = g.add_surface(geom::Surface::z_cylinder(0, 0, kFuelRadius));
+  const int s_clad = g.add_surface(geom::Surface::z_cylinder(0, 0, kCladRadius));
+  const int s_gt_in =
+      g.add_surface(geom::Surface::z_cylinder(0, 0, kGuideInnerRadius));
+  const int s_gt_out =
+      g.add_surface(geom::Surface::z_cylinder(0, 0, kGuideOuterRadius));
+
+  const auto mat_cell = [&](std::vector<geom::HalfSpace> region, int mat) {
+    geom::Cell c;
+    c.region = std::move(region);
+    c.fill_type = geom::FillType::material;
+    c.fill = mat;
+    return g.add_cell(std::move(c));
+  };
+
+  geom::Universe u_fuel_pin;
+  u_fuel_pin.cells = {
+      mat_cell({{s_fuel, false}}, ids.fuel),
+      mat_cell({{s_fuel, true}, {s_clad, false}}, ids.clad),
+      mat_cell({{s_clad, true}}, ids.water),
+  };
+  const int uid_fuel_pin = g.add_universe(std::move(u_fuel_pin));
+
+  geom::Universe u_guide;
+  u_guide.cells = {
+      mat_cell({{s_gt_in, false}}, ids.water),
+      mat_cell({{s_gt_in, true}, {s_gt_out, false}}, ids.clad),
+      mat_cell({{s_gt_out, true}}, ids.water),
+  };
+  const int uid_guide = g.add_universe(std::move(u_guide));
+
+  geom::Universe u_water;
+  u_water.cells = {mat_cell({}, ids.water)};
+  const int uid_water = g.add_universe(std::move(u_water));
+
+  // --- assembly: 17x17 pin lattice ------------------------------------------
+  geom::Lattice pin_lattice;
+  pin_lattice.nx = pin_lattice.ny = 17;
+  pin_lattice.pitch = kPinPitch;
+  pin_lattice.x0 = pin_lattice.y0 = -8.5 * kPinPitch;
+  pin_lattice.outer = uid_water;
+  pin_lattice.universe.resize(17 * 17);
+  for (int iy = 0; iy < 17; ++iy) {
+    for (int ix = 0; ix < 17; ++ix) {
+      pin_lattice.universe[static_cast<std::size_t>(iy * 17 + ix)] =
+          is_guide_tube(ix, iy) ? uid_guide : uid_fuel_pin;
+    }
+  }
+  const int lat_assembly = g.add_lattice(std::move(pin_lattice));
+
+  geom::Cell assembly_cell;
+  assembly_cell.fill_type = geom::FillType::lattice;
+  assembly_cell.fill = lat_assembly;
+  geom::Universe u_assembly;
+  u_assembly.cells = {g.add_cell(std::move(assembly_cell))};
+  const int uid_assembly = g.add_universe(std::move(u_assembly));
+
+  if (opt.full_core) {
+    // --- core: 19x19 assembly lattice ---------------------------------------
+    geom::Lattice core_lattice;
+    core_lattice.nx = core_lattice.ny = kCoreMap;
+    core_lattice.pitch = kAssemblyPitch;
+    core_lattice.x0 = core_lattice.y0 = -kCoreHalfWidth;
+    core_lattice.outer = uid_water;
+    core_lattice.universe.resize(kCoreMap * kCoreMap);
+    for (int iy = 0; iy < kCoreMap; ++iy) {
+      for (int ix = 0; ix < kCoreMap; ++ix) {
+        core_lattice.universe[static_cast<std::size_t>(iy * kCoreMap + ix)] =
+            is_fuel_assembly(ix, iy) ? uid_assembly : uid_water;
+      }
+    }
+    const int lat_core = g.add_lattice(std::move(core_lattice));
+
+    // --- root ---------------------------------------------------------------
+    const double w = kCoreHalfWidth;
+    const double zt = kFuelHalfHeight + kReflectorHeight;
+    const int sx_lo = g.add_surface(geom::Surface::x_plane(-w));
+    const int sx_hi = g.add_surface(geom::Surface::x_plane(w));
+    const int sy_lo = g.add_surface(geom::Surface::y_plane(-w));
+    const int sy_hi = g.add_surface(geom::Surface::y_plane(w));
+    const int sz_lo = g.add_surface(geom::Surface::z_plane(-kFuelHalfHeight));
+    const int sz_hi = g.add_surface(geom::Surface::z_plane(kFuelHalfHeight));
+    const int sz_bot = g.add_surface(geom::Surface::z_plane(-zt));
+    const int sz_top = g.add_surface(geom::Surface::z_plane(zt));
+    for (int s : {sx_lo, sy_lo, sz_bot}) {
+      g.surface(s).set_bc(geom::BoundaryCondition::vacuum);
+    }
+    for (int s : {sx_hi, sy_hi, sz_top}) {
+      g.surface(s).set_bc(geom::BoundaryCondition::vacuum);
+    }
+
+    const std::vector<geom::HalfSpace> xy_box = {
+        {sx_lo, true}, {sx_hi, false}, {sy_lo, true}, {sy_hi, false}};
+
+    geom::Cell core;
+    core.region = xy_box;
+    core.region.push_back({sz_lo, true});
+    core.region.push_back({sz_hi, false});
+    core.fill_type = geom::FillType::lattice;
+    core.fill = lat_core;
+
+    geom::Universe root;
+    root.cells = {g.add_cell(std::move(core))};
+    // Axial water reflectors.
+    {
+      std::vector<geom::HalfSpace> top = xy_box;
+      top.push_back({sz_hi, true});
+      top.push_back({sz_top, false});
+      root.cells.push_back(mat_cell(std::move(top), ids.water));
+      std::vector<geom::HalfSpace> bot = xy_box;
+      bot.push_back({sz_bot, true});
+      bot.push_back({sz_lo, false});
+      root.cells.push_back(mat_cell(std::move(bot), ids.water));
+    }
+    g.set_root(g.add_universe(std::move(root)));
+
+    m.source_lo = {-w, -w, -kFuelHalfHeight};
+    m.source_hi = {w, w, kFuelHalfHeight};
+  } else {
+    // Single assembly, reflective sides: an infinite lattice configuration.
+    const double w = 0.5 * kAssemblyPitch;
+    const double h = 50.0;
+    const int sx_lo = g.add_surface(geom::Surface::x_plane(-w));
+    const int sx_hi = g.add_surface(geom::Surface::x_plane(w));
+    const int sy_lo = g.add_surface(geom::Surface::y_plane(-w));
+    const int sy_hi = g.add_surface(geom::Surface::y_plane(w));
+    const int sz_lo = g.add_surface(geom::Surface::z_plane(-h));
+    const int sz_hi = g.add_surface(geom::Surface::z_plane(h));
+    for (int s : {sx_lo, sx_hi, sy_lo, sy_hi, sz_lo, sz_hi}) {
+      g.surface(s).set_bc(geom::BoundaryCondition::reflective);
+    }
+    geom::Cell root_cell;
+    root_cell.region = {{sx_lo, true}, {sx_hi, false}, {sy_lo, true},
+                        {sy_hi, false}, {sz_lo, true}, {sz_hi, false}};
+    root_cell.fill_type = geom::FillType::universe;
+    root_cell.fill = uid_assembly;
+    geom::Universe root;
+    root.cells = {g.add_cell(std::move(root_cell))};
+    g.set_root(g.add_universe(std::move(root)));
+
+    m.source_lo = {-w, -w, -h};
+    m.source_hi = {w, w, h};
+  }
+
+  return m;
+}
+
+}  // namespace vmc::hm

@@ -1,0 +1,76 @@
+// Hoogenboom-Martin full-core PWR performance benchmark [Hoogenboom, Martin
+// & Petrovic 2009] — the input model of every experiment in the paper.
+//
+//  * 241 identical fuel assemblies, each 21.42 x 21.42 cm, arranged in a
+//    19x19 core map (positions closest to the core axis), water elsewhere.
+//  * Each assembly: a 17x17 pin lattice (pitch 1.26 cm) with 24 control-rod
+//    guide tubes + 1 instrumentation tube at the standard PWR positions.
+//  * Fuel pin: fuel cylinder r = 0.4096 cm inside natural-zirconium cladding
+//    to r = 0.475 cm, water outside. Guide tube: water inside r = 0.561 cm,
+//    zirconium to r = 0.612 cm.
+//  * Active fuel height 366 cm, 36 cm axial water reflectors, vacuum
+//    boundaries.
+//  * "H.M. Small": 34 fuel nuclides (U + O + actinides + key fission
+//    products). "H.M. Large": 320 fuel nuclides (the high-fidelity fuel).
+//
+// Nuclide data is synthetic (DESIGN.md §2), with grid sizes scaled by
+// `grid_scale` so tests, examples, and full benchmark runs can trade memory
+// for fidelity without changing the access pattern.
+#pragma once
+
+#include "geom/geometry.hpp"
+#include "xsdata/library.hpp"
+#include "xsdata/synth.hpp"
+
+namespace vmc::hm {
+
+enum class FuelSize : unsigned char { small, large };
+
+struct ModelOptions {
+  FuelSize fuel = FuelSize::small;
+  /// Multiplier on per-nuclide grid sizes (1.0 = the defaults in
+  /// xs::SynthParams; benchmarks use >= 1, unit tests < 1).
+  double grid_scale = 1.0;
+  /// Cap on the unionized grid (bounds the imap memory; see Library).
+  std::size_t max_union_points = 1u << 17;
+  bool with_urr = true;
+  bool with_thermal = true;
+  /// true: the full 241-assembly core with vacuum boundaries.
+  /// false: one assembly with reflective sides (fast infinite-lattice
+  /// configuration for tests).
+  bool full_core = true;
+};
+
+struct Model {
+  xs::Library library;
+  geom::Geometry geometry;
+  int fuel_material = -1;
+  int water_material = -1;
+  int clad_material = -1;
+  /// Bounding box of the fuel region (initial-source sampling box).
+  geom::Position source_lo;
+  geom::Position source_hi;
+
+  int n_fuel_nuclides() const {
+    return static_cast<int>(library.material(fuel_material).size());
+  }
+};
+
+/// Number of fuel nuclides for each model size (34 / 320, per the paper).
+int fuel_nuclide_count(FuelSize size);
+
+/// Build the complete model (library finalized, geometry ready to track).
+Model build_model(const ModelOptions& opt);
+
+/// Build just the material library (used by the lookup micro-benchmarks,
+/// which need no geometry).
+xs::Library build_library(const ModelOptions& opt, int* fuel_material = nullptr);
+
+/// The 17x17 assembly map: true where a guide/instrumentation tube sits
+/// (the standard Westinghouse 24+1 layout).
+bool is_guide_tube(int ix, int iy);
+
+/// The 19x19 core map: true where one of the 241 fuel assemblies sits.
+bool is_fuel_assembly(int ix, int iy);
+
+}  // namespace vmc::hm

@@ -1,0 +1,50 @@
+#include "multipole/doppler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmc::multipole {
+
+xs::Nuclide broadened_nuclide(const WindowedMultipole& wmp,
+                              const std::string& name,
+                              const BroadenOptions& opt) {
+  const double dopp = doppler_width(opt.kt_mev, opt.awr);
+
+  xs::Nuclide n;
+  n.name = name;
+  n.awr = opt.awr;
+  n.fissionable = opt.fissionable;
+  n.nu = opt.nu;
+
+  const double lo = wmp.e_min();
+  const double hi = wmp.e_max() * 0.9999;
+  const int g = std::max(16, opt.grid_points);
+  n.energy.reserve(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    n.energy.push_back(
+        lo * std::pow(hi / lo, static_cast<double>(i) / (g - 1)));
+  }
+
+  n.total.resize(n.energy.size());
+  n.scatter.resize(n.energy.size());
+  n.absorption.resize(n.energy.size());
+  n.fission.resize(n.energy.size());
+  for (std::size_t i = 0; i < n.energy.size(); ++i) {
+    const MpXs xs = wmp.evaluate(n.energy[i], dopp);
+    // The multipole reconstruction can undershoot at deep interference dips
+    // in single precision; clamp to a physical floor.
+    const double total = std::max(0.05, xs.total);
+    const double absorption =
+        std::clamp(std::abs(xs.absorption), 1e-6, total * 0.95);
+    const double scatter = total - absorption;
+    const double fission =
+        opt.fissionable ? opt.fission_fraction * absorption : 0.0;
+    n.total[i] = static_cast<float>(total);
+    n.scatter[i] = static_cast<float>(scatter);
+    n.absorption[i] = static_cast<float>(absorption);
+    n.fission[i] = static_cast<float>(fission);
+  }
+  return n;
+}
+
+}  // namespace vmc::multipole

@@ -1,0 +1,42 @@
+// Direct Doppler broadening via the multipole representation
+// [Forget, Xu & Smith 2014] — the motivation of Section IV-B: temperature
+// dependence "at remarkably low memory cost", because one compact pole set
+// reconstructs sigma(E, T) at ANY temperature instead of storing a
+// pointwise table per temperature.
+//
+// `broadened_nuclide` materializes a conventional pointwise xs::Nuclide at a
+// chosen temperature from a WindowedMultipole, so the rest of the transport
+// stack (library, unionized grid, lookup kernels, trackers) consumes
+// temperature-correct data without modification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "multipole/multipole.hpp"
+#include "xsdata/nuclide.hpp"
+
+namespace vmc::multipole {
+
+struct BroadenOptions {
+  double kt_mev = 2.53e-8;   // kT: 2.53e-8 MeV = 293.6 K
+  double awr = 238.0;
+  int grid_points = 4000;    // log-spaced reconstruction grid
+  double fission_fraction = 0.3;  // of absorption, when fissionable
+  bool fissionable = false;
+  double nu = 2.43;
+};
+
+/// Evaluate the multipole set on a log grid over its energy range at
+/// temperature kT and package the result as a pointwise nuclide. Outside
+/// the multipole range the cross sections are held constant (clamped).
+xs::Nuclide broadened_nuclide(const WindowedMultipole& wmp,
+                              const std::string& name,
+                              const BroadenOptions& opt);
+
+/// Convenience: kT in MeV for a temperature in kelvin.
+constexpr double kt_from_kelvin(double t_kelvin) {
+  return 8.617333262e-11 * t_kelvin;  // Boltzmann constant in MeV/K
+}
+
+}  // namespace vmc::multipole

@@ -1,0 +1,53 @@
+#include "multipole/faddeeva.hpp"
+
+#include <cmath>
+
+namespace vmc::multipole {
+
+std::complex<double> faddeeva(std::complex<double> z) {
+  // Humlicek (1982) w4 algorithm, valid for Im(z) >= 0. For Im(z) < 0 use
+  // the reflection w(z) = 2 exp(-z^2) - conj(w(conj(z))).
+  const double x = z.real();
+  const double y = z.imag();
+  if (y < 0.0) {
+    const std::complex<double> w = faddeeva(std::conj(z));
+    return 2.0 * std::exp(-z * z) - std::conj(w);
+  }
+
+  const std::complex<double> t(y, -x);
+  const double s = std::abs(x) + y;
+
+  if (s >= 15.0) {
+    // Region I: asymptotic.
+    return t * 0.5641896 / (0.5 + t * t);
+  }
+  if (s >= 5.5) {
+    // Region II.
+    const std::complex<double> u = t * t;
+    return t * (1.410474 + u * 0.5641896) / (0.75 + u * (3.0 + u));
+  }
+  if (y >= 0.195 * std::abs(x) - 0.176) {
+    // Region III.
+    return (16.4955 +
+            t * (20.20933 + t * (11.96482 + t * (3.778987 + t * 0.5642236)))) /
+           (16.4955 +
+            t * (38.82363 +
+                 t * (39.27121 + t * (21.69274 + t * (6.699398 + t)))));
+  }
+  // Region IV (near the real axis).
+  const std::complex<double> u = t * t;
+  const std::complex<double> num =
+      t * (36183.31 -
+           u * (3321.9905 -
+                u * (1540.787 -
+                     u * (219.0313 - u * (35.76683 - u * (1.320522 - u * 0.56419))))));
+  const std::complex<double> den =
+      32066.6 -
+      u * (24322.84 -
+           u * (9022.228 -
+                u * (2186.181 -
+                     u * (364.2191 - u * (61.57037 - u * (1.841439 - u))))));
+  return std::exp(u) - num / den;
+}
+
+}  // namespace vmc::multipole

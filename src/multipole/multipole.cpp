@@ -1,0 +1,211 @@
+#include "multipole/multipole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "multipole/faddeeva.hpp"
+#include "rng/stream.hpp"
+#include "simd/simd.hpp"
+
+namespace vmc::multipole {
+
+double doppler_width(double kt_mev, double awr) {
+  // xi = sqrt(kT / A) in sqrt-energy units (standard multipole broadening).
+  return std::sqrt(kt_mev / awr);
+}
+
+WindowedMultipole WindowedMultipole::make_synthetic(std::uint64_t seed,
+                                                    const Params& p) {
+  rng::Stream rs(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  WindowedMultipole m;
+  m.e_min_ = p.e_min;
+  m.e_max_ = p.e_max;
+  m.n_windows_ = p.n_windows;
+  // The vector kernel sweeps whole lanes; pad the fixed count up.
+  m.fixed_count_ = static_cast<int>(simd::round_up(
+      static_cast<std::size_t>(p.poles_per_window_fixed),
+      static_cast<std::size_t>(simd::native_lanes<double>)));
+  m.curvefit_order_ = p.curvefit_order;
+  m.sqrt_lo_ = std::sqrt(p.e_min);
+  const double sqrt_hi = std::sqrt(p.e_max);
+  const double spacing = (sqrt_hi - m.sqrt_lo_) / p.n_windows;
+  m.inv_spacing_ = 1.0 / spacing;
+
+  for (int w = 0; w < p.n_windows; ++w) {
+    const double lo = m.sqrt_lo_ + w * spacing;
+    // Variable pole count (original RSBench layout): Poissonian-ish around
+    // the mean, at least 2.
+    const int count = std::clamp(
+        static_cast<int>(p.poles_per_window_mean * (0.4 + 1.2 * rs.next())), 2,
+        m.fixed_count_);
+    m.w_start_.push_back(static_cast<std::int32_t>(m.poles_.size()));
+    for (int k = 0; k < count; ++k) {
+      Pole pole;
+      const double pos = lo + spacing * rs.next();
+      const double width = spacing * (0.002 + 0.02 * rs.next());
+      pole.position = {pos, -width};  // resonance poles sit below the axis
+      // Residue magnitudes chosen so peak cross sections come out at the
+      // hundreds-of-barns scale after the 1/dopp and 1/E factors.
+      const double rt = (0.5 + 4.0 * rs.next()) * 2.0e-6;
+      const double phase = 6.2831853 * rs.next();
+      pole.res_total = std::polar(rt, phase);
+      pole.res_absorption = std::polar(0.4 * rt, phase + 0.3);
+      pole.res_fission = p.fissionable
+                             ? std::polar(0.2 * rt, phase + 0.6)
+                             : std::complex<double>(0.0, 0.0);
+      m.poles_.push_back(pole);
+    }
+    m.w_end_.push_back(static_cast<std::int32_t>(m.poles_.size()));
+
+    // Curvefit background: smooth polynomial in sqrt(E).
+    for (unsigned o = 0; o <= p.curvefit_order; ++o) {
+      const double base = o == 0 ? p.background * (0.8 + 0.4 * rs.next()) : 0.2 * (rs.next() - 0.5);
+      m.cf_total_.push_back(base);
+      m.cf_absorption_.push_back(0.3 * base);
+      m.cf_fission_.push_back(p.fissionable ? 0.1 * base : 0.0);
+    }
+  }
+
+  // Fixed SoA layout: pad each window to fixed_count with zero-residue
+  // poles parked at the window center (they evaluate to W * 0 = 0).
+  const std::size_t total =
+      static_cast<std::size_t>(p.n_windows) *
+      static_cast<std::size_t>(m.fixed_count_);
+  m.f_pos_re_.assign(total, 0.0);
+  m.f_pos_im_.assign(total, -1.0);
+  m.f_rt_re_.assign(total, 0.0);
+  m.f_rt_im_.assign(total, 0.0);
+  m.f_ra_re_.assign(total, 0.0);
+  m.f_ra_im_.assign(total, 0.0);
+  m.f_rf_re_.assign(total, 0.0);
+  m.f_rf_im_.assign(total, 0.0);
+  for (int w = 0; w < p.n_windows; ++w) {
+    const double center = m.sqrt_lo_ + (w + 0.5) * spacing;
+    const std::size_t base =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(m.fixed_count_);
+    int k = 0;
+    for (std::int32_t j = m.w_start_[static_cast<std::size_t>(w)];
+         j < m.w_end_[static_cast<std::size_t>(w)] && k < m.fixed_count_;
+         ++j, ++k) {
+      const Pole& pole = m.poles_[static_cast<std::size_t>(j)];
+      m.f_pos_re_[base + static_cast<std::size_t>(k)] = pole.position.real();
+      m.f_pos_im_[base + static_cast<std::size_t>(k)] = pole.position.imag();
+      m.f_rt_re_[base + static_cast<std::size_t>(k)] = pole.res_total.real();
+      m.f_rt_im_[base + static_cast<std::size_t>(k)] = pole.res_total.imag();
+      m.f_ra_re_[base + static_cast<std::size_t>(k)] =
+          pole.res_absorption.real();
+      m.f_ra_im_[base + static_cast<std::size_t>(k)] =
+          pole.res_absorption.imag();
+      m.f_rf_re_[base + static_cast<std::size_t>(k)] = pole.res_fission.real();
+      m.f_rf_im_[base + static_cast<std::size_t>(k)] = pole.res_fission.imag();
+    }
+    for (; k < m.fixed_count_; ++k) {
+      m.f_pos_re_[base + static_cast<std::size_t>(k)] = center;
+      m.f_pos_im_[base + static_cast<std::size_t>(k)] = -spacing;
+    }
+  }
+  return m;
+}
+
+int WindowedMultipole::window_of(double sqrt_e) const {
+  int w = static_cast<int>((sqrt_e - sqrt_lo_) * inv_spacing_);
+  return std::clamp(w, 0, n_windows_ - 1);
+}
+
+MpXs WindowedMultipole::evaluate(double e, double dopp_width) const {
+  const double sqrt_e = std::sqrt(e);
+  const int w = window_of(sqrt_e);
+  const double inv_e = 1.0 / e;
+  const double inv_dopp = 1.0 / dopp_width;
+
+  MpXs xs;
+  // Curvefit background.
+  {
+    const std::size_t base =
+        static_cast<std::size_t>(w) * (curvefit_order_ + 1);
+    double pw = 1.0;
+    for (unsigned o = 0; o <= curvefit_order_; ++o) {
+      xs.total += cf_total_[base + o] * pw;
+      xs.absorption += cf_absorption_[base + o] * pw;
+      xs.fission += cf_fission_[base + o] * pw;
+      pw *= sqrt_e;
+    }
+  }
+  // Pole sum with full Humlicek w4 (variable pole count — the original
+  // RSBench control flow).
+  for (std::int32_t j = w_start_[static_cast<std::size_t>(w)];
+       j < w_end_[static_cast<std::size_t>(w)]; ++j) {
+    const Pole& p = poles_[static_cast<std::size_t>(j)];
+    const std::complex<double> z =
+        (std::complex<double>(sqrt_e, 0.0) - p.position) * inv_dopp;
+    const std::complex<double> wv = faddeeva(z) * inv_dopp;
+    xs.total += (p.res_total * wv).real() * inv_e;
+    xs.absorption += (p.res_absorption * wv).real() * inv_e;
+    xs.fission += (p.res_fission * wv).real() * inv_e;
+  }
+  return xs;
+}
+
+MpXs WindowedMultipole::evaluate_fixed(double e, double dopp_width) const {
+  constexpr int L = simd::native_lanes<double>;
+  using VD = simd::Vec<double, L>;
+
+  const double sqrt_e = std::sqrt(e);
+  const int w = window_of(sqrt_e);
+  const double inv_e = 1.0 / e;
+  const double inv_dopp = 1.0 / dopp_width;
+
+  MpXs xs;
+  {
+    const std::size_t base =
+        static_cast<std::size_t>(w) * (curvefit_order_ + 1);
+    double pw = 1.0;
+    for (unsigned o = 0; o <= curvefit_order_; ++o) {
+      xs.total += cf_total_[base + o] * pw;
+      xs.absorption += cf_absorption_[base + o] * pw;
+      xs.fission += cf_fission_[base + o] * pw;
+      pw *= sqrt_e;
+    }
+  }
+
+  const std::size_t base =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(fixed_count_);
+  const VD se(sqrt_e);
+  const VD idop(inv_dopp);
+  VD acc_t(0.0), acc_a(0.0), acc_f(0.0);
+  // fixed_count_ is a multiple of the lane width by construction (padded).
+  for (int k = 0; k < fixed_count_; k += L) {
+    const std::size_t o = base + static_cast<std::size_t>(k);
+    const VD pr = VD::loadu(f_pos_re_.data() + o);
+    const VD pi = VD::loadu(f_pos_im_.data() + o);
+    const VD zx = (se - pr) * idop;
+    const VD zy = -pi * idop;  // Im(z) = (0 - Im(pole)) / dopp > 0
+    VD wr, wi;
+    faddeeva_region3(zx, zy, wr, wi);
+    wr *= idop;
+    wi *= idop;
+    const auto channel = [&](const double* rre, const double* rim, VD& acc) {
+      const VD rr = VD::loadu(rre + o);
+      const VD ri = VD::loadu(rim + o);
+      // Re[(rr + i ri)(wr + i wi)] = rr*wr - ri*wi
+      acc = acc + rr * wr - ri * wi;
+    };
+    channel(f_rt_re_.data(), f_rt_im_.data(), acc_t);
+    channel(f_ra_re_.data(), f_ra_im_.data(), acc_a);
+    channel(f_rf_re_.data(), f_rf_im_.data(), acc_f);
+  }
+  xs.total += acc_t.hsum() * inv_e;
+  xs.absorption += acc_a.hsum() * inv_e;
+  xs.fission += acc_f.hsum() * inv_e;
+  return xs;
+}
+
+std::size_t WindowedMultipole::data_bytes() const {
+  return poles_.size() * sizeof(Pole) +
+         (w_start_.size() + w_end_.size()) * sizeof(std::int32_t) +
+         (f_pos_re_.size() * 8) * sizeof(double) +
+         (cf_total_.size() + cf_absorption_.size() + cf_fission_.size()) *
+             sizeof(double);
+}
+
+}  // namespace vmc::multipole

@@ -1,0 +1,62 @@
+#include "particle/bank.hpp"
+
+namespace vmc::particle {
+
+void SoABank::reserve(std::size_t n) {
+  x.reserve(n);
+  y.reserve(n);
+  z.reserve(n);
+  ux.reserve(n);
+  uy.reserve(n);
+  uz.reserve(n);
+  energy.reserve(n);
+  weight.reserve(n);
+  id.reserve(n);
+  material.reserve(n);
+}
+
+void SoABank::clear() {
+  x.clear();
+  y.clear();
+  z.clear();
+  ux.clear();
+  uy.clear();
+  uz.clear();
+  energy.clear();
+  weight.clear();
+  id.clear();
+  material.clear();
+  n_ = 0;
+}
+
+void SoABank::push(const Particle& p) {
+  push(p.r, p.u, p.energy, p.weight, p.id, -1);
+}
+
+void SoABank::push(geom::Position r, geom::Direction u, double e, double w,
+                   std::uint64_t pid, int mat) {
+  x.push_back(r.x);
+  y.push_back(r.y);
+  z.push_back(r.z);
+  ux.push_back(u.x);
+  uy.push_back(u.y);
+  uz.push_back(u.z);
+  energy.push_back(e);
+  weight.push_back(static_cast<float>(w));
+  id.push_back(pid);
+  material.push_back(static_cast<std::int32_t>(mat));
+  ++n_;
+}
+
+Particle SoABank::extract(std::size_t i, std::uint64_t master_seed) const {
+  Particle p;
+  p.r = {x[i], y[i], z[i]};
+  p.u = {ux[i], uy[i], uz[i]};
+  p.energy = energy[i];
+  p.weight = weight[i];
+  p.id = id[i];
+  p.stream = rng::Stream::for_particle(master_seed, p.id);
+  return p;
+}
+
+}  // namespace vmc::particle

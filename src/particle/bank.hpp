@@ -1,0 +1,59 @@
+// Structure-of-arrays particle bank — the event-based method's central data
+// structure (Algorithm 2: bank_particle / synchronize_bank).
+//
+// Particles are banked immediately before a homogeneous operation (a cross
+// section lookup, a distance sample) so a vector loop can sweep all of them.
+// The arrays are 64-byte aligned and padded to the vector width; `bytes()`
+// reports the exact footprint, which is what Table II's "bank size
+// transferred" column measures for the PCIe offload model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+#include "particle/particle.hpp"
+#include "simd/aligned.hpp"
+
+namespace vmc::particle {
+
+class SoABank {
+ public:
+  SoABank() = default;
+  explicit SoABank(std::size_t capacity) { reserve(capacity); }
+
+  void reserve(std::size_t n);
+  void clear();
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Bank one particle (append).
+  void push(const Particle& p);
+  /// Bank raw state (micro-benchmark path: no Particle object exists yet).
+  void push(geom::Position r, geom::Direction u, double energy, double weight,
+            std::uint64_t id, int material);
+
+  /// Reconstruct an AoS particle view of slot i (bank -> history handoff).
+  Particle extract(std::size_t i, std::uint64_t master_seed) const;
+
+  /// Exact data footprint of the banked state in bytes (per-particle state
+  /// only; capacity padding excluded).
+  std::size_t bytes() const { return n_ * bytes_per_particle(); }
+  static constexpr std::size_t bytes_per_particle() {
+    return 6 * sizeof(double) + sizeof(double) + sizeof(float) +
+           sizeof(std::uint64_t) + sizeof(std::int32_t);
+  }
+
+  // SoA columns (read by the banked kernels).
+  simd::aligned_vector<double> x, y, z;
+  simd::aligned_vector<double> ux, uy, uz;
+  simd::aligned_vector<double> energy;
+  simd::aligned_vector<float> weight;
+  simd::aligned_vector<std::uint64_t> id;
+  simd::aligned_vector<std::int32_t> material;
+
+ private:
+  std::size_t n_ = 0;
+};
+
+}  // namespace vmc::particle

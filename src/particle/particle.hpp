@@ -1,0 +1,51 @@
+// Particle state for history-based tracking.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+#include "rng/stream.hpp"
+
+namespace vmc::particle {
+
+/// One neutron, as the history-based method carries it: position, flight
+/// direction, energy (MeV), statistical weight, and its private RNG stream
+/// (seeded from the particle id, so the history is identical under any
+/// parallel decomposition).
+struct Particle {
+  geom::Position r;
+  geom::Direction u{0.0, 0.0, 1.0};
+  double energy = 1.0;
+  double weight = 1.0;
+  std::uint64_t id = 0;
+  rng::Stream stream;
+  bool alive = true;
+
+  // Per-history event counters (feed the device cost model and tallies).
+  std::uint32_t n_collisions = 0;
+  std::uint32_t n_crossings = 0;
+  std::uint32_t n_lookups = 0;
+
+  static Particle born(std::uint64_t master_seed, std::uint64_t id,
+                       geom::Position r, double energy) {
+    Particle p;
+    p.r = r;
+    p.energy = energy;
+    p.id = id;
+    p.stream = rng::Stream::for_particle(master_seed, id);
+    // Isotropic birth direction.
+    const double mu = rng::sample_mu(p.stream);
+    const double phi = rng::sample_phi(p.stream);
+    p.u = geom::direction_from_angles(mu, phi);
+    return p;
+  }
+};
+
+/// A fission site produced during a generation; becomes a source particle of
+/// the next generation after bank sampling.
+struct FissionSite {
+  geom::Position r;
+  double energy;  // sampled from the Watt spectrum at emission time
+};
+
+}  // namespace vmc::particle

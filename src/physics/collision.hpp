@@ -1,0 +1,93 @@
+// Collision physics: nuclide sampling, reaction selection, scattering
+// kinematics, fission yield — including the two treatments the paper
+// identifies as the obstacles to vectorization: URR probability tables and
+// S(alpha,beta) thermal scattering (Section II-A3).
+//
+// `PhysicsSettings::vector_friendly()` reproduces the paper's
+// micro-benchmark configuration, where "it was also necessary to remove the
+// blocks that handle S(alpha,beta) and URR calculations to achieve
+// vectorization" — both treatments off, free-gas thermal off.
+#pragma once
+
+#include "geom/vec3.hpp"
+#include "rng/stream.hpp"
+#include "xsdata/library.hpp"
+#include "xsdata/lookup.hpp"
+
+namespace vmc::physics {
+
+struct PhysicsSettings {
+  bool enable_urr = true;      // URR probability-table sampling
+  bool enable_thermal = true;  // S(alpha,beta) tables
+  bool enable_free_gas = true; // free-gas target motion below 400 kT
+  double temperature_mev = 2.53e-8;  // kT at 293.6 K
+
+  /// Full physics (the native/symmetric-mode configuration).
+  static PhysicsSettings full() { return {}; }
+  /// The banking micro-benchmark configuration: all branchy treatments off.
+  static PhysicsSettings vector_friendly() {
+    PhysicsSettings s;
+    s.enable_urr = false;
+    s.enable_thermal = false;
+    s.enable_free_gas = false;
+    return s;
+  }
+};
+
+/// What happened at a collision site.
+enum class CollisionType : unsigned char { scatter, capture, fission };
+
+struct CollisionResult {
+  CollisionType type = CollisionType::scatter;
+  double energy = 0.0;          // outgoing energy (scatter only)
+  geom::Direction direction{}; // outgoing direction (scatter only)
+  int n_fission_neutrons = 0;   // sites to bank (fission only)
+};
+
+class Collision {
+ public:
+  Collision(const xs::Library& lib, PhysicsSettings settings)
+      : lib_(lib), settings_(settings) {}
+
+  const PhysicsSettings& settings() const { return settings_; }
+
+  /// Microscopic cross sections of one nuclide at energy e, with URR
+  /// probability-table factors applied when enabled and in range (consumes
+  /// one random number in that case — the data-dependent RNG consumption
+  /// that breaks lockstep vectorization).
+  xs::XsSet micro_xs(int nuclide, double e, rng::Stream& rng) const;
+
+  /// Sample the colliding nuclide within `material` (probability
+  /// proportional to its macroscopic total at e).
+  int sample_nuclide(int material, double e, double sigma_t,
+                     rng::Stream& rng) const;
+
+  /// Full analog collision: sample nuclide, reaction, and outgoing state.
+  CollisionResult collide(int material, double e, geom::Direction u,
+                          const xs::XsSet& macro, rng::Stream& rng) const;
+
+  /// Implicit-capture collision (survival biasing): the reaction is forced
+  /// to scatter — the caller deposits the absorbed weight fraction itself.
+  CollisionResult force_scatter(int material, double e, geom::Direction u,
+                                const xs::XsSet& macro,
+                                rng::Stream& rng) const;
+
+ private:
+  CollisionResult scatter(int nuclide, double e, geom::Direction u,
+                          rng::Stream& rng) const;
+  CollisionResult thermal_scatter(const xs::ThermalTable& t, double e,
+                                  geom::Direction u, rng::Stream& rng) const;
+
+  const xs::Library& lib_;
+  PhysicsSettings settings_;
+};
+
+/// Elastic-scattering energy transfer for target-at-rest kinematics:
+/// outgoing energy and lab cosine given CM cosine `mu_cm` and mass ratio A.
+struct ElasticOut {
+  double energy;
+  double mu_lab;
+};
+ElasticOut elastic_kinematics(double e_in, double awr, double mu_cm);
+
+}  // namespace vmc::physics

@@ -1,0 +1,134 @@
+#include "prof/profiler.hpp"
+
+#include <algorithm>
+
+namespace vmc::prof {
+
+std::vector<std::pair<std::string, TimerStats>> Profile::by_exclusive() const {
+  std::vector<std::pair<std::string, TimerStats>> v(timers.begin(),
+                                                    timers.end());
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.second.exclusive_s > b.second.exclusive_s;
+  });
+  return v;
+}
+
+double Profile::total_exclusive() const {
+  double t = 0.0;
+  for (const auto& [name, st] : timers) t += st.exclusive_s;
+  return t;
+}
+
+namespace {
+constexpr int kMaxDepth = 64;
+}
+
+struct Registry::ThreadState {
+  struct Slot {
+    std::uint64_t calls = 0;
+    double inclusive_s = 0.0;
+    double exclusive_s = 0.0;
+  };
+  struct Frame {
+    int index;
+    double t0;
+    double child_s;
+  };
+  std::vector<Slot> slots;
+  Frame stack[kMaxDepth];
+  int depth = 0;
+  std::mutex mu;  // protects slots growth vs. snapshot
+};
+
+Registry::Registry() = default;
+
+Registry::~Registry() {
+  std::lock_guard lk(mu_);
+  for (ThreadState* t : threads_) delete t;
+}
+
+TimerHandle Registry::handle(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto [it, inserted] =
+      name_to_index_.try_emplace(name, static_cast<int>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return TimerHandle{it->second};
+}
+
+Registry::ThreadState& Registry::local() {
+  thread_local std::map<const Registry*, ThreadState*> per_registry;
+  ThreadState*& ts = per_registry[this];
+  if (ts == nullptr) {
+    ts = new ThreadState();
+    std::lock_guard lk(mu_);
+    threads_.push_back(ts);
+  }
+  return *ts;
+}
+
+void Registry::start(TimerHandle h) {
+  ThreadState& ts = local();
+  if (static_cast<std::size_t>(h.index) >= ts.slots.size()) {
+    std::lock_guard lk(ts.mu);
+    ts.slots.resize(static_cast<std::size_t>(h.index) + 1);
+  }
+  ts.stack[ts.depth++] = {h.index, now_seconds(), 0.0};
+}
+
+void Registry::stop(TimerHandle h) {
+  ThreadState& ts = local();
+  auto& frame = ts.stack[--ts.depth];
+  (void)h;  // nesting discipline is the caller's contract
+  const double dt = now_seconds() - frame.t0;
+  auto& slot = ts.slots[static_cast<std::size_t>(frame.index)];
+  slot.calls += 1;
+  slot.inclusive_s += dt;
+  slot.exclusive_s += dt - frame.child_s;
+  if (ts.depth > 0) ts.stack[ts.depth - 1].child_s += dt;
+}
+
+void Registry::add_sample(TimerHandle h, double seconds, std::uint64_t calls) {
+  ThreadState& ts = local();
+  if (static_cast<std::size_t>(h.index) >= ts.slots.size()) {
+    std::lock_guard lk(ts.mu);
+    ts.slots.resize(static_cast<std::size_t>(h.index) + 1);
+  }
+  auto& slot = ts.slots[static_cast<std::size_t>(h.index)];
+  slot.calls += calls;
+  slot.inclusive_s += seconds;
+  slot.exclusive_s += seconds;
+}
+
+Profile Registry::snapshot(const std::string& label) const {
+  Profile p;
+  p.label = label;
+  std::lock_guard lk(mu_);
+  for (ThreadState* ts : threads_) {
+    std::lock_guard tlk(ts->mu);
+    for (std::size_t i = 0; i < ts->slots.size(); ++i) {
+      const auto& slot = ts->slots[i];
+      if (slot.calls == 0) continue;
+      auto& agg = p.timers[names_[i]];
+      agg.calls += slot.calls;
+      agg.inclusive_s += slot.inclusive_s;
+      agg.exclusive_s += slot.exclusive_s;
+    }
+  }
+  return p;
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  for (ThreadState* ts : threads_) {
+    std::lock_guard tlk(ts->mu);
+    for (auto& slot : ts->slots) slot = {};
+    ts->depth = 0;
+  }
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace vmc::prof

@@ -1,0 +1,106 @@
+// Lightweight nested-timer profiler — VectorMC's stand-in for the TAU
+// parallel performance system the paper instruments OpenMC with.
+//
+// Provides named timers with per-thread inclusive/exclusive accumulation
+// (exclusive = inclusive minus time spent in nested child timers, the
+// quantity TAU's comparison profiles display in Fig. 4), plus an injection
+// API so device-model-simulated times can be recorded alongside measured
+// wall-clock times.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vmc::prof {
+
+/// Aggregated statistics for one named timer.
+struct TimerStats {
+  std::uint64_t calls = 0;
+  double inclusive_s = 0.0;
+  double exclusive_s = 0.0;
+};
+
+/// A complete profile: timer name -> stats, plus a label for reports.
+struct Profile {
+  std::string label;
+  std::map<std::string, TimerStats> timers;
+
+  /// Timers sorted by descending exclusive time (TAU's default ordering).
+  std::vector<std::pair<std::string, TimerStats>> by_exclusive() const;
+
+  /// Total exclusive time across all timers.
+  double total_exclusive() const;
+};
+
+/// Handle to a registered timer; cheap to copy, index into the registry.
+struct TimerHandle {
+  int index = -1;
+};
+
+/// Timer registry. Thread-safe registration; start/stop are per-thread and
+/// lock-free on the hot path. One global instance (`registry()`) serves the
+/// transport code; tests may create their own.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register (or look up) a timer by name.
+  TimerHandle handle(const std::string& name);
+
+  /// Start/stop the timer on the calling thread. Must nest properly.
+  void start(TimerHandle h);
+  void stop(TimerHandle h);
+
+  /// Record an externally computed duration (e.g. a device-model simulated
+  /// time) as one call of timer `h`, with no nesting bookkeeping.
+  void add_sample(TimerHandle h, double seconds, std::uint64_t calls = 1);
+
+  /// Aggregate all threads' data into a Profile.
+  Profile snapshot(const std::string& label) const;
+
+  /// Zero all accumulated data (keeps registered names).
+  void reset();
+
+ private:
+  struct ThreadState;
+  ThreadState& local();
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::map<std::string, int> name_to_index_;
+  std::vector<ThreadState*> threads_;  // guarded by mu_
+};
+
+/// Process-wide registry used by the transport core.
+Registry& registry();
+
+/// RAII scope guard: times the enclosing scope under `h`.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& r, TimerHandle h) : r_(r), h_(h) { r_.start(h_); }
+  explicit ScopedTimer(TimerHandle h) : ScopedTimer(registry(), h) {}
+  ~ScopedTimer() { r_.stop(h_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry& r_;
+  TimerHandle h_;
+};
+
+/// Monotonic wall-clock seconds.
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace vmc::prof

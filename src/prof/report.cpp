@@ -1,0 +1,82 @@
+#include "prof/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+namespace vmc::prof {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f s", s);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  }
+  return buf;
+}
+
+void print_profile(std::ostream& os, const Profile& p, int top_n) {
+  char buf[256];
+  os << "=== Profile: " << p.label << " ===\n";
+  std::snprintf(buf, sizeof(buf), "%-42s %12s %14s %14s\n", "routine", "calls",
+                "exclusive", "inclusive");
+  os << buf;
+  int n = 0;
+  for (const auto& [name, st] : p.by_exclusive()) {
+    if (n++ >= top_n) break;
+    std::snprintf(buf, sizeof(buf), "%-42s %12llu %14s %14s\n", name.c_str(),
+                  static_cast<unsigned long long>(st.calls),
+                  format_seconds(st.exclusive_s).c_str(),
+                  format_seconds(st.inclusive_s).c_str());
+    os << buf;
+  }
+}
+
+void print_comparison(std::ostream& os, const Profile& a, const Profile& b,
+                      int top_n) {
+  char buf[256];
+  os << "=== Comparison profile: [" << a.label << "] vs [" << b.label
+     << "] (exclusive time) ===\n";
+  std::snprintf(buf, sizeof(buf), "%-42s %14s %14s %9s\n", "routine",
+                a.label.substr(0, 14).c_str(), b.label.substr(0, 14).c_str(),
+                "ratio");
+  os << buf;
+
+  // Union of routine names, ordered by profile a's exclusive time.
+  std::vector<std::pair<std::string, double>> order;
+  std::set<std::string> seen;
+  for (const auto& [name, st] : a.by_exclusive()) {
+    order.emplace_back(name, st.exclusive_s);
+    seen.insert(name);
+  }
+  for (const auto& [name, st] : b.timers) {
+    if (!seen.count(name)) order.emplace_back(name, 0.0);
+  }
+
+  int n = 0;
+  for (const auto& [name, unused] : order) {
+    (void)unused;
+    if (n++ >= top_n) break;
+    const auto ita = a.timers.find(name);
+    const auto itb = b.timers.find(name);
+    const double ta = ita == a.timers.end() ? 0.0 : ita->second.exclusive_s;
+    const double tb = itb == b.timers.end() ? 0.0 : itb->second.exclusive_s;
+    const double ratio = tb > 0.0 ? ta / tb : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-42s %14s %14s %8.2fx\n", name.c_str(),
+                  format_seconds(ta).c_str(), format_seconds(tb).c_str(),
+                  ratio);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-42s %14s %14s\n", "TOTAL",
+                format_seconds(a.total_exclusive()).c_str(),
+                format_seconds(b.total_exclusive()).c_str());
+  os << buf;
+}
+
+}  // namespace vmc::prof

@@ -1,0 +1,25 @@
+// Profile reporting: TAU-style flat profiles and side-by-side comparison
+// profiles (the format of the paper's Figure 4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "prof/profiler.hpp"
+
+namespace vmc::prof {
+
+/// Print a flat profile sorted by exclusive time.
+void print_profile(std::ostream& os, const Profile& p, int top_n = 20);
+
+/// Print two profiles side by side with per-routine ratios, sorted by the
+/// first profile's exclusive time. This is the Fig. 4 comparison view
+/// ("Host CPU" vs. "MIC native"): for each routine, exclusive seconds on
+/// each platform and the a/b ratio.
+void print_comparison(std::ostream& os, const Profile& a, const Profile& b,
+                      int top_n = 12);
+
+/// Format seconds with an adaptive unit (ms below 1 s, etc.).
+std::string format_seconds(double s);
+
+}  // namespace vmc::prof

@@ -1,0 +1,74 @@
+// 63-bit linear congruential generator with O(log n) skip-ahead.
+//
+// This is the generator OpenMC itself uses (L'Ecuyer's 63-bit LCG,
+// g = 2806196910506780709, c = 1, M = 2^63). The skip-ahead is what makes
+// Monte Carlo transport reproducible regardless of the parallel
+// decomposition: particle i always consumes the same random sequence whether
+// it is tracked by one thread among 244 on a MIC or serially on the host —
+// the property every cross-implementation test in this repo leans on.
+#pragma once
+
+#include <cstdint>
+
+namespace vmc::rng {
+
+/// LCG parameters (OpenMC defaults).
+inline constexpr std::uint64_t kLcgMult = 2806196910506780709ULL;
+inline constexpr std::uint64_t kLcgAdd = 1ULL;
+inline constexpr int kLcgBits = 63;
+inline constexpr std::uint64_t kLcgMask = (1ULL << kLcgBits) - 1;
+/// Random numbers reserved per particle history (OpenMC's stride).
+inline constexpr std::uint64_t kParticleStride = 152917ULL;
+
+/// Advance a seed by one step: x <- (g*x + c) mod 2^63.
+constexpr std::uint64_t lcg_next(std::uint64_t x) {
+  return (kLcgMult * x + kLcgAdd) & kLcgMask;
+}
+
+/// Composite multiplier/increment for advancing `n` steps at once:
+/// x_{k+n} = G*x_k + C with G = g^n, C = c*(g^n-1)/(g-1), all mod 2^63.
+struct LcgJump {
+  std::uint64_t mult;
+  std::uint64_t add;
+
+  /// Apply the jump to a seed.
+  constexpr std::uint64_t operator()(std::uint64_t x) const {
+    return (mult * x + add) & kLcgMask;
+  }
+
+  /// Compose two jumps: first `a` steps then `b` steps.
+  friend constexpr LcgJump operator*(LcgJump b, LcgJump a) {
+    return {(b.mult * a.mult) & kLcgMask, (b.mult * a.add + b.add) & kLcgMask};
+  }
+};
+
+/// Compute the n-step jump in O(log n) (binary "exponentiation" on the
+/// affine map). This is the standard parallel-LCG algorithm [Brown 1994].
+constexpr LcgJump lcg_jump(std::uint64_t n) {
+  LcgJump result{1, 0};                 // identity
+  LcgJump step{kLcgMult, kLcgAdd};      // one LCG step
+  while (n != 0) {
+    if (n & 1ULL) result = step * result;
+    step = step * step;
+    n >>= 1;
+  }
+  return result;
+}
+
+/// Advance `seed` by `n` steps in O(log n).
+constexpr std::uint64_t lcg_skip_ahead(std::uint64_t seed, std::uint64_t n) {
+  return lcg_jump(n)(seed);
+}
+
+/// Map a 63-bit state to a double in [0, 1).
+constexpr double lcg_to_double(std::uint64_t x) {
+  return static_cast<double>(x) * (1.0 / 9223372036854775808.0);  // 2^-63
+}
+
+/// Map a 63-bit state to a float in [0, 1).
+constexpr float lcg_to_float(std::uint64_t x) {
+  // Use the top 24 bits so the value is exactly representable and < 1.
+  return static_cast<float>(x >> (kLcgBits - 24)) * (1.0f / 16777216.0f);
+}
+
+}  // namespace vmc::rng

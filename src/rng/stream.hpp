@@ -1,0 +1,91 @@
+// Per-particle random number stream and the sampling helpers built on it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "rng/lcg.hpp"
+
+namespace vmc::rng {
+
+/// A single random-number stream. Each particle history owns one, seeded
+/// deterministically from (master seed, particle id) so results are
+/// independent of thread count, rank count, and execution model — the
+/// reproducibility contract OpenMC provides and our history-vs-event
+/// equivalence tests require.
+class Stream {
+ public:
+  Stream() = default;
+  explicit Stream(std::uint64_t seed) : state_(seed & kLcgMask) {}
+
+  /// Stream for particle `id` of generation `gen` under `master` seed.
+  static Stream for_particle(std::uint64_t master, std::uint64_t id) {
+    return Stream(lcg_skip_ahead(master, id * kParticleStride));
+  }
+
+  /// Next uniform double in [0, 1).
+  double next() {
+    state_ = lcg_next(state_);
+    return lcg_to_double(state_);
+  }
+
+  /// Next uniform float in [0, 1).
+  float next_float() {
+    state_ = lcg_next(state_);
+    return lcg_to_float(state_);
+  }
+
+  /// Advance without producing a value.
+  void skip(std::uint64_t n) { state_ = lcg_skip_ahead(state_, n); }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Sampling helpers (Section II-A2 of the paper).
+// ---------------------------------------------------------------------------
+
+/// Distance to the next collision, Eq. (1): d = -ln(xi) / Sigma_t.
+inline double sample_distance(Stream& s, double sigma_t) {
+  return -std::log(s.next()) / sigma_t;
+}
+
+/// Cosine of an isotropic scattering angle: mu = 2 xi - 1.
+inline double sample_mu(Stream& s) { return 2.0 * s.next() - 1.0; }
+
+/// Azimuthal angle in [0, 2 pi).
+inline double sample_phi(Stream& s) {
+  return 2.0 * 3.14159265358979323846 * s.next();
+}
+
+/// Watt fission spectrum (standard a/b parameterization, sampled with the
+/// Everett-Cashwell rejection-free algorithm). Default a, b are the U-235
+/// thermal-fission constants; energies are in MeV.
+inline double sample_watt(Stream& s, double a = 0.988, double b = 2.249) {
+  // Watt = Maxwellian(a) boosted by a fission-fragment frame shift
+  // E_f = a^2 b / 4: E = E_M + E_f + 2 mu sqrt(E_M E_f), mu uniform.
+  double w;
+  {
+    const double r1 = s.next();
+    const double r2 = s.next();
+    const double r3 = s.next();
+    const double c = std::cos(0.5 * 3.14159265358979323846 * r3);
+    w = -a * (std::log(r1) + std::log(r2) * c * c);
+  }
+  const double ef = 0.25 * a * a * b;
+  return w + ef + (2.0 * s.next() - 1.0) * 2.0 * std::sqrt(ef * w);
+}
+
+/// Maxwellian spectrum with temperature parameter T (MeV).
+inline double sample_maxwell(Stream& s, double t) {
+  const double r1 = s.next();
+  const double r2 = s.next();
+  const double r3 = s.next();
+  const double c = std::cos(0.5 * 3.14159265358979323846 * r3);
+  return -t * (std::log(r1) + std::log(r2) * c * c);
+}
+
+}  // namespace vmc::rng

@@ -1,0 +1,81 @@
+#include "rng/streamset.hpp"
+
+#include <array>
+
+#include "simd/simd.hpp"
+
+namespace vmc::rng {
+
+namespace {
+
+// Lane-parallel LCG advance: lane i holds state of position base+i in the
+// stream; each vector step advances every lane by `Lanes` positions using the
+// composite jump (G, C) = lcg_jump(Lanes).
+template <int Lanes, class Out>
+std::uint64_t fill_leapfrog(std::uint64_t state, std::span<Out> out) {
+  static const LcgJump jump = lcg_jump(Lanes);
+
+  // Seed the lanes: lane i = state advanced by (i+1) single steps, so lane i
+  // produces draws 1+i, 1+i+Lanes, ... exactly like sequential next() calls.
+  std::array<std::uint64_t, Lanes> lane{};
+  std::uint64_t s = state;
+  for (int i = 0; i < Lanes; ++i) {
+    s = lcg_next(s);
+    lane[static_cast<size_t>(i)] = s;
+  }
+
+  const std::size_t n = out.size();
+  const std::size_t nvec = n / Lanes * Lanes;
+  std::size_t j = 0;
+  for (; j < nvec; j += Lanes) {
+    for (int i = 0; i < Lanes; ++i) {  // auto-vectorizable: pure lane math
+      const std::uint64_t x = lane[static_cast<size_t>(i)];
+      if constexpr (sizeof(Out) == 4) {
+        out[j + static_cast<size_t>(i)] = lcg_to_float(x);
+      } else {
+        out[j + static_cast<size_t>(i)] = lcg_to_double(x);
+      }
+      lane[static_cast<size_t>(i)] = jump(x);
+    }
+  }
+  // Scalar tail, continuing the exact sequence.
+  std::uint64_t tail = lcg_skip_ahead(state, j);
+  for (; j < n; ++j) {
+    tail = lcg_next(tail);
+    if constexpr (sizeof(Out) == 4) {
+      out[j] = lcg_to_float(tail);
+    } else {
+      out[j] = lcg_to_double(tail);
+    }
+  }
+  return lcg_skip_ahead(state, n);
+}
+
+}  // namespace
+
+StreamSet::StreamSet(int nstreams, std::uint64_t master) {
+  states_.reserve(static_cast<size_t>(nstreams));
+  for (int k = 0; k < nstreams; ++k) {
+    states_.push_back(
+        lcg_skip_ahead(master, static_cast<std::uint64_t>(k) * kStreamStride));
+  }
+}
+
+void StreamSet::fill_uniform(int k, std::span<float> out) {
+  auto& st = states_[static_cast<size_t>(k)];
+  st = fill_leapfrog<simd::native_lanes<float>>(st, out);
+}
+
+void StreamSet::fill_uniform(int k, std::span<double> out) {
+  auto& st = states_[static_cast<size_t>(k)];
+  st = fill_leapfrog<simd::native_lanes<double>>(st, out);
+}
+
+void StreamSet::fill_uniform_scalar(int k, std::span<float> out) {
+  auto& st = states_[static_cast<size_t>(k)];
+  Stream s(st);
+  for (auto& x : out) x = s.next_float();
+  st = s.state();
+}
+
+}  // namespace vmc::rng

@@ -1,0 +1,9 @@
+#include "simd/simd.hpp"
+
+namespace vmc::simd {
+
+const char* isa_name() { return native_isa; }
+
+int native_bits() { return native_bytes * 8; }
+
+}  // namespace vmc::simd

@@ -1,0 +1,18 @@
+// Umbrella header for the VectorMC portable SIMD layer.
+#pragma once
+
+#include "simd/aligned.hpp"  // IWYU pragma: export
+#include "simd/math.hpp"     // IWYU pragma: export
+#include "simd/vec.hpp"      // IWYU pragma: export
+#include "simd/width.hpp"    // IWYU pragma: export
+
+namespace vmc::simd {
+
+/// Human-readable name of the instruction set the library was compiled for
+/// ("AVX-512", "AVX2", ...). Reported by every benchmark header.
+const char* isa_name();
+
+/// Vector width in bits the `vfloat`/`vdouble` aliases use.
+int native_bits();
+
+}  // namespace vmc::simd

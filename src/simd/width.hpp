@@ -1,0 +1,49 @@
+// Architecture width detection for the VectorMC portable SIMD layer.
+//
+// The paper's kernels target the Xeon Phi's 512-bit vector units via
+// `_mm512_*` intrinsics. We select the widest vector unit the host offers at
+// compile time and expose it as `native_bytes`; on an AVX-512 host the
+// Algorithm-4 reproduction therefore runs with genuine 16-lane float vectors,
+// exactly like the paper's `_m512` registers.
+#pragma once
+
+#include <cstddef>
+
+namespace vmc::simd {
+
+#if defined(__AVX512F__)
+inline constexpr int native_bytes = 64;
+inline constexpr const char* native_isa = "AVX-512";
+#elif defined(__AVX2__)
+inline constexpr int native_bytes = 32;
+inline constexpr const char* native_isa = "AVX2";
+#elif defined(__AVX__)
+inline constexpr int native_bytes = 32;
+inline constexpr const char* native_isa = "AVX";
+#elif defined(__SSE2__) || defined(__x86_64__)
+inline constexpr int native_bytes = 16;
+inline constexpr const char* native_isa = "SSE2";
+#else
+inline constexpr int native_bytes = 8;
+inline constexpr const char* native_isa = "scalar";
+#endif
+
+/// Number of lanes of element type T in the widest native vector register.
+template <class T>
+inline constexpr int native_lanes = native_bytes / static_cast<int>(sizeof(T));
+
+/// Cache line / ideal alignment in bytes (also the MIC's vector alignment,
+/// which the paper aligns all key data structures to).
+inline constexpr std::size_t cacheline_bytes = 64;
+
+/// Round `n` down to a multiple of `step` (vector-loop trip count).
+constexpr std::size_t round_down(std::size_t n, std::size_t step) {
+  return n - n % step;
+}
+
+/// Round `n` up to a multiple of `step` (padded allocation size).
+constexpr std::size_t round_up(std::size_t n, std::size_t step) {
+  return (n + step - 1) / step * step;
+}
+
+}  // namespace vmc::simd

@@ -1,0 +1,131 @@
+#include "xsdata/library.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vmc::xs {
+
+Library::Library(std::size_t max_union_points)
+    : max_union_points_(max_union_points) {}
+
+int Library::add_nuclide(Nuclide n) {
+  if (finalized_) throw std::logic_error("Library already finalized");
+  if (n.energy.size() < 2) throw std::invalid_argument("nuclide grid too small");
+  nuclides_.push_back(std::move(n));
+  return static_cast<int>(nuclides_.size()) - 1;
+}
+
+int Library::add_material(Material m) {
+  if (finalized_) throw std::logic_error("Library already finalized");
+  for (auto id : m.nuclides) {
+    if (id < 0 || id >= static_cast<std::int32_t>(nuclides_.size())) {
+      throw std::out_of_range("material references unknown nuclide");
+    }
+  }
+  materials_.push_back(std::move(m));
+  return static_cast<int>(materials_.size()) - 1;
+}
+
+void Library::finalize() {
+  if (finalized_) return;
+  if (nuclides_.empty()) throw std::logic_error("empty library");
+
+  // ---- flatten ----------------------------------------------------------
+  std::size_t total_pts = 0;
+  for (const auto& n : nuclides_) total_pts += n.grid_size();
+  if (total_pts > static_cast<std::size_t>(INT32_MAX)) {
+    throw std::length_error("flattened grid exceeds int32 indexing");
+  }
+  flat_.energy.reserve(total_pts);
+  flat_.energy_f.reserve(total_pts);
+  flat_.total.reserve(total_pts);
+  flat_.scatter.reserve(total_pts);
+  flat_.absorption.reserve(total_pts);
+  flat_.fission.reserve(total_pts);
+  for (const auto& n : nuclides_) {
+    flat_.offset.push_back(static_cast<std::int32_t>(flat_.energy.size()));
+    flat_.grid_size.push_back(static_cast<std::int32_t>(n.grid_size()));
+    flat_.energy.insert(flat_.energy.end(), n.energy.begin(), n.energy.end());
+    for (double e : n.energy) flat_.energy_f.push_back(static_cast<float>(e));
+    flat_.total.insert(flat_.total.end(), n.total.begin(), n.total.end());
+    flat_.scatter.insert(flat_.scatter.end(), n.scatter.begin(),
+                         n.scatter.end());
+    flat_.absorption.insert(flat_.absorption.end(), n.absorption.begin(),
+                            n.absorption.end());
+    flat_.fission.insert(flat_.fission.end(), n.fission.begin(),
+                         n.fission.end());
+  }
+
+  // ---- union grid ---------------------------------------------------------
+  std::vector<double> u;
+  u.reserve(total_pts);
+  for (const auto& n : nuclides_) {
+    u.insert(u.end(), n.energy.begin(), n.energy.end());
+  }
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+
+  if (max_union_points_ != 0 && u.size() > max_union_points_) {
+    // Thin: keep every k-th point plus the end points (Leppänen's
+    // approximate union). Lookups recover exactness via a bounded walk.
+    const std::size_t k = (u.size() + max_union_points_ - 1) / max_union_points_;
+    std::vector<double> thin;
+    thin.reserve(u.size() / k + 2);
+    for (std::size_t i = 0; i < u.size(); i += k) thin.push_back(u[i]);
+    if (thin.back() != u.back()) thin.push_back(u.back());
+    u = std::move(thin);
+  }
+
+  union_.energy.assign(u.begin(), u.end());
+  union_.n_nuclides = n_nuclides();
+  const std::size_t nu = union_.energy.size();
+  const std::size_t nn = nuclides_.size();
+  union_.imap.resize(nu * nn);
+
+  int walk_bound = 0;
+  for (std::size_t n = 0; n < nn; ++n) {
+    const auto& grid = nuclides_[n].energy;
+    // Merge-walk the union grid against nuclide n's grid: idx = last nuclide
+    // point <= union point (clamped to a valid interval).
+    std::size_t idx = 0;
+    for (std::size_t iu = 0; iu < nu; ++iu) {
+      const double e = union_.energy[iu];
+      int strict_steps = 0;
+      while (idx + 2 < grid.size() && grid[idx + 1] <= e) {
+        // Steps landing exactly on the union point define imap[iu] and need
+        // no lookup-time walk; only points STRICTLY inside the previous
+        // union interval force a walk.
+        if (grid[idx + 1] < e) ++strict_steps;
+        ++idx;
+      }
+      walk_bound = std::max(walk_bound, strict_steps);
+      union_.imap[iu * nn + n] = static_cast<std::int32_t>(idx);
+    }
+  }
+  // walk_bound is the max number of nuclide grid points strictly inside one
+  // union interval: 0 for an exact union, > 0 only when thinned.
+  union_.walk_bound = walk_bound;
+
+  finalized_ = true;
+}
+
+std::size_t Library::UnionGrid::find(double e) const {
+  if (e <= energy.front()) return 0;
+  if (e >= energy.back()) return energy.size() - 2;
+  const auto it = std::upper_bound(energy.begin(), energy.end(), e);
+  return static_cast<std::size_t>(it - energy.begin()) - 1;
+}
+
+std::size_t Library::union_bytes() const {
+  return union_.energy.size() * sizeof(double) +
+         union_.imap.size() * sizeof(std::int32_t);
+}
+
+std::size_t Library::pointwise_bytes() const {
+  std::size_t b = 0;
+  for (const auto& n : nuclides_) b += n.data_bytes();
+  return b;
+}
+
+}  // namespace vmc::xs

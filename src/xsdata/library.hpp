@@ -1,0 +1,94 @@
+// Nuclide library: owns all nuclides + materials, the flattened SoA copy of
+// the pointwise data, and the unionized energy grid [Leppänen 2009].
+//
+// Layouts:
+//  * Per-nuclide AoS-of-grids (`Nuclide`) — what physics code reads.
+//  * Flattened SoA (`Flat`) — every nuclide's grid concatenated per reaction
+//    channel with per-nuclide offsets. This is the paper's "arrays of Fortran
+//    derived types into single isolated arrays" (AoS→SoA) transform, the
+//    single most important MIC optimization in Section III-A1, and the layout
+//    the banked SIMD lookup kernel gathers from.
+//  * Unionized grid (`UnionGrid`) — a single sorted union of all nuclide
+//    grids plus an index map imap[u * n_nuclides + n] giving, for union point
+//    u, the interval of nuclide n containing it. One binary search per
+//    particle replaces one per (particle, nuclide). The map is stored
+//    u-major so the inner loop over nuclides reads it contiguously — this is
+//    what lets the inner nuclide loop vectorize (Algorithm 2, line 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simd/aligned.hpp"
+#include "xsdata/material.hpp"
+#include "xsdata/nuclide.hpp"
+
+namespace vmc::xs {
+
+class Library {
+ public:
+  /// Optional cap on union grid size; when the exact union exceeds it the
+  /// grid is thinned and lookups do a short bounded walk to the exact
+  /// interval (Leppänen's approximate variant). 0 = exact union always.
+  explicit Library(std::size_t max_union_points = 1u << 20);
+
+  int add_nuclide(Nuclide n);
+  int add_material(Material m);
+
+  /// Build the flat SoA arrays and the unionized grid. Must be called after
+  /// all nuclides/materials are added and before any lookup.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  int n_nuclides() const { return static_cast<int>(nuclides_.size()); }
+  int n_materials() const { return static_cast<int>(materials_.size()); }
+  const Nuclide& nuclide(int i) const {
+    return nuclides_[static_cast<std::size_t>(i)];
+  }
+  const Material& material(int i) const {
+    return materials_[static_cast<std::size_t>(i)];
+  }
+
+  // --- flattened SoA -----------------------------------------------------
+  struct Flat {
+    simd::aligned_vector<double> energy;   // concatenated grids
+    simd::aligned_vector<float> energy_f;  // float copy for the SIMD kernel
+    simd::aligned_vector<float> total;
+    simd::aligned_vector<float> scatter;
+    simd::aligned_vector<float> absorption;
+    simd::aligned_vector<float> fission;
+    simd::aligned_vector<std::int32_t> offset;     // per-nuclide start
+    simd::aligned_vector<std::int32_t> grid_size;  // per-nuclide grid length
+  };
+  const Flat& flat() const { return flat_; }
+
+  // --- unionized grid ------------------------------------------------------
+  struct UnionGrid {
+    simd::aligned_vector<double> energy;  // union grid (maybe thinned)
+    simd::aligned_vector<std::int32_t> imap;  // [u * n_nuclides + n]
+    int n_nuclides = 0;
+    /// Max nuclide grid points inside one union interval; the bounded-walk
+    /// length lookups must perform. 0 for an exact union.
+    int walk_bound = 0;
+
+    /// Interval index u with energy[u] <= e < energy[u+1], clamped.
+    std::size_t find(double e) const;
+    std::size_t size() const { return energy.size(); }
+  };
+  const UnionGrid& union_grid() const { return union_; }
+
+  /// Bytes in the unionized grid + index map (Table II's "energy grid size
+  /// transferred") and in all pointwise data.
+  std::size_t union_bytes() const;
+  std::size_t pointwise_bytes() const;
+
+ private:
+  std::size_t max_union_points_;
+  bool finalized_ = false;
+  std::vector<Nuclide> nuclides_;
+  std::vector<Material> materials_;
+  Flat flat_;
+  UnionGrid union_;
+};
+
+}  // namespace vmc::xs

@@ -1,0 +1,365 @@
+#include "xsdata/lookup.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simd/simd.hpp"
+
+namespace vmc::xs {
+
+namespace {
+
+using simd::Mask;
+using simd::Vec;
+
+constexpr int kLanes = simd::native_lanes<float>;
+using VF = Vec<float, kLanes>;
+using VI = Vec<std::int32_t, kLanes>;
+
+/// Scalar per-nuclide contribution given a union-grid interval, with the
+/// bounded walk that recovers the exact nuclide interval when the union grid
+/// is thinned.
+inline XsSet nuclide_xs_from_union(const Library& lib, int nuc, std::size_t u,
+                                   double e) {
+  const auto& ug = lib.union_grid();
+  const auto& n = lib.nuclide(nuc);
+  std::size_t idx = static_cast<std::size_t>(
+      ug.imap[u * static_cast<std::size_t>(ug.n_nuclides) +
+              static_cast<std::size_t>(nuc)]);
+  const std::size_t last = n.grid_size() - 2;
+  for (int w = 0; w < ug.walk_bound; ++w) {
+    if (idx < last && n.energy[idx + 1] <= e) {
+      ++idx;
+    } else {
+      break;
+    }
+  }
+  return n.evaluate_at(idx, e);
+}
+
+}  // namespace
+
+XsSet macro_xs_history(const Library& lib, int material, double e) {
+  assert(lib.finalized());
+  const auto& mat = lib.material(material);
+  const std::size_t u = lib.union_grid().find(e);
+  XsSet sigma;
+  for (std::size_t i = 0; i < mat.size(); ++i) {
+    const double dens = mat.density[i];
+    sigma += dens * nuclide_xs_from_union(lib, mat.nuclides[i], u, e);
+  }
+  return sigma;
+}
+
+XsSet macro_xs_search(const Library& lib, int material, double e) {
+  const auto& mat = lib.material(material);
+  XsSet sigma;
+  for (std::size_t i = 0; i < mat.size(); ++i) {
+    const double dens = mat.density[i];
+    sigma += dens * lib.nuclide(mat.nuclides[i]).evaluate(e);
+  }
+  return sigma;
+}
+
+void macro_xs_banked_scalar(const Library& lib, int material,
+                            std::span<const double> energies,
+                            std::span<XsSet> out) {
+  assert(energies.size() == out.size());
+  for (std::size_t j = 0; j < energies.size(); ++j) {
+    out[j] = macro_xs_history(lib, material, energies[j]);
+  }
+}
+
+void macro_xs_banked(const Library& lib, int material,
+                     std::span<const double> energies, std::span<XsSet> out) {
+  assert(lib.finalized());
+  assert(energies.size() == out.size());
+  const auto& mat = lib.material(material);
+  const auto& fl = lib.flat();
+  const auto& ug = lib.union_grid();
+  const int nn = static_cast<int>(mat.size());
+  const int nvec = nn / kLanes * kLanes;
+  const std::int32_t* imap = ug.imap.data();
+  const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
+
+  for (std::size_t j = 0; j < energies.size(); ++j) {
+    const double e = energies[j];
+    const std::size_t u = ug.find(e);
+    const std::int32_t* imap_row = imap + u * stride;
+    const float ef = static_cast<float>(e);
+    const VF ev(ef);
+
+    VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
+    for (int n = 0; n < nvec; n += kLanes) {
+      const VI nucid = VI::loadu(mat.nuclides.data() + n);
+      const VI base = VI::gather(fl.offset.data(), nucid);
+      VI idx = VI::gather(imap_row, nucid) + base;
+      // Bounded walk to the exact interval (skipped entirely for an exact
+      // union, which also avoids the grid-size gather).
+      if (ug.walk_bound > 0) {
+        const VI gsz = VI::gather(fl.grid_size.data(), nucid);
+        // Highest valid interval start for each lane's nuclide.
+        const VI limit = base + gsz - VI(2);
+        for (int w = 0; w < ug.walk_bound; ++w) {
+          const VF e_next = VF::gather(fl.energy_f.data(), idx + VI(1));
+          const auto need = (e_next <= ev).m & (idx < limit).m;
+          idx.v -= need;  // mask lanes are -1 where true
+        }
+      }
+      const VF e_lo = VF::gather(fl.energy_f.data(), idx);
+      const VF e_hi = VF::gather(fl.energy_f.data(), idx + VI(1));
+      VF f = (ev - e_lo) / (e_hi - e_lo);
+      f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
+      const VF dens = VF::loadu(mat.density.data() + n);
+
+      const auto channel = [&](const float* xs, VF& acc) {
+        const VF lo = VF::gather(xs, idx);
+        const VF hi = VF::gather(xs, idx + VI(1));
+        acc = simd::fma(dens, simd::fma(f, hi - lo, lo), acc);
+      };
+      channel(fl.total.data(), acc_t);
+      channel(fl.scatter.data(), acc_s);
+      channel(fl.absorption.data(), acc_a);
+      channel(fl.fission.data(), acc_f);
+    }
+
+    XsSet sigma{acc_t.hsum(), acc_s.hsum(), acc_a.hsum(), acc_f.hsum()};
+    // Scalar tail over the remaining nuclides.
+    for (int n = nvec; n < nn; ++n) {
+      const double dens = mat.density[static_cast<std::size_t>(n)];
+      sigma += dens * nuclide_xs_from_union(
+                          lib, mat.nuclides[static_cast<std::size_t>(n)], u, e);
+    }
+    out[j] = sigma;
+  }
+}
+
+void macro_xs_banked_outer(const Library& lib, int material,
+                           std::span<const double> energies,
+                           std::span<XsSet> out) {
+  assert(lib.finalized());
+  const auto& mat = lib.material(material);
+  const auto& fl = lib.flat();
+  const auto& ug = lib.union_grid();
+  const int nn = static_cast<int>(mat.size());
+  const std::size_t np = energies.size();
+  const std::size_t pvec = np / kLanes * kLanes;
+  const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
+
+  for (std::size_t j = 0; j < pvec; j += kLanes) {
+    // Per-lane particle state: energy and union-row offset.
+    VF ev;
+    VI urow;
+    for (int l = 0; l < kLanes; ++l) {
+      const double e = energies[j + static_cast<std::size_t>(l)];
+      ev.set(l, static_cast<float>(e));
+      urow.set(l, static_cast<std::int32_t>(ug.find(e) * stride));
+    }
+    VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
+    for (int n = 0; n < nn; ++n) {
+      const std::int32_t nucid = mat.nuclides[static_cast<std::size_t>(n)];
+      const std::int32_t base = fl.offset[static_cast<std::size_t>(nucid)];
+      const std::int32_t gsz = fl.grid_size[static_cast<std::size_t>(nucid)];
+      VI idx = VI::gather(ug.imap.data(), urow + VI(nucid)) + VI(base);
+      const VI limit(base + gsz - 2);
+      for (int w = 0; w < ug.walk_bound; ++w) {
+        const VF e_next = VF::gather(fl.energy_f.data(), idx + VI(1));
+        const auto need = (e_next <= ev).m & (idx < limit).m;
+        idx.v -= need;
+      }
+      const VF e_lo = VF::gather(fl.energy_f.data(), idx);
+      const VF e_hi = VF::gather(fl.energy_f.data(), idx + VI(1));
+      VF f = (ev - e_lo) / (e_hi - e_lo);
+      f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
+      const VF dens(mat.density[static_cast<std::size_t>(n)]);
+      const auto channel = [&](const float* xs, VF& acc) {
+        const VF lo = VF::gather(xs, idx);
+        const VF hi = VF::gather(xs, idx + VI(1));
+        acc = simd::fma(dens, simd::fma(f, hi - lo, lo), acc);
+      };
+      channel(fl.total.data(), acc_t);
+      channel(fl.scatter.data(), acc_s);
+      channel(fl.absorption.data(), acc_a);
+      channel(fl.fission.data(), acc_f);
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      out[j + static_cast<std::size_t>(l)] =
+          XsSet{static_cast<double>(acc_t[l]), static_cast<double>(acc_s[l]),
+                static_cast<double>(acc_a[l]), static_cast<double>(acc_f[l])};
+    }
+  }
+  // Tail particles: scalar path.
+  for (std::size_t j = pvec; j < np; ++j) {
+    out[j] = macro_xs_history(lib, material, energies[j]);
+  }
+}
+
+double macro_total_history(const Library& lib, int material, double e) {
+  assert(lib.finalized());
+  const auto& mat = lib.material(material);
+  const auto& ug = lib.union_grid();
+  const std::size_t u = ug.find(e);
+  const std::int32_t* imap_row =
+      ug.imap.data() + u * static_cast<std::size_t>(ug.n_nuclides);
+  double sigma = 0.0;
+  for (std::size_t i = 0; i < mat.size(); ++i) {
+    const int nuc = mat.nuclides[i];
+    const auto& n = lib.nuclide(nuc);
+    std::size_t idx = static_cast<std::size_t>(imap_row[nuc]);
+    const std::size_t last = n.grid_size() - 2;
+    for (int w = 0; w < ug.walk_bound; ++w) {
+      if (idx < last && n.energy[idx + 1] <= e) {
+        ++idx;
+      } else {
+        break;
+      }
+    }
+    const double e0 = n.energy[idx];
+    const double e1 = n.energy[idx + 1];
+    const double f = std::clamp((e - e0) / (e1 - e0), 0.0, 1.0);
+    sigma += mat.density[i] *
+             (static_cast<double>(n.total[idx]) +
+              f * (static_cast<double>(n.total[idx + 1]) -
+                   static_cast<double>(n.total[idx])));
+  }
+  return sigma;
+}
+
+void macro_total_banked(const Library& lib, int material,
+                        std::span<const double> energies,
+                        std::span<double> out) {
+  assert(lib.finalized());
+  assert(energies.size() == out.size());
+  const auto& mat = lib.material(material);
+  const auto& fl = lib.flat();
+  const auto& ug = lib.union_grid();
+  const int nn = static_cast<int>(mat.size());
+  const int nvec = nn / kLanes * kLanes;
+  const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
+
+  // Tile P particles against each nuclide block: the kernel is bound by
+  // gather latency on the (much larger than cache) grid data, and P
+  // independent gather chains give the memory system P times the
+  // parallelism. On the in-order MIC the vector unit alone provided this
+  // effect; on out-of-order AVX-512 hosts the tiling is what beats the
+  // scalar path (measured ~1.5x on H.M. Large; see bench/fig2).
+  constexpr int P = 8;
+  std::size_t j = 0;
+  for (; j + P <= energies.size(); j += P) {
+    const std::int32_t* rows[P];
+    VF ev[P];
+    VF acc[P];
+    for (int p = 0; p < P; ++p) {
+      rows[p] = ug.imap.data() + ug.find(energies[j + p]) * stride;
+      ev[p] = VF(static_cast<float>(energies[j + p]));
+      acc[p] = VF(0.0f);
+    }
+    for (int n = 0; n < nvec; n += kLanes) {
+      const VI nucid = VI::loadu(mat.nuclides.data() + n);
+      const VI base = VI::gather(fl.offset.data(), nucid);
+      const VF dens = VF::loadu(mat.density.data() + n);
+      VI idx[P];
+      for (int p = 0; p < P; ++p) {
+        idx[p] = VI::gather(rows[p], nucid) + base;
+      }
+      if (ug.walk_bound > 0) {
+        const VI gsz = VI::gather(fl.grid_size.data(), nucid);
+        const VI limit = base + gsz - VI(2);
+        for (int w = 0; w < ug.walk_bound; ++w) {
+          for (int p = 0; p < P; ++p) {
+            const VF e_next = VF::gather(fl.energy_f.data(), idx[p] + VI(1));
+            const auto need = (e_next <= ev[p]).m & (idx[p] < limit).m;
+            idx[p].v -= need;
+          }
+        }
+      }
+      VF e_lo[P], e_hi[P], x_lo[P], x_hi[P];
+      for (int p = 0; p < P; ++p) e_lo[p] = VF::gather(fl.energy_f.data(), idx[p]);
+      for (int p = 0; p < P; ++p) e_hi[p] = VF::gather(fl.energy_f.data(), idx[p] + VI(1));
+      for (int p = 0; p < P; ++p) x_lo[p] = VF::gather(fl.total.data(), idx[p]);
+      for (int p = 0; p < P; ++p) x_hi[p] = VF::gather(fl.total.data(), idx[p] + VI(1));
+      for (int p = 0; p < P; ++p) {
+        VF f = (ev[p] - e_lo[p]) / (e_hi[p] - e_lo[p]);
+        f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
+        acc[p] = simd::fma(dens, simd::fma(f, x_hi[p] - x_lo[p], x_lo[p]),
+                           acc[p]);
+      }
+    }
+    for (int p = 0; p < P; ++p) {
+      double sigma = acc[p].hsum();
+      const std::size_t u = static_cast<std::size_t>(
+          (rows[p] - ug.imap.data()) / static_cast<std::ptrdiff_t>(stride));
+      for (int n = nvec; n < nn; ++n) {
+        sigma += mat.density[static_cast<std::size_t>(n)] *
+                 nuclide_xs_from_union(
+                     lib, mat.nuclides[static_cast<std::size_t>(n)], u,
+                     energies[j + p])
+                     .total;
+      }
+      out[j + p] = sigma;
+    }
+  }
+  // Tail particles: scalar path.
+  for (; j < energies.size(); ++j) {
+    out[j] = macro_total_history(lib, material, energies[j]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AoS ablation
+// ---------------------------------------------------------------------------
+
+AosLibrary::AosLibrary(const Library& lib) {
+  nuclides_.resize(static_cast<std::size_t>(lib.n_nuclides()));
+  for (int n = 0; n < lib.n_nuclides(); ++n) {
+    const auto& nuc = lib.nuclide(n);
+    auto& v = nuclides_[static_cast<std::size_t>(n)];
+    v.resize(nuc.grid_size());
+    for (std::size_t i = 0; i < nuc.grid_size(); ++i) {
+      v[i] = AosPoint{nuc.energy[i], nuc.total[i], nuc.scatter[i],
+                      nuc.absorption[i], nuc.fission[i]};
+    }
+  }
+}
+
+XsSet AosLibrary::evaluate(int nuclide, double e) const {
+  const auto& v = nuclides_[static_cast<std::size_t>(nuclide)];
+  // Binary search over the strided energy member.
+  std::size_t lo = 0;
+  std::size_t hi = v.size() - 1;
+  if (e <= v.front().energy) {
+    hi = 1;
+  } else if (e >= v.back().energy) {
+    lo = v.size() - 2;
+  } else {
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (v[mid].energy <= e) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  const AosPoint& a = v[lo];
+  const AosPoint& b = v[lo + 1];
+  double f = (e - a.energy) / (b.energy - a.energy);
+  f = std::clamp(f, 0.0, 1.0);
+  const auto lerp = [&](float x, float y) {
+    return static_cast<double>(x) +
+           f * (static_cast<double>(y) - static_cast<double>(x));
+  };
+  return XsSet{lerp(a.total, b.total), lerp(a.scatter, b.scatter),
+               lerp(a.absorption, b.absorption), lerp(a.fission, b.fission)};
+}
+
+XsSet macro_xs_aos(const AosLibrary& aos, const Material& mat, double e) {
+  XsSet sigma;
+  for (std::size_t i = 0; i < mat.size(); ++i) {
+    const double dens = mat.density[i];
+    sigma += dens * aos.evaluate(mat.nuclides[i], e);
+  }
+  return sigma;
+}
+
+}  // namespace vmc::xs

@@ -1,0 +1,93 @@
+// Macroscopic cross-section lookup kernels — the computation the whole paper
+// revolves around (Algorithm 1 / Algorithm 2).
+//
+// Variants:
+//  * macro_xs_history  — scalar, one particle at a time, unionized grid.
+//    This is what OpenMC's calculate_xs() does per collision in the
+//    history-based method.
+//  * macro_xs_search   — scalar but per-nuclide binary search instead of the
+//    unionized grid (ablation for the [Leppänen 2009] optimization).
+//  * macro_xs_banked   — the event-based kernel: a bank of particle energies
+//    is swept, one union-grid search per particle, then a SIMD loop over the
+//    material's nuclides with gathers into the flattened SoA data. This is
+//    the paper's Algorithm 2 with the *inner* (nuclide) loop vectorized —
+//    their empirically better choice.
+//  * macro_xs_banked_outer — vectorizes the *outer* (particle) loop instead;
+//    kept as the ablation the paper reports is slower.
+//  * macro_xs_banked_scalar — banked control flow but scalar arithmetic, to
+//    separate the banking effect from the SIMD effect.
+//  * macro_xs_aos      — scalar lookup against an array-of-structs layout
+//    (ablation baseline for the AoS→SoA transform of Section III-A1).
+#pragma once
+
+#include <span>
+
+#include "xsdata/library.hpp"
+
+namespace vmc::xs {
+
+/// Scalar history-based lookup via the unionized grid. Double precision.
+XsSet macro_xs_history(const Library& lib, int material, double e);
+
+/// Scalar lookup via per-nuclide binary search (no unionized grid).
+XsSet macro_xs_search(const Library& lib, int material, double e);
+
+/// Event-based banked lookup, inner nuclide loop vectorized (gathers into
+/// the flat SoA arrays). Writes one XsSet per input energy. Arithmetic in
+/// single precision (the vector-register economy the paper exploits);
+/// relative agreement with macro_xs_history is ~1e-4 (tested).
+void macro_xs_banked(const Library& lib, int material,
+                     std::span<const double> energies, std::span<XsSet> out);
+
+/// Banked lookup with the *outer* particle loop vectorized (lane = particle).
+void macro_xs_banked_outer(const Library& lib, int material,
+                           std::span<const double> energies,
+                           std::span<XsSet> out);
+
+/// Banked control flow, scalar arithmetic (isolates banking vs. SIMD).
+void macro_xs_banked_scalar(const Library& lib, int material,
+                            std::span<const double> energies,
+                            std::span<XsSet> out);
+
+// ---------------------------------------------------------------------------
+// Total-only kernels: Algorithm 1 computes just Sigma_t — the quantity the
+// free-flight sampling needs and the one the paper's Figure 2 micro-benchmark
+// measures. These variants touch a quarter of the cross-section data.
+// ---------------------------------------------------------------------------
+
+/// Scalar history-method total cross section via the unionized grid.
+double macro_total_history(const Library& lib, int material, double e);
+
+/// Banked SIMD total cross section (inner nuclide loop vectorized).
+void macro_total_banked(const Library& lib, int material,
+                        std::span<const double> energies,
+                        std::span<double> out);
+
+// ---------------------------------------------------------------------------
+// AoS layout (ablation)
+// ---------------------------------------------------------------------------
+
+/// One grid point with interleaved reaction channels — the "array of Fortran
+/// derived types" layout the paper transforms away from.
+struct AosPoint {
+  double energy;
+  float total;
+  float scatter;
+  float absorption;
+  float fission;
+};
+
+class AosLibrary {
+ public:
+  explicit AosLibrary(const Library& lib);
+  XsSet evaluate(int nuclide, double e) const;
+  int n_nuclides() const { return static_cast<int>(nuclides_.size()); }
+
+ private:
+  std::vector<simd::aligned_vector<AosPoint>> nuclides_;
+};
+
+/// Scalar lookup against the AoS layout (binary search per nuclide).
+XsSet macro_xs_aos(const AosLibrary& aos, const Material& mat, double e);
+
+}  // namespace vmc::xs

@@ -1,0 +1,29 @@
+// Material composition: a list of nuclides with atom densities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simd/aligned.hpp"
+
+namespace vmc::xs {
+
+/// A homogeneous material. `nuclides[i]` is a library nuclide id and
+/// `density[i]` its atom density in atoms/(barn·cm), so macroscopic
+/// Sigma = sum_i density[i] * sigma_i(E) comes out in 1/cm — exactly
+/// Algorithm 1 of the paper. The arrays are SoA and 64-byte aligned because
+/// the banked lookup kernel streams them with vector loads.
+struct Material {
+  std::string name;
+  simd::aligned_vector<std::int32_t> nuclides;
+  simd::aligned_vector<float> density;
+
+  void add(std::int32_t nuclide_id, double atom_density) {
+    nuclides.push_back(nuclide_id);
+    density.push_back(static_cast<float>(atom_density));
+  }
+
+  std::size_t size() const { return nuclides.size(); }
+};
+
+}  // namespace vmc::xs

@@ -1,0 +1,51 @@
+#include "xsdata/nuclide.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmc::xs {
+
+std::size_t Nuclide::find_index(double e) const {
+  assert(energy.size() >= 2);
+  if (e <= energy.front()) return 0;
+  if (e >= energy.back()) return energy.size() - 2;
+  const auto it = std::upper_bound(energy.begin(), energy.end(), e);
+  return static_cast<std::size_t>(it - energy.begin()) - 1;
+}
+
+XsSet Nuclide::evaluate(double e) const { return evaluate_at(find_index(e), e); }
+
+XsSet Nuclide::evaluate_at(std::size_t i, double e) const {
+  const double e0 = energy[i];
+  const double e1 = energy[i + 1];
+  double f = (e - e0) / (e1 - e0);
+  f = std::clamp(f, 0.0, 1.0);
+  const auto lerp = [&](const simd::aligned_vector<float>& xs) {
+    return static_cast<double>(xs[i]) +
+           f * (static_cast<double>(xs[i + 1]) - static_cast<double>(xs[i]));
+  };
+  return XsSet{lerp(total), lerp(scatter), lerp(absorption), lerp(fission)};
+}
+
+std::size_t Nuclide::data_bytes() const {
+  std::size_t b = energy.size() * sizeof(double) +
+                  (total.size() + scatter.size() + absorption.size() +
+                   fission.size()) *
+                      sizeof(float);
+  if (urr) {
+    b += urr->energy.size() * sizeof(double) +
+         (urr->cdf.size() + urr->f_total.size() + urr->f_scatter.size() +
+          urr->f_absorption.size() + urr->f_fission.size()) *
+             sizeof(float);
+  }
+  if (thermal) {
+    b += (thermal->bragg_edge.size() + thermal->inel_energy.size()) *
+             sizeof(double) +
+         (thermal->bragg_weight.size() + thermal->inel_xs.size() +
+          thermal->out_energy.size() + thermal->out_mu.size()) *
+             sizeof(float);
+  }
+  return b;
+}
+
+}  // namespace vmc::xs

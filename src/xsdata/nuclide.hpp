@@ -1,0 +1,88 @@
+// Continuous-energy nuclide data: pointwise cross sections plus the two
+// physics treatments the paper singles out as vectorization-hostile — the
+// unresolved-resonance-range (URR) probability tables [Levitt 1972] and the
+// S(alpha,beta) thermal scattering tables. Both are deliberately branchy,
+// exactly the property that forces the banking method to strip them
+// (Section III-A1) and full-physics mode to keep them (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simd/aligned.hpp"
+#include "xsdata/types.hpp"
+
+namespace vmc::xs {
+
+/// Unresolved-resonance-range probability table. At an incident energy in
+/// [e_min, e_max] the cross section is not a deterministic value: a band is
+/// sampled from a per-energy CDF and per-band multiplicative factors are
+/// applied to the smooth cross sections. The CDF walk is the conditional
+/// cascade the paper calls out.
+struct UrrTable {
+  double e_min = 0.0;
+  double e_max = 0.0;
+  int n_bands = 0;
+  std::vector<double> energy;      // incident grid, ascending
+  std::vector<float> cdf;          // [ie * n_bands + b], last band = 1
+  std::vector<float> f_total;     // multiplicative factors per [ie, b]
+  std::vector<float> f_scatter;
+  std::vector<float> f_absorption;
+  std::vector<float> f_fission;
+
+  bool contains(double e) const { return e >= e_min && e < e_max; }
+};
+
+/// Simplified S(alpha,beta) thermal-scattering table: coherent-elastic Bragg
+/// edges (loop-with-break structure) plus an incoherent-inelastic table of
+/// discrete outgoing (energy, mu) lines — enough branch structure to stand in
+/// for the full ENDF treatment when studying vectorizability.
+struct ThermalTable {
+  double cutoff = 0.0;                 // apply below this energy (MeV)
+  std::vector<double> bragg_edge;      // ascending edge energies
+  std::vector<float> bragg_weight;     // cumulative structure factors
+  std::vector<double> inel_energy;     // incident grid
+  std::vector<float> inel_xs;          // inelastic xs at each grid point
+  int n_out = 0;                       // outgoing lines per incident point
+  std::vector<float> out_energy;       // [ie * n_out + k]
+  std::vector<float> out_mu;           // [ie * n_out + k]
+
+  bool contains(double e) const { return e < cutoff && !inel_energy.empty(); }
+};
+
+/// One nuclide's continuous-energy data on its own (SoA) energy grid.
+struct Nuclide {
+  std::string name;
+  double awr = 1.0;  // atomic weight ratio (target mass / neutron mass)
+  bool fissionable = false;
+  double nu = 2.43;  // mean fission neutron yield (energy-independent model)
+
+  simd::aligned_vector<double> energy;  // ascending grid (MeV)
+  simd::aligned_vector<float> total;
+  simd::aligned_vector<float> scatter;
+  simd::aligned_vector<float> absorption;
+  simd::aligned_vector<float> fission;
+
+  std::optional<UrrTable> urr;
+  std::optional<ThermalTable> thermal;
+
+  std::size_t grid_size() const { return energy.size(); }
+
+  /// Index i of the interval with energy[i] <= e < energy[i+1], clamped to
+  /// [0, grid_size()-2]. Binary search.
+  std::size_t find_index(double e) const;
+
+  /// Lin-lin interpolated cross sections at energy e (no URR/S(a,b)).
+  XsSet evaluate(double e) const;
+
+  /// Interpolate inside a known interval (from find_index or a unionized
+  /// grid map).
+  XsSet evaluate_at(std::size_t i, double e) const;
+
+  /// Bytes of pointwise data (for the Table II transfer-size accounting).
+  std::size_t data_bytes() const;
+};
+
+}  // namespace vmc::xs

@@ -1,0 +1,63 @@
+// Synthetic continuous-energy nuclide generator.
+//
+// SUBSTITUTION (see DESIGN.md §2): the paper reads evaluated ENDF/B data via
+// OpenMC's HDF5 library; that data is not redistributable here, so we
+// synthesize nuclides with the same *computational* character: single-level
+// Breit-Wigner resonance ladders over a resolved range, 1/v absorption at
+// thermal energies, a potential-scattering floor, an unresolved-resonance
+// probability-table range, and optional thermal S(alpha,beta) tables. Grid
+// sizes, resonance densities, and data volumes are parameterized so the
+// H.M. Small (34-nuclide) and Large (320-nuclide) libraries reproduce the
+// lookup access pattern the paper benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xsdata/nuclide.hpp"
+
+namespace vmc::xs {
+
+/// Tuning knobs for a synthetic nuclide. The defaults describe a generic
+/// heavy absorber; `u238_like()` / `light_like()` / `fission_product_like()`
+/// give the three archetypes the H.M. material builders draw from.
+struct SynthParams {
+  double awr = 236.0;            // atomic weight ratio
+  int n_resonances = 300;        // resolved resonances
+  double res_e_min = 5.0e-6;     // resolved range lower bound (MeV)
+  double res_e_max = 1.0e-2;     // resolved range upper bound (MeV)
+  double sigma_pot = 9.0;        // potential scattering (barns)
+  double sigma0_mean = 200.0;    // mean resonance peak height (barns)
+  double gamma_mean = 3.0e-8;    // mean total resonance width (MeV)
+  double sigma_a_thermal = 2.7;  // absorption at 0.0253 eV (barns), 1/v
+  double fission_fraction = 0.0; // fraction of resonance absorption that fissions
+  bool fissionable = false;
+  double nu = 2.43;
+  int grid_points = 2000;        // target pointwise grid size
+  bool with_urr = true;          // unresolved range above res_e_max
+  int urr_bands = 8;
+  bool with_thermal = false;     // S(alpha,beta) below 4 eV
+  double thermal_cutoff = 4.0e-6;
+
+  static SynthParams u238_like();
+  static SynthParams u235_like();
+  static SynthParams light_like(double awr);
+  static SynthParams fission_product_like();
+};
+
+/// Build a synthetic nuclide. `seed` individualizes the resonance ladder so
+/// every nuclide in a 320-nuclide library has distinct data (distinct gather
+/// targets — important for the memory-bound lookup benchmark).
+Nuclide make_synthetic_nuclide(const std::string& name, std::uint64_t seed,
+                               const SynthParams& p);
+
+/// Energy-independent ("one-group") nuclide: constant cross sections over
+/// the whole energy range. In an infinite reflective medium of such a
+/// nuclide every analog history ends in absorption, so
+/// k_inf = nu * sigma_f / sigma_a exactly — the analytic anchor the
+/// transport validation tests use.
+Nuclide make_flat_nuclide(const std::string& name, double sigma_s,
+                          double sigma_a, double sigma_f, double nu,
+                          double awr = 235.0);
+
+}  // namespace vmc::xs

@@ -1,0 +1,32 @@
+// Common cross-section value types.
+#pragma once
+
+namespace vmc::xs {
+
+/// Macroscopic or microscopic cross-section set for the four reaction
+/// channels the transport loop consumes. Units: barns (microscopic) or
+/// 1/cm (macroscopic), context-dependent.
+struct XsSet {
+  double total = 0.0;
+  double scatter = 0.0;
+  double absorption = 0.0;  // capture + fission
+  double fission = 0.0;
+
+  XsSet& operator+=(const XsSet& o) {
+    total += o.total;
+    scatter += o.scatter;
+    absorption += o.absorption;
+    fission += o.fission;
+    return *this;
+  }
+  friend XsSet operator*(double a, const XsSet& x) {
+    return {a * x.total, a * x.scatter, a * x.absorption, a * x.fission};
+  }
+};
+
+/// Energy bounds of the continuous-energy data (MeV), matching the
+/// conventional ENDF range the paper's Figure 1 spans.
+inline constexpr double kEnergyMin = 1.0e-11;  // 1e-5 eV
+inline constexpr double kEnergyMax = 20.0;     // 20 MeV
+
+}  // namespace vmc::xs

@@ -1,0 +1,249 @@
+// In-process message passing: point-to-point ordering, collectives against
+// serial references, and the cluster cost model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+
+#include "comm/cluster_model.hpp"
+#include "comm/comm.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::comm;
+
+class WorldSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldSizeTest, AllreduceSumMatchesSerial) {
+  const int ranks = GetParam();
+  World world(ranks);
+  std::vector<double> results(static_cast<std::size_t>(ranks));
+  world.run([&](Comm& c) {
+    // Deterministic per-rank vector.
+    std::vector<double> mine(16);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = (c.rank() + 1) * 100.0 + static_cast<double>(i);
+    }
+    const auto sum = c.allreduce_sum(mine);
+    // Serial reference.
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      double expect = 0.0;
+      for (int r = 0; r < c.size(); ++r) {
+        expect += (r + 1) * 100.0 + static_cast<double>(i);
+      }
+      ASSERT_DOUBLE_EQ(sum[i], expect);
+    }
+    results[static_cast<std::size_t>(c.rank())] = sum[0];
+  });
+  // Every rank saw the same result.
+  for (int r = 1; r < ranks; ++r) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], results[0]);
+  }
+}
+
+TEST_P(WorldSizeTest, BarrierSynchronizesRepeatedly) {
+  const int ranks = GetParam();
+  World world(ranks);
+  std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+  world.run([&](Comm& c) {
+    for (int phase = 0; phase < 3; ++phase) {
+      phase_counts[phase].fetch_add(1);
+      c.barrier();
+      // After the barrier, everyone must have registered this phase.
+      EXPECT_EQ(phase_counts[phase].load(), ranks);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorldSizeTest, ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(Comm, SendRecvPreservesOrderPerTag) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        c.send_value(1, /*tag=*/5, i);
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(c.recv_value<int>(0, 5), i);
+      }
+    }
+  });
+}
+
+TEST(Comm, TagsAreIndependentChannels) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 111);
+      c.send_value(1, 2, 222);
+    } else {
+      // Receive in the opposite order of sending: tags must not block each
+      // other.
+      EXPECT_EQ(c.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(Comm, TypedVectorsRoundTrip) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint64_t> v(100);
+      std::iota(v.begin(), v.end(), 7);
+      c.send(1, 0, v);
+    } else {
+      const auto v = c.recv<std::uint64_t>(0, 0);
+      ASSERT_EQ(v.size(), 100u);
+      EXPECT_EQ(v.front(), 7u);
+      EXPECT_EQ(v.back(), 106u);
+    }
+  });
+}
+
+TEST(Comm, BcastDistributesRootData) {
+  World world(4);
+  world.run([&](Comm& c) {
+    std::vector<int> data;
+    if (c.rank() == 2) data = {1, 2, 3, 4, 5};
+    c.bcast(data, /*root=*/2);
+    ASSERT_EQ(data.size(), 5u);
+    EXPECT_EQ(data[4], 5);
+  });
+}
+
+TEST(Comm, GatherConcatenatesInRankOrder) {
+  World world(3);
+  world.run([&](Comm& c) {
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()) + 1, c.rank());
+    const auto all = c.gather(mine, /*root=*/0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), 1u + 2u + 3u);
+      EXPECT_EQ(all[0], 0);
+      EXPECT_EQ(all[1], 1);
+      EXPECT_EQ(all[2], 1);
+      EXPECT_EQ(all[3], 2);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, AllreduceMaxAndScalars) {
+  World world(5);
+  world.run([&](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank())), 4.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 5.0);
+    EXPECT_EQ(c.allreduce_sum(std::uint64_t{10}), 50u);
+  });
+}
+
+TEST(Comm, FissionBankStyleExchange) {
+  // The eigenvalue loop's pattern: gather per-rank site counts, rebalance.
+  World world(4);
+  world.run([&](Comm& c) {
+    const std::uint64_t my_sites = 100 + 10 * static_cast<std::uint64_t>(c.rank());
+    const std::uint64_t total = c.allreduce_sum(my_sites);
+    EXPECT_EQ(total, 100u + 110 + 120 + 130);
+  });
+}
+
+TEST(Comm, ExceptionsPropagateToCaller) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& c) {
+                 if (c.rank() == 1) throw std::runtime_error("rank fail");
+                 // rank 0 exits cleanly
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, RejectsBadRanks) {
+  EXPECT_THROW(World(0), std::invalid_argument);
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v{1};
+      EXPECT_THROW(c.send(7, 0, v), std::out_of_range);
+    }
+  });
+}
+
+TEST(CommFuzz, RandomMessageStormIsLossless) {
+  // Property fuzz: every rank sends a random number of random-size messages
+  // on random tags to random peers; receivers drain them in a fixed
+  // (source, tag) order. Totals must balance exactly — no loss, no
+  // duplication, no deadlock.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    constexpr int kRanks = 4;
+    constexpr int kTags = 3;
+    // Deterministic plan, computed identically by every rank.
+    int plan[kRanks][kRanks][kTags] = {};      // messages src -> dst on tag
+    long payload_sum[kRanks] = {};             // expected sum per receiver
+    vmc::rng::Stream planner(seed);
+    for (int src = 0; src < kRanks; ++src) {
+      for (int dst = 0; dst < kRanks; ++dst) {
+        if (dst == src) continue;
+        for (int tag = 0; tag < kTags; ++tag) {
+          plan[src][dst][tag] = static_cast<int>(planner.next() * 4);
+        }
+      }
+    }
+    World world(kRanks);
+    world.run([&](Comm& c) {
+      vmc::rng::Stream gen(seed * 1000 + static_cast<std::uint64_t>(c.rank()));
+      long sent_total = 0;
+      // Send phase: random sizes, contents derived from the stream.
+      for (int dst = 0; dst < kRanks; ++dst) {
+        if (dst == c.rank()) continue;
+        for (int tag = 0; tag < kTags; ++tag) {
+          for (int m = 0; m < plan[c.rank()][dst][tag]; ++m) {
+            std::vector<int> payload(1 + static_cast<std::size_t>(gen.next() * 50));
+            for (auto& x : payload) {
+              x = static_cast<int>(gen.next() * 1000);
+              sent_total += x;
+            }
+            c.send(dst, tag, payload);
+          }
+        }
+      }
+      // Receive phase: drain in deterministic order.
+      long received = 0;
+      for (int src = 0; src < kRanks; ++src) {
+        if (src == c.rank()) continue;
+        for (int tag = 0; tag < kTags; ++tag) {
+          for (int m = 0; m < plan[src][c.rank()][tag]; ++m) {
+            for (const int x : c.recv<int>(src, tag)) received += x;
+          }
+        }
+      }
+      // Global balance: sum of all sent == sum of all received.
+      const double sent_global = c.allreduce_sum(static_cast<double>(sent_total));
+      const double recv_global = c.allreduce_sum(static_cast<double>(received));
+      EXPECT_DOUBLE_EQ(sent_global, recv_global) << "seed " << seed;
+      (void)payload_sum;
+    });
+  }
+}
+
+TEST(ClusterModel, CollectiveCostScalesLogarithmically) {
+  const ClusterModel m = ClusterModel::stampede();
+  const double t2 = m.allreduce_seconds(2, 1024);
+  const double t1024 = m.allreduce_seconds(1024, 1024);
+  EXPECT_NEAR(t1024 / t2, 10.0, 0.5);  // log2(1024) / log2(2)
+  EXPECT_EQ(m.allreduce_seconds(1, 1024), 0.0);
+}
+
+TEST(ClusterModel, BandwidthTermDominatesLargePayloads) {
+  const ClusterModel m = ClusterModel::stampede();
+  const double small = m.p2p_seconds(64);
+  const double large = m.p2p_seconds(1u << 30);
+  EXPECT_GT(large, 100.0 * small);
+  EXPECT_NEAR(large, m.latency_s + (1u << 30) / (m.bandwidth_gbs * 1e9),
+              1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// The headline correctness property: the event-based (banked) tracker is a
+// reorganization of the history-based tracker, not a different calculation.
+// With the SIMD stages disabled the two must produce BIT-IDENTICAL particle
+// fates; with SIMD enabled they agree statistically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/event.hpp"
+#include "core/history.hpp"
+#include "hm/hm_model.hpp"
+
+namespace {
+
+using namespace vmc::core;
+using vmc::particle::FissionSite;
+using vmc::particle::Particle;
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vmc::hm::ModelOptions mo;
+    mo.fuel = vmc::hm::FuelSize::small;
+    mo.grid_scale = 0.12;
+    mo.full_core = false;
+    model_ = new vmc::hm::Model(vmc::hm::build_model(mo));
+    // The paper removes URR/S(a,b) for the banked comparison; so do we.
+    coll_ = new vmc::physics::Collision(
+        model_->library, vmc::physics::PhysicsSettings::vector_friendly());
+  }
+  static void TearDownTestSuite() {
+    delete coll_;
+    delete model_;
+    coll_ = nullptr;
+    model_ = nullptr;
+  }
+
+  std::vector<Particle> make_source(int n, std::uint64_t seed) const {
+    std::vector<Particle> ps;
+    vmc::rng::Stream s(seed ^ 0xABCD);
+    int made = 0;
+    while (made < n) {
+      const vmc::geom::Position r{10.0 * (2.0 * s.next() - 1.0),
+                                  10.0 * (2.0 * s.next() - 1.0),
+                                  40.0 * (2.0 * s.next() - 1.0)};
+      if (model_->geometry.find_material(r) != model_->fuel_material) continue;
+      ps.push_back(Particle::born(seed, static_cast<std::uint64_t>(made), r,
+                                  vmc::rng::sample_watt(s)));
+      ++made;
+    }
+    return ps;
+  }
+
+  static std::vector<FissionSite> sorted(std::vector<FissionSite> b) {
+    std::sort(b.begin(), b.end(), [](const FissionSite& a, const FissionSite& c) {
+      if (a.r.x != c.r.x) return a.r.x < c.r.x;
+      if (a.r.y != c.r.y) return a.r.y < c.r.y;
+      if (a.r.z != c.r.z) return a.r.z < c.r.z;
+      return a.energy < c.energy;
+    });
+    return b;
+  }
+
+  static vmc::hm::Model* model_;
+  static vmc::physics::Collision* coll_;
+};
+
+vmc::hm::Model* EquivalenceTest::model_ = nullptr;
+vmc::physics::Collision* EquivalenceTest::coll_ = nullptr;
+
+TEST_F(EquivalenceTest, ScalarEventTrackerIsBitIdenticalToHistory) {
+  const int n = 400;
+  auto hist = make_source(n, 42);
+  auto evt = hist;  // identical copies
+
+  HistoryTracker ht(model_->geometry, model_->library, *coll_);
+  TallyScores h_tally;
+  EventCounts h_counts;
+  std::vector<FissionSite> h_bank;
+  for (auto& p : hist) ht.track(p, h_tally, h_counts, h_bank);
+
+  EventOptions eo;
+  eo.simd_lookup = false;
+  eo.simd_distance = false;
+  EventTracker et(model_->geometry, model_->library, *coll_, eo);
+  TallyScores e_tally;
+  EventCounts e_counts;
+  std::vector<FissionSite> e_bank;
+  et.run(evt, e_tally, e_counts, e_bank);
+
+  // Per-particle fates: exact.
+  for (int i = 0; i < n; ++i) {
+    const auto& a = hist[static_cast<std::size_t>(i)];
+    const auto& b = evt[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.n_collisions, b.n_collisions) << "particle " << i;
+    EXPECT_EQ(a.n_crossings, b.n_crossings) << "particle " << i;
+    EXPECT_EQ(a.r.x, b.r.x) << "particle " << i;
+    EXPECT_EQ(a.r.y, b.r.y);
+    EXPECT_EQ(a.r.z, b.r.z);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.stream.state(), b.stream.state()) << "particle " << i;
+  }
+
+  // Counters: exact.
+  EXPECT_EQ(h_counts.lookups, e_counts.lookups);
+  EXPECT_EQ(h_counts.collisions, e_counts.collisions);
+  EXPECT_EQ(h_counts.crossings, e_counts.crossings);
+  EXPECT_EQ(h_counts.nuclide_terms, e_counts.nuclide_terms);
+
+  // Fission banks: identical multisets (ordering differs by construction).
+  ASSERT_EQ(h_bank.size(), e_bank.size());
+  const auto hs = sorted(h_bank);
+  const auto es = sorted(e_bank);
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    EXPECT_EQ(hs[i].r.x, es[i].r.x);
+    EXPECT_EQ(hs[i].energy, es[i].energy);
+  }
+
+  // Tallies: same sums up to floating-point association.
+  EXPECT_NEAR(h_tally.k_collision, e_tally.k_collision,
+              1e-9 * h_tally.k_collision);
+  EXPECT_NEAR(h_tally.track_length, e_tally.track_length,
+              1e-9 * h_tally.track_length);
+  EXPECT_DOUBLE_EQ(h_tally.collision, e_tally.collision);
+  EXPECT_DOUBLE_EQ(h_tally.absorption + h_tally.leakage,
+                   e_tally.absorption + e_tally.leakage);
+}
+
+TEST_F(EquivalenceTest, SimdEventTrackerAgreesStatistically) {
+  const int n = 3000;
+  auto hist = make_source(n, 7);
+  auto evt = hist;
+
+  HistoryTracker ht(model_->geometry, model_->library, *coll_);
+  TallyScores h_tally;
+  EventCounts h_counts;
+  std::vector<FissionSite> h_bank;
+  for (auto& p : hist) ht.track(p, h_tally, h_counts, h_bank);
+
+  EventTracker et(model_->geometry, model_->library, *coll_, EventOptions{});
+  TallyScores e_tally;
+  EventCounts e_counts;
+  std::vector<FissionSite> e_bank;
+  et.run(evt, e_tally, e_counts, e_bank);
+
+  const double kh = h_tally.k_collision / n;
+  const double ke = e_tally.k_collision / n;
+  EXPECT_NEAR(ke, kh, 0.05 * kh);
+  EXPECT_NEAR(static_cast<double>(e_bank.size()),
+              static_cast<double>(h_bank.size()),
+              0.08 * static_cast<double>(h_bank.size()));
+  EXPECT_NEAR(e_tally.absorption + e_tally.leakage,
+              h_tally.absorption + h_tally.leakage, 1e-6);
+}
+
+TEST_F(EquivalenceTest, SimdLookupOnlyStillTracksClosely) {
+  // SIMD lookups with scalar distances: the only difference is float vs
+  // double interpolation of Sigma.
+  const int n = 1000;
+  auto a = make_source(n, 11);
+  auto b = a;
+
+  EventOptions scalar_opts;
+  scalar_opts.simd_lookup = false;
+  scalar_opts.simd_distance = false;
+  EventTracker scalar_tracker(model_->geometry, model_->library, *coll_,
+                              scalar_opts);
+  EventOptions lookup_opts;
+  lookup_opts.simd_lookup = true;
+  lookup_opts.simd_distance = false;
+  EventTracker simd_tracker(model_->geometry, model_->library, *coll_,
+                            lookup_opts);
+
+  TallyScores ta, tb;
+  EventCounts ca, cb;
+  std::vector<FissionSite> ba, bb;
+  scalar_tracker.run(a, ta, ca, ba);
+  simd_tracker.run(b, tb, cb, bb);
+  EXPECT_NEAR(tb.k_collision, ta.k_collision, 0.08 * ta.k_collision);
+  EXPECT_NEAR(tb.track_length, ta.track_length, 0.08 * ta.track_length);
+}
+
+}  // namespace

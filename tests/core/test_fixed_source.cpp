@@ -1,0 +1,149 @@
+// Fixed-source mode: analytic attenuation anchors, source sampling,
+// batching statistics, and mesh-tally integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/fixed_source.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::core;
+
+struct SphereProblem {
+  std::unique_ptr<vmc::xs::Library> lib;
+  vmc::geom::Geometry geo;
+  int mat = -1;
+};
+
+SphereProblem make_sphere(double radius, double sigma_s, double sigma_a) {
+  SphereProblem p;
+  p.lib = std::make_unique<vmc::xs::Library>();
+  const int id = p.lib->add_nuclide(
+      vmc::xs::make_flat_nuclide("m", sigma_s, sigma_a, 0.0, 0.0));
+  vmc::xs::Material m;
+  m.add(id, 1.0);
+  p.mat = p.lib->add_material(std::move(m));
+  p.lib->finalize();
+
+  const int sphere =
+      p.geo.add_surface(vmc::geom::Surface::sphere(0, 0, 0, radius));
+  p.geo.surface(sphere).set_bc(vmc::geom::BoundaryCondition::vacuum);
+  vmc::geom::Cell inside;
+  inside.region = {{sphere, false}};
+  inside.fill = p.mat;
+  vmc::geom::Universe root;
+  root.cells = {p.geo.add_cell(std::move(inside))};
+  p.geo.set_root(p.geo.add_universe(std::move(root)));
+  return p;
+}
+
+FixedSourceSettings base_settings(std::size_t n = 20000) {
+  FixedSourceSettings s;
+  s.n_particles = n;
+  s.n_batches = 4;
+  s.source = ExternalSource::point_source({0, 0, 0}, 2.0);
+  s.physics = vmc::physics::PhysicsSettings::vector_friendly();
+  return s;
+}
+
+class AttenuationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AttenuationTest, PureAbsorberLeakageMatchesExponential) {
+  // Point isotropic source at the center of a pure absorber of radius R:
+  // leakage = e^{-Sigma_a R} exactly.
+  const double radius = GetParam();
+  const double sigma_a = 0.7;
+  SphereProblem p = make_sphere(radius, /*sigma_s=*/1e-6, sigma_a);
+  const auto r = run_fixed_source(p.geo, *p.lib, base_settings());
+  const double analytic = std::exp(-sigma_a * radius);
+  EXPECT_NEAR(r.leakage_fraction, analytic,
+              5.0 * r.leakage_std + 0.01 * analytic)
+      << "R=" << radius;
+  // Conservation: leaked + absorbed = 1 per particle.
+  EXPECT_NEAR(r.leakage_fraction + r.absorption_fraction, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, AttenuationTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+TEST(FixedSource, ScattererLeaksMoreThanUncollidedEstimate) {
+  // With scattering, collided particles still escape: leakage must exceed
+  // the uncollided e^{-Sigma_t R} but stay below e^{-Sigma_a R}.
+  const double radius = 2.0;
+  SphereProblem p = make_sphere(radius, /*sigma_s=*/0.5, /*sigma_a=*/0.5);
+  const auto r = run_fixed_source(p.geo, *p.lib, base_settings());
+  EXPECT_GT(r.leakage_fraction, std::exp(-1.0 * radius));   // Sigma_t = 1.0
+  EXPECT_LT(r.leakage_fraction, std::exp(-0.5 * radius) * 1.5);
+}
+
+TEST(FixedSource, CollisionCountMatchesPureAbsorberExpectation) {
+  // In a large pure absorber nearly every particle collides exactly once.
+  SphereProblem p = make_sphere(50.0, 1e-6, 1.0);
+  const auto r = run_fixed_source(p.geo, *p.lib, base_settings(5000));
+  EXPECT_NEAR(r.collisions_per_particle, 1.0, 0.02);
+}
+
+TEST(FixedSource, BoxSourceSamplesInsideTheBox) {
+  SphereProblem p = make_sphere(10.0, 0.1, 0.5);
+  FixedSourceSettings s = base_settings(4000);
+  s.source = ExternalSource::box_source({-1, -2, -3}, {1, 2, 3}, 2.0);
+  MeshTally::Spec spec;
+  spec.lower = {-10, -10, -10};
+  spec.upper = {10, 10, 10};
+  spec.nx = spec.ny = spec.nz = 5;
+  MeshTally mesh(spec);
+  s.mesh_tally = &mesh;
+  const auto r = run_fixed_source(p.geo, *p.lib, s);
+  EXPECT_GT(mesh.scored(), 0u);
+  EXPECT_GT(r.rate, 0.0);
+}
+
+TEST(FixedSource, SeedReproducibilityAndThreadInvariance) {
+  SphereProblem p = make_sphere(3.0, 0.3, 0.4);
+  FixedSourceSettings s = base_settings(3000);
+  const auto a = run_fixed_source(p.geo, *p.lib, s);
+  const auto b = run_fixed_source(p.geo, *p.lib, s);
+  EXPECT_DOUBLE_EQ(a.leakage_fraction, b.leakage_fraction);
+
+  s.n_threads = 3;
+  const auto c = run_fixed_source(p.geo, *p.lib, s);
+  EXPECT_NEAR(c.leakage_fraction, a.leakage_fraction, 1e-12);
+}
+
+TEST(FixedSource, WattSpectrumWhenEnergyNonPositive) {
+  SphereProblem p = make_sphere(5.0, 0.2, 0.2);
+  FixedSourceSettings s = base_settings(2000);
+  s.source.energy = 0.0;  // Watt
+  const auto r = run_fixed_source(p.geo, *p.lib, s);
+  EXPECT_GT(r.counts.histories, 0u);
+}
+
+TEST(FixedSource, RejectsBadConfigs) {
+  SphereProblem p = make_sphere(1.0, 0.1, 0.1);
+  FixedSourceSettings s = base_settings(10);
+  s.n_batches = 0;
+  EXPECT_THROW(run_fixed_source(p.geo, *p.lib, s), std::invalid_argument);
+}
+
+TEST(FixedSource, FissionDoesNotMultiply) {
+  // A fissile medium in fixed-source mode: fission terminates histories,
+  // secondaries are not transported (shielding semantics).
+  SphereProblem p = make_sphere(5.0, 0.1, 0.1);
+  vmc::xs::Library lib;
+  const int id = lib.add_nuclide(
+      vmc::xs::make_flat_nuclide("fuel", 0.5, 2.0, 1.5, 2.43));
+  vmc::xs::Material m;
+  m.add(id, 1.0);
+  lib.add_material(std::move(m));
+  lib.finalize();
+  FixedSourceSettings s = base_settings(4000);
+  const auto r = run_fixed_source(p.geo, lib, s);
+  // Every source particle dies exactly once: absorbed or leaked.
+  EXPECT_NEAR(r.leakage_fraction + r.absorption_fraction, 1.0, 1e-9);
+  EXPECT_EQ(r.counts.histories, 4u * 4000u);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Mesh/energy tallies: binning, estimator math, projections, thread safety,
+// and integration with the transport drivers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "core/eigenvalue.hpp"
+#include "core/mesh_tally.hpp"
+#include "hm/hm_model.hpp"
+
+namespace {
+
+using namespace vmc::core;
+
+MeshTally::Spec unit_spec(int nx = 4, int ny = 4, int nz = 2) {
+  MeshTally::Spec s;
+  s.lower = {0, 0, 0};
+  s.upper = {4, 4, 2};
+  s.nx = nx;
+  s.ny = ny;
+  s.nz = nz;
+  return s;
+}
+
+TEST(MeshTally, BinIndexingCoversTheBox) {
+  MeshTally t(unit_spec());
+  EXPECT_EQ(t.n_cells(), 32u);
+  EXPECT_EQ(t.n_groups(), 1);
+  // Corners and centers.
+  EXPECT_EQ(t.bin_of({0.0, 0.0, 0.0}, 1.0), 0);
+  EXPECT_EQ(t.bin_of({3.999, 3.999, 1.999}, 1.0),
+            static_cast<std::int64_t>(t.n_cells()) - 1);
+  EXPECT_EQ(t.bin_of({1.5, 0.5, 0.5}, 1.0), 1);  // ix=1, iy=0, iz=0
+  // Outside.
+  EXPECT_EQ(t.bin_of({-0.1, 1, 1}, 1.0), -1);
+  EXPECT_EQ(t.bin_of({4.0, 1, 1}, 1.0), -1);  // upper edge is exclusive
+  EXPECT_EQ(t.bin_of({1, 1, 2.5}, 1.0), -1);
+}
+
+TEST(MeshTally, EnergyGroupsSelectCorrectly) {
+  MeshTally::Spec s = unit_spec(1, 1, 1);
+  s.group_edges = {1e-11, 1e-6, 1e-3, 20.0};
+  MeshTally t(s);
+  EXPECT_EQ(t.n_groups(), 3);
+  EXPECT_EQ(t.bin_of({1, 1, 1}, 1e-8), 0);   // thermal group
+  EXPECT_EQ(t.bin_of({1, 1, 1}, 1e-5), 1);   // epithermal
+  EXPECT_EQ(t.bin_of({1, 1, 1}, 2.0), 2);    // fast
+  EXPECT_EQ(t.bin_of({1, 1, 1}, 1e-12), -1); // below structure
+  EXPECT_EQ(t.bin_of({1, 1, 1}, 25.0), -1);  // above structure
+}
+
+TEST(MeshTally, CollisionEstimatorMath) {
+  MeshTally t(unit_spec(1, 1, 1));
+  t.score_collision({1, 1, 1}, 1.0, /*w=*/2.0, /*sigma_t=*/0.5,
+                    /*nu_sigma_f=*/0.25);
+  EXPECT_DOUBLE_EQ(t.flux(0), 2.0 / 0.5);
+  EXPECT_DOUBLE_EQ(t.fission(0), 2.0 * 0.25 / 0.5);
+  EXPECT_EQ(t.scored(), 1u);
+  // Outside and degenerate sigma are dropped, not crashed.
+  t.score_collision({10, 10, 10}, 1.0, 1.0, 1.0, 0.0);
+  t.score_collision({1, 1, 1}, 1.0, 1.0, 0.0, 0.0);
+  EXPECT_EQ(t.dropped(), 2u);
+}
+
+TEST(MeshTally, RadialMapAndSpectrumProjections) {
+  MeshTally::Spec s = unit_spec(2, 2, 2);
+  s.upper = {2, 2, 2};
+  s.group_edges = {1e-11, 1e-3, 20.0};
+  MeshTally t(s);
+  // Score one collision in every (cell, group).
+  for (double z : {0.5, 1.5}) {
+    for (double y : {0.5, 1.5}) {
+      for (double x : {0.5, 1.5}) {
+        t.score_collision({x, y, z}, 1e-5, 1.0, 1.0, 0.5);  // group 0
+        t.score_collision({x, y, z}, 1.0, 2.0, 1.0, 0.5);   // group 1
+      }
+    }
+  }
+  const auto radial = t.radial_flux_map();
+  ASSERT_EQ(radial.size(), 4u);
+  for (const double v : radial) {
+    EXPECT_DOUBLE_EQ(v, 2.0 * (1.0 + 2.0));  // 2 z-planes x (w=1 + w=2)
+  }
+  const auto spectrum = t.energy_spectrum();
+  ASSERT_EQ(spectrum.size(), 2u);
+  EXPECT_DOUBLE_EQ(spectrum[0], 8.0);   // 8 cells x w=1
+  EXPECT_DOUBLE_EQ(spectrum[1], 16.0);  // 8 cells x w=2
+  const auto fission_map = t.radial_fission_map();
+  EXPECT_DOUBLE_EQ(std::accumulate(fission_map.begin(), fission_map.end(), 0.0),
+                   0.5 * (8.0 + 16.0));
+}
+
+TEST(MeshTally, ConcurrentScoringLosesNothing) {
+  MeshTally t(unit_spec(1, 1, 1));
+  constexpr int kThreads = 8, kPer = 20000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < kPer; ++j) {
+        t.score_collision({1, 1, 1}, 1.0, 1.0, 2.0, 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(t.flux(0), kThreads * kPer * 0.5);
+  EXPECT_EQ(t.scored(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(MeshTally, ResetClears) {
+  MeshTally t(unit_spec(1, 1, 1));
+  t.score_collision({1, 1, 1}, 1.0, 1.0, 1.0, 1.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.flux(0), 0.0);
+  EXPECT_EQ(t.scored(), 0u);
+}
+
+TEST(MeshTally, RejectsBadSpecs) {
+  MeshTally::Spec s = unit_spec(0, 1, 1);
+  EXPECT_THROW(MeshTally{s}, std::invalid_argument);
+  s = unit_spec();
+  s.upper = s.lower;
+  EXPECT_THROW(MeshTally{s}, std::invalid_argument);
+  s = unit_spec();
+  s.group_edges = {2.0, 1.0};
+  EXPECT_THROW(MeshTally{s}, std::invalid_argument);
+}
+
+TEST(LogGroupEdges, EqualLethargy) {
+  const auto edges = log_group_edges(1e-9, 10.0, 10);
+  ASSERT_EQ(edges.size(), 11u);
+  EXPECT_DOUBLE_EQ(edges.front(), 1e-9);
+  EXPECT_NEAR(edges.back(), 10.0, 1e-12);
+  // Constant ratio between consecutive edges.
+  const double ratio = edges[1] / edges[0];
+  for (std::size_t i = 1; i + 1 < edges.size(); ++i) {
+    EXPECT_NEAR(edges[i + 1] / edges[i], ratio, 1e-9 * ratio);
+  }
+  EXPECT_THROW(log_group_edges(0.0, 1.0, 4), std::invalid_argument);
+}
+
+// --- integration with the transport drivers --------------------------------
+
+class MeshIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vmc::hm::ModelOptions mo;
+    mo.fuel = vmc::hm::FuelSize::small;
+    mo.grid_scale = 0.12;
+    mo.full_core = false;
+    model_ = new vmc::hm::Model(vmc::hm::build_model(mo));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static vmc::hm::Model* model_;
+};
+
+vmc::hm::Model* MeshIntegrationTest::model_ = nullptr;
+
+TEST_F(MeshIntegrationTest, SimulationScoresOnlyActiveGenerations) {
+  MeshTally::Spec spec;
+  spec.lower = model_->source_lo;
+  spec.upper = model_->source_hi;
+  spec.nx = spec.ny = 4;
+  spec.nz = 2;
+  spec.group_edges = log_group_edges(1e-11, 20.0, 8);
+  MeshTally mesh(spec);
+
+  Settings s;
+  s.n_particles = 600;
+  s.n_inactive = 2;
+  s.n_active = 0;  // inactive only: nothing may be scored
+  s.source_lo = model_->source_lo;
+  s.source_hi = model_->source_hi;
+  s.mesh_tally = &mesh;
+  Simulation(model_->geometry, model_->library, s).run();
+  EXPECT_EQ(mesh.scored(), 0u);
+
+  s.n_inactive = 1;
+  s.n_active = 2;
+  Simulation(model_->geometry, model_->library, s).run();
+  EXPECT_GT(mesh.scored(), 1000u);
+}
+
+TEST_F(MeshIntegrationTest, SpectrumShowsThermalAndFastPopulations) {
+  // A moderated reactor spectrum has flux both near the Watt birth energies
+  // (MeV) and in the thermal range after slow-down.
+  MeshTally::Spec spec;
+  spec.lower = model_->source_lo;
+  spec.upper = model_->source_hi;
+  spec.nx = spec.ny = spec.nz = 1;
+  spec.group_edges = log_group_edges(1e-11, 20.0, 12);
+  MeshTally mesh(spec);
+
+  Settings s;
+  s.n_particles = 2000;
+  s.n_inactive = 1;
+  s.n_active = 3;
+  s.source_lo = model_->source_lo;
+  s.source_hi = model_->source_hi;
+  s.mesh_tally = &mesh;
+  Simulation(model_->geometry, model_->library, s).run();
+
+  const auto spectrum = mesh.energy_spectrum();
+  const double total = std::accumulate(spectrum.begin(), spectrum.end(), 0.0);
+  ASSERT_GT(total, 0.0);
+  // Thermal third and fast third both hold a nontrivial share of the flux.
+  double thermal = 0.0, fast = 0.0;
+  for (std::size_t g = 0; g < 4; ++g) thermal += spectrum[g];
+  for (std::size_t g = 8; g < 12; ++g) fast += spectrum[g];
+  EXPECT_GT(thermal / total, 0.02);
+  EXPECT_GT(fast / total, 0.02);
+}
+
+TEST_F(MeshIntegrationTest, HistoryAndEventModesScoreConsistently) {
+  const auto run_mode = [&](TransportMode mode) {
+    MeshTally::Spec spec;
+    spec.lower = model_->source_lo;
+    spec.upper = model_->source_hi;
+    spec.nx = spec.ny = 2;
+    spec.nz = 1;
+    MeshTally mesh(spec);
+    Settings s;
+    s.n_particles = 1500;
+    s.n_inactive = 1;
+    s.n_active = 2;
+    s.mode = mode;
+    s.source_lo = model_->source_lo;
+    s.source_hi = model_->source_hi;
+    s.mesh_tally = &mesh;
+    Simulation(model_->geometry, model_->library, s).run();
+    const auto m = mesh.radial_flux_map();
+    return std::accumulate(m.begin(), m.end(), 0.0);
+  };
+  const double hist = run_mode(TransportMode::history);
+  const double evt = run_mode(TransportMode::event);
+  EXPECT_NEAR(evt, hist, 0.10 * hist);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tally accumulation: the three synchronization modes must agree, and batch
+// statistics must match hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/tally.hpp"
+
+namespace {
+
+using namespace vmc::core;
+
+class TallyModeTest : public ::testing::TestWithParam<TallyMode> {};
+
+TEST_P(TallyModeTest, SingleThreadSum) {
+  TallyAccumulator acc(GetParam());
+  for (int i = 1; i <= 100; ++i) {
+    TallyScores s;
+    s.collision = i;
+    s.k_collision = 0.5 * i;
+    s.leakage = 0.25;
+    acc.score(s);
+  }
+  const TallyScores t = acc.total();
+  EXPECT_DOUBLE_EQ(t.collision, 5050.0);
+  EXPECT_DOUBLE_EQ(t.k_collision, 2525.0);
+  EXPECT_DOUBLE_EQ(t.leakage, 25.0);
+}
+
+TEST_P(TallyModeTest, ConcurrentScoringLosesNothing) {
+  TallyAccumulator acc(GetParam());
+  constexpr int kThreads = 8;
+  constexpr int kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc] {
+      for (int i = 0; i < kPer; ++i) {
+        TallyScores s;
+        s.absorption = 1.0;
+        s.track_length = 0.5;
+        acc.score(s);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const TallyScores t = acc.total();
+  EXPECT_DOUBLE_EQ(t.absorption, kThreads * kPer * 1.0);
+  EXPECT_DOUBLE_EQ(t.track_length, kThreads * kPer * 0.5);
+}
+
+TEST_P(TallyModeTest, ResetZeroes) {
+  TallyAccumulator acc(GetParam());
+  TallyScores s;
+  s.collision = 3.0;
+  acc.score(s);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total().collision, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TallyModeTest,
+                         ::testing::Values(TallyMode::thread_local_reduce,
+                                           TallyMode::atomic_add,
+                                           TallyMode::critical));
+
+TEST(TallyScores, OperatorPlusEqAddsAllFields) {
+  TallyScores a, b;
+  a.k_collision = 1;
+  a.k_absorption = 2;
+  a.k_tracklength = 3;
+  a.collision = 4;
+  a.absorption = 5;
+  a.track_length = 6;
+  a.leakage = 7;
+  b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.k_collision, 2);
+  EXPECT_DOUBLE_EQ(b.k_absorption, 4);
+  EXPECT_DOUBLE_EQ(b.k_tracklength, 6);
+  EXPECT_DOUBLE_EQ(b.collision, 8);
+  EXPECT_DOUBLE_EQ(b.absorption, 10);
+  EXPECT_DOUBLE_EQ(b.track_length, 12);
+  EXPECT_DOUBLE_EQ(b.leakage, 14);
+}
+
+TEST(EventCounts, Accumulate) {
+  EventCounts a, b;
+  a.lookups = 10;
+  a.nuclide_terms = 320;
+  a.collisions = 5;
+  a.crossings = 7;
+  a.histories = 1;
+  b = a;
+  b += a;
+  EXPECT_EQ(b.lookups, 20u);
+  EXPECT_EQ(b.nuclide_terms, 640u);
+  EXPECT_EQ(b.collisions, 10u);
+  EXPECT_EQ(b.crossings, 14u);
+  EXPECT_EQ(b.histories, 2u);
+}
+
+TEST(BatchStatistics, MeanAndStdErr) {
+  BatchStatistics s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.n(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  // sample std = sqrt(2.5); stderr = sqrt(2.5/5)
+  EXPECT_NEAR(s.std_err(), std::sqrt(2.5 / 5.0), 1e-12);
+}
+
+TEST(BatchStatistics, DegenerateCases) {
+  BatchStatistics s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_err(), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.std_err(), 0.0);  // undefined for n=1 -> 0
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.std_err(), 0.0);  // identical samples
+}
+
+}  // namespace

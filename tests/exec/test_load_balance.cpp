@@ -1,0 +1,98 @@
+// Eq. 3 static load balancing — including the paper's own worked example —
+// and the runtime alpha estimator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "exec/load_balance.hpp"
+
+namespace {
+
+using namespace vmc::exec;
+
+TEST(BalanceEq3, PaperWorkedExample) {
+  // "For our H.M. Large experiment with 1e7 particles, choosing alpha = 0.62
+  //  estimates n_mic = 6,172,840 and n_cpu = 3,827,160 for a single-node
+  //  execution" (1 MIC + 1 CPU).
+  const StaticSplit s = balance_eq3(10'000'000, 1, 1, 0.62);
+  EXPECT_NEAR(static_cast<double>(s.n_mic), 6'172'840.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.n_cpu), 3'827'160.0, 1.0);
+}
+
+TEST(BalanceEq3, RatioFollowsAlpha) {
+  const StaticSplit s = balance_eq3(1'000'000, 2, 3, 0.5);
+  EXPECT_NEAR(static_cast<double>(s.n_cpu) / static_cast<double>(s.n_mic), 0.5,
+              0.01);
+}
+
+TEST(BalanceEq3, DegenerateConfigurations) {
+  const StaticSplit mic_only = balance_eq3(1000, 4, 0, 0.62);
+  EXPECT_EQ(mic_only.n_mic, 250u);
+  EXPECT_EQ(mic_only.n_cpu, 0u);
+  const StaticSplit cpu_only = balance_eq3(1000, 0, 4, 0.62);
+  EXPECT_EQ(cpu_only.n_cpu, 250u);
+  EXPECT_THROW(balance_eq3(1000, 0, 0, 0.62), std::invalid_argument);
+  EXPECT_THROW(balance_eq3(1000, 1, 1, -1.0), std::invalid_argument);
+}
+
+class PerRankCase
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int, double>> {};
+
+TEST_P(PerRankCase, CountsSumExactlyToTotal) {
+  const auto [n, p_mic, p_cpu, alpha] = GetParam();
+  const auto counts = per_rank_counts(n, p_mic, p_cpu, alpha);
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(p_mic + p_cpu));
+  const std::size_t sum = std::accumulate(counts.begin(), counts.end(),
+                                          std::size_t{0});
+  EXPECT_EQ(sum, n);
+  // MIC ranks (listed first) get at least as many as CPU ranks when
+  // alpha < 1.
+  if (p_mic > 0 && p_cpu > 0 && alpha < 1.0 && n > 100) {
+    EXPECT_GE(counts.front() + 1, counts.back());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, PerRankCase,
+    ::testing::Values(std::make_tuple(std::size_t{10'000'000}, 1, 1, 0.62),
+                      std::make_tuple(std::size_t{10'000'000}, 2, 1, 0.62),
+                      std::make_tuple(std::size_t{1'000'000}, 512, 512, 0.42),
+                      std::make_tuple(std::size_t{997}, 3, 2, 0.7),
+                      std::make_tuple(std::size_t{7}, 2, 3, 1.3),
+                      std::make_tuple(std::size_t{0}, 1, 1, 0.62)));
+
+TEST(UniformCounts, EvenSplitWithRemainder) {
+  const auto c = uniform_counts(10, 3);
+  EXPECT_EQ(c[0], 4u);
+  EXPECT_EQ(c[1], 3u);
+  EXPECT_EQ(c[2], 3u);
+  EXPECT_THROW(uniform_counts(10, 0), std::invalid_argument);
+}
+
+TEST(AlphaEstimator, ConvergesToMeasuredRatio) {
+  AlphaEstimator est(1.0);
+  EXPECT_DOUBLE_EQ(est.alpha(), 1.0);  // first batch: uniform
+  est.observe(4050.0, 6641.0);
+  EXPECT_NEAR(est.alpha(), 4050.0 / 6641.0, 1e-9);  // jumps to measurement
+  est.observe(4050.0, 6641.0);
+  est.observe(4050.0, 6641.0);
+  EXPECT_NEAR(est.alpha(), 0.61, 0.01);
+  EXPECT_EQ(est.observations(), 3);
+}
+
+TEST(AlphaEstimator, IgnoresDegenerateRates) {
+  AlphaEstimator est(1.0);
+  est.observe(0.0, 100.0);
+  est.observe(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(est.alpha(), 1.0);
+  EXPECT_EQ(est.observations(), 0);
+}
+
+TEST(AlphaEstimator, SmoothsNoisyObservations) {
+  AlphaEstimator est(1.0);
+  est.observe(600.0, 1000.0);   // 0.6
+  est.observe(700.0, 1000.0);   // 0.7 -> 0.65
+  EXPECT_NEAR(est.alpha(), 0.65, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Device cost models: the calibration bands the paper's cross-device claims
+// rest on (alpha ~ 0.61-0.62, banked ~10x, Table I/II magnitudes).
+#include <gtest/gtest.h>
+
+#include "exec/machine.hpp"
+
+namespace {
+
+using namespace vmc::exec;
+
+/// A per-particle work profile representative of H.M. Large transport.
+WorkProfile hm_large_profile() {
+  WorkProfile w;
+  w.lookups_per_particle = 34.0;
+  w.terms_per_lookup = 323.0;
+  w.collisions_per_particle = 16.0;
+  w.crossings_per_particle = 18.0;
+  return w;
+}
+
+TEST(DeviceSpec, FactoryNamesAndThreads) {
+  EXPECT_EQ(DeviceSpec::jlse_host().hw_threads, 32);
+  EXPECT_EQ(DeviceSpec::mic_7120a().hw_threads, 244);
+  EXPECT_GT(DeviceSpec::mic_7120a().pcie_bank_gbs, 0.0);
+  EXPECT_EQ(DeviceSpec::jlse_host().pcie_bank_gbs, 0.0);  // not a coprocessor
+}
+
+TEST(CostModel, AlphaInPaperBandOnJlse) {
+  // alpha = CPU rate / MIC rate = 0.61 +- 0.02 (inactive) / 0.62 +- 0.01
+  // (active) for N >= 1e4, Fig. 5 / Table III.
+  const CostModel cpu(DeviceSpec::jlse_host());
+  const CostModel mic(DeviceSpec::mic_7120a());
+  const WorkProfile w = hm_large_profile();
+  for (std::size_t n : {std::size_t{100000}, std::size_t{1000000}}) {
+    const double alpha =
+        cpu.calculation_rate(w, n) / mic.calculation_rate(w, n);
+    EXPECT_GT(alpha, 0.55) << "n=" << n;
+    EXPECT_LT(alpha, 0.70) << "n=" << n;
+  }
+}
+
+TEST(CostModel, CpuBeatsMicAtSmallParticleCounts) {
+  // Fig. 5: the MIC needs >= ~1e4 particles; below that its overheads and
+  // slow cores lose to the CPU.
+  const CostModel cpu(DeviceSpec::jlse_host());
+  const CostModel mic(DeviceSpec::mic_7120a());
+  const WorkProfile w = hm_large_profile();
+  EXPECT_GT(cpu.calculation_rate(w, 1000), mic.calculation_rate(w, 1000));
+  EXPECT_LT(cpu.calculation_rate(w, 200000), mic.calculation_rate(w, 200000));
+}
+
+TEST(CostModel, RateSaturatesWithN) {
+  const CostModel mic(DeviceSpec::mic_7120a());
+  const WorkProfile w = hm_large_profile();
+  const double r3 = mic.calculation_rate(w, 1000);
+  const double r5 = mic.calculation_rate(w, 100000);
+  const double r6 = mic.calculation_rate(w, 1000000);
+  EXPECT_LT(r3, r5);
+  EXPECT_NEAR(r5, r6, 0.15 * r6);  // near-saturated by 1e5
+}
+
+TEST(CostModel, BankedLookupSpeedupIsPaperScale) {
+  // Fig. 2: banked SIMD lookups on the MIC ~10x history lookups on the CPU
+  // for the 320-nuclide material.
+  const CostModel cpu(DeviceSpec::jlse_host());
+  const CostModel mic(DeviceSpec::mic_7120a());
+  const std::size_t n = 1000000;
+  const double t_history_cpu = cpu.scalar_lookup_seconds(n, 323.0);
+  const double t_banked_mic = mic.banked_lookup_seconds(n, 323.0);
+  const double speedup = t_history_cpu / t_banked_mic;
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LT(speedup, 16.0);
+}
+
+TEST(CostModel, StampedeAlphaIsLower) {
+  // Paper: alpha = 0.42 on Stampede at 1e6 particles.
+  const CostModel cpu(DeviceSpec::stampede_host());
+  const CostModel mic(DeviceSpec::mic_se10p());
+  const WorkProfile w = hm_large_profile();
+  const double alpha =
+      cpu.calculation_rate(w, 1000000) / mic.calculation_rate(w, 1000000);
+  EXPECT_GT(alpha, 0.35);
+  EXPECT_LT(alpha, 0.55);
+}
+
+TEST(CostModel, TransferMatchesTableII) {
+  const CostModel mic(DeviceSpec::mic_7120a());
+  // 496 MB bank -> ~460 ms; 1.31 GB grid at bulk rate -> ~262 ms;
+  // "1 second for every 5 GB".
+  EXPECT_NEAR(mic.transfer_seconds(496u << 20, false), 0.46, 0.06);
+  EXPECT_NEAR(mic.transfer_seconds(5'000'000'000ULL, true), 1.0, 0.05);
+}
+
+TEST(CostModel, NaiveSampleMatchesTableIMagnitudes) {
+  // Table I: 1e11 samples: CPU 412 s, MIC 8243 s.
+  const CostModel cpu(DeviceSpec::jlse_host());
+  const CostModel mic(DeviceSpec::mic_7120a());
+  const std::size_t n = 100000000000ULL;
+  EXPECT_NEAR(cpu.naive_sample_seconds(n), 412.0, 412.0 * 0.15);
+  // The paper ran the MIC naive case with 122 threads.
+  EXPECT_NEAR(mic.naive_sample_seconds(n, 122), 8243.0, 8243.0 * 0.25);
+}
+
+TEST(CostModel, BandwidthKernelMatchesTableIOptimized) {
+  // Optimized-1 moves 3 arrays x 4 B x 1e11 = 1.2 TB: CPU 40.6 s, MIC 21 s.
+  const CostModel cpu(DeviceSpec::jlse_host());
+  const CostModel mic(DeviceSpec::mic_7120a());
+  const std::size_t bytes = 1'200'000'000'000ULL;
+  EXPECT_NEAR(cpu.bandwidth_kernel_seconds(bytes), 40.6, 40.6 * 0.15);
+  EXPECT_NEAR(mic.bandwidth_kernel_seconds(bytes), 21.0, 21.0 * 0.15);
+}
+
+TEST(CostModel, ParallelSpeedupShape) {
+  const CostModel cpu(DeviceSpec::jlse_host());
+  EXPECT_DOUBLE_EQ(cpu.parallel_speedup(1), 1.0);
+  EXPECT_GT(cpu.parallel_speedup(32), 20.0);
+  EXPECT_LE(cpu.parallel_speedup(32), 32.0);
+  // Requesting more threads than hardware clamps.
+  EXPECT_DOUBLE_EQ(cpu.parallel_speedup(64), cpu.parallel_speedup(32));
+  // 0 = all hardware threads.
+  EXPECT_DOUBLE_EQ(cpu.parallel_speedup(0), cpu.parallel_speedup(32));
+}
+
+TEST(WorkProfile, FromCountsAverages) {
+  vmc::core::EventCounts c;
+  c.histories = 100;
+  c.lookups = 3400;
+  c.nuclide_terms = 3400 * 34;
+  c.collisions = 1600;
+  c.crossings = 1800;
+  const WorkProfile w = WorkProfile::from_counts(c);
+  EXPECT_DOUBLE_EQ(w.lookups_per_particle, 34.0);
+  EXPECT_DOUBLE_EQ(w.terms_per_lookup, 34.0);
+  EXPECT_DOUBLE_EQ(w.collisions_per_particle, 16.0);
+  EXPECT_DOUBLE_EQ(w.crossings_per_particle, 18.0);
+}
+
+TEST(WorkProfile, EmptyCountsAreSafe) {
+  const WorkProfile w = WorkProfile::from_counts(vmc::core::EventCounts{});
+  EXPECT_DOUBLE_EQ(w.lookups_per_particle, 0.0);
+  EXPECT_DOUBLE_EQ(w.terms_per_lookup, 0.0);
+}
+
+TEST(CostModel, GenerationTimeDecomposesSensibly) {
+  const CostModel cpu(DeviceSpec::jlse_host());
+  const WorkProfile w = hm_large_profile();
+  const double per_particle_ns = cpu.history_ns_per_particle(w);
+  EXPECT_GT(per_particle_ns, 0.0);
+  const double t = cpu.generation_seconds(w, 100000);
+  EXPECT_NEAR(t,
+              1e5 * per_particle_ns * 1e-9 / cpu.effective_speedup(100000, 0) +
+                  cpu.spec().generation_overhead_s,
+              1e-12);
+  // The ramp only matters at small N.
+  EXPECT_LT(cpu.effective_speedup(100, 0), 0.8 * cpu.parallel_speedup(0));
+  EXPECT_GT(cpu.effective_speedup(1000000, 0), 0.99 * cpu.parallel_speedup(0));
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Symmetric-mode runner: the Table III structure (original vs. load
+// balanced vs. ideal) and the Figure 6/7 scaling behaviour.
+#include <gtest/gtest.h>
+
+#include "exec/symmetric.hpp"
+
+namespace {
+
+using namespace vmc::exec;
+
+WorkProfile hm_large_profile() {
+  WorkProfile w;
+  w.lookups_per_particle = 34.0;
+  w.terms_per_lookup = 323.0;
+  w.collisions_per_particle = 16.0;
+  w.crossings_per_particle = 18.0;
+  return w;
+}
+
+TEST(Symmetric, UnbalancedLosesToBalanced) {
+  // Table III: uniform assignment under-uses the MIC; Eq. 3 recovers most
+  // of the ideal rate.
+  const SymmetricRunner runner(NodeSetup::jlse(1),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const auto original = runner.run_batch(w, 100000, 1, std::nullopt);
+  const auto balanced = runner.run_batch(w, 100000, 1, 0.62);
+  EXPECT_GT(balanced.rate, original.rate);
+  // Original: >= 10% below ideal; balanced: within 10% of ideal.
+  EXPECT_LT(original.rate, 0.90 * original.ideal_rate);
+  EXPECT_GT(balanced.rate, 0.90 * balanced.ideal_rate);
+}
+
+TEST(Symmetric, TwoMicsWidenTheGap) {
+  // Table III: CPU + 2 MIC is 32% below ideal unbalanced (vs. 16% for
+  // CPU + 1 MIC) because two-thirds of the ranks now idle behind the CPU.
+  const SymmetricRunner one(NodeSetup::jlse(1),
+                            vmc::comm::ClusterModel::stampede());
+  const SymmetricRunner two(NodeSetup::jlse(2),
+                            vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const auto r1 = one.run_batch(w, 100000, 1, std::nullopt);
+  const auto r2 = two.run_batch(w, 100000, 1, std::nullopt);
+  const double deficit1 = 1.0 - r1.rate / r1.ideal_rate;
+  const double deficit2 = 1.0 - r2.rate / r2.ideal_rate;
+  EXPECT_GT(deficit2, deficit1);
+}
+
+TEST(Symmetric, BalancedEqualizesRankTimes) {
+  const SymmetricRunner runner(NodeSetup::jlse(2),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const auto original = runner.run_batch(w, 300000, 1, std::nullopt);
+  const auto balanced = runner.run_batch(w, 300000, 1, 0.62);
+  const double spread_orig = original.slowest_rank_s / original.fastest_rank_s;
+  const double spread_bal = balanced.slowest_rank_s / balanced.fastest_rank_s;
+  EXPECT_LT(spread_bal, spread_orig);
+  EXPECT_LT(spread_bal, 1.2);
+}
+
+TEST(Symmetric, CpuPlusTwoMicsBeatsLoneDevices) {
+  // The headline: 1.6x for MIC vs. CPU, ~2.5x for CPU+1MIC, ~4x for
+  // CPU+2MIC (load balanced), relative to CPU-only.
+  const vmc::comm::ClusterModel fabric = vmc::comm::ClusterModel::stampede();
+  const WorkProfile w = hm_large_profile();
+  const std::size_t n = 100000;
+
+  const NodeSetup jlse1 = NodeSetup::jlse(1);
+  const double cpu_rate = jlse1.cpu.calculation_rate(w, n);
+  const double mic_rate = jlse1.mic.calculation_rate(w, n);
+  EXPECT_NEAR(mic_rate / cpu_rate, 1.6, 0.25);
+
+  const auto bal1 =
+      SymmetricRunner(jlse1, fabric).run_batch(w, n, 1, 0.62);
+  const auto bal2 =
+      SymmetricRunner(NodeSetup::jlse(2), fabric).run_batch(w, n, 1, 0.62);
+  EXPECT_NEAR(bal1.rate / cpu_rate, 2.5, 0.5);
+  EXPECT_NEAR(bal2.rate / cpu_rate, 4.0, 0.8);
+}
+
+TEST(Symmetric, StrongScalingEfficiencyAt128Nodes) {
+  // Fig. 6: 95% of ideal at 128 nodes relative to the 4-node measurement.
+  const SymmetricRunner runner(NodeSetup::stampede(1),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const std::size_t n_total = 10'000'000;
+  const auto base = runner.run_batch(w, n_total, 4, 0.42);
+  const auto big = runner.run_batch(w, n_total, 128, 0.42);
+  const double efficiency = (big.rate / 128.0) / (base.rate / 4.0);
+  EXPECT_GT(efficiency, 0.90);
+  EXPECT_LE(efficiency, 1.02);
+}
+
+TEST(Symmetric, StrongScalingTailsAt1024Nodes) {
+  // Fig. 6's 1-MIC curve tails at 2^10 nodes: ~6.6k particles per MIC is
+  // too few to keep 244 threads busy.
+  const SymmetricRunner runner(NodeSetup::stampede(1),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const std::size_t n_total = 10'000'000;
+  const auto n128 = runner.run_batch(w, n_total, 128, 0.42);
+  const auto n1024 = runner.run_batch(w, n_total, 1024, 0.42);
+  const double eff_1024 = (n1024.rate / 1024.0) / (n128.rate / 128.0);
+  EXPECT_LT(eff_1024, 0.92);  // visibly degraded
+  EXPECT_GT(eff_1024, 0.30);  // but not collapsed
+}
+
+TEST(Symmetric, WeakScalingStaysFlat) {
+  // Fig. 7: n = 1e6 per node, >= 94% efficiency to 128 nodes.
+  const SymmetricRunner runner(NodeSetup::stampede(1),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const auto r1 = runner.run_batch(w, 1'000'000, 1, 0.42);
+  const auto r128 = runner.run_batch(w, 128'000'000, 128, 0.42);
+  const double efficiency = (r128.rate / 128.0) / r1.rate;
+  EXPECT_GT(efficiency, 0.94);
+  EXPECT_LE(efficiency, 1.02);
+}
+
+TEST(Symmetric, AdaptiveAlphaConvergesAfterOneBatch) {
+  // Section V future-work feature: batch 0 uniform, batch 1+ balanced from
+  // measured rates.
+  const SymmetricRunner runner(NodeSetup::jlse(1),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const auto batches = runner.run_adaptive(w, 100000, 1, 4);
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_GT(batches[1].rate, batches[0].rate * 1.05);
+  EXPECT_NEAR(batches[2].rate, batches[1].rate, 0.10 * batches[1].rate);
+  // Converged batches approach the ideal.
+  EXPECT_GT(batches[3].rate, 0.88 * batches[3].ideal_rate);
+}
+
+TEST(Symmetric, CommCostIsSmallButNonzero) {
+  const SymmetricRunner runner(NodeSetup::stampede(1),
+                               vmc::comm::ClusterModel::stampede());
+  const WorkProfile w = hm_large_profile();
+  const auto r = runner.run_batch(w, 10'000'000, 64, 0.42);
+  EXPECT_GT(r.comm_seconds, 0.0);
+  EXPECT_LT(r.comm_seconds, 0.05 * r.batch_seconds);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Geometry tracking on a hand-built pin cell: location, boundary distances,
+// crossings, and boundary conditions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geometry.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::geom;
+
+/// A single pin cell in a reflective box: fuel cylinder (r=0.5), clad
+/// (r=0.6), water to the +-1.0 box, +-10 in z (vacuum top/bottom).
+struct PinCellFixture : ::testing::Test {
+  Geometry g;
+  int s_fuel, s_clad;
+  int c_fuel, c_clad, c_water;
+
+  void SetUp() override {
+    s_fuel = g.add_surface(Surface::z_cylinder(0, 0, 0.5));
+    s_clad = g.add_surface(Surface::z_cylinder(0, 0, 0.6));
+    const int sx0 = g.add_surface(Surface::x_plane(-1.0));
+    const int sx1 = g.add_surface(Surface::x_plane(1.0));
+    const int sy0 = g.add_surface(Surface::y_plane(-1.0));
+    const int sy1 = g.add_surface(Surface::y_plane(1.0));
+    const int sz0 = g.add_surface(Surface::z_plane(-10.0));
+    const int sz1 = g.add_surface(Surface::z_plane(10.0));
+    for (int s : {sx0, sx1, sy0, sy1}) {
+      g.surface(s).set_bc(BoundaryCondition::reflective);
+    }
+    for (int s : {sz0, sz1}) {
+      g.surface(s).set_bc(BoundaryCondition::vacuum);
+    }
+    const std::vector<HalfSpace> box = {{sx0, true}, {sx1, false},
+                                        {sy0, true}, {sy1, false},
+                                        {sz0, true}, {sz1, false}};
+    Cell fuel;
+    fuel.region = box;
+    fuel.region.push_back({s_fuel, false});
+    fuel.fill = 0;  // material 0
+    c_fuel = g.add_cell(std::move(fuel));
+
+    Cell clad;
+    clad.region = box;
+    clad.region.push_back({s_fuel, true});
+    clad.region.push_back({s_clad, false});
+    clad.fill = 1;
+    c_clad = g.add_cell(std::move(clad));
+
+    Cell water;
+    water.region = box;
+    water.region.push_back({s_clad, true});
+    water.fill = 2;
+    c_water = g.add_cell(std::move(water));
+
+    Universe root;
+    root.cells = {c_fuel, c_clad, c_water};
+    g.set_root(g.add_universe(std::move(root)));
+  }
+};
+
+TEST_F(PinCellFixture, LocateResolvesMaterials) {
+  EXPECT_EQ(g.find_material({0, 0, 0}), 0);
+  EXPECT_EQ(g.find_material({0.55, 0, 3.0}), 1);
+  EXPECT_EQ(g.find_material({0.9, 0.9, -9.0}), 2);
+  EXPECT_EQ(g.find_material({5.0, 0, 0}), -1);  // outside
+}
+
+TEST_F(PinCellFixture, LocateFillsState) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0.1, 0.2, 1.0}, {0, 0, 1}, s));
+  EXPECT_EQ(s.n_levels, 1);
+  EXPECT_EQ(s.material, 0);
+  EXPECT_EQ(s.level[0].cell, c_fuel);
+}
+
+TEST_F(PinCellFixture, DistanceToBoundaryFromCenter) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0, 0, 0}, {1, 0, 0}, s));
+  const auto b = g.distance_to_boundary(s);
+  EXPECT_NEAR(b.distance, 0.5, 1e-10);
+  EXPECT_EQ(b.surface, s_fuel);
+}
+
+TEST_F(PinCellFixture, CrossingWalksThroughAllRegions) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0, 0, 0}, {1, 0, 0}, s));
+  // fuel -> clad
+  auto b = g.distance_to_boundary(s);
+  ASSERT_EQ(g.cross(s, b), Geometry::CrossResult::interior);
+  EXPECT_EQ(s.material, 1);
+  // clad -> water
+  b = g.distance_to_boundary(s);
+  EXPECT_NEAR(b.distance, 0.1, 1e-6);
+  ASSERT_EQ(g.cross(s, b), Geometry::CrossResult::interior);
+  EXPECT_EQ(s.material, 2);
+  // water -> reflective wall
+  b = g.distance_to_boundary(s);
+  EXPECT_NEAR(b.distance, 0.4, 1e-6);
+  ASSERT_EQ(g.cross(s, b), Geometry::CrossResult::reflected);
+  EXPECT_EQ(s.material, 2);
+  EXPECT_NEAR(s.direction().x, -1.0, 1e-10);  // reflected off x = 1
+}
+
+TEST_F(PinCellFixture, VacuumLeaks) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0.9, 0.9, 9.5}, {0, 0, 1}, s));
+  const auto b = g.distance_to_boundary(s);
+  EXPECT_NEAR(b.distance, 0.5, 1e-9);
+  EXPECT_EQ(g.cross(s, b), Geometry::CrossResult::leaked);
+}
+
+TEST_F(PinCellFixture, AdvanceMovesAllLevels) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0, 0, 0}, {0, 0, 1}, s));
+  g.advance(s, 2.5);
+  EXPECT_NEAR(s.position().z, 2.5, 1e-12);
+  EXPECT_EQ(s.material, 0);
+}
+
+TEST_F(PinCellFixture, SetDirectionUpdatesEveryLevel) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0, 0, 0}, {0, 0, 1}, s));
+  s.set_direction({1, 0, 0});
+  EXPECT_DOUBLE_EQ(s.direction().x, 1.0);
+}
+
+TEST_F(PinCellFixture, RayConservation) {
+  // Walking a random ray through the cell: segment lengths are positive and
+  // the exit point is on the box boundary.
+  vmc::rng::Stream rs(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    Geometry::State s;
+    const Position start{(rs.next() - 0.5) * 1.8, (rs.next() - 0.5) * 1.8,
+                         (rs.next() - 0.5) * 18.0};
+    const Direction u = direction_from_angles(2.0 * rs.next() - 1.0,
+                                              6.2831853 * rs.next());
+    ASSERT_TRUE(g.locate(start, u, s));
+    double total = 0.0;
+    for (int step = 0; step < 200; ++step) {
+      const auto b = g.distance_to_boundary(s);
+      ASSERT_GT(b.distance, 0.0);
+      ASSERT_NE(b.distance, kInfDistance);
+      total += b.distance;
+      const auto cr = g.cross(s, b);
+      if (cr == Geometry::CrossResult::leaked) break;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST_F(PinCellFixture, MonteCarloVolumeFractions) {
+  // Stochastic volume check of the pin cell: area fractions of fuel, clad,
+  // water within the 2x2 box must match the analytic circle areas.
+  PinCellFixture& fx = *this;
+  vmc::rng::Stream rs(23);
+  int counts[3] = {0, 0, 0};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Position p{(rs.next() - 0.5) * 2.0, (rs.next() - 0.5) * 2.0,
+                     (rs.next() - 0.5) * 19.9};
+    const int m = fx.g.find_material(p);
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, 3);
+    counts[m]++;
+  }
+  const double box = 4.0;
+  const double pi = 3.14159265358979323846;
+  const double f_fuel = pi * 0.25 / box;
+  const double f_clad = pi * (0.36 - 0.25) / box;
+  const double f_water = 1.0 - f_fuel - f_clad;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), f_fuel, 0.005);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), f_clad, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), f_water, 0.005);
+}
+
+TEST(GrazingRecovery, CornerHitReflectsInsteadOfLeaking) {
+  // A reflective box with NO internal structure: aim exactly at an edge so
+  // the crossing lands on two boundary planes within one bump length. The
+  // recovery path must reflect (possibly twice), never leak.
+  Geometry g;
+  const int sx0 = g.add_surface(Surface::x_plane(-1));
+  const int sx1 = g.add_surface(Surface::x_plane(1));
+  const int sy0 = g.add_surface(Surface::y_plane(-1));
+  const int sy1 = g.add_surface(Surface::y_plane(1));
+  const int sz0 = g.add_surface(Surface::z_plane(-1));
+  const int sz1 = g.add_surface(Surface::z_plane(1));
+  for (int s : {sx0, sx1, sy0, sy1, sz0, sz1}) {
+    g.surface(s).set_bc(BoundaryCondition::reflective);
+  }
+  Cell c;
+  c.region = {{sx0, true}, {sx1, false}, {sy0, true},
+              {sy1, false}, {sz0, true}, {sz1, false}};
+  c.fill = 0;
+  Universe root;
+  root.cells = {g.add_cell(std::move(c))};
+  g.set_root(g.add_universe(std::move(root)));
+
+  // Diagonal ray aimed exactly at the (+x, +y) edge.
+  Geometry::State s;
+  const double inv = 1.0 / std::sqrt(2.0);
+  ASSERT_TRUE(g.locate({0, 0, 0}, {inv, inv, 0}, s));
+  for (int step = 0; step < 50; ++step) {
+    const auto b = g.distance_to_boundary(s);
+    ASSERT_NE(b.distance, kInfDistance);
+    ASSERT_NE(g.cross(s, b), Geometry::CrossResult::leaked) << "step " << step;
+    const Position p = s.position();
+    EXPECT_LE(std::abs(p.x), 1.0 + 1e-9);
+    EXPECT_LE(std::abs(p.y), 1.0 + 1e-9);
+  }
+  // After bouncing in the corner, the particle still travels diagonally.
+  EXPECT_NEAR(std::abs(s.direction().x), inv, 1e-9);
+  EXPECT_NEAR(std::abs(s.direction().y), inv, 1e-9);
+}
+
+TEST(GrazingRecovery, CornerOfVacuumBoxLeaksCleanly) {
+  Geometry g;
+  const int sx0 = g.add_surface(Surface::x_plane(-1));
+  const int sx1 = g.add_surface(Surface::x_plane(1));
+  const int sy0 = g.add_surface(Surface::y_plane(-1));
+  const int sy1 = g.add_surface(Surface::y_plane(1));
+  const int sz0 = g.add_surface(Surface::z_plane(-1));
+  const int sz1 = g.add_surface(Surface::z_plane(1));
+  for (int s : {sx0, sx1, sy0, sy1, sz0, sz1}) {
+    g.surface(s).set_bc(BoundaryCondition::vacuum);
+  }
+  Cell c;
+  c.region = {{sx0, true}, {sx1, false}, {sy0, true},
+              {sy1, false}, {sz0, true}, {sz1, false}};
+  c.fill = 0;
+  Universe root;
+  root.cells = {g.add_cell(std::move(c))};
+  g.set_root(g.add_universe(std::move(root)));
+
+  Geometry::State s;
+  const double inv = 1.0 / std::sqrt(2.0);
+  ASSERT_TRUE(g.locate({0, 0, 0}, {inv, inv, 0}, s));
+  const auto b = g.distance_to_boundary(s);
+  EXPECT_EQ(g.cross(s, b), Geometry::CrossResult::leaked);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Two-level lattice tracking: the universe/lattice machinery the H.M. core
+// is built from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geometry.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::geom;
+
+/// 3x3 lattice of pin universes (pitch 2), pins of radius 0.7, inside a
+/// reflective box. Pin (1,1) — the center — uses a different material.
+struct LatticeFixture : ::testing::Test {
+  Geometry g;
+  static constexpr int kFuel = 0, kWater = 1, kCenter = 2;
+
+  void SetUp() override {
+    const int s_pin = g.add_surface(Surface::z_cylinder(0, 0, 0.7));
+
+    const auto pin_universe = [&](int inner_mat) {
+      Cell inside;
+      inside.region = {{s_pin, false}};
+      inside.fill = inner_mat;
+      Cell outside;
+      outside.region = {{s_pin, true}};
+      outside.fill = kWater;
+      Universe u;
+      u.cells = {g.add_cell(std::move(inside)), g.add_cell(std::move(outside))};
+      return g.add_universe(std::move(u));
+    };
+    const int u_fuel = pin_universe(kFuel);
+    const int u_center = pin_universe(kCenter);
+
+    Lattice lat;
+    lat.nx = lat.ny = 3;
+    lat.pitch = 2.0;
+    lat.x0 = lat.y0 = -3.0;
+    lat.universe.assign(9, u_fuel);
+    lat.universe[4] = u_center;
+    lat.outer = u_fuel;
+    const int lid = g.add_lattice(std::move(lat));
+
+    const int sx0 = g.add_surface(Surface::x_plane(-3.0));
+    const int sx1 = g.add_surface(Surface::x_plane(3.0));
+    const int sy0 = g.add_surface(Surface::y_plane(-3.0));
+    const int sy1 = g.add_surface(Surface::y_plane(3.0));
+    for (int s : {sx0, sx1, sy0, sy1}) {
+      g.surface(s).set_bc(BoundaryCondition::reflective);
+    }
+    Cell root_cell;
+    root_cell.region = {{sx0, true}, {sx1, false}, {sy0, true}, {sy1, false}};
+    root_cell.fill_type = FillType::lattice;
+    root_cell.fill = lid;
+    Universe root;
+    root.cells = {g.add_cell(std::move(root_cell))};
+    g.set_root(g.add_universe(std::move(root)));
+  }
+};
+
+TEST_F(LatticeFixture, LocateDescendsIntoElements) {
+  // Center of element (0,0) is at (-2,-2): inside its pin.
+  EXPECT_EQ(g.find_material({-2.0, -2.0, 0.0}), kFuel);
+  // Center pin has the distinct material.
+  EXPECT_EQ(g.find_material({0.0, 0.0, 0.0}), kCenter);
+  // Corner of an element: water.
+  EXPECT_EQ(g.find_material({-1.05, -1.05, 0.0}), kWater);
+}
+
+TEST_F(LatticeFixture, StateRecordsLatticeIndices) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({1.9, -0.1, 0.0}, {1, 0, 0}, s));  // element (2,1)
+  EXPECT_EQ(s.n_levels, 2);
+  const auto& lv = s.level[1];
+  EXPECT_EQ(lv.ix, 2);
+  EXPECT_EQ(lv.iy, 1);
+  EXPECT_GE(lv.lattice, 0);
+  // Local coordinates centered on the element.
+  EXPECT_NEAR(lv.r.x, -0.1, 1e-12);
+  EXPECT_NEAR(lv.r.y, -0.1, 1e-12);
+}
+
+TEST_F(LatticeFixture, LatticeWallLimitsBoundaryDistance) {
+  Geometry::State s;
+  // In the water of element (1,1), heading +x toward the element wall.
+  ASSERT_TRUE(g.locate({0.9, 0.9, 0.0}, {1, 0, 0}, s));
+  ASSERT_EQ(s.material, kWater);
+  const auto b = g.distance_to_boundary(s);
+  EXPECT_NEAR(b.distance, 0.1, 1e-9);   // wall at local x = +1
+  EXPECT_EQ(b.surface, -1);             // a lattice wall, not a surface
+}
+
+TEST_F(LatticeFixture, CrossingLatticeWallEntersNeighbour) {
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0.9, 0.0, 0.0}, {1, 0, 0}, s));
+  // Cross from element (1,1) water into element (2,1).
+  const auto b = g.distance_to_boundary(s);
+  ASSERT_EQ(g.cross(s, b), Geometry::CrossResult::interior);
+  EXPECT_EQ(s.level[1].ix, 2);
+  EXPECT_EQ(s.level[1].iy, 1);
+  EXPECT_EQ(s.material, kWater);
+}
+
+TEST_F(LatticeFixture, StraightRayCrossesExpectedPinCount) {
+  // A ray along y=0 from the left wall crosses pins of elements (0..2, 1):
+  // fuel, center, fuel — plus water gaps: 7 material segments to the wall.
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({-2.999, 0.0, 0.0}, {1, 0, 0}, s));
+  std::vector<int> mats{s.material};
+  for (int i = 0; i < 50; ++i) {
+    const auto b = g.distance_to_boundary(s);
+    if (g.cross(s, b) != Geometry::CrossResult::interior) break;
+    mats.push_back(s.material);
+  }
+  const std::vector<int> expected{kWater, kFuel,   kWater, kWater, kCenter,
+                                  kWater, kWater, kFuel,  kWater};
+  ASSERT_GE(mats.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(mats[i], expected[i]) << "segment " << i;
+  }
+}
+
+TEST_F(LatticeFixture, ReflectiveBoxKeepsParticleInside) {
+  vmc::rng::Stream rs(3);
+  Geometry::State s;
+  ASSERT_TRUE(g.locate({0.3, -0.4, 0.0},
+                       direction_from_angles(0.1, 1.0), s));
+  for (int i = 0; i < 500; ++i) {
+    const auto b = g.distance_to_boundary(s);
+    ASSERT_NE(b.distance, kInfDistance);
+    const auto cr = g.cross(s, b);
+    ASSERT_NE(cr, Geometry::CrossResult::leaked);
+    const Position p = s.position();
+    EXPECT_LE(std::abs(p.x), 3.0 + 1e-6);
+    EXPECT_LE(std::abs(p.y), 3.0 + 1e-6);
+  }
+}
+
+TEST_F(LatticeFixture, VolumeFractionsByMaterial) {
+  vmc::rng::Stream rs(7);
+  int counts[3] = {0, 0, 0};
+  const int n = 150000;
+  for (int i = 0; i < n; ++i) {
+    const Position p{(rs.next() - 0.5) * 6.0, (rs.next() - 0.5) * 6.0, 0.0};
+    const int m = g.find_material(p);
+    ASSERT_GE(m, 0);
+    counts[m]++;
+  }
+  const double pi = 3.14159265358979323846;
+  const double pin_frac = pi * 0.49 / 4.0;  // per element
+  EXPECT_NEAR(counts[kFuel] / static_cast<double>(n), 8.0 / 9.0 * pin_frac,
+              0.005);
+  EXPECT_NEAR(counts[kCenter] / static_cast<double>(n), pin_frac / 9.0,
+              0.002);
+}
+
+}  // namespace

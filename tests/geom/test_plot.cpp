@@ -1,0 +1,118 @@
+// Geometry plotting: raster correctness against direct point queries and
+// area fractions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/plot.hpp"
+
+namespace {
+
+using namespace vmc::geom;
+
+/// Pin cell: fuel (0) inside r=1, water (1) outside, in a 4x4 box.
+Geometry pin_cell() {
+  Geometry g;
+  const int pin = g.add_surface(Surface::z_cylinder(0, 0, 1.0));
+  const int sx0 = g.add_surface(Surface::x_plane(-2));
+  const int sx1 = g.add_surface(Surface::x_plane(2));
+  const int sy0 = g.add_surface(Surface::y_plane(-2));
+  const int sy1 = g.add_surface(Surface::y_plane(2));
+  const std::vector<HalfSpace> box = {
+      {sx0, true}, {sx1, false}, {sy0, true}, {sy1, false}};
+  Cell fuel;
+  fuel.region = box;
+  fuel.region.push_back({pin, false});
+  fuel.fill = 0;
+  Cell water;
+  water.region = box;
+  water.region.push_back({pin, true});
+  water.fill = 1;
+  Universe root;
+  root.cells = {g.add_cell(std::move(fuel)), g.add_cell(std::move(water))};
+  g.set_root(g.add_universe(std::move(root)));
+  return g;
+}
+
+TEST(MaterialSlice, PixelsMatchPointQueries) {
+  const Geometry g = pin_cell();
+  const auto slice = material_slice(g, 0.0, {-2, -2, 0}, {2, 2, 0}, 16, 16);
+  ASSERT_EQ(slice.size(), 256u);
+  for (int iy = 0; iy < 16; ++iy) {
+    for (int ix = 0; ix < 16; ++ix) {
+      const Position p{-2 + (ix + 0.5) * 0.25, -2 + (iy + 0.5) * 0.25, 0.0};
+      EXPECT_EQ(slice[static_cast<std::size_t>(iy * 16 + ix)],
+                g.find_material(p));
+    }
+  }
+}
+
+TEST(MaterialSlice, CenterIsFuelCornerIsWater) {
+  const Geometry g = pin_cell();
+  const auto slice = material_slice(g, 0.0, {-2, -2, 0}, {2, 2, 0}, 17, 17);
+  EXPECT_EQ(slice[static_cast<std::size_t>(8 * 17 + 8)], 0);   // center
+  EXPECT_EQ(slice[0], 1);                                       // corner
+  EXPECT_EQ(slice[static_cast<std::size_t>(16 * 17 + 16)], 1);
+}
+
+TEST(MaterialSlice, AreaFractionApproximatesCircle) {
+  const Geometry g = pin_cell();
+  const int n = 200;
+  const auto slice = material_slice(g, 0.0, {-2, -2, 0}, {2, 2, 0}, n, n);
+  const auto fuel_pixels =
+      std::count(slice.begin(), slice.end(), 0);
+  const double frac = static_cast<double>(fuel_pixels) / (n * n);
+  EXPECT_NEAR(frac, 3.14159265 / 16.0, 0.005);
+}
+
+TEST(MaterialSlice, OutsidePixelsAreMinusOne) {
+  const Geometry g = pin_cell();
+  // Raster window larger than the geometry.
+  const auto slice = material_slice(g, 0.0, {-4, -4, 0}, {4, 4, 0}, 8, 8);
+  EXPECT_EQ(slice[0], -1);  // far corner: outside the 4x4 box
+  EXPECT_EQ(slice[static_cast<std::size_t>(3 * 8 + 3)], 0);  // near center
+}
+
+TEST(AsciiSlice, RendersPaletteAndBlank) {
+  const Geometry g = pin_cell();
+  const std::string art =
+      ascii_slice(g, 0.0, {-4, -4, 0}, {4, 4, 0}, 16, 8, "#o");
+  // 8 rows of 16 chars + newlines.
+  EXPECT_EQ(art.size(), 8u * 17u);
+  EXPECT_NE(art.find('#'), std::string::npos);  // fuel
+  EXPECT_NE(art.find('o'), std::string::npos);  // water
+  EXPECT_NE(art.find(' '), std::string::npos);  // outside
+  EXPECT_EQ(art.front(), ' ');                  // top-left is outside
+}
+
+TEST(AsciiSlice, RowOrderIsTopDown) {
+  // A geometry with material 0 only for y > 0 (half-space split).
+  Geometry g;
+  const int sy = g.add_surface(Surface::y_plane(0));
+  const int sx0 = g.add_surface(Surface::x_plane(-1));
+  const int sx1 = g.add_surface(Surface::x_plane(1));
+  const int sy0 = g.add_surface(Surface::y_plane(-1));
+  const int sy1 = g.add_surface(Surface::y_plane(1));
+  Cell top;
+  top.region = {{sx0, true}, {sx1, false}, {sy, true}, {sy1, false}};
+  top.fill = 0;
+  Cell bottom;
+  bottom.region = {{sx0, true}, {sx1, false}, {sy0, true}, {sy, false}};
+  bottom.fill = 1;
+  Universe root;
+  root.cells = {g.add_cell(std::move(top)), g.add_cell(std::move(bottom))};
+  g.set_root(g.add_universe(std::move(root)));
+
+  const std::string art = ascii_slice(g, 0.0, {-1, -1, 0}, {1, 1, 0}, 4, 4, "AB");
+  // First row rendered = highest y = material 0 = 'A'.
+  EXPECT_EQ(art.substr(0, 4), "AAAA");
+  EXPECT_EQ(art.substr(art.size() - 5, 4), "BBBB");
+}
+
+TEST(MaterialSlice, RejectsBadRaster) {
+  const Geometry g = pin_cell();
+  EXPECT_THROW(material_slice(g, 0, {-1, -1, 0}, {1, 1, 0}, 0, 4),
+               std::invalid_argument);
+}
+
+}  // namespace

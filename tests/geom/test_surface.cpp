@@ -1,0 +1,203 @@
+// Surfaces: sense, distance, and normals — the primitives every tracking
+// step composes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/surface.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::geom;
+
+TEST(Plane, SenseSign) {
+  const Surface s = Surface::x_plane(2.0);
+  EXPECT_LT(s.sense({1.0, 0, 0}), 0.0);
+  EXPECT_GT(s.sense({3.0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.sense({2.0, 5, -7}), 0.0);
+}
+
+TEST(Plane, DistanceAlongAndAgainstNormal) {
+  const Surface s = Surface::z_plane(10.0);
+  EXPECT_DOUBLE_EQ(s.distance({0, 0, 4}, {0, 0, 1}, false), 6.0);
+  EXPECT_EQ(s.distance({0, 0, 4}, {0, 0, -1}, false), kInfDistance);
+  EXPECT_EQ(s.distance({0, 0, 4}, {1, 0, 0}, false), kInfDistance);  // parallel
+  // Oblique approach.
+  const double d = s.distance({0, 0, 0}, Direction{0.6, 0, 0.8}, false);
+  EXPECT_NEAR(d, 10.0 / 0.8, 1e-12);
+}
+
+TEST(Plane, CoincidentSuppresssesZeroRoot) {
+  const Surface s = Surface::y_plane(1.0);
+  EXPECT_EQ(s.distance({0, 1.0, 0}, {0, 1, 0}, true), kInfDistance);
+}
+
+TEST(ZCylinder, SenseInsideOutside) {
+  const Surface c = Surface::z_cylinder(1.0, 2.0, 0.5);
+  EXPECT_LT(c.sense({1.0, 2.0, -99.0}), 0.0);
+  EXPECT_LT(c.sense({1.4, 2.0, 5.0}), 0.0);
+  EXPECT_GT(c.sense({2.0, 2.0, 0.0}), 0.0);
+}
+
+TEST(ZCylinder, DistanceFromInsideHitsFarWall) {
+  const Surface c = Surface::z_cylinder(0.0, 0.0, 2.0);
+  EXPECT_NEAR(c.distance({0, 0, 0}, {1, 0, 0}, false), 2.0, 1e-12);
+  EXPECT_NEAR(c.distance({1, 0, 0}, {1, 0, 0}, false), 1.0, 1e-12);
+  EXPECT_NEAR(c.distance({1, 0, 0}, {-1, 0, 0}, false), 3.0, 1e-12);
+}
+
+TEST(ZCylinder, DistanceFromOutside) {
+  const Surface c = Surface::z_cylinder(0.0, 0.0, 1.0);
+  EXPECT_NEAR(c.distance({3, 0, 0}, {-1, 0, 0}, false), 2.0, 1e-12);
+  // Heading away: never hits.
+  EXPECT_EQ(c.distance({3, 0, 0}, {1, 0, 0}, false), kInfDistance);
+  // Missing chord: impact parameter > r.
+  EXPECT_EQ(c.distance({3, 2, 0}, {-1, 0, 0}, false), kInfDistance);
+}
+
+TEST(ZCylinder, ParallelToAxisNeverCrosses) {
+  const Surface c = Surface::z_cylinder(0.0, 0.0, 1.0);
+  EXPECT_EQ(c.distance({0.5, 0, 0}, {0, 0, 1}, false), kInfDistance);
+  EXPECT_EQ(c.distance({5.0, 0, 0}, {0, 0, -1}, false), kInfDistance);
+}
+
+TEST(ZCylinder, ObliqueCrossingLandsOnSurface) {
+  const Surface c = Surface::z_cylinder(0.0, 0.0, 1.5);
+  vmc::rng::Stream s(3);
+  for (int i = 0; i < 200; ++i) {
+    const Position p{(s.next() - 0.5), (s.next() - 0.5), s.next() * 10.0};
+    const Direction u =
+        direction_from_angles(2.0 * s.next() - 1.0, 6.2831853 * s.next());
+    const double d = c.distance(p, u, false);
+    if (d == kInfDistance) continue;
+    const Position hit = p + d * u;
+    EXPECT_NEAR(std::sqrt(hit.x * hit.x + hit.y * hit.y), 1.5, 1e-9);
+  }
+}
+
+TEST(XCylinder, SenseDistanceNormal) {
+  const Surface c = Surface::x_cylinder(1.0, 2.0, 0.5);  // axis || x at y=1,z=2
+  EXPECT_LT(c.sense({99.0, 1.0, 2.0}), 0.0);   // on axis, any x
+  EXPECT_GT(c.sense({0.0, 2.0, 2.0}), 0.0);    // 1 away in y
+  EXPECT_NEAR(c.distance({0, 1, 2}, {0, 1, 0}, false), 0.5, 1e-12);
+  EXPECT_EQ(c.distance({0, 1, 2}, {1, 0, 0}, false), kInfDistance);  // parallel
+  const Direction n = c.normal({5.0, 1.5, 2.0});
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.y, 1.0, 1e-12);
+  EXPECT_NEAR(c.signed_distance({0, 1, 2}), -0.5, 1e-12);
+}
+
+TEST(YCylinder, SenseDistanceNormal) {
+  const Surface c = Surface::y_cylinder(0.0, 0.0, 2.0);  // axis || y
+  EXPECT_LT(c.sense({1.0, -7.0, 1.0}), 0.0);
+  EXPECT_NEAR(c.distance({0, 0, 0}, {0, 0, 1}, false), 2.0, 1e-12);
+  EXPECT_NEAR(c.distance({3, 0, 0}, {-1, 0, 0}, false), 1.0, 1e-12);
+  EXPECT_EQ(c.distance({0, 0, 0}, {0, 1, 0}, false), kInfDistance);
+  EXPECT_NEAR(c.signed_distance({0, 5, 3}), 1.0, 1e-12);
+}
+
+TEST(Sphere, SenseDistanceNormal) {
+  const Surface s = Surface::sphere(1.0, 0.0, 0.0, 2.0);
+  EXPECT_LT(s.sense({1.0, 0.0, 0.0}), 0.0);
+  EXPECT_GT(s.sense({4.0, 0.0, 0.0}), 0.0);
+  // From the center: exits at r in every direction.
+  EXPECT_NEAR(s.distance({1, 0, 0}, {0, 0, 1}, false), 2.0, 1e-12);
+  EXPECT_NEAR(s.distance({1, 0, 0}, {0.6, 0.8, 0}, false), 2.0, 1e-12);
+  // From outside, approaching along the axis.
+  EXPECT_NEAR(s.distance({5, 0, 0}, {-1, 0, 0}, false), 2.0, 1e-12);
+  // From outside, moving away: never hits.
+  EXPECT_EQ(s.distance({5, 0, 0}, {1, 0, 0}, false), kInfDistance);
+  // Missing chord.
+  EXPECT_EQ(s.distance({5, 3, 0}, {-1, 0, 0}, false), kInfDistance);
+  const Direction n = s.normal({3.0, 0.0, 0.0});
+  EXPECT_NEAR(n.x, 1.0, 1e-12);
+  EXPECT_NEAR(s.signed_distance({1, 0, 0}), -2.0, 1e-12);
+  EXPECT_NEAR(s.signed_distance({1, 0, 5}), 3.0, 1e-12);
+}
+
+TEST(Sphere, RandomRaysLandOnTheSurface) {
+  const Surface s = Surface::sphere(0.5, -0.25, 1.0, 1.5);
+  vmc::rng::Stream rs(17);
+  for (int i = 0; i < 300; ++i) {
+    const Position p{0.5 + 2.0 * (rs.next() - 0.5), -0.25 + 2.0 * (rs.next() - 0.5),
+                     1.0 + 2.0 * (rs.next() - 0.5)};
+    const Direction u =
+        direction_from_angles(2.0 * rs.next() - 1.0, 6.2831853 * rs.next());
+    const double d = s.distance(p, u, false);
+    if (d == kInfDistance) continue;
+    const Position hit = p + d * u;
+    EXPECT_NEAR(std::abs(s.signed_distance(hit)), 0.0, 1e-9);
+  }
+}
+
+TEST(SignedDistance, MatchesSenseSignEverywhere) {
+  const Surface surfaces[] = {
+      Surface::x_plane(1.0), Surface::y_plane(-2.0), Surface::z_plane(0.0),
+      Surface::x_cylinder(0, 0, 1.0), Surface::y_cylinder(1, 1, 0.7),
+      Surface::z_cylinder(-1, 2, 1.3), Surface::sphere(0, 0, 0, 2.0)};
+  vmc::rng::Stream rs(23);
+  for (int i = 0; i < 500; ++i) {
+    const Position p{6.0 * (rs.next() - 0.5), 6.0 * (rs.next() - 0.5),
+                     6.0 * (rs.next() - 0.5)};
+    for (const Surface& s : surfaces) {
+      const double f = s.sense(p);
+      const double d = s.signed_distance(p);
+      if (std::abs(f) > 1e-9) {
+        EXPECT_EQ(f > 0.0, d > 0.0);
+      }
+    }
+  }
+}
+
+TEST(Normals, UnitAndOutward) {
+  const Surface c = Surface::z_cylinder(1.0, 0.0, 2.0);
+  const Direction n = c.normal({3.0, 0.0, 5.0});
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 1.0, 1e-12);
+  const Surface p = Surface::x_plane(0.0);
+  EXPECT_DOUBLE_EQ(p.normal({0, 1, 2}).x, 1.0);
+}
+
+TEST(BoundaryCondition, DefaultIsTransmission) {
+  Surface s = Surface::x_plane(0.0);
+  EXPECT_EQ(s.bc(), BoundaryCondition::transmission);
+  s.set_bc(BoundaryCondition::reflective);
+  EXPECT_EQ(s.bc(), BoundaryCondition::reflective);
+}
+
+TEST(RotateDirection, PreservesUnitLengthAndCosine) {
+  vmc::rng::Stream s(5);
+  for (int i = 0; i < 500; ++i) {
+    const Direction u =
+        direction_from_angles(2.0 * s.next() - 1.0, 6.2831853 * s.next());
+    const double mu = 2.0 * s.next() - 1.0;
+    const double phi = 6.2831853 * s.next();
+    const Direction v = rotate_direction(u, mu, phi);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-10);
+    EXPECT_NEAR(u.dot(v), mu, 1e-9);
+  }
+}
+
+TEST(RotateDirection, HandlesPolarSingularity) {
+  for (double w : {1.0, -1.0}) {
+    const Direction u{0, 0, w};
+    const Direction v = rotate_direction(u, 0.5, 1.2);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(u.dot(v), 0.5, 1e-9);
+  }
+}
+
+TEST(DirectionFromAngles, Spans4Pi) {
+  vmc::rng::Stream s(6);
+  double zsum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const Direction u =
+        direction_from_angles(2.0 * s.next() - 1.0, 6.2831853 * s.next());
+    EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+    zsum += u.z;
+  }
+  EXPECT_NEAR(zsum / 10000.0, 0.0, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Hoogenboom-Martin model builders: nuclide counts, core map, guide-tube
+// layout, and geometry integrity of the full 241-assembly core.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hm/hm_model.hpp"
+#include "rng/stream.hpp"
+#include "xsdata/lookup.hpp"
+
+namespace {
+
+using namespace vmc::hm;
+
+TEST(HmLayout, GuideTubeCountIs25) {
+  int count = 0;
+  for (int iy = 0; iy < 17; ++iy) {
+    for (int ix = 0; ix < 17; ++ix) {
+      if (is_guide_tube(ix, iy)) ++count;
+    }
+  }
+  EXPECT_EQ(count, 25);  // 24 guide tubes + 1 instrumentation tube
+  EXPECT_TRUE(is_guide_tube(8, 8));  // central instrumentation tube
+  // Quarter symmetry of the standard layout.
+  for (int iy = 0; iy < 17; ++iy) {
+    for (int ix = 0; ix < 17; ++ix) {
+      EXPECT_EQ(is_guide_tube(ix, iy), is_guide_tube(16 - ix, iy));
+      EXPECT_EQ(is_guide_tube(ix, iy), is_guide_tube(ix, 16 - iy));
+    }
+  }
+}
+
+TEST(HmLayout, CoreMapHas241Assemblies) {
+  int count = 0;
+  for (int iy = 0; iy < 19; ++iy) {
+    for (int ix = 0; ix < 19; ++ix) {
+      if (is_fuel_assembly(ix, iy)) ++count;
+    }
+  }
+  EXPECT_EQ(count, 241);
+  EXPECT_TRUE(is_fuel_assembly(9, 9));    // center
+  EXPECT_FALSE(is_fuel_assembly(0, 0));   // corners are water
+  EXPECT_FALSE(is_fuel_assembly(18, 18));
+}
+
+TEST(HmMaterials, NuclideCountsMatchPaper) {
+  EXPECT_EQ(fuel_nuclide_count(FuelSize::small), 34);
+  EXPECT_EQ(fuel_nuclide_count(FuelSize::large), 320);
+
+  ModelOptions mo;
+  mo.grid_scale = 0.05;
+  mo.fuel = FuelSize::small;
+  int fuel = -1;
+  const auto lib = build_library(mo, &fuel);
+  EXPECT_EQ(lib.material(fuel).size(), 34u);
+  // Library adds water + clad constituents on top of the fuel nuclides.
+  EXPECT_GE(lib.n_nuclides(), 34);
+  EXPECT_EQ(lib.n_materials(), 3);
+}
+
+TEST(HmMaterials, LargeModelHas320FuelNuclides) {
+  ModelOptions mo;
+  mo.grid_scale = 0.03;
+  mo.fuel = FuelSize::large;
+  int fuel = -1;
+  const auto lib = build_library(mo, &fuel);
+  EXPECT_EQ(lib.material(fuel).size(), 320u);
+}
+
+class HmModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ModelOptions mo;
+    mo.grid_scale = 0.08;
+    mo.fuel = FuelSize::small;
+    mo.full_core = true;
+    model_ = new Model(build_model(mo));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static Model* model_;
+};
+
+Model* HmModelTest::model_ = nullptr;
+
+TEST_F(HmModelTest, MaterialsResolveAtKnownPoints) {
+  // Center of the central assembly's central pin: the instrumentation tube
+  // (water inside a zirc tube).
+  EXPECT_EQ(model_->geometry.find_material({0.0, 0.0, 0.0}),
+            model_->water_material);
+  // One pin over (pitch 1.26): fuel.
+  EXPECT_EQ(model_->geometry.find_material({1.26, 0.0, 0.0}),
+            model_->fuel_material);
+  // Pin cladding.
+  EXPECT_EQ(model_->geometry.find_material({1.26 + 0.45, 0.0, 0.0}),
+            model_->clad_material);
+  // Axial reflector.
+  EXPECT_EQ(model_->geometry.find_material({0.0, 0.0, 200.0}),
+            model_->water_material);
+  // Core corner: outside the 241-assembly map -> water.
+  EXPECT_EQ(model_->geometry.find_material({-200.0, -200.0, 0.0}),
+            model_->water_material);
+  // Outside the root box entirely.
+  EXPECT_EQ(model_->geometry.find_material({0.0, 0.0, 500.0}), -1);
+}
+
+TEST_F(HmModelTest, EveryPointInsideTheBoxResolves) {
+  vmc::rng::Stream s(9);
+  for (int i = 0; i < 20000; ++i) {
+    const vmc::geom::Position p{(s.next() - 0.5) * 2.0 * 203.0,
+                                (s.next() - 0.5) * 2.0 * 203.0,
+                                (s.next() - 0.5) * 2.0 * 218.0};
+    EXPECT_GE(model_->geometry.find_material(p), 0)
+        << p.x << " " << p.y << " " << p.z;
+  }
+}
+
+TEST_F(HmModelTest, FuelVolumeFractionIsPlausible) {
+  // Fuel pellets occupy roughly 1/5 of the core volume: pin area fraction
+  // (pi 0.4096^2 / 1.26^2 = 0.332) x fuel pins per assembly (264/289)
+  // x assembly coverage (241/361).
+  vmc::rng::Stream s(10);
+  int fuel = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const vmc::geom::Position p{(s.next() - 0.5) * 2.0 * 203.49,
+                                (s.next() - 0.5) * 2.0 * 203.49,
+                                (s.next() - 0.5) * 2.0 * 183.0};
+    if (model_->geometry.find_material(p) == model_->fuel_material) ++fuel;
+  }
+  const double expected = 0.332 * (264.0 / 289.0) * (241.0 / 361.0);
+  EXPECT_NEAR(fuel / static_cast<double>(n), expected, 0.01);
+}
+
+TEST_F(HmModelTest, TrackingARayAcrossTheCore) {
+  // A ray across the full core must make many crossings and terminate by
+  // leaking through the vacuum boundary.
+  vmc::geom::Geometry::State s;
+  ASSERT_TRUE(model_->geometry.locate({-203.0, 0.05, 0.05}, {1, 0, 0}, s));
+  int crossings = 0;
+  bool leaked = false;
+  for (int i = 0; i < 100000; ++i) {
+    const auto b = model_->geometry.distance_to_boundary(s);
+    ASSERT_GT(b.distance, 0.0);
+    const auto cr = model_->geometry.cross(s, b);
+    ++crossings;
+    if (cr == vmc::geom::Geometry::CrossResult::leaked) {
+      leaked = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(leaked);
+  // 19 assemblies x 17 pins x several surfaces each.
+  EXPECT_GT(crossings, 500);
+}
+
+TEST_F(HmModelTest, SourceBoxCoversFuel) {
+  EXPECT_LT(model_->source_lo.x, -200.0);
+  EXPECT_GT(model_->source_hi.x, 200.0);
+  EXPECT_NEAR(model_->source_hi.z, 183.0, 1e-9);
+}
+
+TEST(HmMiniModel, SingleAssemblyIsReflective) {
+  ModelOptions mo;
+  mo.grid_scale = 0.05;
+  mo.full_core = false;
+  const Model m = build_model(mo);
+  vmc::geom::Geometry::State s;
+  ASSERT_TRUE(m.geometry.locate({0.3, 0.2, 0.0}, {1, 0, 0}, s));
+  // Track a long way: must never leak.
+  for (int i = 0; i < 2000; ++i) {
+    const auto b = m.geometry.distance_to_boundary(s);
+    ASSERT_NE(m.geometry.cross(s, b), vmc::geom::Geometry::CrossResult::leaked)
+        << "step " << i;
+  }
+}
+
+TEST(HmOptions, UrrAndThermalToggles) {
+  ModelOptions mo;
+  mo.grid_scale = 0.05;
+  mo.with_urr = false;
+  mo.with_thermal = false;
+  int fuel = -1;
+  const auto lib = build_library(mo, &fuel);
+  for (int n = 0; n < lib.n_nuclides(); ++n) {
+    EXPECT_FALSE(lib.nuclide(n).urr.has_value());
+    EXPECT_FALSE(lib.nuclide(n).thermal.has_value());
+  }
+  ModelOptions on;
+  on.grid_scale = 0.05;
+  int fuel2 = -1;
+  const auto lib2 = build_library(on, &fuel2);
+  bool any_urr = false, any_thermal = false;
+  for (int n = 0; n < lib2.n_nuclides(); ++n) {
+    any_urr |= lib2.nuclide(n).urr.has_value();
+    any_thermal |= lib2.nuclide(n).thermal.has_value();
+  }
+  EXPECT_TRUE(any_urr);
+  EXPECT_TRUE(any_thermal);
+}
+
+}  // namespace

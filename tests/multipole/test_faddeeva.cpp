@@ -1,0 +1,103 @@
+// Faddeeva function: known values, symmetry relations, and agreement
+// between the scalar w4 and the vectorized region-3 kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "multipole/faddeeva.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using vmc::multipole::faddeeva;
+using vmc::multipole::faddeeva_region3;
+
+TEST(Faddeeva, OriginIsOne) {
+  const auto w = faddeeva({0.0, 0.0});
+  EXPECT_NEAR(w.real(), 1.0, 2e-4);
+  EXPECT_NEAR(w.imag(), 0.0, 2e-4);
+}
+
+TEST(Faddeeva, PureImaginaryMatchesErfcx) {
+  // w(iy) = erfcx(y) = exp(y^2) erfc(y), real.
+  for (double y : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const auto w = faddeeva({0.0, y});
+    const double ref = std::exp(y * y) * std::erfc(y);
+    EXPECT_NEAR(w.real(), ref, 2e-4 * ref + 2e-4) << "y=" << y;
+    EXPECT_NEAR(w.imag(), 0.0, 1e-4);
+  }
+}
+
+TEST(Faddeeva, RealAxisRealPartIsGaussian) {
+  // w(x) = exp(-x^2) + i * 2 Dawson(x) / sqrt(pi): Re part is the Gaussian.
+  for (double x : {0.0, 0.3, 1.0, 2.0}) {
+    const auto w = faddeeva({x, 0.0});
+    EXPECT_NEAR(w.real(), std::exp(-x * x), 3e-4) << "x=" << x;
+  }
+}
+
+TEST(Faddeeva, MirrorSymmetry) {
+  // w(-conj(z)) = conj(w(z)).
+  vmc::rng::Stream s(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::complex<double> z(10.0 * (s.next() - 0.5), 5.0 * s.next());
+    const auto a = faddeeva(z);
+    const auto b = faddeeva({-z.real(), z.imag()});
+    EXPECT_NEAR(b.real(), a.real(), 1e-6 + 1e-4 * std::abs(a.real()));
+    EXPECT_NEAR(b.imag(), -a.imag(), 1e-6 + 1e-4 * std::abs(a.imag()));
+  }
+}
+
+TEST(Faddeeva, AsymptoticBehaviourAtLargeArgument) {
+  // w(z) ~ i / (sqrt(pi) z) for |z| -> inf.
+  const double inv_sqrt_pi = 0.5641895835477563;
+  for (double x : {30.0, 100.0}) {
+    const auto w = faddeeva({x, 1.0});
+    EXPECT_NEAR(w.imag(), inv_sqrt_pi / x, 0.05 * inv_sqrt_pi / x);
+  }
+}
+
+TEST(Faddeeva, LowerHalfPlaneReflection) {
+  // w(z) for Im z < 0 via w(z) = 2 exp(-z^2) - conj(w(conj(z))).
+  const std::complex<double> z(1.0, -0.5);
+  const auto w = faddeeva(z);
+  const auto expected =
+      2.0 * std::exp(-z * z) - std::conj(faddeeva(std::conj(z)));
+  EXPECT_NEAR(w.real(), expected.real(), 1e-10);
+  EXPECT_NEAR(w.imag(), expected.imag(), 1e-10);
+}
+
+TEST(FaddeevaRegion3, MatchesScalarInItsDomain) {
+  // Region 3 is used by the vector kernel for |x| + y in the window range;
+  // verify lane-by-lane against the full scalar implementation.
+  constexpr int N = 8;
+  vmc::rng::Stream s(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    vmc::simd::Vec<double, N> x, y;
+    for (int i = 0; i < N; ++i) {
+      x.set(i, 4.0 * (s.next() - 0.5));
+      y.set(i, 0.9 + 2.0 * s.next());  // comfortably in region 3
+    }
+    vmc::simd::Vec<double, N> re, im;
+    faddeeva_region3(x, y, re, im);
+    for (int i = 0; i < N; ++i) {
+      const auto ref = faddeeva({x[i], y[i]});
+      EXPECT_NEAR(re[i], ref.real(), 5e-4 + 1e-3 * std::abs(ref.real()))
+          << "z=(" << x[i] << "," << y[i] << ")";
+      EXPECT_NEAR(im[i], ref.imag(), 5e-4 + 1e-3 * std::abs(ref.imag()));
+    }
+  }
+}
+
+TEST(FaddeevaRegion3, StableForLargeArguments) {
+  constexpr int N = 4;
+  vmc::simd::Vec<double, N> x(1000.0), y(500.0), re, im;
+  faddeeva_region3(x, y, re, im);
+  for (int i = 0; i < N; ++i) {
+    EXPECT_TRUE(std::isfinite(re[i]));
+    EXPECT_TRUE(std::isfinite(im[i]));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Windowed multipole: construction invariants, physical behaviour
+// (positivity of the total away from interference dips, Doppler smoothing),
+// and agreement between the original and vectorized kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "multipole/doppler.hpp"
+#include "multipole/multipole.hpp"
+#include "rng/stream.hpp"
+#include "xsdata/lookup.hpp"
+
+namespace {
+
+using vmc::multipole::doppler_width;
+using vmc::multipole::MpXs;
+using vmc::multipole::WindowedMultipole;
+
+WindowedMultipole make_default(std::uint64_t seed = 1) {
+  WindowedMultipole::Params p;
+  return WindowedMultipole::make_synthetic(seed, p);
+}
+
+TEST(Multipole, ConstructionInvariants) {
+  const WindowedMultipole m = make_default();
+  EXPECT_EQ(m.n_windows(), 100);
+  EXPECT_GT(m.n_poles(), 100u);
+  EXPECT_EQ(m.poles_per_window_fixed() % 8, 0);  // padded to lanes
+  EXPECT_GT(m.data_bytes(), 0u);
+}
+
+TEST(Multipole, DeterministicBySeed) {
+  const WindowedMultipole a = make_default(5);
+  const WindowedMultipole b = make_default(5);
+  const double dop = doppler_width(2.53e-8, 238.0);
+  for (double e : {2e-5, 1e-4, 1e-3, 5e-2}) {
+    EXPECT_EQ(a.evaluate(e, dop).total, b.evaluate(e, dop).total);
+  }
+  const WindowedMultipole c = make_default(6);
+  EXPECT_NE(a.evaluate(1e-3, dop).total, c.evaluate(1e-3, dop).total);
+}
+
+TEST(Multipole, FixedKernelMatchesOriginal) {
+  // The vectorized fixed-poles kernel uses the region-3 Faddeeva; agreement
+  // with the original w4 kernel should be at the Humlicek tolerance.
+  const WindowedMultipole m = make_default(11);
+  const double dop = doppler_width(2.53e-8, 238.0);
+  vmc::rng::Stream s(3);
+  for (int i = 0; i < 500; ++i) {
+    const double e =
+        m.e_min() * std::pow(m.e_max() / m.e_min(), s.next()) * 0.999;
+    const MpXs a = m.evaluate(e, dop);
+    const MpXs b = m.evaluate_fixed(e, dop);
+    // The vector kernel applies the region-3 rational everywhere, including
+    // arguments the scalar w4 handles with regions I/II; ~1% agreement is
+    // the accuracy trade the paper's vectorized RSBench variant makes.
+    const double tol_t = 2e-2 * std::abs(a.total) + 5e-2;
+    EXPECT_NEAR(b.total, a.total, tol_t) << "E=" << e;
+    EXPECT_NEAR(b.absorption, a.absorption,
+                2e-2 * std::abs(a.absorption) + 5e-2);
+    EXPECT_NEAR(b.fission, a.fission, 2e-2 * std::abs(a.fission) + 5e-2);
+  }
+}
+
+TEST(Multipole, DopplerBroadeningSmoothsPeaks) {
+  // Higher temperature -> wider Doppler width -> lower, broader peaks:
+  // the max of sigma_t over a fine scan must decrease with T.
+  const WindowedMultipole m = make_default(13);
+  const double cold = doppler_width(2.53e-8, 238.0);    // 293 K
+  const double hot = doppler_width(2.53e-7, 238.0);     // ~2930 K
+  double max_cold = 0.0, max_hot = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double e = m.e_min() + (m.e_max() - m.e_min()) * i / 20000.0;
+    max_cold = std::max(max_cold, m.evaluate(e, cold).total);
+    max_hot = std::max(max_hot, m.evaluate(e, hot).total);
+  }
+  EXPECT_LT(max_hot, max_cold);
+}
+
+TEST(Multipole, NonFissionableHasZeroFissionChannel) {
+  WindowedMultipole::Params p;
+  p.fissionable = false;
+  const WindowedMultipole m = WindowedMultipole::make_synthetic(2, p);
+  const double dop = doppler_width(2.53e-8, 238.0);
+  vmc::rng::Stream s(5);
+  for (int i = 0; i < 100; ++i) {
+    const double e = m.e_min() * std::pow(m.e_max() / m.e_min(), s.next());
+    EXPECT_NEAR(m.evaluate(e, dop).fission, 0.0, 1e-12);
+    EXPECT_NEAR(m.evaluate_fixed(e, dop).fission, 0.0, 1e-12);
+  }
+}
+
+TEST(Multipole, MemoryFootprintIsCompact) {
+  // The method's selling point: far less data than pointwise tables.
+  // ~1200 poles x a few complex numbers should be well under a MB.
+  const WindowedMultipole m = make_default();
+  EXPECT_LT(m.data_bytes(), 1u << 20);
+}
+
+TEST(Multipole, ResonanceStructureIsPresent) {
+  const WindowedMultipole m = make_default(17);
+  const double dop = doppler_width(2.53e-8, 238.0);
+  double mx = -1e300, mn = 1e300;
+  for (int i = 1; i < 50000; ++i) {
+    const double e = m.e_min() + (m.e_max() - m.e_min()) * i / 50000.0;
+    const double t = m.evaluate(e, dop).total;
+    mx = std::max(mx, t);
+    mn = std::min(mn, t);
+  }
+  EXPECT_GT(mx - mn, 1.0);  // peaks rise well above the background
+}
+
+TEST(BroadenedNuclide, ProducesValidPointwiseData) {
+  const WindowedMultipole m = make_default(21);
+  vmc::multipole::BroadenOptions opt;
+  opt.grid_points = 800;
+  const vmc::xs::Nuclide n =
+      vmc::multipole::broadened_nuclide(m, "mp-u238", opt);
+  ASSERT_EQ(n.grid_size(), 800u);
+  EXPECT_TRUE(std::is_sorted(n.energy.begin(), n.energy.end()));
+  for (std::size_t i = 0; i < n.grid_size(); ++i) {
+    EXPECT_GT(n.total[i], 0.0f);
+    EXPECT_GE(n.scatter[i], 0.0f);
+    EXPECT_GT(n.absorption[i], 0.0f);
+    EXPECT_NEAR(n.total[i], n.scatter[i] + n.absorption[i],
+                1e-4f * n.total[i]);
+  }
+}
+
+TEST(BroadenedNuclide, HotterTemperatureFlattensResonances) {
+  const WindowedMultipole m = make_default(22);
+  vmc::multipole::BroadenOptions cold;
+  cold.kt_mev = vmc::multipole::kt_from_kelvin(293.6);
+  cold.grid_points = 2000;
+  vmc::multipole::BroadenOptions hot = cold;
+  hot.kt_mev = vmc::multipole::kt_from_kelvin(2400.0);
+  const auto nc = vmc::multipole::broadened_nuclide(m, "cold", cold);
+  const auto nh = vmc::multipole::broadened_nuclide(m, "hot", hot);
+  float max_cold = 0.0f, max_hot = 0.0f;
+  for (std::size_t i = 0; i < nc.grid_size(); ++i) {
+    max_cold = std::max(max_cold, nc.total[i]);
+    max_hot = std::max(max_hot, nh.total[i]);
+  }
+  EXPECT_LT(max_hot, max_cold);
+}
+
+TEST(BroadenedNuclide, UsableInALibraryWithLookups) {
+  const WindowedMultipole m = make_default(23);
+  vmc::multipole::BroadenOptions opt;
+  opt.grid_points = 500;
+  opt.fissionable = true;
+  vmc::xs::Library lib;
+  const int id = lib.add_nuclide(
+      vmc::multipole::broadened_nuclide(m, "mp", opt));
+  vmc::xs::Material mat;
+  mat.add(id, 0.02);
+  const int mid = lib.add_material(std::move(mat));
+  lib.finalize();
+  const auto s = vmc::xs::macro_xs_history(lib, mid, 1e-3);
+  EXPECT_GT(s.total, 0.0);
+  EXPECT_GT(s.fission, 0.0);
+}
+
+TEST(KtFromKelvin, RoomTemperatureAnchor) {
+  EXPECT_NEAR(vmc::multipole::kt_from_kelvin(293.6), 2.53e-8, 2e-10);
+}
+
+TEST(DopplerWidth, ScalesWithTemperatureAndMass) {
+  EXPECT_GT(doppler_width(2.53e-7, 238.0), doppler_width(2.53e-8, 238.0));
+  EXPECT_GT(doppler_width(2.53e-8, 1.0), doppler_width(2.53e-8, 238.0));
+  EXPECT_NEAR(doppler_width(2.53e-8, 238.0),
+              std::sqrt(2.53e-8 / 238.0), 1e-15);
+}
+
+}  // namespace

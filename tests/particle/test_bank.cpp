@@ -1,0 +1,91 @@
+// SoA particle bank: round-tripping, alignment, byte accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "particle/bank.hpp"
+
+namespace {
+
+using namespace vmc::particle;
+
+TEST(SoABank, PushAndExtractRoundTrip) {
+  SoABank bank(10);
+  for (int i = 0; i < 10; ++i) {
+    bank.push({1.0 * i, 2.0 * i, 3.0 * i}, {0, 0, 1}, 0.5 + i, 1.0,
+              static_cast<std::uint64_t>(i), i % 3);
+  }
+  ASSERT_EQ(bank.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Particle p = bank.extract(i, /*master_seed=*/42);
+    EXPECT_DOUBLE_EQ(p.r.x, 1.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p.r.z, 3.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p.energy, 0.5 + static_cast<double>(i));
+    EXPECT_EQ(p.id, i);
+    // Extracted stream equals a fresh for_particle stream.
+    vmc::rng::Stream ref = vmc::rng::Stream::for_particle(42, i);
+    EXPECT_EQ(p.stream.state(), ref.state());
+  }
+}
+
+TEST(SoABank, PushParticleObject) {
+  Particle p = Particle::born(7, 3, {1, 2, 3}, 2.0);
+  SoABank bank;
+  bank.push(p);
+  EXPECT_EQ(bank.size(), 1u);
+  EXPECT_DOUBLE_EQ(bank.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(bank.energy[0], 2.0);
+  EXPECT_EQ(bank.id[0], 3u);
+}
+
+TEST(SoABank, ClearResets) {
+  SoABank bank;
+  bank.push({0, 0, 0}, {0, 0, 1}, 1.0, 1.0, 0, 0);
+  bank.clear();
+  EXPECT_EQ(bank.size(), 0u);
+  EXPECT_TRUE(bank.empty());
+  EXPECT_EQ(bank.bytes(), 0u);
+}
+
+TEST(SoABank, ColumnsAreAligned) {
+  SoABank bank(1000);
+  for (int i = 0; i < 1000; ++i) {
+    bank.push({0, 0, 0}, {0, 0, 1}, 1.0, 1.0, 0, 0);
+  }
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+  };
+  EXPECT_TRUE(aligned(bank.x.data()));
+  EXPECT_TRUE(aligned(bank.energy.data()));
+  EXPECT_TRUE(aligned(bank.weight.data()));
+  EXPECT_TRUE(aligned(bank.material.data()));
+}
+
+TEST(SoABank, ByteAccountingScalesWithSize) {
+  SoABank bank;
+  EXPECT_EQ(bank.bytes(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    bank.push({0, 0, 0}, {0, 0, 1}, 1.0, 1.0, 0, 0);
+  }
+  EXPECT_EQ(bank.bytes(), 100 * SoABank::bytes_per_particle());
+  EXPECT_GE(SoABank::bytes_per_particle(), 6 * 8 + 8 + 4 + 8 + 4);
+}
+
+TEST(Particle, BornIsDeterministicAndIsotropic) {
+  const Particle a = Particle::born(9, 5, {0, 0, 0}, 2.0);
+  const Particle b = Particle::born(9, 5, {0, 0, 0}, 2.0);
+  EXPECT_DOUBLE_EQ(a.u.x, b.u.x);
+  EXPECT_DOUBLE_EQ(a.u.z, b.u.z);
+  EXPECT_NEAR(a.u.norm(), 1.0, 1e-12);
+  EXPECT_TRUE(a.alive);
+
+  // Direction distribution is isotropic over many ids.
+  double zsum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    zsum += Particle::born(9, static_cast<std::uint64_t>(i), {0, 0, 0}, 1.0).u.z;
+  }
+  EXPECT_NEAR(zsum / n, 0.0, 0.02);
+}
+
+}  // namespace

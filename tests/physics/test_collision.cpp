@@ -1,0 +1,219 @@
+// Collision physics: kinematic bounds, reaction balance, URR and
+// S(alpha,beta) behaviour, nuclide sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/collision.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::physics;
+using namespace vmc::xs;
+
+TEST(ElasticKinematics, EnergyWithinAlphaBounds) {
+  // E' in [alpha E, E] with alpha = ((A-1)/(A+1))^2.
+  for (double awr : {1.0, 12.0, 238.0}) {
+    const double alpha =
+        ((awr - 1.0) / (awr + 1.0)) * ((awr - 1.0) / (awr + 1.0));
+    for (double mu : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+      const ElasticOut out = elastic_kinematics(2.0, awr, mu);
+      EXPECT_GE(out.energy, 2.0 * alpha - 1e-12);
+      EXPECT_LE(out.energy, 2.0 + 1e-12);
+      EXPECT_GE(out.mu_lab, -1.0);
+      EXPECT_LE(out.mu_lab, 1.0);
+    }
+  }
+}
+
+TEST(ElasticKinematics, HydrogenForwardScatters) {
+  // For A = 1 the lab cosine is never negative.
+  for (double mu = -0.99; mu < 1.0; mu += 0.05) {
+    EXPECT_GE(elastic_kinematics(1.0, 1.0, mu).mu_lab, -1e-9);
+  }
+  // Head-on collision with hydrogen stops the neutron.
+  EXPECT_NEAR(elastic_kinematics(1.0, 1.0, -1.0).energy, 0.0, 1e-12);
+}
+
+TEST(ElasticKinematics, HeavyTargetLosesLittleEnergy) {
+  const ElasticOut out = elastic_kinematics(1.0, 238.0, 0.0);
+  EXPECT_GT(out.energy, 0.99);
+}
+
+class CollisionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lib_ = std::make_unique<Library>();
+    // Flat scatterer + flat fissile absorber: analytic reaction fractions.
+    scat_ = lib_->add_nuclide(make_flat_nuclide("scat", 10.0, 0.0001, 0.0, 0.0, 12.0));
+    fis_ = lib_->add_nuclide(make_flat_nuclide("fis", 2.0, 8.0, 6.0, 2.5, 235.0));
+    Material m;
+    m.add(scat_, 1.0);
+    m.add(fis_, 1.0);
+    mat_ = lib_->add_material(std::move(m));
+    lib_->finalize();
+  }
+  std::unique_ptr<Library> lib_;
+  int scat_ = -1, fis_ = -1, mat_ = -1;
+};
+
+TEST_F(CollisionFixture, SampleNuclideFollowsTotalsRatio) {
+  Collision coll(*lib_, PhysicsSettings::vector_friendly());
+  vmc::rng::Stream s(1);
+  const double sigma_t = 10.0001 + 10.0;  // both nuclides, density 1
+  int n_fis = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (coll.sample_nuclide(mat_, 0.5, sigma_t, s) == fis_) ++n_fis;
+  }
+  EXPECT_NEAR(n_fis / static_cast<double>(n), 10.0 / 20.0, 0.01);
+}
+
+TEST_F(CollisionFixture, ReactionFractionsMatchCrossSections) {
+  Collision coll(*lib_, PhysicsSettings::vector_friendly());
+  vmc::rng::Stream s(2);
+  const XsSet macro = macro_xs_history(*lib_, mat_, 0.5);
+  int scatters = 0, captures = 0, fissions = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const CollisionResult r = coll.collide(mat_, 0.5, {0, 0, 1}, macro, s);
+    switch (r.type) {
+      case CollisionType::scatter: ++scatters; break;
+      case CollisionType::capture: ++captures; break;
+      case CollisionType::fission: ++fissions; break;
+    }
+  }
+  // Analytic fractions: absorption = Sig_a/Sig_t; fission share of
+  // absorption in the fissile nuclide = 6/8.
+  const double f_abs = macro.absorption / macro.total;
+  EXPECT_NEAR((captures + fissions) / static_cast<double>(n), f_abs, 0.01);
+  EXPECT_NEAR(fissions / static_cast<double>(captures + fissions + 1e-300),
+              6.0 / 8.0, 0.02);
+}
+
+TEST_F(CollisionFixture, FissionYieldMatchesNu) {
+  Collision coll(*lib_, PhysicsSettings::vector_friendly());
+  vmc::rng::Stream s(3);
+  const XsSet macro = macro_xs_history(*lib_, mat_, 0.5);
+  long total_neutrons = 0;
+  int fissions = 0;
+  for (int i = 0; i < 300000; ++i) {
+    const CollisionResult r = coll.collide(mat_, 0.5, {0, 0, 1}, macro, s);
+    if (r.type == CollisionType::fission) {
+      ++fissions;
+      total_neutrons += r.n_fission_neutrons;
+    }
+  }
+  ASSERT_GT(fissions, 1000);
+  EXPECT_NEAR(total_neutrons / static_cast<double>(fissions), 2.5, 0.02);
+}
+
+TEST_F(CollisionFixture, ScatterPreservesDirectionNorm) {
+  Collision coll(*lib_, PhysicsSettings::full());
+  vmc::rng::Stream s(4);
+  const XsSet macro = macro_xs_history(*lib_, mat_, 1.0e-3);
+  for (int i = 0; i < 1000; ++i) {
+    const CollisionResult r = coll.collide(mat_, 1.0e-3, {0, 0, 1}, macro, s);
+    if (r.type == CollisionType::scatter) {
+      EXPECT_NEAR(r.direction.norm(), 1.0, 1e-9);
+      EXPECT_GT(r.energy, 0.0);
+      // Free-gas can upscatter a little; far more than kT would be a bug.
+      EXPECT_LT(r.energy, 1.0e-3 + 50.0 * 2.53e-8);
+    }
+  }
+}
+
+TEST_F(CollisionFixture, ScatteringModeratesOnAverage) {
+  Collision coll(*lib_, PhysicsSettings::vector_friendly());
+  vmc::rng::Stream s(5);
+  const XsSet macro = macro_xs_history(*lib_, mat_, 1.0);
+  double esum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const CollisionResult r = coll.collide(mat_, 1.0, {0, 0, 1}, macro, s);
+    if (r.type == CollisionType::scatter) {
+      esum += r.energy;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 1000);
+  const double mean = esum / n;
+  EXPECT_LT(mean, 1.0);   // energy goes down on average
+  EXPECT_GT(mean, 0.5);   // mixed C-12-ish/heavy target: modest loss
+}
+
+TEST(UrrSampling, FactorsChangeMicroXsAndConsumeRng) {
+  auto p = SynthParams::u238_like();
+  p.grid_points = 400;
+  p.n_resonances = 30;
+  p.with_urr = true;
+  Library lib;
+  const int id = lib.add_nuclide(make_synthetic_nuclide("u", 1, p));
+  Material m;
+  m.add(id, 1.0);
+  lib.add_material(std::move(m));
+  lib.finalize();
+  const double e_urr = lib.nuclide(id).urr->e_min * 2.0;
+
+  Collision with(lib, PhysicsSettings::full());
+  Collision without(lib, PhysicsSettings::vector_friendly());
+
+  vmc::rng::Stream s1(1);
+  vmc::rng::Stream s2(1);
+  const XsSet a = with.micro_xs(id, e_urr, s1);
+  const XsSet b = without.micro_xs(id, e_urr, s2);
+  EXPECT_NE(s1.state(), s2.state());  // URR consumed a random number
+  EXPECT_GT(a.total, 0.0);
+  EXPECT_GT(b.total, 0.0);
+  // Expectation over many band samples stays near the smooth value.
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += with.micro_xs(id, e_urr, s1).total;
+  mean /= n;
+  EXPECT_NEAR(mean, b.total, 0.35 * b.total);
+}
+
+TEST(ThermalScattering, TablesActivateBelowCutoff) {
+  auto p = SynthParams::light_like(1.0);
+  p.with_thermal = true;
+  Library lib;
+  const int id = lib.add_nuclide(make_synthetic_nuclide("h", 1, p));
+  Material m;
+  m.add(id, 1.0);
+  const int mid = lib.add_material(std::move(m));
+  lib.finalize();
+  const double cutoff = lib.nuclide(id).thermal->cutoff;
+
+  Collision with(lib, PhysicsSettings::full());
+  Collision without(lib, PhysicsSettings::vector_friendly());
+  vmc::rng::Stream s1(3), s2(3);
+  const double e = cutoff / 8.0;
+  const XsSet a = with.micro_xs(id, e, s1);
+  const XsSet b = without.micro_xs(id, e, s2);
+  EXPECT_NE(a.scatter, b.scatter);  // S(a,b) modifies the channel
+
+  // Thermal scattering keeps outgoing energy in the thermal range and
+  // produces unit directions.
+  const XsSet macro = macro_xs_history(lib, mid, e);
+  for (int i = 0; i < 2000; ++i) {
+    const CollisionResult r = with.collide(mid, e, {0, 0, 1}, macro, s1);
+    if (r.type == CollisionType::scatter) {
+      EXPECT_NEAR(r.direction.norm(), 1.0, 1e-9);
+      EXPECT_GT(r.energy, 0.0);
+      EXPECT_LT(r.energy, 100.0 * cutoff);
+    }
+  }
+}
+
+TEST(PhysicsSettings, VectorFriendlyDisablesBranchyTreatments) {
+  const PhysicsSettings v = PhysicsSettings::vector_friendly();
+  EXPECT_FALSE(v.enable_urr);
+  EXPECT_FALSE(v.enable_thermal);
+  EXPECT_FALSE(v.enable_free_gas);
+  const PhysicsSettings f = PhysicsSettings::full();
+  EXPECT_TRUE(f.enable_urr);
+  EXPECT_TRUE(f.enable_thermal);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Profiler: nesting (inclusive vs. exclusive), per-thread aggregation,
+// injected samples, and the comparison-profile report.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "prof/profiler.hpp"
+#include "prof/report.hpp"
+
+namespace {
+
+using namespace vmc::prof;
+
+void spin_for(double seconds) {
+  const double t0 = now_seconds();
+  while (now_seconds() - t0 < seconds) {
+  }
+}
+
+TEST(Profiler, HandleIsStablePerName) {
+  Registry r;
+  const TimerHandle a = r.handle("foo");
+  const TimerHandle b = r.handle("foo");
+  const TimerHandle c = r.handle("bar");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_NE(a.index, c.index);
+}
+
+TEST(Profiler, CountsCallsAndTime) {
+  Registry r;
+  const TimerHandle h = r.handle("work");
+  for (int i = 0; i < 5; ++i) {
+    ScopedTimer t(r, h);
+    spin_for(0.002);
+  }
+  const Profile p = r.snapshot("test");
+  ASSERT_TRUE(p.timers.count("work"));
+  const TimerStats& st = p.timers.at("work");
+  EXPECT_EQ(st.calls, 5u);
+  EXPECT_GE(st.inclusive_s, 0.009);
+  EXPECT_NEAR(st.inclusive_s, st.exclusive_s, 1e-9);
+}
+
+TEST(Profiler, NestedTimersSplitExclusiveTime) {
+  Registry r;
+  const TimerHandle outer = r.handle("outer");
+  const TimerHandle inner = r.handle("inner");
+  {
+    ScopedTimer t(r, outer);
+    spin_for(0.004);
+    {
+      ScopedTimer u(r, inner);
+      spin_for(0.006);
+    }
+  }
+  const Profile p = r.snapshot("nested");
+  const auto& o = p.timers.at("outer");
+  const auto& i = p.timers.at("inner");
+  EXPECT_GE(o.inclusive_s, 0.009);
+  EXPECT_LT(o.exclusive_s, o.inclusive_s);
+  EXPECT_NEAR(o.exclusive_s, o.inclusive_s - i.inclusive_s, 1e-6);
+  EXPECT_GE(i.exclusive_s, 0.005);
+}
+
+TEST(Profiler, AggregatesAcrossThreads) {
+  Registry r;
+  const TimerHandle h = r.handle("mt");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r, h] {
+      for (int i = 0; i < 3; ++i) {
+        ScopedTimer s(r, h);
+        spin_for(0.001);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Profile p = r.snapshot("mt");
+  EXPECT_EQ(p.timers.at("mt").calls, 12u);
+  EXPECT_GE(p.timers.at("mt").inclusive_s, 0.010);
+}
+
+TEST(Profiler, AddSampleInjectsModeledTime) {
+  Registry r;
+  const TimerHandle h = r.handle("modeled");
+  r.add_sample(h, 3.5, 7);
+  const Profile p = r.snapshot("m");
+  EXPECT_EQ(p.timers.at("modeled").calls, 7u);
+  EXPECT_DOUBLE_EQ(p.timers.at("modeled").exclusive_s, 3.5);
+}
+
+TEST(Profiler, ResetClearsData) {
+  Registry r;
+  const TimerHandle h = r.handle("x");
+  r.add_sample(h, 1.0);
+  r.reset();
+  const Profile p = r.snapshot("after");
+  EXPECT_TRUE(p.timers.empty());
+}
+
+TEST(Profile, ByExclusiveSortsDescending) {
+  Profile p;
+  p.timers["a"] = {1, 1.0, 0.5};
+  p.timers["b"] = {1, 2.0, 2.0};
+  p.timers["c"] = {1, 1.0, 1.0};
+  const auto v = p.by_exclusive();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].first, "b");
+  EXPECT_EQ(v[1].first, "c");
+  EXPECT_EQ(v[2].first, "a");
+  EXPECT_DOUBLE_EQ(p.total_exclusive(), 3.5);
+}
+
+TEST(Report, ComparisonProfileContainsRatios) {
+  Profile host;
+  host.label = "Host CPU";
+  host.timers["calculate_xs"] = {100, 9.0, 9.0};
+  host.timers["collide"] = {50, 2.0, 2.0};
+  Profile mic;
+  mic.label = "MIC native";
+  mic.timers["calculate_xs"] = {100, 6.0, 6.0};
+  mic.timers["collide"] = {50, 3.0, 3.0};
+
+  std::ostringstream os;
+  print_comparison(os, host, mic);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("calculate_xs"), std::string::npos);
+  EXPECT_NE(out.find("1.50x"), std::string::npos);  // 9.0 / 6.0
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+}
+
+TEST(Report, FlatProfilePrintsTopN) {
+  Profile p;
+  p.label = "flat";
+  for (int i = 0; i < 30; ++i) {
+    p.timers["routine_" + std::to_string(i)] = {1, 1.0 * i, 1.0 * i};
+  }
+  std::ostringstream os;
+  print_profile(os, p, 5);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("routine_29"), std::string::npos);
+  EXPECT_EQ(out.find("routine_0\n"), std::string::npos);
+}
+
+TEST(Report, FormatSecondsUnits) {
+  EXPECT_EQ(format_seconds(250.0), "250 s");
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.5 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.5 us");
+}
+
+}  // namespace

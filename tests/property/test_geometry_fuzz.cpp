@@ -1,0 +1,177 @@
+// Property-based geometry fuzzing: randomized pin-lattice geometries must
+// satisfy tracking invariants for every sampled configuration —
+//  * every interior point locates to a material,
+//  * random rays walk to the boundary with positive finite segments,
+//  * reflective boxes never leak,
+//  * Monte Carlo volume fractions match the analytic pin areas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geometry.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::geom;
+
+struct FuzzConfig {
+  std::uint64_t seed;
+  int nx, ny;
+  double pitch;
+  double pin_radius;
+  bool reflective;
+};
+
+/// Build an (nx x ny) lattice of pin universes inside a box sized exactly to
+/// the lattice, with randomizable pin radius.
+Geometry build_lattice(const FuzzConfig& cfg) {
+  Geometry g;
+  const int s_pin = g.add_surface(Surface::z_cylinder(0, 0, cfg.pin_radius));
+
+  Cell pin;
+  pin.region = {{s_pin, false}};
+  pin.fill = 0;
+  Cell gap;
+  gap.region = {{s_pin, true}};
+  gap.fill = 1;
+  Universe u_pin;
+  u_pin.cells = {g.add_cell(std::move(pin)), g.add_cell(std::move(gap))};
+  const int uid = g.add_universe(std::move(u_pin));
+
+  Lattice lat;
+  lat.nx = cfg.nx;
+  lat.ny = cfg.ny;
+  lat.pitch = cfg.pitch;
+  lat.x0 = -0.5 * cfg.nx * cfg.pitch;
+  lat.y0 = -0.5 * cfg.ny * cfg.pitch;
+  lat.universe.assign(static_cast<std::size_t>(cfg.nx) *
+                          static_cast<std::size_t>(cfg.ny),
+                      uid);
+  lat.outer = uid;
+  const int lid = g.add_lattice(std::move(lat));
+
+  const double wx = 0.5 * cfg.nx * cfg.pitch;
+  const double wy = 0.5 * cfg.ny * cfg.pitch;
+  const int sx0 = g.add_surface(Surface::x_plane(-wx));
+  const int sx1 = g.add_surface(Surface::x_plane(wx));
+  const int sy0 = g.add_surface(Surface::y_plane(-wy));
+  const int sy1 = g.add_surface(Surface::y_plane(wy));
+  const int sz0 = g.add_surface(Surface::z_plane(-10));
+  const int sz1 = g.add_surface(Surface::z_plane(10));
+  const auto bc = cfg.reflective ? BoundaryCondition::reflective
+                                 : BoundaryCondition::vacuum;
+  for (int s : {sx0, sx1, sy0, sy1, sz0, sz1}) g.surface(s).set_bc(bc);
+
+  Cell root_cell;
+  root_cell.region = {{sx0, true}, {sx1, false}, {sy0, true},
+                      {sy1, false}, {sz0, true}, {sz1, false}};
+  root_cell.fill_type = FillType::lattice;
+  root_cell.fill = lid;
+  Universe root;
+  root.cells = {g.add_cell(std::move(root_cell))};
+  g.set_root(g.add_universe(std::move(root)));
+  return g;
+}
+
+FuzzConfig config_from_seed(std::uint64_t seed, bool reflective) {
+  vmc::rng::Stream s(seed * 977 + 3);
+  FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.nx = 1 + static_cast<int>(s.next() * 6);
+  cfg.ny = 1 + static_cast<int>(s.next() * 6);
+  cfg.pitch = 0.5 + 2.0 * s.next();
+  cfg.pin_radius = cfg.pitch * (0.1 + 0.35 * s.next());  // always fits
+  cfg.reflective = reflective;
+  return cfg;
+}
+
+class GeometryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeometryFuzz, EveryInteriorPointLocates) {
+  const FuzzConfig cfg = config_from_seed(GetParam(), false);
+  const Geometry g = build_lattice(cfg);
+  vmc::rng::Stream s(cfg.seed);
+  const double wx = 0.5 * cfg.nx * cfg.pitch;
+  const double wy = 0.5 * cfg.ny * cfg.pitch;
+  for (int i = 0; i < 3000; ++i) {
+    const Position p{wx * (2.0 * s.next() - 1.0) * 0.9999,
+                     wy * (2.0 * s.next() - 1.0) * 0.9999,
+                     10.0 * (2.0 * s.next() - 1.0) * 0.9999};
+    EXPECT_GE(g.find_material(p), 0) << p.x << " " << p.y << " " << p.z;
+  }
+}
+
+TEST_P(GeometryFuzz, VacuumRaysTerminateWithFiniteSegments) {
+  const FuzzConfig cfg = config_from_seed(GetParam(), false);
+  const Geometry g = build_lattice(cfg);
+  vmc::rng::Stream s(cfg.seed ^ 0xF00D);
+  const double wx = 0.5 * cfg.nx * cfg.pitch;
+  const double wy = 0.5 * cfg.ny * cfg.pitch;
+  for (int ray = 0; ray < 150; ++ray) {
+    Geometry::State st;
+    const Position p{wx * (2.0 * s.next() - 1.0) * 0.99,
+                     wy * (2.0 * s.next() - 1.0) * 0.99,
+                     9.9 * (2.0 * s.next() - 1.0)};
+    const Direction u =
+        direction_from_angles(2.0 * s.next() - 1.0, 6.2831853 * s.next());
+    ASSERT_TRUE(g.locate(p, u, st));
+    bool leaked = false;
+    for (int step = 0; step < 5000; ++step) {
+      const auto b = g.distance_to_boundary(st);
+      ASSERT_GT(b.distance, 0.0);
+      ASSERT_NE(b.distance, kInfDistance);
+      if (g.cross(st, b) == Geometry::CrossResult::leaked) {
+        leaked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(leaked) << "ray never left a vacuum-bounded box";
+  }
+}
+
+TEST_P(GeometryFuzz, ReflectiveBoxNeverLeaksAndStaysInside) {
+  const FuzzConfig cfg = config_from_seed(GetParam(), true);
+  const Geometry g = build_lattice(cfg);
+  vmc::rng::Stream s(cfg.seed ^ 0xBEEF);
+  const double wx = 0.5 * cfg.nx * cfg.pitch;
+  const double wy = 0.5 * cfg.ny * cfg.pitch;
+  Geometry::State st;
+  const Position p{wx * 0.4, -wy * 0.3, 1.0};
+  ASSERT_TRUE(g.locate(
+      p, direction_from_angles(2.0 * s.next() - 1.0, 6.2831853 * s.next()),
+      st));
+  for (int step = 0; step < 3000; ++step) {
+    const auto b = g.distance_to_boundary(st);
+    ASSERT_NE(b.distance, kInfDistance);
+    ASSERT_NE(g.cross(st, b), Geometry::CrossResult::leaked) << "step " << step;
+    const Position q = st.position();
+    EXPECT_LE(std::abs(q.x), wx * (1.0 + 1e-9));
+    EXPECT_LE(std::abs(q.y), wy * (1.0 + 1e-9));
+    EXPECT_LE(std::abs(q.z), 10.0 * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(GeometryFuzz, MonteCarloPinVolumeMatchesAnalytic) {
+  const FuzzConfig cfg = config_from_seed(GetParam(), false);
+  const Geometry g = build_lattice(cfg);
+  vmc::rng::Stream s(cfg.seed ^ 0xCAFE);
+  const double wx = 0.5 * cfg.nx * cfg.pitch;
+  const double wy = 0.5 * cfg.ny * cfg.pitch;
+  int pin = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const Position p{wx * (2.0 * s.next() - 1.0), wy * (2.0 * s.next() - 1.0),
+                     10.0 * (2.0 * s.next() - 1.0)};
+    if (g.find_material(p) == 0) ++pin;
+  }
+  const double frac_analytic = 3.14159265358979 * cfg.pin_radius *
+                               cfg.pin_radius / (cfg.pitch * cfg.pitch);
+  EXPECT_NEAR(pin / static_cast<double>(n), frac_analytic,
+              4.0 * std::sqrt(frac_analytic / n) + 0.003);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace

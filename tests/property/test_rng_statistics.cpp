@@ -1,0 +1,133 @@
+// Statistical property battery for the RNG substrate: chi-square uniformity
+// per stream, pairwise serial independence, cross-stream independence, and
+// the skip-ahead/decomposition invariance the transport relies on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "rng/streamset.hpp"
+
+namespace {
+
+using namespace vmc::rng;
+
+/// Chi-square statistic for `bins` equal-width bins over [0,1).
+template <class Next>
+double chi_square(int n, int bins, Next&& next) {
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
+  for (int i = 0; i < n; ++i) {
+    const double x = next();
+    const int b = std::min(bins - 1, static_cast<int>(x * bins));
+    counts[static_cast<std::size_t>(b)]++;
+  }
+  const double expect = static_cast<double>(n) / bins;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expect;
+    chi2 += d * d / expect;
+  }
+  return chi2;
+}
+
+class StreamSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamSeedTest, ChiSquareUniformity) {
+  Stream s = Stream::for_particle(GetParam(), 12345);
+  // 64 bins, 64000 samples: chi2 ~ chi2(63); reject above the ~99.99th
+  // percentile (~115) — a real defect lands far beyond.
+  const double chi2 = chi_square(64000, 64, [&] { return s.next(); });
+  EXPECT_LT(chi2, 115.0);
+  EXPECT_GT(chi2, 25.0);  // suspiciously *too* uniform is also a bug
+}
+
+TEST_P(StreamSeedTest, PairsFillTheUnitSquare) {
+  // 2D serial test: consecutive pairs binned on an 8x8 grid.
+  Stream s = Stream::for_particle(GetParam(), 777);
+  std::array<int, 64> counts{};
+  const int n = 64000;
+  for (int i = 0; i < n; ++i) {
+    const int bx = std::min(7, static_cast<int>(s.next() * 8));
+    const int by = std::min(7, static_cast<int>(s.next() * 8));
+    counts[static_cast<std::size_t>(by * 8 + bx)]++;
+  }
+  const double expect = n / 64.0;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    chi2 += (c - expect) * (c - expect) / expect;
+  }
+  EXPECT_LT(chi2, 115.0);  // chi2(63) upper tail
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamSeedTest,
+                         ::testing::Values(1, 42, 31337, 0xDEADBEEF,
+                                           (1ULL << 62) + 1));
+
+TEST(RngProperty, CrossStreamCorrelationIsNegligible) {
+  // Particle streams i and j must be uncorrelated for all tested pairs.
+  const std::uint64_t master = 97;
+  const int n = 20000;
+  for (const auto [i, j] : {std::pair{0, 1}, std::pair{1, 2},
+                            std::pair{0, 1000}, std::pair{7, 7000000}}) {
+    Stream a = Stream::for_particle(master, static_cast<std::uint64_t>(i));
+    Stream b = Stream::for_particle(master, static_cast<std::uint64_t>(j));
+    double cov = 0.0;
+    for (int k = 0; k < n; ++k) {
+      cov += (a.next() - 0.5) * (b.next() - 0.5);
+    }
+    // sd of the estimator ~ 1/(12 sqrt(n)); allow 5 sigma.
+    EXPECT_NEAR(cov / n, 0.0, 5.0 / (12.0 * std::sqrt(n)))
+        << "streams " << i << "," << j;
+  }
+}
+
+TEST(RngProperty, DecompositionInvariance) {
+  // The sum of draws over particles is identical no matter how histories
+  // are partitioned — the property that makes thread/rank counts irrelevant.
+  const std::uint64_t master = 5;
+  const int particles = 64;
+  const int draws = 100;
+  double serial_sum = 0.0;
+  for (int p = 0; p < particles; ++p) {
+    Stream s = Stream::for_particle(master, static_cast<std::uint64_t>(p));
+    for (int d = 0; d < draws; ++d) serial_sum += s.next();
+  }
+  // "Parallel": interleave particles in chunks, as a scheduler would.
+  double chunked_sum = 0.0;
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    for (int p = chunk; p < particles; p += 8) {
+      Stream s = Stream::for_particle(master, static_cast<std::uint64_t>(p));
+      for (int d = 0; d < draws; ++d) chunked_sum += s.next();
+    }
+  }
+  EXPECT_NEAR(serial_sum, chunked_sum, 1e-9);
+}
+
+TEST(RngProperty, StreamSetFillsAreUniformPerStream) {
+  StreamSet set(8, 1234);
+  for (int k = 0; k < 8; ++k) {
+    std::vector<float> v(32768);
+    set.fill_uniform(k, v);
+    std::size_t i = 0;
+    const double chi2 =
+        chi_square(static_cast<int>(v.size()), 32, [&] { return v[i++]; });
+    EXPECT_LT(chi2, 75.0) << "stream " << k;  // chi2(31) far tail
+  }
+}
+
+TEST(RngProperty, SkipAheadComposesOverRandomSplits) {
+  vmc::rng::Stream picker(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(picker.next() * 1e12) + 1;
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(picker.next() * static_cast<double>(total));
+    const std::uint64_t seed = 1 + trial;
+    EXPECT_EQ(lcg_skip_ahead(seed, total),
+              lcg_skip_ahead(lcg_skip_ahead(seed, first), total - first))
+        << "total=" << total << " first=" << first;
+  }
+}
+
+}  // namespace

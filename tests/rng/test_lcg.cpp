@@ -1,0 +1,106 @@
+// LCG core: skip-ahead correctness (the property the whole parallel RNG
+// scheme rests on), jump composition, and output mapping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "rng/lcg.hpp"
+
+namespace {
+
+using namespace vmc::rng;
+
+TEST(Lcg, SkipAheadMatchesSequentialStepping) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 0x123456789ULL}) {
+    std::uint64_t x = seed & kLcgMask;
+    for (std::uint64_t n = 0; n <= 1000; ++n) {
+      EXPECT_EQ(lcg_skip_ahead(seed, n), x) << "seed=" << seed << " n=" << n;
+      x = lcg_next(x);
+    }
+  }
+}
+
+class LcgSkipParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcgSkipParam, LargeSkipsComposeCorrectly) {
+  const std::uint64_t n = GetParam();
+  const std::uint64_t seed = 7;
+  // skip(a+b) == skip(a) then skip(b)
+  const std::uint64_t direct = lcg_skip_ahead(seed, 2 * n + 3);
+  const std::uint64_t composed =
+      lcg_skip_ahead(lcg_skip_ahead(lcg_skip_ahead(seed, n), n), 3);
+  EXPECT_EQ(direct, composed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skips, LcgSkipParam,
+                         ::testing::Values(1ULL, 152917ULL, 1ULL << 20,
+                                           1ULL << 40, (1ULL << 62) + 12345));
+
+TEST(Lcg, JumpCompositionIsAssociative) {
+  const LcgJump a = lcg_jump(12345);
+  const LcgJump b = lcg_jump(67890);
+  const LcgJump c = lcg_jump(13);
+  const std::uint64_t seed = 991;
+  EXPECT_EQ((c * (b * a))(seed), ((c * b) * a)(seed));
+  EXPECT_EQ((b * a)(seed), lcg_skip_ahead(seed, 12345 + 67890));
+}
+
+TEST(Lcg, ZeroSkipIsIdentity) {
+  EXPECT_EQ(lcg_skip_ahead(12345, 0), 12345ULL);
+  const LcgJump id = lcg_jump(0);
+  EXPECT_EQ(id.mult, 1ULL);
+  EXPECT_EQ(id.add, 0ULL);
+}
+
+TEST(Lcg, StateStaysIn63Bits) {
+  std::uint64_t x = 1;
+  for (int i = 0; i < 10000; ++i) {
+    x = lcg_next(x);
+    EXPECT_LE(x, kLcgMask);
+  }
+}
+
+TEST(Lcg, OutputMappingInUnitInterval) {
+  std::uint64_t x = 987654321;
+  for (int i = 0; i < 10000; ++i) {
+    x = lcg_next(x);
+    const double d = lcg_to_double(x);
+    const float f = lcg_to_float(x);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Lcg, UniformityMoments) {
+  // Mean ~ 1/2, variance ~ 1/12 over a long run.
+  std::uint64_t x = 1;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    x = lcg_next(x);
+    const double d = lcg_to_double(x);
+    sum += d;
+    sum2 += d * d;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Lcg, SerialCorrelationIsSmall) {
+  std::uint64_t x = 31337;
+  double prev = 0.5, cov = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    x = lcg_next(x);
+    const double d = lcg_to_double(x);
+    cov += (d - 0.5) * (prev - 0.5);
+    prev = d;
+  }
+  EXPECT_NEAR(cov / n, 0.0, 0.002);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Per-particle streams and the sampling helpers of Section II-A2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::rng;
+
+TEST(Stream, ParticleStreamsAreDisjointWindows) {
+  // Particle i's stream is the master sequence offset by i*kParticleStride:
+  // drawing fewer than kParticleStride numbers never overlaps neighbours.
+  const std::uint64_t master = 42;
+  Stream a = Stream::for_particle(master, 0);
+  Stream b = Stream::for_particle(master, 1);
+  a.skip(kParticleStride);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Stream, DeterministicForSameParticleId) {
+  Stream a = Stream::for_particle(7, 999);
+  Stream b = Stream::for_particle(7, 999);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Stream, DifferentIdsProduceDifferentSequences) {
+  Stream a = Stream::for_particle(7, 1);
+  Stream b = Stream::for_particle(7, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Stream, SkipMatchesDraws) {
+  Stream a(12345);
+  Stream b(12345);
+  for (int i = 0; i < 57; ++i) a.next();
+  b.skip(57);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(SampleDistance, MeanIsInverseSigma) {
+  // <d> = 1 / Sigma_t for the exponential free-flight distribution (Eq. 1).
+  Stream s(1);
+  for (double sigma : {0.5, 1.0, 3.0}) {
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += sample_distance(s, sigma);
+    EXPECT_NEAR(sum / n, 1.0 / sigma, 0.02 / sigma);
+  }
+}
+
+TEST(SampleDistance, AlwaysNonNegative) {
+  Stream s(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sample_distance(s, 0.8), 0.0);
+  }
+}
+
+TEST(SampleMu, UniformOnMinusOneOne) {
+  Stream s(3);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double mu = sample_mu(s);
+    EXPECT_GE(mu, -1.0);
+    EXPECT_LE(mu, 1.0);
+    sum += mu;
+    sum2 += mu * mu;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0 / 3.0, 0.01);  // var of U(-1,1)
+}
+
+TEST(SamplePhi, CoversFullCircle) {
+  Stream s(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double phi = sample_phi(s);
+    EXPECT_GE(phi, 0.0);
+    EXPECT_LT(phi, 2.0 * 3.14159265358979323846);
+    sum += phi;
+  }
+  EXPECT_NEAR(sum / n, 3.14159265358979323846, 0.02);
+}
+
+TEST(SampleWatt, SpectrumMomentsMatchTheory) {
+  // Watt(a, b): mean = 3a/2 + a^2 b / 4.
+  Stream s(5);
+  const double a = 0.988, b = 2.249;
+  double sum = 0.0;
+  const int n = 200000;
+  double emax = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = sample_watt(s, a, b);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+    emax = std::max(emax, e);
+  }
+  const double mean_theory = 1.5 * a + 0.25 * a * a * b;
+  EXPECT_NEAR(sum / n, mean_theory, 0.02 * mean_theory);
+  EXPECT_GT(emax, 8.0);   // a fission spectrum has a high-energy tail
+  EXPECT_LT(emax, 60.0);  // but not an absurd one
+}
+
+TEST(SampleMaxwell, MeanIsThreeHalvesT) {
+  Stream s(6);
+  const double t = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += sample_maxwell(s, t);
+  EXPECT_NEAR(sum / n, 1.5 * t, 0.01 * t);
+}
+
+TEST(Stream, FloatAndDoubleDrawsAdvanceEqually) {
+  Stream a(99), b(99);
+  for (int i = 0; i < 10; ++i) {
+    a.next();
+    b.next_float();
+  }
+  EXPECT_EQ(a.state(), b.state());
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// StreamSet (the VSL substitute): the vectorized leap-frog fill must equal
+// the scalar stream draw-for-draw, streams must be independent, and the
+// rand_r clone must match the C-standard reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/streamset.hpp"
+
+namespace {
+
+using namespace vmc::rng;
+
+class FillSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FillSizeTest, VectorFillEqualsScalarFill) {
+  const std::size_t n = GetParam();
+  StreamSet a(4, 123);
+  StreamSet b(4, 123);
+  std::vector<float> va(n), vb(n);
+  a.fill_uniform(1, va);
+  b.fill_uniform_scalar(1, vb);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(va[i], vb[i]) << "i=" << i << " n=" << n;
+  }
+  EXPECT_EQ(a.state(1), b.state(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FillSizeTest,
+                         ::testing::Values(0, 1, 7, 8, 15, 16, 17, 100, 1000,
+                                           4096, 10001));
+
+TEST(StreamSet, ConsecutiveFillsContinueTheSequence) {
+  StreamSet a(1, 9);
+  StreamSet b(1, 9);
+  std::vector<float> whole(1000);
+  a.fill_uniform(0, whole);
+  std::vector<float> part1(300), part2(700);
+  b.fill_uniform(0, part1);
+  b.fill_uniform(0, part2);
+  for (std::size_t i = 0; i < 300; ++i) EXPECT_EQ(whole[i], part1[i]);
+  for (std::size_t i = 0; i < 700; ++i) EXPECT_EQ(whole[300 + i], part2[i]);
+}
+
+TEST(StreamSet, DoubleFillContinuesStateConsistently) {
+  StreamSet a(2, 5);
+  std::vector<double> d(513);
+  a.fill_uniform(0, d);
+  for (const double x : d) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+  // Same draws as a raw stream at the same position.
+  Stream ref(lcg_skip_ahead(5, 0));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i], ref.next());
+  }
+}
+
+TEST(StreamSet, StreamsAreIndependent) {
+  StreamSet set(8, 77);
+  std::vector<float> s0(256), s1(256);
+  set.fill_uniform(0, s0);
+  set.fill_uniform(1, s1);
+  int same = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    if (s0[i] == s1[i]) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(StreamSet, UniformityOfVectorFill) {
+  StreamSet set(1, 31337);
+  std::vector<float> v(200000);
+  set.fill_uniform(0, v);
+  double sum = 0.0, sum2 = 0.0;
+  for (const float x : v) {
+    sum += x;
+    sum2 += static_cast<double>(x) * x;
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  const double var = sum2 / static_cast<double>(v.size()) - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(PosixRandR, MatchesReferenceImplementation) {
+  // The C standard's sample implementation, literally.
+  const auto reference = [](unsigned* seedp) {
+    *seedp = *seedp * 1103515245u + 12345u;
+    return static_cast<int>((*seedp / 65536u) % 32768u);
+  };
+  unsigned s1 = 1, s2 = 1;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(posix_rand_r(&s1), reference(&s2));
+  }
+}
+
+TEST(PosixRandR, StaysInRange) {
+  unsigned s = 42;
+  for (int i = 0; i < 10000; ++i) {
+    const int r = posix_rand_r(&s);
+    EXPECT_GE(r, 0);
+    EXPECT_LE(r, kPosixRandMax);
+  }
+}
+
+}  // namespace

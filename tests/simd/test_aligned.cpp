@@ -1,0 +1,71 @@
+// Aligned allocation: every allocation lands on a 64-byte boundary and the
+// vector behaves like std::vector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "simd/aligned.hpp"
+
+namespace {
+
+using vmc::simd::aligned_vector;
+using vmc::simd::cacheline_bytes;
+
+template <class T>
+bool is_aligned(const T* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % cacheline_bytes == 0;
+}
+
+TEST(AlignedVector, DataIsCachelineAligned) {
+  for (std::size_t n : {1u, 3u, 17u, 64u, 1000u, 65536u}) {
+    aligned_vector<float> vf(n);
+    aligned_vector<double> vd(n);
+    aligned_vector<std::int32_t> vi(n);
+    EXPECT_TRUE(is_aligned(vf.data())) << n;
+    EXPECT_TRUE(is_aligned(vd.data())) << n;
+    EXPECT_TRUE(is_aligned(vi.data())) << n;
+  }
+}
+
+TEST(AlignedVector, StaysAlignedAcrossGrowth) {
+  aligned_vector<double> v;
+  for (int i = 0; i < 10000; ++i) {
+    v.push_back(i);
+    if ((i & 1023) == 0) EXPECT_TRUE(is_aligned(v.data()));
+  }
+  EXPECT_TRUE(is_aligned(v.data()));
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_DOUBLE_EQ(std::accumulate(v.begin(), v.end(), 0.0),
+                   10000.0 * 9999.0 / 2.0);
+}
+
+TEST(AlignedVector, CopyAndMoveSemantics) {
+  aligned_vector<int> a(100);
+  std::iota(a.begin(), a.end(), 0);
+  aligned_vector<int> b = a;  // copy
+  EXPECT_EQ(b, a);
+  aligned_vector<int> c = std::move(a);
+  EXPECT_EQ(c, b);
+  EXPECT_TRUE(is_aligned(b.data()));
+  EXPECT_TRUE(is_aligned(c.data()));
+}
+
+TEST(AlignedAllocator, EqualityAndRebind) {
+  vmc::simd::AlignedAllocator<float> a;
+  vmc::simd::AlignedAllocator<float> b;
+  EXPECT_TRUE(a == b);
+  using Rebound =
+      typename vmc::simd::AlignedAllocator<float>::rebind<double>::other;
+  Rebound r;
+  double* p = r.allocate(7);
+  EXPECT_TRUE(is_aligned(p));
+  r.deallocate(p, 7);
+}
+
+TEST(AlignedAllocator, ThrowsOnOverflow) {
+  vmc::simd::AlignedAllocator<double> a;
+  EXPECT_THROW(a.allocate(SIZE_MAX / 2), std::bad_array_new_length);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Vectorized log/exp against the libm references, across magnitudes and at
+// the edge cases the transport kernels hit (log of uniform(0,1) draws).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rng/stream.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using vmc::simd::Vec;
+using vmc::simd::vexp;
+using vmc::simd::vlog;
+
+template <int N>
+void check_log_float_range(float lo, float hi, float rel_tol) {
+  vmc::rng::Stream s(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec<float, N> x;
+    for (int i = 0; i < N; ++i) {
+      x.set(i, lo + (hi - lo) * s.next_float());
+    }
+    const auto r = vlog(x);
+    for (int i = 0; i < N; ++i) {
+      const float ref = std::log(x[i]);
+      EXPECT_NEAR(r[i], ref, std::abs(ref) * rel_tol + 1e-6f)
+          << "x=" << x[i];
+    }
+  }
+}
+
+TEST(VlogFloat, MatchesLibmAcrossMagnitudes) {
+  check_log_float_range<8>(1e-30f, 1e-20f, 2e-6f);
+  check_log_float_range<8>(1e-6f, 1.0f, 2e-6f);
+  check_log_float_range<8>(0.5f, 2.0f, 5e-6f);
+  check_log_float_range<8>(1.0f, 1e10f, 2e-6f);
+  check_log_float_range<16>(1e-3f, 1e3f, 2e-6f);
+  check_log_float_range<4>(1e-3f, 1e3f, 2e-6f);
+}
+
+TEST(VlogFloat, UniformDrawsForDistanceSampling) {
+  // The exact use in Eq. (1): log of uniform(0,1).
+  vmc::rng::Stream s(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec<float, 8> x;
+    for (int i = 0; i < 8; ++i) x.set(i, s.next_float() + 1e-12f);
+    const auto r = vlog(x);
+    for (int i = 0; i < 8; ++i) {
+      const float ref = std::log(x[i]);
+      EXPECT_NEAR(r[i], ref, std::abs(ref) * 3e-6f + 2e-6f);
+    }
+  }
+}
+
+TEST(VlogFloat, EdgeCases) {
+  Vec<float, 8> x(1.0f);
+  x.set(0, 0.0f);
+  x.set(1, -1.0f);
+  x.set(2, std::numeric_limits<float>::infinity());
+  x.set(3, 1.0f);
+  const auto r = vlog(x);
+  EXPECT_TRUE(std::isinf(r[0]) && r[0] < 0.0f);
+  EXPECT_TRUE(std::isnan(r[1]));
+  EXPECT_TRUE(std::isinf(r[2]) && r[2] > 0.0f);
+  EXPECT_FLOAT_EQ(r[3], 0.0f);
+}
+
+TEST(VlogDouble, MatchesLibmAcrossMagnitudes) {
+  vmc::rng::Stream s(13);
+  for (double scale : {1e-300, 1e-30, 1e-6, 1.0, 1e6, 1e30, 1e300}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      Vec<double, 8> x;
+      for (int i = 0; i < 8; ++i) x.set(i, scale * (0.1 + 9.9 * s.next()));
+      const auto r = vlog(x);
+      for (int i = 0; i < 8; ++i) {
+        const double ref = std::log(x[i]);
+        EXPECT_NEAR(r[i], ref, std::abs(ref) * 1e-14 + 1e-14) << "x=" << x[i];
+      }
+    }
+  }
+}
+
+TEST(VlogDouble, EdgeCases) {
+  Vec<double, 4> x(1.0);
+  x.set(0, 0.0);
+  x.set(1, -3.0);
+  x.set(2, std::numeric_limits<double>::infinity());
+  const auto r = vlog(x);
+  EXPECT_TRUE(std::isinf(r[0]) && r[0] < 0.0);
+  EXPECT_TRUE(std::isnan(r[1]));
+  EXPECT_TRUE(std::isinf(r[2]) && r[2] > 0.0);
+  EXPECT_DOUBLE_EQ(r[3], 0.0);
+}
+
+TEST(VexpFloat, MatchesLibm) {
+  vmc::rng::Stream s(14);
+  for (int trial = 0; trial < 400; ++trial) {
+    Vec<float, 8> x;
+    for (int i = 0; i < 8; ++i) x.set(i, static_cast<float>(-80.0 + 160.0 * s.next()));
+    const auto r = vexp(x);
+    for (int i = 0; i < 8; ++i) {
+      const float ref = std::exp(x[i]);
+      EXPECT_NEAR(r[i], ref, ref * 3e-6f + 1e-38f) << "x=" << x[i];
+    }
+  }
+}
+
+TEST(VexpFloat, SaturatesOutOfRange) {
+  Vec<float, 8> x(0.0f);
+  x.set(0, 1000.0f);
+  x.set(1, -1000.0f);
+  const auto r = vexp(x);
+  EXPECT_TRUE(std::isinf(r[0]));
+  EXPECT_FLOAT_EQ(r[1], 0.0f);
+  EXPECT_FLOAT_EQ(r[2], 1.0f);
+}
+
+TEST(VexpDouble, MatchesLibm) {
+  vmc::rng::Stream s(15);
+  for (int trial = 0; trial < 400; ++trial) {
+    Vec<double, 4> x;
+    for (int i = 0; i < 4; ++i) x.set(i, -600.0 + 1200.0 * s.next());
+    const auto r = vexp(x);
+    for (int i = 0; i < 4; ++i) {
+      const double ref = std::exp(x[i]);
+      EXPECT_NEAR(r[i], ref, ref * 1e-13 + 1e-300) << "x=" << x[i];
+    }
+  }
+}
+
+TEST(VexpDouble, NegativeIntegersExactishRoundTrip) {
+  // exp(log(x)) ~ x over the distance-sampling range.
+  vmc::rng::Stream s(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec<double, 8> x;
+    for (int i = 0; i < 8; ++i) x.set(i, 1e-8 + s.next());
+    const auto rt = vexp(vlog(x));
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NEAR(rt[i], x[i], x[i] * 1e-13);
+    }
+  }
+}
+
+TEST(DistanceKernel, MinusLogOverSigmaMatchesScalar) {
+  // The Algorithm 4 body: D = -log(R) / X.
+  vmc::rng::Stream s(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec<float, 16> r, x;
+    for (int i = 0; i < 16; ++i) {
+      r.set(i, s.next_float() + 1e-9f);
+      x.set(i, 0.1f + 2.0f * s.next_float());
+    }
+    const auto d = -vlog(r) / x;
+    for (int i = 0; i < 16; ++i) {
+      const float ref = -std::log(r[i]) / x[i];
+      EXPECT_NEAR(d[i], ref, std::abs(ref) * 1e-5f + 1e-6f);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Vec<T,N>: every lane-wise operation must agree with its scalar reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using vmc::simd::Vec;
+
+template <class T, int N>
+Vec<T, N> random_vec(vmc::rng::Stream& s, T lo, T hi) {
+  Vec<T, N> v;
+  for (int i = 0; i < N; ++i) {
+    v.set(i, static_cast<T>(lo + (hi - lo) * s.next()));
+  }
+  return v;
+}
+
+template <class V>
+class VecOpsTest : public ::testing::Test {};
+
+using FloatVecs =
+    ::testing::Types<Vec<float, 4>, Vec<float, 8>, Vec<float, 16>,
+                     Vec<double, 2>, Vec<double, 4>, Vec<double, 8>>;
+TYPED_TEST_SUITE(VecOpsTest, FloatVecs);
+
+TYPED_TEST(VecOpsTest, BroadcastFillsAllLanes) {
+  using T = typename TypeParam::value_type;
+  TypeParam v(T{3});
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_EQ(v[i], T{3});
+  }
+}
+
+TYPED_TEST(VecOpsTest, ArithmeticMatchesScalar) {
+  using T = typename TypeParam::value_type;
+  vmc::rng::Stream s(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_vec<T, TypeParam::lanes>(s, T{-10}, T{10});
+    const auto b = random_vec<T, TypeParam::lanes>(s, T{1}, T{10});
+    const auto sum = a + b;
+    const auto dif = a - b;
+    const auto mul = a * b;
+    const auto div = a / b;
+    for (int i = 0; i < TypeParam::lanes; ++i) {
+      EXPECT_EQ(sum[i], a[i] + b[i]);
+      EXPECT_EQ(dif[i], a[i] - b[i]);
+      EXPECT_EQ(mul[i], a[i] * b[i]);
+      EXPECT_EQ(div[i], a[i] / b[i]);
+    }
+  }
+}
+
+TYPED_TEST(VecOpsTest, CompoundAssignment) {
+  using T = typename TypeParam::value_type;
+  vmc::rng::Stream s(2);
+  auto a = random_vec<T, TypeParam::lanes>(s, T{-5}, T{5});
+  const auto b = random_vec<T, TypeParam::lanes>(s, T{1}, T{2});
+  auto c = a;
+  c += b;
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(c[i], a[i] + b[i]);
+  c = a;
+  c *= b;
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(c[i], a[i] * b[i]);
+}
+
+TYPED_TEST(VecOpsTest, ComparisonsAndSelect) {
+  using T = typename TypeParam::value_type;
+  vmc::rng::Stream s(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_vec<T, TypeParam::lanes>(s, T{-1}, T{1});
+    const auto b = random_vec<T, TypeParam::lanes>(s, T{-1}, T{1});
+    const auto m = a < b;
+    const auto picked = select(m, a, b);
+    for (int i = 0; i < TypeParam::lanes; ++i) {
+      EXPECT_EQ(m[i], a[i] < b[i]);
+      EXPECT_EQ(picked[i], a[i] < b[i] ? a[i] : b[i]);
+      EXPECT_EQ(vmc::simd::min(a, b)[i], std::min(a[i], b[i]));
+      EXPECT_EQ(vmc::simd::max(a, b)[i], std::max(a[i], b[i]));
+    }
+  }
+}
+
+TYPED_TEST(VecOpsTest, MaskLogic) {
+  using T = typename TypeParam::value_type;
+  TypeParam a = TypeParam::iota(T{0});
+  const auto lt = a < TypeParam(T(TypeParam::lanes / 2));
+  const auto ge = !lt;
+  EXPECT_EQ(lt.count() + ge.count(), TypeParam::lanes);
+  EXPECT_TRUE((lt | ge).all());
+  EXPECT_FALSE((lt & ge).any());
+}
+
+TYPED_TEST(VecOpsTest, HorizontalReductions) {
+  using T = typename TypeParam::value_type;
+  vmc::rng::Stream s(4);
+  const auto a = random_vec<T, TypeParam::lanes>(s, T{-100}, T{100});
+  T sum{0}, mn = a[0], mx = a[0];
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    sum += a[i];
+    mn = std::min(mn, a[i]);
+    mx = std::max(mx, a[i]);
+  }
+  EXPECT_NEAR(a.hsum(), sum, std::abs(static_cast<double>(sum)) * 1e-5 + 1e-5);
+  EXPECT_EQ(a.hmin(), mn);
+  EXPECT_EQ(a.hmax(), mx);
+}
+
+TYPED_TEST(VecOpsTest, LoadStoreRoundTrip) {
+  using T = typename TypeParam::value_type;
+  vmc::simd::aligned_vector<T> buf(2 * TypeParam::lanes);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<T>(i);
+  const auto v = TypeParam::load(buf.data());
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(v[i], static_cast<T>(i));
+  // Unaligned round trip at offset 1.
+  const auto u = TypeParam::loadu(buf.data() + 1);
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_EQ(u[i], static_cast<T>(i + 1));
+  }
+  std::vector<T> out(TypeParam::lanes + 1);
+  u.storeu(out.data() + 1);
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i) + 1], static_cast<T>(i + 1));
+  }
+}
+
+TYPED_TEST(VecOpsTest, IotaAndGather) {
+  using T = typename TypeParam::value_type;
+  const auto idx = TypeParam::iota(T{0}, T{2});
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_EQ(idx[i], static_cast<T>(2 * i));
+  }
+  std::vector<T> table(64);
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = static_cast<T>(i * i);
+  std::vector<std::int32_t> indices(TypeParam::lanes);
+  for (int i = 0; i < TypeParam::lanes; ++i) indices[static_cast<std::size_t>(i)] = 3 * i % 64;
+  const auto g = TypeParam::gather(table.data(), indices.data());
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_EQ(g[i], table[static_cast<std::size_t>(3 * i % 64)]);
+  }
+}
+
+TYPED_TEST(VecOpsTest, FmaSqrtAbs) {
+  using T = typename TypeParam::value_type;
+  vmc::rng::Stream s(5);
+  const auto a = random_vec<T, TypeParam::lanes>(s, T{-4}, T{4});
+  const auto b = random_vec<T, TypeParam::lanes>(s, T{-4}, T{4});
+  const auto c = random_vec<T, TypeParam::lanes>(s, T{-4}, T{4});
+  const auto f = vmc::simd::fma(a, b, c);
+  const auto ab = vmc::simd::abs(a);
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_NEAR(f[i], std::fma(a[i], b[i], c[i]), 1e-6);
+    EXPECT_EQ(ab[i], std::abs(a[i]));
+  }
+  const auto pos = vmc::simd::abs(b) + TypeParam(T{1});
+  const auto sq = vmc::simd::sqrt(pos);
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_NEAR(sq[i], std::sqrt(pos[i]), 1e-6);
+  }
+}
+
+TYPED_TEST(VecOpsTest, BitcastRoundTrip) {
+  using T = typename TypeParam::value_type;
+  vmc::rng::Stream s(6);
+  const auto a = random_vec<T, TypeParam::lanes>(s, T{-100}, T{100});
+  const auto back = TypeParam::bitcast_from(a.bitcast_int());
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(back[i], a[i]);
+}
+
+TEST(VecIntTest, IntegerVectorArithmetic) {
+  using VI = Vec<std::int32_t, 8>;
+  const VI a = VI::iota(0, 3);
+  const VI b(7);
+  const VI sum = a + b;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(sum[i], 3 * i + 7);
+  const auto m = a > VI(10);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(m[i], 3 * i > 10);
+}
+
+TEST(SimdInfoTest, IsaReportsConsistentWidth) {
+  EXPECT_GT(vmc::simd::native_bits(), 0);
+  EXPECT_EQ(vmc::simd::native_bits(), vmc::simd::native_bytes * 8);
+  EXPECT_STREQ(vmc::simd::isa_name(), vmc::simd::native_isa);
+  EXPECT_EQ(vmc::simd::vfloat::lanes, vmc::simd::native_bytes / 4);
+  EXPECT_EQ(vmc::simd::vdouble::lanes, vmc::simd::native_bytes / 8);
+}
+
+TEST(WidthHelpersTest, RoundingHelpers) {
+  using vmc::simd::round_down;
+  using vmc::simd::round_up;
+  EXPECT_EQ(round_down(17, 8), 16u);
+  EXPECT_EQ(round_down(16, 8), 16u);
+  EXPECT_EQ(round_down(7, 8), 0u);
+  EXPECT_EQ(round_up(17, 8), 24u);
+  EXPECT_EQ(round_up(16, 8), 16u);
+  EXPECT_EQ(round_up(0, 8), 0u);
+}
+
+}  // namespace

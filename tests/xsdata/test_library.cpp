@@ -1,0 +1,150 @@
+// Library: flattening layout, unionized grid construction (exact and
+// thinned), and the index-map invariant that underpins every lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "xsdata/library.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+
+Library small_library(std::size_t max_union = 1u << 20) {
+  Library lib(max_union);
+  auto p1 = SynthParams::u238_like();
+  p1.grid_points = 300;
+  p1.n_resonances = 40;
+  auto p2 = SynthParams::light_like(15.9);
+  p2.grid_points = 150;
+  auto p3 = SynthParams::fission_product_like();
+  p3.grid_points = 200;
+  p3.n_resonances = 25;
+  const int a = lib.add_nuclide(make_synthetic_nuclide("A", 1, p1));
+  const int b = lib.add_nuclide(make_synthetic_nuclide("B", 2, p2));
+  const int c = lib.add_nuclide(make_synthetic_nuclide("C", 3, p3));
+  Material m;
+  m.name = "mix";
+  m.add(a, 0.02);
+  m.add(b, 0.04);
+  m.add(c, 0.001);
+  lib.add_material(std::move(m));
+  lib.finalize();
+  return lib;
+}
+
+TEST(Library, FlattenPreservesEveryGridPoint) {
+  const Library lib = small_library();
+  const auto& fl = lib.flat();
+  std::size_t total = 0;
+  for (int n = 0; n < lib.n_nuclides(); ++n) {
+    const Nuclide& nuc = lib.nuclide(n);
+    const auto off = static_cast<std::size_t>(fl.offset[static_cast<std::size_t>(n)]);
+    ASSERT_EQ(fl.grid_size[static_cast<std::size_t>(n)],
+              static_cast<std::int32_t>(nuc.grid_size()));
+    for (std::size_t i = 0; i < nuc.grid_size(); ++i) {
+      EXPECT_EQ(fl.energy[off + i], nuc.energy[i]);
+      EXPECT_EQ(fl.total[off + i], nuc.total[i]);
+      EXPECT_EQ(fl.scatter[off + i], nuc.scatter[i]);
+      EXPECT_EQ(fl.absorption[off + i], nuc.absorption[i]);
+      EXPECT_EQ(fl.fission[off + i], nuc.fission[i]);
+      EXPECT_FLOAT_EQ(fl.energy_f[off + i], static_cast<float>(nuc.energy[i]));
+    }
+    total += nuc.grid_size();
+  }
+  EXPECT_EQ(fl.energy.size(), total);
+}
+
+TEST(Library, ExactUnionContainsEveryNuclideGridPoint) {
+  const Library lib = small_library();
+  const auto& ug = lib.union_grid();
+  EXPECT_EQ(ug.walk_bound, 0);  // exact union: no walk needed
+  for (int n = 0; n < lib.n_nuclides(); ++n) {
+    for (const double e : lib.nuclide(n).energy) {
+      EXPECT_TRUE(std::binary_search(ug.energy.begin(), ug.energy.end(), e));
+    }
+  }
+}
+
+TEST(Library, IndexMapInvariant) {
+  // imap[u][n] points at the nuclide interval containing union point u.
+  const Library lib = small_library();
+  const auto& ug = lib.union_grid();
+  const std::size_t nn = static_cast<std::size_t>(ug.n_nuclides);
+  for (std::size_t u = 0; u < ug.size(); u += 7) {
+    for (std::size_t n = 0; n < nn; ++n) {
+      const auto idx = static_cast<std::size_t>(ug.imap[u * nn + n]);
+      const auto& grid = lib.nuclide(static_cast<int>(n)).energy;
+      ASSERT_LT(idx + 1, grid.size());
+      // grid[idx] <= union energy (unless clamped at the front).
+      if (ug.energy[u] >= grid.front()) {
+        EXPECT_LE(grid[idx], ug.energy[u] * (1 + 1e-12));
+      }
+      // and the next nuclide point is beyond (within walk_bound slack).
+      if (ug.walk_bound == 0 && ug.energy[u] < grid.back() &&
+          ug.energy[u] >= grid.front()) {
+        EXPECT_GE(grid[idx + 1], ug.energy[u] * (1 - 1e-12));
+      }
+    }
+  }
+}
+
+TEST(Library, ThinnedUnionRespectsCapAndWalkBound) {
+  const Library exact = small_library();
+  const std::size_t exact_size = exact.union_grid().size();
+  const std::size_t cap = exact_size / 4;
+  const Library thin = small_library(cap);
+  const auto& ug = thin.union_grid();
+  EXPECT_LE(ug.size(), cap + 2);
+  EXPECT_GT(ug.walk_bound, 0);
+  // End points preserved.
+  EXPECT_EQ(ug.energy.front(), exact.union_grid().energy.front());
+  EXPECT_EQ(ug.energy.back(), exact.union_grid().energy.back());
+}
+
+TEST(Library, UnionFindBrackets) {
+  const Library lib = small_library();
+  const auto& ug = lib.union_grid();
+  for (std::size_t u = 0; u + 1 < ug.size(); u += 13) {
+    const double mid = 0.5 * (ug.energy[u] + ug.energy[u + 1]);
+    EXPECT_EQ(ug.find(mid), u);
+  }
+  EXPECT_EQ(ug.find(ug.energy.front() * 0.5), 0u);
+  EXPECT_EQ(ug.find(ug.energy.back() * 2.0), ug.size() - 2);
+}
+
+TEST(Library, ByteAccountingIsConsistent) {
+  const Library lib = small_library();
+  EXPECT_EQ(lib.union_bytes(),
+            lib.union_grid().energy.size() * sizeof(double) +
+                lib.union_grid().imap.size() * sizeof(std::int32_t));
+  std::size_t pw = 0;
+  for (int n = 0; n < lib.n_nuclides(); ++n) pw += lib.nuclide(n).data_bytes();
+  EXPECT_EQ(lib.pointwise_bytes(), pw);
+}
+
+TEST(Library, RejectsBadUsage) {
+  Library lib;
+  EXPECT_THROW(lib.finalize(), std::logic_error);  // empty
+
+  Library lib2;
+  Nuclide tiny;
+  tiny.energy = {1.0};
+  EXPECT_THROW(lib2.add_nuclide(tiny), std::invalid_argument);
+
+  Library lib3;
+  lib3.add_nuclide(make_flat_nuclide("f", 1, 1, 0, 0));
+  Material bad;
+  bad.add(5, 1.0);  // unknown nuclide id
+  EXPECT_THROW(lib3.add_material(std::move(bad)), std::out_of_range);
+
+  Library lib4;
+  lib4.add_nuclide(make_flat_nuclide("f", 1, 1, 0, 0));
+  lib4.finalize();
+  EXPECT_THROW(lib4.add_nuclide(make_flat_nuclide("g", 1, 1, 0, 0)),
+               std::logic_error);
+  lib4.finalize();  // idempotent
+}
+
+}  // namespace

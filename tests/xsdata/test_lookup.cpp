@@ -1,0 +1,172 @@
+// Lookup kernels: all five variants must agree on the macroscopic cross
+// section — the central correctness property behind Figure 2's performance
+// comparison (fast but wrong would be useless).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "xsdata/lookup.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+
+struct LibCase {
+  const char* name;
+  int n_nuclides;
+  std::size_t max_union;
+};
+
+class LookupTest : public ::testing::TestWithParam<LibCase> {
+ protected:
+  void SetUp() override {
+    const LibCase c = GetParam();
+    lib_ = std::make_unique<Library>(c.max_union);
+    Material m;
+    m.name = "fuel";
+    vmc::rng::Stream ds(17);
+    for (int i = 0; i < c.n_nuclides; ++i) {
+      SynthParams p = i == 0 ? SynthParams::u238_like()
+                             : (i == 1 ? SynthParams::u235_like()
+                                       : SynthParams::fission_product_like());
+      p.grid_points = 150 + 40 * (i % 5);
+      p.n_resonances = 20 + 5 * (i % 7);
+      const int id = lib_->add_nuclide(
+          make_synthetic_nuclide("n" + std::to_string(i),
+                                 static_cast<std::uint64_t>(i) + 100, p));
+      m.add(id, 1e-3 * (1.0 + ds.next()));
+    }
+    mat_ = lib_->add_material(std::move(m));
+    lib_->finalize();
+  }
+
+  std::vector<double> test_energies(int n) const {
+    std::vector<double> es;
+    vmc::rng::Stream s(7);
+    for (int i = 0; i < n; ++i) {
+      es.push_back(kEnergyMin *
+                   std::pow(kEnergyMax / kEnergyMin, s.next()));
+    }
+    // Plus exact grid points and boundaries (edge cases).
+    es.push_back(kEnergyMin);
+    es.push_back(kEnergyMax);
+    es.push_back(lib_->nuclide(0).energy[3]);
+    es.push_back(lib_->union_grid().energy[1]);
+    return es;
+  }
+
+  std::unique_ptr<Library> lib_;
+  int mat_ = -1;
+};
+
+TEST_P(LookupTest, UnionizedMatchesDirectBinarySearch) {
+  for (const double e : test_energies(400)) {
+    const XsSet a = macro_xs_history(*lib_, mat_, e);
+    const XsSet b = macro_xs_search(*lib_, mat_, e);
+    EXPECT_NEAR(a.total, b.total, 1e-9 * b.total + 1e-12) << "E=" << e;
+    EXPECT_NEAR(a.scatter, b.scatter, 1e-9 * b.scatter + 1e-12);
+    EXPECT_NEAR(a.absorption, b.absorption, 1e-9 * b.absorption + 1e-12);
+    EXPECT_NEAR(a.fission, b.fission, 1e-9 * b.absorption + 1e-12);
+  }
+}
+
+TEST_P(LookupTest, BankedSimdMatchesScalarHistory) {
+  const std::vector<double> es = test_energies(600);
+  std::vector<XsSet> banked(es.size());
+  macro_xs_banked(*lib_, mat_, es, banked);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const XsSet ref = macro_xs_history(*lib_, mat_, es[i]);
+    // The banked kernel interpolates in single precision.
+    EXPECT_NEAR(banked[i].total, ref.total, 3e-4 * ref.total + 1e-8)
+        << "E=" << es[i];
+    EXPECT_NEAR(banked[i].scatter, ref.scatter, 3e-4 * ref.scatter + 1e-8);
+    EXPECT_NEAR(banked[i].absorption, ref.absorption,
+                3e-4 * ref.absorption + 1e-8);
+    EXPECT_NEAR(banked[i].fission, ref.fission, 3e-4 * ref.absorption + 1e-8);
+  }
+}
+
+TEST_P(LookupTest, BankedOuterMatchesScalarHistory) {
+  const std::vector<double> es = test_energies(300);
+  std::vector<XsSet> banked(es.size());
+  macro_xs_banked_outer(*lib_, mat_, es, banked);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const XsSet ref = macro_xs_history(*lib_, mat_, es[i]);
+    EXPECT_NEAR(banked[i].total, ref.total, 3e-4 * ref.total + 1e-8)
+        << "E=" << es[i];
+  }
+}
+
+TEST_P(LookupTest, BankedScalarIsBitwiseHistory) {
+  const std::vector<double> es = test_energies(100);
+  std::vector<XsSet> banked(es.size());
+  macro_xs_banked_scalar(*lib_, mat_, es, banked);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const XsSet ref = macro_xs_history(*lib_, mat_, es[i]);
+    EXPECT_EQ(banked[i].total, ref.total);
+    EXPECT_EQ(banked[i].absorption, ref.absorption);
+  }
+}
+
+TEST_P(LookupTest, AosMatchesSoa) {
+  const AosLibrary aos(*lib_);
+  for (const double e : test_energies(200)) {
+    const XsSet a = macro_xs_aos(aos, lib_->material(mat_), e);
+    const XsSet b = macro_xs_search(*lib_, mat_, e);
+    EXPECT_NEAR(a.total, b.total, 1e-9 * b.total + 1e-12) << "E=" << e;
+    EXPECT_NEAR(a.fission, b.fission, 1e-9 * b.total + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Libraries, LookupTest,
+    ::testing::Values(LibCase{"tiny_exact", 3, 1u << 20},
+                      LibCase{"vector_width_exact", 16, 1u << 20},
+                      LibCase{"odd_tail_exact", 21, 1u << 20},
+                      LibCase{"hm_small_exact", 34, 1u << 20},
+                      LibCase{"tiny_thinned", 3, 1200},
+                      LibCase{"odd_tail_thinned", 21, 3000},
+                      LibCase{"hm_small_thinned", 34, 2048}),
+    [](const ::testing::TestParamInfo<LibCase>& info) {
+      return info.param.name;
+    });
+
+TEST_P(LookupTest, TotalHistoryMatchesFullHistory) {
+  for (const double e : test_energies(200)) {
+    const double t = macro_total_history(*lib_, mat_, e);
+    const XsSet ref = macro_xs_history(*lib_, mat_, e);
+    EXPECT_NEAR(t, ref.total, 1e-12 * ref.total) << "E=" << e;
+  }
+}
+
+TEST_P(LookupTest, TotalBankedMatchesHistory) {
+  const std::vector<double> es = test_energies(600);
+  std::vector<double> banked(es.size());
+  macro_total_banked(*lib_, mat_, es, banked);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const double ref = macro_total_history(*lib_, mat_, es[i]);
+    EXPECT_NEAR(banked[i], ref, 3e-4 * ref + 1e-8) << "E=" << es[i];
+  }
+}
+
+TEST(LookupAdditivity, MacroIsDensityWeightedSumOfMicro) {
+  Library lib;
+  const int a = lib.add_nuclide(make_flat_nuclide("a", 3.0, 1.0, 0.5, 2.4));
+  const int b = lib.add_nuclide(make_flat_nuclide("b", 1.0, 4.0, 0.0, 0.0));
+  Material m;
+  m.add(a, 2.0);
+  m.add(b, 0.5);
+  const int mid = lib.add_material(std::move(m));
+  lib.finalize();
+  const XsSet s = macro_xs_history(lib, mid, 0.3);
+  EXPECT_NEAR(s.scatter, 2.0 * 3.0 + 0.5 * 1.0, 1e-5);
+  EXPECT_NEAR(s.absorption, 2.0 * 1.0 + 0.5 * 4.0, 1e-5);
+  EXPECT_NEAR(s.fission, 2.0 * 0.5, 1e-5);
+  EXPECT_NEAR(s.total, s.scatter + s.absorption, 1e-5);
+}
+
+}  // namespace

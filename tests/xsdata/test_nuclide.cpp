@@ -1,0 +1,91 @@
+// Nuclide pointwise data: search, interpolation, and data accounting.
+#include <gtest/gtest.h>
+
+#include "xsdata/nuclide.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+
+Nuclide make_simple() {
+  Nuclide n;
+  n.name = "simple";
+  n.energy = {1.0, 2.0, 4.0, 8.0};
+  n.total = {10.0f, 20.0f, 40.0f, 80.0f};
+  n.scatter = {6.0f, 12.0f, 24.0f, 48.0f};
+  n.absorption = {4.0f, 8.0f, 16.0f, 32.0f};
+  n.fission = {0.0f, 0.0f, 0.0f, 0.0f};
+  return n;
+}
+
+TEST(Nuclide, FindIndexBracketsCorrectly) {
+  const Nuclide n = make_simple();
+  EXPECT_EQ(n.find_index(1.0), 0u);
+  EXPECT_EQ(n.find_index(1.5), 0u);
+  EXPECT_EQ(n.find_index(2.0), 1u);
+  EXPECT_EQ(n.find_index(3.999), 1u);
+  EXPECT_EQ(n.find_index(7.0), 2u);
+}
+
+TEST(Nuclide, FindIndexClampsOutOfRange) {
+  const Nuclide n = make_simple();
+  EXPECT_EQ(n.find_index(0.5), 0u);
+  EXPECT_EQ(n.find_index(100.0), 2u);  // last interval
+}
+
+TEST(Nuclide, LinearInterpolationIsExactAtNodes) {
+  const Nuclide n = make_simple();
+  for (std::size_t i = 0; i < n.energy.size(); ++i) {
+    const XsSet s = n.evaluate(n.energy[i]);
+    EXPECT_FLOAT_EQ(static_cast<float>(s.total), n.total[i]);
+    EXPECT_FLOAT_EQ(static_cast<float>(s.scatter), n.scatter[i]);
+  }
+}
+
+TEST(Nuclide, LinearInterpolationMidpoint) {
+  const Nuclide n = make_simple();
+  const XsSet s = n.evaluate(1.5);
+  EXPECT_NEAR(s.total, 15.0, 1e-6);
+  EXPECT_NEAR(s.scatter, 9.0, 1e-6);
+  EXPECT_NEAR(s.absorption, 6.0, 1e-6);
+}
+
+TEST(Nuclide, EvaluateClampsBeyondGrid) {
+  const Nuclide n = make_simple();
+  EXPECT_NEAR(n.evaluate(0.01).total, 10.0, 1e-6);  // clamped to first point
+  EXPECT_NEAR(n.evaluate(100.0).total, 80.0, 1e-6);
+}
+
+TEST(Nuclide, DataBytesCountsEverything) {
+  Nuclide n = make_simple();
+  const std::size_t base = n.data_bytes();
+  EXPECT_EQ(base, 4 * sizeof(double) + 16 * sizeof(float));
+
+  UrrTable u;
+  u.energy = {1.0, 2.0};
+  u.cdf = {0.5f, 1.0f};
+  u.f_total = {1.0f};
+  n.urr = u;
+  EXPECT_GT(n.data_bytes(), base);
+}
+
+TEST(UrrTable, ContainsRange) {
+  UrrTable u;
+  u.e_min = 1e-2;
+  u.e_max = 1e-1;
+  EXPECT_TRUE(u.contains(0.05));
+  EXPECT_TRUE(u.contains(1e-2));
+  EXPECT_FALSE(u.contains(1e-1));
+  EXPECT_FALSE(u.contains(1e-3));
+}
+
+TEST(ThermalTable, ContainsNeedsDataAndCutoff) {
+  ThermalTable t;
+  t.cutoff = 4e-6;
+  EXPECT_FALSE(t.contains(1e-7));  // no inelastic grid yet
+  t.inel_energy = {1e-11, 4e-6};
+  EXPECT_TRUE(t.contains(1e-7));
+  EXPECT_FALSE(t.contains(5e-6));
+}
+
+}  // namespace

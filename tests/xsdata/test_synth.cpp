@@ -1,0 +1,159 @@
+// Synthetic nuclide generator: physical sanity of the produced data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+
+class ArchetypeTest : public ::testing::TestWithParam<SynthParams> {};
+
+TEST_P(ArchetypeTest, GridIsSortedUniqueAndSized) {
+  const Nuclide n = make_synthetic_nuclide("t", 5, GetParam());
+  ASSERT_GE(n.grid_size(), 64u);
+  EXPECT_TRUE(std::is_sorted(n.energy.begin(), n.energy.end()));
+  EXPECT_TRUE(std::adjacent_find(n.energy.begin(), n.energy.end()) ==
+              n.energy.end());
+  EXPECT_GE(n.energy.front(), kEnergyMin * 0.99);
+  EXPECT_LE(n.energy.back(), kEnergyMax * 1.01);
+}
+
+TEST_P(ArchetypeTest, CrossSectionsArePositiveAndConsistent) {
+  const Nuclide n = make_synthetic_nuclide("t", 6, GetParam());
+  for (std::size_t i = 0; i < n.grid_size(); ++i) {
+    EXPECT_GT(n.total[i], 0.0f);
+    EXPECT_GT(n.scatter[i], 0.0f);
+    EXPECT_GT(n.absorption[i], 0.0f);
+    EXPECT_GE(n.fission[i], 0.0f);
+    EXPECT_LE(n.fission[i], n.absorption[i] * 1.0001f);
+    EXPECT_NEAR(n.total[i], n.scatter[i] + n.absorption[i],
+                1e-3f * n.total[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Archetypes, ArchetypeTest,
+    ::testing::Values(SynthParams::u238_like(), SynthParams::u235_like(),
+                      SynthParams::light_like(1.0),
+                      SynthParams::light_like(15.86),
+                      SynthParams::fission_product_like()));
+
+TEST(Synth, OneOverVAbsorptionAtThermal) {
+  // Away from resonances, absorption follows sigma_a(E) =
+  // sigma_a_thermal * sqrt(E_th / E).
+  auto p = SynthParams::u238_like();
+  const Nuclide n = make_synthetic_nuclide("u238", 92238, p);
+  const double e1 = 1e-9, e2 = 1e-8;
+  const double a1 = n.evaluate(e1).absorption;
+  const double a2 = n.evaluate(e2).absorption;
+  EXPECT_NEAR(a1 / a2, std::sqrt(e2 / e1), 0.15 * std::sqrt(e2 / e1));
+  // And the 0.0253 eV anchor is respected.
+  EXPECT_NEAR(n.evaluate(2.53e-8).absorption, p.sigma_a_thermal,
+              0.1 * p.sigma_a_thermal);
+}
+
+TEST(Synth, ResonancesCreateStructureInResolvedRange) {
+  const auto p = SynthParams::u238_like();
+  const Nuclide n = make_synthetic_nuclide("u238", 92238, p);
+  // Max/min total within the resolved range should differ by a large factor
+  // (the Fig. 1 resonance forest).
+  float mx = 0.0f, mn = 1e30f;
+  for (std::size_t i = 0; i < n.grid_size(); ++i) {
+    if (n.energy[i] > p.res_e_min && n.energy[i] < p.res_e_max) {
+      mx = std::max(mx, n.total[i]);
+      mn = std::min(mn, n.total[i]);
+    }
+  }
+  EXPECT_GT(mx / mn, 5.0f);
+}
+
+TEST(Synth, SeedsIndividualizeTheLadder) {
+  const auto p = SynthParams::fission_product_like();
+  const Nuclide a = make_synthetic_nuclide("a", 1, p);
+  const Nuclide b = make_synthetic_nuclide("b", 2, p);
+  EXPECT_NE(a.grid_size(), 0u);
+  // Grids differ (different resonance energies).
+  bool differs = a.grid_size() != b.grid_size();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.grid_size(); ++i) {
+      if (a.energy[i] != b.energy[i]) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synth, SameSeedIsDeterministic) {
+  const auto p = SynthParams::u235_like();
+  const Nuclide a = make_synthetic_nuclide("x", 99, p);
+  const Nuclide b = make_synthetic_nuclide("x", 99, p);
+  ASSERT_EQ(a.grid_size(), b.grid_size());
+  for (std::size_t i = 0; i < a.grid_size(); ++i) {
+    EXPECT_EQ(a.energy[i], b.energy[i]);
+    EXPECT_EQ(a.total[i], b.total[i]);
+  }
+}
+
+TEST(Synth, UrrTableWellFormed) {
+  auto p = SynthParams::u238_like();
+  p.with_urr = true;
+  const Nuclide n = make_synthetic_nuclide("u", 3, p);
+  ASSERT_TRUE(n.urr.has_value());
+  const UrrTable& u = *n.urr;
+  EXPECT_GT(u.n_bands, 1);
+  EXPECT_DOUBLE_EQ(u.e_min, p.res_e_max);
+  EXPECT_TRUE(std::is_sorted(u.energy.begin(), u.energy.end()));
+  // CDF rows end at 1 and are non-decreasing.
+  const std::size_t ne = u.energy.size();
+  for (std::size_t ie = 0; ie < ne; ++ie) {
+    float prev = 0.0f;
+    for (int b = 0; b < u.n_bands; ++b) {
+      const float c = u.cdf[ie * static_cast<std::size_t>(u.n_bands) +
+                            static_cast<std::size_t>(b)];
+      EXPECT_GE(c, prev);
+      prev = c;
+    }
+    EXPECT_FLOAT_EQ(prev, 1.0f);
+  }
+  // Factors positive.
+  for (const float f : u.f_total) EXPECT_GT(f, 0.0f);
+}
+
+TEST(Synth, ThermalTableWellFormed) {
+  auto p = SynthParams::light_like(1.0);
+  p.with_thermal = true;
+  const Nuclide n = make_synthetic_nuclide("h", 4, p);
+  ASSERT_TRUE(n.thermal.has_value());
+  const ThermalTable& t = *n.thermal;
+  EXPECT_GT(t.cutoff, 0.0);
+  EXPECT_TRUE(std::is_sorted(t.bragg_edge.begin(), t.bragg_edge.end()));
+  EXPECT_TRUE(std::is_sorted(t.inel_energy.begin(), t.inel_energy.end()));
+  EXPECT_EQ(t.out_energy.size(),
+            t.inel_energy.size() * static_cast<std::size_t>(t.n_out));
+  EXPECT_NEAR(t.bragg_weight.back(), 1.0f, 1e-5f);
+  for (const float mu : t.out_mu) {
+    EXPECT_GE(mu, -1.0f);
+    EXPECT_LE(mu, 1.0f);
+  }
+}
+
+TEST(FlatNuclide, ConstantEverywhere) {
+  const Nuclide n = make_flat_nuclide("flat", 4.0, 2.0, 1.0, 2.5);
+  EXPECT_TRUE(n.fissionable);
+  EXPECT_DOUBLE_EQ(n.nu, 2.5);
+  for (double e : {1e-10, 1e-5, 1.0, 15.0}) {
+    const XsSet s = n.evaluate(e);
+    EXPECT_NEAR(s.total, 6.0, 1e-5);
+    EXPECT_NEAR(s.scatter, 4.0, 1e-5);
+    EXPECT_NEAR(s.absorption, 2.0, 1e-5);
+    EXPECT_NEAR(s.fission, 1.0, 1e-5);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// vmc_run — the command-line face of VectorMC: build a Hoogenboom-Martin
+// model, run the k-eigenvalue simulation, optionally tally a mesh/spectrum
+// and plot the geometry.
+//
+//   vmc_run [options]
+//     --model <assembly|small|large>   geometry + fuel (default assembly)
+//     --particles <N>                  particles per generation (default 5000)
+//     --inactive <N>                   inactive batches (default 3)
+//     --active <N>                     active batches (default 7)
+//     --seed <S>                       master seed (default 42)
+//     --threads <T>                    worker threads (default 1)
+//     --mode <history|event>           transport algorithm (default history)
+//     --survival-biasing               implicit capture + Russian roulette
+//     --grid-scale <X>                 synthetic-grid scale (default 0.3)
+//     --mesh <NXY> [--groups <G>]      radial mesh tally + energy spectrum
+//     --plot                           ASCII slice of the model at z = 0
+//     --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/eigenvalue.hpp"
+#include "core/mesh_tally.hpp"
+#include "geom/plot.hpp"
+#include "hm/hm_model.hpp"
+
+namespace {
+
+struct Args {
+  std::string model = "assembly";
+  std::size_t particles = 5000;
+  int inactive = 3;
+  int active = 7;
+  std::uint64_t seed = 42;
+  int threads = 1;
+  std::string mode = "history";
+  bool survival_biasing = false;
+  double grid_scale = 0.3;
+  int mesh = 0;
+  int groups = 8;
+  bool plot = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::puts(
+      "vmc_run --model <assembly|small|large> --particles N --inactive N\n"
+      "        --active N --seed S --threads T --mode <history|event>\n"
+      "        [--survival-biasing] [--grid-scale X] [--mesh NXY]\n"
+      "        [--groups G] [--plot]");
+  std::exit(code);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--model") {
+      a.model = need_value(i);
+    } else if (flag == "--particles") {
+      a.particles = std::strtoull(need_value(i), nullptr, 10);
+    } else if (flag == "--inactive") {
+      a.inactive = std::atoi(need_value(i));
+    } else if (flag == "--active") {
+      a.active = std::atoi(need_value(i));
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (flag == "--threads") {
+      a.threads = std::atoi(need_value(i));
+    } else if (flag == "--mode") {
+      a.mode = need_value(i);
+    } else if (flag == "--survival-biasing") {
+      a.survival_biasing = true;
+    } else if (flag == "--grid-scale") {
+      a.grid_scale = std::atof(need_value(i));
+    } else if (flag == "--mesh") {
+      a.mesh = std::atoi(need_value(i));
+    } else if (flag == "--groups") {
+      a.groups = std::atoi(need_value(i));
+    } else if (flag == "--plot") {
+      a.plot = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      usage(2);
+    }
+  }
+  if (a.model != "assembly" && a.model != "small" && a.model != "large") {
+    std::fprintf(stderr, "bad --model %s\n", a.model.c_str());
+    usage(2);
+  }
+  if (a.mode != "history" && a.mode != "event") {
+    std::fprintf(stderr, "bad --mode %s\n", a.mode.c_str());
+    usage(2);
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vmc;
+  const Args args = parse(argc, argv);
+
+  hm::ModelOptions mo;
+  mo.full_core = args.model != "assembly";
+  mo.fuel = args.model == "large" ? hm::FuelSize::large : hm::FuelSize::small;
+  mo.grid_scale = args.grid_scale;
+  std::printf("vmc_run: model=%s particles=%zu batches=%d+%d mode=%s%s\n",
+              args.model.c_str(), args.particles, args.inactive, args.active,
+              args.mode.c_str(),
+              args.survival_biasing ? " (survival biasing)" : "");
+  const hm::Model model = hm::build_model(mo);
+  std::printf("library: %d nuclides, %zu union-grid points, %.1f MB\n",
+              model.library.n_nuclides(), model.library.union_grid().size(),
+              (model.library.union_bytes() + model.library.pointwise_bytes()) /
+                  1e6);
+
+  if (args.plot) {
+    const double w = args.model == "assembly" ? 10.71 : 203.49;
+    std::printf("\n%s\n",
+                geom::ascii_slice(model.geometry, 0.0, {-w, -w, 0},
+                                  {w, w, 0}, 76, 38, ".#o")
+                    .c_str());
+  }
+
+  core::Settings st;
+  st.n_particles = args.particles;
+  st.n_inactive = args.inactive;
+  st.n_active = args.active;
+  st.seed = args.seed;
+  st.n_threads = args.threads;
+  st.mode = args.mode == "event" ? core::TransportMode::event
+                                 : core::TransportMode::history;
+  st.tracker.survival_biasing = args.survival_biasing;
+  st.source_lo = model.source_lo;
+  st.source_hi = model.source_hi;
+
+  std::unique_ptr<core::MeshTally> mesh;
+  if (args.mesh > 0) {
+    core::MeshTally::Spec spec;
+    spec.lower = model.source_lo;
+    spec.upper = model.source_hi;
+    spec.nx = spec.ny = args.mesh;
+    spec.nz = 1;
+    spec.group_edges = core::log_group_edges(1e-11, 20.0, args.groups);
+    mesh = std::make_unique<core::MeshTally>(spec);
+    st.mesh_tally = mesh.get();
+  }
+
+  core::Simulation sim(model.geometry, model.library, st);
+  const core::RunResult r = sim.run();
+
+  std::printf("\n%-6s %-4s %10s %10s %10s %9s\n", "gen", "", "k_coll",
+              "k_track", "entropy", "sites");
+  for (std::size_t g = 0; g < r.generations.size(); ++g) {
+    const auto& gen = r.generations[g];
+    std::printf("%-6zu %-4s %10.5f %10.5f %10.3f %9zu\n", g,
+                gen.active ? "(a)" : "(i)", gen.k_collision,
+                gen.k_tracklength, gen.entropy, gen.n_sites);
+  }
+  std::printf("\nk_eff = %.5f +- %.5f\n", r.k_eff, r.k_std);
+  std::printf("rates: %.0f n/s active, %.0f n/s inactive\n", r.rate_active,
+              r.rate_inactive);
+  std::printf("work: %.1f lookups, %.1f collisions, %.1f crossings per "
+              "particle\n",
+              static_cast<double>(r.counts_total.lookups) /
+                  static_cast<double>(r.counts_total.histories),
+              static_cast<double>(r.counts_total.collisions) /
+                  static_cast<double>(r.counts_total.histories),
+              static_cast<double>(r.counts_total.crossings) /
+                  static_cast<double>(r.counts_total.histories));
+
+  if (mesh) {
+    const auto spectrum = mesh->energy_spectrum();
+    double total = 0.0;
+    for (const double s : spectrum) total += s;
+    std::printf("\nflux spectrum (%d equal-lethargy groups, fraction):\n",
+                args.groups);
+    for (std::size_t g = 0; g < spectrum.size(); ++g) {
+      const int bars = static_cast<int>(60.0 * spectrum[g] / total + 0.5);
+      std::printf("  g%-3zu %6.3f %s\n", g, spectrum[g] / total,
+                  std::string(static_cast<std::size_t>(bars), '#').c_str());
+    }
+  }
+  return 0;
+}
