@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_kernels"
+  "../bench/abl_kernels.pdb"
+  "CMakeFiles/abl_kernels.dir/abl_kernels.cpp.o"
+  "CMakeFiles/abl_kernels.dir/abl_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_xs_data"
+  "../bench/fig1_xs_data.pdb"
+  "CMakeFiles/fig1_xs_data.dir/fig1_xs_data.cpp.o"
+  "CMakeFiles/fig1_xs_data.dir/fig1_xs_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_xs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

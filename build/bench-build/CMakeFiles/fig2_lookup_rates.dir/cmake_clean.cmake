@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_lookup_rates"
+  "../bench/fig2_lookup_rates.pdb"
+  "CMakeFiles/fig2_lookup_rates.dir/fig2_lookup_rates.cpp.o"
+  "CMakeFiles/fig2_lookup_rates.dir/fig2_lookup_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lookup_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

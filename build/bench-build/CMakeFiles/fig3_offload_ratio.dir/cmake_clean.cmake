@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_offload_ratio"
+  "../bench/fig3_offload_ratio.pdb"
+  "CMakeFiles/fig3_offload_ratio.dir/fig3_offload_ratio.cpp.o"
+  "CMakeFiles/fig3_offload_ratio.dir/fig3_offload_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_offload_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_profile_compare"
+  "../bench/fig4_profile_compare.pdb"
+  "CMakeFiles/fig4_profile_compare.dir/fig4_profile_compare.cpp.o"
+  "CMakeFiles/fig4_profile_compare.dir/fig4_profile_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_profile_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_calc_rate"
+  "../bench/fig5_calc_rate.pdb"
+  "CMakeFiles/fig5_calc_rate.dir/fig5_calc_rate.cpp.o"
+  "CMakeFiles/fig5_calc_rate.dir/fig5_calc_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_calc_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

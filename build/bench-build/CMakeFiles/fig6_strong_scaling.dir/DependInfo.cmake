@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_strong_scaling.cpp" "bench-build/CMakeFiles/fig6_strong_scaling.dir/fig6_strong_scaling.cpp.o" "gcc" "bench-build/CMakeFiles/fig6_strong_scaling.dir/fig6_strong_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/vmc_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsdata/CMakeFiles/vmc_xsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vmc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/particle/CMakeFiles/vmc_particle.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/vmc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vmc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vmc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/vmc_multipole.dir/DependInfo.cmake"
+  "/root/repo/build/src/hm/CMakeFiles/vmc_hm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

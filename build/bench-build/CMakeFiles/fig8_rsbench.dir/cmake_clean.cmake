@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_rsbench"
+  "../bench/fig8_rsbench.pdb"
+  "CMakeFiles/fig8_rsbench.dir/fig8_rsbench.cpp.o"
+  "CMakeFiles/fig8_rsbench.dir/fig8_rsbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

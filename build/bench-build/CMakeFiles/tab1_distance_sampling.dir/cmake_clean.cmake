@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_distance_sampling"
+  "../bench/tab1_distance_sampling.pdb"
+  "CMakeFiles/tab1_distance_sampling.dir/tab1_distance_sampling.cpp.o"
+  "CMakeFiles/tab1_distance_sampling.dir/tab1_distance_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_distance_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_offload_overhead"
+  "../bench/tab2_offload_overhead.pdb"
+  "CMakeFiles/tab2_offload_overhead.dir/tab2_offload_overhead.cpp.o"
+  "CMakeFiles/tab2_offload_overhead.dir/tab2_offload_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_offload_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

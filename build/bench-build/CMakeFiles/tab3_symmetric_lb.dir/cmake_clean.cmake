@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_symmetric_lb"
+  "../bench/tab3_symmetric_lb.pdb"
+  "CMakeFiles/tab3_symmetric_lb.dir/tab3_symmetric_lb.cpp.o"
+  "CMakeFiles/tab3_symmetric_lb.dir/tab3_symmetric_lb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_symmetric_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

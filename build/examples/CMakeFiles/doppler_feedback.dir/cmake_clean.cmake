@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppler_feedback.dir/doppler_feedback.cpp.o"
+  "CMakeFiles/doppler_feedback.dir/doppler_feedback.cpp.o.d"
+  "doppler_feedback"
+  "doppler_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppler_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_core.dir/full_core.cpp.o"
+  "CMakeFiles/full_core.dir/full_core.cpp.o.d"
+  "full_core"
+  "full_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

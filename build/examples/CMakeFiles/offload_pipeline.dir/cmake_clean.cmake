@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_pipeline.dir/offload_pipeline.cpp.o"
+  "CMakeFiles/offload_pipeline.dir/offload_pipeline.cpp.o.d"
+  "offload_pipeline"
+  "offload_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

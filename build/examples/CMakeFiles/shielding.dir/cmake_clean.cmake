@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shielding.dir/shielding.cpp.o"
+  "CMakeFiles/shielding.dir/shielding.cpp.o.d"
+  "shielding"
+  "shielding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shielding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_comm.dir/comm.cpp.o"
+  "CMakeFiles/vmc_comm.dir/comm.cpp.o.d"
+  "libvmc_comm.a"
+  "libvmc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

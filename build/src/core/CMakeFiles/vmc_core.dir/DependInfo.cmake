@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eigenvalue.cpp" "src/core/CMakeFiles/vmc_core.dir/eigenvalue.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/eigenvalue.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/vmc_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/fixed_source.cpp" "src/core/CMakeFiles/vmc_core.dir/fixed_source.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/fixed_source.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/vmc_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/mesh_tally.cpp" "src/core/CMakeFiles/vmc_core.dir/mesh_tally.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/mesh_tally.cpp.o.d"
+  "/root/repo/src/core/statepoint.cpp" "src/core/CMakeFiles/vmc_core.dir/statepoint.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/statepoint.cpp.o.d"
+  "/root/repo/src/core/tally.cpp" "src/core/CMakeFiles/vmc_core.dir/tally.cpp.o" "gcc" "src/core/CMakeFiles/vmc_core.dir/tally.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xsdata/CMakeFiles/vmc_xsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vmc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/particle/CMakeFiles/vmc_particle.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/vmc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/vmc_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_core.dir/eigenvalue.cpp.o"
+  "CMakeFiles/vmc_core.dir/eigenvalue.cpp.o.d"
+  "CMakeFiles/vmc_core.dir/event.cpp.o"
+  "CMakeFiles/vmc_core.dir/event.cpp.o.d"
+  "CMakeFiles/vmc_core.dir/fixed_source.cpp.o"
+  "CMakeFiles/vmc_core.dir/fixed_source.cpp.o.d"
+  "CMakeFiles/vmc_core.dir/history.cpp.o"
+  "CMakeFiles/vmc_core.dir/history.cpp.o.d"
+  "CMakeFiles/vmc_core.dir/mesh_tally.cpp.o"
+  "CMakeFiles/vmc_core.dir/mesh_tally.cpp.o.d"
+  "CMakeFiles/vmc_core.dir/statepoint.cpp.o"
+  "CMakeFiles/vmc_core.dir/statepoint.cpp.o.d"
+  "CMakeFiles/vmc_core.dir/tally.cpp.o"
+  "CMakeFiles/vmc_core.dir/tally.cpp.o.d"
+  "libvmc_core.a"
+  "libvmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

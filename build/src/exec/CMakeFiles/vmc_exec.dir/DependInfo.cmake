@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/distributed.cpp" "src/exec/CMakeFiles/vmc_exec.dir/distributed.cpp.o" "gcc" "src/exec/CMakeFiles/vmc_exec.dir/distributed.cpp.o.d"
+  "/root/repo/src/exec/load_balance.cpp" "src/exec/CMakeFiles/vmc_exec.dir/load_balance.cpp.o" "gcc" "src/exec/CMakeFiles/vmc_exec.dir/load_balance.cpp.o.d"
+  "/root/repo/src/exec/machine.cpp" "src/exec/CMakeFiles/vmc_exec.dir/machine.cpp.o" "gcc" "src/exec/CMakeFiles/vmc_exec.dir/machine.cpp.o.d"
+  "/root/repo/src/exec/offload.cpp" "src/exec/CMakeFiles/vmc_exec.dir/offload.cpp.o" "gcc" "src/exec/CMakeFiles/vmc_exec.dir/offload.cpp.o.d"
+  "/root/repo/src/exec/symmetric.cpp" "src/exec/CMakeFiles/vmc_exec.dir/symmetric.cpp.o" "gcc" "src/exec/CMakeFiles/vmc_exec.dir/symmetric.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/exec/CMakeFiles/vmc_exec.dir/thread_pool.cpp.o" "gcc" "src/exec/CMakeFiles/vmc_exec.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vmc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/particle/CMakeFiles/vmc_particle.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsdata/CMakeFiles/vmc_xsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/vmc_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/vmc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vmc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

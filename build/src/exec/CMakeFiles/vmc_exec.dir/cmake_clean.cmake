@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_exec.dir/distributed.cpp.o"
+  "CMakeFiles/vmc_exec.dir/distributed.cpp.o.d"
+  "CMakeFiles/vmc_exec.dir/load_balance.cpp.o"
+  "CMakeFiles/vmc_exec.dir/load_balance.cpp.o.d"
+  "CMakeFiles/vmc_exec.dir/machine.cpp.o"
+  "CMakeFiles/vmc_exec.dir/machine.cpp.o.d"
+  "CMakeFiles/vmc_exec.dir/offload.cpp.o"
+  "CMakeFiles/vmc_exec.dir/offload.cpp.o.d"
+  "CMakeFiles/vmc_exec.dir/symmetric.cpp.o"
+  "CMakeFiles/vmc_exec.dir/symmetric.cpp.o.d"
+  "CMakeFiles/vmc_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/vmc_exec.dir/thread_pool.cpp.o.d"
+  "libvmc_exec.a"
+  "libvmc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_geom.dir/geometry.cpp.o"
+  "CMakeFiles/vmc_geom.dir/geometry.cpp.o.d"
+  "CMakeFiles/vmc_geom.dir/plot.cpp.o"
+  "CMakeFiles/vmc_geom.dir/plot.cpp.o.d"
+  "CMakeFiles/vmc_geom.dir/surface.cpp.o"
+  "CMakeFiles/vmc_geom.dir/surface.cpp.o.d"
+  "libvmc_geom.a"
+  "libvmc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmc_geom.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_hm.dir/hm_model.cpp.o"
+  "CMakeFiles/vmc_hm.dir/hm_model.cpp.o.d"
+  "libvmc_hm.a"
+  "libvmc_hm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

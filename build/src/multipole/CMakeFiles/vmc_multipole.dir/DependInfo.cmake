@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multipole/doppler.cpp" "src/multipole/CMakeFiles/vmc_multipole.dir/doppler.cpp.o" "gcc" "src/multipole/CMakeFiles/vmc_multipole.dir/doppler.cpp.o.d"
+  "/root/repo/src/multipole/faddeeva.cpp" "src/multipole/CMakeFiles/vmc_multipole.dir/faddeeva.cpp.o" "gcc" "src/multipole/CMakeFiles/vmc_multipole.dir/faddeeva.cpp.o.d"
+  "/root/repo/src/multipole/multipole.cpp" "src/multipole/CMakeFiles/vmc_multipole.dir/multipole.cpp.o" "gcc" "src/multipole/CMakeFiles/vmc_multipole.dir/multipole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsdata/CMakeFiles/vmc_xsdata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_multipole.dir/doppler.cpp.o"
+  "CMakeFiles/vmc_multipole.dir/doppler.cpp.o.d"
+  "CMakeFiles/vmc_multipole.dir/faddeeva.cpp.o"
+  "CMakeFiles/vmc_multipole.dir/faddeeva.cpp.o.d"
+  "CMakeFiles/vmc_multipole.dir/multipole.cpp.o"
+  "CMakeFiles/vmc_multipole.dir/multipole.cpp.o.d"
+  "libvmc_multipole.a"
+  "libvmc_multipole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_multipole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

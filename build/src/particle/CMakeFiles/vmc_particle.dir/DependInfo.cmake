@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/particle/bank.cpp" "src/particle/CMakeFiles/vmc_particle.dir/bank.cpp.o" "gcc" "src/particle/CMakeFiles/vmc_particle.dir/bank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vmc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

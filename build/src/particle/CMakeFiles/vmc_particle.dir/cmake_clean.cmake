@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_particle.dir/bank.cpp.o"
+  "CMakeFiles/vmc_particle.dir/bank.cpp.o.d"
+  "libvmc_particle.a"
+  "libvmc_particle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_particle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

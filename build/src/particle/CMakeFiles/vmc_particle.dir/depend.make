@@ -1,0 +1,2 @@
+# Empty dependencies file for vmc_particle.
+# This may be replaced when dependencies are built.

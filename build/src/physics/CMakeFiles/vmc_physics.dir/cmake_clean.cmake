@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_physics.dir/collision.cpp.o"
+  "CMakeFiles/vmc_physics.dir/collision.cpp.o.d"
+  "libvmc_physics.a"
+  "libvmc_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_prof.dir/profiler.cpp.o"
+  "CMakeFiles/vmc_prof.dir/profiler.cpp.o.d"
+  "CMakeFiles/vmc_prof.dir/report.cpp.o"
+  "CMakeFiles/vmc_prof.dir/report.cpp.o.d"
+  "libvmc_prof.a"
+  "libvmc_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

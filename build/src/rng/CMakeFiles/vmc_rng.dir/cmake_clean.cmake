@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_rng.dir/streamset.cpp.o"
+  "CMakeFiles/vmc_rng.dir/streamset.cpp.o.d"
+  "libvmc_rng.a"
+  "libvmc_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

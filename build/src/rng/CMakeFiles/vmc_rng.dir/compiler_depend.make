@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vmc_rng.
+# This may be replaced when dependencies are built.

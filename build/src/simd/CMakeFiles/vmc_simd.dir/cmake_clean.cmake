@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_simd.dir/simd.cpp.o"
+  "CMakeFiles/vmc_simd.dir/simd.cpp.o.d"
+  "libvmc_simd.a"
+  "libvmc_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsdata/library.cpp" "src/xsdata/CMakeFiles/vmc_xsdata.dir/library.cpp.o" "gcc" "src/xsdata/CMakeFiles/vmc_xsdata.dir/library.cpp.o.d"
+  "/root/repo/src/xsdata/lookup.cpp" "src/xsdata/CMakeFiles/vmc_xsdata.dir/lookup.cpp.o" "gcc" "src/xsdata/CMakeFiles/vmc_xsdata.dir/lookup.cpp.o.d"
+  "/root/repo/src/xsdata/nuclide.cpp" "src/xsdata/CMakeFiles/vmc_xsdata.dir/nuclide.cpp.o" "gcc" "src/xsdata/CMakeFiles/vmc_xsdata.dir/nuclide.cpp.o.d"
+  "/root/repo/src/xsdata/synth.cpp" "src/xsdata/CMakeFiles/vmc_xsdata.dir/synth.cpp.o" "gcc" "src/xsdata/CMakeFiles/vmc_xsdata.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_xsdata.dir/library.cpp.o"
+  "CMakeFiles/vmc_xsdata.dir/library.cpp.o.d"
+  "CMakeFiles/vmc_xsdata.dir/lookup.cpp.o"
+  "CMakeFiles/vmc_xsdata.dir/lookup.cpp.o.d"
+  "CMakeFiles/vmc_xsdata.dir/nuclide.cpp.o"
+  "CMakeFiles/vmc_xsdata.dir/nuclide.cpp.o.d"
+  "CMakeFiles/vmc_xsdata.dir/synth.cpp.o"
+  "CMakeFiles/vmc_xsdata.dir/synth.cpp.o.d"
+  "libvmc_xsdata.a"
+  "libvmc_xsdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_xsdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_eigenvalue.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_eigenvalue.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_equivalence.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_equivalence.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fixed_source.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fixed_source.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mesh_tally.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mesh_tally.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_statepoint.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_statepoint.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tally.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tally.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_transport.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_transport.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

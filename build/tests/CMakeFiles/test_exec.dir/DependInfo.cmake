@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/test_distributed.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_distributed.cpp.o.d"
+  "/root/repo/tests/exec/test_load_balance.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_load_balance.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_load_balance.cpp.o.d"
+  "/root/repo/tests/exec/test_machine.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_machine.cpp.o.d"
+  "/root/repo/tests/exec/test_offload.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_offload.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_offload.cpp.o.d"
+  "/root/repo/tests/exec/test_symmetric.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_symmetric.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_symmetric.cpp.o.d"
+  "/root/repo/tests/exec/test_thread_pool.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/vmc_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/vmc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/vmc_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsdata/CMakeFiles/vmc_xsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/vmc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/particle/CMakeFiles/vmc_particle.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/vmc_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vmc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vmc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/vmc_multipole.dir/DependInfo.cmake"
+  "/root/repo/build/src/hm/CMakeFiles/vmc_hm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec.dir/exec/test_distributed.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_distributed.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_load_balance.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_load_balance.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_machine.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_machine.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_offload.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_offload.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_symmetric.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_symmetric.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_thread_pool.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_thread_pool.cpp.o.d"
+  "test_exec"
+  "test_exec.pdb"
+  "test_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hm.dir/hm/test_hm_model.cpp.o"
+  "CMakeFiles/test_hm.dir/hm/test_hm_model.cpp.o.d"
+  "test_hm"
+  "test_hm.pdb"
+  "test_hm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

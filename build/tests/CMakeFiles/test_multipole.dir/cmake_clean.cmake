@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipole.dir/multipole/test_faddeeva.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_faddeeva.cpp.o.d"
+  "CMakeFiles/test_multipole.dir/multipole/test_multipole.cpp.o"
+  "CMakeFiles/test_multipole.dir/multipole/test_multipole.cpp.o.d"
+  "test_multipole"
+  "test_multipole.pdb"
+  "test_multipole[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

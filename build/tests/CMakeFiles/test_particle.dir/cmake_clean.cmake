@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_particle.dir/particle/test_bank.cpp.o"
+  "CMakeFiles/test_particle.dir/particle/test_bank.cpp.o.d"
+  "test_particle"
+  "test_particle.pdb"
+  "test_particle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_particle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

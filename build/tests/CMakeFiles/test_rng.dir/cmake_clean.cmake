@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng.dir/rng/test_lcg.cpp.o"
+  "CMakeFiles/test_rng.dir/rng/test_lcg.cpp.o.d"
+  "CMakeFiles/test_rng.dir/rng/test_stream.cpp.o"
+  "CMakeFiles/test_rng.dir/rng/test_stream.cpp.o.d"
+  "CMakeFiles/test_rng.dir/rng/test_streamset.cpp.o"
+  "CMakeFiles/test_rng.dir/rng/test_streamset.cpp.o.d"
+  "test_rng"
+  "test_rng.pdb"
+  "test_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

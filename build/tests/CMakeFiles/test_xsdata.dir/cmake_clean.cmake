@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xsdata.dir/xsdata/test_library.cpp.o"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_library.cpp.o.d"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_lookup.cpp.o"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_lookup.cpp.o.d"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_nuclide.cpp.o"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_nuclide.cpp.o.d"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_synth.cpp.o"
+  "CMakeFiles/test_xsdata.dir/xsdata/test_synth.cpp.o.d"
+  "test_xsdata"
+  "test_xsdata.pdb"
+  "test_xsdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xsdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_prof[1]_include.cmake")
+include("/root/repo/build/tests/test_xsdata[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_particle[1]_include.cmake")
+include("/root/repo/build/tests/test_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_multipole[1]_include.cmake")
+include("/root/repo/build/tests/test_hm[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")

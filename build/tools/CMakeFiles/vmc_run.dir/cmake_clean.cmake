@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmc_run.dir/vmc_run.cpp.o"
+  "CMakeFiles/vmc_run.dir/vmc_run.cpp.o.d"
+  "vmc_run"
+  "vmc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[vmc_run_smoke]=] "/root/repo/build/tools/vmc_run" "--model" "assembly" "--particles" "300" "--inactive" "1" "--active" "2" "--grid-scale" "0.08" "--mesh" "4" "--plot")
+set_tests_properties([=[vmc_run_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[vmc_run_event_smoke]=] "/root/repo/build/tools/vmc_run" "--model" "assembly" "--particles" "300" "--inactive" "1" "--active" "1" "--mode" "event" "--grid-scale" "0.08")
+set_tests_properties([=[vmc_run_event_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
