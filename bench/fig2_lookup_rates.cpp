@@ -30,7 +30,7 @@ int main() {
   std::printf("library: %d nuclides, union grid %zu pts (walk %d), %.1f MB\n\n",
               lib.n_nuclides(), lib.union_grid().size(),
               lib.union_grid().walk_bound,
-              (lib.union_bytes() + lib.pointwise_bytes()) / 1e6);
+              static_cast<double>(lib.union_bytes() + lib.pointwise_bytes()) / 1e6);
 
   const exec::CostModel cpu(exec::DeviceSpec::jlse_host());
   const exec::CostModel mic(exec::DeviceSpec::mic_7120a());
@@ -65,7 +65,8 @@ int main() {
         static_cast<double>(n) / mic.banked_lookup_seconds(n, terms);
 
     std::printf("%10zu | %15.3e %15.3e %7.2fx | %17.3e %17.3e %7.2fx\n", n,
-                n / t_scalar, n / t_banked, t_scalar / t_banked, model_cpu,
+                static_cast<double>(n) / t_scalar,
+                static_cast<double>(n) / t_banked, t_scalar / t_banked, model_cpu,
                 model_mic, model_mic / model_cpu);
   }
 

@@ -24,7 +24,7 @@ int main() {
   const double dopp = multipole::doppler_width(2.53e-8, 238.0);
   std::printf("pole data: %zu poles, %d windows, %.1f KB total (the\n"
               "\"remarkably low memory cost\" vs. %s of pointwise data)\n\n",
-              wmp.n_poles(), wmp.n_windows(), wmp.data_bytes() / 1e3,
+              wmp.n_poles(), wmp.n_windows(), static_cast<double>(wmp.data_bytes()) / 1e3,
               "hundreds of MB");
 
   const std::size_t n = bench::scaled(300000);
@@ -49,9 +49,9 @@ int main() {
 
   std::printf("measured on this host (%zu lookups):\n", n);
   std::printf("%-28s %10.3f s   (%8.0f lookups/s)\n", "original (scalar w4)",
-              t_orig, n / t_orig);
+              t_orig, static_cast<double>(n) / t_orig);
   std::printf("%-28s %10.3f s   (%8.0f lookups/s)\n",
-              "vectorized (fixed poles)", t_vec, n / t_vec);
+              "vectorized (fixed poles)", t_vec, static_cast<double>(n) / t_vec);
   std::printf("speedup: %.2fx   (checksum agreement: %.3g vs %.3g)\n\n",
               t_orig / t_vec, check_orig, sink);
 

@@ -35,9 +35,9 @@ void run_case(const char* label, vmc::hm::FuelSize fuel, std::size_t n) {
   std::printf("%-38s %12.1f ms   (paper: 460 / 2,210 ms)\n",
               "transfer time (PCIe, model)", rep.model_transfer_s * 1e3);
   std::printf("%-38s %12.2f MB   (paper: 496 MB / 2.84 GB)\n",
-              "bank size transferred", rep.bank_bytes / 1e6);
+              "bank size transferred", static_cast<double>(rep.bank_bytes) / 1e6);
   std::printf("%-38s %12.2f MB   (paper: 1.31 / 8.37 GB)\n",
-              "energy grid size transferred", rep.grid_bytes / 1e6);
+              "energy grid size transferred", static_cast<double>(rep.grid_bytes) / 1e6);
   std::printf("%-38s %12.1f ms\n", "energy grid staging (model, amortized)",
               rep.model_grid_transfer_s * 1e3);
   std::printf("%-38s %12.1f ms   (paper: 17 / 101 ms)\n",

@@ -1,0 +1,88 @@
+# Sanitizer wiring for VectorMC.
+#
+# Usage: -DVMC_SANITIZE=<spec>, where <spec> is a semicolon- or comma-
+# separated list of sanitizers to enable on every target that links
+# `vmc_options`. Supported specs:
+#
+#   address;undefined   ASan + UBSan (the default correctness build)
+#   thread              TSan (the race-detection harness preset)
+#   memory              MSan (clang only; rejected on GCC with a clear error)
+#   leak                standalone LeakSanitizer
+#
+# Mutually incompatible combinations (thread with address/leak/memory) are
+# rejected at configure time rather than left to a cryptic link failure.
+#
+# The module defines one function, `vmc_enable_sanitizers(<target>)`, applied
+# to the shared `vmc_options` interface target so the whole tree — library
+# code, tests, benches, tools — is built with consistent instrumentation.
+
+include_guard(GLOBAL)
+include(CheckCXXSourceCompiles)
+
+set(VMC_SANITIZE "" CACHE STRING
+    "Semicolon/comma-separated sanitizers: address;undefined | thread | memory | leak")
+
+# `flag_list` is a ;-list: CMAKE_REQUIRED_FLAGS wants one space-separated
+# string, CMAKE_REQUIRED_LINK_OPTIONS wants the list itself.
+function(_vmc_check_sanitizer_supported flag_list out_var)
+  string(REPLACE ";" " " _space_flags "${flag_list}")
+  set(CMAKE_REQUIRED_FLAGS "${_space_flags}")
+  set(CMAKE_REQUIRED_LINK_OPTIONS ${flag_list})
+  check_cxx_source_compiles("int main() { return 0; }" ${out_var})
+endfunction()
+
+function(vmc_enable_sanitizers target)
+  if(NOT VMC_SANITIZE)
+    return()
+  endif()
+
+  # Accept either "address,undefined" or "address;undefined".
+  string(REPLACE "," ";" _sans "${VMC_SANITIZE}")
+  list(REMOVE_DUPLICATES _sans)
+
+  set(_known address undefined thread memory leak)
+  foreach(_s IN LISTS _sans)
+    if(NOT _s IN_LIST _known)
+      message(FATAL_ERROR "VMC_SANITIZE: unknown sanitizer '${_s}' "
+                          "(expected one of: ${_known})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _sans)
+    foreach(_bad address leak memory)
+      if(_bad IN_LIST _sans)
+        message(FATAL_ERROR
+            "VMC_SANITIZE: 'thread' cannot be combined with '${_bad}'")
+      endif()
+    endforeach()
+  endif()
+  if("memory" IN_LIST _sans AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "VMC_SANITIZE=memory requires Clang; ${CMAKE_CXX_COMPILER_ID} has no "
+        "MemorySanitizer. Use -DCMAKE_CXX_COMPILER=clang++ or pick "
+        "address;undefined / thread instead.")
+  endif()
+
+  string(JOIN "," _joined ${_sans})
+  set(_flags "-fsanitize=${_joined}" "-fno-omit-frame-pointer")
+  string(MAKE_C_IDENTIFIER "${_joined}" _id)
+  _vmc_check_sanitizer_supported("${_flags}" VMC_SANITIZER_SUPPORTED_${_id})
+  if(NOT VMC_SANITIZER_SUPPORTED_${_id})
+    message(FATAL_ERROR
+        "VMC_SANITIZE=${VMC_SANITIZE}: compiler/linker rejected "
+        "'-fsanitize=${_joined}'")
+  endif()
+
+  message(STATUS "VectorMC sanitizers enabled: ${_joined}")
+  target_compile_options(${target} INTERFACE ${_flags})
+  target_link_options(${target} INTERFACE ${_flags})
+  # UBSan: make every report fatal so CTest fails instead of scrolling past.
+  if("undefined" IN_LIST _sans)
+    target_compile_options(${target} INTERFACE -fno-sanitize-recover=all)
+    target_link_options(${target} INTERFACE -fno-sanitize-recover=all)
+  endif()
+  target_compile_definitions(${target} INTERFACE VMC_SANITIZED=1)
+  if("thread" IN_LIST _sans)
+    target_compile_definitions(${target} INTERFACE VMC_TSAN=1)
+  endif()
+endfunction()

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   const auto wmp = multipole::WindowedMultipole::make_synthetic(42, params);
   std::printf("pole set: %zu poles, %.1f KB — reconstructs sigma(E, T) at\n"
               "ANY temperature (vs. one pointwise library per temperature)\n\n",
-              wmp.n_poles(), wmp.data_bytes() / 1e3);
+              wmp.n_poles(), static_cast<double>(wmp.data_bytes()) / 1e3);
 
   for (const double kelvin : {293.6, 1200.0}) {
     TempCase c = build_case(wmp, kelvin);

@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
               hm::fuel_nuclide_count(options.fuel));
   const hm::Model model = hm::build_model(options);
   std::printf("library: %.1f MB pointwise + %.1f MB unionized grid\n\n",
-              model.library.pointwise_bytes() / 1e6,
-              model.library.union_bytes() / 1e6);
+              static_cast<double>(model.library.pointwise_bytes()) / 1e6,
+              static_cast<double>(model.library.union_bytes()) / 1e6);
 
   core::Settings settings;
   settings.n_particles = n;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   std::printf("Xeon Phi offload projection (calibrated models):\n");
   std::printf("  bank on host              : %8.2f ms\n",
               rep.model_bank_host_s * 1e3);
-  std::printf("  PCIe transfer (%6.1f MB) : %8.2f ms\n", rep.bank_bytes / 1e6,
+  std::printf("  PCIe transfer (%6.1f MB) : %8.2f ms\n", static_cast<double>(rep.bank_bytes) / 1e6,
               rep.model_transfer_s * 1e3);
   std::printf("  compute on MIC            : %8.2f ms\n",
               rep.model_compute_device_s * 1e3);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "particle/concurrent_bank.hpp"
 #include "prof/profiler.hpp"
 
 namespace vmc::core {
@@ -68,7 +69,7 @@ std::vector<particle::FissionSite> resample_bank(
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = std::min<std::size_t>(
         bank.size() - 1,
-        static_cast<std::size_t>(stream.next() * bank.size()));
+        static_cast<std::size_t>(stream.next() * static_cast<double>(bank.size())));
     out.push_back(bank[j]);
   }
   return out;
@@ -113,6 +114,7 @@ GenerationResult Simulation::run_generation(
 
   TallyAccumulator acc(settings_.tally_mode);
   EventCounts counts_total;
+  particle::ConcurrentBank shared_bank(n * 2);
   std::mutex merge_mu;
 
   // Seed block for this generation: ids unique across generations.
@@ -154,10 +156,11 @@ GenerationResult Simulation::run_generation(
         settings_.mode == TransportMode::event) {
       acc.score(local);
     }
+    shared_bank.append(std::move(local_bank));
     std::lock_guard lk(merge_mu);
     counts_total += counts;
-    next.insert(next.end(), local_bank.begin(), local_bank.end());
   });
+  next = shared_bank.drain();
 
   GenerationResult g;
   g.active = active;

@@ -54,6 +54,10 @@ DistributedResult run_distributed(comm::World& world,
         full_source.begin() + static_cast<std::ptrdiff_t>(offset),
         full_source.begin() + static_cast<std::ptrdiff_t>(offset + quota));
 
+    // Deliberately the SAME derivation as the serial driver's resample
+    // stream (core/eigenvalue.cpp): rank 0 must resample exactly like the
+    // serial run for decomposition-invariant results.
+    // vmc-lint: allow(stream-overlap)
     rng::Stream resample_stream(settings.seed ^ 0xbadc0deULL);
     core::BatchStatistics k_stats;
     std::vector<double> k_history;

@@ -1,0 +1,37 @@
+#include "particle/concurrent_bank.hpp"
+
+#include <utility>
+
+namespace vmc::particle {
+
+void ConcurrentBank::reserve(std::size_t n) {
+  std::lock_guard lk(mu_);
+  sites_.reserve(n);
+}
+
+void ConcurrentBank::push(const FissionSite& site) {
+  std::lock_guard lk(mu_);
+  sites_.push_back(site);
+}
+
+void ConcurrentBank::append(std::vector<FissionSite>&& local) {
+  std::lock_guard lk(mu_);
+  if (sites_.empty()) {
+    sites_ = std::move(local);
+  } else {
+    sites_.insert(sites_.end(), local.begin(), local.end());
+  }
+  local.clear();
+}
+
+std::size_t ConcurrentBank::size() const {
+  std::lock_guard lk(mu_);
+  return sites_.size();
+}
+
+std::vector<FissionSite> ConcurrentBank::drain() {
+  std::lock_guard lk(mu_);
+  return std::exchange(sites_, {});
+}
+
+}  // namespace vmc::particle

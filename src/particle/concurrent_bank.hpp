@@ -1,0 +1,56 @@
+// Thread-safe fission-site bank.
+//
+// During a generation every worker thread produces fission sites; OpenMC-
+// derived codes have repeatedly lost reproducibility to ad-hoc shared-bank
+// races, so VectorMC funnels all cross-thread site traffic through this one
+// type instead of scattering `std::mutex` + `insert` pairs across the
+// transport loops. Workers batch sites locally and commit with a single
+// `append` per chunk, so the lock is taken O(threads) times per generation,
+// not O(sites). `drain` hands the merged bank back to the (single-threaded)
+// generation driver.
+//
+// The TSan stress harness (tests/core/test_tally_stress.cpp) hammers this
+// class from many threads; keep every member mutation under `mu_`.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "particle/particle.hpp"
+
+namespace vmc::particle {
+
+class ConcurrentBank {
+ public:
+  ConcurrentBank() = default;
+  explicit ConcurrentBank(std::size_t capacity) { reserve(capacity); }
+
+  ConcurrentBank(const ConcurrentBank&) = delete;
+  ConcurrentBank& operator=(const ConcurrentBank&) = delete;
+
+  /// Pre-size the shared buffer (call before the parallel region).
+  void reserve(std::size_t n);
+
+  /// Commit one site (hot only in stress tests; transport code batches).
+  void push(const FissionSite& site);
+
+  /// Bulk-commit a worker's local bank; `local` is left empty.
+  void append(std::vector<FissionSite>&& local);
+
+  /// Sites committed so far. Safe concurrently with push/append, but the
+  /// value is stale by the time the caller reads it.
+  std::size_t size() const;
+
+  bool empty() const { return size() == 0; }
+
+  /// Move the merged bank out and leave this bank empty. Call only after
+  /// the parallel region has joined.
+  std::vector<FissionSite> drain();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FissionSite> sites_;
+};
+
+}  // namespace vmc::particle

@@ -161,6 +161,12 @@ struct Vec {
     // over the scalar path depends on the gather overlapping many cache
     // misses at once (the effect the paper exploits on the MIC).
 #if defined(__AVX512F__)
+    // GCC's _mm512_i32gather_* seed their destination with
+    // _mm512_undefined_*(), which trips -Wmaybe-uninitialized at every
+    // inlined call site even though the gather overwrites all lanes.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
     if constexpr (std::is_same_v<T, float> && N == 16 &&
                   std::is_same_v<I, std::int32_t>) {
       Vec r;
@@ -178,6 +184,7 @@ struct Vec {
       std::memcpy(&r.v, &g, sizeof(r.v));
       return r;
     } else
+#pragma GCC diagnostic pop
 #elif defined(__AVX2__)
     if constexpr (std::is_same_v<T, float> && N == 8 &&
                   std::is_same_v<I, std::int32_t>) {

@@ -1,0 +1,226 @@
+// Race-detection harness for shared tally accumulation and the concurrent
+// fission bank.
+//
+// Functional under the default build — every assertion checks an exact,
+// deterministic total (scores are multiples of 0.25 well below 2^53, so
+// floating-point accumulation is exact in any order). Under the `tsan`
+// preset the same schedules become a ThreadSanitizer harness for the three
+// tally synchronization strategies and for ConcurrentBank push/append/drain.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/tally.hpp"
+#include "particle/concurrent_bank.hpp"
+#include "particle/particle.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using vmc::core::TallyAccumulator;
+using vmc::core::TallyMode;
+using vmc::core::TallyScores;
+using vmc::particle::ConcurrentBank;
+using vmc::particle::FissionSite;
+
+constexpr int kThreads = 8;
+constexpr int kScoresPerThread = 400;
+
+// One deterministic per-event score: every field an exact multiple of 0.25
+// drawn from the thread's own RNG stream (seeded the same way transport
+// seeds particle streams, so streams never overlap).
+TallyScores exact_score(vmc::rng::Stream& s) {
+  const auto q = [&s] {
+    return 0.25 * static_cast<double>(1 + static_cast<int>(s.next() * 8.0));
+  };
+  TallyScores t;
+  t.k_collision = q();
+  t.k_absorption = q();
+  t.k_tracklength = q();
+  t.collision = q();
+  t.absorption = q();
+  t.track_length = q();
+  t.leakage = q();
+  return t;
+}
+
+TallyScores expected_total(std::uint64_t master) {
+  TallyScores total;
+  for (int t = 0; t < kThreads; ++t) {
+    vmc::rng::Stream s = vmc::rng::Stream::for_particle(
+        master, static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kScoresPerThread; ++i) total += exact_score(s);
+  }
+  return total;
+}
+
+void hammer(TallyAccumulator& acc, std::uint64_t master, bool batch_locally) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc, master, batch_locally, t] {
+      vmc::rng::Stream s = vmc::rng::Stream::for_particle(
+          master, static_cast<std::uint64_t>(t));
+      TallyScores local;
+      for (int i = 0; i < kScoresPerThread; ++i) {
+        if (batch_locally) {
+          local += exact_score(s);
+        } else {
+          acc.score(exact_score(s));
+        }
+      }
+      if (batch_locally) acc.score(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+void expect_scores_eq(const TallyScores& a, const TallyScores& b) {
+  EXPECT_EQ(a.k_collision, b.k_collision);
+  EXPECT_EQ(a.k_absorption, b.k_absorption);
+  EXPECT_EQ(a.k_tracklength, b.k_tracklength);
+  EXPECT_EQ(a.collision, b.collision);
+  EXPECT_EQ(a.absorption, b.absorption);
+  EXPECT_EQ(a.track_length, b.track_length);
+  EXPECT_EQ(a.leakage, b.leakage);
+}
+
+TEST(TallyStress, AtomicModeMatchesSerialSum) {
+  TallyAccumulator acc(TallyMode::atomic_add);
+  hammer(acc, 1234, /*batch_locally=*/false);
+  expect_scores_eq(acc.total(), expected_total(1234));
+}
+
+TEST(TallyStress, CriticalModeMatchesSerialSum) {
+  TallyAccumulator acc(TallyMode::critical);
+  hammer(acc, 5678, /*batch_locally=*/false);
+  expect_scores_eq(acc.total(), expected_total(5678));
+}
+
+TEST(TallyStress, ThreadLocalReduceMatchesSerialSum) {
+  TallyAccumulator acc(TallyMode::thread_local_reduce);
+  hammer(acc, 91011, /*batch_locally=*/true);
+  expect_scores_eq(acc.total(), expected_total(91011));
+}
+
+TEST(TallyStress, ConcurrentReadersSeeConsistentSnapshots) {
+  // total() racing with score() must never tear a read (TSan checks the
+  // synchronization; the assertion checks monotonicity of the exact sums).
+  TallyAccumulator acc(TallyMode::critical);
+  std::thread reader([&acc] {
+    double last = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      const double c = acc.total().collision;
+      EXPECT_GE(c, last);
+      last = c;
+    }
+  });
+  hammer(acc, 111213, /*batch_locally=*/false);
+  reader.join();
+  expect_scores_eq(acc.total(), expected_total(111213));
+}
+
+// --- ConcurrentBank -------------------------------------------------------
+
+constexpr int kSitesPerThread = 500;
+
+// Encode (thread, index) into the site so drained contents are checkable.
+FissionSite site_for(int tid, int i) {
+  FissionSite s;
+  s.r = {static_cast<double>(tid), static_cast<double>(i), 0.0};
+  s.energy = 1.0 + tid;
+  return s;
+}
+
+TEST(ConcurrentBankStress, ParallelPushKeepsEverySite) {
+  ConcurrentBank bank(kThreads * kSitesPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bank, t] {
+      for (int i = 0; i < kSitesPerThread; ++i) bank.push(site_for(t, i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(bank.size(), static_cast<std::size_t>(kThreads) * kSitesPerThread);
+
+  const std::vector<FissionSite> sites = bank.drain();
+  EXPECT_TRUE(bank.empty());
+  // Every (thread, index) pair must appear exactly once.
+  std::vector<int> seen(static_cast<std::size_t>(kThreads) * kSitesPerThread,
+                        0);
+  for (const auto& s : sites) {
+    const auto tid = static_cast<std::size_t>(s.r.x);
+    const auto idx = static_cast<std::size_t>(s.r.y);
+    ASSERT_LT(tid, static_cast<std::size_t>(kThreads));
+    ASSERT_LT(idx, static_cast<std::size_t>(kSitesPerThread));
+    ++seen[tid * kSitesPerThread + idx];
+  }
+  for (const int c : seen) ASSERT_EQ(c, 1);
+}
+
+TEST(ConcurrentBankStress, ParallelBulkAppendMergesAllBatches) {
+  // The transport pattern: workers batch locally, commit once per chunk.
+  ConcurrentBank bank;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bank, t] {
+      for (int batch = 0; batch < 5; ++batch) {
+        std::vector<FissionSite> local;
+        local.reserve(kSitesPerThread / 5);
+        for (int i = 0; i < kSitesPerThread / 5; ++i) {
+          local.push_back(site_for(t, batch * (kSitesPerThread / 5) + i));
+        }
+        bank.append(std::move(local));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bank.size(), static_cast<std::size_t>(kThreads) * kSitesPerThread);
+}
+
+TEST(ConcurrentBankStress, SizeIsSafeDuringGrowth) {
+  ConcurrentBank bank;
+  std::thread observer([&bank] {
+    std::size_t last = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const std::size_t n = bank.size();
+      EXPECT_GE(n, last);
+      last = n;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&bank, t] {
+      for (int i = 0; i < kSitesPerThread; ++i) bank.push(site_for(t, i));
+    });
+  }
+  for (auto& th : writers) th.join();
+  observer.join();
+  EXPECT_EQ(bank.size(), static_cast<std::size_t>(4) * kSitesPerThread);
+}
+
+TEST(ConcurrentBankStress, DrainWhileIdleBetweenGenerations) {
+  // Generation pattern: fill in parallel, drain serially, repeat. The bank
+  // must be reusable after drain with no leftover state.
+  ConcurrentBank bank;
+  for (int gen = 0; gen < 3; ++gen) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&bank, t] {
+        std::vector<FissionSite> local;
+        for (int i = 0; i < 100; ++i) local.push_back(site_for(t, i));
+        bank.append(std::move(local));
+      });
+    }
+    for (auto& th : threads) th.join();
+    const auto sites = bank.drain();
+    EXPECT_EQ(sites.size(), static_cast<std::size_t>(kThreads) * 100);
+    EXPECT_TRUE(bank.empty());
+  }
+}
+
+}  // namespace

@@ -127,7 +127,7 @@ TEST_F(InfiniteMediumTest, AnalogFissionYieldMatchesExpectation) {
 
   // E[sites per history] = k = nu*sigma_f/sigma_a.
   const double k_exact = kNu * kSigF / kSigA;
-  EXPECT_NEAR(bank.size() / static_cast<double>(n), k_exact, 0.03 * k_exact);
+  EXPECT_NEAR(static_cast<double>(bank.size()) / static_cast<double>(n), k_exact, 0.03 * k_exact);
   // All sites inside the box, energies positive (Watt spectrum).
   for (const auto& site : bank) {
     EXPECT_LE(std::abs(site.r.x), 10.0);
@@ -190,7 +190,7 @@ TEST_F(InfiniteMediumTest, SurvivalBiasingIsUnbiased) {
   EXPECT_NEAR(tally.k_absorption / n, k_exact, 0.03 * k_exact);
   EXPECT_NEAR(tally.k_collision / n, k_exact, 0.03 * k_exact);
   // Expected banked sites per history = k (continuous banking).
-  EXPECT_NEAR(bank.size() / static_cast<double>(n), k_exact, 0.05 * k_exact);
+  EXPECT_NEAR(static_cast<double>(bank.size()) / static_cast<double>(n), k_exact, 0.05 * k_exact);
   // Absorbed weight ~ source weight (roulette is unbiased, no leakage).
   EXPECT_NEAR(tally.absorption, static_cast<double>(n), 0.05 * n);
 }

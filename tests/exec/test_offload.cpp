@@ -63,7 +63,7 @@ TEST_F(OffloadTest, IterationReportIsComplete) {
   // Grid staging uses the bulk rate; check against the model formula.
   const auto& dev = runtime_->device().spec();
   EXPECT_NEAR(rep.model_grid_transfer_s,
-              dev.pcie_latency_s + rep.grid_bytes / (dev.pcie_bulk_gbs * 1e9),
+              dev.pcie_latency_s + static_cast<double>(rep.grid_bytes) / (dev.pcie_bulk_gbs * 1e9),
               1e-9);
 }
 
@@ -100,9 +100,11 @@ TEST_F(OffloadTest, Fig3RatiosTrendCorrectly) {
   const auto small = runtime_->ratios(w, 100);
   const auto mid = runtime_->ratios(w, 10000);
   const auto large = runtime_->ratios(w, 1000000);
-  EXPECT_GT(small.xs_mic, large.xs_mic);
+  EXPECT_GT(small.xs_mic, mid.xs_mic);
+  EXPECT_GT(mid.xs_mic, large.xs_mic);
   EXPECT_LT(small.xs_cpu, large.xs_cpu);
-  EXPECT_GE(small.offload, large.offload);
+  EXPECT_GE(small.offload, mid.offload);
+  EXPECT_GE(mid.offload, large.offload);
   // Asymptotically the host lookup share must stay below 1 (it is part of
   // the generation).
   EXPECT_LT(large.xs_cpu, 1.0);

@@ -106,7 +106,7 @@ TEST_F(CollisionFixture, FissionYieldMatchesNu) {
     }
   }
   ASSERT_GT(fissions, 1000);
-  EXPECT_NEAR(total_neutrons / static_cast<double>(fissions), 2.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(total_neutrons) / static_cast<double>(fissions), 2.5, 0.02);
 }
 
 TEST_F(CollisionFixture, ScatterPreservesDirectionNorm) {

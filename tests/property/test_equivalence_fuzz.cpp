@@ -102,9 +102,9 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{33, false}, FuzzCase{44, true},
                       FuzzCase{55, true}, FuzzCase{66, true},
                       FuzzCase{0xABCDEF, true}),
-    [](const ::testing::TestParamInfo<FuzzCase>& info) {
-      return "seed" + std::to_string(info.param.seed) +
-             (info.param.full_physics ? "_full" : "_vecfriendly");
+    [](const ::testing::TestParamInfo<FuzzCase>& tpi) {
+      return "seed" + std::to_string(tpi.param.seed) +
+             (tpi.param.full_physics ? "_full" : "_vecfriendly");
     });
 
 }  // namespace

@@ -68,7 +68,7 @@ TEST(RngProperty, CrossStreamCorrelationIsNegligible) {
   // Particle streams i and j must be uncorrelated for all tested pairs.
   const std::uint64_t master = 97;
   const int n = 20000;
-  for (const auto [i, j] : {std::pair{0, 1}, std::pair{1, 2},
+  for (const auto& [i, j] : {std::pair{0, 1}, std::pair{1, 2},
                             std::pair{0, 1000}, std::pair{7, 7000000}}) {
     Stream a = Stream::for_particle(master, static_cast<std::uint64_t>(i));
     Stream b = Stream::for_particle(master, static_cast<std::uint64_t>(j));

@@ -32,7 +32,9 @@ TEST(AlignedVector, StaysAlignedAcrossGrowth) {
   aligned_vector<double> v;
   for (int i = 0; i < 10000; ++i) {
     v.push_back(i);
-    if ((i & 1023) == 0) EXPECT_TRUE(is_aligned(v.data()));
+    if ((i & 1023) == 0) {
+      EXPECT_TRUE(is_aligned(v.data()));
+    }
   }
   EXPECT_TRUE(is_aligned(v.data()));
   EXPECT_EQ(v.size(), 10000u);
@@ -65,7 +67,7 @@ TEST(AlignedAllocator, EqualityAndRebind) {
 
 TEST(AlignedAllocator, ThrowsOnOverflow) {
   vmc::simd::AlignedAllocator<double> a;
-  EXPECT_THROW(a.allocate(SIZE_MAX / 2), std::bad_array_new_length);
+  EXPECT_THROW((void)a.allocate(SIZE_MAX / 2), std::bad_array_new_length);
 }
 
 }  // namespace

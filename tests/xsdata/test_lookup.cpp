@@ -131,8 +131,8 @@ INSTANTIATE_TEST_SUITE_P(
                       LibCase{"tiny_thinned", 3, 1200},
                       LibCase{"odd_tail_thinned", 21, 3000},
                       LibCase{"hm_small_thinned", 34, 2048}),
-    [](const ::testing::TestParamInfo<LibCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<LibCase>& tpi) {
+      return tpi.param.name;
     });
 
 TEST_P(LookupTest, TotalHistoryMatchesFullHistory) {

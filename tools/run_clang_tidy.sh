@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the VectorMC sources with the repo's .clang-tidy
+# profile.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [file...]
+#
+#   build-dir   a configured CMake build tree with compile_commands.json
+#               (default: build). Configured automatically if missing.
+#   file...     restrict the run to these sources (e.g. the files changed in
+#               a PR); default is every .cpp under src/ and tools/.
+#
+# Exits 0 when clang-tidy is not installed (the container toolchain is
+# GCC-only; CI installs clang-tidy in the lint job) so local ctest runs
+# don't fail on a missing optional tool.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (install it or" \
+       "use the CI lint job)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: generating compile_commands.json in ${build_dir}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DVMC_NATIVE_ARCH=OFF >/dev/null
+fi
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tools" \
+                            -name '*.cpp' | sort)
+fi
+# Drop anything without a compile command (headers, removed files).
+srcs=()
+for f in "${files[@]}"; do
+  [[ "$f" == *.cpp ]] && srcs+=("$f")
+done
+if [[ ${#srcs[@]} -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no .cpp files to check"
+  exit 0
+fi
+
+echo "run_clang_tidy.sh: checking ${#srcs[@]} file(s)"
+status=0
+for f in "${srcs[@]}"; do
+  clang-tidy -p "${build_dir}" --quiet "$f" || status=1
+done
+exit ${status}

@@ -1,0 +1,429 @@
+// vmc_lint — VectorMC-specific static checks the compiler can't do.
+//
+// The SIMD/banking design only wins if a handful of project invariants hold
+// everywhere, forever. Each is enforced here and registered as a CTest:
+//
+//   raw-alloc        No raw new[] / malloc-family allocation in the SIMD,
+//                    particle-bank, or cross-section layers: every kernel
+//                    buffer must come from vmc::simd::aligned allocation so
+//                    the 64-byte-alignment contract (paper, Algorithm 4)
+//                    can't silently rot.
+//   unaligned-simd-buffer
+//                    No plain std::vector<arithmetic> in src/simd/ or the
+//                    banked lookup kernels — use simd::aligned_vector.
+//   raw-rand         No rand()/std::rand()/srand() outside src/rng/: the
+//                    reproducibility contract requires every draw to come
+//                    from a per-particle LCG stream.
+//   hot-loop-mutex   No mutex/lock/condvar types in per-particle transport
+//                    code (physics, geometry, multipole, SoA bank, history
+//                    and event loops). Cross-thread traffic must go through
+//                    the sanctioned types (ConcurrentBank, TallyAccumulator,
+//                    ThreadPool) that live outside the hot path.
+//   stream-overlap   Two direct rng::Stream constructions with the same
+//                    seed-derivation expression produce the SAME stream —
+//                    a silent correlation bug. Every direct construction in
+//                    library code must use a distinct derivation (or
+//                    Stream::for_particle).
+//
+// A deliberate exception is annotated on its line (or the line above) with:
+//     vmc-lint: allow(<rule-name>)
+//
+// Usage:
+//   vmc_lint <repo-root>    scan src/ and tools/ under <repo-root>
+//   vmc_lint --self-test    run each rule against seeded positive/negative
+//                           snippets and fail if any rule mis-fires
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string rel_path;             // forward-slash path relative to root
+  std::vector<std::string> raw;     // original lines (marker detection)
+  std::vector<std::string> code;    // lines with comments/strings blanked
+};
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool has_allow_marker(const SourceFile& f, std::size_t line_idx,
+                      const std::string& rule) {
+  const std::string marker = "vmc-lint: allow(" + rule + ")";
+  if (f.raw[line_idx].find(marker) != std::string::npos) return true;
+  return line_idx > 0 &&
+         f.raw[line_idx - 1].find(marker) != std::string::npos;
+}
+
+// Blank out comments and string/char literals, preserving line structure so
+// reported line numbers match the file. Rules then match real code only,
+// while allow-markers are still found in the raw text.
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string r;
+    r.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          r += "  ";
+          i += 2;
+        } else {
+          r += ' ';
+          ++i;
+        }
+      } else if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // rest of line is a comment
+      } else if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        r += "  ";
+        i += 2;
+      } else if (line[i] == '"' || line[i] == '\'') {
+        const char q = line[i];
+        r += q;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            r += "  ";
+            i += 2;
+          } else if (line[i] == q) {
+            r += q;
+            ++i;
+            break;
+          } else {
+            r += ' ';
+            ++i;
+          }
+        }
+      } else {
+        r += line[i];
+        ++i;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// --- rule scoping ----------------------------------------------------------
+
+bool in_any_dir(const std::string& rel,
+                std::initializer_list<std::string_view> dirs) {
+  for (const auto d : dirs) {
+    if (starts_with(rel, d)) return true;
+  }
+  return false;
+}
+
+bool raw_alloc_scope(const std::string& rel) {
+  return in_any_dir(rel, {"src/simd/", "src/particle/", "src/xsdata/"});
+}
+
+bool aligned_buffer_scope(const std::string& rel) {
+  return in_any_dir(rel, {"src/simd/"}) ||
+         starts_with(rel, "src/xsdata/lookup.");
+}
+
+bool raw_rand_scope(const std::string& rel) {
+  return !in_any_dir(rel, {"src/rng/"});
+}
+
+bool hot_loop_scope(const std::string& rel) {
+  return in_any_dir(rel, {"src/simd/", "src/physics/", "src/geom/",
+                          "src/multipole/", "src/hm/", "src/rng/"}) ||
+         starts_with(rel, "src/core/history.") ||
+         starts_with(rel, "src/core/event.") ||
+         starts_with(rel, "src/particle/bank.");
+}
+
+bool stream_overlap_scope(const std::string& rel) {
+  // Library + tools code only: benches/examples are separate processes, so
+  // a repeated literal seed across them is not an in-process overlap.
+  return (in_any_dir(rel, {"src/", "tools/"}) &&
+          !in_any_dir(rel, {"src/rng/"}));
+}
+
+// --- per-line rules --------------------------------------------------------
+
+const std::regex kRawAlloc(
+    R"(\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bfree\s*\(|\b_mm_malloc\b|\bnew\s+[A-Za-z_][\w:<>,\s]*\[)");
+const std::regex kPlainVector(
+    R"(std::vector<\s*(float|double|char|short|int|long|unsigned|std::u?int\d+_t|std::size_t|std::ptrdiff_t)\b)");
+const std::regex kRawRand(R"(\bstd::rand\b|\bsrand\s*\(|\brand\s*\()");
+const std::regex kMutexFamily(
+    R"(std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable))");
+// Direct construction: `Stream name(args)`, `Stream name{args}`, or a
+// temporary `Stream(args)`. Stream::for_particle is the sanctioned factory;
+// `StreamSet` and `Stream&` parameter declarations must not match.
+const std::regex kStreamCtor(
+    R"(\bStream(?:\s+[A-Za-z_]\w*)?\s*[({]([^)}]*)[)}])");
+const std::regex kIntLiteral(R"(0[xX][0-9a-fA-F]+|\b\d+\b)");
+
+// Two seed derivations overlap when they mix in the same constants, even if
+// the non-constant part is spelled differently (`settings.seed` vs
+// `settings_.seed`): the tag constants ARE the stream identity. Key a
+// construction by its integer literals when it has any, else by the
+// whitespace-stripped expression.
+std::string derivation_key(const std::string& args) {
+  std::string lits;
+  for (auto it = std::sregex_iterator(args.begin(), args.end(), kIntLiteral);
+       it != std::sregex_iterator(); ++it) {
+    if (!lits.empty()) lits += ',';
+    lits += it->str();
+  }
+  if (!lits.empty()) return lits;
+  std::string out;
+  for (const char c : args) {
+    if (c != ' ' && c != '\t') out += c;
+  }
+  return out;
+}
+
+void scan_file(const SourceFile& f, std::vector<Violation>& out,
+               std::map<std::string, std::vector<std::pair<std::string, std::size_t>>>&
+                   stream_ctors) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (line.empty()) continue;
+
+    if (raw_alloc_scope(f.rel_path) &&
+        std::regex_search(line, kRawAlloc) &&
+        !has_allow_marker(f, i, "raw-alloc")) {
+      out.push_back({f.rel_path, i + 1, "raw-alloc",
+                     "raw allocation in an aligned-buffer layer; use "
+                     "vmc::simd::aligned_vector / AlignedAllocator"});
+    }
+
+    if (aligned_buffer_scope(f.rel_path) &&
+        std::regex_search(line, kPlainVector) &&
+        line.find("AlignedAllocator") == std::string::npos &&
+        !has_allow_marker(f, i, "unaligned-simd-buffer")) {
+      out.push_back({f.rel_path, i + 1, "unaligned-simd-buffer",
+                     "plain std::vector of arithmetic type in SIMD kernel "
+                     "code; use simd::aligned_vector"});
+    }
+
+    if (raw_rand_scope(f.rel_path) &&
+        std::regex_search(line, kRawRand) &&
+        !has_allow_marker(f, i, "raw-rand")) {
+      out.push_back({f.rel_path, i + 1, "raw-rand",
+                     "rand()/srand() outside src/rng/; draw from a "
+                     "vmc::rng::Stream instead"});
+    }
+
+    if (hot_loop_scope(f.rel_path) &&
+        std::regex_search(line, kMutexFamily) &&
+        !has_allow_marker(f, i, "hot-loop-mutex")) {
+      out.push_back({f.rel_path, i + 1, "hot-loop-mutex",
+                     "mutex/lock/condvar in per-particle hot-path code; "
+                     "route cross-thread traffic through ConcurrentBank / "
+                     "TallyAccumulator / ThreadPool"});
+    }
+
+    if (stream_overlap_scope(f.rel_path)) {
+      std::smatch m;
+      std::string tail = line;
+      while (std::regex_search(tail, m, kStreamCtor)) {
+        const std::string args = m[1].str();
+        // Default construction and the factory path are fine.
+        if (!args.empty() && args.find("for_particle") == std::string::npos &&
+            !has_allow_marker(f, i, "stream-overlap")) {
+          stream_ctors[derivation_key(args)].push_back({f.rel_path, i + 1});
+        }
+        tail = m.suffix().str();
+      }
+    }
+  }
+}
+
+void finish_stream_rule(
+    const std::map<std::string,
+                   std::vector<std::pair<std::string, std::size_t>>>& ctors,
+    std::vector<Violation>& out) {
+  for (const auto& [args, sites] : ctors) {
+    if (sites.size() < 2) continue;
+    for (const auto& [file, line] : sites) {
+      out.push_back({file, line, "stream-overlap",
+                     "rng::Stream seed derivation [" + args + "] appears at " +
+                     std::to_string(sites.size()) +
+                     " sites: identical streams => correlated histories. "
+                     "Use a distinct xor tag or Stream::for_particle"});
+    }
+  }
+}
+
+std::vector<Violation> scan_tree(const fs::path& root) {
+  std::vector<Violation> out;
+  std::map<std::string, std::vector<std::pair<std::string, std::size_t>>>
+      stream_ctors;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
+        continue;
+      }
+      // Skip the linter itself: its rule tables contain the very tokens the
+      // rules search for.
+      if (e.path().filename() == "vmc_lint.cpp") continue;
+      SourceFile f;
+      f.rel_path = fs::relative(e.path(), root).generic_string();
+      std::ifstream in(e.path());
+      std::string line;
+      while (std::getline(in, line)) f.raw.push_back(line);
+      f.code = strip_comments(f.raw);
+      scan_file(f, out, stream_ctors);
+    }
+  }
+  finish_stream_rule(stream_ctors, out);
+  return out;
+}
+
+// --- self test -------------------------------------------------------------
+
+SourceFile make_file(const std::string& rel, const std::string& content) {
+  SourceFile f;
+  f.rel_path = rel;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) f.raw.push_back(line);
+  f.code = strip_comments(f.raw);
+  return f;
+}
+
+int self_test() {
+  struct Case {
+    const char* name;
+    const char* rel;
+    const char* content;
+    const char* rule;   // rule expected to fire; "" = expect clean
+  };
+  const Case cases[] = {
+      {"malloc in simd fires", "src/simd/kernel.cpp",
+       "double* p = (double*)malloc(n * sizeof(double));", "raw-alloc"},
+      {"array new in bank fires", "src/particle/scratch.cpp",
+       "auto* buf = new float[n];", "raw-alloc"},
+      {"malloc outside scope is clean", "src/comm/comm.cpp",
+       "void* p = malloc(64);", ""},
+      {"malloc in comment is clean", "src/simd/kernel.cpp",
+       "// the paper used _mm_malloc here", ""},
+      {"allow marker silences raw-alloc", "src/simd/kernel.cpp",
+       "// vmc-lint: allow(raw-alloc)\nauto* p = new double[8];", ""},
+      {"plain vector in simd fires", "src/simd/sweep.cpp",
+       "std::vector<double> buf(n);", "unaligned-simd-buffer"},
+      {"plain vector in banked lookup fires", "src/xsdata/lookup.cpp",
+       "std::vector<float> xs(n);", "unaligned-simd-buffer"},
+      {"aligned vector is clean", "src/simd/sweep.cpp",
+       "simd::aligned_vector<double> buf(n);", ""},
+      {"vector of structs is clean", "src/simd/sweep.cpp",
+       "std::vector<Span> spans;", ""},
+      {"rand in physics fires", "src/physics/collision.cpp",
+       "const int r = rand();", "raw-rand"},
+      {"std::rand in tools fires", "tools/vmc_run.cpp",
+       "double u = std::rand() / (double)RAND_MAX;", "raw-rand"},
+      {"rand inside identifier is clean", "src/physics/collision.cpp",
+       "const double strand(int);", ""},
+      {"rand in src/rng is clean", "src/rng/compat.hpp",
+       "inline int wrap() { return rand(); }", ""},
+      {"mutex in collision fires", "src/physics/collision.cpp",
+       "static std::mutex mu;", "hot-loop-mutex"},
+      {"lock_guard in SoA bank fires", "src/particle/bank.cpp",
+       "std::lock_guard lk(mu_);", "hot-loop-mutex"},
+      {"mutex in thread pool is clean", "src/exec/thread_pool.cpp",
+       "std::mutex mu_;", ""},
+      {"mutex in concurrent bank is clean", "src/particle/concurrent_bank.cpp",
+       "std::lock_guard lk(mu_);", ""},
+      {"duplicate stream tags fire", "src/core/a.cpp",
+       "rng::Stream s(seed ^ 0xbadc0deULL);\n"
+       "rng::Stream t(seed ^ 0xbadc0deULL);", "stream-overlap"},
+      {"distinct stream tags are clean", "src/core/b.cpp",
+       "rng::Stream s(seed ^ 0x11ULL);\nrng::Stream t(seed ^ 0x22ULL);", ""},
+      {"for_particle is clean", "src/core/c.cpp",
+       "auto s = rng::Stream::for_particle(master, id);\n"
+       "auto t = rng::Stream::for_particle(master, id2);", ""},
+      {"allowed mirror stream is clean", "src/exec/d.cpp",
+       "rng::Stream a(seed ^ 0x7ULL);\n"
+       "// vmc-lint: allow(stream-overlap)\n"
+       "rng::Stream b(seed ^ 0x7ULL);", ""},
+  };
+
+  int failures = 0;
+  for (const Case& c : cases) {
+    std::vector<Violation> out;
+    std::map<std::string, std::vector<std::pair<std::string, std::size_t>>>
+        ctors;
+    scan_file(make_file(c.rel, c.content), out, ctors);
+    finish_stream_rule(ctors, out);
+    const bool fired = !out.empty();
+    const bool want_fire = c.rule[0] != '\0';
+    bool ok = fired == want_fire;
+    if (ok && want_fire) {
+      ok = false;
+      for (const auto& v : out) {
+        if (v.rule == c.rule) ok = true;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "SELF-TEST FAIL: %s (expected %s, got %zu "
+                   "violation(s)%s%s)\n",
+                   c.name, want_fire ? c.rule : "clean", out.size(),
+                   fired ? ": " : "", fired ? out.front().rule.c_str() : "");
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("vmc_lint self-test: %zu cases ok\n",
+                sizeof(cases) / sizeof(cases[0]));
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string_view(argv[1]) == "--self-test") {
+    return self_test();
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: vmc_lint <repo-root> | --self-test\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "vmc_lint: %s has no src/ directory\n", argv[1]);
+    return 2;
+  }
+  const std::vector<Violation> vs = scan_tree(root);
+  for (const auto& v : vs) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (vs.empty()) {
+    std::printf("vmc_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "vmc_lint: %zu violation(s)\n", vs.size());
+  return 1;
+}

@@ -119,7 +119,8 @@ int main(int argc, char** argv) {
   const hm::Model model = hm::build_model(mo);
   std::printf("library: %d nuclides, %zu union-grid points, %.1f MB\n",
               model.library.n_nuclides(), model.library.union_grid().size(),
-              (model.library.union_bytes() + model.library.pointwise_bytes()) /
+              static_cast<double>(model.library.union_bytes() +
+                                  model.library.pointwise_bytes()) /
                   1e6);
 
   if (args.plot) {
