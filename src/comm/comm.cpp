@@ -4,11 +4,15 @@
 #include <stdexcept>
 #include <thread>
 
+#include "resil/fault.hpp"
+
 namespace vmc::comm {
 
 World::World(int n_ranks) : size_(n_ranks) {
   if (n_ranks < 1) throw std::invalid_argument("World needs >= 1 rank");
   mail_.resize(static_cast<std::size_t>(size_) * static_cast<std::size_t>(size_));
+  dead_.assign(static_cast<std::size_t>(size_), 0);
+  alive_count_ = size_;
   reduce_slots_.resize(static_cast<std::size_t>(size_));
   coll_slots_.resize(static_cast<std::size_t>(size_));
 }
@@ -25,8 +29,18 @@ void World::run(const std::function<void(Comm&)>& fn) {
       try {
         fn(c);
       } catch (...) {
-        std::lock_guard lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // A rank that died by exception is dead to its peers too: without
+        // this, survivors blocked on its messages or barriers would hang
+        // until their timeouts instead of failing fast.
+        {
+          std::lock_guard lk(mu_);
+          mark_dead_locked(r);
+        }
+        cv_.notify_all();
       }
     });
   }
@@ -34,8 +48,53 @@ void World::run(const std::function<void(Comm&)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void World::mark_dead_locked(int rank) {
+  if (dead_[static_cast<std::size_t>(rank)] != 0) return;
+  dead_[static_cast<std::size_t>(rank)] = 1;
+  --alive_count_;
+  // A dead rank's stale reduction slot must never leak into a later
+  // collective among the survivors.
+  reduce_slots_[static_cast<std::size_t>(rank)].clear();
+  coll_slots_[static_cast<std::size_t>(rank)].clear();
+  // If every remaining live rank is already parked in the barrier, the
+  // death completes it — otherwise the survivors would wait forever for a
+  // rank that will never arrive.
+  if (alive_count_ > 0 && barrier_waiting_ == alive_count_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+  }
+}
+
+void Comm::die() {
+  {
+    std::lock_guard lk(world_.mu_);
+    world_.mark_dead_locked(rank_);
+  }
+  world_.cv_.notify_all();
+}
+
+bool Comm::alive(int r) const {
+  if (r < 0 || r >= size_) return false;
+  std::lock_guard lk(world_.mu_);
+  return world_.dead_[static_cast<std::size_t>(r)] == 0;
+}
+
+std::vector<int> Comm::dead_ranks() const {
+  std::lock_guard lk(world_.mu_);
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r) {
+    if (world_.dead_[static_cast<std::size_t>(r)] != 0) out.push_back(r);
+  }
+  return out;
+}
+
 void Comm::send_bytes(int dest, int tag, const std::byte* p, std::size_t n) {
   if (dest < 0 || dest >= size_) throw std::out_of_range("bad dest rank");
+  if (resil::fault_fires("comm.send", static_cast<std::uint64_t>(dest))) {
+    throw Error("injected comm.send fault: rank " + std::to_string(rank_) +
+                " -> rank " + std::to_string(dest) + " tag " +
+                std::to_string(tag));
+  }
   std::vector<std::byte> msg(p, p + n);
   {
     std::lock_guard lk(world_.mu_);
@@ -53,11 +112,48 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   auto& box =
       world_.mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size_) +
                    static_cast<std::size_t>(rank_)];
-  world_.cv_.wait(lk, [&] {
+  const auto ready = [&] {
     auto it = box.find(tag);
-    return it != box.end() && !it->second.messages.empty();
-  });
-  auto& fifo = box[tag].messages;
+    if (it != box.end() && !it->second.messages.empty()) return true;
+    // A dead sender will never deliver: wake up and fail loudly below
+    // rather than deadlock the survivor.
+    return world_.dead_[static_cast<std::size_t>(src)] != 0;
+  };
+  world_.cv_.wait(lk, ready);
+  auto it = box.find(tag);
+  if (it == box.end() || it->second.messages.empty()) {
+    throw Error("recv from dead rank " + std::to_string(src) + " tag " +
+                std::to_string(tag) + " at rank " + std::to_string(rank_));
+  }
+  auto& fifo = it->second.messages;
+  std::vector<std::byte> out = std::move(fifo.front());
+  fifo.pop_front();
+  return out;
+}
+
+std::vector<std::byte> Comm::recv_bytes_for(int src, int tag,
+                                            std::chrono::milliseconds timeout) {
+  if (src < 0 || src >= size_) throw std::out_of_range("bad src rank");
+  std::unique_lock lk(world_.mu_);
+  auto& box =
+      world_.mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size_) +
+                   static_cast<std::size_t>(rank_)];
+  const auto ready = [&] {
+    auto it = box.find(tag);
+    if (it != box.end() && !it->second.messages.empty()) return true;
+    return world_.dead_[static_cast<std::size_t>(src)] != 0;
+  };
+  if (!world_.cv_.wait_for(lk, timeout, ready)) {
+    throw Error("recv timeout (" + std::to_string(timeout.count()) +
+                " ms) waiting for rank " + std::to_string(src) + " tag " +
+                std::to_string(tag) + " at rank " + std::to_string(rank_));
+  }
+  auto it = box.find(tag);
+  if (it == box.end() || it->second.messages.empty()) {
+    throw Error("recv from dead rank " + std::to_string(src) + " tag " +
+                std::to_string(tag) + " at rank " + std::to_string(rank_));
+  }
+  auto& fifo = it->second.messages;
   std::vector<std::byte> out = std::move(fifo.front());
   fifo.pop_front();
   return out;
@@ -66,7 +162,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
 void Comm::barrier() {
   std::unique_lock lk(world_.mu_);
   const std::uint64_t gen = world_.barrier_generation_;
-  if (++world_.barrier_waiting_ == size_) {
+  if (++world_.barrier_waiting_ >= world_.alive_count_locked()) {
     world_.barrier_waiting_ = 0;
     ++world_.barrier_generation_;
     world_.cv_.notify_all();
@@ -85,6 +181,7 @@ std::vector<double> Comm::allreduce_sum(const std::vector<double>& v) {
   {
     std::lock_guard lk(world_.mu_);
     for (int r = 0; r < size_; ++r) {
+      if (world_.dead_[static_cast<std::size_t>(r)] != 0) continue;
       const auto& slot = world_.reduce_slots_[static_cast<std::size_t>(r)];
       if (slot.size() != out.size()) {
         throw std::logic_error("allreduce size mismatch across ranks");
@@ -113,6 +210,7 @@ double Comm::allreduce_max(double v) {
   {
     std::lock_guard lk(world_.mu_);
     for (int r = 0; r < size_; ++r) {
+      if (world_.dead_[static_cast<std::size_t>(r)] != 0) continue;
       const auto& slot = world_.reduce_slots_[static_cast<std::size_t>(r)];
       if (!slot.empty() && slot[0] > out) out = slot[0];
     }

@@ -8,8 +8,18 @@
 // (per (source, dest, tag) FIFO). The distributed-scaling *figures* combine
 // this (for correctness at small rank counts) with comm/cluster_model.hpp
 // (for projected cost at Stampede scale).
+//
+// Resilience: ranks can die (Comm::die, driven by the `comm.rank_death`
+// fault point in exec/distributed.cpp). The collectives are dead-aware —
+// barrier counts only live ranks, allreduce/gather skip dead contributions,
+// bcast skips dead destinations — so survivors never hang on a dead peer,
+// and the per-generation health check in the distributed driver can observe
+// deaths (Comm::dead_ranks) and rebalance. Blocking recv from a dead rank
+// throws comm::Error instead of hanging; recv_for adds a timeout for links
+// that stall without a detected death.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -18,10 +28,19 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
 namespace vmc::comm {
+
+/// Communication failure: empty/malformed message, recv timeout, peer death,
+/// or an injected `comm.send` fault. What MPI reports through error codes,
+/// we report through this type.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class World;
 
@@ -43,10 +62,17 @@ class Comm {
   template <class T>
   std::vector<T> recv(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::byte> raw = recv_bytes(src, tag);
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
+    return unpack<T>(recv_bytes(src, tag));
+  }
+
+  /// recv with a deadline: throws comm::Error if no message from
+  /// (src, tag) arrives within `timeout` — a stalled link becomes a
+  /// diagnosable failure instead of a hung campaign.
+  template <class T>
+  std::vector<T> recv_for(int src, int tag,
+                          std::chrono::milliseconds timeout) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return unpack<T>(recv_bytes_for(src, tag, timeout));
   }
 
   /// Scalar convenience wrappers.
@@ -56,35 +82,65 @@ class Comm {
   }
   template <class T>
   T recv_value(int src, int tag) {
-    return recv<T>(src, tag).at(0);
+    const std::vector<T> v = recv<T>(src, tag);
+    if (v.empty()) {
+      throw Error("recv_value: empty message from rank " +
+                  std::to_string(src) + " tag " + std::to_string(tag) +
+                  " at rank " + std::to_string(rank_) +
+                  " (expected exactly one value)");
+    }
+    return v[0];
   }
 
-  /// All ranks wait until everyone arrives.
+  /// All live ranks wait until everyone arrives.
   void barrier();
 
-  /// Element-wise sum across ranks; every rank gets the result.
+  /// Element-wise sum across live ranks; every rank gets the result.
   std::vector<double> allreduce_sum(const std::vector<double>& v);
   double allreduce_sum(double v);
   std::uint64_t allreduce_sum(std::uint64_t v);
 
-  /// Element-wise max across ranks.
+  /// Element-wise max across live ranks.
   double allreduce_max(double v);
 
   /// Root's data replaces everyone's.
   template <class T>
   void bcast(std::vector<T>& data, int root);
 
-  /// Root receives the concatenation of all ranks' vectors (rank order);
-  /// non-roots receive an empty vector.
+  /// Root receives the concatenation of all live ranks' vectors (rank
+  /// order); non-roots receive an empty vector.
   template <class T>
   std::vector<T> gather(const std::vector<T>& mine, int root);
+
+  // --- failure model --------------------------------------------------------
+
+  /// This rank dies: it is removed from every collective from now on and its
+  /// reduction slot is cleared. The caller must return from its World::run
+  /// function immediately after (a dead rank must not communicate again).
+  void die();
+
+  /// True if `r` has not died.
+  bool alive(int r) const;
+
+  /// Ranks that have died so far, ascending. Survivors use this at a sync
+  /// point (after a barrier) as the per-generation health check.
+  std::vector<int> dead_ranks() const;
 
  private:
   friend class World;
   Comm(World& w, int rank, int size) : world_(w), rank_(rank), size_(size) {}
 
+  template <class T>
+  static std::vector<T> unpack(const std::vector<std::byte>& raw) {
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
   void send_bytes(int dest, int tag, const std::byte* p, std::size_t n);
   std::vector<std::byte> recv_bytes(int src, int tag);
+  std::vector<std::byte> recv_bytes_for(int src, int tag,
+                                        std::chrono::milliseconds timeout);
 
   World& world_;
   int rank_;
@@ -108,13 +164,21 @@ class World {
     std::deque<std::vector<std::byte>> messages;
   };
 
+  // All require mu_ held.
+  int alive_count_locked() const { return alive_count_; }
+  void mark_dead_locked(int rank);
+
   int size_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   // (src * size + dest) -> tag -> FIFO
   std::vector<std::map<int, Mailbox>> mail_;
 
-  // Barrier state (generation-counting).
+  // Failure model: dead_[r] set once by Comm::die, never cleared.
+  std::vector<char> dead_;
+  int alive_count_ = 0;
+
+  // Barrier state (generation-counting, dead-aware).
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
@@ -130,7 +194,7 @@ void Comm::bcast(std::vector<T>& data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (rank_ == root) {
     for (int r = 0; r < size_; ++r) {
-      if (r != root) send(r, /*tag=*/-2, data);
+      if (r != root && alive(r)) send(r, /*tag=*/-2, data);
     }
   } else {
     data = recv<T>(root, /*tag=*/-2);
@@ -145,7 +209,7 @@ std::vector<T> Comm::gather(const std::vector<T>& mine, int root) {
     for (int r = 0; r < size_; ++r) {
       if (r == root) {
         all.insert(all.end(), mine.begin(), mine.end());
-      } else {
+      } else if (alive(r)) {
         const std::vector<T> part = recv<T>(r, /*tag=*/-3);
         all.insert(all.end(), part.begin(), part.end());
       }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "core/statepoint.hpp"
 #include "particle/concurrent_bank.hpp"
 #include "prof/profiler.hpp"
 
@@ -180,15 +181,36 @@ GenerationResult Simulation::run_generation(
 
 RunResult Simulation::run() {
   RunResult result;
-  std::vector<particle::FissionSite> source = initial_source();
+  std::vector<particle::FissionSite> source;
   rng::Stream resample_stream(settings_.seed ^ 0xbadc0deULL);
+  int first_gen = 0;
+
+  if (!settings_.resume_from.empty()) {
+    // Crash recovery: pick the campaign up exactly where the last good
+    // checkpoint left it — same source, same resampling-stream state, same
+    // generation index, so the k history continues bit-for-bit as if the
+    // interruption never happened (tested in tests/resil).
+    const StatePoint sp = read_statepoint(settings_.resume_from);
+    if (sp.seed != settings_.seed) {
+      throw std::runtime_error(
+          "statepoint seed does not match settings.seed: refusing to resume "
+          "a different campaign");
+    }
+    first_gen = sp.generations_completed;
+    result.k_collision_history = sp.k_history;
+    source = sp.source;
+    resample_stream = rng::Stream(sp.resample_state);
+  } else {
+    source = initial_source();
+  }
+  result.first_generation = first_gen;
 
   BatchStatistics k_stats;
   const int total_gens = settings_.n_inactive + settings_.n_active;
   std::uint64_t active_particles = 0;
   std::uint64_t inactive_particles = 0;
 
-  for (int gen = 0; gen < total_gens; ++gen) {
+  for (int gen = first_gen; gen < total_gens; ++gen) {
     const bool active = gen >= settings_.n_inactive;
     std::vector<particle::FissionSite> next;
     next.reserve(source.size() * 2);
@@ -204,9 +226,21 @@ RunResult Simulation::run() {
       inactive_particles += source.size();
     }
     result.counts_total += g.counts;
+    result.k_collision_history.push_back(g.k_collision);
     result.generations.push_back(std::move(g));
 
     source = resample_bank(next, settings_.n_particles, resample_stream);
+
+    if (settings_.checkpoint_every > 0 && !settings_.checkpoint_path.empty() &&
+        (gen + 1) % settings_.checkpoint_every == 0) {
+      StatePoint sp;
+      sp.seed = settings_.seed;
+      sp.resample_state = resample_stream.state();
+      sp.generations_completed = gen + 1;
+      sp.k_history = result.k_collision_history;
+      sp.source = source;
+      write_statepoint(settings_.checkpoint_path, sp);
+    }
   }
 
   result.k_eff = k_stats.mean();

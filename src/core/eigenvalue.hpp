@@ -43,6 +43,18 @@ struct Settings {
   geom::Position source_lo{-100, -100, -100};
   geom::Position source_hi{100, 100, 100};
   int entropy_mesh = 8;  // Shannon-entropy mesh cells per axis
+
+  // --- crash-consistent checkpointing (resilience subsystem) --------------
+  /// Write a statepoint to `checkpoint_path` every `checkpoint_every`
+  /// completed generations (0 = never). Writes are atomic (temp + rename):
+  /// a crash mid-write preserves the previous checkpoint.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Resume a campaign from this statepoint instead of sampling a fresh
+  /// initial source. The file's seed must match `seed` (mixing campaigns is
+  /// an error); generations already completed are not re-run, and the
+  /// restored k history is prepended to RunResult::k_collision_history.
+  std::string resume_from;
 };
 
 struct GenerationResult {
@@ -68,6 +80,12 @@ struct RunResult {
   EventCounts counts_active;   // summed over active generations
   EventCounts counts_total;
   std::vector<GenerationResult> generations;
+  /// Collision-estimator k for EVERY completed generation of the campaign,
+  /// including generations restored from a resume_from statepoint — the
+  /// restart-equivalence invariant is that this vector is identical whether
+  /// or not the campaign was interrupted.
+  std::vector<double> k_collision_history;
+  int first_generation = 0;    // 0 unless resumed from a checkpoint
 };
 
 class Simulation {

@@ -1,16 +1,26 @@
 #include "core/statepoint.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+
+#include "resil/crc32.hpp"
+#include "resil/fault.hpp"
 
 namespace vmc::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'V', 'M', 'C', 'S'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+
+// magic + version + seed + resample_state + generations + nk + ns.
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8 + 8 + 4 + 8 + 8;
+constexpr std::uint64_t kSiteBytes = 4 * sizeof(double);
+constexpr std::uint64_t kCrcBytes = sizeof(std::uint32_t);
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -19,20 +29,52 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-template <class T>
-void write_pod(std::FILE* f, const T& v) {
-  if (std::fwrite(&v, sizeof(T), 1, f) != 1) {
-    throw std::runtime_error("statepoint write failed");
-  }
-}
+// Every byte written also feeds the running CRC, so the checksum covers
+// exactly what lands in the file.
+struct CheckedWriter {
+  std::FILE* f;
+  resil::Crc32 crc;
 
-template <class T>
-T read_pod(std::FILE* f) {
-  T v;
-  if (std::fread(&v, sizeof(T), 1, f) != 1) {
-    throw std::runtime_error("statepoint truncated");
+  void write(const void* p, std::size_t n) {
+    if (std::fwrite(p, 1, n, f) != n) {
+      throw std::runtime_error("statepoint write failed");
+    }
+    crc.update(p, n);
   }
-  return v;
+  template <class T>
+  void write_pod(const T& v) {
+    write(&v, sizeof(T));
+  }
+};
+
+struct CheckedReader {
+  std::FILE* f;
+  resil::Crc32 crc;
+
+  void read(void* p, std::size_t n) {
+    if (std::fread(p, 1, n, f) != n) {
+      throw std::runtime_error("statepoint truncated");
+    }
+    crc.update(p, n);
+  }
+  template <class T>
+  T read_pod() {
+    T v;
+    read(&v, sizeof(T));
+    return v;
+  }
+};
+
+std::uint64_t file_size(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    throw std::runtime_error("statepoint seek failed");
+  }
+  const long size = std::ftell(f);
+  if (size < 0) throw std::runtime_error("statepoint size query failed");
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    throw std::runtime_error("statepoint seek failed");
+  }
+  return static_cast<std::uint64_t>(size);
 }
 
 }  // namespace
@@ -54,59 +96,117 @@ bool StatePoint::operator==(const StatePoint& o) const {
 }
 
 void write_statepoint(const std::string& path, const StatePoint& sp) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("cannot open statepoint for writing: " + path);
-  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
-    throw std::runtime_error("statepoint write failed");
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) {
+      throw std::runtime_error("cannot open statepoint for writing: " + tmp);
+    }
+    CheckedWriter w{f.get(), {}};
+    w.write(kMagic, 4);
+    w.write_pod(kVersion);
+    w.write_pod(sp.seed);
+    w.write_pod(sp.resample_state);
+    w.write_pod(sp.generations_completed);
+    w.write_pod(static_cast<std::uint64_t>(sp.k_history.size()));
+    w.write_pod(static_cast<std::uint64_t>(sp.source.size()));
+    for (const double k : sp.k_history) w.write_pod(k);
+
+    // Injected crash: the process "dies" after the header and k history but
+    // before the bank and CRC make it out — a torn .tmp file is left behind,
+    // exactly what a power cut mid-checkpoint produces. The atomic-rename
+    // protocol below must keep `path` (the last good checkpoint) valid.
+    if (resil::fault_fires("statepoint.write")) {
+      std::fflush(f.get());
+      throw std::runtime_error("statepoint write failed: injected crash (" +
+                               tmp + " left torn)");
+    }
+
+    for (const auto& s : sp.source) {
+      w.write_pod(s.r.x);
+      w.write_pod(s.r.y);
+      w.write_pod(s.r.z);
+      w.write_pod(s.energy);
+    }
+    const std::uint32_t crc = w.crc.value();
+    if (std::fwrite(&crc, sizeof(crc), 1, f.get()) != 1) {
+      throw std::runtime_error("statepoint write failed");
+    }
+    if (std::fflush(f.get()) != 0) {
+      throw std::runtime_error("statepoint flush failed");
+    }
+    // Durability before the rename: the tmp file's bytes must be on disk
+    // before it can replace the last good checkpoint.
+    if (::fsync(::fileno(f.get())) != 0) {
+      throw std::runtime_error("statepoint fsync failed");
+    }
   }
-  write_pod(f.get(), kVersion);
-  write_pod(f.get(), sp.seed);
-  write_pod(f.get(), sp.resample_state);
-  write_pod(f.get(), sp.generations_completed);
-  write_pod(f.get(), static_cast<std::uint64_t>(sp.k_history.size()));
-  write_pod(f.get(), static_cast<std::uint64_t>(sp.source.size()));
-  for (const double k : sp.k_history) write_pod(f.get(), k);
-  for (const auto& s : sp.source) {
-    write_pod(f.get(), s.r.x);
-    write_pod(f.get(), s.r.y);
-    write_pod(f.get(), s.r.z);
-    write_pod(f.get(), s.energy);
-  }
-  if (std::fflush(f.get()) != 0) {
-    throw std::runtime_error("statepoint flush failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("statepoint rename failed: " + tmp + " -> " +
+                             path);
   }
 }
 
 StatePoint read_statepoint(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("cannot open statepoint: " + path);
+  const std::uint64_t size = file_size(f.get());
+  if (size < kHeaderBytes + kCrcBytes) {
+    throw std::runtime_error("statepoint truncated: " + path);
+  }
+
+  CheckedReader r{f.get(), {}};
   char magic[4];
-  if (std::fread(magic, 1, 4, f.get()) != 4 ||
-      std::memcmp(magic, kMagic, 4) != 0) {
+  r.read(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
     throw std::runtime_error("not a VectorMC statepoint: " + path);
   }
-  const auto version = read_pod<std::uint32_t>(f.get());
+  const auto version = r.read_pod<std::uint32_t>();
   if (version != kVersion) {
     throw std::runtime_error("unsupported statepoint version");
   }
   StatePoint sp;
-  sp.seed = read_pod<std::uint64_t>(f.get());
-  sp.resample_state = read_pod<std::uint64_t>(f.get());
-  sp.generations_completed = read_pod<std::int32_t>(f.get());
-  const auto nk = read_pod<std::uint64_t>(f.get());
-  const auto ns = read_pod<std::uint64_t>(f.get());
+  sp.seed = r.read_pod<std::uint64_t>();
+  sp.resample_state = r.read_pod<std::uint64_t>();
+  sp.generations_completed = r.read_pod<std::int32_t>();
+  const auto nk = r.read_pod<std::uint64_t>();
+  const auto ns = r.read_pod<std::uint64_t>();
+
+  // Bounds-check the header counts against the actual file size BEFORE
+  // trusting them: a bit flip in nk/ns must not drive a multi-gigabyte
+  // reserve or a silent short read. The expected size must match exactly —
+  // a longer file means trailing garbage (torn rename, concatenated junk)
+  // and is rejected just like truncation.
+  const std::uint64_t body = size - kHeaderBytes - kCrcBytes;
+  if (nk > body / sizeof(double) ||
+      ns > (body - nk * sizeof(double)) / kSiteBytes ||
+      kHeaderBytes + nk * sizeof(double) + ns * kSiteBytes + kCrcBytes !=
+          size) {
+    throw std::runtime_error(
+        "statepoint header counts inconsistent with file size: " + path);
+  }
+
   sp.k_history.reserve(nk);
   for (std::uint64_t i = 0; i < nk; ++i) {
-    sp.k_history.push_back(read_pod<double>(f.get()));
+    sp.k_history.push_back(r.read_pod<double>());
   }
   sp.source.reserve(ns);
   for (std::uint64_t i = 0; i < ns; ++i) {
     particle::FissionSite s;
-    s.r.x = read_pod<double>(f.get());
-    s.r.y = read_pod<double>(f.get());
-    s.r.z = read_pod<double>(f.get());
-    s.energy = read_pod<double>(f.get());
+    s.r.x = r.read_pod<double>();
+    s.r.y = r.read_pod<double>();
+    s.r.z = r.read_pod<double>();
+    s.energy = r.read_pod<double>();
     sp.source.push_back(s);
+  }
+  const std::uint32_t expected = r.crc.value();
+  std::uint32_t stored = 0;
+  if (std::fread(&stored, sizeof(stored), 1, f.get()) != 1) {
+    throw std::runtime_error("statepoint truncated: " + path);
+  }
+  if (stored != expected) {
+    throw std::runtime_error("statepoint CRC mismatch (corrupt file): " +
+                             path);
   }
   return sp;
 }

@@ -3,10 +3,18 @@
 // OpenMC's statepoint capability, needed for long full-core campaigns and
 // for the restart-equivalence tests.
 //
-// Format: a fixed little-endian header (magic "VMCS", version, counts)
-// followed by the resampling-stream state, per-generation k values, and the
-// source sites as raw (x, y, z, E) doubles. Self-describing enough for
-// round-tripping between runs of the same build; not an archival format.
+// Format v2: a fixed little-endian header (magic "VMCS", version, counts)
+// followed by the resampling-stream state, per-generation k values, the
+// source sites as raw (x, y, z, E) doubles, and a trailing CRC-32 over
+// everything before it. Self-describing enough for round-tripping between
+// runs of the same build; not an archival format.
+//
+// Crash consistency: write_statepoint serializes to `path + ".tmp"`, flushes
+// and fsyncs, then atomically renames over `path` — a crash mid-write leaves
+// the previous good checkpoint untouched. read_statepoint validates the
+// header counts against the actual file size (rejecting truncation AND
+// trailing garbage) and verifies the CRC, so a torn or bit-flipped file is
+// always detected rather than silently resumed from.
 #pragma once
 
 #include <cstdint>
@@ -27,11 +35,16 @@ struct StatePoint {
   bool operator==(const StatePoint& o) const;
 };
 
-/// Serialize to `path` (overwrites). Throws std::runtime_error on I/O error.
+/// Serialize to `path` via write-to-temp + flush + fsync + atomic rename.
+/// Throws std::runtime_error on I/O error; on failure `path` still holds its
+/// previous content. Fault point `statepoint.write` (resilience subsystem)
+/// simulates a crash mid-write: a torn `path + ".tmp"` is left behind and
+/// std::runtime_error is thrown, with `path` intact.
 void write_statepoint(const std::string& path, const StatePoint& sp);
 
 /// Deserialize from `path`. Throws std::runtime_error on I/O error or
-/// malformed content (bad magic/version/truncation).
+/// malformed content: bad magic/version, header counts inconsistent with the
+/// file size (truncated, torn, or trailing-garbage files), or CRC mismatch.
 StatePoint read_statepoint(const std::string& path);
 
 }  // namespace vmc::core

@@ -1,12 +1,22 @@
 #include "exec/distributed.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "core/eigenvalue.hpp"
+#include "exec/load_balance.hpp"
+#include "resil/fault.hpp"
 
 namespace vmc::exec {
+
+namespace {
+// Per-block fission-bank sends use tags kBankTagBase + block id, well clear
+// of the driver's other traffic and the collectives' reserved tags.
+constexpr int kBankTagBase = 1000;
+}  // namespace
 
 DistributedResult run_distributed(comm::World& world,
                                   const geom::Geometry& geometry,
@@ -21,9 +31,12 @@ DistributedResult run_distributed(comm::World& world,
   if (quota_sum != settings.n_total) {
     throw std::invalid_argument("quotas must sum to n_total");
   }
-  std::vector<std::size_t> offsets(quotas.size(), 0);
-  for (std::size_t r = 1; r < quotas.size(); ++r) {
-    offsets[r] = offsets[r - 1] + quotas[r - 1];
+  // Tally blocks: block b == rank b's original quota, fixed for the whole
+  // run. Ownership migrates on death; boundaries never do.
+  const std::size_t n_blocks = quotas.size();
+  std::vector<std::size_t> offsets(n_blocks, 0);
+  for (std::size_t b = 1; b < n_blocks; ++b) {
+    offsets[b] = offsets[b - 1] + quotas[b - 1];
   }
 
   DistributedResult result;
@@ -31,17 +44,23 @@ DistributedResult run_distributed(comm::World& world,
   std::mutex result_mu;
 
   world.run([&](comm::Comm& c) {
-    const std::size_t rank = static_cast<std::size_t>(c.rank());
-    const std::size_t quota = quotas[rank];
-    const std::size_t offset = offsets[rank];
+    const int my_rank = c.rank();
 
     physics::Collision coll(lib, settings.physics);
     const core::HistoryTracker tracker(geometry, lib, coll, settings.tracker);
 
+    // Every rank tracks block ownership identically: it is a deterministic
+    // function of the dead set, which all survivors read at the same sync
+    // point each generation.
+    std::vector<int> owner(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) owner[b] = static_cast<int>(b);
+    std::size_t blocks_replayed = 0;
+
     // Global initial source: every rank generates the identical full source
     // (deterministic from the seed — sampling is negligible next to
-    // transport) and takes its slice. This mirrors the serial driver
-    // exactly.
+    // transport). Keeping it WHOLE on every rank is what makes adoption
+    // free: a survivor replays an orphaned block straight from its own copy
+    // of the banked source, no recovery traffic needed.
     core::Settings serial_like;
     serial_like.n_particles = settings.n_total;
     serial_like.seed = settings.seed;
@@ -50,9 +69,6 @@ DistributedResult run_distributed(comm::World& world,
     const core::Simulation source_maker(geometry, lib, serial_like);
     std::vector<particle::FissionSite> full_source =
         source_maker.initial_source();
-    std::vector<particle::FissionSite> my_source(
-        full_source.begin() + static_cast<std::ptrdiff_t>(offset),
-        full_source.begin() + static_cast<std::ptrdiff_t>(offset + quota));
 
     // Deliberately the SAME derivation as the serial driver's resample
     // stream (core/eigenvalue.cpp): rank 0 must resample exactly like the
@@ -66,50 +82,111 @@ DistributedResult run_distributed(comm::World& world,
     const int total_gens = settings.n_inactive + settings.n_active;
     for (int gen = 0; gen < total_gens; ++gen) {
       const bool active = gen >= settings.n_inactive;
-      core::TallyScores tally;
-      core::EventCounts counts;
-      std::vector<particle::FissionSite> local_bank;
-      local_bank.reserve(quota * 3);
 
+      // --- fault window + per-generation health check --------------------
+      // Deaths fire only here, before the barrier, so by the time the
+      // barrier completes every survivor reads the same dead set — and no
+      // rank can reach the NEXT generation's fault window until this
+      // generation's collectives (which need every survivor) are done.
+      if (resil::fault_fires("comm.rank_death",
+                             static_cast<std::uint64_t>(my_rank))) {
+        c.die();
+        return;
+      }
+      c.barrier();
+      const std::vector<int> dead = c.dead_ranks();
+      if (!dead.empty() && dead.front() == 0) {
+        throw comm::Error(
+            "rank 0 (resampling root) died: unrecoverable — the root owns "
+            "the resample stream state");
+      }
+      reassign_orphan_blocks(owner, quotas, dead, c.size());
+      if (my_rank == 0) {
+        for (std::size_t b = 0; b < n_blocks; ++b) {
+          if (owner[b] != static_cast<int>(b)) ++blocks_replayed;
+        }
+      }
+
+      // --- transport: every block I own, as one unit, in source order ----
       // Globally indexed particle ids: identical histories to the serial
-      // driver's id scheme (gen * (n_total + 1) + global index).
+      // driver's id scheme (gen * (n_total + 1) + global index) no matter
+      // which rank transports the block.
       const std::uint64_t id_base =
           static_cast<std::uint64_t>(gen) * (settings.n_total + 1);
-      for (std::size_t i = 0; i < quota; ++i) {
-        particle::Particle p = particle::Particle::born(
-            settings.seed, id_base + offset + i, my_source[i].r,
-            my_source[i].energy);
-        tracker.track(p, tally, counts, local_bank);
+      std::vector<double> block_tallies(3 * n_blocks, 0.0);
+      std::vector<std::vector<particle::FissionSite>> block_banks(n_blocks);
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (owner[b] != my_rank) continue;
+        core::TallyScores tally;
+        core::EventCounts counts;
+        auto& bank = block_banks[b];
+        bank.reserve(quotas[b] * 3);
+        for (std::size_t i = 0; i < quotas[b]; ++i) {
+          const auto& site = full_source[offsets[b] + i];
+          particle::Particle p = particle::Particle::born(
+              settings.seed, id_base + offsets[b] + i, site.r, site.energy);
+          tracker.track(p, tally, counts, bank);
+        }
+        block_tallies[3 * b + 0] = tally.k_collision;
+        block_tallies[3 * b + 1] = tally.absorption;
+        block_tallies[3 * b + 2] = tally.leakage;
       }
 
       // --- the per-batch communication pattern ---------------------------
-      // 1. allreduce the global tallies,
-      const std::vector<double> global = c.allreduce_sum(
-          {tally.k_collision, tally.absorption, tally.leakage});
-      const double k_gen = global[0] / static_cast<double>(settings.n_total);
+      // 1. allreduce the block-structured tallies. Exactly one rank is
+      //    nonzero in each block's slots (adding the others' zeros is
+      //    exact), and the scalars are then summed in FIXED block order —
+      //    the two properties that make recovery bit-identical.
+      const std::vector<double> global = c.allreduce_sum(block_tallies);
+      double k_coll = 0.0;
+      double leak = 0.0;
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        k_coll += global[3 * b + 0];
+        leak += global[3 * b + 2];
+      }
+      const double k_gen = k_coll / static_cast<double>(settings.n_total);
       k_history.push_back(k_gen);
       if (active) {
         k_stats.add(k_gen);
-        active_leak += global[2];
+        active_leak += leak;
       }
 
-      // 2. gather the fission bank (rank order == global particle order),
-      std::vector<particle::FissionSite> all_sites =
-          c.gather(local_bank, /*root=*/0);
+      // 2. assemble the fission bank at the root in BLOCK order (== global
+      //    particle order) via per-block tagged sends. recv_for keeps a
+      //    stalled survivor from hanging the campaign.
+      std::vector<particle::FissionSite> all_sites;
+      if (my_rank == 0) {
+        for (std::size_t b = 0; b < n_blocks; ++b) {
+          if (owner[b] == 0) {
+            all_sites.insert(all_sites.end(), block_banks[b].begin(),
+                             block_banks[b].end());
+          } else {
+            const std::vector<particle::FissionSite> part =
+                c.recv_for<particle::FissionSite>(
+                    owner[b], kBankTagBase + static_cast<int>(b),
+                    settings.recv_timeout);
+            all_sites.insert(all_sites.end(), part.begin(), part.end());
+          }
+        }
+      } else {
+        for (std::size_t b = 0; b < n_blocks; ++b) {
+          if (owner[b] == my_rank) {
+            c.send(0, kBankTagBase + static_cast<int>(b), block_banks[b]);
+          }
+        }
+      }
 
-      // 3. root resamples to n_total, everyone receives the new source.
+      // 3. root resamples to n_total, everyone receives the new FULL source.
       std::vector<particle::FissionSite> next_full;
-      if (c.rank() == 0) {
+      if (my_rank == 0) {
         next_full = core::resample_bank(all_sites, settings.n_total,
                                         resample_stream);
       }
       c.bcast(next_full, 0);
-      my_source.assign(
-          next_full.begin() + static_cast<std::ptrdiff_t>(offset),
-          next_full.begin() + static_cast<std::ptrdiff_t>(offset + quota));
+      full_source = std::move(next_full);
     }
 
-    if (c.rank() == 0) {
+    if (my_rank == 0) {
       std::lock_guard lk(result_mu);
       result.k_eff = k_stats.mean();
       result.k_std = k_stats.std_err();
@@ -117,6 +194,8 @@ DistributedResult run_distributed(comm::World& world,
       result.leakage_fraction =
           active_leak / (static_cast<double>(settings.n_total) *
                          std::max(1, settings.n_active));
+      result.dead_ranks = c.dead_ranks();
+      result.blocks_replayed = blocks_replayed;
     }
   });
 

@@ -11,8 +11,27 @@
 // floating-point summation-order precision (tested in
 // tests/exec/test_distributed.cpp) — the property that makes Eq. 3's
 // heterogeneous splits safe to use.
+//
+// Resilience (rank-failure recovery): the per-generation tallies are
+// reduced BLOCK-structured — one tally block per ORIGINAL rank quota, fixed
+// for the whole run, each occupying its own slots of the allreduce vector.
+// When the `comm.rank_death` fault point kills a rank at a generation
+// start, the survivors detect it at the health-check barrier, re-home the
+// dead rank's blocks whole onto the least-loaded survivor
+// (load_balance.hpp, reassign_orphan_blocks — the alpha=1 instance of
+// Eq. 3), and replay the orphaned particles from the banked source every
+// rank already holds. Because a block is always transported as one unit in
+// source order, its partial sums are identical no matter which rank runs
+// it, and because blocks are summed in fixed block order (each allreduce
+// slot has exactly one nonzero contributor; adding zeros is exact), k_eff
+// and k_per_generation are BIT-IDENTICAL to the fault-free run. The fission
+// bank is assembled at the root in block order via per-block tagged sends
+// with a recv timeout, so a stalled survivor surfaces as comm::Error rather
+// than a hang. Death of rank 0 (the resampling root) is unrecoverable and
+// throws. Chaos-tested in tests/resil/test_chaos_distributed.cpp.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +53,9 @@ struct DistributedSettings {
   core::TrackerOptions tracker;
   geom::Position source_lo{-1, -1, -1};
   geom::Position source_hi{1, 1, 1};
+  /// Deadline for the root's per-block fission-bank receives; a survivor
+  /// that stalls past this throws comm::Error instead of hanging the run.
+  std::chrono::milliseconds recv_timeout{60000};
 };
 
 struct DistributedResult {
@@ -41,7 +63,10 @@ struct DistributedResult {
   double k_std = 0.0;
   std::vector<double> k_per_generation;  // collision estimator
   double leakage_fraction = 0.0;         // over active generations
-  std::vector<std::size_t> quotas;       // particles per rank
+  std::vector<std::size_t> quotas;       // particles per rank (= tally blocks)
+  // Resilience outcome:
+  std::vector<int> dead_ranks;       // ranks that died during the run
+  std::size_t blocks_replayed = 0;   // block-generations run by an adopter
 };
 
 /// Run the eigenvalue iteration across `world`'s ranks with the given

@@ -65,6 +65,45 @@ std::vector<std::size_t> per_rank_counts(std::size_t n_total, int p_mic,
   return counts;
 }
 
+std::size_t reassign_orphan_blocks(std::vector<int>& owner,
+                                   const std::vector<std::size_t>& block_sizes,
+                                   const std::vector<int>& dead_ranks,
+                                   int n_ranks) {
+  if (owner.size() != block_sizes.size()) {
+    throw std::invalid_argument("one size per block required");
+  }
+  std::vector<char> dead(static_cast<std::size_t>(n_ranks), 0);
+  for (const int r : dead_ranks) {
+    if (r < 0 || r >= n_ranks) throw std::invalid_argument("bad dead rank");
+    dead[static_cast<std::size_t>(r)] = 1;
+  }
+  std::vector<std::size_t> load(static_cast<std::size_t>(n_ranks), 0);
+  for (std::size_t b = 0; b < owner.size(); ++b) {
+    const int r = owner[b];
+    if (r < 0 || r >= n_ranks) throw std::invalid_argument("bad block owner");
+    if (dead[static_cast<std::size_t>(r)] == 0) {
+      load[static_cast<std::size_t>(r)] += block_sizes[b];
+    }
+  }
+  std::size_t moved = 0;
+  for (std::size_t b = 0; b < owner.size(); ++b) {
+    if (dead[static_cast<std::size_t>(owner[b])] == 0) continue;
+    int best = -1;
+    for (int r = 0; r < n_ranks; ++r) {
+      if (dead[static_cast<std::size_t>(r)] != 0) continue;
+      if (best < 0 ||
+          load[static_cast<std::size_t>(r)] < load[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    if (best < 0) throw std::runtime_error("no live rank left to adopt blocks");
+    owner[b] = best;
+    load[static_cast<std::size_t>(best)] += block_sizes[b];
+    ++moved;
+  }
+  return moved;
+}
+
 std::vector<std::size_t> uniform_counts(std::size_t n_total, int ranks) {
   if (ranks <= 0) throw std::invalid_argument("ranks must be positive");
   std::vector<std::size_t> counts(static_cast<std::size_t>(ranks),

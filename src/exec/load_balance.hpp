@@ -34,6 +34,20 @@ std::vector<std::size_t> per_rank_counts(std::size_t n_total, int p_mic,
 /// Uniform (unbalanced, OpenMC-default) per-rank counts.
 std::vector<std::size_t> uniform_counts(std::size_t n_total, int ranks);
 
+/// Failure recovery: re-home every block whose owner appears in
+/// `dead_ranks` onto the least-loaded live rank (load = particles currently
+/// owned; ties break to the lowest rank id). This is the Eq. 3 split with
+/// alpha = 1 applied at block granularity: blocks move WHOLE, never
+/// subdivided, because subdividing would change the floating-point
+/// summation order inside the block and break bit-identical recovery.
+/// Orphans are processed in ascending block order so every rank computes
+/// the identical assignment from the identical dead set. Returns the number
+/// of blocks that moved. Throws if no live rank remains.
+std::size_t reassign_orphan_blocks(std::vector<int>& owner,
+                                   const std::vector<std::size_t>& block_sizes,
+                                   const std::vector<int>& dead_ranks,
+                                   int n_ranks);
+
 /// Runtime alpha estimator: observes per-batch (cpu_rate, mic_rate) pairs
 /// and exposes a smoothed alpha for the next batch.
 class AlphaEstimator {

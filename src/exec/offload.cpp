@@ -37,10 +37,24 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
   }
   rep.wall_bank_s = prof::now_seconds() - t0;
 
-  // --- banked SIMD sweep (real, timed) -------------------------------------
+  // --- banked SIMD sweep (real, timed; the "device" leg) -------------------
+  // Fault point offload.compute: a transient device failure is retried with
+  // backoff; a persistent one degrades this iteration to the scalar host
+  // sweep — same physics, host throughput.
   std::vector<xs::XsSet> out(n);
   const double t1 = prof::now_seconds();
-  xs::macro_xs_banked(lib_, material, bank.energy, out);
+  try {
+    rep.retries += resil::retry_with_backoff(retry_, [&] {
+      if (resil::fault_fires("offload.compute", 0)) {
+        throw resil::FaultError(
+            "injected offload.compute fault (banked lookup sweep)");
+      }
+      xs::macro_xs_banked(lib_, material, bank.energy, out);
+    });
+  } catch (const resil::TransientError&) {
+    rep.degraded = true;
+    xs::macro_xs_banked_scalar(lib_, material, bank.energy, out);
+  }
   rep.wall_banked_lookup_s = prof::now_seconds() - t1;
 
   // --- scalar control sweep (real, timed) ----------------------------------
@@ -51,7 +65,20 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
   // --- Sigma_t-only sweeps (what Algorithm 1 / Fig. 2 actually compute) ----
   std::vector<double> totals(n);
   const double t3 = prof::now_seconds();
-  xs::macro_total_banked(lib_, material, bank.energy, totals);
+  try {
+    rep.retries += resil::retry_with_backoff(retry_, [&] {
+      if (resil::fault_fires("offload.compute", 1)) {
+        throw resil::FaultError(
+            "injected offload.compute fault (banked total sweep)");
+      }
+      xs::macro_total_banked(lib_, material, bank.energy, totals);
+    });
+  } catch (const resil::TransientError&) {
+    rep.degraded = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      totals[i] = xs::macro_total_history(lib_, material, bank.energy[i]);
+    }
+  }
   rep.wall_banked_total_s = prof::now_seconds() - t3;
   const double t4 = prof::now_seconds();
   for (std::size_t i = 0; i < n; ++i) {
@@ -111,40 +138,104 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
   // fills buffer `nxt` — the classic double buffer.
   simd::aligned_vector<double> staging[2];
   simd::aligned_vector<double> totals[2];
+
+  struct StageState {
+    int retries = 0;
+    bool degraded = false;
+  };
+
+  // The "DMA" leg: ship [b, e) into staging[buf]. Fault point
+  // offload.transfer is keyed by the stage index so the injection schedule
+  // is deterministic no matter how the two pool lanes interleave. Transient
+  // faults are retried with backoff; exhausted retries mean the bank never
+  // reached the device and the stage degrades to the host path.
+  const auto transfer_stage = [&](int stage, std::size_t b, std::size_t e,
+                                  int buf) {
+    StageState st;
+    try {
+      st.retries = resil::retry_with_backoff(retry_, [&] {
+        if (resil::fault_fires("offload.transfer",
+                               static_cast<std::uint64_t>(stage))) {
+          throw resil::FaultError("injected offload.transfer fault, stage " +
+                                  std::to_string(stage));
+        }
+        staging[buf].assign(energies.begin() + static_cast<std::ptrdiff_t>(b),
+                            energies.begin() + static_cast<std::ptrdiff_t>(e));
+      });
+    } catch (const resil::TransientError&) {
+      st.degraded = true;
+    }
+    return st;
+  };
+
   const double t0 = prof::now_seconds();
 
   // Prime the first transfer (cannot be hidden).
   std::size_t begin = 0;
   std::size_t end = std::min(n, chunk);
-  staging[0].assign(energies.begin() + static_cast<std::ptrdiff_t>(begin),
-                    energies.begin() + static_cast<std::ptrdiff_t>(end));
   int cur = 0;
+  int stage = 0;
+  StageState cur_transfer = transfer_stage(stage, begin, end, cur);
   double checksum = 0.0;
   while (begin < n) {
     const std::size_t next_begin = end;
     const std::size_t next_end = std::min(n, next_begin + chunk);
     const int nxt = 1 - cur;
 
+    StageState next_transfer;
     std::future<void> transfer;
     if (next_begin < n) {
-      transfer = pool.submit([&, next_begin, next_end, nxt] {
-        staging[nxt].assign(
-            energies.begin() + static_cast<std::ptrdiff_t>(next_begin),
-            energies.begin() + static_cast<std::ptrdiff_t>(next_end));
+      transfer = pool.submit([&, next_begin, next_end, nxt, stage] {
+        next_transfer = transfer_stage(stage + 1, next_begin, next_end, nxt);
       });
     }
-    auto compute = pool.submit([&, cur] {
-      totals[cur].resize(staging[cur].size());
-      xs::macro_total_banked(lib_, material, staging[cur], totals[cur]);
+    StageState comp;
+    auto compute = pool.submit([&, cur, begin, end, stage] {
+      if (cur_transfer.degraded) {
+        // Graceful degradation: the bank never made it across the link, so
+        // sweep the pristine host-resident energies with the scalar host
+        // kernel. Same checksum, host-rate throughput.
+        totals[cur].resize(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          totals[cur][i - begin] =
+              xs::macro_total_history(lib_, material, energies[i]);
+        }
+        return;
+      }
+      try {
+        comp.retries = resil::retry_with_backoff(retry_, [&] {
+          if (resil::fault_fires("offload.compute",
+                                 static_cast<std::uint64_t>(stage))) {
+            throw resil::FaultError("injected offload.compute fault, stage " +
+                                    std::to_string(stage));
+          }
+          totals[cur].resize(staging[cur].size());
+          xs::macro_total_banked(lib_, material, staging[cur], totals[cur]);
+        });
+      } catch (const resil::TransientError&) {
+        // The bank IS on the device but its sweep keeps failing: fall back
+        // to the scalar host kernel over the staged copy.
+        comp.degraded = true;
+        totals[cur].resize(staging[cur].size());
+        for (std::size_t i = 0; i < staging[cur].size(); ++i) {
+          totals[cur][i] =
+              xs::macro_total_history(lib_, material, staging[cur][i]);
+        }
+      }
     });
     compute.get();
     if (transfer.valid()) transfer.get();
     for (const double t : totals[cur]) checksum += t;
 
+    run.retries += cur_transfer.retries + comp.retries;
+    if (cur_transfer.degraded || comp.degraded) ++run.degraded_stages;
+
     ++run.n_stages;
+    ++stage;
     begin = next_begin;
     end = next_end;
     cur = nxt;
+    cur_transfer = next_transfer;
   }
   run.wall_s = prof::now_seconds() - t0;
   run.checksum = checksum;

@@ -1,0 +1,51 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for statepoint
+// integrity: any single-byte corruption — and any burst up to 32 bits — in a
+// checkpoint payload is detected on read, which the property fuzz test
+// (tests/property/test_statepoint_fuzz.cpp) exercises byte by byte.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vmc::resil {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0u ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC-32: feed chunks, read value() at the end.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      crc_ = detail::kCrc32Table[(crc_ ^ p[i]) & 0xFFu] ^ (crc_ >> 8);
+    }
+  }
+  std::uint32_t value() const { return crc_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+inline std::uint32_t crc32(const void* data, std::size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.value();
+}
+
+}  // namespace vmc::resil

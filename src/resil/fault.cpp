@@ -1,0 +1,185 @@
+#include "resil/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace vmc::resil {
+
+namespace {
+
+// SplitMix64 finalizer: full-avalanche mix so the Bernoulli decision for
+// (seed, point, key, hit) is statistically independent across all four
+// coordinates. The LCG in src/rng is deliberately not reused here — fault
+// decisions must never perturb or correlate with physics streams.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool known_point(std::string_view point) {
+  for (const auto p : kFaultPoints) {
+    if (p == point) return true;
+  }
+  return false;
+}
+
+// Armed-plan state. Counters live here, not in FaultPlan, so the same plan
+// object can be re-armed from scratch. Everything behind the mutex — the
+// armed path is test-only and its cost is irrelevant; the UNarmed path never
+// reaches this file's lock.
+struct ArmedState {
+  std::mutex mu;
+  std::vector<FaultPlan::Rule> rules;
+  std::map<std::pair<std::string, std::uint64_t>, std::uint64_t> hit_counts;
+  std::map<std::string, std::uint64_t, std::less<>> point_hits;
+  std::map<std::string, std::uint64_t, std::less<>> point_fires;
+};
+
+ArmedState& state() {
+  static ArmedState s;
+  return s;
+}
+
+// Fast-path guard: non-null iff a plan is armed. Points at the function-local
+// static (never freed), so a racing fault site can never observe a dangling
+// pointer; arm()/disarm() are specified to happen at quiescent points.
+std::atomic<ArmedState*> g_armed{nullptr};
+
+bool rule_fires(const FaultPlan::Rule& r, std::string_view point,
+                std::uint64_t key, std::uint64_t hit) {
+  if (r.point != point) return false;
+  if (r.key != kAnyKey && r.key != key) return false;
+  if (r.every_hit) return true;
+  if (std::find(r.fire_on.begin(), r.fire_on.end(), hit) != r.fire_on.end()) {
+    return true;
+  }
+  if (r.probability > 0.0) {
+    const std::uint64_t h =
+        mix64(r.seed ^ mix64(fnv1a(point) ^ mix64(key ^ mix64(hit))));
+    const double u = static_cast<double>(h >> 11) * 0x1p-53;
+    return u < r.probability;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::fail_at(std::string_view point,
+                              std::vector<std::uint64_t> hits,
+                              std::uint64_t key) {
+  Rule r;
+  r.point = std::string(point);
+  r.key = key;
+  r.fire_on = std::move(hits);
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+FaultPlan& FaultPlan::always(std::string_view point, std::uint64_t key) {
+  Rule r;
+  r.point = std::string(point);
+  r.key = key;
+  r.every_hit = true;
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_probability(std::string_view point, double p,
+                                       std::uint64_t seed,
+                                       std::uint64_t key) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault probability must be in [0, 1]");
+  }
+  Rule r;
+  r.point = std::string(point);
+  r.key = key;
+  r.probability = p;
+  r.seed = seed;
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+void arm(const FaultPlan& plan) {
+  for (const auto& r : plan.rules()) {
+    if (!known_point(r.point)) {
+      throw std::invalid_argument("unknown fault point: " + r.point);
+    }
+  }
+  ArmedState& s = state();
+  {
+    std::lock_guard lk(s.mu);
+    s.rules = plan.rules();
+    s.hit_counts.clear();
+    s.point_hits.clear();
+    s.point_fires.clear();
+  }
+  g_armed.store(&s, std::memory_order_release);
+}
+
+void disarm() {
+  g_armed.store(nullptr, std::memory_order_release);
+  ArmedState& s = state();
+  std::lock_guard lk(s.mu);
+  s.rules.clear();
+  s.hit_counts.clear();
+  // point_hits / point_fires survive until the next arm(): a chaos test can
+  // disarm (PlanGuard leaves scope) and still assert how often the campaign
+  // actually injected.
+}
+
+bool fault_fires(std::string_view point, std::uint64_t key) {
+  ArmedState* s = g_armed.load(std::memory_order_relaxed);
+  if (s == nullptr) return false;  // the zero-cost path
+
+  std::lock_guard lk(s->mu);
+  const std::uint64_t hit =
+      s->hit_counts[{std::string(point), key}]++;
+  auto hit_it = s->point_hits.find(point);
+  if (hit_it == s->point_hits.end()) {
+    s->point_hits.emplace(std::string(point), 1);
+  } else {
+    ++hit_it->second;
+  }
+  for (const auto& r : s->rules) {
+    if (rule_fires(r, point, key, hit)) {
+      auto fire_it = s->point_fires.find(point);
+      if (fire_it == s->point_fires.end()) {
+        s->point_fires.emplace(std::string(point), 1);
+      } else {
+        ++fire_it->second;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t fires(std::string_view point) {
+  ArmedState& s = state();
+  std::lock_guard lk(s.mu);
+  const auto it = s.point_fires.find(point);
+  return it == s.point_fires.end() ? 0 : it->second;
+}
+
+std::uint64_t hits(std::string_view point) {
+  ArmedState& s = state();
+  std::lock_guard lk(s.mu);
+  const auto it = s.point_hits.find(point);
+  return it == s.point_hits.end() ? 0 : it->second;
+}
+
+}  // namespace vmc::resil

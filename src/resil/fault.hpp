@@ -1,0 +1,119 @@
+// Deterministic fault injection: the resilience subsystem's trigger side.
+//
+// Long campaigns at the paper's 512-MIC scale lose coprocessors, PCIe links,
+// and ranks; every such failure path in VectorMC is written as a *named
+// fault point* that a test (or a soak run) can arm. The design contract:
+//
+//   * Zero cost unarmed. A fault point is one relaxed atomic pointer load
+//     when no plan is armed — nothing else, no branch history pollution, no
+//     lock. All existing determinism/equivalence guarantees are untouched.
+//   * Reproducible when armed. A decision is a pure function of
+//     (plan seed, point name, caller key, per-(point, key) hit count) — the
+//     same spirit as the per-particle RNG streams: independent of thread
+//     interleaving as long as callers key their hits deterministically
+//     (pipeline stage index, rank id, checkpoint ordinal).
+//
+// Registered fault points (arm() rejects unknown names):
+//   offload.transfer   PCIe bank transfer into the staging buffer
+//   offload.compute    banked device sweep
+//   comm.send          point-to-point message injection
+//   comm.rank_death    a rank dies at the top of a generation (key = rank)
+//   statepoint.write   torn checkpoint write (crash mid-fwrite)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmc::resil {
+
+/// Base class for conditions worth retrying (transient by construction).
+/// Production code may throw its own subclasses; retry_with_backoff() only
+/// catches this family, so logic errors still propagate immediately.
+struct TransientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by a fault site when its armed rule fires.
+struct FaultError : TransientError {
+  using TransientError::TransientError;
+};
+
+/// Every fault point that exists in the tree. Arm-time validation against
+/// this list turns a typo'd point name into an immediate test failure
+/// instead of a chaos test that silently injects nothing.
+inline constexpr std::string_view kFaultPoints[] = {
+    "offload.transfer", "offload.compute", "comm.send",
+    "comm.rank_death",  "statepoint.write",
+};
+
+/// Key wildcard: the rule applies to every caller key.
+inline constexpr std::uint64_t kAnyKey = ~std::uint64_t{0};
+
+/// A declarative schedule of injected failures. Build one in a test, then
+/// arm it (PlanGuard) around the code under attack.
+class FaultPlan {
+ public:
+  /// Fire on the given 0-based hit indices of (point, key). E.g.
+  /// fail_at("offload.transfer", {0, 1}, /*key=*/2): the first two attempts
+  /// at pipeline stage 2 fail, the third succeeds.
+  FaultPlan& fail_at(std::string_view point, std::vector<std::uint64_t> hits,
+                     std::uint64_t key = kAnyKey);
+
+  /// Fire every hit of (point, key) — the "link is down for good" case that
+  /// must exhaust retries and force degradation.
+  FaultPlan& always(std::string_view point, std::uint64_t key = kAnyKey);
+
+  /// Fire each hit independently with probability `p`, decided by a counter
+  /// mix of (seed, point, key, hit index) — reproducible chaos soaks.
+  FaultPlan& with_probability(std::string_view point, double p,
+                              std::uint64_t seed,
+                              std::uint64_t key = kAnyKey);
+
+  struct Rule {
+    std::string point;
+    std::uint64_t key = kAnyKey;
+    std::vector<std::uint64_t> fire_on;  // explicit hit indices
+    bool every_hit = false;
+    double probability = 0.0;
+    std::uint64_t seed = 0;
+  };
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Arm `plan` globally (copies it). Throws std::invalid_argument if the plan
+/// names an unregistered fault point. Arming while faultable work is in
+/// flight is undefined — arm/disarm at quiescent points (tests do this
+/// naturally around World::run / run_pipelined calls).
+void arm(const FaultPlan& plan);
+
+/// Return to the zero-cost unarmed state.
+void disarm();
+
+/// RAII arm/disarm for tests.
+class PlanGuard {
+ public:
+  explicit PlanGuard(const FaultPlan& plan) { arm(plan); }
+  ~PlanGuard() { disarm(); }
+  PlanGuard(const PlanGuard&) = delete;
+  PlanGuard& operator=(const PlanGuard&) = delete;
+};
+
+/// THE fault point. Called by instrumented code with a deterministic `key`
+/// (stage index, rank, ordinal). Unarmed: one relaxed atomic load, returns
+/// false. Armed: bumps the (point, key) hit counter and evaluates the rules.
+bool fault_fires(std::string_view point, std::uint64_t key = 0);
+
+/// Observed fire count for `point` since arming (0 when unarmed) — lets
+/// chaos tests assert the plan actually injected what it promised.
+std::uint64_t fires(std::string_view point);
+
+/// Total hits (fired or not) observed at `point` since arming.
+std::uint64_t hits(std::string_view point);
+
+}  // namespace vmc::resil

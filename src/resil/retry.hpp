@@ -1,0 +1,44 @@
+// Retry-with-exponential-backoff: the recovery half of the transient-fault
+// story. Offload transfers (and anything else that throws TransientError)
+// are retried a bounded number of times with exponentially growing backoff;
+// after `max_retries` the caller degrades gracefully (host fallback) instead
+// of failing the campaign.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "resil/fault.hpp"
+
+namespace vmc::resil {
+
+struct RetryPolicy {
+  int max_retries = 3;            // retries, i.e. attempts - 1
+  double base_backoff_s = 1e-6;   // backoff before the first retry
+  double backoff_multiplier = 2.0;
+};
+
+/// Run `op`, retrying on TransientError (only — logic errors propagate
+/// immediately) up to `policy.max_retries` times with exponential backoff.
+/// Returns the number of retries that were needed (0 = first try worked).
+/// Rethrows the last TransientError once retries are exhausted; the caller
+/// decides whether that means degradation or campaign failure.
+template <class Fn>
+int retry_with_backoff(const RetryPolicy& policy, Fn&& op) {
+  double backoff = policy.base_backoff_s;
+  for (int retry = 0;; ++retry) {
+    try {
+      op();
+      return retry;
+    } catch (const TransientError&) {
+      if (retry >= policy.max_retries) throw;
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace vmc::resil

@@ -172,6 +172,80 @@ TEST(Comm, RejectsBadRanks) {
   });
 }
 
+TEST(Comm, RecvValueRejectsEmptyMessageDescriptively) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, /*tag=*/4, std::vector<int>{});  // zero values, not one
+    } else {
+      try {
+        c.recv_value<int>(0, 4);
+        FAIL() << "empty message must not yield a value";
+      } catch (const Error& e) {
+        // The message must name the offender: source rank and tag.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("tag 4"), std::string::npos) << what;
+      }
+    }
+  });
+}
+
+TEST(Comm, RecvForDeliversWithinDeadline) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 6, 77);
+    } else {
+      const auto v = c.recv_for<int>(0, 6, std::chrono::milliseconds(5000));
+      ASSERT_EQ(v.size(), 1u);
+      EXPECT_EQ(v[0], 77);
+    }
+  });
+}
+
+TEST(Comm, RecvForTimesOutOnSilence) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& c) {
+                 if (c.rank() == 1) {
+                   // Nobody ever sends on this tag.
+                   c.recv_for<int>(0, 9, std::chrono::milliseconds(50));
+                 }
+               }),
+               Error);
+}
+
+TEST(Comm, RecvFromDeadRankThrowsInsteadOfHanging) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& c) {
+                 if (c.rank() == 0) {
+                   c.die();
+                   return;
+                 }
+                 c.recv<int>(0, 3);  // must wake and fail, not block forever
+               }),
+               Error);
+}
+
+TEST(Comm, DeadRankIsExcludedFromCollectives) {
+  World world(3);
+  world.run([&](Comm& c) {
+    if (c.rank() == 2) {
+      c.die();
+      return;
+    }
+    c.barrier();  // completes with 2 live ranks
+    EXPECT_FALSE(c.alive(2));
+    EXPECT_EQ(c.dead_ranks(), std::vector<int>{2});
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 2.0);
+    std::vector<int> mine{c.rank()};
+    const auto all = c.gather(mine, /*root=*/0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1}));  // rank 2 skipped
+    }
+  });
+}
+
 TEST(CommFuzz, RandomMessageStormIsLossless) {
   // Property fuzz: every rank sends a random number of random-size messages
   // on random tags to random peers; receivers drain them in a fixed

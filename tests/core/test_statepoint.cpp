@@ -76,6 +76,66 @@ TEST(StatePoint, RejectsTruncation) {
   std::remove(path.c_str());
 }
 
+TEST(StatePoint, RejectsTrailingGarbage) {
+  // A longer-than-declared file (torn rename, concatenated junk) is as
+  // corrupt as a truncated one.
+  StatePoint sp;
+  sp.seed = 6;
+  sp.k_history = {1.0, 1.01};
+  sp.source.push_back(FissionSite{{1, 2, 3}, 4.0});
+  const std::string path = temp_path("tail.vmcs");
+  write_statepoint(path, sp);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("junk", f);
+  std::fclose(f);
+  EXPECT_THROW(read_statepoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(StatePoint, RejectsBitFlippedPayload) {
+  StatePoint sp;
+  sp.seed = 7;
+  for (int i = 0; i < 20; ++i) {
+    sp.source.push_back(FissionSite{{1.0 * i, 2.0 * i, 3.0 * i}, 5.0e5});
+  }
+  const std::string path = temp_path("flip.vmcs");
+  write_statepoint(path, sp);
+  // Flip one bit in the middle of the bank payload: the CRC must catch it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x10, f);
+  std::fclose(f);
+  EXPECT_THROW(read_statepoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(StatePoint, RejectsOversizedHeaderCounts) {
+  // A bit flip in the site count must be caught by the size cross-check
+  // BEFORE any allocation or read trusts it — not by a failed 2^60-element
+  // reserve.
+  StatePoint sp;
+  sp.seed = 8;
+  sp.k_history = {1.0};
+  sp.source.push_back(FissionSite{{1, 2, 3}, 4.0});
+  const std::string path = temp_path("counts.vmcs");
+  write_statepoint(path, sp);
+  // Header layout: magic(4) version(4) seed(8) resample(8) gens(4) nk(8)
+  // ns(8) — corrupt the high byte of nk at offset 28 + 7.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 28 + 7, SEEK_SET);
+  std::fputc(0x10, f);
+  std::fclose(f);
+  EXPECT_THROW(read_statepoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(StatePoint, RestartReproducesUnsplitCampaign) {
   // Drive the generation loop manually: 4 generations straight vs. 2 + a
   // statepoint round-trip + 2 — every generation's k must match exactly.

@@ -1,0 +1,159 @@
+// Chaos: rank deaths against the distributed eigenvalue driver. The
+// contract under attack — survivors adopt the dead rank's tally blocks
+// whole and replay them from the banked source, so k_eff and every
+// per-generation k are BIT-identical to the fault-free run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "comm/comm.hpp"
+#include "exec/distributed.hpp"
+#include "exec/load_balance.hpp"
+#include "hm/hm_model.hpp"
+#include "resil/fault.hpp"
+
+namespace {
+
+using namespace vmc;
+namespace resil = vmc::resil;
+
+class ChaosDistributedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hm::ModelOptions mo;
+    mo.fuel = hm::FuelSize::small;
+    mo.grid_scale = 0.1;
+    mo.full_core = false;
+    model_ = new hm::Model(hm::build_model(mo));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  exec::DistributedSettings base() const {
+    exec::DistributedSettings s;
+    s.n_total = 600;
+    s.n_inactive = 1;
+    s.n_active = 3;
+    s.seed = 42;
+    s.source_lo = model_->source_lo;
+    s.source_hi = model_->source_hi;
+    return s;
+  }
+
+  exec::DistributedResult fault_free(int ranks) const {
+    comm::World world(ranks);
+    return exec::run_distributed(world, model_->geometry, model_->library,
+                                 base(), exec::uniform_counts(600, ranks));
+  }
+
+  static hm::Model* model_;
+};
+
+hm::Model* ChaosDistributedTest::model_ = nullptr;
+
+TEST_F(ChaosDistributedTest, KilledRankIsBitIdenticalToFaultFreeRun) {
+  const auto ref = fault_free(3);
+  ASSERT_TRUE(ref.dead_ranks.empty());
+  ASSERT_EQ(ref.blocks_replayed, 0u);
+
+  // Rank 1 dies at the top of generation 2 (hit index == generation for the
+  // comm.rank_death point, keyed by rank).
+  resil::FaultPlan plan;
+  plan.fail_at("comm.rank_death", {2}, /*key=*/1);
+  resil::PlanGuard guard(plan);
+
+  comm::World world(3);
+  const auto got =
+      exec::run_distributed(world, model_->geometry, model_->library, base(),
+                            exec::uniform_counts(600, 3));
+
+  ASSERT_EQ(got.dead_ranks, std::vector<int>{1});
+  // Rank 1's block is adopted for generations 2 and 3.
+  EXPECT_EQ(got.blocks_replayed, 2u);
+  ASSERT_EQ(got.k_per_generation.size(), ref.k_per_generation.size());
+  for (std::size_t g = 0; g < ref.k_per_generation.size(); ++g) {
+    EXPECT_DOUBLE_EQ(got.k_per_generation[g], ref.k_per_generation[g])
+        << "generation " << g;
+  }
+  EXPECT_DOUBLE_EQ(got.k_eff, ref.k_eff);
+  EXPECT_DOUBLE_EQ(got.k_std, ref.k_std);
+  EXPECT_DOUBLE_EQ(got.leakage_fraction, ref.leakage_fraction);
+}
+
+TEST_F(ChaosDistributedTest, CascadingDeathsStayBitIdentical) {
+  const auto ref = fault_free(4);
+
+  // Rank 2 dies at generation 1, rank 3 at generation 3: the survivors'
+  // adoption bookkeeping has to stay consistent across successive failures.
+  resil::FaultPlan plan;
+  plan.fail_at("comm.rank_death", {1}, /*key=*/2);
+  plan.fail_at("comm.rank_death", {3}, /*key=*/3);
+  resil::PlanGuard guard(plan);
+
+  comm::World world(4);
+  const auto got =
+      exec::run_distributed(world, model_->geometry, model_->library, base(),
+                            exec::uniform_counts(600, 4));
+
+  ASSERT_EQ(got.dead_ranks, (std::vector<int>{2, 3}));
+  // Block 2 replays in gens 1..3 (3 block-generations), block 3 in gen 3.
+  EXPECT_EQ(got.blocks_replayed, 4u);
+  ASSERT_EQ(got.k_per_generation.size(), ref.k_per_generation.size());
+  for (std::size_t g = 0; g < ref.k_per_generation.size(); ++g) {
+    EXPECT_DOUBLE_EQ(got.k_per_generation[g], ref.k_per_generation[g])
+        << "generation " << g;
+  }
+  EXPECT_DOUBLE_EQ(got.k_eff, ref.k_eff);
+}
+
+TEST_F(ChaosDistributedTest, LoneSurvivorFinishesTheCampaign) {
+  const auto ref = fault_free(3);
+
+  // Both non-root ranks die at generation 1: rank 0 adopts everything.
+  resil::FaultPlan plan;
+  plan.fail_at("comm.rank_death", {1}, /*key=*/1);
+  plan.fail_at("comm.rank_death", {1}, /*key=*/2);
+  resil::PlanGuard guard(plan);
+
+  comm::World world(3);
+  const auto got =
+      exec::run_distributed(world, model_->geometry, model_->library, base(),
+                            exec::uniform_counts(600, 3));
+
+  ASSERT_EQ(got.dead_ranks, (std::vector<int>{1, 2}));
+  for (std::size_t g = 0; g < ref.k_per_generation.size(); ++g) {
+    EXPECT_DOUBLE_EQ(got.k_per_generation[g], ref.k_per_generation[g])
+        << "generation " << g;
+  }
+  EXPECT_DOUBLE_EQ(got.k_eff, ref.k_eff);
+}
+
+TEST_F(ChaosDistributedTest, RootDeathIsUnrecoverable) {
+  resil::FaultPlan plan;
+  plan.fail_at("comm.rank_death", {1}, /*key=*/0);
+  resil::PlanGuard guard(plan);
+
+  comm::World world(2);
+  EXPECT_THROW(exec::run_distributed(world, model_->geometry, model_->library,
+                                     base(), exec::uniform_counts(600, 2)),
+               comm::Error);
+}
+
+TEST_F(ChaosDistributedTest, InjectedSendFaultSurfacesAsCommError) {
+  // A poisoned link is NOT recoverable silently — it must surface as a
+  // diagnosable comm::Error, not a hang or wrong answer.
+  resil::FaultPlan plan;
+  plan.always("comm.send", /*key=*/0);  // every message into rank 0 fails
+  resil::PlanGuard guard(plan);
+
+  exec::DistributedSettings s = base();
+  s.recv_timeout = std::chrono::milliseconds(2000);  // fail fast, not in 60 s
+  comm::World world(2);
+  EXPECT_THROW(exec::run_distributed(world, model_->geometry, model_->library,
+                                     s, exec::uniform_counts(600, 2)),
+               comm::Error);
+}
+
+}  // namespace

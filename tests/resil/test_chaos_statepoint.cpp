@@ -1,0 +1,143 @@
+// Chaos: a crash torn into the checkpoint path. The contract under attack —
+// a failed statepoint write NEVER damages the previous checkpoint, the torn
+// temp file is detected as garbage, and resuming reproduces the
+// uninterrupted campaign's k history exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/eigenvalue.hpp"
+#include "core/statepoint.hpp"
+#include "hm/hm_model.hpp"
+#include "resil/fault.hpp"
+
+namespace {
+
+using namespace vmc::core;
+namespace resil = vmc::resil;
+
+class ChaosStatepointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vmc::hm::ModelOptions mo;
+    mo.fuel = vmc::hm::FuelSize::small;
+    mo.grid_scale = 0.08;
+    mo.full_core = false;
+    model_ = new vmc::hm::Model(vmc::hm::build_model(mo));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  Settings base() const {
+    Settings st;
+    st.n_particles = 400;
+    st.n_inactive = 1;
+    st.n_active = 3;
+    st.seed = 42;
+    st.source_lo = model_->source_lo;
+    st.source_hi = model_->source_hi;
+    return st;
+  }
+
+  static std::string temp_path(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+  }
+
+  static vmc::hm::Model* model_;
+};
+
+vmc::hm::Model* ChaosStatepointTest::model_ = nullptr;
+
+TEST_F(ChaosStatepointTest, TornWritePreservesCheckpointAndResumesExactly) {
+  // Uninterrupted reference campaign: 4 generations, no checkpointing.
+  const RunResult ref =
+      Simulation(model_->geometry, model_->library, base()).run();
+  ASSERT_EQ(ref.k_collision_history.size(), 4u);
+
+  // Checkpointed campaign: statepoints after generations 2 and 4. The
+  // second write (hit index 1) crashes mid-fwrite — header and k history
+  // are out, the bank and CRC never make it.
+  const std::string path = temp_path("chaos.vmcs");
+  Settings st = base();
+  st.checkpoint_every = 2;
+  st.checkpoint_path = path;
+  {
+    resil::FaultPlan plan;
+    plan.fail_at("statepoint.write", {1});
+    resil::PlanGuard guard(plan);
+    EXPECT_THROW(Simulation(model_->geometry, model_->library, st).run(),
+                 std::runtime_error);
+    EXPECT_EQ(resil::fires("statepoint.write"), 1u);
+  }
+
+  // The torn temp file is on disk — and is rejected as the garbage it is.
+  EXPECT_THROW(read_statepoint(path + ".tmp"), std::runtime_error);
+
+  // The PREVIOUS checkpoint (2 generations completed) survived untouched.
+  const StatePoint sp = read_statepoint(path);
+  EXPECT_EQ(sp.generations_completed, 2);
+  ASSERT_EQ(sp.k_history.size(), 2u);
+  EXPECT_DOUBLE_EQ(sp.k_history[0], ref.k_collision_history[0]);
+  EXPECT_DOUBLE_EQ(sp.k_history[1], ref.k_collision_history[1]);
+
+  // Resume from it: generations 2..3 re-run, and the assembled history is
+  // EXACTLY the uninterrupted campaign's.
+  Settings rs = base();
+  rs.resume_from = path;
+  const RunResult resumed =
+      Simulation(model_->geometry, model_->library, rs).run();
+  EXPECT_EQ(resumed.first_generation, 2);
+  ASSERT_EQ(resumed.k_collision_history.size(),
+            ref.k_collision_history.size());
+  for (std::size_t g = 0; g < ref.k_collision_history.size(); ++g) {
+    EXPECT_DOUBLE_EQ(resumed.k_collision_history[g],
+                     ref.k_collision_history[g])
+        << "generation " << g;
+  }
+
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(ChaosStatepointTest, ResumeRefusesSeedMismatch) {
+  const std::string path = temp_path("seed-mismatch.vmcs");
+  Settings st = base();
+  st.checkpoint_every = 2;
+  st.checkpoint_path = path;
+  Simulation(model_->geometry, model_->library, st).run();
+
+  Settings rs = base();
+  rs.seed = 43;  // a DIFFERENT campaign
+  rs.resume_from = path;
+  EXPECT_THROW(Simulation(model_->geometry, model_->library, rs).run(),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosStatepointTest, CheckpointedRunMatchesUncheckpointedRun) {
+  // Checkpointing must be an observer: with no faults armed, a campaign
+  // that writes statepoints produces the identical history to one that
+  // doesn't.
+  const RunResult ref =
+      Simulation(model_->geometry, model_->library, base()).run();
+
+  const std::string path = temp_path("observer.vmcs");
+  Settings st = base();
+  st.checkpoint_every = 1;
+  st.checkpoint_path = path;
+  const RunResult got =
+      Simulation(model_->geometry, model_->library, st).run();
+
+  ASSERT_EQ(got.k_collision_history.size(), ref.k_collision_history.size());
+  for (std::size_t g = 0; g < ref.k_collision_history.size(); ++g) {
+    EXPECT_DOUBLE_EQ(got.k_collision_history[g], ref.k_collision_history[g]);
+  }
+  // The final checkpoint reflects the whole campaign.
+  EXPECT_EQ(read_statepoint(path).generations_completed, 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Fault-injection registry: unarmed fault points cost nothing and never
+// fire; armed plans fire deterministically from (seed, point, key, hit).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "resil/fault.hpp"
+#include "resil/retry.hpp"
+
+namespace {
+
+using namespace vmc::resil;
+
+TEST(FaultPlan, UnarmedPointsNeverFire) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(fault_fires("offload.transfer", static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(fires("offload.transfer"), 0u);
+}
+
+TEST(FaultPlan, FailAtFiresExactlyOnListedHits) {
+  FaultPlan plan;
+  plan.fail_at("offload.compute", {0, 2});
+  PlanGuard guard(plan);
+  EXPECT_TRUE(fault_fires("offload.compute"));   // hit 0
+  EXPECT_FALSE(fault_fires("offload.compute"));  // hit 1
+  EXPECT_TRUE(fault_fires("offload.compute"));   // hit 2
+  EXPECT_FALSE(fault_fires("offload.compute"));  // hit 3
+  EXPECT_EQ(fires("offload.compute"), 2u);
+  EXPECT_EQ(hits("offload.compute"), 4u);
+}
+
+TEST(FaultPlan, KeyedRulesOnlyMatchTheirKey) {
+  FaultPlan plan;
+  plan.always("offload.transfer", /*key=*/3);
+  PlanGuard guard(plan);
+  EXPECT_FALSE(fault_fires("offload.transfer", 0));
+  EXPECT_FALSE(fault_fires("offload.transfer", 2));
+  EXPECT_TRUE(fault_fires("offload.transfer", 3));
+  EXPECT_TRUE(fault_fires("offload.transfer", 3));
+}
+
+TEST(FaultPlan, HitCountersAreIndependentPerKey) {
+  // fail_at on hit 1 with a wildcard key: each key has its own counter, so
+  // every key's SECOND hit fires regardless of interleaving.
+  FaultPlan plan;
+  plan.fail_at("comm.send", {1});
+  PlanGuard guard(plan);
+  EXPECT_FALSE(fault_fires("comm.send", 7));  // key 7, hit 0
+  EXPECT_FALSE(fault_fires("comm.send", 9));  // key 9, hit 0
+  EXPECT_TRUE(fault_fires("comm.send", 9));   // key 9, hit 1
+  EXPECT_TRUE(fault_fires("comm.send", 7));   // key 7, hit 1
+}
+
+TEST(FaultPlan, ProbabilityIsReproducibleAcrossArms) {
+  const auto sample = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.with_probability("comm.send", 0.5, seed);
+    PlanGuard guard(plan);
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (fault_fires("comm.send")) mask |= (std::uint64_t{1} << i);
+    }
+    return mask;
+  };
+  const std::uint64_t a = sample(123);
+  EXPECT_EQ(a, sample(123));   // same seed: identical decision sequence
+  EXPECT_NE(a, sample(321));   // different seed: different chaos
+  EXPECT_NE(a, 0u);            // p = 0.5 over 64 draws: some fire...
+  EXPECT_NE(a, ~std::uint64_t{0});  // ...and some don't
+}
+
+TEST(FaultPlan, ArmRejectsUnknownPointNames) {
+  FaultPlan plan;
+  plan.always("offload.trnsfer");  // typo
+  EXPECT_THROW(arm(plan), std::invalid_argument);
+  // The failed arm must leave the registry unarmed.
+  EXPECT_FALSE(fault_fires("offload.transfer"));
+}
+
+TEST(FaultPlan, CountersReadableAfterDisarm) {
+  {
+    FaultPlan plan;
+    plan.always("statepoint.write");
+    PlanGuard guard(plan);
+    EXPECT_TRUE(fault_fires("statepoint.write"));
+  }
+  // PlanGuard has disarmed: the point is inert again, but the counts from
+  // the armed window survive for post-mortem assertions...
+  EXPECT_FALSE(fault_fires("statepoint.write"));
+  EXPECT_EQ(fires("statepoint.write"), 1u);
+  EXPECT_EQ(hits("statepoint.write"), 1u);
+  // ...until the next arm resets them.
+  FaultPlan fresh;
+  fresh.fail_at("comm.send", {99});
+  PlanGuard guard(fresh);
+  EXPECT_EQ(fires("statepoint.write"), 0u);
+}
+
+TEST(RetryBackoff, CountsRetriesAndRethrowsWhenExhausted) {
+  RetryPolicy fast{/*max_retries=*/3, /*base_backoff_s=*/0.0,
+                   /*backoff_multiplier=*/2.0};
+  int attempts = 0;
+  const int retries = retry_with_backoff(fast, [&] {
+    if (++attempts < 3) throw TransientError("flaky");
+  });
+  EXPECT_EQ(retries, 2);
+  EXPECT_EQ(attempts, 3);
+
+  attempts = 0;
+  EXPECT_THROW(retry_with_backoff(fast,
+                                  [&] {
+                                    ++attempts;
+                                    throw TransientError("down for good");
+                                  }),
+               TransientError);
+  EXPECT_EQ(attempts, 4);  // initial try + max_retries
+}
+
+TEST(RetryBackoff, NonTransientErrorsPropagateImmediately) {
+  RetryPolicy fast{3, 0.0, 2.0};
+  int attempts = 0;
+  EXPECT_THROW(retry_with_backoff(fast,
+                                  [&] {
+                                    ++attempts;
+                                    throw std::logic_error("bug, not weather");
+                                  }),
+               std::logic_error);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(FaultPlan, FaultErrorIsTransient) {
+  // retry_with_backoff's catch contract: injected faults are retryable.
+  static_assert(std::is_base_of_v<TransientError, FaultError>);
+  static_assert(std::is_base_of_v<std::runtime_error, TransientError>);
+}
+
+}  // namespace

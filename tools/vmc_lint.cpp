@@ -24,6 +24,12 @@
 //                    a silent correlation bug. Every direct construction in
 //                    library code must use a distinct derivation (or
 //                    Stream::for_particle).
+//   unchecked-io     No statement-position fwrite/fread whose return value
+//                    is discarded: a short write is how a full disk turns
+//                    into a corrupt statepoint. Check the count like
+//                    statepoint.cpp's CheckedWriter/CheckedReader (that file
+//                    is the sanctioned exception — its helpers ARE the
+//                    check).
 //
 // A deliberate exception is annotated on its line (or the line above) with:
 //     vmc-lint: allow(<rule-name>)
@@ -162,6 +168,14 @@ bool stream_overlap_scope(const std::string& rel) {
           !in_any_dir(rel, {"src/rng/"}));
 }
 
+bool unchecked_io_scope(const std::string& rel) {
+  // statepoint.cpp hosts the sanctioned CheckedWriter/CheckedReader wrappers
+  // (every raw call there feeds a checked helper or an if); everywhere else
+  // a discarded fread/fwrite silently loses I/O errors.
+  return in_any_dir(rel, {"src/", "tools/"}) &&
+         rel != "src/core/statepoint.cpp";
+}
+
 // --- per-line rules --------------------------------------------------------
 
 const std::regex kRawAlloc(
@@ -177,6 +191,11 @@ const std::regex kMutexFamily(
 const std::regex kStreamCtor(
     R"(\bStream(?:\s+[A-Za-z_]\w*)?\s*[({]([^)}]*)[)}])");
 const std::regex kIntLiteral(R"(0[xX][0-9a-fA-F]+|\b\d+\b)");
+// Statement-position fread/fwrite: the call starts the line or follows a
+// statement/block boundary, so its return value is discarded. Calls inside
+// an if/assignment/comparison have a non-boundary prefix and don't match.
+const std::regex kUncheckedIo(
+    R"((?:^|[;{}])\s*(?:std::)?f(?:read|write)\s*\()");
 
 // Two seed derivations overlap when they mix in the same constants, even if
 // the non-constant part is spelled differently (`settings.seed` vs
@@ -237,6 +256,15 @@ void scan_file(const SourceFile& f, std::vector<Violation>& out,
                      "mutex/lock/condvar in per-particle hot-path code; "
                      "route cross-thread traffic through ConcurrentBank / "
                      "TallyAccumulator / ThreadPool"});
+    }
+
+    if (unchecked_io_scope(f.rel_path) &&
+        std::regex_search(line, kUncheckedIo) &&
+        !has_allow_marker(f, i, "unchecked-io")) {
+      out.push_back({f.rel_path, i + 1, "unchecked-io",
+                     "fwrite/fread return value discarded; a short "
+                     "read/write must be detected — check the count as "
+                     "statepoint.cpp's CheckedWriter/CheckedReader do"});
     }
 
     if (stream_overlap_scope(f.rel_path)) {
@@ -354,6 +382,20 @@ int self_test() {
        "std::mutex mu_;", ""},
       {"mutex in concurrent bank is clean", "src/particle/concurrent_bank.cpp",
        "std::lock_guard lk(mu_);", ""},
+      {"unchecked fwrite fires", "src/core/mesh_io.cpp",
+       "std::fwrite(buf, 1, n, f);", "unchecked-io"},
+      {"unchecked fread after block fires", "tools/vmc_dump.cpp",
+       "while (more) { fread(buf, 1, n, f); }", "unchecked-io"},
+      {"checked fwrite is clean", "src/core/mesh_io.cpp",
+       "if (std::fwrite(buf, 1, n, f) != n) { fail(); }", ""},
+      {"assigned fread is clean", "src/core/mesh_io.cpp",
+       "const std::size_t got = std::fread(buf, 1, n, f);", ""},
+      {"statepoint checked helpers are exempt", "src/core/statepoint.cpp",
+       "std::fwrite(p, 1, n, f);", ""},
+      {"fread in a comment is clean", "src/core/mesh_io.cpp",
+       "// fread(buf, 1, n, f); would lose errors here", ""},
+      {"allow marker silences unchecked-io", "src/core/mesh_io.cpp",
+       "// vmc-lint: allow(unchecked-io)\nfwrite(magic, 1, 4, f);", ""},
       {"duplicate stream tags fire", "src/core/a.cpp",
        "rng::Stream s(seed ^ 0xbadc0deULL);\n"
        "rng::Stream t(seed ^ 0xbadc0deULL);", "stream-overlap"},
