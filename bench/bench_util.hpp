@@ -9,9 +9,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exec/machine.hpp"
+#include "obs/json.hpp"
 #include "prof/profiler.hpp"
 #include "simd/simd.hpp"
 
@@ -40,6 +46,97 @@ inline void header(const char* artifact, const char* description) {
               simd::isa_name(), simd::native_bits(), scale());
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable companion to the printed report. Harnesses construct a
+/// Report instead of calling header() bare, then record the same numbers
+/// they print as named rows; when the VMC_BENCH_JSON env var names a
+/// directory, the destructor writes BENCH_<slug>.json there through the obs
+/// JSON writer — every figure/table file shares the one serializer and the
+/// one schema (`vectormc.bench.v1`, checked by tests/obs/test_bench_schema
+/// and tools/vmc_obs_check --bench).
+class Report {
+ public:
+  static constexpr const char* kSchema = "vectormc.bench.v1";
+
+  Report(const char* slug, const char* artifact, const char* description)
+      : slug_(slug), artifact_(artifact), description_(description) {
+    header(artifact, description);
+  }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report() {
+    // Flush is best-effort: a benchmark must never fail because an artifact
+    // directory is missing or read-only.
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+
+  Report& note(const char* key, const std::string& value) {
+    string_notes_.emplace_back(key, value);
+    return *this;
+  }
+  Report& note(const char* key, double value) {
+    number_notes_.emplace_back(key, value);
+    return *this;
+  }
+
+  /// One table row: named numeric cells, column order preserved.
+  Report& row(std::initializer_list<std::pair<const char*, double>> cells) {
+    std::vector<std::pair<std::string, double>> r;
+    r.reserve(cells.size());
+    for (const auto& [k, v] : cells) r.emplace_back(k, v);
+    rows_.push_back(std::move(r));
+    return *this;
+  }
+
+  /// The BENCH_<slug>.json document.
+  std::string json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.member("schema", kSchema);
+    w.member("name", slug_);
+    w.member("artifact", artifact_);
+    w.member("description", description_);
+    w.member("isa", simd::isa_name());
+    w.member("simd_bits", simd::native_bits());
+    w.member("bench_scale", scale());
+    w.key("notes").begin_object();
+    for (const auto& [k, v] : string_notes_) w.member(k, v);
+    for (const auto& [k, v] : number_notes_) w.member(k, v);
+    w.end_object();
+    w.key("rows").begin_array();
+    for (const auto& r : rows_) {
+      w.begin_object();
+      for (const auto& [k, v] : r) w.member(k, v);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  /// Write BENCH_<slug>.json into $VMC_BENCH_JSON (no-op when unset).
+  void flush() const {
+    const char* dir = std::getenv("VMC_BENCH_JSON");
+    if (dir == nullptr || dir[0] == '\0') return;
+    std::filesystem::create_directories(dir);
+    const std::string path = std::string(dir) + "/BENCH_" + slug_ + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << json();
+  }
+
+ private:
+  std::string slug_;
+  std::string artifact_;
+  std::string description_;
+  std::vector<std::pair<std::string, std::string>> string_notes_;
+  std::vector<std::pair<std::string, double>> number_notes_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 /// Best-of-k wall time for a callable.
 template <class Fn>

@@ -18,8 +18,9 @@
 
 int main() {
   using namespace vmc;
-  bench::header("Figure 2",
-                "lookup rates: banking (MIC) vs. history (CPU), H.M. Large");
+  bench::Report report("fig2_lookup_rates", "Figure 2",
+                       "lookup rates: banking (MIC) vs. history (CPU), "
+                       "H.M. Large");
 
   hm::ModelOptions mo;
   mo.fuel = hm::FuelSize::large;
@@ -31,6 +32,9 @@ int main() {
               lib.n_nuclides(), lib.union_grid().size(),
               lib.union_grid().walk_bound,
               static_cast<double>(lib.union_bytes() + lib.pointwise_bytes()) / 1e6);
+  report.note("material", "H.M. Large fuel")
+      .note("n_nuclides", static_cast<double>(lib.n_nuclides()))
+      .note("union_grid_points", static_cast<double>(lib.union_grid().size()));
 
   const exec::CostModel cpu(exec::DeviceSpec::jlse_host());
   const exec::CostModel mic(exec::DeviceSpec::mic_7120a());
@@ -68,6 +72,13 @@ int main() {
                 static_cast<double>(n) / t_scalar,
                 static_cast<double>(n) / t_banked, t_scalar / t_banked, model_cpu,
                 model_mic, model_mic / model_cpu);
+    report.row({{"n_banked", static_cast<double>(n)},
+                {"host_scalar_per_s", static_cast<double>(n) / t_scalar},
+                {"host_banked_per_s", static_cast<double>(n) / t_banked},
+                {"host_speedup", t_scalar / t_banked},
+                {"model_cpu_history_per_s", model_cpu},
+                {"model_mic_banked_per_s", model_mic},
+                {"model_ratio", model_mic / model_cpu}});
   }
 
   std::printf(

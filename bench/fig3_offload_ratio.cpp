@@ -12,8 +12,8 @@
 
 int main() {
   using namespace vmc;
-  bench::header("Figure 3",
-                "offload/bank/compute time relative to generation time");
+  bench::Report report("fig3_offload_ratio", "Figure 3",
+                       "offload/bank/compute time relative to generation time");
 
   // Measure the real per-particle work profile from a short H.M. Small run.
   hm::ModelOptions mo;
@@ -43,6 +43,9 @@ int main() {
   w.terms_per_lookup = 34.0;
   std::printf("ratio sweep uses the fuel-material profile: %.0f terms/lookup\n\n",
               w.terms_per_lookup);
+  report.note("model", "H.M. Small")
+      .note("lookups_per_particle", measured.lookups_per_particle)
+      .note("terms_per_lookup", w.terms_per_lookup);
 
   const exec::OffloadRuntime runtime(
       model.library, exec::CostModel(exec::DeviceSpec::jlse_host()),
@@ -57,6 +60,12 @@ int main() {
     const auto r = runtime.ratios(w, n);
     std::printf("%10zu %14.4f %12.4f %12.4f %12.4f %12.4f\n", n,
                 r.generation_s, r.bank_cpu, r.offload, r.xs_mic, r.xs_cpu);
+    report.row({{"particles", static_cast<double>(n)},
+                {"generation_s", r.generation_s},
+                {"bank_cpu", r.bank_cpu},
+                {"offload", r.offload},
+                {"xs_mic", r.xs_mic},
+                {"xs_cpu", r.xs_cpu}});
   }
   std::printf(
       "\npaper shape: offload and xs(MIC) ratios fall with N, xs(CPU) rises;\n"

@@ -13,7 +13,8 @@
 
 namespace {
 
-void run_case(const char* label, vmc::hm::FuelSize fuel, std::size_t n) {
+void run_case(vmc::bench::Report& report, const char* label,
+              vmc::hm::FuelSize fuel, std::size_t n) {
   using namespace vmc;
   hm::ModelOptions mo;
   mo.fuel = fuel;
@@ -45,14 +46,28 @@ void run_case(const char* label, vmc::hm::FuelSize fuel, std::size_t n) {
               rep.model_compute_device_s * 1e3);
   std::printf("%-38s %12.1f ms\n\n", "compute bank cross sections (host)",
               rep.model_compute_host_s * 1e3);
+  report.note("case", label);
+  report.row({{"n_fuel_nuclides",
+               static_cast<double>(lib.material(fuel_mat).size())},
+              {"particles", static_cast<double>(n)},
+              {"bank_host_model_ms", rep.model_bank_host_s * 1e3},
+              {"bank_host_measured_ms", rep.wall_bank_s * 1e3},
+              {"bank_mic_model_ms", rep.model_bank_device_s * 1e3},
+              {"transfer_model_ms", rep.model_transfer_s * 1e3},
+              {"bank_bytes", static_cast<double>(rep.bank_bytes)},
+              {"grid_bytes", static_cast<double>(rep.grid_bytes)},
+              {"grid_staging_model_ms", rep.model_grid_transfer_s * 1e3},
+              {"compute_mic_model_ms", rep.model_compute_device_s * 1e3},
+              {"compute_host_model_ms", rep.model_compute_host_s * 1e3}});
 }
 
 }  // namespace
 
 int main() {
   using namespace vmc;
-  bench::header("Table II",
-                "banking + offload overheads per iteration (1e5 particles)");
+  bench::Report report("tab2_offload_overhead", "Table II",
+                       "banking + offload overheads per iteration "
+                       "(1e5 particles)");
   std::printf(
       "note: our bank records are lean SoA (%zu B/particle vs. OpenMC's\n"
       "~5 KB Fortran particle objects) and the synthetic library is smaller\n"
@@ -61,7 +76,7 @@ int main() {
       exec::offload_record_bytes());
 
   const std::size_t n = bench::scaled(100000);
-  run_case("H.M. Small (34 fuel nuclides)", hm::FuelSize::small, n);
-  run_case("H.M. Large (320 fuel nuclides)", hm::FuelSize::large, n);
+  run_case(report, "H.M. Small (34 fuel nuclides)", hm::FuelSize::small, n);
+  run_case(report, "H.M. Large (320 fuel nuclides)", hm::FuelSize::large, n);
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "resil/fault.hpp"
 
 namespace vmc::comm {
@@ -52,6 +54,10 @@ void World::mark_dead_locked(int rank) {
   if (dead_[static_cast<std::size_t>(rank)] != 0) return;
   dead_[static_cast<std::size_t>(rank)] = 1;
   --alive_count_;
+  static const obs::Counter c_dead = obs::metrics().counter(
+      "vmc_comm_dead_ranks_total", {}, "Ranks marked dead by the runtime");
+  c_dead.inc();
+  obs::tracer().instant("rank_death", "comm");
   // A dead rank's stale reduction slot must never leak into a later
   // collective among the survivors.
   reduce_slots_[static_cast<std::size_t>(rank)].clear();
@@ -95,6 +101,12 @@ void Comm::send_bytes(int dest, int tag, const std::byte* p, std::size_t n) {
                 " -> rank " + std::to_string(dest) + " tag " +
                 std::to_string(tag));
   }
+  static const obs::Counter c_msgs = obs::metrics().counter(
+      "vmc_comm_messages_total", {}, "Point-to-point messages sent");
+  static const obs::Counter c_bytes = obs::metrics().counter(
+      "vmc_comm_bytes_total", {}, "Point-to-point payload bytes sent");
+  c_msgs.inc();
+  c_bytes.inc(n);
   std::vector<std::byte> msg(p, p + n);
   {
     std::lock_guard lk(world_.mu_);

@@ -7,6 +7,8 @@
 
 #include "core/parallel.hpp"
 #include "core/statepoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "particle/concurrent_bank.hpp"
 #include "prof/profiler.hpp"
 
@@ -112,6 +114,7 @@ GenerationResult Simulation::run_generation(
     bool active) {
   const std::size_t n = source.size();
   const double t0 = prof::now_seconds();
+  obs::Tracer::Scope span(obs::tracer(), "generation", "eigenvalue");
 
   TallyAccumulator acc(settings_.tally_mode);
   EventCounts counts_total;
@@ -176,6 +179,27 @@ GenerationResult Simulation::run_generation(
   g.k_combined =
       (g.k_collision + g.k_absorption + g.k_tracklength) / 3.0;
   g.seconds = prof::now_seconds() - t0;
+
+  // Generation-level series: convergence gauge, wall-time and bank-occupancy
+  // histograms. Occupancy is the sites-produced / sites-requested ratio —
+  // the quantity that predicts resampling pressure and fission-bank memory.
+  static const obs::Gauge g_k = obs::metrics().gauge(
+      "vmc_k_collision", {}, "Latest generation collision k estimate");
+  static const obs::Histogram h_secs = obs::metrics().histogram(
+      "vmc_generation_seconds", {1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0}, {},
+      "Wall time per fission generation");
+  static const obs::Histogram h_bank = obs::metrics().histogram(
+      "vmc_fission_bank_occupancy_ratio",
+      {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0}, {},
+      "Fission sites produced per source particle, per generation");
+  static const obs::Counter c_particles = obs::metrics().counter(
+      "vmc_generation_particles_total", {},
+      "Source particles transported across all generations");
+  g_k.set(g.k_collision);
+  h_secs.observe(g.seconds);
+  if (n > 0)
+    h_bank.observe(static_cast<double>(g.n_sites) / static_cast<double>(n));
+  c_particles.inc(n);
   return g;
 }
 

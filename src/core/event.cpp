@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/simd.hpp"
 #include "xsdata/lookup.hpp"
 
@@ -31,6 +33,11 @@ void EventTracker::run(std::span<particle::Particle> particles,
   const std::size_t n = particles.size();
   const bool profile = opt_.profile;
   auto& reg = prof::registry();
+  // Tracing mirrors the `if (profile)` timer idiom; enabledness is captured
+  // once so a mid-sweep toggle cannot unbalance the span ring.
+  obs::Tracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  std::uint64_t n_xs = 0, n_dist = 0, n_adv = 0, n_coll = 0;
 
   std::vector<geom::Geometry::State> states(n);
   std::vector<std::uint32_t> alive;
@@ -65,6 +72,7 @@ void EventTracker::run(std::span<particle::Particle> particles,
 
     // --- Stage 1: banked cross-section lookups (bucketed by material) -----
     if (profile) reg.start(t_xs_);
+    if (tracing) tr.begin("xs_lookup_banked", "event");
     for (auto& b : buckets) b.clear();
     for (const std::uint32_t i : alive) {
       buckets[static_cast<std::size_t>(states[i].material)].push_back(i);
@@ -89,10 +97,13 @@ void EventTracker::run(std::span<particle::Particle> particles,
           bucket.size() * lib_.material(m).size();
     }
     counts.lookups += na;
+    n_xs += na;
+    if (tracing) tr.end();
     if (profile) reg.stop(t_xs_);
 
     // --- Stage 2: banked distance sampling (Eq. 1, Algorithm 4) -----------
     if (profile) reg.start(t_dist_);
+    if (tracing) tr.begin("sample_distance_banked", "event");
     xi.resize(na);
     sig_total.resize(na);
     dist.resize(na);
@@ -119,10 +130,13 @@ void EventTracker::run(std::span<particle::Particle> particles,
                                      : geom::kInfDistance;
       }
     }
+    n_dist += na;
+    if (tracing) tr.end();
     if (profile) reg.stop(t_dist_);
 
     // --- Stage 3: geometry advance / crossing (scalar) --------------------
     if (profile) reg.start(t_advance_);
+    if (tracing) tr.begin("advance_geometry", "event");
     collide_list.clear();
     next_alive.clear();
     for (std::size_t j = 0; j < na; ++j) {
@@ -153,10 +167,14 @@ void EventTracker::run(std::span<particle::Particle> particles,
         }
       }
     }
+    n_adv += na;
+    if (tracing) tr.end();
     if (profile) reg.stop(t_advance_);
 
     // --- Stage 4: collision physics (scalar) ------------------------------
     if (profile) reg.start(t_collide_);
+    if (tracing) tr.begin("collide", "event");
+    n_coll += collide_list.size();
     for (const std::uint32_t i : collide_list) {
       particle::Particle& p = particles[i];
       geom::Geometry::State& gs = states[i];
@@ -207,6 +225,7 @@ void EventTracker::run(std::span<particle::Particle> particles,
           break;
       }
     }
+    if (tracing) tr.end();
     if (profile) reg.stop(t_collide_);
 
     // Keep alive-order stable (ascending index) so stage buffers stay
@@ -218,6 +237,27 @@ void EventTracker::run(std::span<particle::Particle> particles,
 
   // Safety cap: force-kill stragglers.
   for (const std::uint32_t i : alive) particles[i].alive = false;
+
+  // Per-kernel banked-sweep throughput counters. Registered once (labels
+  // carry the compiled ISA so mixed-build comparisons stay separable) and
+  // bumped once per run() — no per-iteration metrics cost.
+  static const char* kHelp = "Particles processed per banked event kernel";
+  static const obs::Counter c_xs = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "xs_lookup"}, {"isa", simd::isa_name()}}, kHelp);
+  static const obs::Counter c_dist = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "sample_distance"}, {"isa", simd::isa_name()}}, kHelp);
+  static const obs::Counter c_adv = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "advance_geometry"}, {"isa", simd::isa_name()}}, kHelp);
+  static const obs::Counter c_coll = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "collide"}, {"isa", simd::isa_name()}}, kHelp);
+  c_xs.inc(n_xs);
+  c_dist.inc(n_dist);
+  c_adv.inc(n_adv);
+  c_coll.inc(n_coll);
 }
 
 }  // namespace vmc::core

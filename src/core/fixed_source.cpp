@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prof/profiler.hpp"
 
 namespace vmc::core {
@@ -48,7 +50,15 @@ FixedSourceResult run_fixed_source(const geom::Geometry& geometry,
   BatchStatistics leak_stats;
   const double t0 = prof::now_seconds();
 
+  static const obs::Counter c_batches = obs::metrics().counter(
+      "vmc_fixed_source_batches_total", {}, "Fixed-source batches completed");
+  static const obs::Histogram h_batch_leak = obs::metrics().histogram(
+      "vmc_fixed_source_batch_leakage_fraction",
+      {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}, {},
+      "Leakage fraction per fixed-source batch");
+
   for (int batch = 0; batch < settings.n_batches; ++batch) {
+    obs::Tracer::Scope span(obs::tracer(), "fixed_source_batch", "core");
     TallyScores batch_tally;
     EventCounts batch_counts;
     std::mutex merge_mu;
@@ -76,6 +86,9 @@ FixedSourceResult run_fixed_source(const geom::Geometry& geometry,
                    static_cast<double>(settings.n_particles));
     result.tallies += batch_tally;
     result.counts += batch_counts;
+    c_batches.inc();
+    h_batch_leak.observe(batch_tally.leakage /
+                         static_cast<double>(settings.n_particles));
   }
 
   result.seconds = prof::now_seconds() - t0;

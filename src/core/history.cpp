@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simd/simd.hpp"
 #include "xsdata/lookup.hpp"
 
 namespace vmc::core {
@@ -39,6 +42,10 @@ void HistoryTracker::track(particle::Particle& p, TallyScores& tally,
   counts.histories += 1;
   const bool profile = opt_.profile;
   auto& reg = prof::registry();
+  // One span per history (not per event — a history is the natural unit at
+  // which the trace stays readable and the ring does not flood).
+  obs::Tracer::Scope span(obs::tracer(), "history", "core");
+  const std::uint64_t lookups0 = counts.lookups;
 
   for (int event = 0; p.alive && event < opt_.max_events; ++event) {
     // --- macroscopic cross section (the bottleneck; Algorithm 1) ---------
@@ -169,6 +176,16 @@ void HistoryTracker::track(particle::Particle& p, TallyScores& tally,
     }
   }
   p.alive = false;  // max_events cap (pathological histories)
+
+  static const obs::Counter c_hist = obs::metrics().counter(
+      "vmc_histories_total", {{"method", "history"}},
+      "Histories completed per transport method");
+  static const obs::Counter c_lookups = obs::metrics().counter(
+      "vmc_xs_lookups_total",
+      {{"method", "history"}, {"isa", simd::isa_name()}},
+      "Macroscopic cross-section lookups per transport method");
+  c_hist.inc();
+  c_lookups.inc(counts.lookups - lookups0);
 }
 
 }  // namespace vmc::core

@@ -8,6 +8,9 @@
 
 #include "core/eigenvalue.hpp"
 #include "exec/load_balance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "prof/profiler.hpp"
 #include "resil/fault.hpp"
 
 namespace vmc::exec {
@@ -115,6 +118,10 @@ DistributedResult run_distributed(comm::World& world,
           static_cast<std::uint64_t>(gen) * (settings.n_total + 1);
       std::vector<double> block_tallies(3 * n_blocks, 0.0);
       std::vector<std::vector<particle::FissionSite>> block_banks(n_blocks);
+      obs::Tracer::Scope gen_span(obs::tracer(), "rank_generation",
+                                  "distributed");
+      const double gen_t0 = prof::now_seconds();
+      std::size_t my_particles = 0;
       for (std::size_t b = 0; b < n_blocks; ++b) {
         if (owner[b] != my_rank) continue;
         core::TallyScores tally;
@@ -127,9 +134,22 @@ DistributedResult run_distributed(comm::World& world,
               settings.seed, id_base + offsets[b] + i, site.r, site.energy);
           tracker.track(p, tally, counts, bank);
         }
+        my_particles += quotas[b];
         block_tallies[3 * b + 0] = tally.k_collision;
         block_tallies[3 * b + 1] = tally.absorption;
         block_tallies[3 * b + 2] = tally.leakage;
+      }
+
+      // Per-rank transport rate gauge: the raw ingredient of the Eq. 3 α
+      // load-balance estimate — a scrape across ranks shows imbalance as a
+      // spread in these gauges long before it shows in total wall time.
+      {
+        const double dt = prof::now_seconds() - gen_t0;
+        const obs::Gauge g_rate = obs::metrics().gauge(
+            "vmc_rank_rate_particles_per_second",
+            {{"rank", std::to_string(my_rank)}},
+            "Per-rank transport rate for the latest generation");
+        g_rate.set(dt > 0.0 ? static_cast<double>(my_particles) / dt : 0.0);
       }
 
       // --- the per-batch communication pattern ---------------------------
@@ -187,6 +207,10 @@ DistributedResult run_distributed(comm::World& world,
     }
 
     if (my_rank == 0) {
+      static const obs::Counter c_replayed = obs::metrics().counter(
+          "vmc_distributed_blocks_replayed_total", {},
+          "Orphaned tally blocks replayed by surviving ranks");
+      c_replayed.inc(blocks_replayed);
       std::lock_guard lk(result_mu);
       result.k_eff = k_stats.mean();
       result.k_std = k_stats.std_err();

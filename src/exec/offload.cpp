@@ -6,12 +6,42 @@
 #include <vector>
 
 #include "geom/geometry.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prof/profiler.hpp"
 #include "rng/stream.hpp"
 #include "exec/thread_pool.hpp"
 #include "xsdata/lookup.hpp"
 
 namespace vmc::exec {
+
+namespace {
+
+// Shared offload-resilience series; bumped by both the single-iteration and
+// the pipelined paths so one exposition covers either driver.
+const obs::Counter& offload_retries_counter() {
+  static const obs::Counter c = obs::metrics().counter(
+      "vmc_offload_retries_total", {},
+      "Offload transfer/compute faults that were retried successfully");
+  return c;
+}
+
+const obs::Counter& offload_degraded_counter() {
+  static const obs::Counter c = obs::metrics().counter(
+      "vmc_offload_degraded_stages_total", {},
+      "Offload stages that fell back to the scalar host sweep");
+  return c;
+}
+
+const obs::Counter& offload_bytes_counter() {
+  static const obs::Counter c = obs::metrics().counter(
+      "vmc_offload_transfer_bytes_total", {},
+      "Bytes shipped over the modeled PCIe link");
+  return c;
+}
+
+}  // namespace
 
 std::size_t offload_record_bytes() {
   return particle::SoABank::bytes_per_particle() +
@@ -24,9 +54,18 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
   const auto& mat = lib_.material(material);
   const double terms = static_cast<double>(mat.size());
 
+  obs::Tracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  if (tracing) {
+    tr.set_process_name(obs::Tracer::kHostPid, "host (measured)");
+    tr.set_process_name(obs::Tracer::kDevicePid,
+                        device_.spec().name + " (cost model)");
+  }
+
   // --- bank particles (real, timed) ---------------------------------------
   rng::Stream rs(seed);
   particle::SoABank bank(n);
+  if (tracing) tr.begin("bank_particles", "offload");
   const double t0 = prof::now_seconds();
   for (std::size_t i = 0; i < n; ++i) {
     // Log-uniform energies: what the bank looks like mid-simulation.
@@ -36,13 +75,16 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
               geom::Direction{0, 0, 1}, e, 1.0, i, material);
   }
   rep.wall_bank_s = prof::now_seconds() - t0;
+  if (tracing) tr.end();
 
   // --- banked SIMD sweep (real, timed; the "device" leg) -------------------
   // Fault point offload.compute: a transient device failure is retried with
   // backoff; a persistent one degrades this iteration to the scalar host
   // sweep — same physics, host throughput.
   std::vector<xs::XsSet> out(n);
+  if (tracing) tr.begin("banked_lookup_sweep", "offload");
   const double t1 = prof::now_seconds();
+  const double sweep_ts = tracing ? tr.now_s() : 0.0;
   try {
     rep.retries += resil::retry_with_backoff(retry_, [&] {
       if (resil::fault_fires("offload.compute", 0)) {
@@ -56,6 +98,7 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
     xs::macro_xs_banked_scalar(lib_, material, bank.energy, out);
   }
   rep.wall_banked_lookup_s = prof::now_seconds() - t1;
+  if (tracing) tr.end();
 
   // --- scalar control sweep (real, timed) ----------------------------------
   const double t2 = prof::now_seconds();
@@ -97,6 +140,29 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
   rep.model_grid_transfer_s = device_.transfer_seconds(rep.grid_bytes, true);
   rep.model_compute_device_s = device_.banked_lookup_seconds(n, terms);
   rep.model_compute_host_s = host_.scalar_lookup_seconds(n, terms);
+
+  // Synthetic device track: the cost-model's projected transfer + compute
+  // legs, anchored at the measured banked sweep so Perfetto shows the
+  // modeled MIC timeline directly under the host's measured one.
+  if (tracing) {
+    obs::JsonWriter args;
+    args.begin_object()
+        .member("bank_bytes", static_cast<std::uint64_t>(rep.bank_bytes))
+        .member("device", device_.spec().name)
+        .end_object();
+    tr.inject_span(obs::Tracer::kDevicePid, 1, "model:pcie_transfer",
+                   "offload-model", sweep_ts, rep.model_transfer_s,
+                   args.str());
+    tr.inject_span(obs::Tracer::kDevicePid, 2, "model:banked_sweep",
+                   "offload-model", sweep_ts + rep.model_transfer_s,
+                   rep.model_compute_device_s);
+    tr.set_thread_name(obs::Tracer::kDevicePid, 1, "pcie (modeled)");
+    tr.set_thread_name(obs::Tracer::kDevicePid, 2, "device sweep (modeled)");
+  }
+
+  offload_retries_counter().inc(static_cast<std::uint64_t>(rep.retries));
+  if (rep.degraded) offload_degraded_counter().inc();
+  offload_bytes_counter().inc(rep.bank_bytes);
   return rep;
 }
 
@@ -151,6 +217,9 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
   // reached the device and the stage degrades to the host path.
   const auto transfer_stage = [&](int stage, std::size_t b, std::size_t e,
                                   int buf) {
+    // Runs on a pool lane: the span lands on that lane's own track, so the
+    // exported trace shows transfer(i+1) overlapping compute(i).
+    obs::Tracer::Scope span(obs::tracer(), "pcie_transfer", "offload");
     StageState st;
     try {
       st.retries = resil::retry_with_backoff(retry_, [&] {
@@ -191,6 +260,7 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
     }
     StageState comp;
     auto compute = pool.submit([&, cur, begin, end, stage] {
+      obs::Tracer::Scope span(obs::tracer(), "banked_sweep", "offload");
       if (cur_transfer.degraded) {
         // Graceful degradation: the bank never made it across the link, so
         // sweep the pristine host-resident energies with the scalar host
@@ -239,6 +309,15 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
   }
   run.wall_s = prof::now_seconds() - t0;
   run.checksum = checksum;
+
+  offload_retries_counter().inc(static_cast<std::uint64_t>(run.retries));
+  offload_degraded_counter().inc(static_cast<std::uint64_t>(run.degraded_stages));
+  offload_bytes_counter().inc(n * sizeof(double));
+  static const obs::Histogram h_stage = obs::metrics().histogram(
+      "vmc_offload_pipeline_stage_seconds",
+      {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0}, {},
+      "Mean per-stage wall time of the double-buffered pipeline");
+  if (run.n_stages > 0) h_stage.observe(run.wall_s / run.n_stages);
   return run;
 }
 

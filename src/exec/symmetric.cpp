@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vmc::exec {
 
 NodeSetup NodeSetup::jlse(int mics_per_node) {
@@ -69,6 +72,31 @@ SymmetricResult SymmetricRunner::run_batch(const WorkProfile& w,
                                                         1, s.n_cpu));
   }
   res.ideal_rate = ideal;
+
+  // Modeled load-balance gauges: slowest/fastest rank spread and the α
+  // actually applied to this batch (the Eq. 3 split input). A synthetic
+  // device-model span per batch keeps symmetric-mode runs visible on the
+  // same trace timeline as real offload runs.
+  static const obs::Gauge g_slow = obs::metrics().gauge(
+      "vmc_symmetric_slowest_rank_seconds", {},
+      "Modeled slowest-rank generation time of the latest batch");
+  static const obs::Gauge g_fast = obs::metrics().gauge(
+      "vmc_symmetric_fastest_rank_seconds", {},
+      "Modeled fastest-rank generation time of the latest batch");
+  static const obs::Gauge g_alpha = obs::metrics().gauge(
+      "vmc_symmetric_alpha", {},
+      "CPU/MIC rate ratio applied to the latest batch split (Eq. 3)");
+  g_slow.set(res.slowest_rank_s);
+  g_fast.set(res.fastest_rank_s);
+  if (alpha) g_alpha.set(*alpha);
+
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled()) {
+    const double now = tr.now_s();
+    tr.inject_span(obs::Tracer::kDevicePid, 3, "model:symmetric_batch",
+                   "symmetric-model", now, res.batch_seconds);
+    tr.set_thread_name(obs::Tracer::kDevicePid, 3, "symmetric batch (modeled)");
+  }
   return res;
 }
 

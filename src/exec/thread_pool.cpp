@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "prof/profiler.hpp"
+
 namespace vmc::exec {
 
 ThreadPool::ThreadPool(int n_threads) {
@@ -42,7 +46,19 @@ void ThreadPool::worker_loop() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
+  // Queue-wait histogram: time between enqueue and the worker picking the
+  // task up. A fat tail here is the "pool starved / oversubscribed" signal
+  // that raw per-stage timers cannot separate from slow kernels.
+  static const obs::Histogram h_wait = obs::metrics().histogram(
+      "vmc_thread_pool_queue_wait_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0}, {},
+      "Time submitted tasks spent waiting in the pool queue");
+  const double t_enq = prof::now_seconds();
+  std::packaged_task<void()> pt([t_enq, task = std::move(task)] {
+    h_wait.observe(prof::now_seconds() - t_enq);
+    obs::Tracer::Scope span(obs::tracer(), "pool_task", "exec");
+    task();
+  });
   std::future<void> f = pt.get_future();
   {
     std::lock_guard lk(mu_);

@@ -1,0 +1,153 @@
+#include "obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "resil/fault.hpp"
+#include "simd/simd.hpp"
+
+namespace vmc::obs {
+
+namespace {
+
+std::string iso8601_utc_now() {
+  const std::time_t t = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+}  // namespace
+
+RunManifest::RunManifest() : timestamp_utc_(iso8601_utc_now()) {}
+
+RunManifest& RunManifest::set_run_kind(std::string_view kind) {
+  run_kind_ = std::string(kind);
+  return *this;
+}
+
+RunManifest& RunManifest::set_seed(std::uint64_t seed) {
+  has_seed_ = true;
+  seed_ = seed;
+  return *this;
+}
+
+RunManifest& RunManifest::set_k_history(const std::vector<double>& k_history) {
+  k_history_ = k_history;
+  return *this;
+}
+
+RunManifest& RunManifest::set_extra(std::string_view key, std::string_view value) {
+  extra_strings_.emplace_back(std::string(key), std::string(value));
+  return *this;
+}
+
+RunManifest& RunManifest::set_extra(std::string_view key, double value) {
+  extra_numbers_.emplace_back(std::string(key), value);
+  return *this;
+}
+
+RunManifest& RunManifest::capture_fault_summary() {
+  has_faults_ = true;
+  faults_.clear();
+  for (std::string_view point : resil::kFaultPoints) {
+    FaultSummary fs;
+    fs.point = std::string(point);
+    fs.hits = resil::hits(point);
+    fs.fires = resil::fires(point);
+    faults_.push_back(std::move(fs));
+  }
+  return *this;
+}
+
+RunManifest& RunManifest::capture_metrics() {
+  metrics_json_ = metrics().snapshot().json();
+  return *this;
+}
+
+std::string RunManifest::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema", "vectormc.manifest.v1");
+  w.member("timestamp_utc", timestamp_utc_);
+  w.member("run_kind", run_kind_);
+
+  w.key("machine").begin_object();
+  w.member("isa", simd::isa_name());
+  w.member("simd_bits", simd::native_bits());
+  w.member("hardware_concurrency",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.end_object();
+
+  w.key("build").begin_object();
+#if defined(__VERSION__)
+  w.member("compiler", __VERSION__);
+#else
+  w.member("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  w.member("asserts", false);
+#else
+  w.member("asserts", true);
+#endif
+#if defined(__OPTIMIZE__)
+  w.member("optimized", true);
+#else
+  w.member("optimized", false);
+#endif
+  w.end_object();
+
+  if (has_seed_)
+    w.member("seed", seed_);
+  else
+    w.key("seed").null();
+
+  w.key("k_history").begin_array();
+  for (double k : k_history_) w.value(k);
+  w.end_array();
+
+  if (has_faults_) {
+    w.key("fault_summary").begin_array();
+    for (const auto& f : faults_) {
+      w.begin_object();
+      w.member("point", f.point);
+      w.member("hits", f.hits);
+      w.member("fires", f.fires);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (!extra_strings_.empty() || !extra_numbers_.empty()) {
+    w.key("extra").begin_object();
+    for (const auto& [k, v] : extra_strings_) w.member(k, v);
+    for (const auto& [k, v] : extra_numbers_) w.member(k, v);
+    w.end_object();
+  }
+
+  if (!metrics_json_.empty()) w.key("metrics").raw_value(metrics_json_);
+
+  w.end_object();
+  return w.str();
+}
+
+void RunManifest::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("obs::RunManifest: cannot open " + path);
+  out << json();
+  out.flush();
+  if (!out) throw std::runtime_error("obs::RunManifest: write failed for " + path);
+}
+
+}  // namespace vmc::obs

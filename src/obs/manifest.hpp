@@ -1,0 +1,66 @@
+// Run manifest: one JSON document per run that answers "what exactly ran?"
+//
+// A figure or table measurement is only reproducible if the machine, build,
+// SIMD configuration, seeds, injected-fault schedule, and convergence
+// history that produced it travel with the number. The manifest bundles all
+// of that plus a final metric snapshot into a single self-describing file
+// (schema `vectormc.manifest.v1`) written next to the trace/metrics
+// artifacts, and is what tools/vmc_obs_check cross-validates against the
+// driver's own k-history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vmc::obs {
+
+class RunManifest {
+ public:
+  /// Captures the machine (SIMD ISA, vector width, hardware concurrency)
+  /// and build (compiler, optimization/assert state) description plus a UTC
+  /// timestamp at construction.
+  RunManifest();
+
+  RunManifest& set_run_kind(std::string_view kind);  // e.g. "offload_pipeline"
+  RunManifest& set_seed(std::uint64_t seed);
+  RunManifest& set_k_history(const std::vector<double>& k_history);
+
+  /// Free-form extras (command-line echoes, scenario names, sizes, ...).
+  RunManifest& set_extra(std::string_view key, std::string_view value);
+  RunManifest& set_extra(std::string_view key, double value);
+
+  /// Record per-fault-point hit/fire totals from src/resil. Call after the
+  /// faulted section (counters survive disarm until the next arm()).
+  RunManifest& capture_fault_summary();
+
+  /// Embed a snapshot of the global metrics registry.
+  RunManifest& capture_metrics();
+
+  /// The manifest document (schema `vectormc.manifest.v1`).
+  std::string json() const;
+
+  /// json() to a file; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string timestamp_utc_;
+  std::string run_kind_;
+  bool has_seed_ = false;
+  std::uint64_t seed_ = 0;
+  std::vector<double> k_history_;
+  std::vector<std::pair<std::string, std::string>> extra_strings_;
+  std::vector<std::pair<std::string, double>> extra_numbers_;
+  struct FaultSummary {
+    std::string point;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+  std::vector<FaultSummary> faults_;
+  bool has_faults_ = false;
+  std::string metrics_json_;  // pre-serialized snapshot, spliced raw
+};
+
+}  // namespace vmc::obs

@@ -1,0 +1,443 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace vmc::obs {
+
+namespace detail {
+
+HistogramCells::HistogramCells(std::vector<double> upper_bounds)
+    : bounds(std::move(upper_bounds)),
+      buckets(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  if (bounds.empty())
+    throw std::logic_error("histogram requires at least one bucket bound");
+  if (!std::is_sorted(bounds.begin(), bounds.end()))
+    throw std::logic_error("histogram bounds must be ascending");
+  for (std::size_t i = 0; i <= bounds.size(); ++i) buckets[i].store(0);
+}
+
+}  // namespace detail
+
+void Histogram::observe(double v) const {
+  if (!h_) return;
+  // Linear scan: bucket lists are short (O(10)) and the branch predictor
+  // learns the common bucket fast; a binary search would cost more here.
+  std::size_t i = 0;
+  const std::size_t nb = h_->bounds.size();
+  while (i < nb && v > h_->bounds[i]) ++i;
+  h_->buckets[i].fetch_add(1, std::memory_order_relaxed);
+  h_->count.fetch_add(1, std::memory_order_relaxed);
+  double cur = h_->sum.load(std::memory_order_relaxed);
+  while (!h_->sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+const char* type_name(FamilySnapshot::Type t) {
+  switch (t) {
+    case FamilySnapshot::Type::counter: return "counter";
+    case FamilySnapshot::Type::gauge: return "gauge";
+    case FamilySnapshot::Type::histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// HELP text escapes backslash and newline (exposition format 0.0.4); an
+// unescaped newline would make the rest of the help parse as a sample line.
+std::string help_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+// Prometheus label values escape \, ", and newline.
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_val = {}) {
+  if (labels.empty() && !extra_key) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_metric_name(k);
+    out += "=\"";
+    out += prom_escape(v);
+    out += '"';
+  }
+  if (extra_key) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += prom_escape(extra_val);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+              (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_locked(
+    std::string_view name, FamilySnapshot::Type type, std::string_view help,
+    const std::vector<double>* bounds) {
+  for (auto& f : families_) {
+    if (f->name == name) {
+      if (f->type != type)
+        throw std::logic_error("metric family '" + std::string(name) +
+                               "' re-registered with different type");
+      if (type == FamilySnapshot::Type::histogram && bounds && f->bounds != *bounds)
+        throw std::logic_error("histogram family '" + std::string(name) +
+                               "' re-registered with different bounds");
+      if (f->help.empty() && !help.empty()) f->help = std::string(help);
+      return *f;
+    }
+  }
+  auto f = std::make_unique<Family>();
+  f->name = sanitize_metric_name(name);
+  f->help = std::string(help);
+  f->type = type;
+  if (bounds) f->bounds = *bounds;
+  families_.push_back(std::move(f));
+  return *families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_locked(Family& fam,
+                                                        Labels&& labels) {
+  for (auto& s : fam.series)
+    if (s.labels == labels) return s;
+  fam.series.push_back(Series{});
+  fam.series.back().labels = std::move(labels);
+  return fam.series.back();
+}
+
+Counter MetricsRegistry::counter(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& fam = family_locked(name, FamilySnapshot::Type::counter, help, nullptr);
+  Series& s = series_locked(fam, sorted(std::move(labels)));
+  if (!s.counter) s.counter = std::make_unique<detail::CounterCell>();
+  return Counter(s.counter.get());
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, Labels labels,
+                             std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& fam = family_locked(name, FamilySnapshot::Type::gauge, help, nullptr);
+  Series& s = series_locked(fam, sorted(std::move(labels)));
+  if (!s.gauge) s.gauge = std::make_unique<detail::GaugeCell>();
+  return Gauge(s.gauge.get());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> upper_bounds,
+                                     Labels labels, std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& fam =
+      family_locked(name, FamilySnapshot::Type::histogram, help, &upper_bounds);
+  Series& s = series_locked(fam, sorted(std::move(labels)));
+  if (!s.histogram)
+    s.histogram = std::make_unique<detail::HistogramCells>(std::move(upper_bounds));
+  return Histogram(s.histogram.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  snap.families.reserve(families_.size());
+  for (const auto& f : families_) {
+    FamilySnapshot fs;
+    fs.name = f->name;
+    fs.help = f->help;
+    fs.type = f->type;
+    fs.bounds = f->bounds;
+    for (const auto& s : f->series) {
+      SeriesSnapshot ss;
+      ss.labels = s.labels;
+      if (s.counter) ss.counter_value = s.counter->v.load(std::memory_order_relaxed);
+      if (s.gauge) ss.gauge_value = s.gauge->v.load(std::memory_order_relaxed);
+      if (s.histogram) {
+        const std::size_t nb = s.histogram->bounds.size() + 1;
+        ss.bucket_counts.resize(nb);
+        for (std::size_t i = 0; i < nb; ++i)
+          ss.bucket_counts[i] = s.histogram->buckets[i].load(std::memory_order_relaxed);
+        ss.hist_count = s.histogram->count.load(std::memory_order_relaxed);
+        ss.hist_sum = s.histogram->sum.load(std::memory_order_relaxed);
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snap.families.push_back(std::move(fs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& f : families_) {
+    for (auto& s : f->series) {
+      if (s.counter) s.counter->v.store(0);
+      if (s.gauge) s.gauge->v.store(0.0);
+      if (s.histogram) {
+        for (std::size_t i = 0; i <= s.histogram->bounds.size(); ++i)
+          s.histogram->buckets[i].store(0);
+        s.histogram->count.store(0);
+        s.histogram->sum.store(0.0);
+      }
+    }
+  }
+}
+
+std::string MetricsSnapshot::prometheus() const {
+  std::string out;
+  for (const auto& f : families) {
+    if (!f.help.empty()) out += "# HELP " + f.name + " " + help_escape(f.help) + "\n";
+    out += "# TYPE " + f.name + " " + type_name(f.type) + "\n";
+    for (const auto& s : f.series) {
+      switch (f.type) {
+        case FamilySnapshot::Type::counter:
+          out += f.name + label_block(s.labels) + " " +
+                 std::to_string(s.counter_value) + "\n";
+          break;
+        case FamilySnapshot::Type::gauge:
+          out += f.name + label_block(s.labels) + " " + fmt_double(s.gauge_value) +
+                 "\n";
+          break;
+        case FamilySnapshot::Type::histogram: {
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < f.bounds.size(); ++i) {
+            cum += s.bucket_counts.size() > i ? s.bucket_counts[i] : 0;
+            out += f.name + "_bucket" +
+                   label_block(s.labels, "le", fmt_double(f.bounds[i])) + " " +
+                   std::to_string(cum) + "\n";
+          }
+          cum += s.bucket_counts.empty() ? 0 : s.bucket_counts.back();
+          out += f.name + "_bucket" + label_block(s.labels, "le", "+Inf") + " " +
+                 std::to_string(cum) + "\n";
+          out += f.name + "_sum" + label_block(s.labels) + " " +
+                 fmt_double(s.hist_sum) + "\n";
+          out += f.name + "_count" + label_block(s.labels) + " " +
+                 std::to_string(s.hist_count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema", "vectormc.metrics.v1");
+  w.key("families").begin_array();
+  for (const auto& f : families) {
+    w.begin_object();
+    w.member("name", f.name);
+    w.member("help", f.help);
+    w.member("type", type_name(f.type));
+    if (f.type == FamilySnapshot::Type::histogram) {
+      w.key("bounds").begin_array();
+      for (double b : f.bounds) w.value(b);
+      w.end_array();
+    }
+    w.key("series").begin_array();
+    for (const auto& s : f.series) {
+      w.begin_object();
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : s.labels) w.member(k, v);
+      w.end_object();
+      switch (f.type) {
+        case FamilySnapshot::Type::counter:
+          w.member("value", s.counter_value);
+          break;
+        case FamilySnapshot::Type::gauge:
+          w.member("value", s.gauge_value);
+          break;
+        case FamilySnapshot::Type::histogram:
+          w.key("buckets").begin_array();
+          for (std::uint64_t c : s.bucket_counts) w.value(c);
+          w.end_array();
+          w.member("count", s.hist_count);
+          w.member("sum", s.hist_sum);
+          break;
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts, double q) {
+  if (q < 0.0 || q > 1.0 || bounds.empty() || counts.size() != bounds.size() + 1)
+    return std::nan("");
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return std::nan("");
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double prev = cum;
+    cum += static_cast<double>(counts[i]);
+    if (cum >= target && counts[i] > 0) {
+      // Overflow bucket has no upper bound: clamp to the last finite bound.
+      if (i == bounds.size()) return bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          counts[i] == 0 ? 0.0
+                         : (target - prev) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds.back();
+}
+
+bool prometheus_validate(std::string_view text, std::string* error) {
+  auto fail = [&](std::size_t line_no, const std::string& what) {
+    if (error)
+      *error = "prometheus line " + std::to_string(line_no) + ": " + what;
+    return false;
+  };
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# HELP name text" and "# TYPE name type" comments are checked.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos)
+          return fail(line_no, "TYPE missing type token");
+        std::string_view t = rest.substr(sp + 1);
+        if (t != "counter" && t != "gauge" && t != "histogram" &&
+            t != "summary" && t != "untyped")
+          return fail(line_no, "unknown TYPE '" + std::string(t) + "'");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    auto name_char = [&](char c, bool first) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+             (!first && std::isdigit(static_cast<unsigned char>(c)));
+    };
+    if (i >= line.size() || !name_char(line[i], true))
+      return fail(line_no, "bad metric name start");
+    while (i < line.size() && name_char(line[i], false)) ++i;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      bool first_label = true;
+      while (i < line.size() && line[i] != '}') {
+        if (!first_label) {
+          if (line[i] != ',') return fail(line_no, "expected ',' between labels");
+          ++i;
+        }
+        first_label = false;
+        if (i >= line.size() || !name_char(line[i], true))
+          return fail(line_no, "bad label name");
+        while (i < line.size() && name_char(line[i], false)) ++i;
+        if (i >= line.size() || line[i] != '=')
+          return fail(line_no, "expected '=' after label name");
+        ++i;
+        if (i >= line.size() || line[i] != '"')
+          return fail(line_no, "expected '\"' to open label value");
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') ++i;  // escaped char
+          ++i;
+        }
+        if (i >= line.size()) return fail(line_no, "unterminated label value");
+        ++i;  // closing quote
+      }
+      if (i >= line.size()) return fail(line_no, "unterminated label block");
+      ++i;  // '}'
+    }
+    if (i >= line.size() || line[i] != ' ')
+      return fail(line_no, "expected space before value");
+    ++i;
+    std::string_view val = line.substr(i);
+    if (val.empty()) return fail(line_no, "missing value");
+    if (val != "NaN" && val != "+Inf" && val != "-Inf") {
+      char* end = nullptr;
+      std::string v(val);
+      (void)std::strtod(v.c_str(), &end);
+      if (end != v.c_str() + v.size())
+        return fail(line_no, "unparseable value '" + v + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace vmc::obs

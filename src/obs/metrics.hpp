@@ -1,0 +1,211 @@
+// Metrics registry: labeled counter/gauge/histogram families with a
+// lock-free hot path.
+//
+// Registration (`counter()`, `gauge()`, `histogram()`) takes the registry
+// mutex and returns a small handle wrapping a pointer to stable atomic
+// storage; after that, `inc`/`set`/`observe` are plain relaxed atomic
+// operations — no lock, no allocation — so handles can live inside transport
+// inner loops. Series are deduplicated by (name, sorted labels): a second
+// registration of the same series returns a handle to the same cells, which
+// is what lets e.g. every `EventTracker::run` call share one
+// `vmc_bank_sweep_particles_total{kernel="xs_lookup",isa="avx2"}` counter.
+//
+// Snapshots are point-in-time copies exportable as Prometheus text
+// exposition (scrape-compatible) or JSON (via obs::JsonWriter, schema
+// `vectormc.metrics.v1`). Relaxed atomics mean a snapshot taken mid-sweep
+// may be a few increments stale per thread — fine for rate/occupancy
+// observability, and documented in DESIGN.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vmc::obs {
+
+/// Label set for one series. Order-insensitive: the registry sorts by key
+/// before deduplication and export.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+struct CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct GaugeCell {
+  std::atomic<double> v{0.0};
+};
+
+struct HistogramCells {
+  explicit HistogramCells(std::vector<double> upper_bounds);
+  std::vector<double> bounds;  // ascending upper bounds; +inf bucket implicit
+  // buckets.size() == bounds.size() + 1; the last bucket is the overflow
+  // (+inf) bucket so no observation is ever dropped.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Copyable, trivially cheap; `inc` is one relaxed
+/// atomic add.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t by = 1) const {
+    if (c_) c_->v.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return c_ ? c_->v.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterCell* c) : c_(c) {}
+  detail::CounterCell* c_ = nullptr;
+};
+
+/// Last-value gauge handle; `set`/`add` are relaxed atomics.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const {
+    if (g_) g_->v.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) const {
+    if (!g_) return;
+    double cur = g_->v.load(std::memory_order_relaxed);
+    while (!g_->v.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return g_ ? g_->v.load(std::memory_order_relaxed) : 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeCell* g) : g_(g) {}
+  detail::GaugeCell* g_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. `observe` is a branchless-ish bucket scan
+/// (bucket counts are small and fixed at registration) plus relaxed atomics.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const;
+  std::uint64_t count() const {
+    return h_ ? h_->count.load(std::memory_order_relaxed) : 0;
+  }
+  double sum() const { return h_ ? h_->sum.load(std::memory_order_relaxed) : 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCells* h) : h_(h) {}
+  detail::HistogramCells* h_ = nullptr;
+};
+
+/// Point-in-time copy of one series.
+struct SeriesSnapshot {
+  Labels labels;
+  // counter: integer in `counter_value`; gauge: `gauge_value`;
+  // histogram: buckets (cumulative on export), count, sum.
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  std::vector<std::uint64_t> bucket_counts;  // per-bucket (NOT cumulative)
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+};
+
+/// Point-in-time copy of one family (all series sharing a name and type).
+struct FamilySnapshot {
+  enum class Type : unsigned char { counter, gauge, histogram };
+  std::string name;
+  std::string help;
+  Type type = Type::counter;
+  std::vector<double> bounds;  // histogram families only
+  std::vector<SeriesSnapshot> series;
+};
+
+struct MetricsSnapshot {
+  std::vector<FamilySnapshot> families;
+
+  /// Prometheus text exposition (version 0.0.4): # HELP/# TYPE headers,
+  /// histogram `_bucket{le=...}`/`_sum`/`_count` expansion, cumulative
+  /// buckets including `le="+Inf"`.
+  std::string prometheus() const;
+
+  /// JSON document, schema `vectormc.metrics.v1`.
+  std::string json() const;
+};
+
+/// Registry of metric families. Registration is mutex-guarded; returned
+/// handles are valid for the registry's lifetime (cells are heap-allocated
+/// and never move). Re-registering an existing (name, labels) series returns
+/// the same cells; re-registering a name with a different type (or a
+/// histogram with different bounds) throws std::logic_error.
+class MetricsRegistry {
+ public:
+  Counter counter(std::string_view name, Labels labels = {},
+                  std::string_view help = "");
+  Gauge gauge(std::string_view name, Labels labels = {},
+              std::string_view help = "");
+  Histogram histogram(std::string_view name, std::vector<double> upper_bounds,
+                      Labels labels = {}, std::string_view help = "");
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every counter/gauge/histogram cell (families and series remain
+  /// registered). For test isolation; not thread-safe against concurrent
+  /// observers in the sense that mixed old/new values may be seen.
+  void reset();
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<detail::CounterCell> counter;
+    std::unique_ptr<detail::GaugeCell> gauge;
+    std::unique_ptr<detail::HistogramCells> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    FamilySnapshot::Type type = FamilySnapshot::Type::counter;
+    std::vector<double> bounds;
+    std::vector<Series> series;
+  };
+
+  Family& family_locked(std::string_view name, FamilySnapshot::Type type,
+                        std::string_view help, const std::vector<double>* bounds);
+  Series& series_locked(Family& fam, Labels&& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+/// Process-wide registry used by the built-in instrumentation.
+MetricsRegistry& metrics();
+
+/// Sanitize an arbitrary string into the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (invalid characters become '_').
+std::string sanitize_metric_name(std::string_view name);
+
+/// Quantile estimate from fixed-bucket histogram data (per-bucket counts,
+/// NOT cumulative; `counts.size() == bounds.size() + 1`). Linear
+/// interpolation within the located bucket; the overflow bucket clamps to
+/// the last bound. Returns NaN for empty data or q outside [0,1].
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts, double q);
+
+/// Structural validation of a Prometheus text exposition: every non-comment
+/// line must look like `name{labels} value` with a parseable value, # TYPE
+/// lines must name a known type, and label syntax must balance. Returns true
+/// when valid; otherwise stores a message in *error when non-null.
+bool prometheus_validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace vmc::obs

@@ -1,0 +1,279 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "prof/profiler.hpp"
+
+namespace vmc::obs {
+
+namespace {
+constexpr int kMaxOpenSpans = 64;
+
+// Never-reused instance ids key the thread_local buffer cache. Keying by
+// `this` would be wrong: a new Tracer constructed at a dead Tracer's address
+// (routine for stack-allocated tracers in tests) would inherit the dead
+// one's freed ThreadBufs.
+std::atomic<std::uint64_t> next_tracer_id{1};
+}  // namespace
+
+// Per-thread ring of events. Owned by the Tracer (deleted in its dtor, same
+// lifetime pattern as prof::Registry::ThreadState); the thread_local map in
+// local() only caches pointers.
+struct Tracer::ThreadBuf {
+  explicit ThreadBuf(std::size_t cap) : ring(cap) {}
+  std::vector<Event> ring;
+  std::size_t head = 0;       // next write position
+  std::uint64_t total = 0;    // events ever written (total - size = dropped)
+  struct Open {
+    const char* name;
+    const char* cat;
+    double t0_us;
+  };
+  Open open[kMaxOpenSpans];
+  int depth = 0;
+  int tid = 0;
+  std::mutex mu;  // ring writes vs. chrome_json()/clear()
+
+  void push(const Event& e) {
+    std::lock_guard<std::mutex> lk(mu);
+    ring[head] = e;
+    head = (head + 1) % ring.size();
+    ++total;
+  }
+};
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      ring_cap_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_s_(prof::now_seconds()) {}
+
+Tracer::~Tracer() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (ThreadBuf* t : threads_) delete t;
+}
+
+double Tracer::now_s() const { return prof::now_seconds() - epoch_s_; }
+
+Tracer::ThreadBuf& Tracer::local() {
+  thread_local std::map<std::uint64_t, ThreadBuf*> per_tracer;
+  ThreadBuf*& tb = per_tracer[id_];
+  if (tb == nullptr) {
+    tb = new ThreadBuf(ring_cap_);
+    std::lock_guard<std::mutex> lk(mu_);
+    tb->tid = next_tid_++;
+    threads_.push_back(tb);
+  }
+  return *tb;
+}
+
+void Tracer::begin(const char* name, const char* cat) {
+  if (!enabled()) return;
+  ThreadBuf& tb = local();
+  if (tb.depth >= kMaxOpenSpans) return;  // overflow: drop, never corrupt
+  tb.open[tb.depth++] = {name, cat, now_s() * 1e6};
+}
+
+void Tracer::end() {
+  // Deliberately NOT gated on enabled(): a span opened while enabled must
+  // close even if the tracer was disabled mid-span (Tracer::Scope relies on
+  // this), or the open-span stack leaks and the event is lost.
+  ThreadBuf& tb = local();
+  if (tb.depth <= 0) return;  // unbalanced end: drop
+  const auto& o = tb.open[--tb.depth];
+  Event e;
+  e.name = o.name;
+  e.cat = o.cat;
+  e.ts_us = o.t0_us;
+  e.dur_us = now_s() * 1e6 - o.t0_us;
+  e.ph = 'X';
+  tb.push(e);
+}
+
+void Tracer::instant(const char* name, const char* cat) {
+  if (!enabled()) return;
+  ThreadBuf& tb = local();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = now_s() * 1e6;
+  e.ph = 'i';
+  tb.push(e);
+}
+
+void Tracer::inject_span(int pid, int tid, std::string_view name,
+                         std::string_view cat, double ts_s, double dur_s,
+                         std::string_view args_json) {
+  if (!enabled()) return;
+  if (!args_json.empty() && !json_valid(args_json))
+    throw std::logic_error("inject_span: args_json is not valid JSON");
+  Injected ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.args_json = std::string(args_json);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_s * 1e6;
+  ev.dur_us = dur_s * 1e6;
+  ev.ph = 'X';
+  std::lock_guard<std::mutex> lk(mu_);
+  injected_.push_back(std::move(ev));
+}
+
+void Tracer::inject_instant(int pid, int tid, std::string_view name,
+                            std::string_view cat, double ts_s) {
+  if (!enabled()) return;
+  Injected ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_s * 1e6;
+  ev.ph = 'i';
+  std::lock_guard<std::mutex> lk(mu_);
+  injected_.push_back(std::move(ev));
+}
+
+void Tracer::set_process_name(int pid, std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [p, n] : process_names_)
+    if (p == pid) {
+      n = std::string(name);
+      return;
+    }
+  process_names_.emplace_back(pid, std::string(name));
+}
+
+void Tracer::set_thread_name(int pid, int tid, std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [key, n] : thread_names_)
+    if (key.first == pid && key.second == tid) {
+      n = std::string(name);
+      return;
+    }
+  thread_names_.emplace_back(std::make_pair(pid, tid), std::string(name));
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t d = 0;
+  for (ThreadBuf* tb : threads_) {
+    std::lock_guard<std::mutex> tlk(tb->mu);
+    if (tb->total > tb->ring.size()) d += tb->total - tb->ring.size();
+  }
+  return d;
+}
+
+std::string Tracer::chrome_json() const {
+  // Collect everything under the tracer lock, then serialize unlocked.
+  struct Flat {
+    std::string name, cat, args_json;
+    int pid, tid;
+    double ts_us, dur_us;
+    char ph;
+  };
+  std::vector<Flat> events;
+  std::uint64_t dropped_events = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (ThreadBuf* tb : threads_) {
+      std::lock_guard<std::mutex> tlk(tb->mu);
+      const std::size_t n = std::min<std::uint64_t>(tb->total, tb->ring.size());
+      if (tb->total > tb->ring.size()) dropped_events += tb->total - tb->ring.size();
+      // Oldest surviving event first.
+      std::size_t start = tb->total > tb->ring.size() ? tb->head : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Event& e = tb->ring[(start + i) % tb->ring.size()];
+        events.push_back(
+            Flat{e.name, e.cat, {}, kHostPid, tb->tid, e.ts_us, e.dur_us, e.ph});
+      }
+    }
+    for (const Injected& ev : injected_)
+      events.push_back(Flat{ev.name, ev.cat, ev.args_json, ev.pid, ev.tid,
+                            ev.ts_us, ev.dur_us, ev.ph});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Flat& a, const Flat& b) { return a.ts_us < b.ts_us; });
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [pid, name] : process_names_) {
+      w.begin_object();
+      w.member("name", "process_name");
+      w.member("ph", "M");
+      w.member("pid", pid);
+      w.member("tid", 0);
+      w.key("args").begin_object().member("name", name).end_object();
+      w.end_object();
+    }
+    for (const auto& [key, name] : thread_names_) {
+      w.begin_object();
+      w.member("name", "thread_name");
+      w.member("ph", "M");
+      w.member("pid", key.first);
+      w.member("tid", key.second);
+      w.key("args").begin_object().member("name", name).end_object();
+      w.end_object();
+    }
+  }
+  for (const Flat& e : events) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.cat.empty() ? std::string("vmc") : e.cat);
+    w.member("ph", std::string(1, e.ph));
+    w.member("ts", e.ts_us);
+    if (e.ph == 'X') w.member("dur", e.dur_us);
+    w.member("pid", e.pid);
+    w.member("tid", e.tid);
+    if (e.ph == 'i') w.member("s", "t");  // instant scope: thread
+    if (!e.args_json.empty()) {
+      // Validated at injection time too, but re-check here: a raw splice is
+      // the one escape hatch from the writer's "output always parses"
+      // invariant.
+      if (!json_valid(e.args_json))
+        throw std::logic_error("inject_span: args_json is not valid JSON");
+      w.key("args").raw_value(e.args_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.member("emitter", "vmc_obs");
+  w.member("dropped_events", dropped_events);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void Tracer::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("obs::Tracer: cannot open " + path);
+  out << chrome_json();
+  out.flush();
+  if (!out) throw std::runtime_error("obs::Tracer: write failed for " + path);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (ThreadBuf* tb : threads_) {
+    std::lock_guard<std::mutex> tlk(tb->mu);
+    tb->head = 0;
+    tb->total = 0;
+    tb->depth = 0;
+  }
+  injected_.clear();
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace vmc::obs

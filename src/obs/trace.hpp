@@ -1,0 +1,140 @@
+// Structured tracer: per-thread ring-buffered span/instant events exported
+// as Chrome `trace_event` JSON (chrome://tracing, Perfetto).
+//
+// Hot-path design mirrors prof::Registry: each thread gets a ThreadBuf
+// registered on first use (thread_local map keyed by tracer address, so
+// multiple tracers — e.g. the global one plus a test-local one — coexist);
+// recording a span is a bounds-check, a ring write, and no allocation after
+// the ring warms up. Span/instant names and categories MUST be string
+// literals (or otherwise outlive the tracer): events store `const char*`, not
+// copies, which is what keeps a disabled-tracer check down to one relaxed
+// atomic load and an enabled record to ~tens of ns.
+//
+// The injection API is the bridge to the exec::Machine device model: the
+// offload/symmetric runtimes compute *modeled* transfer/compute durations for
+// paper hardware (MIC-7120A etc.), and inject_span places those on a
+// synthetic device process track (pid kDevicePid) next to the measured host
+// track (pid kHostPid), so Perfetto renders measured host activity and
+// simulated device activity on one timeline — the Fig. 4-style comparison
+// view EXPERIMENTS.md documents.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmc::obs {
+
+class Tracer {
+ public:
+  /// Process ids used in the exported trace: measured host activity vs
+  /// synthetic (cost-model) device activity.
+  static constexpr int kHostPid = 0;
+  static constexpr int kDevicePid = 1;
+
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Master switch; when disabled every record call is one relaxed load.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Seconds since this tracer's epoch (monotonic, via prof::now_seconds).
+  double now_s() const;
+
+  /// Open/close a span on the calling thread's track. `name` and `cat` must
+  /// be string literals (stored by pointer). Unbalanced ends are dropped.
+  void begin(const char* name, const char* cat);
+  void end();
+
+  /// Zero-duration instant event on the calling thread's track.
+  void instant(const char* name, const char* cat);
+
+  /// RAII span: begins on construction if the tracer is enabled, ends on
+  /// destruction. Captures enabledness at construction so an enable/disable
+  /// flip mid-span cannot unbalance the ring.
+  class Scope {
+   public:
+    Scope(Tracer& t, const char* name, const char* cat) : t_(t), armed_(t.enabled()) {
+      if (armed_) t_.begin(name, cat);
+    }
+    ~Scope() {
+      if (armed_) t_.end();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer& t_;
+    bool armed_;
+  };
+
+  /// Injection API: place an event on an arbitrary (pid, tid) track with an
+  /// explicit timestamp/duration in tracer seconds (now_s() clock). Strings
+  /// are copied; `args_json` (optional) must be a complete JSON object and is
+  /// embedded verbatim as the event's "args". Used for cost-model device
+  /// tracks; also usable by tests.
+  void inject_span(int pid, int tid, std::string_view name, std::string_view cat,
+                   double ts_s, double dur_s, std::string_view args_json = {});
+  void inject_instant(int pid, int tid, std::string_view name,
+                      std::string_view cat, double ts_s);
+
+  /// Track naming (Chrome metadata events).
+  void set_process_name(int pid, std::string_view name);
+  void set_thread_name(int pid, int tid, std::string_view name);
+
+  /// Chrome trace_event JSON document ({"traceEvents": [...], ...}).
+  /// Collects every thread's ring plus injected events, sorted by timestamp.
+  std::string chrome_json() const;
+
+  /// chrome_json() to a file; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+  /// Drop all recorded and injected events (track names survive).
+  void clear();
+
+  /// Events overwritten because a thread ring filled (reported in the
+  /// exported JSON so truncation is never silent).
+  std::uint64_t dropped() const;
+
+ private:
+  struct Event {
+    const char* name = nullptr;  // literal
+    const char* cat = nullptr;   // literal
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    char ph = 'X';  // 'X' complete, 'i' instant
+  };
+  struct Injected {
+    std::string name, cat, args_json;
+    int pid = 0, tid = 0;
+    double ts_us = 0.0, dur_us = 0.0;
+    char ph = 'X';
+  };
+  struct ThreadBuf;
+
+  ThreadBuf& local();
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t id_;  // never reused; keys the thread_local buf cache
+  const std::size_t ring_cap_;
+  const double epoch_s_;
+
+  mutable std::mutex mu_;  // guards thread list, injected events, track names
+  std::vector<ThreadBuf*> threads_;
+  std::vector<Injected> injected_;
+  std::vector<std::pair<int, std::string>> process_names_;
+  std::vector<std::pair<std::pair<int, int>, std::string>> thread_names_;
+  int next_tid_ = 1;
+};
+
+/// Process-wide tracer used by the built-in instrumentation. Disabled by
+/// default; drivers enable it (e.g. examples honour VMC_OBS_DIR).
+Tracer& tracer();
+
+}  // namespace vmc::obs

@@ -1,6 +1,8 @@
 #include "prof/profiler.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <shared_mutex>
 
 namespace vmc::prof {
 
@@ -21,7 +23,12 @@ double Profile::total_exclusive() const {
 
 namespace {
 constexpr int kMaxDepth = 64;
-}
+
+// Never-reused instance ids key the thread_local state cache: keying by
+// `this` would hand a Registry constructed at a dead Registry's address the
+// dead one's freed ThreadStates.
+std::atomic<std::uint64_t> next_registry_id{1};
+}  // namespace
 
 struct Registry::ThreadState {
   struct Slot {
@@ -40,7 +47,8 @@ struct Registry::ThreadState {
   std::mutex mu;  // protects slots growth vs. snapshot
 };
 
-Registry::Registry() = default;
+Registry::Registry()
+    : id_(next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 Registry::~Registry() {
   std::lock_guard lk(mu_);
@@ -48,6 +56,13 @@ Registry::~Registry() {
 }
 
 TimerHandle Registry::handle(const std::string& name) {
+  {
+    // Fast path: already-registered names (the steady state — transport code
+    // calls handle() once per iteration per timer) need only a shared lock.
+    std::shared_lock lk(mu_);
+    auto it = name_to_index_.find(name);
+    if (it != name_to_index_.end()) return TimerHandle{it->second};
+  }
   std::lock_guard lk(mu_);
   auto [it, inserted] =
       name_to_index_.try_emplace(name, static_cast<int>(names_.size()));
@@ -56,8 +71,8 @@ TimerHandle Registry::handle(const std::string& name) {
 }
 
 Registry::ThreadState& Registry::local() {
-  thread_local std::map<const Registry*, ThreadState*> per_registry;
-  ThreadState*& ts = per_registry[this];
+  thread_local std::map<std::uint64_t, ThreadState*> per_registry;
+  ThreadState*& ts = per_registry[id_];
   if (ts == nullptr) {
     ts = new ThreadState();
     std::lock_guard lk(mu_);
@@ -102,7 +117,7 @@ void Registry::add_sample(TimerHandle h, double seconds, std::uint64_t calls) {
 Profile Registry::snapshot(const std::string& label) const {
   Profile p;
   p.label = label;
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);  // keeps threads_/names_ stable; slots have own locks
   for (ThreadState* ts : threads_) {
     std::lock_guard tlk(ts->mu);
     for (std::size_t i = 0; i < ts->slots.size(); ++i) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,10 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// Register (or look up) a timer by name.
+  /// Register (or look up) a timer by name. Read-mostly: a lookup of an
+  /// already-registered name takes only a shared lock, so concurrent
+  /// handle() calls from a pool of worker threads (the per-iteration pattern
+  /// in core::EventTracker) don't serialize on the registry.
   TimerHandle handle(const std::string& name);
 
   /// Start/stop the timer on the calling thread. Must nest properly.
@@ -73,7 +77,8 @@ class Registry {
   struct ThreadState;
   ThreadState& local();
 
-  mutable std::mutex mu_;
+  const std::uint64_t id_;  // never reused; keys the thread_local state cache
+  mutable std::shared_mutex mu_;
   std::vector<std::string> names_;
   std::map<std::string, int> name_to_index_;
   std::vector<ThreadState*> threads_;  // guarded by mu_

@@ -1,0 +1,71 @@
+// bench::Report schema: every BENCH_*.json document a harness emits must be
+// a valid vectormc.bench.v1 doc — machine context, notes, and numeric rows —
+// because EXPERIMENTS.md plots are generated straight from these files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace vmc;
+using obs::JsonValue;
+
+TEST(BenchReport, JsonMatchesSchema) {
+  bench::Report report("schema_probe", "Test Artifact", "schema check");
+  report.note("scenario", "unit test").note("n_cases", 2.0);
+  report.row({{"x", 1.0}, {"rate", 2.5e6}});
+  report.row({{"x", 2.0}, {"rate", 4.9e6}});
+
+  const JsonValue doc = obs::json_parse(report.json());
+  EXPECT_EQ(doc.find("schema")->string, "vectormc.bench.v1");
+  EXPECT_EQ(doc.find("name")->string, "schema_probe");
+  EXPECT_EQ(doc.find("artifact")->string, "Test Artifact");
+  EXPECT_FALSE(doc.find("isa")->string.empty());
+  EXPECT_GT(doc.find("simd_bits")->number, 0.0);
+  EXPECT_GT(doc.find("bench_scale")->number, 0.0);
+
+  const JsonValue* notes = doc.find("notes");
+  ASSERT_NE(notes, nullptr);
+  EXPECT_EQ(notes->find("scenario")->string, "unit test");
+  EXPECT_DOUBLE_EQ(notes->find("n_cases")->number, 2.0);
+
+  const JsonValue* rows = doc.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows->array[0].find("x")->number, 1.0);
+  EXPECT_DOUBLE_EQ(rows->array[1].find("rate")->number, 4.9e6);
+  // Column order is preserved: plots rely on the first column as the axis.
+  EXPECT_EQ(rows->array[0].object.front().first, "x");
+}
+
+TEST(BenchReport, FlushWritesFileWhenEnvSet) {
+  const std::string dir = std::string(::testing::TempDir()) + "/bench-json";
+  ASSERT_EQ(setenv("VMC_BENCH_JSON", dir.c_str(), 1), 0);
+  {
+    bench::Report report("flush_probe", "Test Artifact", "flush check");
+    report.row({{"v", 1.0}});
+  }  // dtor flushes
+  ASSERT_EQ(unsetenv("VMC_BENCH_JSON"), 0);
+
+  std::ifstream in(dir + "/BENCH_flush_probe.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue doc = obs::json_parse(ss.str());
+  EXPECT_EQ(doc.find("name")->string, "flush_probe");
+}
+
+TEST(BenchReport, NoEnvMeansNoFile) {
+  ASSERT_EQ(unsetenv("VMC_BENCH_JSON"), 0);
+  bench::Report report("silent_probe", "Test Artifact", "no-env check");
+  report.row({{"v", 1.0}});
+  EXPECT_NO_THROW(report.flush());
+}
+
+}  // namespace

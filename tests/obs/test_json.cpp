@@ -1,0 +1,173 @@
+// JSON layer: writer structural bookkeeping, escaping, number formatting,
+// the raw_value splice hatch, and the strict parser the checkers build on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace vmc::obs;
+
+TEST(JsonWriter, NestedDocumentRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("name", "run");
+  w.member("n", std::int64_t{42});
+  w.member("rate", 2.5);
+  w.member("ok", true);
+  w.key("nothing").null();
+  w.key("list").begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("inner").begin_object();
+  w.member("k", "v");
+  w.end_object();
+  w.end_object();
+
+  const JsonValue doc = json_parse(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->string, "run");
+  EXPECT_DOUBLE_EQ(doc.find("n")->number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.find("rate")->number, 2.5);
+  EXPECT_TRUE(doc.find("ok")->boolean);
+  EXPECT_TRUE(doc.find("nothing")->is_null());
+  ASSERT_EQ(doc.find("list")->array.size(), 3u);
+  EXPECT_EQ(doc.find("inner")->find("k")->string, "v");
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("s", std::string_view("a\"b\\c\nd\te\x01f"));
+  w.end_object();
+  const JsonValue doc = json_parse(w.str());
+  EXPECT_EQ(doc.find("s")->string, "a\"b\\c\nd\te\x01f");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.end_array();
+  const JsonValue doc = json_parse(w.str());
+  ASSERT_EQ(doc.array.size(), 3u);
+  for (const auto& v : doc.array) EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonWriter, Uint64PreservesFullRange) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("v", std::uint64_t{18446744073709551615ULL});
+  w.end_object();
+  EXPECT_NE(w.str().find("18446744073709551615"), std::string::npos);
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // unclosed container
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.str(), std::logic_error);  // empty document
+  }
+}
+
+TEST(JsonWriter, RawValueSplicesEmbeddedDocument) {
+  JsonWriter inner;
+  inner.begin_object();
+  inner.member("nested", 7);
+  inner.end_object();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("payload").raw_value(inner.str());
+  w.member("after", 1);
+  w.end_object();
+
+  const JsonValue doc = json_parse(w.str());
+  EXPECT_DOUBLE_EQ(doc.find("payload")->find("nested")->number, 7.0);
+  EXPECT_DOUBLE_EQ(doc.find("after")->number, 1.0);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(json_parse(""), std::runtime_error);
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(json_parse("nul"), std::runtime_error);
+  EXPECT_THROW(json_parse("01"), std::runtime_error);
+  EXPECT_THROW(json_parse("1."), std::runtime_error);
+  EXPECT_THROW(json_parse("\"\\x\""), std::runtime_error);
+  EXPECT_THROW(json_parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += '[';
+  for (int i = 0; i < 400; ++i) deep += ']';
+  EXPECT_THROW(json_parse(deep), std::runtime_error);
+  std::string ok;
+  for (int i = 0; i < 100; ++i) ok += '[';
+  for (int i = 0; i < 100; ++i) ok += ']';
+  EXPECT_NO_THROW(json_parse(ok));
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  const JsonValue v = json_parse("\"\\u00e9\\u2713\"");  // é ✓
+  EXPECT_EQ(v.string, "\xc3\xa9\xe2\x9c\x93");
+  // Surrogate pair: U+1F600.
+  const JsonValue s = json_parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(s.string, "\xf0\x9f\x98\x80");
+  // Lone surrogate is malformed.
+  EXPECT_THROW(json_parse("\"\\ud83d\""), std::runtime_error);
+}
+
+TEST(JsonParse, AcceptsNumbersAndKeywords) {
+  EXPECT_DOUBLE_EQ(json_parse("-1.5e3").number, -1500.0);
+  EXPECT_DOUBLE_EQ(json_parse("0").number, 0.0);
+  EXPECT_TRUE(json_parse("true").boolean);
+  EXPECT_FALSE(json_parse("false").boolean);
+  EXPECT_TRUE(json_parse("null").is_null());
+}
+
+TEST(JsonValid, ReportsErrors) {
+  EXPECT_TRUE(json_valid("{\"a\": [1, 2, 3]}"));
+  std::string err;
+  EXPECT_FALSE(json_valid("{\"a\":}", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonValue, FindReturnsFirstMatchOrNull) {
+  const JsonValue doc = json_parse("{\"a\": 1, \"b\": 2}");
+  ASSERT_NE(doc.find("b"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("b")->number, 2.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(json_parse("[1]").find("a"), nullptr);  // not an object
+}
+
+}  // namespace

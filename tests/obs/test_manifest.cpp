@@ -1,0 +1,121 @@
+// Run manifest: document shape, machine/build capture, k-history fidelity,
+// fault summary, and embedded metric snapshots.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "resil/fault.hpp"
+
+namespace {
+
+using namespace vmc::obs;
+
+JsonValue parse_manifest(const RunManifest& m) { return json_parse(m.json()); }
+
+TEST(Manifest, MinimalDocumentHasSchemaAndMachine) {
+  RunManifest m;
+  const JsonValue doc = parse_manifest(m);
+  EXPECT_EQ(doc.find("schema")->string, "vectormc.manifest.v1");
+  const JsonValue* machine = doc.find("machine");
+  ASSERT_NE(machine, nullptr);
+  EXPECT_FALSE(machine->find("isa")->string.empty());
+  EXPECT_GT(machine->find("simd_bits")->number, 0.0);
+  const JsonValue* build = doc.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->find("compiler")->string.empty());
+  // ISO-8601 UTC stamp: "YYYY-MM-DDThh:mm:ssZ".
+  const std::string& ts = doc.find("timestamp_utc")->string;
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(Manifest, SeedIsNullUntilSet) {
+  RunManifest m;
+  EXPECT_TRUE(parse_manifest(m).find("seed")->is_null());
+  m.set_seed(42);
+  EXPECT_DOUBLE_EQ(parse_manifest(m).find("seed")->number, 42.0);
+}
+
+TEST(Manifest, KHistoryRoundTripsExactly) {
+  const std::vector<double> k{1.0123456789012345, 0.98765432109876543, 1.5};
+  RunManifest m;
+  m.set_run_kind("test").set_k_history(k);
+  const JsonValue doc = parse_manifest(m);
+  EXPECT_EQ(doc.find("run_kind")->string, "test");
+  const JsonValue* hist = doc.find("k_history");
+  ASSERT_EQ(hist->array.size(), k.size());
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    // %.17g is exact for doubles: the parsed value must be bit-identical.
+    EXPECT_EQ(hist->array[i].number, k[i]);
+  }
+}
+
+TEST(Manifest, ExtrasKeepStringsAndNumbers) {
+  RunManifest m;
+  m.set_extra("scenario", "pipeline \"quoted\"").set_extra("n", 1e5);
+  const JsonValue doc = parse_manifest(m);
+  const JsonValue* extra = doc.find("extra");
+  ASSERT_NE(extra, nullptr);
+  EXPECT_EQ(extra->find("scenario")->string, "pipeline \"quoted\"");
+  EXPECT_DOUBLE_EQ(extra->find("n")->number, 1e5);
+}
+
+TEST(Manifest, FaultSummaryRecordsFires) {
+  vmc::resil::FaultPlan plan;
+  plan.always("offload.compute", /*key=*/0);
+  {
+    vmc::resil::PlanGuard guard(plan);
+    EXPECT_TRUE(vmc::resil::fault_fires("offload.compute", 0));
+  }
+  // Counters survive disarm: capture after the faulted section still works.
+  RunManifest m;
+  m.capture_fault_summary();
+  const JsonValue doc = parse_manifest(m);
+  const JsonValue* faults = doc.find("fault_summary");
+  ASSERT_NE(faults, nullptr);
+  bool found = false;
+  for (const JsonValue& f : faults->array) {
+    if (f.find("point")->string != "offload.compute") continue;
+    found = true;
+    EXPECT_GE(f.find("hits")->number, 1.0);
+    EXPECT_GE(f.find("fires")->number, 1.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Manifest, CaptureMetricsEmbedsSnapshot) {
+  metrics().counter("vmc_manifest_probe_total").inc();
+  RunManifest m;
+  m.capture_metrics();
+  const JsonValue doc = parse_manifest(m);
+  const JsonValue* snap = doc.find("metrics");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->find("schema")->string, "vectormc.metrics.v1");
+  bool found = false;
+  for (const JsonValue& f : snap->find("families")->array) {
+    if (f.find("name")->string == "vmc_manifest_probe_total") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Manifest, WriteProducesParseableFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/manifest-test.json";
+  RunManifest m;
+  m.set_run_kind("write_test");
+  m.write(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(json_parse(ss.str()).find("run_kind")->string, "write_test");
+}
+
+}  // namespace

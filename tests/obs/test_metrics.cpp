@@ -1,0 +1,208 @@
+// Metrics registry: handle semantics, series dedup, histogram bucket edges,
+// quantile estimation, and both export formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace vmc::obs;
+
+TEST(Metrics, CounterIncrementsAndDedups) {
+  MetricsRegistry reg;
+  const Counter a = reg.counter("vmc_test_total", {{"k", "v"}});
+  const Counter b = reg.counter("vmc_test_total", {{"k", "v"}});
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);  // same cell: one series per (name, labels)
+  const Counter other = reg.counter("vmc_test_total", {{"k", "w"}});
+  other.inc();
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(other.value(), 1u);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  const Counter a = reg.counter("vmc_lbl_total", {{"a", "1"}, {"b", "2"}});
+  const Counter b = reg.counter("vmc_lbl_total", {{"b", "2"}, {"a", "1"}});
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(1.0);
+  g.add(1.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("vmc_mixed");
+  EXPECT_THROW(reg.gauge("vmc_mixed"), std::logic_error);
+  reg.histogram("vmc_h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("vmc_h", {1.0, 3.0}), std::logic_error);
+  EXPECT_NO_THROW(reg.histogram("vmc_h", {1.0, 2.0}));
+}
+
+TEST(Metrics, HistogramBoundsMustBeValid) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("vmc_empty", {}), std::logic_error);
+  EXPECT_THROW(reg.histogram("vmc_unsorted", {2.0, 1.0}), std::logic_error);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  const Gauge g = reg.gauge("vmc_g");
+  g.set(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  MetricsRegistry reg;
+  const Histogram h = reg.histogram("vmc_edges", {1.0, 10.0});
+  h.observe(-5.0);  // below the first bound -> bucket 0
+  h.observe(1.0);   // exactly on a bound -> that bucket (le semantics)
+  h.observe(5.0);   // interior
+  h.observe(10.0);  // exactly on the last bound
+  h.observe(11.0);  // above every bound -> overflow bucket
+  h.observe(std::numeric_limits<double>::infinity());
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.families.size(), 1u);
+  const SeriesSnapshot& s = snap.families[0].series[0];
+  ASSERT_EQ(s.bucket_counts.size(), 3u);
+  EXPECT_EQ(s.bucket_counts[0], 2u);  // -5, 1.0
+  EXPECT_EQ(s.bucket_counts[1], 2u);  // 5, 10.0
+  EXPECT_EQ(s.bucket_counts[2], 2u);  // 11, inf
+  EXPECT_EQ(s.hist_count, 6u);
+}
+
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  // Empty data and invalid q are NaN, never a crash.
+  EXPECT_TRUE(std::isnan(histogram_quantile(bounds, {0, 0, 0, 0}, 0.5)));
+  EXPECT_TRUE(std::isnan(histogram_quantile(bounds, {1, 1, 1, 1}, -0.1)));
+  EXPECT_TRUE(std::isnan(histogram_quantile(bounds, {1, 1, 1, 1}, 1.1)));
+  EXPECT_TRUE(std::isnan(histogram_quantile(bounds, {1, 1}, 0.5)));  // size
+  EXPECT_TRUE(std::isnan(histogram_quantile({}, {}, 0.5)));
+
+  // All mass in one interior bucket: the quantile interpolates inside it.
+  const double q50 = histogram_quantile(bounds, {0, 10, 0, 0}, 0.5);
+  EXPECT_GT(q50, 1.0);
+  EXPECT_LE(q50, 2.0);
+
+  // Mass in the overflow bucket clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, {0, 0, 0, 5}, 0.99), 4.0);
+
+  // Monotone in q.
+  const std::vector<std::uint64_t> counts{5, 10, 20, 2};
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double v = histogram_quantile(bounds, counts, q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Metrics, PrometheusExpositionIsValidAndCumulative) {
+  MetricsRegistry reg;
+  reg.counter("vmc_c_total", {{"isa", "avx2"}}, "a counter").inc(3);
+  reg.gauge("vmc_g", {}, "a gauge").set(2.5);
+  const Histogram h = reg.histogram("vmc_h_seconds", {0.1, 1.0}, {}, "hist");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = reg.snapshot().prometheus();
+  std::string err;
+  EXPECT_TRUE(prometheus_validate(text, &err)) << err;
+  EXPECT_NE(text.find("# TYPE vmc_c_total counter"), std::string::npos);
+  EXPECT_NE(text.find("vmc_c_total{isa=\"avx2\"} 3"), std::string::npos);
+  // Buckets are cumulative on export even though snapshots are per-bucket.
+  EXPECT_NE(text.find("vmc_h_seconds_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("vmc_h_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmc_h_seconds_count 3"), std::string::npos);
+}
+
+TEST(Metrics, NonFiniteGaugesExportAsPrometheusTokens) {
+  MetricsRegistry reg;
+  reg.gauge("vmc_nan").set(std::nan(""));
+  reg.gauge("vmc_inf").set(std::numeric_limits<double>::infinity());
+  const std::string text = reg.snapshot().prometheus();
+  std::string err;
+  EXPECT_TRUE(prometheus_validate(text, &err)) << err;
+  EXPECT_NE(text.find("vmc_nan NaN"), std::string::npos);
+  EXPECT_NE(text.find("vmc_inf +Inf"), std::string::npos);
+}
+
+TEST(Metrics, LabelValuesWithQuotesAndNewlinesStillValidate) {
+  MetricsRegistry reg;
+  reg.counter("vmc_esc_total", {{"path", "a\"b\\c\nd"}}).inc();
+  std::string err;
+  EXPECT_TRUE(prometheus_validate(reg.snapshot().prometheus(), &err)) << err;
+}
+
+TEST(Metrics, JsonSnapshotParses) {
+  MetricsRegistry reg;
+  reg.counter("vmc_j_total").inc(2);
+  reg.histogram("vmc_j_h", {1.0}).observe(0.5);
+  const std::string text = reg.snapshot().json();
+  const JsonValue doc = json_parse(text);
+  EXPECT_EQ(doc.find("schema")->string, "vectormc.metrics.v1");
+  ASSERT_EQ(doc.find("families")->array.size(), 2u);
+}
+
+TEST(Metrics, ResetZeroesKeepsRegistrations) {
+  MetricsRegistry reg;
+  const Counter c = reg.counter("vmc_r_total");
+  c.inc(9);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // handle still live, cell zeroed
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, SanitizeMetricName) {
+  EXPECT_EQ(sanitize_metric_name("vmc_ok:name_1"), "vmc_ok:name_1");
+  EXPECT_EQ(sanitize_metric_name("1bad name-x"), "_bad_name_x");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  const Counter c = reg.counter("vmc_mt_total");
+  const Histogram h = reg.histogram("vmc_mt_h", {0.5});
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace

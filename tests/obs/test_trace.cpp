@@ -1,0 +1,175 @@
+// Tracer: enable/disable gating, span balance, ring overflow accounting,
+// device-track injection, and Chrome trace_event export shape.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace vmc::obs;
+
+const JsonValue* events_of(const JsonValue& doc) {
+  const JsonValue* ev = doc.find("traceEvents");
+  EXPECT_NE(ev, nullptr);
+  return ev;
+}
+
+std::size_t count_named(const JsonValue& doc, const std::string& name) {
+  std::size_t n = 0;
+  for (const JsonValue& e : events_of(doc)->array) {
+    const JsonValue* en = e.find("name");
+    if (en != nullptr && en->string == name) ++n;
+  }
+  return n;
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer t;
+  t.begin("span", "cat");
+  t.end();
+  t.instant("tick", "cat");
+  t.inject_span(Tracer::kDevicePid, 1, "model", "cat", 0.0, 1.0);
+  const JsonValue doc = json_parse(t.chrome_json());
+  EXPECT_TRUE(events_of(doc)->array.empty());
+}
+
+TEST(Trace, SpansAndInstantsExport) {
+  Tracer t;
+  t.set_enabled(true);
+  {
+    Tracer::Scope outer(t, "outer", "test");
+    Tracer::Scope inner(t, "inner", "test");
+    t.instant("mark", "test");
+  }
+  const JsonValue doc = json_parse(t.chrome_json());
+  EXPECT_EQ(count_named(doc, "outer"), 1u);
+  EXPECT_EQ(count_named(doc, "inner"), 1u);
+  EXPECT_EQ(count_named(doc, "mark"), 1u);
+  for (const JsonValue& e : events_of(doc)->array) {
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string != "X") continue;
+    EXPECT_DOUBLE_EQ(e.find("pid")->number, Tracer::kHostPid);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+  }
+}
+
+TEST(Trace, UnbalancedEndIsDropped) {
+  Tracer t;
+  t.set_enabled(true);
+  t.end();  // nothing open: must not crash or emit
+  t.begin("only", "test");
+  t.end();
+  t.end();
+  const JsonValue doc = json_parse(t.chrome_json());
+  EXPECT_EQ(count_named(doc, "only"), 1u);
+}
+
+TEST(Trace, InjectedSpanLandsOnDeviceTrackWithArgs) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_process_name(Tracer::kDevicePid, "mic (cost model)");
+  t.set_thread_name(Tracer::kDevicePid, 2, "pcie");
+  t.inject_span(Tracer::kDevicePid, 2, "model:transfer", "offload-model", 0.5,
+                0.25, "{\"bytes\": 1024}");
+  t.inject_instant(Tracer::kDevicePid, 2, "model:done", "offload-model", 0.75);
+
+  const JsonValue doc = json_parse(t.chrome_json());
+  bool found = false;
+  for (const JsonValue& e : events_of(doc)->array) {
+    if (e.find("name")->string != "model:transfer") continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(e.find("pid")->number, Tracer::kDevicePid);
+    EXPECT_DOUBLE_EQ(e.find("tid")->number, 2.0);
+    EXPECT_DOUBLE_EQ(e.find("ts")->number, 0.5e6);   // microseconds
+    EXPECT_DOUBLE_EQ(e.find("dur")->number, 0.25e6);
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->find("bytes")->number, 1024.0);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(count_named(doc, "process_name"), 1u);
+  EXPECT_EQ(count_named(doc, "thread_name"), 1u);
+}
+
+TEST(Trace, InvalidInjectedArgsThrow) {
+  Tracer t;
+  t.set_enabled(true);
+  EXPECT_THROW(
+      t.inject_span(Tracer::kDevicePid, 1, "bad", "cat", 0.0, 1.0, "{oops"),
+      std::logic_error);
+}
+
+TEST(Trace, RingOverflowIsCountedNotSilent) {
+  Tracer t(/*ring_capacity=*/8);
+  t.set_enabled(true);
+  for (int i = 0; i < 100; ++i) t.instant("tick", "test");
+  EXPECT_GT(t.dropped(), 0u);
+  const JsonValue doc = json_parse(t.chrome_json());
+  EXPECT_LE(count_named(doc, "tick"), 8u);
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_GT(other->find("dropped_events")->number, 0.0);
+}
+
+TEST(Trace, ThreadsGetDistinctTids) {
+  Tracer t;
+  t.set_enabled(true);
+  t.instant("main", "test");
+  std::thread w([&t] { t.instant("worker", "test"); });
+  w.join();
+  const JsonValue doc = json_parse(t.chrome_json());
+  double tid_main = -1.0;
+  double tid_worker = -1.0;
+  for (const JsonValue& e : events_of(doc)->array) {
+    if (e.find("name")->string == "main") tid_main = e.find("tid")->number;
+    if (e.find("name")->string == "worker") tid_worker = e.find("tid")->number;
+  }
+  EXPECT_GE(tid_main, 0.0);
+  EXPECT_GE(tid_worker, 0.0);
+  EXPECT_NE(tid_main, tid_worker);
+}
+
+TEST(Trace, EventsAreSortedByTimestamp) {
+  Tracer t;
+  t.set_enabled(true);
+  t.inject_instant(Tracer::kDevicePid, 1, "late", "test", 2.0);
+  t.inject_instant(Tracer::kDevicePid, 1, "early", "test", 1.0);
+  const JsonValue doc = json_parse(t.chrome_json());
+  double prev = -1.0;
+  for (const JsonValue& e : events_of(doc)->array) {
+    if (e.find("ph")->string == "M") continue;  // metadata leads
+    EXPECT_GE(e.find("ts")->number, prev);
+    prev = e.find("ts")->number;
+  }
+}
+
+TEST(Trace, ClearDropsEventsKeepsNames) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_process_name(Tracer::kHostPid, "host");
+  t.instant("gone", "test");
+  t.clear();
+  const JsonValue doc = json_parse(t.chrome_json());
+  EXPECT_EQ(count_named(doc, "gone"), 0u);
+  EXPECT_EQ(count_named(doc, "process_name"), 1u);
+}
+
+TEST(Trace, ScopeCapturesEnablednessAtConstruction) {
+  Tracer t;
+  t.set_enabled(true);
+  {
+    Tracer::Scope s(t, "flip", "test");
+    t.set_enabled(false);  // the scope must still close its span
+  }
+  t.set_enabled(true);
+  const JsonValue doc = json_parse(t.chrome_json());
+  EXPECT_EQ(count_named(doc, "flip"), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Contention regression for prof::Registry::handle(): the hot path is a
+// shared-lock probe of an existing name, so many threads resolving the same
+// handles concurrently — while other threads register fresh names and take
+// snapshots — must neither corrupt the name table nor serialize the readers
+// into a crawl. Thread counts mirror the chaos/stress harnesses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prof/profiler.hpp"
+
+namespace {
+
+using namespace vmc::prof;
+
+TEST(RegistryContention, HandleLookupsStayConsistentUnderChaosThreadCounts) {
+  Registry reg;
+  constexpr int kNames = 64;
+  constexpr int kReaders = 32;
+  constexpr int kLookupsPerReader = 20000;
+
+  // Pre-register the working set and remember the authoritative indices.
+  std::vector<TimerHandle> expected;
+  expected.reserve(kNames);
+  for (int i = 0; i < kNames; ++i) {
+    expected.push_back(reg.handle("timer_" + std::to_string(i)));
+  }
+
+  std::atomic<bool> mismatch{false};
+  std::atomic<int> writer_names{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 2);
+
+  // Readers: hammer the read-mostly fast path on existing names.
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&reg, &expected, &mismatch, t] {
+      for (int i = 0; i < kLookupsPerReader; ++i) {
+        const int name = (i + t) % kNames;
+        const TimerHandle h = reg.handle("timer_" + std::to_string(name));
+        if (h.index != expected[static_cast<std::size_t>(name)].index) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+
+  // One writer keeps inserting fresh names so the readers' shared lock races
+  // a real exclusive path, not an idle one.
+  threads.emplace_back([&reg, &writer_names] {
+    for (int i = 0; i < 2000; ++i) {
+      reg.handle("fresh_" + std::to_string(i));
+      writer_names.fetch_add(1);
+    }
+  });
+
+  // One snapshotter races the whole table.
+  threads.emplace_back([&reg] {
+    for (int i = 0; i < 50; ++i) (void)reg.snapshot("contention");
+  });
+
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(writer_names.load(), 2000);
+  // Every name registered during the storm resolves to a distinct handle.
+  for (int i = 0; i < 2000; ++i) {
+    const TimerHandle h = reg.handle("fresh_" + std::to_string(i));
+    EXPECT_LT(h.index, reg.handle("one_more").index);
+  }
+}
+
+TEST(RegistryContention, TimersRecordCorrectlyDuringHandleStorm) {
+  Registry reg;
+  const TimerHandle shared = reg.handle("shared_work");
+  constexpr int kThreads = 16;
+  constexpr int kCalls = 500;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, shared, t] {
+      for (int i = 0; i < kCalls; ++i) {
+        // Interleave lookups (fast path) with real timed sections.
+        (void)reg.handle("storm_" + std::to_string((i + t) % 8));
+        ScopedTimer timer(reg, shared);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const Profile p = reg.snapshot("storm");
+  ASSERT_TRUE(p.timers.count("shared_work"));
+  EXPECT_EQ(p.timers.at("shared_work").calls,
+            static_cast<std::uint64_t>(kThreads) * kCalls);
+}
+
+}  // namespace

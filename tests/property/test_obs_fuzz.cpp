@@ -1,0 +1,166 @@
+// Property fuzz: every document the observability layer emits must parse.
+// Metric names, label keys/values, help strings, span names, and injected
+// args are driven from deterministic random bytes — including quotes,
+// backslashes, control characters, and high-bit bytes — and the invariant is
+// unconditional: chrome_json() always passes json_parse, prometheus() always
+// passes prometheus_validate, manifests always parse. A consumer (Perfetto,
+// a scraper) must never see a syntactically broken artifact no matter what
+// strings instrumentation code feeds in.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace vmc::obs;
+
+// Deterministic byte-string generator over a hostile alphabet.
+std::string fuzz_string(vmc::rng::Stream& rs, std::size_t max_len) {
+  static const char alphabet[] =
+      "abzABZ019_:-. \t\"\\{}[],\n\x01\x1f\x7f\xc3\xa9\xf0";
+  const std::size_t len =
+      static_cast<std::size_t>(rs.next() * static_cast<double>(max_len + 1));
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += alphabet[static_cast<std::size_t>(
+        rs.next() * static_cast<double>(sizeof(alphabet) - 1))];
+  }
+  return out;
+}
+
+double fuzz_value(vmc::rng::Stream& rs) {
+  const double u = rs.next();
+  if (u < 0.05) return std::numeric_limits<double>::quiet_NaN();
+  if (u < 0.10) return std::numeric_limits<double>::infinity();
+  if (u < 0.15) return -std::numeric_limits<double>::infinity();
+  if (u < 0.25) return 0.0;
+  return (rs.next() - 0.5) * 1e12;
+}
+
+TEST(ObsFuzz, EveryPrometheusExpositionValidates) {
+  for (std::uint64_t round = 0; round < 30; ++round) {
+    vmc::rng::Stream rs(1000 + round);
+    MetricsRegistry reg;
+    const int n_series = 1 + static_cast<int>(rs.next() * 12);
+    for (int i = 0; i < n_series; ++i) {
+      const std::string name = fuzz_string(rs, 24);
+      Labels labels;
+      const int n_labels = static_cast<int>(rs.next() * 3);
+      for (int l = 0; l < n_labels; ++l) {
+        labels.emplace_back(fuzz_string(rs, 10), fuzz_string(rs, 16));
+      }
+      const double pick = rs.next();
+      try {
+        if (pick < 0.4) {
+          reg.counter(name, labels, fuzz_string(rs, 30))
+              .inc(static_cast<std::uint64_t>(rs.next() * 1e6));
+        } else if (pick < 0.7) {
+          reg.gauge(name, labels, fuzz_string(rs, 30)).set(fuzz_value(rs));
+        } else {
+          const Histogram h =
+              reg.histogram(name, {0.1, 1.0, 10.0}, labels, fuzz_string(rs, 30));
+          for (int o = 0; o < 5; ++o) h.observe(fuzz_value(rs));
+        }
+      } catch (const std::logic_error&) {
+        // Random names may collide with a different type — a rejected
+        // registration is correct behaviour, not an emission.
+      }
+    }
+    const MetricsSnapshot snap = reg.snapshot();
+    std::string err;
+    EXPECT_TRUE(prometheus_validate(snap.prometheus(), &err))
+        << "round " << round << ": " << err << "\n"
+        << snap.prometheus();
+    EXPECT_TRUE(json_valid(snap.json(), &err))
+        << "round " << round << ": " << err;
+  }
+}
+
+TEST(ObsFuzz, EveryChromeTraceParses) {
+  // Literal pool for begin/instant (the ring stores pointers, so the names
+  // must outlive the tracer); hostile content goes through the injection
+  // API, which copies.
+  static const char* kNames[] = {"sweep", "bank\"quoted\"", "a\\b", "tab\there"};
+  static const char* kCats[] = {"core", "off\nload"};
+
+  for (std::uint64_t round = 0; round < 30; ++round) {
+    vmc::rng::Stream rs(2000 + round);
+    Tracer t(/*ring_capacity=*/64);  // small ring: overflow path exercised
+    t.set_enabled(true);
+    const int n_ops = 1 + static_cast<int>(rs.next() * 120);
+    int open = 0;
+    for (int i = 0; i < n_ops; ++i) {
+      const double pick = rs.next();
+      const char* name = kNames[static_cast<std::size_t>(rs.next() * 4)];
+      const char* cat = kCats[static_cast<std::size_t>(rs.next() * 2)];
+      if (pick < 0.3) {
+        t.begin(name, cat);
+        ++open;
+      } else if (pick < 0.5) {
+        t.end();  // may be unbalanced on purpose
+        if (open > 0) --open;
+      } else if (pick < 0.65) {
+        t.instant(name, cat);
+      } else if (pick < 0.8) {
+        JsonWriter args;
+        args.begin_object();
+        args.member(fuzz_string(rs, 8), fuzz_value(rs));
+        args.end_object();
+        t.inject_span(static_cast<int>(rs.next() * 3),
+                      static_cast<int>(rs.next() * 4), fuzz_string(rs, 20),
+                      fuzz_string(rs, 10), rs.next(), rs.next(), args.str());
+      } else if (pick < 0.9) {
+        t.inject_instant(1, 2, fuzz_string(rs, 20), fuzz_string(rs, 10),
+                         rs.next());
+      } else {
+        t.set_process_name(static_cast<int>(rs.next() * 3), fuzz_string(rs, 16));
+        t.set_thread_name(static_cast<int>(rs.next() * 3),
+                          static_cast<int>(rs.next() * 4), fuzz_string(rs, 16));
+      }
+    }
+    while (open-- > 0) t.end();
+    const std::string doc = t.chrome_json();
+    std::string err;
+    EXPECT_TRUE(json_valid(doc, &err)) << "round " << round << ": " << err;
+  }
+}
+
+TEST(ObsFuzz, EveryManifestParses) {
+  for (std::uint64_t round = 0; round < 20; ++round) {
+    vmc::rng::Stream rs(3000 + round);
+    RunManifest m;
+    m.set_run_kind(fuzz_string(rs, 20));
+    if (rs.next() < 0.5) {
+      m.set_seed(static_cast<std::uint64_t>(rs.next() * 1e18));
+    }
+    std::vector<double> k;
+    const int n_gen = static_cast<int>(rs.next() * 8);
+    for (int i = 0; i < n_gen; ++i) k.push_back(fuzz_value(rs));
+    m.set_k_history(k);
+    const int n_extra = static_cast<int>(rs.next() * 5);
+    for (int i = 0; i < n_extra; ++i) {
+      if (rs.next() < 0.5) {
+        m.set_extra(fuzz_string(rs, 12), fuzz_string(rs, 24));
+      } else {
+        m.set_extra(fuzz_string(rs, 12), fuzz_value(rs));
+      }
+    }
+    if (rs.next() < 0.5) m.capture_fault_summary();
+    if (rs.next() < 0.5) m.capture_metrics();
+    std::string err;
+    EXPECT_TRUE(json_valid(m.json(), &err)) << "round " << round << ": " << err;
+  }
+}
+
+}  // namespace

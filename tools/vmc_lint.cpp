@@ -24,6 +24,12 @@
 //                    a silent correlation bug. Every direct construction in
 //                    library code must use a distinct derivation (or
 //                    Stream::for_particle).
+//   raw-clock        No direct std::chrono::*_clock::now() outside src/prof/
+//                    and src/obs/: every timestamp must flow through
+//                    prof::now_seconds() (one epoch, one clock) or the obs
+//                    tracer, or traces/metrics/profiles silently disagree
+//                    about what "now" means. (bench/ is not scanned; the
+//                    harnesses there already use prof::now_seconds().)
 //   unchecked-io     No statement-position fwrite/fread whose return value
 //                    is discarded: a short write is how a full disk turns
 //                    into a corrupt statepoint. Check the count like
@@ -168,6 +174,14 @@ bool stream_overlap_scope(const std::string& rel) {
           !in_any_dir(rel, {"src/rng/"}));
 }
 
+bool raw_clock_scope(const std::string& rel) {
+  // src/prof/ defines the sanctioned monotonic clock (prof::now_seconds);
+  // src/obs/ is allowed system_clock for wall-time manifest stamps. Everyone
+  // else inherits their timebase.
+  return in_any_dir(rel, {"src/", "tools/"}) &&
+         !in_any_dir(rel, {"src/prof/", "src/obs/"});
+}
+
 bool unchecked_io_scope(const std::string& rel) {
   // statepoint.cpp hosts the sanctioned CheckedWriter/CheckedReader wrappers
   // (every raw call there feeds a checked helper or an if); everywhere else
@@ -191,6 +205,8 @@ const std::regex kMutexFamily(
 const std::regex kStreamCtor(
     R"(\bStream(?:\s+[A-Za-z_]\w*)?\s*[({]([^)}]*)[)}])");
 const std::regex kIntLiteral(R"(0[xX][0-9a-fA-F]+|\b\d+\b)");
+const std::regex kRawClock(
+    R"(std::chrono::(steady_clock|system_clock|high_resolution_clock)::now\s*\()");
 // Statement-position fread/fwrite: the call starts the line or follows a
 // statement/block boundary, so its return value is discarded. Calls inside
 // an if/assignment/comparison have a non-boundary prefix and don't match.
@@ -256,6 +272,15 @@ void scan_file(const SourceFile& f, std::vector<Violation>& out,
                      "mutex/lock/condvar in per-particle hot-path code; "
                      "route cross-thread traffic through ConcurrentBank / "
                      "TallyAccumulator / ThreadPool"});
+    }
+
+    if (raw_clock_scope(f.rel_path) &&
+        std::regex_search(line, kRawClock) &&
+        !has_allow_marker(f, i, "raw-clock")) {
+      out.push_back({f.rel_path, i + 1, "raw-clock",
+                     "direct std::chrono clock call outside src/prof//"
+                     "src/obs/; use prof::now_seconds() so all timestamps "
+                     "share one epoch"});
     }
 
     if (unchecked_io_scope(f.rel_path) &&
@@ -382,6 +407,23 @@ int self_test() {
        "std::mutex mu_;", ""},
       {"mutex in concurrent bank is clean", "src/particle/concurrent_bank.cpp",
        "std::lock_guard lk(mu_);", ""},
+      {"steady_clock in core fires", "src/core/eigenvalue.cpp",
+       "const auto t0 = std::chrono::steady_clock::now();", "raw-clock"},
+      {"system_clock in tools fires", "tools/vmc_run.cpp",
+       "auto wall = std::chrono::system_clock::now();", "raw-clock"},
+      {"high_resolution_clock fires", "src/exec/thread_pool.cpp",
+       "auto t = std::chrono::high_resolution_clock::now();", "raw-clock"},
+      {"clock in src/prof is clean", "src/prof/profiler.hpp",
+       "return std::chrono::steady_clock::now().time_since_epoch();", ""},
+      {"clock in src/obs is clean", "src/obs/manifest.cpp",
+       "const auto now = std::chrono::system_clock::now();", ""},
+      {"clock in comment is clean", "src/core/eigenvalue.cpp",
+       "// std::chrono::steady_clock::now() would drift from prof", ""},
+      {"duration types without now() are clean", "src/exec/distributed.cpp",
+       "std::chrono::milliseconds timeout(500);", ""},
+      {"allow marker silences raw-clock", "src/core/statepoint.cpp",
+       "// vmc-lint: allow(raw-clock)\n"
+       "auto stamp = std::chrono::system_clock::now();", ""},
       {"unchecked fwrite fires", "src/core/mesh_io.cpp",
        "std::fwrite(buf, 1, n, f);", "unchecked-io"},
       {"unchecked fread after block fires", "tools/vmc_dump.cpp",

@@ -1,0 +1,259 @@
+// vmc_obs_check: validates the observability artifacts a traced VectorMC run
+// leaves behind. Used by the example smoke tests and the CI obs-smoke job to
+// prove the instrumented pipeline produces well-formed, mutually consistent
+// documents — not merely files that exist.
+//
+//   vmc_obs_check <dir>              full artifact-directory check:
+//     <dir>/trace.json      parses as Chrome trace_event JSON and contains
+//                           both host (pid 0) and simulated-device (pid 1)
+//                           duration events;
+//     <dir>/metrics.prom    passes the Prometheus text-exposition validator
+//                           and contains the bank-sweep, offload-retry, and
+//                           degraded-stage series;
+//     <dir>/manifest.json   schema vectormc.manifest.v1, non-empty machine
+//                           ISA, and a k_history that exactly matches the
+//                           driver's own record in <dir>/driver_k.json.
+//
+//   vmc_obs_check --trace <file>     single-file trace check
+//   vmc_obs_check --metrics <file>   single-file exposition check
+//   vmc_obs_check --bench <file>     BENCH_*.json schema (vectormc.bench.v1)
+//
+// Exit status 0 on success; 1 with one line per failure otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using vmc::obs::JsonValue;
+
+int n_failures = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "vmc_obs_check: FAIL: %s\n", what.c_str());
+  ++n_failures;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail("cannot read " + path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool parse_file(const std::string& path, JsonValue* out) {
+  std::string text;
+  if (!read_file(path, &text)) return false;
+  try {
+    *out = vmc::obs::json_parse(text);
+  } catch (const std::exception& e) {
+    fail(path + " is not valid JSON: " + e.what());
+    return false;
+  }
+  return true;
+}
+
+const JsonValue* object_get(const JsonValue& v, const char* key) {
+  return v.type == JsonValue::Type::object ? v.find(key) : nullptr;
+}
+
+// --- trace ---------------------------------------------------------------
+
+void check_trace(const std::string& path) {
+  JsonValue doc;
+  if (!parse_file(path, &doc)) return;
+  const JsonValue* events = object_get(doc, "traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::array) {
+    fail(path + ": missing traceEvents array");
+    return;
+  }
+  std::size_t host_spans = 0;
+  std::size_t device_spans = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = object_get(e, "ph");
+    const JsonValue* pid = object_get(e, "pid");
+    if (ph == nullptr || pid == nullptr) {
+      fail(path + ": event without ph/pid");
+      return;
+    }
+    if (ph->string != "X") continue;
+    const JsonValue* ts = object_get(e, "ts");
+    const JsonValue* dur = object_get(e, "dur");
+    const JsonValue* name = object_get(e, "name");
+    if (ts == nullptr || dur == nullptr || name == nullptr ||
+        name->string.empty()) {
+      fail(path + ": complete event missing ts/dur/name");
+      return;
+    }
+    if (dur->number < 0.0) {
+      fail(path + ": negative-duration span '" + name->string + "'");
+      return;
+    }
+    if (pid->number == 0.0) ++host_spans;
+    if (pid->number == 1.0) ++device_spans;
+  }
+  if (host_spans == 0) fail(path + ": no host (pid 0) duration events");
+  if (device_spans == 0) {
+    fail(path + ": no simulated-device (pid 1) duration events");
+  }
+}
+
+// --- metrics -------------------------------------------------------------
+
+void check_metrics(const std::string& path, bool require_offload_series) {
+  std::string text;
+  if (!read_file(path, &text)) return;
+  std::string err;
+  if (!vmc::obs::prometheus_validate(text, &err)) {
+    fail(path + " fails exposition validation: " + err);
+    return;
+  }
+  if (!require_offload_series) return;
+  for (const char* series :
+       {"vmc_bank_sweep_particles_total", "vmc_offload_retries_total",
+        "vmc_offload_degraded_stages_total"}) {
+    // Must appear as a sample line, not merely in a HELP comment.
+    bool found = false;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind(series, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) fail(path + ": missing series " + series);
+  }
+}
+
+// --- manifest ------------------------------------------------------------
+
+void check_manifest(const std::string& manifest_path,
+                    const std::string& driver_k_path) {
+  JsonValue doc;
+  if (!parse_file(manifest_path, &doc)) return;
+
+  const JsonValue* schema = object_get(doc, "schema");
+  if (schema == nullptr || schema->string != "vectormc.manifest.v1") {
+    fail(manifest_path + ": schema is not vectormc.manifest.v1");
+    return;
+  }
+  const JsonValue* machine = object_get(doc, "machine");
+  const JsonValue* isa = machine ? object_get(*machine, "isa") : nullptr;
+  if (isa == nullptr || isa->string.empty()) {
+    fail(manifest_path + ": machine.isa missing or empty");
+  }
+  const JsonValue* k_hist = object_get(doc, "k_history");
+  if (k_hist == nullptr || k_hist->type != JsonValue::Type::array) {
+    fail(manifest_path + ": k_history missing");
+    return;
+  }
+
+  JsonValue driver;
+  if (!parse_file(driver_k_path, &driver)) return;
+  const JsonValue* driver_k = object_get(driver, "k_history");
+  if (driver_k == nullptr || driver_k->type != JsonValue::Type::array) {
+    fail(driver_k_path + ": k_history missing");
+    return;
+  }
+  if (k_hist->array.size() != driver_k->array.size()) {
+    fail("manifest k_history has " + std::to_string(k_hist->array.size()) +
+         " entries, driver recorded " +
+         std::to_string(driver_k->array.size()));
+    return;
+  }
+  if (k_hist->array.empty()) {
+    fail("manifest k_history is empty — the traced run produced no "
+         "generations");
+    return;
+  }
+  for (std::size_t i = 0; i < k_hist->array.size(); ++i) {
+    // Both documents were printed by the same %.17g writer from the same
+    // doubles, so exact equality is the correct test: any difference means
+    // the manifest captured a different run than the driver.
+    if (k_hist->array[i].number != driver_k->array[i].number) {
+      fail("k_history mismatch at generation " + std::to_string(i) + ": " +
+           std::to_string(k_hist->array[i].number) + " vs " +
+           std::to_string(driver_k->array[i].number));
+      return;
+    }
+  }
+}
+
+// --- bench ---------------------------------------------------------------
+
+void check_bench(const std::string& path) {
+  JsonValue doc;
+  if (!parse_file(path, &doc)) return;
+  const JsonValue* schema = object_get(doc, "schema");
+  if (schema == nullptr || schema->string != "vectormc.bench.v1") {
+    fail(path + ": schema is not vectormc.bench.v1");
+    return;
+  }
+  for (const char* key : {"name", "artifact", "description", "isa"}) {
+    const JsonValue* v = object_get(doc, key);
+    if (v == nullptr || v->type != JsonValue::Type::string ||
+        v->string.empty()) {
+      fail(path + ": missing or empty string field '" + key + "'");
+    }
+  }
+  const JsonValue* rows = object_get(doc, "rows");
+  if (rows == nullptr || rows->type != JsonValue::Type::array ||
+      rows->array.empty()) {
+    fail(path + ": rows missing or empty");
+    return;
+  }
+  for (const JsonValue& row : rows->array) {
+    if (row.type != JsonValue::Type::object || row.object.empty()) {
+      fail(path + ": row is not a non-empty object");
+      return;
+    }
+    for (const auto& [k, v] : row.object) {
+      if (v.type != JsonValue::Type::number &&
+          v.type != JsonValue::Type::null) {
+        fail(path + ": row cell '" + k + "' is not numeric");
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
+    check_trace(argv[2]);
+  } else if (argc == 3 && std::strcmp(argv[1], "--metrics") == 0) {
+    check_metrics(argv[2], /*require_offload_series=*/false);
+  } else if (argc == 3 && std::strcmp(argv[1], "--bench") == 0) {
+    check_bench(argv[2]);
+  } else if (argc == 2 && argv[1][0] != '-') {
+    const std::string dir = argv[1];
+    check_trace(dir + "/trace.json");
+    check_metrics(dir + "/metrics.prom", /*require_offload_series=*/true);
+    check_manifest(dir + "/manifest.json", dir + "/driver_k.json");
+  } else {
+    std::fprintf(stderr,
+                 "usage: vmc_obs_check <artifact-dir>\n"
+                 "       vmc_obs_check --trace <trace.json>\n"
+                 "       vmc_obs_check --metrics <metrics.prom>\n"
+                 "       vmc_obs_check --bench <BENCH_*.json>\n");
+    return 2;
+  }
+  if (n_failures == 0) {
+    std::printf("vmc_obs_check: OK\n");
+    return 0;
+  }
+  return 1;
+}
