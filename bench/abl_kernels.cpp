@@ -4,7 +4,10 @@
 //  3. vectorizing the inner (nuclide) loop vs. the outer (particle) loop
 //     (the paper's "important observation"),
 //  4. tally synchronization: thread-local reduction vs. atomics vs. critical
-//     sections (Section III-B's full-physics optimizations).
+//     sections (Section III-B's full-physics optimizations),
+//  5. user-defined phase-space tallies (Section III-B1's caveat),
+//  6. the compacting event-queue scheduler vs. the naive full-bank sweep
+//     (EventOptions::compact_queues — src/core/event_queue.hpp).
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -16,7 +19,9 @@
 
 int main() {
   using namespace vmc;
-  bench::header("Ablations", "unionized grid / SoA / inner-vs-outer / tallies");
+  bench::Report report("abl_kernels", "Ablations",
+                       "unionized grid / SoA / inner-vs-outer / tallies / "
+                       "queue scheduler");
 
   hm::ModelOptions mo;
   mo.fuel = hm::FuelSize::small;
@@ -47,6 +52,10 @@ int main() {
   std::printf("[1] unionized grid: %.1f ms vs per-nuclide search: %.1f ms "
               "-> %.2fx\n",
               t_union * 1e3, t_search * 1e3, t_search / t_union);
+  report.row({{"section", 1},
+              {"union_s", t_union},
+              {"search_s", t_search},
+              {"union_speedup", t_search / t_union}});
 
   // --- 2. AoS vs. SoA -------------------------------------------------------
   const xs::AosLibrary aos(lib);
@@ -57,6 +66,10 @@ int main() {
   });
   std::printf("[2] SoA search: %.1f ms vs AoS search: %.1f ms -> %.2fx\n",
               t_search * 1e3, t_aos * 1e3, t_aos / t_search);
+  report.row({{"section", 2},
+              {"soa_s", t_search},
+              {"aos_s", t_aos},
+              {"soa_speedup", t_aos / t_search}});
 
   // --- 3. inner vs. outer loop vectorization --------------------------------
   const double t_inner = bench::best_seconds(3, [&] {
@@ -69,10 +82,12 @@ int main() {
               "SIMD: %.1f ms (paper: inner wins on the MIC's 512-bit unit; "
               "on OOO hosts they are close)\n",
               t_inner * 1e3, t_outer * 1e3);
+  report.row({{"section", 3}, {"inner_s", t_inner}, {"outer_s", t_outer}});
 
-  // --- 4b setup shared below -------------------------------------------------
+  // --- 4. tally synchronization ---------------------------------------------
   std::printf("[4] tally synchronization (full simulation, %zu particles):\n",
               bench::scaled(3000));
+  int tally_mode = 0;
   for (const auto& [name, mode] :
        {std::pair{"thread_local_reduce", core::TallyMode::thread_local_reduce},
         std::pair{"atomic_add", core::TallyMode::atomic_add},
@@ -89,6 +104,8 @@ int main() {
     const auto r = sim.run();
     std::printf("    %-22s %8.0f n/s (k = %.4f)\n", name, r.rate_active,
                 r.k_eff);
+    report.row({{"tally_mode", static_cast<double>(tally_mode++)},
+                {"particles_per_s", r.rate_active}});
   }
 
   // --- 5. phase-space tallies (Section III-B1's caveat) --------------------
@@ -113,6 +130,47 @@ int main() {
     std::printf("    %-22s %8.0f n/s\n",
                 with_mesh ? "17x17x8 x 16 groups" : "global tallies only",
                 r.rate_active);
+    report.row({{"mesh_tally", with_mesh ? 1.0 : 0.0},
+                {"particles_per_s", r.rate_active}});
+  }
+
+  // --- 6. event-transport queue scheduler -----------------------------------
+  // Full event-mode eigenvalue generations, identical physics and RNG
+  // streams, only the schedule differs: naive full-bank sweep (re-bucket +
+  // re-sort every iteration) vs. the compacting queue scheduler (persistent
+  // live queue, counting-sort material runs, O(live) per iteration). With
+  // the SIMD stages on this is the transport hot path of Figure 5.
+  std::printf("[6] event transport scheduler (lookups/s, %zu particles):\n",
+              bench::scaled(4000));
+  double lookup_rate[2] = {0.0, 0.0};
+  for (const bool compact : {false, true}) {
+    core::Settings st;
+    st.n_particles = bench::scaled(4000);
+    st.n_inactive = 1;
+    st.n_active = 3;
+    st.mode = core::TransportMode::event;
+    st.physics = physics::PhysicsSettings::vector_friendly();
+    st.event.compact_queues = compact;
+    st.source_lo = model.source_lo;
+    st.source_hi = model.source_hi;
+    core::Simulation sim(model.geometry, model.library, st);
+    const auto r = sim.run();
+    const double rate =
+        r.active_seconds > 0.0
+            ? static_cast<double>(r.counts_active.lookups) / r.active_seconds
+            : 0.0;
+    lookup_rate[compact ? 1 : 0] = rate;
+    std::printf("    %-22s %12.3e lookups/s  %8.0f n/s (k = %.4f)\n",
+                compact ? "compact_queues" : "naive_banked", rate,
+                r.rate_active, r.k_eff);
+    report.row({{"compact_queues", compact ? 1.0 : 0.0},
+                {"lookups_per_s", rate},
+                {"particles_per_s", r.rate_active}});
+  }
+  if (lookup_rate[0] > 0.0) {
+    std::printf("    queue-scheduler speedup: %.2fx\n",
+                lookup_rate[1] / lookup_rate[0]);
+    report.note("queue_scheduler_speedup", lookup_rate[1] / lookup_rate[0]);
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/event_queue.hpp"
 #include "hm/hm_model.hpp"
 #include "rng/stream.hpp"
 #include "xsdata/lookup.hpp"
@@ -85,5 +86,120 @@ int main() {
       "\npaper shape: banking on the MIC ~10x the CPU history rate; the\n"
       "host-measured columns show the same-silicon SIMD+tiling gain, which\n"
       "is smaller on an out-of-order AVX-512 core (see EXPERIMENTS.md).\n");
+
+  // --- multi-material queue sweep ------------------------------------------
+  // The event scheduler's per-iteration lookup organization, isolated from
+  // transport: a mixed-material live set swept either the naive way (bucket
+  // indices per material, copy energies into scratch, sweep, scatter the
+  // results back) or through EventQueues (one stable counting sort, then
+  // contiguous same-material subspan sweeps of the staging buffer).
+  // On a ~300-nuclide material the kernel dominates and the full-sweep
+  // columns converge; the organize-only columns isolate the per-iteration
+  // bookkeeping the queue scheduler removes (the transport-level effect is
+  // benched end-to-end in abl_kernels section [6]).
+  const int n_mats = lib.n_materials();
+  std::printf("\nmulti-material queue sweep (%d materials, full XsSet):\n",
+              n_mats);
+  std::printf("%10s | %15s %15s %8s | %15s %15s %8s\n", "N live",
+              "rebucket/s", "queued/s", "speedup", "org rebucket/s",
+              "org queued/s", "speedup");
+  for (const std::size_t n_base : {std::size_t{10000}, std::size_t{100000}}) {
+    const std::size_t qn = bench::scaled(n_base);
+    rng::Stream qs(qn ^ 0x9E37);
+    std::vector<particle::Particle> ps(qn);
+    std::vector<geom::Geometry::State> states(qn);
+    for (std::size_t i = 0; i < qn; ++i) {
+      ps[i].id = i;
+      ps[i].energy = xs::kEnergyMin *
+                     std::pow(xs::kEnergyMax / xs::kEnergyMin, qs.next());
+      states[i].material =
+          static_cast<std::int32_t>(qs.next() * static_cast<double>(n_mats)) %
+          n_mats;
+    }
+
+    // Naive: what run_naive's stage 1 does every iteration.
+    std::vector<xs::XsSet> sigma(qn);
+    std::vector<std::vector<std::uint32_t>> buckets(
+        static_cast<std::size_t>(n_mats));
+    simd::aligned_vector<double> bucket_e;
+    std::vector<xs::XsSet> bucket_sigma;
+    const double t_rebucket = bench::best_seconds(3, [&] {
+      for (auto& b : buckets) b.clear();
+      for (std::size_t i = 0; i < qn; ++i) {
+        buckets[static_cast<std::size_t>(states[i].material)].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+      for (int m = 0; m < n_mats; ++m) {
+        const auto& bucket = buckets[static_cast<std::size_t>(m)];
+        if (bucket.empty()) continue;
+        bucket_e.resize(bucket.size());
+        bucket_sigma.resize(bucket.size());
+        for (std::size_t j = 0; j < bucket.size(); ++j) {
+          bucket_e[j] = ps[bucket[j]].energy;
+        }
+        xs::macro_xs_banked(lib, m, bucket_e, bucket_sigma);
+        for (std::size_t j = 0; j < bucket.size(); ++j) {
+          sigma[bucket[j]] = bucket_sigma[j];
+        }
+      }
+    });
+
+    // Queued: what run_compact's stage 1 does every iteration.
+    core::EventQueues q;
+    q.reset(n_mats, qn);
+    for (std::size_t i = 0; i < qn; ++i) {
+      q.push_live(static_cast<std::uint32_t>(i));
+    }
+    q.begin_iteration();
+    const double t_queued = bench::best_seconds(3, [&] {
+      q.build_lookup(ps, states);
+      for (const core::MaterialRun& r : q.runs()) {
+        xs::macro_xs_banked(lib, r.material,
+                            q.staged_energies().subspan(r.begin, r.size()),
+                            q.staged_sigma().subspan(r.begin, r.size()));
+      }
+    });
+
+    // Organization only: the bucket/copy/scatter bookkeeping vs. the one
+    // stable counting sort, kernels excluded from both sides.
+    const double t_org_rebucket = bench::best_seconds(3, [&] {
+      for (auto& b : buckets) b.clear();
+      for (std::size_t i = 0; i < qn; ++i) {
+        buckets[static_cast<std::size_t>(states[i].material)].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+      for (int m = 0; m < n_mats; ++m) {
+        const auto& bucket = buckets[static_cast<std::size_t>(m)];
+        if (bucket.empty()) continue;
+        bucket_e.resize(bucket.size());
+        bucket_sigma.resize(bucket.size());
+        for (std::size_t j = 0; j < bucket.size(); ++j) {
+          bucket_e[j] = ps[bucket[j]].energy;
+        }
+        for (std::size_t j = 0; j < bucket.size(); ++j) {
+          sigma[bucket[j]] = bucket_sigma[j];
+        }
+      }
+    });
+    const double t_org_queued = bench::best_seconds(3, [&] {
+      q.build_lookup(ps, states);
+    });
+
+    std::printf("%10zu | %15.3e %15.3e %7.2fx | %15.3e %15.3e %7.2fx\n", qn,
+                static_cast<double>(qn) / t_rebucket,
+                static_cast<double>(qn) / t_queued, t_rebucket / t_queued,
+                static_cast<double>(qn) / t_org_rebucket,
+                static_cast<double>(qn) / t_org_queued,
+                t_org_rebucket / t_org_queued);
+    report.row({{"queue_n", static_cast<double>(qn)},
+                {"rebucket_per_s", static_cast<double>(qn) / t_rebucket},
+                {"queued_per_s", static_cast<double>(qn) / t_queued},
+                {"queue_speedup", t_rebucket / t_queued},
+                {"organize_rebucket_per_s",
+                 static_cast<double>(qn) / t_org_rebucket},
+                {"organize_queued_per_s",
+                 static_cast<double>(qn) / t_org_queued},
+                {"organize_speedup", t_org_rebucket / t_org_queued}});
+  }
   return 0;
 }

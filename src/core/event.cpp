@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/event_queue.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simd/simd.hpp"
@@ -12,7 +13,32 @@ namespace vmc::core {
 
 namespace {
 constexpr double kEnergyFloor = 1.0e-11;
+
+// Per-kernel banked-sweep throughput counters, shared by the naive and the
+// compacting scheduler so the series stays comparable across the ablation.
+// Registered once (labels carry the compiled ISA so mixed-build comparisons
+// stay separable) and bumped once per run() — no per-iteration metrics cost.
+void bump_sweep_counters(std::uint64_t n_xs, std::uint64_t n_dist,
+                         std::uint64_t n_adv, std::uint64_t n_coll) {
+  static const char* kHelp = "Particles processed per banked event kernel";
+  static const obs::Counter c_xs = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "xs_lookup"}, {"isa", simd::isa_name()}}, kHelp);
+  static const obs::Counter c_dist = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "sample_distance"}, {"isa", simd::isa_name()}}, kHelp);
+  static const obs::Counter c_adv = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "advance_geometry"}, {"isa", simd::isa_name()}}, kHelp);
+  static const obs::Counter c_coll = obs::metrics().counter(
+      "vmc_bank_sweep_particles_total",
+      {{"kernel", "collide"}, {"isa", simd::isa_name()}}, kHelp);
+  c_xs.inc(n_xs);
+  c_dist.inc(n_dist);
+  c_adv.inc(n_adv);
+  c_coll.inc(n_coll);
 }
+}  // namespace
 
 EventTracker::EventTracker(const geom::Geometry& geometry,
                            const xs::Library& lib,
@@ -30,6 +56,17 @@ void EventTracker::run(std::span<particle::Particle> particles,
                        TallyScores& tally, EventCounts& counts,
                        std::vector<particle::FissionSite>& bank,
                        MeshTally* mesh) const {
+  if (opt_.compact_queues) {
+    run_compact(particles, tally, counts, bank, mesh);
+  } else {
+    run_naive(particles, tally, counts, bank, mesh);
+  }
+}
+
+void EventTracker::run_naive(std::span<particle::Particle> particles,
+                             TallyScores& tally, EventCounts& counts,
+                             std::vector<particle::FissionSite>& bank,
+                             MeshTally* mesh) const {
   const std::size_t n = particles.size();
   const bool profile = opt_.profile;
   auto& reg = prof::registry();
@@ -238,26 +275,218 @@ void EventTracker::run(std::span<particle::Particle> particles,
   // Safety cap: force-kill stragglers.
   for (const std::uint32_t i : alive) particles[i].alive = false;
 
-  // Per-kernel banked-sweep throughput counters. Registered once (labels
-  // carry the compiled ISA so mixed-build comparisons stay separable) and
-  // bumped once per run() — no per-iteration metrics cost.
-  static const char* kHelp = "Particles processed per banked event kernel";
-  static const obs::Counter c_xs = obs::metrics().counter(
-      "vmc_bank_sweep_particles_total",
-      {{"kernel", "xs_lookup"}, {"isa", simd::isa_name()}}, kHelp);
-  static const obs::Counter c_dist = obs::metrics().counter(
-      "vmc_bank_sweep_particles_total",
-      {{"kernel", "sample_distance"}, {"isa", simd::isa_name()}}, kHelp);
-  static const obs::Counter c_adv = obs::metrics().counter(
-      "vmc_bank_sweep_particles_total",
-      {{"kernel", "advance_geometry"}, {"isa", simd::isa_name()}}, kHelp);
-  static const obs::Counter c_coll = obs::metrics().counter(
-      "vmc_bank_sweep_particles_total",
-      {{"kernel", "collide"}, {"isa", simd::isa_name()}}, kHelp);
-  c_xs.inc(n_xs);
-  c_dist.inc(n_dist);
-  c_adv.inc(n_adv);
-  c_coll.inc(n_coll);
+  bump_sweep_counters(n_xs, n_dist, n_adv, n_coll);
+}
+
+// The compacting event-queue scheduler. Identical physics and per-particle
+// RNG consumption to run_naive — the queue only changes HOW the live set is
+// found, never WHAT happens to a live particle — so with the SIMD stages
+// disabled the two paths are bit-identical (tested in
+// tests/core/test_event_queue.cpp). Differences from the naive sweep:
+//   * no per-iteration alive rebuild + O(n log n) sort: deaths are marked in
+//     place and removed by one stable O(live) compaction pass;
+//   * no per-material scratch vectors: one counting sort yields contiguous
+//     same-material runs of a reused SoA staging buffer, and results are
+//     read back through the live→lookup permutation instead of a scatter
+//     into a full-bank-sized array;
+//   * the SIMD distance remainder is handled with masked loads/stores
+//     instead of a scalar std::log tail.
+void EventTracker::run_compact(std::span<particle::Particle> particles,
+                               TallyScores& tally, EventCounts& counts,
+                               std::vector<particle::FissionSite>& bank,
+                               MeshTally* mesh) const {
+  const std::size_t n = particles.size();
+  const bool profile = opt_.profile;
+  auto& reg = prof::registry();
+  obs::Tracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  std::uint64_t n_xs = 0, n_dist = 0, n_adv = 0, n_coll = 0;
+
+  std::vector<geom::Geometry::State> states(n);
+  EventQueues q;
+  q.reset(lib_.n_materials(), n);
+  counts.histories += n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    particle::Particle& p = particles[i];
+    if (geometry_.locate(p.r, p.u, states[i])) {
+      q.push_live(static_cast<std::uint32_t>(i));
+    } else {
+      tally.leakage += p.weight;
+      p.alive = false;
+    }
+  }
+
+  for (int iter = 0; !q.empty() && iter < opt_.max_iterations; ++iter) {
+    const std::size_t na = q.live_count();
+    const std::span<const std::uint32_t> live = q.live();
+    q.begin_iteration();
+
+    // --- Stage 1: material-sorted banked lookups --------------------------
+    if (profile) reg.start(t_xs_);
+    if (tracing) tr.begin("xs_lookup_banked", "event");
+    q.build_lookup(particles, states);
+    for (const MaterialRun& r : q.runs()) {
+      const auto e = q.staged_energies().subspan(r.begin, r.size());
+      const auto s = q.staged_sigma().subspan(r.begin, r.size());
+      if (opt_.simd_lookup) {
+        xs::macro_xs_banked(lib_, r.material, e, s);
+      } else {
+        xs::macro_xs_banked_scalar(lib_, r.material, e, s);
+      }
+      counts.nuclide_terms += r.size() * lib_.material(r.material).size();
+    }
+    counts.lookups += na;
+    n_xs += na;
+    if (tracing) tr.end();
+    if (profile) reg.stop(t_xs_);
+
+    // --- Stage 2: banked distance sampling (live order) -------------------
+    if (profile) reg.start(t_dist_);
+    if (tracing) tr.begin("sample_distance_banked", "event");
+    auto& xi = q.xi();
+    auto& sig_total = q.sig_total();
+    auto& dist = q.dist();
+    xi.resize(na);
+    sig_total.resize(na);
+    dist.resize(na);
+    for (std::size_t j = 0; j < na; ++j) {
+      xi[j] = particles[live[j]].stream.next();
+      sig_total[j] = q.sigma_of_live(j).total;
+    }
+    counts.rng_draws_est += na;
+    if (opt_.simd_distance) {
+      using VD = simd::vdouble;
+      constexpr int L = simd::native_lanes<double>;
+      const std::size_t nv = na / L * L;
+      for (std::size_t j = 0; j < nv; j += L) {
+        const VD x = VD::load(xi.data() + j);
+        const VD st = VD::load(sig_total.data() + j);
+        (-simd::vlog(x) / st).store(dist.data() + j);
+      }
+      if (nv < na) {
+        // Masked remainder instead of a scalar tail: inactive lanes are fed
+        // harmless operands and never stored.
+        const int rem = static_cast<int>(na - nv);
+        const VD x = VD::load_partial(xi.data() + nv, rem, 0.5);
+        const VD st = VD::load_partial(sig_total.data() + nv, rem, 1.0);
+        (-simd::vlog(x) / st).store_partial(dist.data() + nv, rem);
+      }
+    } else {
+      for (std::size_t j = 0; j < na; ++j) {
+        dist[j] = sig_total[j] > 0.0 ? -std::log(xi[j]) / sig_total[j]
+                                     : geom::kInfDistance;
+      }
+    }
+    n_dist += na;
+    if (tracing) tr.end();
+    if (profile) reg.stop(t_dist_);
+
+    // --- Stage 3: geometry advance / crossing (scalar, live order) --------
+    if (profile) reg.start(t_advance_);
+    if (tracing) tr.begin("advance_geometry", "event");
+    for (std::size_t j = 0; j < na; ++j) {
+      const std::uint32_t i = live[j];
+      particle::Particle& p = particles[i];
+      geom::Geometry::State& gs = states[i];
+      const double d_coll = dist[j];
+      const xs::XsSet& sg = q.sigma_of_live(j);
+      const geom::Geometry::Boundary b = geometry_.distance_to_boundary(gs);
+      const double d = d_coll < b.distance ? d_coll : b.distance;
+      tally.track_length += p.weight * d;
+      tally.k_tracklength += p.weight * d * opt_.nu_bar * sg.fission;
+
+      if (d_coll < b.distance) {
+        geometry_.advance(gs, d_coll);
+        p.r = gs.position();
+        q.collide().push_back(static_cast<std::uint32_t>(j));
+      } else {
+        counts.crossings += 1;
+        p.n_crossings += 1;
+        const geom::Geometry::CrossResult cr = geometry_.cross(gs, b);
+        if (cr == geom::Geometry::CrossResult::leaked) {
+          tally.leakage += p.weight;
+          p.alive = false;
+          q.mark_dead(j);
+        } else {
+          p.r = gs.position();
+          p.u = gs.direction();
+        }
+      }
+    }
+    n_adv += na;
+    if (tracing) tr.end();
+    if (profile) reg.stop(t_advance_);
+
+    // --- Stage 4: collision physics (scalar, ascending slot order) --------
+    if (profile) reg.start(t_collide_);
+    if (tracing) tr.begin("collide", "event");
+    n_coll += q.collide().size();
+    for (const std::uint32_t j : q.collide()) {
+      const std::uint32_t i = live[j];
+      particle::Particle& p = particles[i];
+      geom::Geometry::State& gs = states[i];
+      const xs::XsSet& sg = q.sigma_of_live(j);
+      counts.collisions += 1;
+      p.n_collisions += 1;
+      tally.collision += p.weight;
+      if (sg.total > 0.0) {
+        tally.k_collision += p.weight * opt_.nu_bar * sg.fission / sg.total;
+      }
+      if (mesh != nullptr) {
+        mesh->score_collision(p.r, p.energy, p.weight, sg.total,
+                              opt_.nu_bar * sg.fission);
+      }
+      const physics::CollisionResult res =
+          coll_.collide(gs.material, p.energy, p.u, sg, p.stream);
+      counts.rng_draws_est += 4;
+      switch (res.type) {
+        case physics::CollisionType::scatter:
+          p.energy = res.energy;
+          p.u = res.direction;
+          gs.set_direction(p.u);
+          if (p.energy <= kEnergyFloor) {
+            p.alive = false;
+            q.mark_dead(j);
+          }
+          break;
+        case physics::CollisionType::capture:
+          tally.absorption += p.weight;
+          if (sg.absorption > 0.0) {
+            tally.k_absorption +=
+                p.weight * opt_.nu_bar * sg.fission / sg.absorption;
+          }
+          p.alive = false;
+          q.mark_dead(j);
+          break;
+        case physics::CollisionType::fission:
+          tally.absorption += p.weight;
+          if (sg.absorption > 0.0) {
+            tally.k_absorption +=
+                p.weight * opt_.nu_bar * sg.fission / sg.absorption;
+          }
+          for (int k = 0; k < res.n_fission_neutrons; ++k) {
+            bank.push_back(
+                particle::FissionSite{p.r, rng::sample_watt(p.stream)});
+          }
+          p.alive = false;
+          q.mark_dead(j);
+          break;
+      }
+    }
+    if (tracing) tr.end();
+    if (profile) reg.stop(t_collide_);
+
+    // Stable compaction: survivors keep ascending order, so the next
+    // iteration's stage buffers — and the tally accumulation order — stay
+    // deterministic and identical to the naive sweep's.
+    q.compact();
+  }
+
+  // Safety cap: force-kill stragglers.
+  for (const std::uint32_t i : q.live()) particles[i].alive = false;
+
+  bump_sweep_counters(n_xs, n_dist, n_adv, n_coll);
 }
 
 }  // namespace vmc::core

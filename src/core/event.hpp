@@ -33,6 +33,15 @@ namespace vmc::core {
 struct EventOptions {
   bool simd_lookup = true;    // banked SIMD lookup vs. scalar banked loop
   bool simd_distance = true;  // vectorized log vs. std::log
+  /// Compacting event-queue scheduler (src/core/event_queue.hpp): persistent
+  /// live queue with stable in-place dead-particle compaction, counting-sort
+  /// material runs, reusable SoA staging. Off = the naive full-bank sweep
+  /// that re-buckets and re-sorts every iteration (kept as the ablation
+  /// baseline for bench/abl_kernels). Both settings produce bit-identical
+  /// particle fates and tallies when the SIMD stages are disabled (tested);
+  /// with simd_distance on, the sub-vector remainder differs (masked vlog
+  /// vs. scalar std::log tail) and agreement is statistical.
+  bool compact_queues = true;
   double nu_bar = 2.43;
   int max_iterations = 1 << 20;
   bool profile = false;
@@ -53,6 +62,14 @@ class EventTracker {
   const Options& options() const { return opt_; }
 
  private:
+  void run_naive(std::span<particle::Particle> particles, TallyScores& tally,
+                 EventCounts& counts, std::vector<particle::FissionSite>& bank,
+                 MeshTally* mesh) const;
+  void run_compact(std::span<particle::Particle> particles, TallyScores& tally,
+                   EventCounts& counts,
+                   std::vector<particle::FissionSite>& bank,
+                   MeshTally* mesh) const;
+
   const geom::Geometry& geometry_;
   const xs::Library& lib_;
   const physics::Collision& coll_;

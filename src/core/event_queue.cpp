@@ -1,0 +1,74 @@
+#include "core/event_queue.hpp"
+
+#include <algorithm>
+
+namespace vmc::core {
+
+void EventQueues::reset(int n_materials, std::size_t n_particles) {
+  live_.clear();
+  live_.reserve(n_particles);
+  dead_.clear();
+  collide_.clear();
+  runs_.clear();
+  mat_count_.assign(static_cast<std::size_t>(n_materials), 0);
+  lookup_.reserve(n_particles);
+  pos_.reserve(n_particles);
+  e_stage_.reserve(n_particles);
+  mat_stage_.reserve(n_particles);
+  sigma_stage_.reserve(n_particles);
+}
+
+void EventQueues::build_lookup(std::span<const particle::Particle> particles,
+                               std::span<const geom::Geometry::State> states) {
+  const std::size_t na = live_.size();
+  lookup_.resize(na);
+  pos_.resize(na);
+  e_stage_.resize(na);
+  mat_stage_.resize(na);
+  sigma_stage_.resize(na);
+  runs_.clear();
+
+  std::fill(mat_count_.begin(), mat_count_.end(), 0u);
+  for (const std::uint32_t i : live_) {
+    ++mat_count_[static_cast<std::size_t>(states[i].material)];
+  }
+
+  // Exclusive prefix sum -> per-material placement cursors, and the run
+  // table for every non-empty material.
+  std::uint32_t offset = 0;
+  for (std::size_t m = 0; m < mat_count_.size(); ++m) {
+    const std::uint32_t c = mat_count_[m];
+    if (c != 0) {
+      runs_.push_back(MaterialRun{static_cast<int>(m), offset, offset + c});
+    }
+    mat_count_[m] = offset;
+    offset += c;
+  }
+
+  // Stable placement pass: within a material, lookup order == live order.
+  for (std::size_t j = 0; j < na; ++j) {
+    const std::uint32_t i = live_[j];
+    const std::uint32_t k =
+        mat_count_[static_cast<std::size_t>(states[i].material)]++;
+    lookup_[k] = i;
+    pos_[j] = k;
+    e_stage_[k] = particles[i].energy;
+    mat_stage_[k] = states[i].material;
+  }
+}
+
+void EventQueues::begin_iteration() {
+  dead_.assign(live_.size(), 0);
+  collide_.clear();
+}
+
+std::size_t EventQueues::compact() {
+  std::size_t w = 0;
+  for (std::size_t j = 0; j < live_.size(); ++j) {
+    if (dead_[j] == 0) live_[w++] = live_[j];
+  }
+  live_.resize(w);
+  return w;
+}
+
+}  // namespace vmc::core

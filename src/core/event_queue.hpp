@@ -1,0 +1,117 @@
+// Compacting event-queue scheduler state for the banked transport hot path.
+//
+// The naive banked sweep (EventTracker with compact_queues=off) rebuilds its
+// alive list, re-sorts it, and re-buckets particles by material from scratch
+// every iteration — per-iteration work that scales with bookkeeping, not
+// physics. The queue scheduler keeps ONE persistent live queue across
+// iterations and derives everything else from it in O(live):
+//
+//   * live queue      — particle indices, ascending, compacted in place each
+//                       iteration (stable, so the ascending order and hence
+//                       the tally accumulation order never change);
+//   * lookup queue    — the live set counting-sorted by material, so the
+//                       SIMD nuclide loop sweeps contiguous same-material
+//                       runs of the staging buffers instead of re-bucketing
+//                       into per-material scratch vectors;
+//   * staging buffers — 64-byte-aligned SoA energy/result arrays in lookup
+//                       order, reused across iterations (capacity only ever
+//                       grows to the initial bank size);
+//   * collide queue   — live-queue slots that sampled a collision this
+//                       iteration (the scalar physics stage's work list).
+//
+// Why compaction preserves the bit-exact event ≡ history equivalence: each
+// particle owns a private RNG stream, so only the per-particle ORDER of
+// draws matters, never the interleaving across particles — and a stable
+// compaction removes dead entries without reordering survivors, so every
+// stage still walks live particles in ascending index order, consuming each
+// particle's stream in exactly the history tracker's sequence and summing
+// tally contributions in exactly the naive sweep's order. See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "particle/particle.hpp"
+#include "simd/aligned.hpp"
+#include "xsdata/types.hpp"
+
+namespace vmc::core {
+
+/// One contiguous same-material segment [begin, end) of the lookup queue /
+/// staging buffers. The offload pipeline banks these runs directly.
+struct MaterialRun {
+  int material = -1;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+class EventQueues {
+ public:
+  /// Start a fresh transport run: empty live queue, per-material counters
+  /// sized, staging capacity reserved for `n_particles`.
+  void reset(int n_materials, std::size_t n_particles);
+
+  /// Seed one live particle (call in ascending index order).
+  void push_live(std::uint32_t particle_index) { live_.push_back(particle_index); }
+
+  std::span<const std::uint32_t> live() const { return live_; }
+  std::size_t live_count() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  /// Counting-sort the live set by material (stable: within a material,
+  /// ascending particle order) and gather energies into the staging buffer.
+  /// O(live + n_materials).
+  void build_lookup(std::span<const particle::Particle> particles,
+                    std::span<const geom::Geometry::State> states);
+
+  // Lookup-order views, valid after build_lookup() until the next compact().
+  std::span<const MaterialRun> runs() const { return runs_; }
+  std::span<const std::uint32_t> lookup() const { return lookup_; }
+  std::span<const double> staged_energies() const { return e_stage_; }
+  std::span<const std::int32_t> staged_materials() const { return mat_stage_; }
+  std::span<xs::XsSet> staged_sigma() { return sigma_stage_; }
+
+  /// Cross-section result for live-queue slot `slot` (routed through the
+  /// live→lookup permutation, so nothing is scattered back per particle).
+  const xs::XsSet& sigma_of_live(std::size_t slot) const {
+    return sigma_stage_[pos_[slot]];
+  }
+
+  // Distance-stage SoA buffers, live order, reused across iterations.
+  simd::aligned_vector<double>& xi() { return xi_; }
+  simd::aligned_vector<double>& sig_total() { return sig_total_; }
+  simd::aligned_vector<double>& dist() { return dist_; }
+
+  /// Live-queue slots that collide this iteration (stage-4 work list).
+  std::vector<std::uint32_t>& collide() { return collide_; }
+
+  /// Arm a new iteration: clear death marks and the collide queue.
+  void begin_iteration();
+
+  /// Mark live-queue slot `slot` dead; removed by the next compact().
+  void mark_dead(std::size_t slot) { dead_[slot] = 1; }
+
+  /// Stable in-place removal of dead entries. Survivors keep their relative
+  /// (ascending) order; returns the new live count.
+  std::size_t compact();
+
+ private:
+  std::vector<std::uint32_t> live_;        // ascending particle indices
+  std::vector<unsigned char> dead_;        // per-live-slot death marks
+  std::vector<std::uint32_t> collide_;     // live slots colliding this iter
+
+  std::vector<std::uint32_t> lookup_;      // material-major particle indices
+  std::vector<std::uint32_t> pos_;         // live slot -> lookup slot
+  std::vector<std::uint32_t> mat_count_;   // per-material counting-sort bins
+  std::vector<MaterialRun> runs_;          // contiguous same-material spans
+  simd::aligned_vector<double> e_stage_;   // energies, lookup order
+  std::vector<std::int32_t> mat_stage_;    // material id, lookup order
+  std::vector<xs::XsSet> sigma_stage_;     // lookup results, lookup order
+
+  simd::aligned_vector<double> xi_, sig_total_, dist_;  // live order
+};
+
+}  // namespace vmc::core

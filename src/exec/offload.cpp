@@ -192,12 +192,42 @@ OffloadRuntime::RatioPoint OffloadRuntime::ratios(const WorkProfile& w,
 
 OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
     int material, std::span<const double> energies, int n_banks) const {
-  PipelineRun run;
-  if (n_banks <= 0 || energies.empty()) return run;
+  if (n_banks <= 0 || energies.empty()) return {};
   const std::size_t n = energies.size();
-  const std::size_t chunk =
+  const std::size_t per =
       (n + static_cast<std::size_t>(n_banks) - 1) /
       static_cast<std::size_t>(n_banks);
+  std::vector<Chunk> chunks;
+  for (std::size_t b = 0; b < n; b += per) {
+    chunks.push_back(Chunk{material, b, std::min(n, b + per)});
+  }
+  return pipeline_chunks(energies, chunks);
+}
+
+OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined_queues(
+    const particle::SoABank& bank, std::span<const core::MaterialRun> runs,
+    int n_banks) const {
+  if (n_banks <= 0 || bank.empty()) return {};
+  const std::size_t n = bank.size();
+  // Split the compacted material runs into ~n_banks pipeline stages; a run
+  // never spans two stages (each stage's device sweep is one homogeneous
+  // material), so short runs cost one stage each.
+  const std::size_t per = std::max<std::size_t>(
+      1, (n + static_cast<std::size_t>(n_banks) - 1) /
+             static_cast<std::size_t>(n_banks));
+  std::vector<Chunk> chunks;
+  for (const core::MaterialRun& r : runs) {
+    for (std::size_t b = r.begin; b < r.end; b += per) {
+      chunks.push_back(Chunk{r.material, b, std::min(r.end, b + per)});
+    }
+  }
+  if (chunks.empty()) return {};
+  return pipeline_chunks(std::span<const double>(bank.energy), chunks);
+}
+
+OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
+    std::span<const double> energies, std::span<const Chunk> chunks) const {
+  PipelineRun run;
 
   ThreadPool pool(2);  // one "DMA" lane, one "device" lane
   // Two staging buffers: while the device sweeps buffer `cur`, the DMA lane
@@ -210,7 +240,7 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
     bool degraded = false;
   };
 
-  // The "DMA" leg: ship [b, e) into staging[buf]. Fault point
+  // The "DMA" leg: ship chunk [b, e) into staging[buf]. Fault point
   // offload.transfer is keyed by the stage index so the injection schedule
   // is deterministic no matter how the two pool lanes interleave. Transient
   // faults are retried with backoff; exhausted retries mean the bank never
@@ -240,35 +270,36 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
   const double t0 = prof::now_seconds();
 
   // Prime the first transfer (cannot be hidden).
-  std::size_t begin = 0;
-  std::size_t end = std::min(n, chunk);
+  const int n_chunks = static_cast<int>(chunks.size());
   int cur = 0;
   int stage = 0;
-  StageState cur_transfer = transfer_stage(stage, begin, end, cur);
+  StageState cur_transfer =
+      transfer_stage(stage, chunks[0].begin, chunks[0].end, cur);
   double checksum = 0.0;
-  while (begin < n) {
-    const std::size_t next_begin = end;
-    const std::size_t next_end = std::min(n, next_begin + chunk);
+  std::size_t bytes = 0;
+  while (stage < n_chunks) {
+    const Chunk& c = chunks[static_cast<std::size_t>(stage)];
     const int nxt = 1 - cur;
 
     StageState next_transfer;
     std::future<void> transfer;
-    if (next_begin < n) {
-      transfer = pool.submit([&, next_begin, next_end, nxt, stage] {
-        next_transfer = transfer_stage(stage + 1, next_begin, next_end, nxt);
+    if (stage + 1 < n_chunks) {
+      const Chunk& cn = chunks[static_cast<std::size_t>(stage) + 1];
+      transfer = pool.submit([&, cn, nxt, stage] {
+        next_transfer = transfer_stage(stage + 1, cn.begin, cn.end, nxt);
       });
     }
     StageState comp;
-    auto compute = pool.submit([&, cur, begin, end, stage] {
+    auto compute = pool.submit([&, c, cur, stage] {
       obs::Tracer::Scope span(obs::tracer(), "banked_sweep", "offload");
       if (cur_transfer.degraded) {
         // Graceful degradation: the bank never made it across the link, so
         // sweep the pristine host-resident energies with the scalar host
         // kernel. Same checksum, host-rate throughput.
-        totals[cur].resize(end - begin);
-        for (std::size_t i = begin; i < end; ++i) {
-          totals[cur][i - begin] =
-              xs::macro_total_history(lib_, material, energies[i]);
+        totals[cur].resize(c.end - c.begin);
+        for (std::size_t i = c.begin; i < c.end; ++i) {
+          totals[cur][i - c.begin] =
+              xs::macro_total_history(lib_, c.material, energies[i]);
         }
         return;
       }
@@ -280,7 +311,7 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
                                     std::to_string(stage));
           }
           totals[cur].resize(staging[cur].size());
-          xs::macro_total_banked(lib_, material, staging[cur], totals[cur]);
+          xs::macro_total_banked(lib_, c.material, staging[cur], totals[cur]);
         });
       } catch (const resil::TransientError&) {
         // The bank IS on the device but its sweep keeps failing: fall back
@@ -289,7 +320,7 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
         totals[cur].resize(staging[cur].size());
         for (std::size_t i = 0; i < staging[cur].size(); ++i) {
           totals[cur][i] =
-              xs::macro_total_history(lib_, material, staging[cur][i]);
+              xs::macro_total_history(lib_, c.material, staging[cur][i]);
         }
       }
     });
@@ -300,10 +331,9 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
     run.retries += cur_transfer.retries + comp.retries;
     if (cur_transfer.degraded || comp.degraded) ++run.degraded_stages;
 
+    bytes += (c.end - c.begin) * sizeof(double);
     ++run.n_stages;
     ++stage;
-    begin = next_begin;
-    end = next_end;
     cur = nxt;
     cur_transfer = next_transfer;
   }
@@ -312,7 +342,7 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
 
   offload_retries_counter().inc(static_cast<std::uint64_t>(run.retries));
   offload_degraded_counter().inc(static_cast<std::uint64_t>(run.degraded_stages));
-  offload_bytes_counter().inc(n * sizeof(double));
+  offload_bytes_counter().inc(bytes);
   static const obs::Histogram h_stage = obs::metrics().histogram(
       "vmc_offload_pipeline_stage_seconds",
       {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0}, {},

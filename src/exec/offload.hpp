@@ -23,6 +23,7 @@
 
 #include <cstdint>
 
+#include "core/event_queue.hpp"
 #include "exec/machine.hpp"
 #include <span>
 
@@ -111,6 +112,17 @@ class OffloadRuntime {
   PipelineRun run_pipelined(int material, std::span<const double> energies,
                             int n_banks) const;
 
+  /// Double-buffered sweep fed from the event scheduler's COMPACTED bank:
+  /// `bank` holds only live particles, already material-sorted by the
+  /// compacting queue (particle::SoABank::append_compacted), and `runs`
+  /// delimits its contiguous same-material segments. Each run is split into
+  /// pipeline stages so transfer bytes and device sweeps scale with the live
+  /// population, never the original bank size. Fault points, retry policy,
+  /// and degradation behave exactly as in run_pipelined.
+  PipelineRun run_pipelined_queues(const particle::SoABank& bank,
+                                   std::span<const core::MaterialRun> runs,
+                                   int n_banks) const;
+
   const CostModel& host() const { return host_; }
   const CostModel& device() const { return device_; }
 
@@ -120,6 +132,17 @@ class OffloadRuntime {
   void set_retry_policy(const resil::RetryPolicy& p) { retry_ = p; }
 
  private:
+  /// One pipeline stage's worth of work: a same-material span of the source
+  /// energies. run_pipelined uses equal splits of a single material;
+  /// run_pipelined_queues splits each compacted material run.
+  struct Chunk {
+    int material;
+    std::size_t begin;
+    std::size_t end;
+  };
+  PipelineRun pipeline_chunks(std::span<const double> energies,
+                              std::span<const Chunk> chunks) const;
+
   const xs::Library& lib_;
   CostModel host_;
   CostModel device_;

@@ -48,6 +48,16 @@ void SoABank::push(geom::Position r, geom::Direction u, double e, double w,
   ++n_;
 }
 
+void SoABank::append_compacted(std::span<const Particle> particles,
+                               std::span<const std::uint32_t> order,
+                               std::span<const std::int32_t> materials) {
+  reserve(n_ + order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const Particle& p = particles[order[k]];
+    push(p.r, p.u, p.energy, p.weight, p.id, materials[k]);
+  }
+}
+
 Particle SoABank::extract(std::size_t i, std::uint64_t master_seed) const {
   Particle p;
   p.r = {x[i], y[i], z[i]};

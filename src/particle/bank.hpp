@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "geom/vec3.hpp"
 #include "particle/particle.hpp"
@@ -32,6 +33,14 @@ class SoABank {
   /// Bank raw state (micro-benchmark path: no Particle object exists yet).
   void push(geom::Position r, geom::Direction u, double energy, double weight,
             std::uint64_t id, int material);
+
+  /// Bank the compacted live set in one pass: `order` lists the particle
+  /// indices to bank (the event scheduler's material-sorted lookup queue)
+  /// and `materials[k]` is the material of `particles[order[k]]`. Only live
+  /// particles cross the offload link — dead slots never reach the bank.
+  void append_compacted(std::span<const Particle> particles,
+                        std::span<const std::uint32_t> order,
+                        std::span<const std::int32_t> materials);
 
   /// Reconstruct an AoS particle view of slot i (bank -> history handoff).
   Particle extract(std::size_t i, std::uint64_t master_seed) const;

@@ -138,6 +138,19 @@ struct Vec {
   /// Store to an arbitrary address.
   void storeu(T* p) const { std::memcpy(p, &v, sizeof(v)); }
 
+  /// Masked remainder load: the first `k` lanes from `p`, the rest `fill`.
+  /// `fill` must keep the inactive lanes arithmetically harmless (e.g. 1.0
+  /// ahead of a log or a divide) — the vector kernels evaluate all lanes.
+  static Vec load_partial(const T* p, int k, T fill = T{}) {
+    Vec r(fill);
+    if (k > 0) std::memcpy(&r.v, p, static_cast<std::size_t>(k) * sizeof(T));
+    return r;
+  }
+  /// Masked remainder store: only the first `k` lanes reach memory.
+  void store_partial(T* p, int k) const {
+    if (k > 0) std::memcpy(p, &v, static_cast<std::size_t>(k) * sizeof(T));
+  }
+
   /// {start, start+step, start+2*step, ...} — loop-index vectors.
   static Vec iota(T start = T{0}, T step = T{1}) {
     Vec r;

@@ -129,6 +129,32 @@ TYPED_TEST(VecOpsTest, LoadStoreRoundTrip) {
   }
 }
 
+TYPED_TEST(VecOpsTest, PartialLoadStoreMasksInactiveLanes) {
+  using T = typename TypeParam::value_type;
+  std::vector<T> buf(TypeParam::lanes);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<T>(i + 1);
+  for (int k = 0; k <= TypeParam::lanes; ++k) {
+    // Active lanes [0, k) get the data; inactive lanes get the fill value
+    // (the event scheduler feeds harmless fills ahead of vlog/divide).
+    const auto v = TypeParam::load_partial(buf.data(), k, T{7});
+    for (int i = 0; i < TypeParam::lanes; ++i) {
+      EXPECT_EQ(v[i], i < k ? static_cast<T>(i + 1) : T{7})
+          << "k=" << k << " lane " << i;
+    }
+    // store_partial writes exactly k lanes and never past them.
+    std::vector<T> out(TypeParam::lanes, T{-1});
+    v.store_partial(out.data(), k);
+    for (int i = 0; i < TypeParam::lanes; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                i < k ? static_cast<T>(i + 1) : T{-1})
+          << "k=" << k << " lane " << i;
+    }
+  }
+  // Default fill is zero.
+  const auto z = TypeParam::load_partial(buf.data(), 0);
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(z[i], T{});
+}
+
 TYPED_TEST(VecOpsTest, IotaAndGather) {
   using T = typename TypeParam::value_type;
   const auto idx = TypeParam::iota(T{0}, T{2});

@@ -1,0 +1,478 @@
+// vmc_bench_diff: compare two `vectormc.bench.v1` benchmark reports (or a
+// directory of candidate BENCH_*.json files against committed baselines) and
+// fail on performance regressions.
+//
+// Series direction is inferred from the cell name, matching the harnesses'
+// naming convention (bench/bench_util.hpp):
+//   *_per_s, *_rate, *speedup, *ratio   higher is better
+//   *_s, *_ms, *_seconds, *_bytes       lower is better
+//   anything else                       informational (identity cells like
+//                                       n_banked, section, compact_queues)
+// A candidate value is a REGRESSION when it is worse than the baseline by
+// more than the series' fractional tolerance (--tolerance, overridable per
+// series with --series name=tol). Schema problems — wrong schema string,
+// mismatched report name, mismatched bench_scale, row identity drift — are
+// hard errors: a baseline measured at one scale must never be compared
+// against a candidate run at another.
+//
+// Exit codes: 0 = no regressions, 1 = regression(s), 2 = usage/schema error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using vmc::obs::JsonValue;
+
+enum class Direction : unsigned char { higher_better, lower_better, info };
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Direction direction_of(std::string_view name) {
+  // Higher-better suffixes first: "_per_s" would otherwise match "_s".
+  for (const char* hb : {"_per_s", "_rate", "speedup", "ratio"}) {
+    if (ends_with(name, hb)) return Direction::higher_better;
+  }
+  for (const char* lb : {"_s", "_ms", "_seconds", "_bytes"}) {
+    if (ends_with(name, lb)) return Direction::lower_better;
+  }
+  return Direction::info;
+}
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::higher_better: return "higher-better";
+    case Direction::lower_better: return "lower-better";
+    case Direction::info: return "info";
+  }
+  return "?";
+}
+
+struct Options {
+  double tolerance = 0.25;
+  std::map<std::string, double> series_tolerance;
+  bool quiet = false;
+};
+
+struct CompareResult {
+  int regressions = 0;
+  int schema_errors = 0;
+  int compared = 0;
+};
+
+double series_tolerance(const Options& opt, const std::string& name) {
+  const auto it = opt.series_tolerance.find(name);
+  return it != opt.series_tolerance.end() ? it->second : opt.tolerance;
+}
+
+/// Validate the parts of the vectormc.bench.v1 shape this tool relies on.
+bool check_shape(const JsonValue& doc, const std::string& label,
+                 std::string* err) {
+  if (!doc.is_object()) {
+    *err = label + ": top level is not an object";
+    return false;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "vectormc.bench.v1") {
+    *err = label + ": schema is not \"vectormc.bench.v1\"";
+    return false;
+  }
+  for (const char* key : {"name", "isa"}) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr || !v->is_string()) {
+      *err = label + ": missing string member \"" + key + "\"";
+      return false;
+    }
+  }
+  const JsonValue* scale = doc.find("bench_scale");
+  if (scale == nullptr || !scale->is_number()) {
+    *err = label + ": missing numeric member \"bench_scale\"";
+    return false;
+  }
+  const JsonValue* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    *err = label + ": missing \"rows\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const JsonValue& row = rows->array[i];
+    if (!row.is_object() || row.object.empty()) {
+      *err = label + ": row " + std::to_string(i) + " is not a non-empty object";
+      return false;
+    }
+    for (const auto& [k, v] : row.object) {
+      if (!v.is_number()) {
+        *err = label + ": row " + std::to_string(i) + " cell \"" + k +
+               "\" is not a number";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CompareResult compare_reports(const JsonValue& base, const JsonValue& cand,
+                              const Options& opt) {
+  CompareResult res;
+  std::string err;
+  if (!check_shape(base, "baseline", &err) ||
+      !check_shape(cand, "candidate", &err)) {
+    std::fprintf(stderr, "vmc_bench_diff: %s\n", err.c_str());
+    res.schema_errors = 1;
+    return res;
+  }
+  const std::string& name = base.find("name")->string;
+  if (cand.find("name")->string != name) {
+    std::fprintf(stderr,
+                 "vmc_bench_diff: report name mismatch: baseline \"%s\" vs "
+                 "candidate \"%s\"\n",
+                 name.c_str(), cand.find("name")->string.c_str());
+    res.schema_errors = 1;
+    return res;
+  }
+  const double base_scale = base.find("bench_scale")->number;
+  const double cand_scale = cand.find("bench_scale")->number;
+  if (base_scale != cand_scale) {
+    std::fprintf(stderr,
+                 "vmc_bench_diff: %s: bench_scale mismatch (baseline %g, "
+                 "candidate %g) — measurements are not comparable\n",
+                 name.c_str(), base_scale, cand_scale);
+    res.schema_errors = 1;
+    return res;
+  }
+  if (base.find("isa")->string != cand.find("isa")->string && !opt.quiet) {
+    std::printf("  note: ISA differs (baseline %s, candidate %s) — expect "
+                "rate shifts\n",
+                base.find("isa")->string.c_str(),
+                cand.find("isa")->string.c_str());
+  }
+
+  const auto& brows = base.find("rows")->array;
+  const auto& crows = cand.find("rows")->array;
+  if (brows.size() != crows.size()) {
+    std::fprintf(stderr,
+                 "vmc_bench_diff: %s: row count mismatch (baseline %zu, "
+                 "candidate %zu)\n",
+                 name.c_str(), brows.size(), crows.size());
+    res.schema_errors = 1;
+    return res;
+  }
+
+  if (!opt.quiet) std::printf("%s (%zu rows):\n", name.c_str(), brows.size());
+  for (std::size_t i = 0; i < brows.size(); ++i) {
+    const auto& brow = brows[i].object;
+    const auto& crow = crows[i].object;
+    // Row identity: rows are matched by index; the first cell is the row's
+    // key (n_banked=1000, section=3, ...) and must agree exactly.
+    if (brow.front().first != crow.front().first ||
+        brow.front().second.number != crow.front().second.number) {
+      std::fprintf(stderr,
+                   "vmc_bench_diff: %s: row %zu identity mismatch (baseline "
+                   "%s=%g, candidate %s=%g)\n",
+                   name.c_str(), i, brow.front().first.c_str(),
+                   brow.front().second.number, crow.front().first.c_str(),
+                   crow.front().second.number);
+      ++res.schema_errors;
+      continue;
+    }
+    const std::string row_key =
+        brow.front().first + "=" +
+        [&] {
+          std::ostringstream os;
+          os << brow.front().second.number;
+          return os.str();
+        }();
+    for (const auto& [cell, bval] : brow) {
+      const JsonValue* cv = crows[i].find(cell);
+      if (cv == nullptr) {
+        std::fprintf(stderr,
+                     "vmc_bench_diff: %s: row %zu (%s) lost cell \"%s\"\n",
+                     name.c_str(), i, row_key.c_str(), cell.c_str());
+        ++res.schema_errors;
+        continue;
+      }
+      const Direction dir = direction_of(cell);
+      const double b = bval.number;
+      const double c = cv->number;
+      if (dir == Direction::info || b == 0.0) continue;
+      ++res.compared;
+      const double tol = series_tolerance(opt, cell);
+      const double rel = (c - b) / std::abs(b);
+      const bool regressed = dir == Direction::higher_better ? rel < -tol
+                                                             : rel > tol;
+      if (regressed) ++res.regressions;
+      if (!opt.quiet || regressed) {
+        std::printf("  %-12s %-28s %12.4g -> %12.4g  %+7.1f%%  [%s, tol "
+                    "%.0f%%]%s\n",
+                    row_key.c_str(), cell.c_str(), b, c, 100.0 * rel,
+                    direction_name(dir), 100.0 * tol,
+                    regressed ? "  REGRESSED" : "");
+      }
+    }
+  }
+  return res;
+}
+
+std::string read_file(const std::filesystem::path& p, std::string* err) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *err = "cannot open " + p.string();
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool load_report(const std::filesystem::path& p, JsonValue* out) {
+  std::string err;
+  const std::string text = read_file(p, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "vmc_bench_diff: %s\n", err.c_str());
+    return false;
+  }
+  try {
+    *out = vmc::obs::json_parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vmc_bench_diff: %s: %s\n", p.string().c_str(),
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+int compare_files(const std::filesystem::path& base_path,
+                  const std::filesystem::path& cand_path, const Options& opt) {
+  JsonValue base, cand;
+  if (!load_report(base_path, &base) || !load_report(cand_path, &cand)) return 2;
+  const CompareResult r = compare_reports(base, cand, opt);
+  if (r.schema_errors > 0) return 2;
+  if (r.regressions > 0) {
+    std::printf("%d regression(s) across %d compared series\n", r.regressions,
+                r.compared);
+    return 1;
+  }
+  std::printf("OK: %d series within tolerance\n", r.compared);
+  return 0;
+}
+
+/// Directory mode: every BENCH_*.json in `baselines` must exist in
+/// `candidates` and pass; extra candidate reports (new benches without a
+/// committed baseline yet) are noted but do not fail.
+int compare_dirs(const std::filesystem::path& baselines,
+                 const std::filesystem::path& candidates, const Options& opt) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(baselines) || !fs::is_directory(candidates)) {
+    std::fprintf(stderr, "vmc_bench_diff: %s and %s must be directories\n",
+                 baselines.string().c_str(), candidates.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> base_files;
+  for (const auto& e : fs::directory_iterator(baselines)) {
+    const std::string f = e.path().filename().string();
+    if (e.is_regular_file() && f.rfind("BENCH_", 0) == 0 &&
+        ends_with(f, ".json")) {
+      base_files.push_back(e.path());
+    }
+  }
+  std::sort(base_files.begin(), base_files.end());
+  if (base_files.empty()) {
+    std::fprintf(stderr, "vmc_bench_diff: no BENCH_*.json baselines in %s\n",
+                 baselines.string().c_str());
+    return 2;
+  }
+  int worst = 0;
+  for (const auto& bp : base_files) {
+    const fs::path cp = candidates / bp.filename();
+    if (!fs::exists(cp)) {
+      std::fprintf(stderr, "vmc_bench_diff: candidate report %s is missing\n",
+                   cp.string().c_str());
+      worst = std::max(worst, 2);
+      continue;
+    }
+    worst = std::max(worst, compare_files(bp, cp, opt));
+  }
+  return worst;
+}
+
+// --------------------------------------------------------------------------
+// Self-test: the comparison semantics this tool promises, proven in-process
+// (registered as a CTest, so CI cannot ship a vmc_bench_diff that waves
+// regressions through).
+// --------------------------------------------------------------------------
+
+std::string make_report(double scale, double rate, double seconds,
+                        double speedup, double n = 1000.0) {
+  vmc::obs::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "vectormc.bench.v1");
+  w.member("name", "selftest");
+  w.member("artifact", "self-test");
+  w.member("description", "synthetic");
+  w.member("isa", "testisa");
+  w.member("simd_bits", 512);
+  w.member("bench_scale", scale);
+  w.key("notes").begin_object();
+  w.end_object();
+  w.key("rows").begin_array();
+  w.begin_object();
+  w.member("n_banked", n);
+  w.member("lookup_per_s", rate);
+  w.member("sweep_s", seconds);
+  w.member("queue_speedup", speedup);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+#define SELF_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "self-test FAILED at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      return 1;                                                            \
+    }                                                                      \
+  } while (0)
+
+int self_test() {
+  Options opt;
+  opt.tolerance = 0.10;
+  opt.quiet = true;
+
+  SELF_CHECK(direction_of("host_banked_per_s") == Direction::higher_better);
+  SELF_CHECK(direction_of("queue_speedup") == Direction::higher_better);
+  SELF_CHECK(direction_of("model_ratio") == Direction::higher_better);
+  SELF_CHECK(direction_of("union_s") == Direction::lower_better);
+  SELF_CHECK(direction_of("bank_bytes") == Direction::lower_better);
+  SELF_CHECK(direction_of("n_banked") == Direction::info);
+  SELF_CHECK(direction_of("compact_queues") == Direction::info);
+
+  const JsonValue base =
+      vmc::obs::json_parse(make_report(1.0, 1e6, 2.0, 1.5));
+
+  // Identical reports: clean pass.
+  auto r = compare_reports(base, base, opt);
+  SELF_CHECK(r.schema_errors == 0 && r.regressions == 0 && r.compared == 3);
+
+  // Small drift inside tolerance: pass.
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(1.0, 0.95e6, 2.1, 1.45)), opt);
+  SELF_CHECK(r.schema_errors == 0 && r.regressions == 0);
+
+  // Rate collapse (higher-better): regression.
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(1.0, 0.5e6, 2.0, 1.5)), opt);
+  SELF_CHECK(r.regressions == 1);
+
+  // Time blow-up (lower-better): regression.
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(1.0, 1e6, 3.0, 1.5)), opt);
+  SELF_CHECK(r.regressions == 1);
+
+  // Faster is never a regression, in either direction.
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(1.0, 2e6, 0.5, 3.0)), opt);
+  SELF_CHECK(r.regressions == 0);
+
+  // Per-series tolerance override beats the global one.
+  Options loose = opt;
+  loose.series_tolerance["lookup_per_s"] = 0.60;
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(1.0, 0.5e6, 2.0, 1.5)), loose);
+  SELF_CHECK(r.regressions == 0);
+
+  // bench_scale mismatch: schema error, never a silent pass.
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(0.1, 1e6, 2.0, 1.5)), opt);
+  SELF_CHECK(r.schema_errors == 1);
+
+  // Row identity drift (different n_banked): schema error.
+  r = compare_reports(
+      base, vmc::obs::json_parse(make_report(1.0, 1e6, 2.0, 1.5, 2000.0)),
+      opt);
+  SELF_CHECK(r.schema_errors == 1);
+
+  // Wrong schema string: schema error.
+  JsonValue bad = base;
+  for (auto& [k, v] : bad.object) {
+    if (k == "schema") v.string = "vectormc.bench.v2";
+  }
+  r = compare_reports(base, bad, opt);
+  SELF_CHECK(r.schema_errors == 1);
+
+  std::printf("vmc_bench_diff self-test: all checks passed\n");
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vmc_bench_diff [options] <baseline.json> <candidate.json>\n"
+      "       vmc_bench_diff [options] --baselines <dir> <candidate_dir>\n"
+      "       vmc_bench_diff --self-test\n"
+      "options:\n"
+      "  --tolerance X      global fractional tolerance (default 0.25)\n"
+      "  --series NAME=TOL  per-series tolerance override (repeatable)\n"
+      "  --quiet            only print regressions and errors\n"
+      "exit: 0 = within tolerance, 1 = regression, 2 = usage/schema error\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::filesystem::path baselines;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--self-test") return self_test();
+    if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (a == "--tolerance" && i + 1 < argc) {
+      opt.tolerance = std::atof(argv[++i]);
+    } else if (a == "--baselines" && i + 1 < argc) {
+      baselines = argv[++i];
+    } else if (a == "--series" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        usage();
+        return 2;
+      }
+      opt.series_tolerance[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      positional.emplace_back(a);
+    }
+  }
+  if (!baselines.empty()) {
+    if (positional.size() != 1) {
+      usage();
+      return 2;
+    }
+    return compare_dirs(baselines, positional[0], opt);
+  }
+  if (positional.size() != 2) {
+    usage();
+    return 2;
+  }
+  return compare_files(positional[0], positional[1], opt);
+}
