@@ -1,14 +1,24 @@
 // Figure 1: total cross section of the U-238-like synthetic nuclide across
-// the full energy range — the resonance forest the lookup benchmarks walk.
+// the full energy range — the resonance forest the lookup benchmarks walk —
+// plus the cross-section memory accounting that forest implies: pointwise
+// data, the unionized grid (Table II's transfer size), and the hash-binned
+// energy-grid index, swept over bins/decade to show the memory/window
+// tradeoff (see EXPERIMENTS.md).
 #include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "hm/hm_model.hpp"
+#include "rng/stream.hpp"
+#include "xsdata/hash_grid.hpp"
+#include "xsdata/lookup.hpp"
 #include "xsdata/synth.hpp"
 
 int main() {
   using namespace vmc;
-  bench::header("Figure 1", "U-238 total cross section vs. energy (synthetic)");
+  bench::Report report("fig1_xs_data", "Figure 1",
+                       "U-238 sigma_t vs. energy + xs-data memory accounting "
+                       "and hash-index bins/decade sweep");
 
   const auto params = xs::SynthParams::u238_like();
   const xs::Nuclide u238 = xs::make_synthetic_nuclide("U238", 92238, params);
@@ -52,5 +62,76 @@ int main() {
   const double t_fast = u238.evaluate(2.0).total;
   std::printf("\nshape: sigma_t(0.0253 eV) = %.2f b, sigma_t(2 MeV) = %.2f b\n",
               t_thermal, t_fast);
+
+  // --- xs-data memory accounting + hash-index sweep -------------------------
+  // The H.M. Large library the lookup figures run on: pointwise data, union
+  // grid, and the hash-binned index in double-indexed (tier-b) mode. The
+  // sweep rebuilds the index at several bins/decade settings and times the
+  // hash-accelerated banked kernel at each, making the memory-vs-window
+  // tradeoff measurable: more buckets -> narrower resolve windows -> faster
+  // searches, at linear index cost (the per-bucket per-nuclide start table
+  // dominates).
+  hm::ModelOptions mo;
+  mo.fuel = hm::FuelSize::large;
+  mo.grid_scale = std::min(1.0, 0.5 * bench::scale());
+  int fuel = -1;
+  xs::Library lib = hm::build_library(mo, &fuel);
+  std::printf("\nH.M. Large library: %d nuclides, union grid %zu pts\n",
+              lib.n_nuclides(), lib.union_grid().size());
+  std::printf("  pointwise data: %8.2f MB\n",
+              static_cast<double>(lib.pointwise_bytes()) / 1e6);
+  std::printf("  union grid+map: %8.2f MB\n",
+              static_cast<double>(lib.union_bytes()) / 1e6);
+  report.note("n_nuclides", static_cast<double>(lib.n_nuclides()))
+      .note("union_grid_points", static_cast<double>(lib.union_grid().size()))
+      .note("union_bytes", static_cast<double>(lib.union_bytes()))
+      .note("pointwise_bytes", static_cast<double>(lib.pointwise_bytes()));
+
+  const std::size_t n = bench::scaled(30000);
+  rng::Stream rs(1);
+  simd::aligned_vector<double> es(n);
+  for (auto& e : es) {
+    e = xs::kEnergyMin * std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
+  }
+  simd::aligned_vector<double> out(n);
+  constexpr xs::XsLookupOptions kHash{xs::GridSearch::hash};
+
+  std::printf("\nhash index (double-indexed) vs. bins/decade:\n");
+  std::printf("%12s %10s %11s %12s %10s %14s\n", "bins/decade", "buckets",
+              "max window", "index MB", "of union", "hash banked/s");
+  for (const int bpd : {64, 256, 1024, 4096}) {
+    lib.rebuild_hash({bpd, true});
+    const auto& hg = lib.hash_grid();
+    const double t_hash = bench::best_seconds(3, [&] {
+      xs::macro_total_banked(lib, fuel, es, out, kHash);
+    });
+    const double ratio = static_cast<double>(lib.hash_bytes()) /
+                         static_cast<double>(lib.union_bytes());
+    std::printf("%12d %10d %11d %12.2f %9.1f%% %14.3e\n", bpd, hg.n_buckets(),
+                hg.max_bucket_points(),
+                static_cast<double>(lib.hash_bytes()) / 1e6, 100.0 * ratio,
+                static_cast<double>(n) / t_hash);
+    report.row(
+        {{"bins_per_decade", static_cast<double>(bpd)},
+         {"n_buckets", static_cast<double>(hg.n_buckets())},
+         {"max_bucket_points", static_cast<double>(hg.max_bucket_points())},
+         {"hash_bytes", static_cast<double>(lib.hash_bytes())},
+         {"hash_over_union", ratio},
+         {"hash_banked_per_s", static_cast<double>(n) / t_hash}});
+  }
+
+  // Restore the default index and report the headline budget check: at the
+  // default bins/decade the double-indexed accelerator must stay a small
+  // fraction of the union grid it accelerates (<= 25% is the design budget).
+  lib.rebuild_hash({});
+  const double ratio = static_cast<double>(lib.hash_bytes()) /
+                       static_cast<double>(lib.union_bytes());
+  std::printf("\ndefault index (%d bins/decade): %.2f MB = %.1f%% of union "
+              "grid -> budget (<= 25%%): %s\n",
+              xs::HashGridOptions{}.bins_per_decade,
+              static_cast<double>(lib.hash_bytes()) / 1e6, 100.0 * ratio,
+              ratio <= 0.25 ? "ok" : "EXCEEDED");
+  report.note("hash_bytes_default", static_cast<double>(lib.hash_bytes()))
+      .note("hash_over_union_default", ratio);
   return 0;
 }

@@ -8,6 +8,7 @@
 //    banked on the MIC via the calibrated cost models — this is the pair of
 //    curves Figure 2 plots, with its ~10x separation.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/event_queue.hpp"
 #include "hm/hm_model.hpp"
 #include "rng/stream.hpp"
+#include "xsdata/hash_grid.hpp"
 #include "xsdata/lookup.hpp"
 
 int main() {
@@ -29,20 +31,33 @@ int main() {
   int fuel = -1;
   const xs::Library lib = hm::build_library(mo, &fuel);
   const double terms = static_cast<double>(lib.material(fuel).size());
-  std::printf("library: %d nuclides, union grid %zu pts (walk %d), %.1f MB\n\n",
+  std::printf("library: %d nuclides, union grid %zu pts (walk %d), %.1f MB "
+              "(+%.1f MB hash index, %d buckets)\n\n",
               lib.n_nuclides(), lib.union_grid().size(),
               lib.union_grid().walk_bound,
-              static_cast<double>(lib.union_bytes() + lib.pointwise_bytes()) / 1e6);
+              static_cast<double>(lib.union_bytes() + lib.pointwise_bytes()) / 1e6,
+              static_cast<double>(lib.hash_bytes()) / 1e6,
+              lib.hash_grid().n_buckets());
   report.note("material", "H.M. Large fuel")
       .note("n_nuclides", static_cast<double>(lib.n_nuclides()))
-      .note("union_grid_points", static_cast<double>(lib.union_grid().size()));
+      .note("union_grid_points", static_cast<double>(lib.union_grid().size()))
+      .note("hash_bytes", static_cast<double>(lib.hash_bytes()))
+      .note("hash_buckets", static_cast<double>(lib.hash_grid().n_buckets()))
+      .note("hash_max_bucket_points",
+            static_cast<double>(lib.hash_grid().max_bucket_points()));
+
+  // Grid-search modes under test. `binary` is the pre-accelerator ablation
+  // baseline (std::upper_bound on the union grid); `hash` is the production
+  // default (bucketed window + batched SIMD search, bit-identical results).
+  constexpr xs::XsLookupOptions kBinary{xs::GridSearch::binary};
+  constexpr xs::XsLookupOptions kHash{xs::GridSearch::hash};
 
   const exec::CostModel cpu(exec::DeviceSpec::jlse_host());
   const exec::CostModel mic(exec::DeviceSpec::mic_7120a());
 
-  std::printf("%10s | %15s %15s %8s | %17s %17s %8s\n", "N banked",
-              "host scalar/s", "host banked/s", "speedup", "model CPU hist/s",
-              "model MIC bank/s", "ratio");
+  std::printf("%10s | %15s %15s %8s | %15s %8s | %17s %17s %8s\n", "N banked",
+              "host scalar/s", "host banked/s", "speedup", "hash banked/s",
+              "hash spd", "model CPU hist/s", "model MIC bank/s", "ratio");
   for (const std::size_t n_base :
        {std::size_t{1000}, std::size_t{3000}, std::size_t{10000},
         std::size_t{30000}, std::size_t{100000}}) {
@@ -55,11 +70,14 @@ int main() {
     simd::aligned_vector<double> out(n);
 
     const double t_banked = bench::best_seconds(3, [&] {
-      xs::macro_total_banked(lib, fuel, es, out);
+      xs::macro_total_banked(lib, fuel, es, out, kBinary);
+    });
+    const double t_hash = bench::best_seconds(3, [&] {
+      xs::macro_total_banked(lib, fuel, es, out, kHash);
     });
     const double t_scalar = bench::best_seconds(3, [&] {
       for (std::size_t j = 0; j < n; ++j) {
-        out[j] = xs::macro_total_history(lib, fuel, es[j]);
+        out[j] = xs::macro_total_history(lib, fuel, es[j], kBinary);
       }
     });
 
@@ -69,17 +87,64 @@ int main() {
     const double model_mic =
         static_cast<double>(n) / mic.banked_lookup_seconds(n, terms);
 
-    std::printf("%10zu | %15.3e %15.3e %7.2fx | %17.3e %17.3e %7.2fx\n", n,
-                static_cast<double>(n) / t_scalar,
-                static_cast<double>(n) / t_banked, t_scalar / t_banked, model_cpu,
+    std::printf("%10zu | %15.3e %15.3e %7.2fx | %15.3e %7.2fx | %17.3e %17.3e "
+                "%7.2fx\n",
+                n, static_cast<double>(n) / t_scalar,
+                static_cast<double>(n) / t_banked, t_scalar / t_banked,
+                static_cast<double>(n) / t_hash, t_banked / t_hash, model_cpu,
                 model_mic, model_mic / model_cpu);
     report.row({{"n_banked", static_cast<double>(n)},
                 {"host_scalar_per_s", static_cast<double>(n) / t_scalar},
                 {"host_banked_per_s", static_cast<double>(n) / t_banked},
                 {"host_speedup", t_scalar / t_banked},
+                {"host_hash_banked_per_s", static_cast<double>(n) / t_hash},
+                {"hash_kernel_speedup", t_banked / t_hash},
                 {"model_cpu_history_per_s", model_cpu},
                 {"model_mic_banked_per_s", model_mic},
                 {"model_ratio", model_mic / model_cpu}});
+  }
+
+  // --- grid-search rate, isolated -----------------------------------------
+  // The accelerator's own figure of merit: union-grid interval resolutions
+  // per second with the rest of Algorithm 1 stripped away. `binary` is a
+  // scalar std::upper_bound per energy (what every kernel did before the
+  // hash grid existed); `hash` is HashGrid::find_banked, the batched SIMD
+  // bucket + bounded-walk search the banked kernels now stage through. Both
+  // produce identical interval indices — only the search differs.
+  const auto& ug = lib.union_grid();
+  const auto& hg = lib.hash_grid();
+  std::printf("\ngrid-search rate (interval resolutions/s, search only):\n");
+  std::printf("%10s | %15s %15s %8s\n", "N banked", "binary/s", "hash SIMD/s",
+              "speedup");
+  for (const std::size_t n_base : {std::size_t{10000}, std::size_t{100000}}) {
+    const std::size_t n = bench::scaled(n_base);
+    rng::Stream rs(n ^ 0x51D);
+    simd::aligned_vector<double> es(n);
+    for (auto& e : es) {
+      e = xs::kEnergyMin * std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
+    }
+    simd::aligned_vector<std::int32_t> us(n);
+    volatile std::int64_t sink = 0;
+
+    const double t_bin = bench::best_seconds(3, [&] {
+      std::int64_t acc = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += static_cast<std::int64_t>(ug.find(es[j]));
+      }
+      sink = acc;
+    });
+    const double t_hash = bench::best_seconds(3, [&] {
+      hg.find_banked(ug.energy, es, us.data());
+      sink = us[n - 1];
+    });
+
+    std::printf("%10zu | %15.3e %15.3e %7.2fx\n", n,
+                static_cast<double>(n) / t_bin, static_cast<double>(n) / t_hash,
+                t_bin / t_hash);
+    report.row({{"search_n", static_cast<double>(n)},
+                {"search_binary_per_s", static_cast<double>(n) / t_bin},
+                {"search_hash_banked_per_s", static_cast<double>(n) / t_hash},
+                {"search_speedup", t_bin / t_hash}});
   }
 
   std::printf(
@@ -137,7 +202,7 @@ int main() {
         for (std::size_t j = 0; j < bucket.size(); ++j) {
           bucket_e[j] = ps[bucket[j]].energy;
         }
-        xs::macro_xs_banked(lib, m, bucket_e, bucket_sigma);
+        xs::macro_xs_banked(lib, m, bucket_e, bucket_sigma, kHash);
         for (std::size_t j = 0; j < bucket.size(); ++j) {
           sigma[bucket[j]] = bucket_sigma[j];
         }
@@ -156,7 +221,7 @@ int main() {
       for (const core::MaterialRun& r : q.runs()) {
         xs::macro_xs_banked(lib, r.material,
                             q.staged_energies().subspan(r.begin, r.size()),
-                            q.staged_sigma().subspan(r.begin, r.size()));
+                            q.staged_sigma().subspan(r.begin, r.size()), kHash);
       }
     });
 

@@ -162,6 +162,8 @@ int main(int argc, char** argv) {
         .set_extra("n_eigenvalue_particles",
                    static_cast<double>(settings.n_particles))
         .set_extra("device", runtime.device().spec().name)
+        .set_extra("grid_hash_bytes",
+                   static_cast<double>(model.library.hash_bytes()))
         .set_extra("faults_injected", inject ? "yes" : "no")
         .capture_fault_summary()
         .capture_metrics();

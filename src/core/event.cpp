@@ -123,9 +123,10 @@ void EventTracker::run_naive(std::span<particle::Particle> particles,
         bucket_e[j] = particles[bucket[j]].energy;
       }
       if (opt_.simd_lookup) {
-        xs::macro_xs_banked(lib_, m, bucket_e, bucket_sigma);
+        xs::macro_xs_banked(lib_, m, bucket_e, bucket_sigma, opt_.lookup);
       } else {
-        xs::macro_xs_banked_scalar(lib_, m, bucket_e, bucket_sigma);
+        xs::macro_xs_banked_scalar(lib_, m, bucket_e, bucket_sigma,
+                                   opt_.lookup);
       }
       for (std::size_t j = 0; j < bucket.size(); ++j) {
         sigma[bucket[j]] = bucket_sigma[j];
@@ -330,9 +331,9 @@ void EventTracker::run_compact(std::span<particle::Particle> particles,
       const auto e = q.staged_energies().subspan(r.begin, r.size());
       const auto s = q.staged_sigma().subspan(r.begin, r.size());
       if (opt_.simd_lookup) {
-        xs::macro_xs_banked(lib_, r.material, e, s);
+        xs::macro_xs_banked(lib_, r.material, e, s, opt_.lookup);
       } else {
-        xs::macro_xs_banked_scalar(lib_, r.material, e, s);
+        xs::macro_xs_banked_scalar(lib_, r.material, e, s, opt_.lookup);
       }
       counts.nuclide_terms += r.size() * lib_.material(r.material).size();
     }

@@ -42,6 +42,10 @@ struct EventOptions {
   /// with simd_distance on, the sub-vector remainder differs (masked vlog
   /// vs. scalar std::log tail) and agreement is statistical.
   bool compact_queues = true;
+  /// Grid-search tier for the xs stage (GridSearch::hash by default; ::binary
+  /// is the ablation baseline). Hash selects bit-identical union intervals,
+  /// so every event/history equivalence above is preserved (tested).
+  xs::XsLookupOptions lookup{};
   double nu_bar = 2.43;
   int max_iterations = 1 << 20;
   bool profile = false;

@@ -49,6 +49,9 @@ std::int64_t MeshTally::bin_of(geom::Position r, double energy) const {
   if (n_groups_ > 1) {
     const auto& e = spec_.group_edges;
     if (energy < e.front() || energy >= e.back()) return -1;
+    // Tiny cache-resident group-edge array (a handful of tally groups), not
+    // a per-nuclide grid search — the hash accelerator would cost more than
+    // it saves here. vmc-lint: allow(hot-loop-binary-search)
     const auto it = std::upper_bound(e.begin(), e.end(), energy);
     ig = static_cast<int>(it - e.begin()) - 1;
     ig = std::clamp(ig, 0, n_groups_ - 1);

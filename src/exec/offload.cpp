@@ -91,18 +91,18 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
         throw resil::FaultError(
             "injected offload.compute fault (banked lookup sweep)");
       }
-      xs::macro_xs_banked(lib_, material, bank.energy, out);
+      xs::macro_xs_banked(lib_, material, bank.energy, out, lookup_);
     });
   } catch (const resil::TransientError&) {
     rep.degraded = true;
-    xs::macro_xs_banked_scalar(lib_, material, bank.energy, out);
+    xs::macro_xs_banked_scalar(lib_, material, bank.energy, out, lookup_);
   }
   rep.wall_banked_lookup_s = prof::now_seconds() - t1;
   if (tracing) tr.end();
 
   // --- scalar control sweep (real, timed) ----------------------------------
   const double t2 = prof::now_seconds();
-  xs::macro_xs_banked_scalar(lib_, material, bank.energy, out);
+  xs::macro_xs_banked_scalar(lib_, material, bank.energy, out, lookup_);
   rep.wall_scalar_lookup_s = prof::now_seconds() - t2;
 
   // --- Sigma_t-only sweeps (what Algorithm 1 / Fig. 2 actually compute) ----
@@ -114,24 +114,27 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
         throw resil::FaultError(
             "injected offload.compute fault (banked total sweep)");
       }
-      xs::macro_total_banked(lib_, material, bank.energy, totals);
+      xs::macro_total_banked(lib_, material, bank.energy, totals, lookup_);
     });
   } catch (const resil::TransientError&) {
     rep.degraded = true;
     for (std::size_t i = 0; i < n; ++i) {
-      totals[i] = xs::macro_total_history(lib_, material, bank.energy[i]);
+      totals[i] =
+          xs::macro_total_history(lib_, material, bank.energy[i], lookup_);
     }
   }
   rep.wall_banked_total_s = prof::now_seconds() - t3;
   const double t4 = prof::now_seconds();
   for (std::size_t i = 0; i < n; ++i) {
-    totals[i] = xs::macro_total_history(lib_, material, bank.energy[i]);
+    totals[i] =
+          xs::macro_total_history(lib_, material, bank.energy[i], lookup_);
   }
   rep.wall_scalar_total_s = prof::now_seconds() - t4;
 
   // --- byte counts (real) ---------------------------------------------------
   rep.bank_bytes = n * offload_record_bytes();
-  rep.grid_bytes = lib_.union_bytes() + lib_.pointwise_bytes();
+  rep.grid_bytes =
+      lib_.union_bytes() + lib_.pointwise_bytes() + lib_.hash_bytes();
 
   // --- paper-hardware projections -------------------------------------------
   rep.model_bank_host_s = host_.bank_seconds(n);
@@ -299,7 +302,7 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
         totals[cur].resize(c.end - c.begin);
         for (std::size_t i = c.begin; i < c.end; ++i) {
           totals[cur][i - c.begin] =
-              xs::macro_total_history(lib_, c.material, energies[i]);
+              xs::macro_total_history(lib_, c.material, energies[i], lookup_);
         }
         return;
       }
@@ -311,7 +314,8 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
                                     std::to_string(stage));
           }
           totals[cur].resize(staging[cur].size());
-          xs::macro_total_banked(lib_, c.material, staging[cur], totals[cur]);
+          xs::macro_total_banked(lib_, c.material, staging[cur], totals[cur],
+                                 lookup_);
         });
       } catch (const resil::TransientError&) {
         // The bank IS on the device but its sweep keeps failing: fall back
@@ -320,7 +324,8 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
         totals[cur].resize(staging[cur].size());
         for (std::size_t i = 0; i < staging[cur].size(); ++i) {
           totals[cur][i] =
-              xs::macro_total_history(lib_, c.material, staging[cur][i]);
+              xs::macro_total_history(lib_, c.material, staging[cur][i],
+                                      lookup_);
         }
       }
     });

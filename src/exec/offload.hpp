@@ -131,6 +131,12 @@ class OffloadRuntime {
   const resil::RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(const resil::RetryPolicy& p) { retry_ = p; }
 
+  /// Grid-search tier for every lookup sweep this runtime runs (hash by
+  /// default; binary is the ablation baseline). Results are bit-identical
+  /// across tiers, so checksums and kernel-agreement bounds are unaffected.
+  const xs::XsLookupOptions& lookup_options() const { return lookup_; }
+  void set_lookup_options(const xs::XsLookupOptions& o) { lookup_ = o; }
+
  private:
   /// One pipeline stage's worth of work: a same-material span of the source
   /// energies. run_pipelined uses equal splits of a single material;
@@ -147,6 +153,7 @@ class OffloadRuntime {
   CostModel host_;
   CostModel device_;
   resil::RetryPolicy retry_;
+  xs::XsLookupOptions lookup_;
 };
 
 }  // namespace vmc::exec

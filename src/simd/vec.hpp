@@ -84,6 +84,13 @@ struct Mask {
     return c;
   }
 
+  /// Re-type the mask lane-wise (e.g. a double comparison driving an int32
+  /// index blend). Lanes stay all-ones/all-zero across the width change.
+  template <class U>
+  Mask<U, N> convert() const {
+    return {__builtin_convertvector(m, typename Mask<U, N>::native_type)};
+  }
+
   static Mask none() { return {native_type{} != native_type{}}; }
 };
 
@@ -196,6 +203,15 @@ struct Vec {
       const __m512d g = _mm512_i32gather_pd(vi, base, 8);
       std::memcpy(&r.v, &g, sizeof(r.v));
       return r;
+    } else if constexpr (std::is_same_v<T, std::int32_t> && N == 16 &&
+                         std::is_same_v<I, std::int32_t>) {
+      // int32 gather: the imap rows and hash-grid bucket tables.
+      Vec r;
+      __m512i vi;
+      std::memcpy(&vi, &idx.v, sizeof(vi));
+      const __m512i g = _mm512_i32gather_epi32(vi, base, 4);
+      std::memcpy(&r.v, &g, sizeof(r.v));
+      return r;
     } else
 #pragma GCC diagnostic pop
 #elif defined(__AVX2__)
@@ -213,6 +229,15 @@ struct Vec {
       __m128i vi;
       std::memcpy(&vi, &idx.v, sizeof(vi));
       const __m256d g = _mm256_i32gather_pd(base, vi, 8);
+      std::memcpy(&r.v, &g, sizeof(r.v));
+      return r;
+    } else if constexpr (std::is_same_v<T, std::int32_t> && N == 8 &&
+                         std::is_same_v<I, std::int32_t>) {
+      Vec r;
+      __m256i vi;
+      std::memcpy(&vi, &idx.v, sizeof(vi));
+      const __m256i g =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(base), vi, 4);
       std::memcpy(&r.v, &g, sizeof(r.v));
       return r;
     } else
@@ -249,6 +274,26 @@ struct Vec {
   Vec& operator/=(Vec b) {
     v /= b.v;
     return *this;
+  }
+
+  // --- integer shifts --------------------------------------------------
+
+  friend Vec operator>>(Vec a, int s) {
+    static_assert(std::is_integral_v<T>, "shift requires integer lanes");
+    return from(a.v >> s);
+  }
+  friend Vec operator<<(Vec a, int s) {
+    static_assert(std::is_integral_v<T>, "shift requires integer lanes");
+    return from(a.v << s);
+  }
+
+  /// Lane-wise value conversion (C cast semantics per lane: float->int
+  /// truncates toward zero, int->float rounds to nearest).
+  template <class U>
+  Vec<U, N> convert() const {
+    Vec<U, N> r;
+    r.v = __builtin_convertvector(v, typename Vec<U, N>::native_type);
+    return r;
   }
 
   // --- comparisons -----------------------------------------------------

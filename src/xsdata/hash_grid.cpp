@@ -1,0 +1,199 @@
+#include "xsdata/hash_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "simd/simd.hpp"
+
+namespace vmc::xs {
+
+namespace {
+
+using simd::Mask;
+using simd::Vec;
+
+constexpr int kD = simd::native_lanes<double>;
+using VD = Vec<double, kD>;
+using VI = Vec<std::int32_t, kD>;
+using VL = Vec<std::int64_t, kD>;
+using MI = Mask<std::int32_t, kD>;
+
+/// Bucket windows narrower than this resolve faster with the masked linear
+/// walk (early exit, ~1 gather per step) than with fixed-depth bisection.
+constexpr int kLinearWalkMax = 8;
+
+obs::Counter& walk_counter() {
+  // Shared handle; inc() is one relaxed atomic add, bumped once per batch.
+  static obs::Counter c = obs::metrics().counter(
+      "vmc_xs_grid_search_walks_total", {},
+      "Walk/bisect steps taken by hash-grid energy interval searches");
+  return c;
+}
+
+}  // namespace
+
+void HashGrid::build(std::span<const double> union_energy,
+                     const std::vector<Nuclide>& nuclides,
+                     const HashGridOptions& opt) {
+  assert(union_energy.size() >= 2);
+  assert(union_energy.front() > 0.0);
+  opt_ = opt;
+  const std::size_t nu = union_energy.size();
+  h0_ = hi32(union_energy.front());
+  span_ = hi32(union_energy.back()) - h0_;
+  assert(span_ >= 0);
+
+  // Bucket count from the requested bins/decade, capped both absolutely and
+  // relative to the union size (a 2-point test grid does not need 12k
+  // buckets; a production union is orders of magnitude larger than either
+  // cap). Any count >= 1 is correct — caps only trade window width.
+  const double decades =
+      std::log10(union_energy.back() / union_energy.front());
+  std::int64_t nb = static_cast<std::int64_t>(
+      std::ceil(std::max(decades, 1e-3) * opt.bins_per_decade));
+  nb = std::clamp<std::int64_t>(nb, 1, 1 << 20);
+  nb = std::min<std::int64_t>(nb, 16 * static_cast<std::int64_t>(nu) + 1024);
+  n_buckets_ = static_cast<int>(nb);
+  scale_ = static_cast<double>(n_buckets_) /
+           (static_cast<double>(span_) + 1.0);
+
+  // start_[b] = clamp(first_in[b] - 1, 0, nu-2) where first_in[b] is the
+  // first union point whose bucket is >= b. For any e with bucket b,
+  // UnionGrid::find(e) lies in [start_[b], start_[b+1]] (monotonicity of
+  // bucket_of; see DESIGN.md for the clamp cases).
+  start_.resize(static_cast<std::size_t>(n_buckets_) + 1);
+  {
+    std::size_t iu = 0;
+    for (int b = 0; b <= n_buckets_; ++b) {
+      while (iu < nu && bucket_of(union_energy[iu]) < b) ++iu;
+      const std::int64_t s = static_cast<std::int64_t>(iu) - 1;
+      start_[static_cast<std::size_t>(b)] = static_cast<std::int32_t>(
+          std::clamp<std::int64_t>(s, 0, static_cast<std::int64_t>(nu) - 2));
+    }
+  }
+  max_bucket_points_ = 0;
+  for (int b = 0; b < n_buckets_; ++b) {
+    max_bucket_points_ =
+        std::max(max_bucket_points_,
+                 start_[static_cast<std::size_t>(b) + 1] -
+                     start_[static_cast<std::size_t>(b)]);
+  }
+  bisect_iters_ = 0;
+  for (int w = max_bucket_points_; w > 0; w >>= 1) ++bisect_iters_;
+  linear_walk_ = max_bucket_points_ <= kLinearWalkMax;
+
+  // Tier (b): the same construction against every nuclide grid. Row b and
+  // row b+1 bracket a bounded walk whose result is the nuclide's EXACT
+  // interval — the n_union x n_nuclides imap is never touched.
+  nuclide_start_.clear();
+  nuclide_walk_bound_ = 0;
+  nn_ = static_cast<int>(nuclides.size());
+  if (opt.nuclide_index && nn_ > 0) {
+    const std::size_t rows = static_cast<std::size_t>(n_buckets_) + 1;
+    nuclide_start_.resize(rows * static_cast<std::size_t>(nn_));
+    for (int n = 0; n < nn_; ++n) {
+      const auto& grid = nuclides[static_cast<std::size_t>(n)].energy;
+      const std::int64_t last =
+          static_cast<std::int64_t>(grid.size()) - 2;
+      std::size_t ig = 0;
+      std::int32_t prev = 0;
+      for (int b = 0; b <= n_buckets_; ++b) {
+        while (ig < grid.size() && bucket_of(grid[ig]) < b) ++ig;
+        const std::int32_t s = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(ig) - 1, 0, last));
+        nuclide_start_[static_cast<std::size_t>(b) *
+                           static_cast<std::size_t>(nn_) +
+                       static_cast<std::size_t>(n)] = s;
+        if (b > 0) nuclide_walk_bound_ = std::max(nuclide_walk_bound_, s - prev);
+        prev = s;
+      }
+    }
+  }
+}
+
+std::size_t HashGrid::resolve(std::span<const double> grid, double e,
+                              std::uint64_t& steps) const {
+  const int b = bucket_of(e);
+  const std::size_t lo = static_cast<std::size_t>(start_[static_cast<std::size_t>(b)]);
+  const std::size_t hi =
+      static_cast<std::size_t>(start_[static_cast<std::size_t>(b) + 1]);
+  if (linear_walk_) {
+    std::size_t idx = lo;
+    while (idx < hi && grid[idx + 1] <= e) {
+      ++idx;
+      ++steps;
+    }
+    return idx;
+  }
+  // Narrow upper_bound over (lo, hi]: first point > e, minus one — the same
+  // answer UnionGrid::find computes over the whole grid.
+  const double* first = grid.data() + lo + 1;
+  const double* last = grid.data() + hi + 1;
+  const double* it = std::upper_bound(first, last, e);
+  steps += static_cast<std::uint64_t>(bisect_iters_);
+  return static_cast<std::size_t>(it - grid.data()) - 1;
+}
+
+std::size_t HashGrid::find(std::span<const double> grid, double e) const {
+  std::uint64_t steps = 0;
+  return resolve(grid, e, steps);
+}
+
+void HashGrid::find_banked(std::span<const double> grid,
+                           std::span<const double> energies,
+                           std::int32_t* out_u) const {
+  const std::size_t n = energies.size();
+  const std::size_t nvec = n / kD * kD;
+  std::uint64_t steps = 0;
+
+  for (std::size_t j = 0; j < nvec; j += kD) {
+    const VD ev = VD::loadu(energies.data() + j);
+    // Lane buckets: hi32 via a 64-bit shift, then the clamp + reciprocal
+    // multiply — identical IEEE operations to the scalar bucket_of, so the
+    // lanes land in identical buckets.
+    const VI h = (ev.bitcast_int() >> 32).convert<std::int32_t>() - VI(h0_);
+    const VI hc = simd::min(simd::max(h, VI(0)), VI(span_));
+    const VI b = (hc.convert<double>() * VD(scale_)).convert<std::int32_t>();
+    const VI lo = VI::gather(start_.data(), b);
+    const VI hi = VI::gather(start_.data(), b + VI(1));
+
+    VI idx;
+    if (linear_walk_) {
+      // Masked walk with early exit; comparisons in DOUBLE so the interval
+      // matches the scalar path bit-for-bit.
+      idx = lo;
+      for (int w = 0; w < max_bucket_points_; ++w) {
+        const VD e_next = VD::gather(grid.data(), idx + VI(1));
+        const MI need{(e_next <= ev).convert<std::int32_t>().m & (idx < hi).m};
+        if (!need.any()) break;
+        idx.v -= need.m;  // mask lanes are -1 where true
+        steps += static_cast<std::uint64_t>(need.count());
+      }
+    } else {
+      // Fixed-depth masked bisection: every iteration at least halves each
+      // lane's window, so bisect_iters_ = bit_width(max window) suffices.
+      VI lov = lo;
+      VI hiv = hi;
+      for (int it = 0; it < bisect_iters_; ++it) {
+        const MI cont = lov < hiv;
+        if (!cont.any()) break;
+        const VI mid = (lov + hiv + VI(1)) >> 1;
+        const VD emid = VD::gather(grid.data(), mid);
+        const MI le = (emid <= ev).convert<std::int32_t>();
+        lov = simd::select(MI{cont.m & le.m}, mid, lov);
+        hiv = simd::select(MI{cont.m & ~le.m}, mid - VI(1), hiv);
+        steps += static_cast<std::uint64_t>(cont.count());
+      }
+      idx = lov;
+    }
+    idx.storeu(out_u + j);
+  }
+  for (std::size_t j = nvec; j < n; ++j) {
+    out_u[j] = static_cast<std::int32_t>(resolve(grid, energies[j], steps));
+  }
+  if (steps != 0) walk_counter().inc(steps);
+}
+
+}  // namespace vmc::xs

@@ -1,0 +1,145 @@
+// Hash-binned energy-grid accelerator: a log-uniform bucket index over the
+// unionized energy grid that replaces the per-particle O(log N) binary
+// search with one integer hash plus a short bounded walk [Leppänen-style
+// bucketing; the same O(1)-search structure GPU ports of OpenMC-class codes
+// use for the memory-bound lookup kernel].
+//
+// The bucket function needs no log(): for positive IEEE-754 doubles the top
+// 32 bits of the bit pattern (`hi32`, sign + exponent + top 20 mantissa
+// bits) are an integer that is MONOTONE in the value and piecewise-linear in
+// log2(e) — exactly the "log-energy axis". One subtract, one clamp and one
+// multiply by a precomputed reciprocal (`scale_ = n_buckets / (span+1)`)
+// maps any energy to its bucket. Exact log-uniformity is irrelevant: only
+// monotonicity and build/query consistency matter for correctness, and the
+// hi32 axis is close enough to log-uniform for even bucket occupancy.
+//
+// Three tiers share the index:
+//  (a) scalar `find()` — bucket -> narrow window [start_[b], start_[b+1]]
+//      on the union grid, resolved with a tiny upper_bound. Bit-identical
+//      to `UnionGrid::find` (proof in DESIGN.md).
+//  (b) the per-nuclide double index `nuclide_row()` — per-bucket start
+//      indices into EACH nuclide grid, which skips the union imap entirely
+//      (n_buckets x n_nuclides instead of n_union x n_nuclides — the
+//      Table II memory/rate tradeoff knob).
+//  (c) `find_banked()` — the batched SIMD search: lane buckets via Vec
+//      integer math, windows via int32 gathers, interval resolution via a
+//      masked walk (sparse buckets) or masked bisection (dense buckets),
+//      comparisons in double so the result is bit-identical to (a).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "simd/aligned.hpp"
+#include "xsdata/nuclide.hpp"
+
+namespace vmc::xs {
+
+/// Which grid-search path the lookup kernels use. The binary path is kept
+/// as the ablation baseline; hash is the default everywhere.
+enum class GridSearch : std::uint8_t {
+  binary,        ///< scalar std::upper_bound on the union grid (baseline)
+  hash,          ///< hash bucket -> bounded walk; batched SIMD in banked kernels
+  hash_nuclide,  ///< double-indexed: per-bucket per-nuclide starts, no imap
+};
+
+/// Options threaded through every lookup kernel (and EventOptions /
+/// OffloadRuntime). Defaults give the hash-accelerated path.
+struct XsLookupOptions {
+  GridSearch search = GridSearch::hash;
+};
+
+struct HashGridOptions {
+  /// Bucket resolution on the log-energy axis. More bins = narrower search
+  /// windows but a larger per-nuclide index (the Table II tradeoff;
+  /// EXPERIMENTS.md sweeps this). The effective bucket count is additionally
+  /// capped relative to the union size so tiny libraries stay tiny.
+  int bins_per_decade = 1024;
+  /// Build the per-bucket per-nuclide start table (tier b). Costs
+  /// ~(n_buckets+1) * n_nuclides * 4 bytes.
+  bool nuclide_index = true;
+};
+
+class HashGrid {
+ public:
+  HashGrid() = default;
+
+  /// Build over `union_energy` (sorted, unique, >= 2 positive points) and,
+  /// when opt.nuclide_index, over every nuclide grid as well. Called by
+  /// Library::finalize; rebuildable afterwards for bins/decade sweeps.
+  void build(std::span<const double> union_energy,
+             const std::vector<Nuclide>& nuclides, const HashGridOptions& opt);
+
+  bool empty() const { return n_buckets_ == 0; }
+  int n_buckets() const { return n_buckets_; }
+  int bins_per_decade() const { return opt_.bins_per_decade; }
+  bool has_nuclide_index() const { return !nuclide_start_.empty(); }
+  /// Widest bucket window on the union grid (the walk/bisect bound).
+  int max_bucket_points() const { return max_bucket_points_; }
+  /// Widest per-nuclide bucket window (tier b's walk bound).
+  int nuclide_walk_bound() const { return nuclide_walk_bound_; }
+  /// Index memory: bucket window table + per-nuclide double index.
+  std::size_t bytes() const {
+    return (start_.size() + nuclide_start_.size()) * sizeof(std::int32_t);
+  }
+
+  /// Bucket of `e`, clamped into [0, n_buckets-1]. Monotone in e.
+  int bucket_of(double e) const {
+    std::int32_t h = hi32(e) - h0_;
+    h = h < 0 ? 0 : (h > span_ ? span_ : h);
+    // h < 2^26, so the double product is exact-until-rounding and the same
+    // scalar multiply/truncate the SIMD path performs lane-wise.
+    return static_cast<int>(static_cast<double>(h) * scale_);
+  }
+
+  /// Tier (a): interval index on `grid` (the union grid this index was built
+  /// over). Bit-identical to Library::UnionGrid::find.
+  std::size_t find(std::span<const double> grid, double e) const;
+
+  /// Tier (c): batched search; out_u[i] == find(grid, energies[i]) for all
+  /// i, resolved kD lanes at a time with masked gathers. Bumps the
+  /// vmc_xs_grid_search_walks_total counter with the walk/bisect steps taken.
+  void find_banked(std::span<const double> grid,
+                   std::span<const double> energies, std::int32_t* out_u) const;
+
+  /// Tier (b): row of per-nuclide start indices for `bucket` (valid inputs
+  /// 0..n_buckets). Row b and row b+1 bracket the bounded walk on each
+  /// nuclide grid; the walk result is that nuclide's EXACT interval (no
+  /// union imap involved).
+  const std::int32_t* nuclide_row(int bucket) const {
+    return nuclide_start_.data() +
+           static_cast<std::size_t>(bucket) * static_cast<std::size_t>(nn_);
+  }
+
+  /// Top 32 bits of the IEEE-754 pattern: the log-energy axis coordinate.
+  static std::int32_t hi32(double e) {
+    std::int64_t b;
+    std::memcpy(&b, &e, sizeof(b));
+    return static_cast<std::int32_t>(b >> 32);
+  }
+
+ private:
+  std::size_t resolve(std::span<const double> grid, double e,
+                      std::uint64_t& steps) const;
+
+  HashGridOptions opt_;
+  std::int32_t h0_ = 0;   // hi32(grid.front())
+  std::int32_t span_ = 0; // hi32(grid.back()) - h0_, >= 0
+  double scale_ = 0.0;    // n_buckets / (span + 1): the reciprocal
+  int n_buckets_ = 0;
+  int nn_ = 0;
+  int max_bucket_points_ = 0;
+  int nuclide_walk_bound_ = 0;
+  int bisect_iters_ = 0;   // fixed SIMD bisection depth: bit_width(max window)
+  bool linear_walk_ = false;  // sparse buckets: masked walk beats bisection
+  /// start_[b] = clamp(first union point with bucket >= b, minus 1) — the
+  /// window [start_[b], start_[b+1]] contains find(e) for every e in bucket
+  /// b. Size n_buckets+1 (sentinel row keeps the windows branch-free).
+  simd::aligned_vector<std::int32_t> start_;
+  /// nuclide_start_[b * n_nuclides + n]: same construction per nuclide grid.
+  simd::aligned_vector<std::int32_t> nuclide_start_;
+};
+
+}  // namespace vmc::xs

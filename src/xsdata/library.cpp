@@ -107,7 +107,21 @@ void Library::finalize() {
   // union interval: 0 for an exact union, > 0 only when thinned.
   union_.walk_bound = walk_bound;
 
+  // ---- hash-binned accelerator -------------------------------------------
+  hash_.build(union_.energy, nuclides_, hash_options_);
+
   finalized_ = true;
+}
+
+void Library::set_hash_options(const HashGridOptions& opt) {
+  if (finalized_) throw std::logic_error("Library already finalized");
+  hash_options_ = opt;
+}
+
+void Library::rebuild_hash(const HashGridOptions& opt) {
+  if (!finalized_) throw std::logic_error("Library not finalized");
+  hash_options_ = opt;
+  hash_.build(union_.energy, nuclides_, opt);
 }
 
 std::size_t Library::UnionGrid::find(double e) const {

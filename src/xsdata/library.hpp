@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "simd/aligned.hpp"
+#include "xsdata/hash_grid.hpp"
 #include "xsdata/material.hpp"
 #include "xsdata/nuclide.hpp"
 
@@ -77,10 +78,24 @@ class Library {
   };
   const UnionGrid& union_grid() const { return union_; }
 
+  // --- hash-binned accelerator --------------------------------------------
+  /// Log-uniform bucket index built by finalize() over the union grid (and,
+  /// by default, every nuclide grid — the double-indexed tier). Queries take
+  /// the union energy span explicitly, so the index holds no pointers into
+  /// this Library and copies/moves stay trivially safe.
+  const HashGrid& hash_grid() const { return hash_; }
+  /// Configure the index before finalize() (bins/decade, tier-b on/off).
+  void set_hash_options(const HashGridOptions& opt);
+  /// Rebuild the index after finalize() — the bins/decade sweep hook used by
+  /// bench/fig1 and the property tests. Lookup results are unchanged by
+  /// construction; only window widths and index memory move.
+  void rebuild_hash(const HashGridOptions& opt);
+
   /// Bytes in the unionized grid + index map (Table II's "energy grid size
-  /// transferred") and in all pointwise data.
+  /// transferred"), in all pointwise data, and in the hash-binned index.
   std::size_t union_bytes() const;
   std::size_t pointwise_bytes() const;
+  std::size_t hash_bytes() const { return hash_.bytes(); }
 
  private:
   std::size_t max_union_points_;
@@ -89,6 +104,8 @@ class Library {
   std::vector<Material> materials_;
   Flat flat_;
   UnionGrid union_;
+  HashGridOptions hash_options_;
+  HashGrid hash_;
 };
 
 }  // namespace vmc::xs

@@ -16,6 +16,51 @@ constexpr int kLanes = simd::native_lanes<float>;
 using VF = Vec<float, kLanes>;
 using VI = Vec<std::int32_t, kLanes>;
 
+/// Downgrade the requested search mode to what this library can serve (the
+/// accelerator is always built by finalize(); the guards cover libraries
+/// rebuilt without the tier-b index).
+inline GridSearch effective_mode(const Library& lib, GridSearch s) {
+  if (s != GridSearch::binary && lib.hash_grid().empty()) {
+    return GridSearch::binary;
+  }
+  if (s == GridSearch::hash_nuclide && !lib.hash_grid().has_nuclide_index()) {
+    return GridSearch::hash;
+  }
+  return s;
+}
+
+/// Union interval via the selected scalar search. The hash path selects the
+/// SAME interval as the binary path, bit-for-bit.
+inline std::size_t union_find(const Library& lib, double e, GridSearch s) {
+  const auto& ug = lib.union_grid();
+  return s == GridSearch::binary ? ug.find(e)
+                                 : lib.hash_grid().find(ug.energy, e);
+}
+
+/// Per-call scratch for the batched union-interval search (tier c) and the
+/// per-particle nuclide intervals (tier b). Thread-local so event-mode
+/// worker threads never share or reallocate in steady state.
+simd::aligned_vector<std::int32_t>& u_scratch() {
+  static thread_local simd::aligned_vector<std::int32_t> s;
+  return s;
+}
+simd::aligned_vector<std::int32_t>& nidx_scratch() {
+  static thread_local simd::aligned_vector<std::int32_t> s;
+  return s;
+}
+
+/// Tier (b): exact interval of nuclide `nuc` for energy `e` from the hash
+/// grid's double index — a bounded walk on the nuclide's own grid, bracketed
+/// by the bucket rows for b and b+1. No union imap involved.
+inline std::size_t nuclide_find_hash(const Nuclide& n, const std::int32_t* row,
+                                     const std::int32_t* row_hi, int nuc,
+                                     double e) {
+  std::size_t idx = static_cast<std::size_t>(row[nuc]);
+  const std::size_t hi = static_cast<std::size_t>(row_hi[nuc]);
+  while (idx < hi && n.energy[idx + 1] <= e) ++idx;
+  return idx;
+}
+
 /// Scalar per-nuclide contribution given a union-grid interval, with the
 /// bounded walk that recovers the exact nuclide interval when the union grid
 /// is thinned.
@@ -39,11 +84,26 @@ inline XsSet nuclide_xs_from_union(const Library& lib, int nuc, std::size_t u,
 
 }  // namespace
 
-XsSet macro_xs_history(const Library& lib, int material, double e) {
+XsSet macro_xs_history(const Library& lib, int material, double e,
+                       const XsLookupOptions& opt) {
   assert(lib.finalized());
   const auto& mat = lib.material(material);
-  const std::size_t u = lib.union_grid().find(e);
+  const GridSearch mode = effective_mode(lib, opt.search);
   XsSet sigma;
+  if (mode == GridSearch::hash_nuclide) {
+    const auto& hg = lib.hash_grid();
+    const int b = hg.bucket_of(e);
+    const std::int32_t* row = hg.nuclide_row(b);
+    const std::int32_t* row_hi = hg.nuclide_row(b + 1);
+    for (std::size_t i = 0; i < mat.size(); ++i) {
+      const int nuc = mat.nuclides[i];
+      const auto& n = lib.nuclide(nuc);
+      sigma += mat.density[i] *
+               n.evaluate_at(nuclide_find_hash(n, row, row_hi, nuc, e), e);
+    }
+    return sigma;
+  }
+  const std::size_t u = union_find(lib, e, mode);
   for (std::size_t i = 0; i < mat.size(); ++i) {
     const double dens = mat.density[i];
     sigma += dens * nuclide_xs_from_union(lib, mat.nuclides[i], u, e);
@@ -63,54 +123,110 @@ XsSet macro_xs_search(const Library& lib, int material, double e) {
 
 void macro_xs_banked_scalar(const Library& lib, int material,
                             std::span<const double> energies,
-                            std::span<XsSet> out) {
+                            std::span<XsSet> out, const XsLookupOptions& opt) {
   assert(energies.size() == out.size());
   for (std::size_t j = 0; j < energies.size(); ++j) {
-    out[j] = macro_xs_history(lib, material, energies[j]);
+    out[j] = macro_xs_history(lib, material, energies[j], opt);
   }
 }
 
 void macro_xs_banked(const Library& lib, int material,
-                     std::span<const double> energies, std::span<XsSet> out) {
+                     std::span<const double> energies, std::span<XsSet> out,
+                     const XsLookupOptions& opt) {
   assert(lib.finalized());
   assert(energies.size() == out.size());
   const auto& mat = lib.material(material);
   const auto& fl = lib.flat();
   const auto& ug = lib.union_grid();
+  const auto& hg = lib.hash_grid();
+  const GridSearch mode = effective_mode(lib, opt.search);
   const int nn = static_cast<int>(mat.size());
-  const int nvec = nn / kLanes * kLanes;
   const std::int32_t* imap = ug.imap.data();
   const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
 
+  // Tier (c): one batched SIMD search for the whole bank replaces the
+  // per-particle scalar upper_bound.
+  const std::int32_t* us = nullptr;
+  if (mode == GridSearch::hash) {
+    auto& s = u_scratch();
+    s.resize(energies.size());
+    hg.find_banked(ug.energy, energies, s.data());
+    us = s.data();
+  }
+  // Tier (b): per-particle exact nuclide intervals, padded to full lanes so
+  // the vector loop can load them unconditionally.
+  std::int32_t* nidx = nullptr;
+  const int npad = (nn + kLanes - 1) / kLanes * kLanes;
+  if (mode == GridSearch::hash_nuclide) {
+    auto& s = nidx_scratch();
+    s.resize(static_cast<std::size_t>(npad));
+    nidx = s.data();
+    for (int i = nn; i < npad; ++i) nidx[i] = 0;  // harmless dead lanes
+  }
+
   for (std::size_t j = 0; j < energies.size(); ++j) {
     const double e = energies[j];
-    const std::size_t u = ug.find(e);
-    const std::int32_t* imap_row = imap + u * stride;
+    const std::int32_t* imap_row = nullptr;
+    if (mode == GridSearch::hash_nuclide) {
+      // Resolve every nuclide's EXACT interval from the double index (walks
+      // in double precision on the flat grid; the union imap is never read).
+      const int b = hg.bucket_of(e);
+      const std::int32_t* row = hg.nuclide_row(b);
+      const std::int32_t* row_hi = hg.nuclide_row(b + 1);
+      for (int i = 0; i < nn; ++i) {
+        const std::int32_t nuc = mat.nuclides[static_cast<std::size_t>(i)];
+        const std::int32_t base = fl.offset[static_cast<std::size_t>(nuc)];
+        const double* ge = fl.energy.data() + base;
+        std::int32_t idx = row[nuc];
+        const std::int32_t hi = row_hi[nuc];
+        while (idx < hi && ge[idx + 1] <= e) ++idx;
+        nidx[i] = base + idx;
+      }
+    } else {
+      const std::size_t u =
+          us != nullptr ? static_cast<std::size_t>(us[j]) : ug.find(e);
+      imap_row = imap + u * stride;
+    }
     const float ef = static_cast<float>(e);
     const VF ev(ef);
 
     VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
-    for (int n = 0; n < nvec; n += kLanes) {
-      const VI nucid = VI::loadu(mat.nuclides.data() + n);
-      const VI base = VI::gather(fl.offset.data(), nucid);
-      VI idx = VI::gather(imap_row, nucid) + base;
-      // Bounded walk to the exact interval (skipped entirely for an exact
-      // union, which also avoids the grid-size gather).
-      if (ug.walk_bound > 0) {
-        const VI gsz = VI::gather(fl.grid_size.data(), nucid);
-        // Highest valid interval start for each lane's nuclide.
-        const VI limit = base + gsz - VI(2);
-        for (int w = 0; w < ug.walk_bound; ++w) {
-          const VF e_next = VF::gather(fl.energy_f.data(), idx + VI(1));
-          const auto need = (e_next <= ev).m & (idx < limit).m;
-          idx.v -= need;  // mask lanes are -1 where true
+    for (int n = 0; n < nn; n += kLanes) {
+      // Masked remainder: the last block loads partial lanes with density 0,
+      // so dead lanes gather nuclide 0's first interval and contribute
+      // exactly nothing (same idiom as the distance stage).
+      const int rem = nn - n;
+      const VI nucid =
+          rem >= kLanes
+              ? VI::loadu(mat.nuclides.data() + n)
+              : VI::load_partial(mat.nuclides.data() + n, rem, 0);
+      const VF dens =
+          rem >= kLanes
+              ? VF::loadu(mat.density.data() + n)
+              : VF::load_partial(mat.density.data() + n, rem, 0.0f);
+      VI idx;
+      if (mode == GridSearch::hash_nuclide) {
+        idx = VI::loadu(nidx + n);
+      } else {
+        const VI base = VI::gather(fl.offset.data(), nucid);
+        idx = VI::gather(imap_row, nucid) + base;
+        // Bounded walk to the exact interval (skipped entirely for an exact
+        // union, which also avoids the grid-size gather).
+        if (ug.walk_bound > 0) {
+          const VI gsz = VI::gather(fl.grid_size.data(), nucid);
+          // Highest valid interval start for each lane's nuclide.
+          const VI limit = base + gsz - VI(2);
+          for (int w = 0; w < ug.walk_bound; ++w) {
+            const VF e_next = VF::gather(fl.energy_f.data(), idx + VI(1));
+            const auto need = (e_next <= ev).m & (idx < limit).m;
+            idx.v -= need;  // mask lanes are -1 where true
+          }
         }
       }
       const VF e_lo = VF::gather(fl.energy_f.data(), idx);
       const VF e_hi = VF::gather(fl.energy_f.data(), idx + VI(1));
       VF f = (ev - e_lo) / (e_hi - e_lo);
       f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
-      const VF dens = VF::loadu(mat.density.data() + n);
 
       const auto channel = [&](const float* xs, VF& acc) {
         const VF lo = VF::gather(xs, idx);
@@ -123,24 +239,22 @@ void macro_xs_banked(const Library& lib, int material,
       channel(fl.fission.data(), acc_f);
     }
 
-    XsSet sigma{acc_t.hsum(), acc_s.hsum(), acc_a.hsum(), acc_f.hsum()};
-    // Scalar tail over the remaining nuclides.
-    for (int n = nvec; n < nn; ++n) {
-      const double dens = mat.density[static_cast<std::size_t>(n)];
-      sigma += dens * nuclide_xs_from_union(
-                          lib, mat.nuclides[static_cast<std::size_t>(n)], u, e);
-    }
-    out[j] = sigma;
+    out[j] = XsSet{acc_t.hsum(), acc_s.hsum(), acc_a.hsum(), acc_f.hsum()};
   }
 }
 
 void macro_xs_banked_outer(const Library& lib, int material,
                            std::span<const double> energies,
-                           std::span<XsSet> out) {
+                           std::span<XsSet> out, const XsLookupOptions& opt) {
   assert(lib.finalized());
   const auto& mat = lib.material(material);
   const auto& fl = lib.flat();
   const auto& ug = lib.union_grid();
+  const auto& hg = lib.hash_grid();
+  // The lane-per-particle tiles read the union imap by construction, so the
+  // double-indexed tier degenerates to the plain hash search here.
+  GridSearch mode = effective_mode(lib, opt.search);
+  if (mode == GridSearch::hash_nuclide) mode = GridSearch::hash;
   const int nn = static_cast<int>(mat.size());
   const std::size_t np = energies.size();
   const std::size_t pvec = np / kLanes * kLanes;
@@ -150,10 +264,19 @@ void macro_xs_banked_outer(const Library& lib, int material,
     // Per-lane particle state: energy and union-row offset.
     VF ev;
     VI urow;
-    for (int l = 0; l < kLanes; ++l) {
-      const double e = energies[j + static_cast<std::size_t>(l)];
-      ev.set(l, static_cast<float>(e));
-      urow.set(l, static_cast<std::int32_t>(ug.find(e) * stride));
+    if (mode == GridSearch::hash) {
+      std::int32_t ubuf[kLanes];
+      hg.find_banked(ug.energy, energies.subspan(j, kLanes), ubuf);
+      for (int l = 0; l < kLanes; ++l) {
+        ev.set(l, static_cast<float>(energies[j + static_cast<std::size_t>(l)]));
+        urow.set(l, ubuf[l] * static_cast<std::int32_t>(stride));
+      }
+    } else {
+      for (int l = 0; l < kLanes; ++l) {
+        const double e = energies[j + static_cast<std::size_t>(l)];
+        ev.set(l, static_cast<float>(e));
+        urow.set(l, static_cast<std::int32_t>(ug.find(e) * stride));
+      }
     }
     VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
     for (int n = 0; n < nn; ++n) {
@@ -190,18 +313,39 @@ void macro_xs_banked_outer(const Library& lib, int material,
   }
   // Tail particles: scalar path.
   for (std::size_t j = pvec; j < np; ++j) {
-    out[j] = macro_xs_history(lib, material, energies[j]);
+    out[j] = macro_xs_history(lib, material, energies[j], opt);
   }
 }
 
-double macro_total_history(const Library& lib, int material, double e) {
+double macro_total_history(const Library& lib, int material, double e,
+                           const XsLookupOptions& opt) {
   assert(lib.finalized());
   const auto& mat = lib.material(material);
   const auto& ug = lib.union_grid();
-  const std::size_t u = ug.find(e);
+  const GridSearch mode = effective_mode(lib, opt.search);
+  double sigma = 0.0;
+  if (mode == GridSearch::hash_nuclide) {
+    const auto& hg = lib.hash_grid();
+    const int b = hg.bucket_of(e);
+    const std::int32_t* row = hg.nuclide_row(b);
+    const std::int32_t* row_hi = hg.nuclide_row(b + 1);
+    for (std::size_t i = 0; i < mat.size(); ++i) {
+      const int nuc = mat.nuclides[i];
+      const auto& n = lib.nuclide(nuc);
+      const std::size_t idx = nuclide_find_hash(n, row, row_hi, nuc, e);
+      const double e0 = n.energy[idx];
+      const double e1 = n.energy[idx + 1];
+      const double f = std::clamp((e - e0) / (e1 - e0), 0.0, 1.0);
+      sigma += mat.density[i] *
+               (static_cast<double>(n.total[idx]) +
+                f * (static_cast<double>(n.total[idx + 1]) -
+                     static_cast<double>(n.total[idx])));
+    }
+    return sigma;
+  }
+  const std::size_t u = union_find(lib, e, mode);
   const std::int32_t* imap_row =
       ug.imap.data() + u * static_cast<std::size_t>(ug.n_nuclides);
-  double sigma = 0.0;
   for (std::size_t i = 0; i < mat.size(); ++i) {
     const int nuc = mat.nuclides[i];
     const auto& n = lib.nuclide(nuc);
@@ -227,15 +371,31 @@ double macro_total_history(const Library& lib, int material, double e) {
 
 void macro_total_banked(const Library& lib, int material,
                         std::span<const double> energies,
-                        std::span<double> out) {
+                        std::span<double> out, const XsLookupOptions& opt) {
   assert(lib.finalized());
   assert(energies.size() == out.size());
   const auto& mat = lib.material(material);
   const auto& fl = lib.flat();
   const auto& ug = lib.union_grid();
+  const auto& hg = lib.hash_grid();
+  // The particle tiles below read the union imap by construction, so the
+  // double-indexed tier degenerates to the plain hash search in the tiles
+  // (the scalar tail still honours it via macro_total_history).
+  GridSearch tile_mode = effective_mode(lib, opt.search);
+  if (tile_mode == GridSearch::hash_nuclide) tile_mode = GridSearch::hash;
   const int nn = static_cast<int>(mat.size());
   const int nvec = nn / kLanes * kLanes;
   const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
+
+  // Tier (c): resolve every particle's union interval in one batched SIMD
+  // search before the tiled sweep.
+  const std::int32_t* us = nullptr;
+  if (tile_mode == GridSearch::hash) {
+    auto& s = u_scratch();
+    s.resize(energies.size());
+    hg.find_banked(ug.energy, energies, s.data());
+    us = s.data();
+  }
 
   // Tile P particles against each nuclide block: the kernel is bound by
   // gather latency on the (much larger than cache) grid data, and P
@@ -250,7 +410,10 @@ void macro_total_banked(const Library& lib, int material,
     VF ev[P];
     VF acc[P];
     for (int p = 0; p < P; ++p) {
-      rows[p] = ug.imap.data() + ug.find(energies[j + p]) * stride;
+      const std::size_t u = us != nullptr
+                                ? static_cast<std::size_t>(us[j + p])
+                                : ug.find(energies[j + p]);
+      rows[p] = ug.imap.data() + u * stride;
       ev[p] = VF(static_cast<float>(energies[j + p]));
       acc[p] = VF(0.0f);
     }
@@ -301,7 +464,7 @@ void macro_total_banked(const Library& lib, int material,
   }
   // Tail particles: scalar path.
   for (; j < energies.size(); ++j) {
-    out[j] = macro_total_history(lib, material, energies[j]);
+    out[j] = macro_total_history(lib, material, energies[j], opt);
   }
 }
 

@@ -26,8 +26,17 @@
 
 namespace vmc::xs {
 
+// Every kernel takes XsLookupOptions (src/xsdata/hash_grid.hpp) selecting
+// the grid-search tier: GridSearch::hash (default — hash-binned bucket +
+// bounded walk, batched SIMD search in the banked kernels), ::binary (the
+// scalar std::upper_bound ablation baseline), or ::hash_nuclide (the
+// double-indexed mode that skips the union imap). hash selects the SAME
+// union interval as binary, bit-for-bit, so downstream interpolation and
+// tallies are unchanged (tested exhaustively in tests/property/).
+
 /// Scalar history-based lookup via the unionized grid. Double precision.
-XsSet macro_xs_history(const Library& lib, int material, double e);
+XsSet macro_xs_history(const Library& lib, int material, double e,
+                       const XsLookupOptions& opt = {});
 
 /// Scalar lookup via per-nuclide binary search (no unionized grid).
 XsSet macro_xs_search(const Library& lib, int material, double e);
@@ -35,19 +44,24 @@ XsSet macro_xs_search(const Library& lib, int material, double e);
 /// Event-based banked lookup, inner nuclide loop vectorized (gathers into
 /// the flat SoA arrays). Writes one XsSet per input energy. Arithmetic in
 /// single precision (the vector-register economy the paper exploits);
-/// relative agreement with macro_xs_history is ~1e-4 (tested).
+/// relative agreement with macro_xs_history is ~1e-4 (tested). The nuclide
+/// remainder is handled with masked load_partial lanes (density 0 in dead
+/// lanes), not a scalar tail.
 void macro_xs_banked(const Library& lib, int material,
-                     std::span<const double> energies, std::span<XsSet> out);
+                     std::span<const double> energies, std::span<XsSet> out,
+                     const XsLookupOptions& opt = {});
 
 /// Banked lookup with the *outer* particle loop vectorized (lane = particle).
 void macro_xs_banked_outer(const Library& lib, int material,
                            std::span<const double> energies,
-                           std::span<XsSet> out);
+                           std::span<XsSet> out,
+                           const XsLookupOptions& opt = {});
 
 /// Banked control flow, scalar arithmetic (isolates banking vs. SIMD).
 void macro_xs_banked_scalar(const Library& lib, int material,
                             std::span<const double> energies,
-                            std::span<XsSet> out);
+                            std::span<XsSet> out,
+                            const XsLookupOptions& opt = {});
 
 // ---------------------------------------------------------------------------
 // Total-only kernels: Algorithm 1 computes just Sigma_t — the quantity the
@@ -56,12 +70,14 @@ void macro_xs_banked_scalar(const Library& lib, int material,
 // ---------------------------------------------------------------------------
 
 /// Scalar history-method total cross section via the unionized grid.
-double macro_total_history(const Library& lib, int material, double e);
+double macro_total_history(const Library& lib, int material, double e,
+                           const XsLookupOptions& opt = {});
 
 /// Banked SIMD total cross section (inner nuclide loop vectorized).
 void macro_total_banked(const Library& lib, int material,
                         std::span<const double> energies,
-                        std::span<double> out);
+                        std::span<double> out,
+                        const XsLookupOptions& opt = {});
 
 // ---------------------------------------------------------------------------
 // AoS layout (ablation)

@@ -127,6 +127,47 @@ TEST_F(EquivalenceTest, ScalarEventTrackerIsBitIdenticalToHistory) {
                    e_tally.absorption + e_tally.leakage);
 }
 
+TEST_F(EquivalenceTest, GridSearchTiersPreserveEventHistoryEquivalence) {
+  // The history tracker runs with the default (hash) search; a scalar event
+  // tracker pinned to each grid-search tier must still reproduce its fates
+  // bit-for-bit — the hash accelerator cannot perturb even one interval
+  // without breaking this.
+  const int n = 300;
+  auto hist = make_source(n, 21);
+
+  HistoryTracker ht(model_->geometry, model_->library, *coll_);
+  TallyScores h_tally;
+  EventCounts h_counts;
+  std::vector<FissionSite> h_bank;
+  for (auto& p : hist) ht.track(p, h_tally, h_counts, h_bank);
+
+  for (const vmc::xs::GridSearch search :
+       {vmc::xs::GridSearch::binary, vmc::xs::GridSearch::hash,
+        vmc::xs::GridSearch::hash_nuclide}) {
+    auto evt = make_source(n, 21);
+    EventOptions eo;
+    eo.simd_lookup = false;
+    eo.simd_distance = false;
+    eo.lookup.search = search;
+    EventTracker et(model_->geometry, model_->library, *coll_, eo);
+    TallyScores e_tally;
+    EventCounts e_counts;
+    std::vector<FissionSite> e_bank;
+    et.run(evt, e_tally, e_counts, e_bank);
+
+    for (int i = 0; i < n; ++i) {
+      const auto& a = hist[static_cast<std::size_t>(i)];
+      const auto& b = evt[static_cast<std::size_t>(i)];
+      ASSERT_EQ(a.n_collisions, b.n_collisions)
+          << "particle " << i << " search=" << static_cast<int>(search);
+      ASSERT_EQ(a.energy, b.energy) << "particle " << i;
+      ASSERT_EQ(a.stream.state(), b.stream.state()) << "particle " << i;
+    }
+    EXPECT_EQ(h_counts.collisions, e_counts.collisions);
+    EXPECT_EQ(h_bank.size(), e_bank.size());
+  }
+}
+
 TEST_F(EquivalenceTest, SimdEventTrackerAgreesStatistically) {
   const int n = 3000;
   auto hist = make_source(n, 7);

@@ -301,6 +301,49 @@ TEST_F(CompactSchedulerTest, KHistoryBitIdenticalAcrossSchedulers) {
   EXPECT_EQ(naive.counts_total.collisions, compact.counts_total.collisions);
 }
 
+TEST_F(CompactSchedulerTest, KHistoryBitIdenticalAcrossGridSearch) {
+  // The hash-binned grid search selects the same union interval as the
+  // binary search bit-for-bit, so a full eigenvalue campaign must produce an
+  // identical k history with either search — in every tier, with the SIMD
+  // lookup stage both on and off.
+  Settings s;
+  s.n_particles = 300;
+  s.n_inactive = 1;
+  s.n_active = 2;
+  s.seed = 99;
+  s.mode = TransportMode::event;
+  s.physics = vmc::physics::PhysicsSettings::vector_friendly();
+  s.event.simd_distance = false;
+  s.event.nu_bar = kNu;
+  s.source_lo = {-9.8, -9.8, -9.8};
+  s.source_hi = {9.8, 9.8, 9.8};
+
+  for (const bool simd : {false, true}) {
+    s.event.simd_lookup = simd;
+    s.event.lookup.search = vmc::xs::GridSearch::binary;
+    RunResult binary = Simulation(geo_, *lib_, s).run();
+    s.event.lookup.search = vmc::xs::GridSearch::hash;
+    RunResult hash = Simulation(geo_, *lib_, s).run();
+    s.event.lookup.search = vmc::xs::GridSearch::hash_nuclide;
+    RunResult nuclide = Simulation(geo_, *lib_, s).run();
+
+    ASSERT_EQ(binary.k_collision_history.size(),
+              hash.k_collision_history.size());
+    for (std::size_t g = 0; g < binary.k_collision_history.size(); ++g) {
+      EXPECT_EQ(binary.k_collision_history[g], hash.k_collision_history[g])
+          << "generation " << g << " simd=" << simd;
+    }
+    EXPECT_EQ(binary.k_eff, hash.k_eff);
+    EXPECT_EQ(binary.counts_total.collisions, hash.counts_total.collisions);
+    // The library here is an exact union, so the double-indexed tier is
+    // bit-identical too (on thinned unions its banked sweep is exact while
+    // the imap walk is approximate; see tests/xsdata/test_hash_grid.cpp).
+    EXPECT_EQ(binary.k_eff, nuclide.k_eff);
+    EXPECT_EQ(binary.counts_total.collisions,
+              nuclide.counts_total.collisions);
+  }
+}
+
 TEST_F(CompactSchedulerTest, MassDeathFirstIterationStaysBitIdentical) {
   // Thin, low-density, vacuum-bounded medium: the mean free path (hundreds
   // of cm) dwarfs the 20 cm box, so the overwhelming majority of particles

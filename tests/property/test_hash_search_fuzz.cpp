@@ -1,0 +1,143 @@
+// Property fuzz for the hash-binned energy-grid accelerator: across random
+// libraries (random grid shapes, random thinning, random bins/decade), every
+// hash-search tier must select bit-identical union intervals to
+// std::upper_bound — for random energies AND the adversarial set (grid
+// front/back, exact grid points, nextafter neighbours, bucket-edge bit
+// patterns, out-of-range energies). A single off-by-one here silently skews
+// every cross section downstream, so the check is EQ, never NEAR.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "xsdata/hash_grid.hpp"
+#include "xsdata/lookup.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+
+double from_hi32(std::int32_t hi, std::uint32_t lo) {
+  const std::int64_t bits =
+      (static_cast<std::int64_t>(hi) << 32) | static_cast<std::int64_t>(lo);
+  double e;
+  std::memcpy(&e, &bits, sizeof(e));
+  return e;
+}
+
+class HashSearchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashSearchFuzz, RandomLibrariesResolveBitIdentically) {
+  const int round = GetParam();
+  vmc::rng::Stream cfg(static_cast<std::uint64_t>(round) * 7919 + 11);
+
+  // Random library shape: nuclide count, grid sizes, thinning, bins/decade.
+  const int nn = 2 + static_cast<int>(cfg.next() * 12.0);
+  const bool thin = cfg.next() < 0.5;
+  const std::size_t max_union =
+      thin ? 600 + static_cast<std::size_t>(cfg.next() * 3000.0) : (1u << 20);
+  Library lib(max_union);
+  Material m;
+  for (int i = 0; i < nn; ++i) {
+    SynthParams p = (i % 3 == 0) ? SynthParams::u238_like()
+                                 : (i % 3 == 1)
+                                       ? SynthParams::u235_like()
+                                       : SynthParams::fission_product_like();
+    p.grid_points = 60 + static_cast<int>(cfg.next() * 400.0);
+    p.n_resonances = 10 + static_cast<int>(cfg.next() * 40.0);
+    lib.add_nuclide(make_synthetic_nuclide(
+        "f" + std::to_string(round) + "_" + std::to_string(i),
+        static_cast<std::uint64_t>(round * 100 + i), p));
+    m.add(i, 1e-3 * (1.0 + cfg.next()));
+  }
+  lib.add_material(std::move(m));
+  const int bpd_choices[] = {7, 64, 1024};
+  const int bpd = bpd_choices[static_cast<int>(cfg.next() * 2.999)];
+  lib.set_hash_options({bpd, true});
+  lib.finalize();
+
+  const auto& ug = lib.union_grid();
+  const auto& hg = lib.hash_grid();
+  ASSERT_FALSE(hg.empty());
+
+  // Energy set: random log-uniform + adversarial.
+  std::vector<double> es;
+  vmc::rng::Stream s(static_cast<std::uint64_t>(round) + 31337);
+  for (int i = 0; i < 1500; ++i) {
+    es.push_back(kEnergyMin * std::pow(kEnergyMax / kEnergyMin, s.next()));
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t u =
+        static_cast<std::size_t>(s.next() * static_cast<double>(ug.size()));
+    const double g = ug.energy[std::min(u, ug.size() - 1)];
+    es.push_back(g);
+    es.push_back(std::nextafter(g, 0.0));
+    es.push_back(std::nextafter(g, inf));
+  }
+  es.push_back(ug.energy.front());
+  es.push_back(ug.energy.back());
+  es.push_back(ug.energy.front() * 0.25);
+  es.push_back(ug.energy.back() * 4.0);
+  const std::int32_t h0 = HashGrid::hi32(ug.energy.front());
+  const std::int32_t span = HashGrid::hi32(ug.energy.back()) - h0;
+  for (int k = 0; k <= 32; ++k) {
+    const std::int32_t h =
+        h0 + static_cast<std::int32_t>(
+                 (static_cast<std::int64_t>(span) * k) / 32);
+    es.push_back(from_hi32(h, 0u));
+    es.push_back(from_hi32(h, 0xFFFFFFFFu));
+  }
+
+  // Tier (a): scalar find is bitwise upper_bound.
+  for (const double e : es) {
+    ASSERT_EQ(hg.find(ug.energy, e), ug.find(e))
+        << "E=" << e << " round=" << round << " bpd=" << bpd;
+  }
+
+  // Tier (c): the batched SIMD search agrees lane-for-lane (odd sizes too).
+  std::vector<std::int32_t> us(es.size());
+  hg.find_banked(ug.energy, es, us.data());
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    ASSERT_EQ(static_cast<std::size_t>(us[i]), ug.find(es[i]))
+        << "E=" << es[i] << " round=" << round;
+  }
+  const std::size_t odd = es.size() % 2 == 0 ? es.size() - 1 : es.size();
+  hg.find_banked(ug.energy, std::span<const double>(es.data(), odd),
+                 us.data());
+  for (std::size_t i = 0; i < odd; ++i) {
+    ASSERT_EQ(static_cast<std::size_t>(us[i]), ug.find(es[i]));
+  }
+
+  // Tier (b) + full kernels: every scalar tier is bitwise identical.
+  constexpr XsLookupOptions kB{GridSearch::binary};
+  constexpr XsLookupOptions kH{GridSearch::hash};
+  constexpr XsLookupOptions kN{GridSearch::hash_nuclide};
+  for (std::size_t i = 0; i < es.size(); i += 17) {
+    const XsSet a = macro_xs_history(lib, 0, es[i], kB);
+    const XsSet b = macro_xs_history(lib, 0, es[i], kH);
+    const XsSet c = macro_xs_history(lib, 0, es[i], kN);
+    ASSERT_EQ(a.total, b.total) << "E=" << es[i];
+    ASSERT_EQ(a.total, c.total) << "E=" << es[i];
+    ASSERT_EQ(a.fission, b.fission);
+    ASSERT_EQ(a.fission, c.fission);
+  }
+  std::vector<XsSet> ob(es.size()), oh(es.size());
+  macro_xs_banked(lib, 0, es, ob, kB);
+  macro_xs_banked(lib, 0, es, oh, kH);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    ASSERT_EQ(ob[i].total, oh[i].total) << "E=" << es[i];
+    ASSERT_EQ(ob[i].absorption, oh[i].absorption);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, HashSearchFuzz, ::testing::Range(0, 8));
+
+}  // namespace

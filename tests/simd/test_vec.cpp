@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "rng/stream.hpp"
@@ -206,6 +207,55 @@ TEST(VecIntTest, IntegerVectorArithmetic) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(sum[i], 3 * i + 7);
   const auto m = a > VI(10);
   for (int i = 0; i < 8; ++i) EXPECT_EQ(m[i], 3 * i > 10);
+}
+
+TEST(VecIntTest, ShiftsConvertAndGather) {
+  // The ops the hash-grid bucket math is made of: 64-bit shifts of bitcast
+  // doubles, lane-wise width/type conversion, and int32 gathers.
+  using VD = Vec<double, 4>;
+  using VL = Vec<std::int64_t, 4>;
+  using VI = Vec<std::int32_t, 4>;
+
+  VD e;
+  const double vals[4] = {1e-9, 0.625, 3.0, 1.75e4};
+  for (int i = 0; i < 4; ++i) e.set(i, vals[i]);
+  const VL hi = e.bitcast_int() >> 32;
+  for (int i = 0; i < 4; ++i) {
+    std::int64_t bits;
+    std::memcpy(&bits, &vals[i], sizeof(bits));
+    EXPECT_EQ(hi[i], bits >> 32);
+  }
+  const VL doubled = VL(3) << 1;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(doubled[i], 6);
+
+  // Narrowing + int->double + truncating double->int conversions.
+  const VI nar = hi.convert<std::int32_t>();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(nar[i], static_cast<std::int32_t>(hi[i]));
+  }
+  const VD asd = nar.convert<double>();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(asd[i], static_cast<double>(nar[i]));
+  }
+  VD frac;
+  const double fv[4] = {0.0, 1.99, 2.5, 1023.875};
+  for (int i = 0; i < 4; ++i) frac.set(i, fv[i]);
+  const VI trunc = frac.convert<std::int32_t>();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(trunc[i], static_cast<std::int32_t>(fv[i]));
+  }
+
+  // Mask re-typing: a double comparison driving an int32 blend.
+  const auto dmask = (e > VD(1.0)).template convert<std::int32_t>();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dmask[i], vals[i] > 1.0);
+
+  // int32 gather (hardware path on AVX2/AVX-512, scalar loop elsewhere).
+  std::int32_t table[32];
+  for (int i = 0; i < 32; ++i) table[i] = 1000 + i;
+  using VI8 = Vec<std::int32_t, 8>;
+  const VI8 idx = VI8::iota(1, 3);
+  const VI8 g = VI8::gather(table, idx);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(g[i], 1000 + 1 + 3 * i);
 }
 
 TEST(SimdInfoTest, IsaReportsConsistentWidth) {

@@ -1,0 +1,275 @@
+// Hash-binned energy-grid accelerator: the whole point is that the hash
+// search is a pure speedup — every tier must select bit-identical intervals
+// (and therefore bit-identical cross sections) to the std::upper_bound
+// baseline. These tests pin that, plus the index memory accounting and the
+// bins/decade rebuild hook.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "xsdata/hash_grid.hpp"
+#include "xsdata/lookup.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+
+constexpr XsLookupOptions kBinary{GridSearch::binary};
+constexpr XsLookupOptions kHash{GridSearch::hash};
+constexpr XsLookupOptions kHashNuclide{GridSearch::hash_nuclide};
+
+struct GridCase {
+  const char* name;
+  int n_nuclides;
+  std::size_t max_union;
+};
+
+std::unique_ptr<Library> build_library(const GridCase& c,
+                                       std::size_t max_union) {
+  auto lib = std::make_unique<Library>(max_union);
+  Material m;
+  m.name = "fuel";
+  vmc::rng::Stream ds(17);
+  for (int i = 0; i < c.n_nuclides; ++i) {
+    SynthParams p = i == 0 ? SynthParams::u238_like()
+                           : (i == 1 ? SynthParams::u235_like()
+                                     : SynthParams::fission_product_like());
+    p.grid_points = 150 + 40 * (i % 5);
+    p.n_resonances = 20 + 5 * (i % 7);
+    lib->add_nuclide(make_synthetic_nuclide(
+        "n" + std::to_string(i), static_cast<std::uint64_t>(i) + 100, p));
+    m.add(i, 1e-3 * (1.0 + ds.next()));
+  }
+  lib->add_material(std::move(m));
+  lib->finalize();
+  return lib;
+}
+
+double from_hi32(std::int32_t hi, std::uint32_t lo) {
+  const std::int64_t bits =
+      (static_cast<std::int64_t>(hi) << 32) | static_cast<std::int64_t>(lo);
+  double e;
+  std::memcpy(&e, &bits, sizeof(e));
+  return e;
+}
+
+class HashGridTest : public ::testing::TestWithParam<GridCase> {
+ protected:
+  void SetUp() override {
+    lib_ = build_library(GetParam(), GetParam().max_union);
+  }
+
+  /// Random log-uniform energies plus every adversarial case the bucket map
+  /// has: grid front/back and their neighbours, out-of-range energies, exact
+  /// grid points (union + nuclide) with their nextafter neighbours, and
+  /// energies sitting exactly on bucket-edge bit patterns.
+  std::vector<double> adversarial_energies(int n_random) const {
+    const auto& ug = lib_->union_grid().energy;
+    std::vector<double> es;
+    vmc::rng::Stream s(7);
+    for (int i = 0; i < n_random; ++i) {
+      es.push_back(kEnergyMin * std::pow(kEnergyMax / kEnergyMin, s.next()));
+    }
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const double g : {ug.front(), ug.back(), ug[1], ug[ug.size() / 2],
+                           ug[ug.size() - 2], lib_->nuclide(0).energy[3]}) {
+      es.push_back(g);
+      es.push_back(std::nextafter(g, 0.0));
+      es.push_back(std::nextafter(g, inf));
+    }
+    es.push_back(ug.front() * 0.5);   // below the grid
+    es.push_back(ug.back() * 2.0);    // above the grid
+    es.push_back(ug.back() * 16.0);
+    // Bucket-edge bit patterns: doubles whose hi32 lands exactly on integer
+    // steps of the log-energy axis, with the low word at both extremes.
+    const std::int32_t h0 = HashGrid::hi32(ug.front());
+    const std::int32_t span = HashGrid::hi32(ug.back()) - h0;
+    for (int k = 0; k <= 16; ++k) {
+      const std::int32_t h =
+          h0 + static_cast<std::int32_t>(
+                   (static_cast<std::int64_t>(span) * k) / 16);
+      es.push_back(from_hi32(h, 0u));
+      es.push_back(from_hi32(h, 0xFFFFFFFFu));
+    }
+    return es;
+  }
+
+  std::unique_ptr<Library> lib_;
+};
+
+TEST_P(HashGridTest, FindIsBitwiseUpperBound) {
+  const auto& ug = lib_->union_grid();
+  const auto& hg = lib_->hash_grid();
+  ASSERT_FALSE(hg.empty());
+  for (const double e : adversarial_energies(2000)) {
+    EXPECT_EQ(hg.find(ug.energy, e), ug.find(e)) << "E=" << e;
+  }
+}
+
+TEST_P(HashGridTest, FindBankedMatchesScalarFind) {
+  const auto& ug = lib_->union_grid();
+  const auto& hg = lib_->hash_grid();
+  const std::vector<double> all = adversarial_energies(500);
+  // Odd batch sizes exercise the sub-vector remainder path.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{7}, std::size_t{17}, all.size()}) {
+    const std::span<const double> es(all.data(), n);
+    std::vector<std::int32_t> us(n);
+    hg.find_banked(ug.energy, es, us.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(static_cast<std::size_t>(us[i]), ug.find(es[i]))
+          << "E=" << es[i] << " batch=" << n;
+    }
+  }
+}
+
+TEST_P(HashGridTest, HistoryTiersAreBitwiseBinary) {
+  // Scalar paths resolve EXACT nuclide intervals in every tier (the binary
+  // path via imap + bounded walk, tier b via the double index), so all three
+  // agree bit-for-bit even on thinned unions.
+  for (const double e : adversarial_energies(400)) {
+    const XsSet b = macro_xs_history(*lib_, 0, e, kBinary);
+    const XsSet h = macro_xs_history(*lib_, 0, e, kHash);
+    const XsSet n = macro_xs_history(*lib_, 0, e, kHashNuclide);
+    EXPECT_EQ(b.total, h.total) << "E=" << e;
+    EXPECT_EQ(b.scatter, h.scatter);
+    EXPECT_EQ(b.absorption, h.absorption);
+    EXPECT_EQ(b.fission, h.fission);
+    EXPECT_EQ(b.total, n.total) << "E=" << e;
+    EXPECT_EQ(b.scatter, n.scatter);
+    EXPECT_EQ(b.absorption, n.absorption);
+    EXPECT_EQ(b.fission, n.fission);
+
+    EXPECT_EQ(macro_total_history(*lib_, 0, e, kBinary),
+              macro_total_history(*lib_, 0, e, kHash));
+    EXPECT_EQ(macro_total_history(*lib_, 0, e, kBinary),
+              macro_total_history(*lib_, 0, e, kHashNuclide));
+  }
+}
+
+TEST_P(HashGridTest, BankedHashIsBitwiseBinary) {
+  const std::vector<double> es = adversarial_energies(600);
+  std::vector<XsSet> bin(es.size()), hash(es.size());
+  macro_xs_banked(*lib_, 0, es, bin, kBinary);
+  macro_xs_banked(*lib_, 0, es, hash, kHash);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(bin[i].total, hash[i].total) << "E=" << es[i];
+    EXPECT_EQ(bin[i].scatter, hash[i].scatter);
+    EXPECT_EQ(bin[i].absorption, hash[i].absorption);
+    EXPECT_EQ(bin[i].fission, hash[i].fission);
+  }
+}
+
+TEST_P(HashGridTest, BankedOuterAndTotalHashAreBitwiseBinary) {
+  const std::vector<double> es = adversarial_energies(300);
+  std::vector<XsSet> bin(es.size()), hash(es.size());
+  macro_xs_banked_outer(*lib_, 0, es, bin, kBinary);
+  macro_xs_banked_outer(*lib_, 0, es, hash, kHash);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(bin[i].total, hash[i].total) << "E=" << es[i];
+  }
+  std::vector<double> tb(es.size()), th(es.size()), tn(es.size());
+  macro_total_banked(*lib_, 0, es, tb, kBinary);
+  macro_total_banked(*lib_, 0, es, th, kHash);
+  macro_total_banked(*lib_, 0, es, tn, kHashNuclide);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(tb[i], th[i]) << "E=" << es[i];
+    // Tier b's tiles degrade to the plain hash search (they read the imap by
+    // construction) and the scalar tails are exact in both tiers.
+    EXPECT_EQ(tb[i], tn[i]) << "E=" << es[i];
+  }
+}
+
+TEST_P(HashGridTest, BankedDoubleIndexMatchesExactUnionBinary) {
+  // Tier (b) never reads the union grid, so the banked double-indexed sweep
+  // of THIS library (possibly thinned) must be bitwise equal to the banked
+  // binary sweep of the equivalent exact-union library, whose imap intervals
+  // are exact too.
+  const auto exact = build_library(GetParam(), 1u << 20);
+  const std::vector<double> es = adversarial_energies(400);
+  std::vector<XsSet> tier_b(es.size()), ref(es.size());
+  macro_xs_banked(*lib_, 0, es, tier_b, kHashNuclide);
+  macro_xs_banked(*exact, 0, es, ref, kBinary);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(ref[i].total, tier_b[i].total) << "E=" << es[i];
+    EXPECT_EQ(ref[i].scatter, tier_b[i].scatter);
+    EXPECT_EQ(ref[i].absorption, tier_b[i].absorption);
+    EXPECT_EQ(ref[i].fission, tier_b[i].fission);
+  }
+}
+
+TEST_P(HashGridTest, RebuildSweepPreservesResults) {
+  const auto& ug = lib_->union_grid();
+  const std::vector<double> es = adversarial_energies(300);
+  std::vector<std::size_t> ref(es.size());
+  for (std::size_t i = 0; i < es.size(); ++i) ref[i] = ug.find(es[i]);
+  for (const int bpd : {7, 64, 256, 1024, 8192}) {
+    for (const bool nuc : {false, true}) {
+      lib_->rebuild_hash({bpd, nuc});
+      const auto& hg = lib_->hash_grid();
+      EXPECT_EQ(hg.bins_per_decade(), bpd);
+      EXPECT_EQ(hg.has_nuclide_index(), nuc);
+      for (std::size_t i = 0; i < es.size(); ++i) {
+        ASSERT_EQ(hg.find(ug.energy, es[i]), ref[i])
+            << "E=" << es[i] << " bpd=" << bpd;
+      }
+      // Without the tier-b table, hash_nuclide must gracefully degrade to
+      // hash — still bitwise equal to binary.
+      const XsSet a = macro_xs_history(*lib_, 0, es[0], kBinary);
+      const XsSet b = macro_xs_history(*lib_, 0, es[0], kHashNuclide);
+      EXPECT_EQ(a.total, b.total);
+    }
+  }
+}
+
+TEST_P(HashGridTest, BytesAccountingTracksTables) {
+  lib_->rebuild_hash({1024, true});
+  const auto& hg = lib_->hash_grid();
+  const std::size_t with_index = lib_->hash_bytes();
+  EXPECT_EQ(with_index,
+            (static_cast<std::size_t>(hg.n_buckets()) + 1) *
+                (1 + static_cast<std::size_t>(lib_->n_nuclides())) *
+                sizeof(std::int32_t));
+  lib_->rebuild_hash({1024, false});
+  EXPECT_EQ(lib_->hash_bytes(),
+            (static_cast<std::size_t>(lib_->hash_grid().n_buckets()) + 1) *
+                sizeof(std::int32_t));
+  EXPECT_LT(lib_->hash_bytes(), with_index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Libraries, HashGridTest,
+    ::testing::Values(GridCase{"tiny_exact", 3, 1u << 20},
+                      GridCase{"vector_width_exact", 16, 1u << 20},
+                      GridCase{"odd_tail_exact", 21, 1u << 20},
+                      GridCase{"hm_small_exact", 34, 1u << 20},
+                      GridCase{"tiny_thinned", 3, 1200},
+                      GridCase{"odd_tail_thinned", 21, 3000},
+                      GridCase{"hm_small_thinned", 34, 2048}),
+    [](const ::testing::TestParamInfo<GridCase>& tpi) {
+      return tpi.param.name;
+    });
+
+TEST(HashGridEdge, TwoPointGridResolvesEverywhere) {
+  Library lib;
+  lib.add_nuclide(make_flat_nuclide("a", 3.0, 1.0, 0.5, 2.4));
+  Material m;
+  m.add(0, 1.0);
+  lib.add_material(std::move(m));
+  lib.finalize();
+  const auto& ug = lib.union_grid();
+  const auto& hg = lib.hash_grid();
+  for (const double e :
+       {0.0, ug.energy.front(), ug.energy.back(), 1e-9, 0.3, 1e3}) {
+    EXPECT_EQ(hg.find(ug.energy, e), ug.find(e)) << "E=" << e;
+  }
+}
+
+}  // namespace

@@ -36,6 +36,13 @@
 //                    statepoint.cpp's CheckedWriter/CheckedReader (that file
 //                    is the sanctioned exception — its helpers ARE the
 //                    check).
+//   hot-loop-binary-search
+//                    No std::upper_bound/std::lower_bound outside
+//                    src/xsdata/: the hash-binned energy-grid accelerator
+//                    (xsdata/hash_grid.hpp) exists so per-particle grid
+//                    searches never re-grow an O(log n) binary search in
+//                    transport code. Grid resolution must go through
+//                    Library's lookup kernels (or HashGrid directly).
 //
 // A deliberate exception is annotated on its line (or the line above) with:
 //     vmc-lint: allow(<rule-name>)
@@ -182,6 +189,13 @@ bool raw_clock_scope(const std::string& rel) {
          !in_any_dir(rel, {"src/prof/", "src/obs/"});
 }
 
+bool binary_search_scope(const std::string& rel) {
+  // src/xsdata/ owns the sanctioned searches (UnionGrid::find, HashGrid's
+  // window resolution); everywhere else must call those.
+  return in_any_dir(rel, {"src/", "tools/"}) &&
+         !in_any_dir(rel, {"src/xsdata/"});
+}
+
 bool unchecked_io_scope(const std::string& rel) {
   // statepoint.cpp hosts the sanctioned CheckedWriter/CheckedReader wrappers
   // (every raw call there feeds a checked helper or an if); everywhere else
@@ -212,6 +226,10 @@ const std::regex kRawClock(
 // an if/assignment/comparison have a non-boundary prefix and don't match.
 const std::regex kUncheckedIo(
     R"((?:^|[;{}])\s*(?:std::)?f(?:read|write)\s*\()");
+// A call, not an identifier: `upper_bounds` or a member named lower_bound
+// without a call don't match.
+const std::regex kBinarySearch(
+    R"(\b(?:std::)?(?:upper|lower)_bound\s*\()");
 
 // Two seed derivations overlap when they mix in the same constants, even if
 // the non-constant part is spelled differently (`settings.seed` vs
@@ -290,6 +308,15 @@ void scan_file(const SourceFile& f, std::vector<Violation>& out,
                      "fwrite/fread return value discarded; a short "
                      "read/write must be detected — check the count as "
                      "statepoint.cpp's CheckedWriter/CheckedReader do"});
+    }
+
+    if (binary_search_scope(f.rel_path) &&
+        std::regex_search(line, kBinarySearch) &&
+        !has_allow_marker(f, i, "hot-loop-binary-search")) {
+      out.push_back({f.rel_path, i + 1, "hot-loop-binary-search",
+                     "std::upper_bound/lower_bound outside src/xsdata/; "
+                     "grid searches belong in the lookup kernels, which use "
+                     "the hash-binned accelerator (xsdata/hash_grid.hpp)"});
     }
 
     if (stream_overlap_scope(f.rel_path)) {
@@ -438,6 +465,21 @@ int self_test() {
        "// fread(buf, 1, n, f); would lose errors here", ""},
       {"allow marker silences unchecked-io", "src/core/mesh_io.cpp",
        "// vmc-lint: allow(unchecked-io)\nfwrite(magic, 1, 4, f);", ""},
+      {"upper_bound in core fires", "src/core/mesh_tally.cpp",
+       "const auto it = std::upper_bound(e.begin(), e.end(), x);",
+       "hot-loop-binary-search"},
+      {"lower_bound in tools fires", "tools/vmc_dump.cpp",
+       "auto it = lower_bound(v.begin(), v.end(), key);",
+       "hot-loop-binary-search"},
+      {"upper_bound in xsdata is clean", "src/xsdata/hash_grid.cpp",
+       "auto it = std::upper_bound(g + lo, g + hi, e);", ""},
+      {"upper_bounds identifier is clean", "src/obs/metrics.cpp",
+       "const auto& upper_bounds = h.upper_bounds;", ""},
+      {"upper_bound in comment is clean", "src/core/event.cpp",
+       "// replaces the per-particle std::upper_bound(...)", ""},
+      {"allow marker silences binary-search", "src/core/mesh_tally.cpp",
+       "// vmc-lint: allow(hot-loop-binary-search)\n"
+       "const auto it = std::upper_bound(e.begin(), e.end(), x);", ""},
       {"duplicate stream tags fire", "src/core/a.cpp",
        "rng::Stream s(seed ^ 0xbadc0deULL);\n"
        "rng::Stream t(seed ^ 0xbadc0deULL);", "stream-overlap"},

@@ -117,11 +117,14 @@ int main(int argc, char** argv) {
               args.mode.c_str(),
               args.survival_biasing ? " (survival biasing)" : "");
   const hm::Model model = hm::build_model(mo);
-  std::printf("library: %d nuclides, %zu union-grid points, %.1f MB\n",
+  std::printf("library: %d nuclides, %zu union-grid points, %.1f MB "
+              "(%.1f MB hash index)\n",
               model.library.n_nuclides(), model.library.union_grid().size(),
               static_cast<double>(model.library.union_bytes() +
-                                  model.library.pointwise_bytes()) /
-                  1e6);
+                                  model.library.pointwise_bytes() +
+                                  model.library.hash_bytes()) /
+                  1e6,
+              static_cast<double>(model.library.hash_bytes()) / 1e6);
 
   if (args.plot) {
     const double w = args.model == "assembly" ? 10.71 : 203.49;
