@@ -152,15 +152,23 @@ void EventTracker::run_naive(std::span<particle::Particle> particles,
     counts.rng_draws_est += na;
     if (opt_.simd_distance) {
       using VD = simd::vdouble;
-      constexpr int L = simd::native_lanes<double>;
-      const std::size_t nv = na / L * L;
-      for (std::size_t j = 0; j < nv; j += L) {
-        const VD x = VD::load(xi.data() + j);
-        const VD st = VD::load(sig_total.data() + j);
-        (-simd::vlog(x) / st).store(dist.data() + j);
-      }
-      for (std::size_t j = nv; j < na; ++j) {
-        dist[j] = -std::log(xi[j]) / sig_total[j];
+      constexpr int L = simd::width_v<double>;
+      for (std::size_t j = 0; j < na; j += L) {
+        // Masked remainder, same idiom as the compacting scheduler: dead
+        // lanes get xi=0.5 / sigma=1.0 (harmless ahead of the log and the
+        // divide) and never reach memory.
+        const int rem = static_cast<int>(std::min<std::size_t>(L, na - j));
+        const VD x = rem == L ? VD::load(xi.data() + j)
+                              : VD::load_partial(xi.data() + j, rem, 0.5);
+        const VD st = rem == L
+                          ? VD::load(sig_total.data() + j)
+                          : VD::load_partial(sig_total.data() + j, rem, 1.0);
+        const VD d = -simd::vlog(x) / st;
+        if (rem == L) {
+          d.store(dist.data() + j);
+        } else {
+          d.store_partial(dist.data() + j, rem);
+        }
       }
     } else {
       for (std::size_t j = 0; j < na; ++j) {
@@ -358,7 +366,7 @@ void EventTracker::run_compact(std::span<particle::Particle> particles,
     counts.rng_draws_est += na;
     if (opt_.simd_distance) {
       using VD = simd::vdouble;
-      constexpr int L = simd::native_lanes<double>;
+      constexpr int L = simd::width_v<double>;
       const std::size_t nv = na / L * L;
       for (std::size_t j = 0; j < nv; j += L) {
         const VD x = VD::load(xi.data() + j);

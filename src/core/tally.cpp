@@ -4,6 +4,19 @@
 
 namespace vmc::core {
 
+double ordered_sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s;
+}
+
+double ordered_sum_strided(std::span<const double> xs, std::size_t stride,
+                           std::size_t offset) {
+  double s = 0.0;
+  for (std::size_t i = offset; i < xs.size(); i += stride) s += xs[i];
+  return s;
+}
+
 namespace {
 void atomic_add(std::atomic<double>& a, double x) {
   double old = a.load(std::memory_order_relaxed);

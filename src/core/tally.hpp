@@ -13,10 +13,28 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <span>
 
 namespace vmc::core {
+
+/// Left-to-right sum of a floating-point span, in index order.
+///
+/// Summation order is part of the reproducibility contract: event mode must
+/// reproduce history mode bit-for-bit, and a recovered distributed run must
+/// reproduce the healthy one, which only holds if every reduction on a
+/// tally/k-eff path adds its terms in one fixed order. Ad-hoc
+/// `std::accumulate` / `+=` loops are therefore banned outside this file by
+/// vmc_lint (float-order-dependence); route span reductions through these
+/// helpers (or TallyAccumulator for concurrent scoring) instead.
+double ordered_sum(std::span<const double> xs);
+
+/// ordered_sum over the strided slice xs[offset], xs[offset + stride], ... —
+/// the block-structured distributed tallies reduce per-slot this way.
+double ordered_sum_strided(std::span<const double> xs, std::size_t stride,
+                           std::size_t offset);
 
 enum class TallyMode : unsigned char { thread_local_reduce, atomic_add, critical };
 

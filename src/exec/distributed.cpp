@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/eigenvalue.hpp"
+#include "core/tally.hpp"
 #include "exec/load_balance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -158,12 +159,8 @@ DistributedResult run_distributed(comm::World& world,
       //    exact), and the scalars are then summed in FIXED block order —
       //    the two properties that make recovery bit-identical.
       const std::vector<double> global = c.allreduce_sum(block_tallies);
-      double k_coll = 0.0;
-      double leak = 0.0;
-      for (std::size_t b = 0; b < n_blocks; ++b) {
-        k_coll += global[3 * b + 0];
-        leak += global[3 * b + 2];
-      }
+      const double k_coll = core::ordered_sum_strided(global, 3, 0);
+      const double leak = core::ordered_sum_strided(global, 3, 2);
       const double k_gen = k_coll / static_cast<double>(settings.n_total);
       k_history.push_back(k_gen);
       if (active) {

@@ -5,6 +5,7 @@
 #include <future>
 #include <vector>
 
+#include "core/tally.hpp"
 #include "geom/geometry.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -331,7 +332,9 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
     });
     compute.get();
     if (transfer.valid()) transfer.get();
-    for (const double t : totals[cur]) checksum += t;
+    // Fixed-order reduction: the pipeline checksum must not depend on how
+    // the chunk boundaries fell (core/tally.hpp on order dependence).
+    checksum += core::ordered_sum(totals[cur]);
 
     run.retries += cur_transfer.retries + comp.retries;
     if (cur_transfer.degraded || comp.degraded) ++run.degraded_stages;

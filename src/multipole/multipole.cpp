@@ -24,7 +24,7 @@ WindowedMultipole WindowedMultipole::make_synthetic(std::uint64_t seed,
   // The vector kernel sweeps whole lanes; pad the fixed count up.
   m.fixed_count_ = static_cast<int>(simd::round_up(
       static_cast<std::size_t>(p.poles_per_window_fixed),
-      static_cast<std::size_t>(simd::native_lanes<double>)));
+      static_cast<std::size_t>(simd::width_v<double>)));
   m.curvefit_order_ = p.curvefit_order;
   m.sqrt_lo_ = std::sqrt(p.e_min);
   const double sqrt_hi = std::sqrt(p.e_max);
@@ -147,7 +147,7 @@ MpXs WindowedMultipole::evaluate(double e, double dopp_width) const {
 }
 
 MpXs WindowedMultipole::evaluate_fixed(double e, double dopp_width) const {
-  constexpr int L = simd::native_lanes<double>;
+  constexpr int L = simd::width_v<double>;
   using VD = simd::Vec<double, L>;
 
   const double sqrt_e = std::sqrt(e);
@@ -173,7 +173,8 @@ MpXs WindowedMultipole::evaluate_fixed(double e, double dopp_width) const {
   const VD se(sqrt_e);
   const VD idop(inv_dopp);
   VD acc_t(0.0), acc_a(0.0), acc_f(0.0);
-  // fixed_count_ is a multiple of the lane width by construction (padded).
+  // fixed_count_ is a multiple of the lane width by construction (padded),
+  // so this stride loop has no remainder. vmc-lint: allow(unmasked-remainder)
   for (int k = 0; k < fixed_count_; k += L) {
     const std::size_t o = base + static_cast<std::size_t>(k);
     const VD pr = VD::loadu(f_pos_re_.data() + o);

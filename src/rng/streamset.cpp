@@ -63,12 +63,12 @@ StreamSet::StreamSet(int nstreams, std::uint64_t master) {
 
 void StreamSet::fill_uniform(int k, std::span<float> out) {
   auto& st = states_[static_cast<size_t>(k)];
-  st = fill_leapfrog<simd::native_lanes<float>>(st, out);
+  st = fill_leapfrog<simd::width_v<float>>(st, out);
 }
 
 void StreamSet::fill_uniform(int k, std::span<double> out) {
   auto& st = states_[static_cast<size_t>(k)];
-  st = fill_leapfrog<simd::native_lanes<double>>(st, out);
+  st = fill_leapfrog<simd::width_v<double>>(st, out);
 }
 
 void StreamSet::fill_uniform_scalar(int k, std::span<float> out) {

@@ -106,6 +106,11 @@ struct Vec {
   using native_int __attribute__((vector_size(N * sizeof(T)))) = int_type;
 
   static constexpr int lanes = N;
+  /// Portable spelling of the lane count for kernel code. Kernels must size
+  /// stride loops and remainder math with `Vec::width` or `simd::width_v<T>`
+  /// (vmc_lint rule hardcoded-lane-width), never a literal, so lane width
+  /// can become a backend template parameter without touching call sites.
+  static constexpr int width = N;
 
   native_type v;
 

@@ -32,6 +32,15 @@ inline constexpr const char* native_isa = "scalar";
 template <class T>
 inline constexpr int native_lanes = native_bytes / static_cast<int>(sizeof(T));
 
+/// Kernel-facing lane count. Stride loops, bank padding, and remainder math
+/// outside src/simd/ must be sized with `width_v<T>` (or `Vec::width`), never
+/// a literal lane count — enforced by vmc_lint (hardcoded-lane-width) so the
+/// multi-ISA backends of ROADMAP item 1 can turn the width into a backend
+/// template parameter without touching kernel call sites. Today it is simply
+/// the native width.
+template <class T>
+inline constexpr int width_v = native_lanes<T>;
+
 /// Cache line / ideal alignment in bytes (also the MIC's vector alignment,
 /// which the paper aligns all key data structures to).
 inline constexpr std::size_t cacheline_bytes = 64;

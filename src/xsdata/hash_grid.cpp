@@ -14,7 +14,7 @@ namespace {
 using simd::Mask;
 using simd::Vec;
 
-constexpr int kD = simd::native_lanes<double>;
+constexpr int kD = simd::width_v<double>;
 using VD = Vec<double, kD>;
 using VI = Vec<std::int32_t, kD>;
 using VL = Vec<std::int64_t, kD>;
@@ -145,11 +145,16 @@ void HashGrid::find_banked(std::span<const double> grid,
                            std::span<const double> energies,
                            std::int32_t* out_u) const {
   const std::size_t n = energies.size();
-  const std::size_t nvec = n / kD * kD;
   std::uint64_t steps = 0;
 
-  for (std::size_t j = 0; j < nvec; j += kD) {
-    const VD ev = VD::loadu(energies.data() + j);
+  for (std::size_t j = 0; j < n; j += kD) {
+    // Masked remainder: dead lanes replicate the last real energy, so they
+    // walk/bisect to a valid interval that is simply never stored. The real
+    // lanes see exactly the operations of a full tile — bit-identical.
+    const int rem = static_cast<int>(std::min<std::size_t>(kD, n - j));
+    const VD ev = rem == kD
+                      ? VD::loadu(energies.data() + j)
+                      : VD::load_partial(energies.data() + j, rem, energies[n - 1]);
     // Lane buckets: hi32 via a 64-bit shift, then the clamp + reciprocal
     // multiply — identical IEEE operations to the scalar bucket_of, so the
     // lanes land in identical buckets.
@@ -188,10 +193,11 @@ void HashGrid::find_banked(std::span<const double> grid,
       }
       idx = lov;
     }
-    idx.storeu(out_u + j);
-  }
-  for (std::size_t j = nvec; j < n; ++j) {
-    out_u[j] = static_cast<std::int32_t>(resolve(grid, energies[j], steps));
+    if (rem == kD) {
+      idx.storeu(out_u + j);
+    } else {
+      idx.store_partial(out_u + j, rem);
+    }
   }
   if (steps != 0) walk_counter().inc(steps);
 }

@@ -12,7 +12,7 @@ namespace {
 using simd::Mask;
 using simd::Vec;
 
-constexpr int kLanes = simd::native_lanes<float>;
+constexpr int kLanes = simd::width_v<float>;
 using VF = Vec<float, kLanes>;
 using VI = Vec<std::int32_t, kLanes>;
 
@@ -257,27 +257,31 @@ void macro_xs_banked_outer(const Library& lib, int material,
   if (mode == GridSearch::hash_nuclide) mode = GridSearch::hash;
   const int nn = static_cast<int>(mat.size());
   const std::size_t np = energies.size();
-  const std::size_t pvec = np / kLanes * kLanes;
   const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
 
-  for (std::size_t j = 0; j < pvec; j += kLanes) {
-    // Per-lane particle state: energy and union-row offset.
-    VF ev;
-    VI urow;
+  for (std::size_t j = 0; j < np; j += kLanes) {
+    // Masked particle remainder: the final tile replicates its last real
+    // particle into the dead lanes (valid energies and union rows, so every
+    // gather below stays in bounds) and stores only the real lanes back.
+    const int rem = static_cast<int>(std::min<std::size_t>(kLanes, np - j));
+    std::int32_t ubuf[kLanes];
+    float ebuf[kLanes];
     if (mode == GridSearch::hash) {
-      std::int32_t ubuf[kLanes];
-      hg.find_banked(ug.energy, energies.subspan(j, kLanes), ubuf);
-      for (int l = 0; l < kLanes; ++l) {
-        ev.set(l, static_cast<float>(energies[j + static_cast<std::size_t>(l)]));
-        urow.set(l, ubuf[l] * static_cast<std::int32_t>(stride));
-      }
+      hg.find_banked(ug.energy,
+                     energies.subspan(j, static_cast<std::size_t>(rem)), ubuf);
     } else {
-      for (int l = 0; l < kLanes; ++l) {
-        const double e = energies[j + static_cast<std::size_t>(l)];
-        ev.set(l, static_cast<float>(e));
-        urow.set(l, static_cast<std::int32_t>(ug.find(e) * stride));
+      for (int l = 0; l < rem; ++l) {
+        ubuf[l] = static_cast<std::int32_t>(
+            ug.find(energies[j + static_cast<std::size_t>(l)]));
       }
     }
+    for (int l = 0; l < rem; ++l) {
+      ebuf[l] = static_cast<float>(energies[j + static_cast<std::size_t>(l)]);
+    }
+    // Per-lane particle state: energy and union-row offset.
+    const VF ev = VF::load_partial(ebuf, rem, ebuf[rem - 1]);
+    const VI urow = VI::load_partial(ubuf, rem, ubuf[rem - 1]) *
+                    VI(static_cast<std::int32_t>(stride));
     VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
     for (int n = 0; n < nn; ++n) {
       const std::int32_t nucid = mat.nuclides[static_cast<std::size_t>(n)];
@@ -305,15 +309,11 @@ void macro_xs_banked_outer(const Library& lib, int material,
       channel(fl.absorption.data(), acc_a);
       channel(fl.fission.data(), acc_f);
     }
-    for (int l = 0; l < kLanes; ++l) {
+    for (int l = 0; l < rem; ++l) {
       out[j + static_cast<std::size_t>(l)] =
           XsSet{static_cast<double>(acc_t[l]), static_cast<double>(acc_s[l]),
                 static_cast<double>(acc_a[l]), static_cast<double>(acc_f[l])};
     }
-  }
-  // Tail particles: scalar path.
-  for (std::size_t j = pvec; j < np; ++j) {
-    out[j] = macro_xs_history(lib, material, energies[j], opt);
   }
 }
 
@@ -379,12 +379,11 @@ void macro_total_banked(const Library& lib, int material,
   const auto& ug = lib.union_grid();
   const auto& hg = lib.hash_grid();
   // The particle tiles below read the union imap by construction, so the
-  // double-indexed tier degenerates to the plain hash search in the tiles
-  // (the scalar tail still honours it via macro_total_history).
+  // double-indexed tier degenerates to the plain hash search (which selects
+  // the same interval as binary, bit-for-bit).
   GridSearch tile_mode = effective_mode(lib, opt.search);
   if (tile_mode == GridSearch::hash_nuclide) tile_mode = GridSearch::hash;
   const int nn = static_cast<int>(mat.size());
-  const int nvec = nn / kLanes * kLanes;
   const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
 
   // Tier (c): resolve every particle's union interval in one batched SIMD
@@ -404,23 +403,33 @@ void macro_total_banked(const Library& lib, int material,
   // effect; on out-of-order AVX-512 hosts the tiling is what beats the
   // scalar path (measured ~1.5x on H.M. Large; see bench/fig2).
   constexpr int P = 8;
-  std::size_t j = 0;
-  for (; j + P <= energies.size(); j += P) {
+  for (std::size_t j = 0; j < energies.size(); j += P) {
+    // Masked particle remainder: dead tile slots replicate the last real
+    // particle (valid union rows, in-bounds gathers) and are never stored.
+    const int pr =
+        static_cast<int>(std::min<std::size_t>(P, energies.size() - j));
     const std::int32_t* rows[P];
     VF ev[P];
     VF acc[P];
     for (int p = 0; p < P; ++p) {
-      const std::size_t u = us != nullptr
-                                ? static_cast<std::size_t>(us[j + p])
-                                : ug.find(energies[j + p]);
+      const std::size_t jp = j + static_cast<std::size_t>(p < pr ? p : pr - 1);
+      const std::size_t u = us != nullptr ? static_cast<std::size_t>(us[jp])
+                                          : ug.find(energies[jp]);
       rows[p] = ug.imap.data() + u * stride;
-      ev[p] = VF(static_cast<float>(energies[j + p]));
+      ev[p] = VF(static_cast<float>(energies[jp]));
       acc[p] = VF(0.0f);
     }
-    for (int n = 0; n < nvec; n += kLanes) {
-      const VI nucid = VI::loadu(mat.nuclides.data() + n);
+    for (int n = 0; n < nn; n += kLanes) {
+      // Masked nuclide remainder: the last block loads partial lanes with
+      // density 0, same idiom as macro_xs_banked.
+      const int rem = nn - n;
+      const VI nucid = rem >= kLanes
+                           ? VI::loadu(mat.nuclides.data() + n)
+                           : VI::load_partial(mat.nuclides.data() + n, rem, 0);
+      const VF dens =
+          rem >= kLanes ? VF::loadu(mat.density.data() + n)
+                        : VF::load_partial(mat.density.data() + n, rem, 0.0f);
       const VI base = VI::gather(fl.offset.data(), nucid);
-      const VF dens = VF::loadu(mat.density.data() + n);
       VI idx[P];
       for (int p = 0; p < P; ++p) {
         idx[p] = VI::gather(rows[p], nucid) + base;
@@ -448,23 +457,9 @@ void macro_total_banked(const Library& lib, int material,
                            acc[p]);
       }
     }
-    for (int p = 0; p < P; ++p) {
-      double sigma = acc[p].hsum();
-      const std::size_t u = static_cast<std::size_t>(
-          (rows[p] - ug.imap.data()) / static_cast<std::ptrdiff_t>(stride));
-      for (int n = nvec; n < nn; ++n) {
-        sigma += mat.density[static_cast<std::size_t>(n)] *
-                 nuclide_xs_from_union(
-                     lib, mat.nuclides[static_cast<std::size_t>(n)], u,
-                     energies[j + p])
-                     .total;
-      }
-      out[j + p] = sigma;
+    for (int p = 0; p < pr; ++p) {
+      out[j + static_cast<std::size_t>(p)] = acc[p].hsum();
     }
-  }
-  // Tail particles: scalar path.
-  for (; j < energies.size(); ++j) {
-    out[j] = macro_total_history(lib, material, energies[j], opt);
   }
 }
 

@@ -250,8 +250,7 @@ TEST_F(CompactSchedulerTest, BitIdenticalToNaiveWithSimdLookup) {
   // The banked lookup kernel indexes each particle's energy elementwise
   // (SIMD runs over the nuclide loop), so per-particle results do not
   // depend on how the bank is grouped — the compact scheduler's sorted
-  // subspans must reproduce the naive bucketed sweep bit-for-bit. Only
-  // simd_distance breaks bitwise agreement (masked vlog vs std::log tail).
+  // subspans must reproduce the naive bucketed sweep bit-for-bit.
   const auto src = make_source(600, 11);
   const auto naive = run(false, true, false, src);
   const auto compact = run(true, true, false, src);
@@ -259,10 +258,13 @@ TEST_F(CompactSchedulerTest, BitIdenticalToNaiveWithSimdLookup) {
 }
 
 TEST_F(CompactSchedulerTest, SimdDistanceAgreesStatistically) {
+  // Both schedulers now run the identical masked-vlog distance stage
+  // (remainder lanes go through load_partial, not a scalar std::log tail),
+  // so per-particle distances are lanewise identical no matter how the
+  // bank is grouped and the tallies agree to rounding.
   const auto src = make_source(600, 13);
   const auto naive = run(false, true, true, src);
   const auto compact = run(true, true, true, src);
-  // Same particle count and histories; tallies agree to rounding.
   EXPECT_EQ(naive.counts.histories, compact.counts.histories);
   EXPECT_NEAR(naive.tally.track_length, compact.tally.track_length,
               1e-6 * naive.tally.track_length);

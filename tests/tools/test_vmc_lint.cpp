@@ -1,0 +1,204 @@
+// Tool-level tests for vmc_lint: drive the real binary against seeded
+// source trees and assert on the machine-readable output and exit codes the
+// CI static-analysis job depends on. The rule logic itself is covered by
+// `vmc_lint --self-test`; this suite pins the *interface* — JSON schema,
+// file/line accuracy, allow-marker placement, scope exemptions, and the
+// clean/dirty/broken exit-code contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;  // stdout only; diagnostics go to stderr
+};
+
+RunResult run_command(const std::string& cmd) {
+  RunResult r;
+  FILE* p = ::popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (p == nullptr) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, p)) > 0) {
+    r.out.append(buf, n);
+  }
+  const int status = ::pclose(p);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+class VmcLintTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            ("vmc_lint_" + std::to_string(::getpid()) + "_" + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << content;
+  }
+
+  RunResult lint_json() {
+    return run_command(std::string(VMC_LINT_BIN) + " --json " +
+                       root_.string());
+  }
+
+  RunResult lint_text() {
+    return run_command(std::string(VMC_LINT_BIN) + " " + root_.string());
+  }
+
+  fs::path root_;
+};
+
+TEST(VmcLintSelfTest, AllFixturesPass) {
+  const RunResult r = run_command(std::string(VMC_LINT_BIN) + " --self-test");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
+TEST_F(VmcLintTree, CleanTreeReportsCleanAndExitsZero) {
+  write("src/core/ok.cpp", "int answer() { return 42; }\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("\"schema\": \"vectormc.lint.v1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"clean\": true"), std::string::npos);
+  EXPECT_NE(r.out.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(r.out.find("\"violations\": []"), std::string::npos);
+}
+
+TEST_F(VmcLintTree, RawClockViolationCarriesExactFileAndLine) {
+  write("src/core/timing.cpp",
+        "#include <chrono>\n"
+        "\n"
+        "double now() {\n"
+        "  return std::chrono::steady_clock::now().time_since_epoch().count();"
+        "\n"
+        "}\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("\"clean\": false"), std::string::npos);
+  EXPECT_NE(r.out.find("\"file\": \"src/core/timing.cpp\", \"line\": 4, "
+                       "\"rule\": \"raw-clock\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(VmcLintTree, HardcodedLaneWidthViolationCarriesExactFileAndLine) {
+  write("src/xsdata/kern.cpp",
+        "#include \"simd/simd.hpp\"\n"
+        "simd::Vec<float, 8> splat(float x) { return simd::Vec<float, 8>(x); "
+        "}\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("\"file\": \"src/xsdata/kern.cpp\", \"line\": 2, "
+                       "\"rule\": \"hardcoded-lane-width\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(VmcLintTree, AllowMarkerOnLineAboveSuppressesTheFinding) {
+  write("src/core/timing.cpp",
+        "// one-off wall-clock stamp. vmc-lint: allow(raw-clock)\n"
+        "auto t0 = std::chrono::steady_clock::now();\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("\"clean\": true"), std::string::npos);
+}
+
+TEST_F(VmcLintTree, StaleAllowMarkerIsItselfAViolation) {
+  write("src/core/quiet.cpp",
+        "int x = 0;\n"
+        "// vmc-lint: allow(raw-clock)\n"
+        "int y = 1;\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("\"file\": \"src/core/quiet.cpp\", \"line\": 2, "
+                       "\"rule\": \"stale-allow\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(VmcLintTree, UnknownRuleInAllowMarkerIsAViolation) {
+  write("src/core/typo.cpp",
+        "// vmc-lint: allow(raw-cloak)\n"
+        "auto t0 = std::chrono::steady_clock::now();\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("\"rule\": \"stale-allow\""), std::string::npos);
+  // The misspelled marker suppresses nothing, so the clock finding stands
+  // too.
+  EXPECT_NE(r.out.find("\"rule\": \"raw-clock\""), std::string::npos);
+}
+
+TEST_F(VmcLintTree, BenchKeepsItsRawClockExemptionButIsStillScanned) {
+  write("bench/harness.cpp",
+        "auto t0 = std::chrono::steady_clock::now();\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(r.out.find("\"clean\": true"), std::string::npos);
+}
+
+TEST_F(VmcLintTree, BenchIsNotExemptFromIntrinsicConfinement) {
+  write("bench/kernel.cpp", "float hsum(__m256 v);\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("\"file\": \"bench/kernel.cpp\", \"line\": 1, "
+                       "\"rule\": \"raw-intrinsic\""),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(VmcLintTree, SummaryCountsViolationsPerRule) {
+  write("src/core/a.cpp", "auto t = std::chrono::steady_clock::now();\n");
+  write("src/core/b.cpp", "auto t = std::chrono::system_clock::now();\n");
+  const RunResult r = lint_json();
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("\"raw-clock\": 2"), std::string::npos) << r.out;
+}
+
+TEST_F(VmcLintTree, TextModeReportsCleanOnStdout) {
+  write("src/core/ok.cpp", "int x = 0;\n");
+  const RunResult r = lint_text();
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("clean"), std::string::npos);
+}
+
+TEST(VmcLintInvocation, MissingSrcDirectoryExitsTwo) {
+  const fs::path empty =
+      fs::temp_directory_path() /
+      ("vmc_lint_nosrc_" + std::to_string(::getpid()));
+  fs::create_directories(empty);
+  const RunResult r =
+      run_command(std::string(VMC_LINT_BIN) + " " + empty.string());
+  EXPECT_EQ(r.exit_code, 2);
+  fs::remove_all(empty);
+}
+
+TEST(VmcLintInvocation, UnknownFlagExitsTwo) {
+  const RunResult r = run_command(std::string(VMC_LINT_BIN) + " --bogus");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(VmcLintInvocation, MissingRootArgumentExitsTwo) {
+  const RunResult r = run_command(std::string(VMC_LINT_BIN));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+}  // namespace

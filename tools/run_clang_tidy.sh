@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Run clang-tidy over the VectorMC sources with the repo's .clang-tidy
-# profile.
+# profile (bugprone-*, concurrency-*, performance-*, and the narrowing
+# checks — see .clang-tidy for the rationale).
 #
 # Usage:
 #   tools/run_clang_tidy.sh [build-dir] [file...]
@@ -8,11 +9,15 @@
 #   build-dir   a configured CMake build tree with compile_commands.json
 #               (default: build). Configured automatically if missing.
 #   file...     restrict the run to these sources (e.g. the files changed in
-#               a PR); default is every .cpp under src/ and tools/.
+#               a PR); default is every .cpp under src/, tools/, bench/, and
+#               examples/ — the same roots vmc_lint scans.
 #
-# Exits 0 when clang-tidy is not installed (the container toolchain is
-# GCC-only; CI installs clang-tidy in the lint job) so local ctest runs
-# don't fail on a missing optional tool.
+# Exit codes (mirrors vmc_lint so CI can tell the cases apart):
+#   0  clean — or clang-tidy is not installed (the container toolchain is
+#      GCC-only; CI installs clang-tidy in the static-analysis job), so
+#      local ctest runs don't fail on a missing optional tool
+#   1  clang-tidy reported findings
+#   2  setup failure (CMake configure failed, no sources to check found)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,21 +26,25 @@ shift || true
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "run_clang_tidy.sh: clang-tidy not found; skipping (install it or" \
-       "use the CI lint job)" >&2
+       "use the CI static-analysis job)" >&2
   exit 0
 fi
 
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "run_clang_tidy.sh: generating compile_commands.json in ${build_dir}"
-  cmake -B "${build_dir}" -S "${repo_root}" \
-        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-        -DVMC_NATIVE_ARCH=OFF >/dev/null
+  if ! cmake -B "${build_dir}" -S "${repo_root}" \
+             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+             -DVMC_NATIVE_ARCH=OFF >/dev/null; then
+    echo "run_clang_tidy.sh: cmake configure failed" >&2
+    exit 2
+  fi
 fi
 
 files=("$@")
 if [[ ${#files[@]} -eq 0 ]]; then
   mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tools" \
-                            -name '*.cpp' | sort)
+                            "${repo_root}/bench" "${repo_root}/examples" \
+                            -name '*.cpp' 2>/dev/null | sort)
 fi
 # Drop anything without a compile command (headers, removed files).
 srcs=()
@@ -43,8 +52,8 @@ for f in "${files[@]}"; do
   [[ "$f" == *.cpp ]] && srcs+=("$f")
 done
 if [[ ${#srcs[@]} -eq 0 ]]; then
-  echo "run_clang_tidy.sh: no .cpp files to check"
-  exit 0
+  echo "run_clang_tidy.sh: no .cpp files to check" >&2
+  exit 2
 fi
 
 echo "run_clang_tidy.sh: checking ${#srcs[@]} file(s)"

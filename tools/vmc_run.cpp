@@ -23,6 +23,7 @@
 
 #include "core/eigenvalue.hpp"
 #include "core/mesh_tally.hpp"
+#include "core/tally.hpp"
 #include "geom/plot.hpp"
 #include "hm/hm_model.hpp"
 
@@ -183,8 +184,7 @@ int main(int argc, char** argv) {
 
   if (mesh) {
     const auto spectrum = mesh->energy_spectrum();
-    double total = 0.0;
-    for (const double s : spectrum) total += s;
+    const double total = vmc::core::ordered_sum(spectrum);
     std::printf("\nflux spectrum (%d equal-lethargy groups, fraction):\n",
                 args.groups);
     for (std::size_t g = 0; g < spectrum.size(); ++g) {
