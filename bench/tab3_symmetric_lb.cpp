@@ -1,15 +1,22 @@
 // Table III: symmetric-mode calculation rates on one JLSE node — original
-// (uniform MPI split) vs. Eq. 3 static load balancing with alpha = 0.62.
+// (uniform MPI split) vs. Eq. 3 static load balancing with alpha = 0.62 —
+// plus the k-device generalization alpha_d = r_d / sum r_j that the
+// multi-device offload executor schedules by (exec/device_pool.hpp).
 #include <cstdio>
 #include <optional>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "exec/device_pool.hpp"
+#include "exec/offload.hpp"
 #include "exec/symmetric.hpp"
 
 int main() {
   using namespace vmc;
-  bench::header("Table III",
-                "symmetric-mode rates, original vs. load balanced (alpha=0.62)");
+  bench::Report report(
+      "tab3_symmetric_lb", "Table III",
+      "symmetric-mode rates, original vs. load balanced (alpha=0.62), and "
+      "the k-device generalized split");
 
   const exec::WorkProfile w = bench::default_hm_large_profile();
   const std::size_t n = 100000;  // paper: 1e5 active particles
@@ -26,6 +33,8 @@ int main() {
               cpu_rate, "N/A", "-", "-");
   std::printf("%-16s %14.0f %14s %12s %12s   (paper: 6,641)\n", "MIC only",
               mic_rate, "N/A", "-", "-");
+  report.row({{"mics", 0.0}, {"original_rate", cpu_rate},
+              {"balanced_rate", cpu_rate}, {"ideal_rate", cpu_rate}});
 
   for (const int mics : {1, 2}) {
     const exec::SymmetricRunner runner(exec::NodeSetup::jlse(mics), fabric);
@@ -41,6 +50,10 @@ int main() {
                 "", 100.0 * (1.0 - original.rate / original.ideal_rate),
                 mics == 1 ? "16%" : "32%",
                 100.0 * (1.0 - balanced.rate / balanced.ideal_rate));
+    report.row({{"mics", static_cast<double>(mics)},
+                {"original_rate", original.rate},
+                {"balanced_rate", balanced.rate},
+                {"ideal_rate", balanced.ideal_rate}});
   }
 
   std::printf("\nmeasured alpha = %.3f (paper: 0.62)\n", alpha);
@@ -60,6 +73,29 @@ int main() {
     std::printf("  batch %zu: %.0f n/s (%.1f%% of ideal)\n", b,
                 batches[b].rate,
                 100.0 * batches[b].rate / batches[b].ideal_rate);
+  }
+
+  // The k-device generalization the offload executor schedules by:
+  // alpha_d = r_d / sum r_j over each device's modeled banked-lookup rate.
+  // With one device this is the degenerate alpha = 1; the paper's two-way
+  // 0.62/0.38 split is the k = 1 host+MIC case of the same formula.
+  std::printf("\ngeneralized split alpha_d = r_d / sum r_j "
+              "(mixed MIC generations):\n");
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<exec::CostModel> devices;
+    for (std::size_t d = 0; d < k; ++d) {
+      devices.emplace_back(d % 2 == 0 ? exec::DeviceSpec::mic_7120a()
+                                      : exec::DeviceSpec::mic_se10p());
+    }
+    const exec::DevicePool pool(devices, exec::BreakerPolicy{});
+    std::printf("  %zu device(s):", k);
+    for (std::size_t d = 0; d < k; ++d) {
+      std::printf(" alpha_%zu = %.3f", d, pool.shares()[d]);
+      report.row({{"pool_devices", static_cast<double>(k)},
+                  {"device_index", static_cast<double>(d)},
+                  {"alpha_d", pool.shares()[d]}});
+    }
+    std::printf("\n");
   }
   return 0;
 }

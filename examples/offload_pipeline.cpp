@@ -10,17 +10,21 @@
 // vectormc.manifest.v1), and driver_k.json (the driver's own k history, for
 // independent cross-validation by tools/vmc_obs_check). Set VMC_OBS_FAULTS=1
 // to additionally arm a small deterministic fault plan so the retry and
-// degraded-stage series are exercised.
+// degraded-stage series are exercised. Set VMC_DEVICES=1|2|4 to size the
+// modeled device pool (default 1; the nightly chaos matrix runs all three) —
+// the manifest then carries one device_health record per device.
 //
 //   $ ./offload_pipeline [n_particles]
-//   $ VMC_OBS_DIR=/tmp/obs VMC_OBS_FAULTS=1 ./offload_pipeline 20000
+//   $ VMC_OBS_DIR=/tmp/obs VMC_OBS_FAULTS=1 VMC_DEVICES=2 ./offload_pipeline 20000
 #include <cstdio>
 #include <cstdlib>
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/eigenvalue.hpp"
 #include "exec/offload.hpp"
@@ -54,12 +58,23 @@ int main(int argc, char** argv) {
   const xs::Library& lib = model.library;
   const int fuel = model.fuel_material;
 
+  // VMC_DEVICES sizes the modeled pool: alternating MIC generations so the
+  // generalized-alpha split is visibly heterogeneous.
+  const char* devices_env = std::getenv("VMC_DEVICES");
+  std::size_t n_devices =
+      devices_env != nullptr ? std::strtoull(devices_env, nullptr, 10) : 1;
+  if (n_devices < 1) n_devices = 1;
+  std::vector<exec::CostModel> devices;
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    devices.emplace_back(d % 2 == 0 ? exec::DeviceSpec::mic_7120a()
+                                    : exec::DeviceSpec::mic_se10p());
+  }
   const exec::OffloadRuntime runtime(
-      lib, exec::CostModel(exec::DeviceSpec::jlse_host()),
-      exec::CostModel(exec::DeviceSpec::mic_7120a()));
+      lib, exec::CostModel(exec::DeviceSpec::jlse_host()), devices);
 
-  std::printf("offload pipeline, %zu particles, %zu-nuclide material\n\n", n,
-              lib.material(fuel).size());
+  std::printf("offload pipeline, %zu particles, %zu-nuclide material, "
+              "%zu modeled device(s)\n\n",
+              n, lib.material(fuel).size(), runtime.device_count());
   const auto rep = runtime.run_iteration(fuel, n, /*seed=*/1);
 
   std::printf("this host, measured:\n");
@@ -83,8 +98,10 @@ int main(int argc, char** argv) {
               rep.model_compute_host_s * 1e3);
 
   std::printf("double-buffered pipeline (4 banks of %zu):\n", n / 4);
-  // Really execute the overlap: a "DMA" pool thread stages the next bank
-  // while the "device" thread sweeps the current one.
+  // Really execute the overlap: each device's "DMA" lane stages the next
+  // bank while its driver sweeps the current one. Kept for the manifest's
+  // per-device health records below.
+  exec::OffloadRuntime::PipelineRun pipe;
   {
     vmc::rng::Stream rs(2);
     vmc::simd::aligned_vector<double> es(n);
@@ -92,23 +109,33 @@ int main(int argc, char** argv) {
       e = xs::kEnergyMin * std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
     }
     if (inject) {
-      // Deterministic chaos: stage 1's first transfer attempt fails (retried
-      // to success), stage 3's compute fails persistently (degrades to the
-      // scalar host sweep). Exercises the retry and degraded-stage series.
+      // Deterministic chaos on device 0's fault domains: chunk 1's first
+      // transfer attempt fails (retried to success), chunk 3's compute
+      // stream fails persistently (reschedule, then the host floor).
+      // Exercises the retry, reschedule, and degraded-stage series.
       resil::FaultPlan plan;
-      plan.fail_at("offload.transfer", {0}, /*key=*/1);
-      plan.always("offload.compute", /*key=*/3);
+      plan.fail_at("offload.transfer", {0}, resil::device_key(0, 0, 1));
+      plan.always("offload.compute", resil::device_key(0, 1, 3));
       resil::PlanGuard guard(plan);
-      const auto run = runtime.run_pipelined(fuel, es, 4);
-      std::printf("  real 2-thread pipeline    : %8.2f ms over %d stages "
-                  "(checksum %.3e, %d retries, %d degraded)\n",
-                  run.wall_s * 1e3, run.n_stages, run.checksum, run.retries,
-                  run.degraded_stages);
+      pipe = runtime.run_pipelined(fuel, es, 4);
+      std::printf("  real pipelined sweep      : %8.2f ms over %d stages "
+                  "(checksum %.3e, %d retries, %d rescheduled, %d degraded)\n",
+                  pipe.wall_s * 1e3, pipe.n_stages, pipe.checksum,
+                  pipe.retries, pipe.rescheduled_stages, pipe.degraded_stages);
     } else {
-      const auto run = runtime.run_pipelined(fuel, es, 4);
-      std::printf("  real 2-thread pipeline    : %8.2f ms over %d stages "
+      pipe = runtime.run_pipelined(fuel, es, 4);
+      std::printf("  real pipelined sweep      : %8.2f ms over %d stages "
                   "(checksum %.3e)\n",
-                  run.wall_s * 1e3, run.n_stages, run.checksum);
+                  pipe.wall_s * 1e3, pipe.n_stages, pipe.checksum);
+    }
+    for (std::size_t d = 0; d < pipe.devices.size(); ++d) {
+      const auto& dr = pipe.devices[d];
+      std::printf("  device %zu (%s): %s, %d ok / %d failed / %d skipped, "
+                  "%d retries, %d trips, %d steals in\n",
+                  d, dr.name.c_str(),
+                  std::string(exec::to_string(dr.final_state)).c_str(),
+                  dr.chunks_ok, dr.chunks_failed, dr.chunks_skipped,
+                  dr.retries, dr.trips, dr.steals_in);
     }
   }
   const double terms = static_cast<double>(lib.material(fuel).size());
@@ -162,11 +189,25 @@ int main(int argc, char** argv) {
         .set_extra("n_eigenvalue_particles",
                    static_cast<double>(settings.n_particles))
         .set_extra("device", runtime.device().spec().name)
+        .set_extra("n_devices", static_cast<double>(runtime.device_count()))
         .set_extra("grid_hash_bytes",
                    static_cast<double>(model.library.hash_bytes()))
         .set_extra("faults_injected", inject ? "yes" : "no")
         .capture_fault_summary()
         .capture_metrics();
+    for (const auto& dr : pipe.devices) {
+      obs::RunManifest::DeviceHealth dh;
+      dh.device = dr.name;
+      dh.state = std::string(exec::to_string(dr.final_state));
+      dh.chunks_ok = static_cast<std::uint64_t>(dr.chunks_ok);
+      dh.chunks_failed = static_cast<std::uint64_t>(dr.chunks_failed);
+      dh.chunks_skipped = static_cast<std::uint64_t>(dr.chunks_skipped);
+      dh.retries = static_cast<std::uint64_t>(dr.retries);
+      dh.trips = static_cast<std::uint64_t>(dr.trips);
+      dh.probes = static_cast<std::uint64_t>(dr.probes);
+      dh.steals_in = static_cast<std::uint64_t>(dr.steals_in);
+      manifest.add_device_health(dh);
+    }
     manifest.write(dir + "/manifest.json");
 
     // The driver's own record of the k history, written independently of the

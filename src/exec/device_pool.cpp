@@ -1,0 +1,77 @@
+#include "exec/device_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmc::exec {
+
+namespace {
+
+// Reference workload for the rate weights: large enough that every device
+// sits on the flat part of its efficiency ramp, so shares reflect asymptotic
+// throughput (the regime the paper's alpha was fit in).
+constexpr std::size_t kRefLookups = 1 << 20;
+constexpr double kRefTerms = 100.0;
+
+}  // namespace
+
+DevicePool::DevicePool(const std::vector<CostModel>& devices,
+                       const BreakerPolicy& breaker) {
+  if (devices.empty()) {
+    throw std::invalid_argument("DevicePool requires at least one device");
+  }
+  breaker.validate();
+  devices_.reserve(devices.size());
+  for (const CostModel& m : devices) devices_.emplace_back(m, breaker);
+
+  double total_rate = 0.0;
+  std::vector<double> rates;
+  rates.reserve(devices.size());
+  for (const CostModel& m : devices) {
+    const double rate = static_cast<double>(kRefLookups) /
+                        m.banked_lookup_seconds(kRefLookups, kRefTerms);
+    rates.push_back(rate);
+    total_rate += rate;
+  }
+  shares_.reserve(rates.size());
+  for (const double r : rates) shares_.push_back(r / total_rate);
+}
+
+std::vector<std::size_t> DevicePool::assign(std::size_t n_chunks) const {
+  // Largest-remainder apportionment: floor each quota, then hand the
+  // leftover chunks to the largest fractional parts (ties to the lower
+  // device index — fully deterministic).
+  const std::size_t k = devices_.size();
+  std::vector<std::size_t> quota(k);
+  std::vector<std::pair<double, std::size_t>> frac(k);
+  std::size_t assigned = 0;
+  for (std::size_t d = 0; d < k; ++d) {
+    const double exact = shares_[d] * static_cast<double>(n_chunks);
+    quota[d] = static_cast<std::size_t>(exact);
+    frac[d] = {exact - static_cast<double>(quota[d]), d};
+    assigned += quota[d];
+  }
+  std::stable_sort(frac.begin(), frac.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < n_chunks; ++i, ++assigned) {
+    ++quota[frac[i % k].second];
+  }
+
+  std::vector<std::size_t> map;
+  map.reserve(n_chunks);
+  for (std::size_t d = 0; d < k; ++d) {
+    map.insert(map.end(), quota[d], d);
+  }
+  return map;
+}
+
+std::vector<std::size_t> DevicePool::accepting_devices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const HealthState s = devices_[d].health.state();
+    if (s == HealthState::healthy || s == HealthState::suspect) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace vmc::exec

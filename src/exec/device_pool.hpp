@@ -1,0 +1,73 @@
+// DevicePool: the per-run roster of modeled devices behind the multi-device
+// offload executor — each entry couples a calibrated CostModel
+// (machine.hpp) with its own HealthMonitor fault domain plus the accounting
+// the run report and metrics need.
+//
+// Scheduling is deterministic by construction. The paper's symmetric-mode
+// split hands the MIC a fixed fraction alpha = 0.62 of each generation; with
+// k heterogeneous devices that generalizes to per-device shares
+//
+//     alpha_d = r_d / sum_j r_j,
+//
+// where r_d is the device's modeled banked-lookup rate, and assign() turns
+// those shares into contiguous chunk blocks by largest remainder — a pure
+// function of (n_chunks, device specs), independent of timing, threads, or
+// fault outcomes. Rebalancing after faults happens in later passes (the
+// executor's reschedule/degrade phases), never by mutating this map.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/health.hpp"
+#include "exec/machine.hpp"
+
+namespace vmc::exec {
+
+/// One device's per-run state: the cost model, its breaker, and the outcome
+/// tallies the executor accumulates while driving it.
+struct DeviceState {
+  CostModel model;
+  HealthMonitor health;
+  int chunks_ok = 0;       // chunks this device completed (either phase)
+  int chunks_failed = 0;   // chunks whose retries exhausted on this device
+  int chunks_skipped = 0;  // chunks denied by the breaker
+  int retries = 0;         // transient faults absorbed by retry_with_backoff
+  int steals_in = 0;       // phase-2 chunks rescheduled TO this device
+  double model_transfer_s = 0.0;  // accumulated cost-model projections
+  double model_compute_s = 0.0;
+
+  DeviceState(CostModel m, const BreakerPolicy& p)
+      : model(std::move(m)), health(p) {}
+};
+
+class DevicePool {
+ public:
+  /// Throws std::invalid_argument on an empty device list or an invalid
+  /// breaker policy (BreakerPolicy::validate).
+  DevicePool(const std::vector<CostModel>& devices,
+             const BreakerPolicy& breaker);
+
+  std::size_t size() const { return devices_.size(); }
+  DeviceState& at(std::size_t d) { return devices_[d]; }
+  const DeviceState& at(std::size_t d) const { return devices_[d]; }
+
+  /// Generalized symmetric-split shares alpha_d (sum to 1): each device's
+  /// modeled banked-lookup rate over the pool total.
+  const std::vector<double>& shares() const { return shares_; }
+
+  /// chunk index -> device index for `n_chunks` chunks: contiguous blocks
+  /// sized by largest-remainder apportionment of the shares, in device
+  /// order. Deterministic; ignores health (phase 1 is the static map).
+  std::vector<std::size_t> assign(std::size_t n_chunks) const;
+
+  /// Devices currently able to accept rescheduled work: breaker neither
+  /// tripped nor holding a half-open probe.
+  std::vector<std::size_t> accepting_devices() const;
+
+ private:
+  std::vector<DeviceState> devices_;
+  std::vector<double> shares_;
+};
+
+}  // namespace vmc::exec

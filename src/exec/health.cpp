@@ -1,0 +1,101 @@
+#include "exec/health.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vmc::exec {
+
+std::string_view to_string(HealthState s) {
+  switch (s) {
+    case HealthState::healthy:   return "healthy";
+    case HealthState::suspect:   return "suspect";
+    case HealthState::tripped:   return "tripped";
+    case HealthState::half_open: return "half_open";
+  }
+  return "unknown";
+}
+
+void BreakerPolicy::validate() const {
+  if (suspect_after < 1) {
+    throw std::invalid_argument(
+        "BreakerPolicy.suspect_after must be >= 1 (got " +
+        std::to_string(suspect_after) + ")");
+  }
+  if (trip_after < 1) {
+    throw std::invalid_argument("BreakerPolicy.trip_after must be >= 1 (got " +
+                                std::to_string(trip_after) + ")");
+  }
+  if (cooldown_denials < 1) {
+    throw std::invalid_argument(
+        "BreakerPolicy.cooldown_denials must be >= 1 (got " +
+        std::to_string(cooldown_denials) + ")");
+  }
+}
+
+bool HealthMonitor::admit() {
+  switch (state_) {
+    case HealthState::healthy:
+    case HealthState::suspect:
+      return true;
+    case HealthState::half_open:
+      if (probe_armed_) {
+        probe_armed_ = false;
+        ++probes_;
+        return true;
+      }
+      // Probe dispatched but its outcome not yet recorded: hold further
+      // work without advancing the cooldown.
+      ++denials_total_;
+      return false;
+    case HealthState::tripped:
+      ++denials_total_;
+      if (++cooldown_ >= policy_.cooldown_denials) {
+        state_ = HealthState::half_open;
+        probe_armed_ = true;
+        cooldown_ = 0;
+      }
+      return false;
+  }
+  return false;
+}
+
+void HealthMonitor::record_chunk(int faults, bool succeeded) {
+  const bool was_probe = state_ == HealthState::half_open;
+  if (faults > 0 || !succeeded) ++faulted_chunks_;
+
+  if (succeeded && faults == 0) {
+    // Clean pass: close the breaker from any state.
+    fault_streak_ = 0;
+    fail_streak_ = 0;
+    state_ = HealthState::healthy;
+    return;
+  }
+
+  if (succeeded) {
+    // Needed retries but delivered: the device works, shakily.
+    ++fault_streak_;
+    fail_streak_ = 0;
+    if (was_probe || state_ == HealthState::tripped) {
+      state_ = HealthState::suspect;
+    } else if (fault_streak_ >= policy_.suspect_after) {
+      state_ = HealthState::suspect;
+    }
+    return;
+  }
+
+  // Retries exhausted: a hard chunk failure.
+  ++failed_chunks_;
+  ++fault_streak_;
+  ++fail_streak_;
+  if (was_probe || fail_streak_ >= policy_.trip_after) {
+    // A failed probe re-trips immediately; otherwise trip on the streak.
+    state_ = HealthState::tripped;
+    ++trips_;
+    cooldown_ = 0;
+    probe_armed_ = false;
+    return;
+  }
+  if (fault_streak_ >= policy_.suspect_after) state_ = HealthState::suspect;
+}
+
+}  // namespace vmc::exec

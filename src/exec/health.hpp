@@ -1,0 +1,91 @@
+// Per-device health state machine for the multi-device offload executor.
+//
+// Each modeled device is an isolated fault domain; its breaker walks
+//
+//      healthy --> suspect --> tripped --> half_open --> healthy
+//                     ^________________________|  (probe faults: -> tripped)
+//
+// driven ONLY by counts — consecutive chunk outcomes and scheduling
+// denials, never wall-clock time — so the trajectory is a pure function of
+// the chunk-outcome sequence and the run is reproducible under any thread
+// interleaving. The per-device pipeline driver is the single writer: it
+// replays each chunk's outcome (how many injected faults were observed, and
+// whether the chunk ultimately succeeded) at chunk-completion points in
+// queue order, and asks admit() before dispatching the next chunk. Faults
+// *within* a chunk are absorbed by retry_with_backoff first; the breaker
+// only sees chunk-level outcomes, which keeps the two recovery layers
+// (retry, then reschedule/degrade) cleanly stacked.
+//
+// State semantics:
+//   healthy    chunks flow normally.
+//   suspect    recent chunks needed retries (or one failed); still admitted,
+//              but the next failures are counted toward tripping.
+//   tripped    `trip_after` consecutive chunks FAILED (retries exhausted):
+//              admit() denies work so the scheduler reroutes chunks to
+//              healthy peers. Each denial counts toward the cooldown.
+//   half_open  after `cooldown_denials` denials the breaker lets exactly one
+//              probe chunk through; success closes the breaker (healthy),
+//              another failure re-trips it and restarts the cooldown.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vmc::exec {
+
+enum class HealthState { healthy, suspect, tripped, half_open };
+
+std::string_view to_string(HealthState s);
+
+/// Breaker thresholds. All counts; validate() rejects non-positive values
+/// (a breaker that trips after zero failures would deny all work forever).
+struct BreakerPolicy {
+  int suspect_after = 1;    // consecutive faulted chunks before suspect
+  int trip_after = 3;       // consecutive FAILED chunks before tripped
+  int cooldown_denials = 2; // denials while tripped before the half-open probe
+  void validate() const;    // throws std::invalid_argument
+};
+
+/// One device's breaker. NOT thread-safe by design: the owning pipeline
+/// driver is the only reader/writer, which is exactly what makes the state
+/// trajectory deterministic.
+class HealthMonitor {
+ public:
+  HealthMonitor() { policy_.validate(); }
+  explicit HealthMonitor(BreakerPolicy p) : policy_(p) { policy_.validate(); }
+
+  HealthState state() const { return state_; }
+  const BreakerPolicy& policy() const { return policy_; }
+
+  /// May the next chunk be dispatched to this device? tripped: counts the
+  /// denial and — after `cooldown_denials` of them — opens the half-open
+  /// window, so the NEXT admit() lets the probe through.
+  bool admit();
+
+  /// Replay one chunk's outcome, in queue order. `faults` = injected faults
+  /// observed while executing it (transfer + compute attempts); `succeeded` =
+  /// the chunk produced its result on this device (possibly after retries).
+  void record_chunk(int faults, bool succeeded);
+
+  // Lifetime counters (for DeviceReport / metrics).
+  int trips() const { return trips_; }
+  int probes() const { return probes_; }
+  int denials() const { return denials_total_; }
+  int faulted_chunks() const { return faulted_chunks_; }
+  int failed_chunks() const { return failed_chunks_; }
+
+ private:
+  BreakerPolicy policy_;
+  HealthState state_ = HealthState::healthy;
+  int fault_streak_ = 0;   // consecutive chunks that observed >= 1 fault
+  int fail_streak_ = 0;    // consecutive chunks whose retries were exhausted
+  int cooldown_ = 0;       // denials since the breaker (re-)tripped
+  bool probe_armed_ = false;  // half-open window: one probe may pass
+  int trips_ = 0;
+  int probes_ = 0;
+  int denials_total_ = 0;
+  int faulted_chunks_ = 0;
+  int failed_chunks_ = 0;
+};
+
+}  // namespace vmc::exec

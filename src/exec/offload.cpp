@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "core/tally.hpp"
@@ -11,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prof/profiler.hpp"
+#include "resil/fault.hpp"
 #include "rng/stream.hpp"
 #include "exec/thread_pool.hpp"
 #include "xsdata/lookup.hpp"
@@ -20,7 +22,8 @@ namespace vmc::exec {
 namespace {
 
 // Shared offload-resilience series; bumped by both the single-iteration and
-// the pipelined paths so one exposition covers either driver.
+// the pipelined paths so one exposition covers either driver. The pipelined
+// path additionally exports per-device families (label device="<index>").
 const obs::Counter& offload_retries_counter() {
   static const obs::Counter c = obs::metrics().counter(
       "vmc_offload_retries_total", {},
@@ -31,7 +34,14 @@ const obs::Counter& offload_retries_counter() {
 const obs::Counter& offload_degraded_counter() {
   static const obs::Counter c = obs::metrics().counter(
       "vmc_offload_degraded_stages_total", {},
-      "Offload stages that fell back to the scalar host sweep");
+      "Offload stages that fell back to the host-floor sweep");
+  return c;
+}
+
+const obs::Counter& offload_rescheduled_counter() {
+  static const obs::Counter c = obs::metrics().counter(
+      "vmc_offload_rescheduled_stages_total", {},
+      "Offload stages rescheduled onto a healthy peer device");
   return c;
 }
 
@@ -42,6 +52,10 @@ const obs::Counter& offload_bytes_counter() {
   return c;
 }
 
+obs::Labels device_label(std::size_t d) {
+  return {{"device", std::to_string(d)}};
+}
+
 }  // namespace
 
 std::size_t offload_record_bytes() {
@@ -49,18 +63,32 @@ std::size_t offload_record_bytes() {
          sizeof(geom::Geometry::State) + sizeof(std::uint64_t);
 }
 
+OffloadRuntime::OffloadRuntime(const xs::Library& lib, CostModel host,
+                               std::vector<CostModel> devices,
+                               BreakerPolicy breaker)
+    : lib_(lib),
+      host_(std::move(host)),
+      devices_(std::move(devices)),
+      breaker_(breaker) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("OffloadRuntime requires at least one device");
+  }
+  breaker_.validate();
+}
+
 OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
     int material, std::size_t n, std::uint64_t seed) const {
   IterationReport rep;
   const auto& mat = lib_.material(material);
   const double terms = static_cast<double>(mat.size());
+  const CostModel& device = devices_.front();
 
   obs::Tracer& tr = obs::tracer();
   const bool tracing = tr.enabled();
   if (tracing) {
     tr.set_process_name(obs::Tracer::kHostPid, "host (measured)");
     tr.set_process_name(obs::Tracer::kDevicePid,
-                        device_.spec().name + " (cost model)");
+                        device.spec().name + " (cost model)");
   }
 
   // --- bank particles (real, timed) ---------------------------------------
@@ -139,10 +167,10 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
 
   // --- paper-hardware projections -------------------------------------------
   rep.model_bank_host_s = host_.bank_seconds(n);
-  rep.model_bank_device_s = device_.bank_seconds(n);
-  rep.model_transfer_s = device_.transfer_seconds(rep.bank_bytes, false);
-  rep.model_grid_transfer_s = device_.transfer_seconds(rep.grid_bytes, true);
-  rep.model_compute_device_s = device_.banked_lookup_seconds(n, terms);
+  rep.model_bank_device_s = device.bank_seconds(n);
+  rep.model_transfer_s = device.transfer_seconds(rep.bank_bytes, false);
+  rep.model_grid_transfer_s = device.transfer_seconds(rep.grid_bytes, true);
+  rep.model_compute_device_s = device.banked_lookup_seconds(n, terms);
   rep.model_compute_host_s = host_.scalar_lookup_seconds(n, terms);
 
   // Synthetic device track: the cost-model's projected transfer + compute
@@ -152,7 +180,7 @@ OffloadRuntime::IterationReport OffloadRuntime::run_iteration(
     obs::JsonWriter args;
     args.begin_object()
         .member("bank_bytes", static_cast<std::uint64_t>(rep.bank_bytes))
-        .member("device", device_.spec().name)
+        .member("device", device.spec().name)
         .end_object();
     tr.inject_span(obs::Tracer::kDevicePid, 1, "model:pcie_transfer",
                    "offload-model", sweep_ts, rep.model_transfer_s,
@@ -178,19 +206,54 @@ OffloadRuntime::RatioPoint OffloadRuntime::ratios(const WorkProfile& w,
   const std::size_t lookups =
       static_cast<std::size_t>(w.lookups_per_particle * static_cast<double>(n));
   const double terms = w.terms_per_lookup;
+  const CostModel& device = devices_.front();
 
   const double bank_cpu = host_.bank_seconds(n);
   const double transfer =
-      device_.transfer_seconds(n * offload_record_bytes(), false);
+      device.transfer_seconds(n * offload_record_bytes(), false);
   // A device sweep pays the device's launch overhead once per iteration.
-  const double xs_mic = device_.banked_lookup_seconds(lookups, terms) +
-                        device_.spec().generation_overhead_s * 0.1;
+  const double xs_mic = device.banked_lookup_seconds(lookups, terms) +
+                        device.spec().generation_overhead_s * 0.1;
   const double xs_cpu = host_.scalar_lookup_seconds(lookups, terms);
 
   p.bank_cpu = bank_cpu / p.generation_s;
   p.offload = transfer / p.generation_s;
   p.xs_mic = xs_mic / p.generation_s;
   p.xs_cpu = xs_cpu / p.generation_s;
+  return p;
+}
+
+OffloadRuntime::RatioPoint OffloadRuntime::pool_ratios(const WorkProfile& w,
+                                                       std::size_t n) const {
+  RatioPoint p;
+  p.n = n;
+  p.generation_s = host_.generation_seconds(w, n);
+  const std::size_t lookups =
+      static_cast<std::size_t>(w.lookups_per_particle * static_cast<double>(n));
+  const double terms = w.terms_per_lookup;
+
+  const DevicePool pool(devices_, breaker_);
+  // The bank splits by the generalized alpha shares. Transfers serialize —
+  // all modeled links hang off one host PCIe complex — while the device
+  // sweeps run concurrently, so the compute leg is the slowest share.
+  double transfer = 0.0;
+  double xs_pool = 0.0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const double share = pool.shares()[d];
+    const auto n_d = static_cast<std::size_t>(share * static_cast<double>(n));
+    const auto lookups_d =
+        static_cast<std::size_t>(share * static_cast<double>(lookups));
+    transfer +=
+        devices_[d].transfer_seconds(n_d * offload_record_bytes(), false);
+    xs_pool = std::max(
+        xs_pool, devices_[d].banked_lookup_seconds(lookups_d, terms) +
+                     devices_[d].spec().generation_overhead_s * 0.1);
+  }
+
+  p.bank_cpu = host_.bank_seconds(n) / p.generation_s;
+  p.offload = transfer / p.generation_s;
+  p.xs_mic = xs_pool / p.generation_s;
+  p.xs_cpu = host_.scalar_lookup_seconds(lookups, terms) / p.generation_s;
   return p;
 }
 
@@ -232,124 +295,275 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined_queues(
 OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
     std::span<const double> energies, std::span<const Chunk> chunks) const {
   PipelineRun run;
+  const std::size_t n_chunks = chunks.size();
+  DevicePool pool(devices_, breaker_);
+  const std::size_t k = pool.size();
 
-  ThreadPool pool(2);  // one "DMA" lane, one "device" lane
-  // Two staging buffers: while the device sweeps buffer `cur`, the DMA lane
-  // fills buffer `nxt` — the classic double buffer.
-  simd::aligned_vector<double> staging[2];
-  simd::aligned_vector<double> totals[2];
+  // Global per-chunk result slots. Each chunk is written by exactly one
+  // executor (its phase-1 owner, a phase-2 peer, or the phase-3 host floor);
+  // phases are separated by joins, and within a phase devices own disjoint
+  // chunk lists — so the slots need no synchronization.
+  std::vector<simd::aligned_vector<double>> totals(n_chunks);
+  std::vector<unsigned char> done(n_chunks, 0);
 
-  struct StageState {
-    int retries = 0;
-    bool degraded = false;
+  obs::Tracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  const double trace_t0 = tracing ? tr.now_s() : 0.0;
+  if (tracing) {
+    tr.set_process_name(obs::Tracer::kHostPid, "host (measured)");
+    for (std::size_t d = 0; d < k; ++d) {
+      tr.set_process_name(
+          obs::Tracer::kDevicePid + static_cast<int>(d),
+          "device " + std::to_string(d) + ": " + pool.at(d).model.spec().name +
+              " (cost model)");
+    }
+  }
+
+  // One faultable stage: arm the point, run the body under retry/backoff.
+  // `faulted` counts injected-fault attempts observed (all absorbed when
+  // ok; one initial attempt + max_retries when the stage hard-fails).
+  struct StageOutcome {
+    int faulted = 0;
+    bool ok = true;
   };
-
-  // The "DMA" leg: ship chunk [b, e) into staging[buf]. Fault point
-  // offload.transfer is keyed by the stage index so the injection schedule
-  // is deterministic no matter how the two pool lanes interleave. Transient
-  // faults are retried with backoff; exhausted retries mean the bank never
-  // reached the device and the stage degrades to the host path.
-  const auto transfer_stage = [&](int stage, std::size_t b, std::size_t e,
-                                  int buf) {
-    // Runs on a pool lane: the span lands on that lane's own track, so the
-    // exported trace shows transfer(i+1) overlapping compute(i).
-    obs::Tracer::Scope span(obs::tracer(), "pcie_transfer", "offload");
-    StageState st;
+  const auto run_stage = [this](const char* point, std::uint64_t key,
+                                const auto& body) {
+    StageOutcome out;
     try {
-      st.retries = resil::retry_with_backoff(retry_, [&] {
-        if (resil::fault_fires("offload.transfer",
-                               static_cast<std::uint64_t>(stage))) {
-          throw resil::FaultError("injected offload.transfer fault, stage " +
-                                  std::to_string(stage));
+      out.faulted = resil::retry_with_backoff(retry_, [&] {
+        if (resil::fault_fires(point, key)) {
+          throw resil::FaultError(std::string("injected ") + point +
+                                  " fault, key " + std::to_string(key));
         }
-        staging[buf].assign(energies.begin() + static_cast<std::ptrdiff_t>(b),
-                            energies.begin() + static_cast<std::ptrdiff_t>(e));
+        body();
       });
     } catch (const resil::TransientError&) {
-      st.degraded = true;
+      out.faulted = retry_.max_retries + 1;
+      out.ok = false;
     }
-    return st;
+    return out;
+  };
+
+  // One device's serial chunk driver. `list` = global chunk indices in
+  // ascending order. A private DMA lane prefetches chunk i+1's transfer
+  // while the driver sweeps chunk i (the per-device double buffer).
+  // Determinism: prefetches are issued unconditionally — before the breaker
+  // rules on their chunk — so fault-point hit counts are a pure function of
+  // the chunk list; and the breaker is read/advanced only on this driver, at
+  // chunk granularity, in list order.
+  const auto drive_device = [&](std::size_t d,
+                                const std::vector<std::size_t>& list,
+                                bool stealing) {
+    DeviceState& dev = pool.at(d);
+    if (list.empty()) return;
+    if (stealing) dev.steals_in += static_cast<int>(list.size());
+
+    ThreadPool dma(1);
+    simd::aligned_vector<double> staging[2];
+    StageOutcome xfer[2];
+    const auto transfer = [&](std::size_t pos, int buf) {
+      // Runs on the DMA lane: the span lands on that lane's own track, so
+      // the exported trace shows transfer(i+1) overlapping compute(i).
+      obs::Tracer::Scope span(obs::tracer(), "pcie_transfer", "offload");
+      const Chunk& c = chunks[list[pos]];
+      xfer[buf] =
+          run_stage("offload.transfer", resil::device_key(d, 0, list[pos]),
+                    [&] {
+                      staging[buf].assign(
+                          energies.begin() + static_cast<std::ptrdiff_t>(c.begin),
+                          energies.begin() + static_cast<std::ptrdiff_t>(c.end));
+                    });
+    };
+
+    int cur = 0;
+    transfer(0, cur);  // prime the first transfer (cannot be hidden)
+    for (std::size_t pos = 0; pos < list.size(); ++pos) {
+      const std::size_t gi = list[pos];
+      const Chunk& c = chunks[gi];
+      const int nxt = 1 - cur;
+      std::future<void> prefetch;
+      if (pos + 1 < list.size()) {
+        prefetch = dma.submit([&transfer, pos, nxt] { transfer(pos + 1, nxt); });
+      }
+
+      if (dev.health.admit()) {
+        StageOutcome comp;
+        if (xfer[cur].ok) {
+          obs::Tracer::Scope span(obs::tracer(), "banked_sweep", "offload");
+          comp = run_stage("offload.compute", resil::device_key(d, 1, gi),
+                           [&] {
+                             totals[gi].resize(staging[cur].size());
+                             xs::macro_total_banked(lib_, c.material,
+                                                    staging[cur], totals[gi],
+                                                    lookup_);
+                           });
+        } else {
+          // The bank never crossed the link; there is nothing to sweep.
+          comp.ok = false;
+        }
+        const bool ok = xfer[cur].ok && comp.ok;
+        const int faults = xfer[cur].faulted + comp.faulted;
+        if (ok) {
+          done[gi] = 1;
+          ++dev.chunks_ok;
+          dev.retries += faults;
+          const std::size_t len = c.end - c.begin;
+          const double terms =
+              static_cast<double>(lib_.material(c.material).size());
+          dev.model_transfer_s +=
+              dev.model.transfer_seconds(len * sizeof(double), false);
+          dev.model_compute_s += dev.model.banked_lookup_seconds(len, terms);
+        } else {
+          ++dev.chunks_failed;
+        }
+        dev.health.record_chunk(faults, ok);
+      } else {
+        ++dev.chunks_skipped;
+      }
+
+      if (prefetch.valid()) prefetch.get();
+      cur = nxt;
+    }
   };
 
   const double t0 = prof::now_seconds();
 
-  // Prime the first transfer (cannot be hidden).
-  const int n_chunks = static_cast<int>(chunks.size());
-  int cur = 0;
-  int stage = 0;
-  StageState cur_transfer =
-      transfer_stage(stage, chunks[0].begin, chunks[0].end, cur);
+  // --- phase 1: static generalized-alpha assignment -------------------------
+  const std::vector<std::size_t> owner = pool.assign(n_chunks);
+  std::vector<std::vector<std::size_t>> lists(k);
+  for (std::size_t i = 0; i < n_chunks; ++i) lists[owner[i]].push_back(i);
+  {
+    ThreadPool drivers(static_cast<int>(k));
+    std::vector<std::future<void>> joins;
+    for (std::size_t d = 0; d < k; ++d) {
+      if (lists[d].empty()) continue;
+      joins.push_back(
+          drivers.submit([&drive_device, &lists, d] { drive_device(d, lists[d], false); }));
+    }
+    for (auto& j : joins) j.get();
+  }
+
+  // --- phase 2: reschedule onto accepting peers (work stealing) -------------
+  std::vector<std::size_t> leftover;
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    if (done[i] == 0) leftover.push_back(i);
+  }
+  if (!leftover.empty()) {
+    const std::vector<std::size_t> peers = pool.accepting_devices();
+    if (!peers.empty()) {
+      // Deterministic round-robin over the accepting devices, in chunk
+      // order — the breaker states feeding accepting_devices() are
+      // themselves deterministic, so the steal map is too.
+      std::vector<std::vector<std::size_t>> steal_lists(k);
+      for (std::size_t j = 0; j < leftover.size(); ++j) {
+        steal_lists[peers[j % peers.size()]].push_back(leftover[j]);
+      }
+      ThreadPool drivers(static_cast<int>(peers.size()));
+      std::vector<std::future<void>> joins;
+      for (const std::size_t d : peers) {
+        if (steal_lists[d].empty()) continue;
+        joins.push_back(drivers.submit(
+            [&drive_device, &steal_lists, d] { drive_device(d, steal_lists[d], true); }));
+      }
+      for (auto& j : joins) j.get();
+      for (const std::size_t i : leftover) {
+        if (done[i] != 0) ++run.rescheduled_stages;
+      }
+    }
+  }
+
+  // --- phase 3: the host floor ----------------------------------------------
+  // Still-unswept chunks run here, on the SAME banked kernel over the same
+  // bits: degradation re-attributes throughput (host rate, no link), it
+  // never changes arithmetic — that is the bit-identity contract. No fault
+  // points fire on this tier; the host is the deterministic terminal floor.
+  {
+    simd::aligned_vector<double> host_staging;
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (done[i] != 0) continue;
+      const Chunk& c = chunks[i];
+      obs::Tracer::Scope span(obs::tracer(), "host_floor_sweep", "offload");
+      host_staging.assign(
+          energies.begin() + static_cast<std::ptrdiff_t>(c.begin),
+          energies.begin() + static_cast<std::ptrdiff_t>(c.end));
+      totals[i].resize(host_staging.size());
+      xs::macro_total_banked(lib_, c.material, host_staging, totals[i],
+                             lookup_);
+      done[i] = 1;
+      ++run.degraded_stages;
+    }
+  }
+
+  run.wall_s = prof::now_seconds() - t0;
+
+  // Fixed-order reduction in global chunk order: the checksum must not
+  // depend on which tier swept a chunk or how devices interleaved
+  // (core/tally.hpp on order dependence).
   double checksum = 0.0;
   std::size_t bytes = 0;
-  while (stage < n_chunks) {
-    const Chunk& c = chunks[static_cast<std::size_t>(stage)];
-    const int nxt = 1 - cur;
-
-    StageState next_transfer;
-    std::future<void> transfer;
-    if (stage + 1 < n_chunks) {
-      const Chunk& cn = chunks[static_cast<std::size_t>(stage) + 1];
-      transfer = pool.submit([&, cn, nxt, stage] {
-        next_transfer = transfer_stage(stage + 1, cn.begin, cn.end, nxt);
-      });
-    }
-    StageState comp;
-    auto compute = pool.submit([&, c, cur, stage] {
-      obs::Tracer::Scope span(obs::tracer(), "banked_sweep", "offload");
-      if (cur_transfer.degraded) {
-        // Graceful degradation: the bank never made it across the link, so
-        // sweep the pristine host-resident energies with the scalar host
-        // kernel. Same checksum, host-rate throughput.
-        totals[cur].resize(c.end - c.begin);
-        for (std::size_t i = c.begin; i < c.end; ++i) {
-          totals[cur][i - c.begin] =
-              xs::macro_total_history(lib_, c.material, energies[i], lookup_);
-        }
-        return;
-      }
-      try {
-        comp.retries = resil::retry_with_backoff(retry_, [&] {
-          if (resil::fault_fires("offload.compute",
-                                 static_cast<std::uint64_t>(stage))) {
-            throw resil::FaultError("injected offload.compute fault, stage " +
-                                    std::to_string(stage));
-          }
-          totals[cur].resize(staging[cur].size());
-          xs::macro_total_banked(lib_, c.material, staging[cur], totals[cur],
-                                 lookup_);
-        });
-      } catch (const resil::TransientError&) {
-        // The bank IS on the device but its sweep keeps failing: fall back
-        // to the scalar host kernel over the staged copy.
-        comp.degraded = true;
-        totals[cur].resize(staging[cur].size());
-        for (std::size_t i = 0; i < staging[cur].size(); ++i) {
-          totals[cur][i] =
-              xs::macro_total_history(lib_, c.material, staging[cur][i],
-                                      lookup_);
-        }
-      }
-    });
-    compute.get();
-    if (transfer.valid()) transfer.get();
-    // Fixed-order reduction: the pipeline checksum must not depend on how
-    // the chunk boundaries fell (core/tally.hpp on order dependence).
-    checksum += core::ordered_sum(totals[cur]);
-
-    run.retries += cur_transfer.retries + comp.retries;
-    if (cur_transfer.degraded || comp.degraded) ++run.degraded_stages;
-
-    bytes += (c.end - c.begin) * sizeof(double);
-    ++run.n_stages;
-    ++stage;
-    cur = nxt;
-    cur_transfer = next_transfer;
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    checksum += core::ordered_sum(totals[i]);
+    bytes += (chunks[i].end - chunks[i].begin) * sizeof(double);
   }
-  run.wall_s = prof::now_seconds() - t0;
   run.checksum = checksum;
+  run.n_stages = static_cast<int>(n_chunks);
+
+  // --- reports, metrics, device tracks --------------------------------------
+  for (std::size_t d = 0; d < k; ++d) {
+    const DeviceState& dev = pool.at(d);
+    DeviceReport r;
+    r.name = dev.model.spec().name;
+    r.final_state = dev.health.state();
+    r.chunks_ok = dev.chunks_ok;
+    r.chunks_failed = dev.chunks_failed;
+    r.chunks_skipped = dev.chunks_skipped;
+    r.retries = dev.retries;
+    r.trips = dev.health.trips();
+    r.probes = dev.health.probes();
+    r.steals_in = dev.steals_in;
+    run.devices.push_back(r);
+    run.retries += dev.retries;
+
+    obs::metrics()
+        .counter("vmc_offload_device_retries_total", device_label(d),
+                 "Per-device offload faults absorbed by retries")
+        .inc(static_cast<std::uint64_t>(dev.retries));
+    obs::metrics()
+        .counter("vmc_offload_device_trips_total", device_label(d),
+                 "Per-device circuit-breaker trips")
+        .inc(static_cast<std::uint64_t>(dev.health.trips()));
+    obs::metrics()
+        .counter("vmc_offload_device_steals_total", device_label(d),
+                 "Chunks rescheduled onto this device from a faulted peer")
+        .inc(static_cast<std::uint64_t>(dev.steals_in));
+    obs::metrics()
+        .gauge("vmc_offload_device_health_state", device_label(d),
+               "Breaker state after the last pipelined run "
+               "(0 healthy, 1 suspect, 2 tripped, 3 half_open)")
+        .set(static_cast<double>(static_cast<int>(dev.health.state())));
+
+    if (tracing && dev.chunks_ok > 0) {
+      const int pid = obs::Tracer::kDevicePid + static_cast<int>(d);
+      obs::JsonWriter args;
+      args.begin_object()
+          .member("device", dev.model.spec().name)
+          .member("chunks", static_cast<std::uint64_t>(
+                                static_cast<unsigned>(dev.chunks_ok)))
+          .end_object();
+      tr.inject_span(pid, 1, "model:pcie_transfer", "offload-model", trace_t0,
+                     dev.model_transfer_s, args.str());
+      tr.inject_span(pid, 2, "model:banked_sweep", "offload-model",
+                     trace_t0 + dev.model_transfer_s, dev.model_compute_s);
+      tr.set_thread_name(pid, 1, "pcie (modeled)");
+      tr.set_thread_name(pid, 2, "device sweep (modeled)");
+    }
+  }
 
   offload_retries_counter().inc(static_cast<std::uint64_t>(run.retries));
-  offload_degraded_counter().inc(static_cast<std::uint64_t>(run.degraded_stages));
+  offload_degraded_counter().inc(
+      static_cast<std::uint64_t>(run.degraded_stages));
+  offload_rescheduled_counter().inc(
+      static_cast<std::uint64_t>(run.rescheduled_stages));
   offload_bytes_counter().inc(bytes);
   static const obs::Histogram h_stage = obs::metrics().histogram(
       "vmc_offload_pipeline_stage_seconds",
@@ -362,10 +576,11 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
 double OffloadRuntime::pipelined_seconds(std::size_t n_particles, double terms,
                                          int n_banks) const {
   if (n_banks <= 0) return 0.0;
+  const CostModel& device = devices_.front();
   const std::size_t per_bank = n_particles / static_cast<std::size_t>(n_banks);
   const double transfer =
-      device_.transfer_seconds(per_bank * offload_record_bytes(), false);
-  const double compute = device_.banked_lookup_seconds(per_bank, terms);
+      device.transfer_seconds(per_bank * offload_record_bytes(), false);
+  const double compute = device.banked_lookup_seconds(per_bank, terms);
   // Double buffering: transfer of bank i+1 overlaps compute of bank i. The
   // first transfer and the last compute cannot be hidden:
   //   T = t_1 + sum_{i=2..n} max(t_i, c_{i-1}) + c_n.

@@ -1,5 +1,6 @@
 // Offload-mode runtime: particle banking + coprocessor offload pipeline
-// (Section III-A3, Table II, Figure 3).
+// (Section III-A3, Table II, Figure 3), generalized to a fault-domain-aware
+// multi-device executor.
 //
 // The pipeline reproduces the paper's measurement structure:
 //   1. particles are banked into a 64-byte-aligned SoA bank (real, timed on
@@ -13,20 +14,34 @@
 //      bank's compute, as the paper prescribes.
 // The one-time energy-grid staging cost (Table II's largest row) is
 // accounted separately, amortized over batches exactly as the paper argues.
-// Resilience: the transfer and compute legs are instrumented as fault
-// points (`offload.transfer`, `offload.compute`). An injected transfer
-// failure is retried with exponential backoff (RetryPolicy); once retries
-// are exhausted the affected bank degrades gracefully to the scalar host
-// sweep — same physics to the documented scalar/SIMD kernel agreement, only
-// the throughput drops, so one flaky PCIe link cannot kill a campaign.
+//
+// Multi-device: the pipelined paths schedule material-tagged chunks across
+// N modeled devices (heterogeneous machine.hpp descriptions). The paper's
+// symmetric split alpha = 0.62 generalizes to per-device shares
+// alpha_d = r_d / sum r_j (DevicePool::shares). Each device x stream is an
+// isolated fault domain — `offload.transfer`/`offload.compute` are keyed by
+// resil::device_key(device, stream, chunk) — watched by a per-device health
+// state machine (exec/health.hpp). Recovery is a deterministic cascade:
+//   1. a faulted chunk is retried on its device (RetryPolicy backoff),
+//   2. a chunk whose retries exhaust — or that a tripped breaker refuses —
+//      is rescheduled onto a device that ended phase 1 accepting work,
+//   3. anything still unswept runs on the host path.
+// Every tier executes the SAME banked kernel over the same chunk (all
+// modeled devices physically run on this host's vector units; degradation
+// changes throughput attribution, never arithmetic), and per-chunk results
+// are reduced with ordered_sum in global chunk order — so checksums, k-eff
+// and tallies are BIT-IDENTICAL to the fault-free run under any seeded
+// FaultPlan, including permanently dead devices. tests/resil/ proves this.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "core/event_queue.hpp"
+#include "exec/device_pool.hpp"
 #include "exec/machine.hpp"
-#include <span>
-
 #include "particle/bank.hpp"
 #include "resil/retry.hpp"
 #include "xsdata/library.hpp"
@@ -42,8 +57,16 @@ std::size_t offload_record_bytes();
 
 class OffloadRuntime {
  public:
+  /// Single-device form: the paper's host + one MIC.
   OffloadRuntime(const xs::Library& lib, CostModel host, CostModel device)
-      : lib_(lib), host_(std::move(host)), device_(std::move(device)) {}
+      : OffloadRuntime(lib, std::move(host),
+                       std::vector<CostModel>{std::move(device)}) {}
+
+  /// Multi-device form: one fault domain per entry of `devices` (must be
+  /// non-empty). Heterogeneous specs are fine — chunk shares follow the
+  /// modeled rates.
+  OffloadRuntime(const xs::Library& lib, CostModel host,
+                 std::vector<CostModel> devices, BreakerPolicy breaker = {});
 
   struct IterationReport {
     // Measured on this machine (real wall time):
@@ -70,6 +93,7 @@ class OffloadRuntime {
   /// Bank `n` particles with energies drawn log-uniformly (the post-
   /// initialization energy distribution the micro-benchmark sees), run the
   /// banked and scalar lookup sweeps on `material`, and report all times.
+  /// Single-device microbenchmark: uses devices()[0].
   IterationReport run_iteration(int material, std::size_t n,
                                 std::uint64_t seed) const;
 
@@ -85,28 +109,47 @@ class OffloadRuntime {
   };
   RatioPoint ratios(const WorkProfile& w, std::size_t n) const;
 
+  /// ratios() generalized to the whole pool: the bank is split by the
+  /// generalized alpha shares, each device sweeps its slice concurrently, so
+  /// the device leg is the slowest device's share (transfers serialize over
+  /// the one host PCIe complex).
+  RatioPoint pool_ratios(const WorkProfile& w, std::size_t n) const;
+
   /// Effective per-iteration offload time with double-buffering: transfer of
   /// bank i+1 overlaps compute of bank i, so the pipeline cost is
-  /// max(transfer, compute) + one non-overlapped transfer.
+  /// max(transfer, compute) + one non-overlapped transfer. Single device.
   double pipelined_seconds(std::size_t n_particles, double terms,
                            int n_banks) const;
 
-  /// REAL double-buffered execution: stage i+1 of the bank is copied into a
-  /// staging buffer (the "transfer") on one pool thread while stage i's
-  /// banked lookup sweep runs on another — the overlap structure the paper
-  /// prescribes, executed for real. Returns the summed Sigma_t of every
-  /// particle (for verification against the unpipelined sweep) and reports
-  /// the wall time.
+  /// Final health + accounting for one modeled device after a pipelined run.
+  struct DeviceReport {
+    std::string name;            // DeviceSpec name
+    HealthState final_state = HealthState::healthy;
+    int chunks_ok = 0;           // chunks this device completed
+    int chunks_failed = 0;       // chunks whose retries exhausted here
+    int chunks_skipped = 0;      // chunks the breaker refused
+    int retries = 0;             // transient faults absorbed by retries
+    int trips = 0;               // breaker open events
+    int probes = 0;              // half-open probes dispatched
+    int steals_in = 0;           // chunks rescheduled TO this device
+  };
+
+  /// REAL double-buffered execution across the device pool. Returns the
+  /// summed Sigma_t of every particle (for verification against the
+  /// unpipelined sweep) and reports the wall time. The checksum is invariant
+  /// — bitwise — under any armed FaultPlan: see the cascade contract above.
   struct PipelineRun {
     double checksum = 0.0;
     double wall_s = 0.0;
     int n_stages = 0;
-    // Resilience outcome: faulted transfers/computes that eventually
-    // succeeded count as retries; stages whose retries were exhausted ran on
-    // the scalar host path instead (same physics to kernel agreement,
-    // slower).
+    // Resilience outcome, cascade tier by cascade tier: faulted attempts
+    // that eventually succeeded on the owning device count as retries;
+    // chunks that had to move to a peer device count as rescheduled; chunks
+    // swept by the host floor count as degraded.
     int retries = 0;
+    int rescheduled_stages = 0;
     int degraded_stages = 0;
+    std::vector<DeviceReport> devices;
     bool degraded() const { return degraded_stages > 0; }
   };
   PipelineRun run_pipelined(int material, std::span<const double> energies,
@@ -118,18 +161,29 @@ class OffloadRuntime {
   /// delimits its contiguous same-material segments. Each run is split into
   /// pipeline stages so transfer bytes and device sweeps scale with the live
   /// population, never the original bank size. Fault points, retry policy,
-  /// and degradation behave exactly as in run_pipelined.
+  /// breaker cascade, and degradation behave exactly as in run_pipelined.
   PipelineRun run_pipelined_queues(const particle::SoABank& bank,
                                    std::span<const core::MaterialRun> runs,
                                    int n_banks) const;
 
   const CostModel& host() const { return host_; }
-  const CostModel& device() const { return device_; }
+  /// First (or only) device — the legacy single-device accessor.
+  const CostModel& device() const { return devices_.front(); }
+  const std::vector<CostModel>& devices() const { return devices_; }
+  std::size_t device_count() const { return devices_.size(); }
 
   /// Retry schedule for injected/transient offload faults. Default: 3
   /// retries starting at 1 µs backoff, doubling.
   const resil::RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(const resil::RetryPolicy& p) { retry_ = p; }
+
+  /// Circuit-breaker thresholds shared by every device's HealthMonitor
+  /// (fresh monitors are built per pipelined run, so runs are independent).
+  const BreakerPolicy& breaker_policy() const { return breaker_; }
+  void set_breaker_policy(const BreakerPolicy& p) {
+    p.validate();
+    breaker_ = p;
+  }
 
   /// Grid-search tier for every lookup sweep this runtime runs (hash by
   /// default; binary is the ablation baseline). Results are bit-identical
@@ -151,7 +205,8 @@ class OffloadRuntime {
 
   const xs::Library& lib_;
   CostModel host_;
-  CostModel device_;
+  std::vector<CostModel> devices_;
+  BreakerPolicy breaker_;
   resil::RetryPolicy retry_;
   xs::XsLookupOptions lookup_;
 };

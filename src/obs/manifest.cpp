@@ -71,6 +71,11 @@ RunManifest& RunManifest::capture_fault_summary() {
   return *this;
 }
 
+RunManifest& RunManifest::add_device_health(const DeviceHealth& d) {
+  device_health_.push_back(d);
+  return *this;
+}
+
 RunManifest& RunManifest::capture_metrics() {
   metrics_json_ = metrics().snapshot().json();
   return *this;
@@ -124,6 +129,24 @@ std::string RunManifest::json() const {
       w.member("point", f.point);
       w.member("hits", f.hits);
       w.member("fires", f.fires);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (!device_health_.empty()) {
+    w.key("device_health").begin_array();
+    for (const auto& d : device_health_) {
+      w.begin_object();
+      w.member("device", d.device);
+      w.member("state", d.state);
+      w.member("chunks_ok", d.chunks_ok);
+      w.member("chunks_failed", d.chunks_failed);
+      w.member("chunks_skipped", d.chunks_skipped);
+      w.member("retries", d.retries);
+      w.member("trips", d.trips);
+      w.member("probes", d.probes);
+      w.member("steals_in", d.steals_in);
       w.end_object();
     }
     w.end_array();

@@ -36,6 +36,22 @@ class RunManifest {
   /// faulted section (counters survive disarm until the next arm()).
   RunManifest& capture_fault_summary();
 
+  /// One modeled offload device's end-of-run health record (breaker state +
+  /// cascade accounting). Plain strings/counts so obs stays independent of
+  /// exec; the executor's PipelineRun::DeviceReport maps onto this 1:1.
+  struct DeviceHealth {
+    std::string device;          // e.g. "0: mic_7120a"
+    std::string state;           // healthy | suspect | tripped | half_open
+    std::uint64_t chunks_ok = 0;
+    std::uint64_t chunks_failed = 0;
+    std::uint64_t chunks_skipped = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t trips = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t steals_in = 0;
+  };
+  RunManifest& add_device_health(const DeviceHealth& d);
+
   /// Embed a snapshot of the global metrics registry.
   RunManifest& capture_metrics();
 
@@ -60,6 +76,7 @@ class RunManifest {
   };
   std::vector<FaultSummary> faults_;
   bool has_faults_ = false;
+  std::vector<DeviceHealth> device_health_;
   std::string metrics_json_;  // pre-serialized snapshot, spliced raw
 };
 

@@ -62,7 +62,7 @@ std::atomic<ArmedState*> g_armed{nullptr};
 bool rule_fires(const FaultPlan::Rule& r, std::string_view point,
                 std::uint64_t key, std::uint64_t hit) {
   if (r.point != point) return false;
-  if (r.key != kAnyKey && r.key != key) return false;
+  if (r.key != kAnyKey && ((r.key ^ key) & r.key_mask) != 0) return false;
   if (r.every_hit) return true;
   if (std::find(r.fire_on.begin(), r.fire_on.end(), hit) != r.fire_on.end()) {
     return true;
@@ -80,19 +80,28 @@ bool rule_fires(const FaultPlan::Rule& r, std::string_view point,
 
 FaultPlan& FaultPlan::fail_at(std::string_view point,
                               std::vector<std::uint64_t> hits,
-                              std::uint64_t key) {
+                              std::uint64_t key, std::uint64_t key_mask) {
+  if (hits.empty()) {
+    throw std::invalid_argument(
+        "fail_at(\"" + std::string(point) +
+        "\"): empty hit list — a rule that can never fire is a test-authoring "
+        "bug; use always() to fire on every hit");
+  }
   Rule r;
   r.point = std::string(point);
   r.key = key;
+  r.key_mask = key_mask;
   r.fire_on = std::move(hits);
   rules_.push_back(std::move(r));
   return *this;
 }
 
-FaultPlan& FaultPlan::always(std::string_view point, std::uint64_t key) {
+FaultPlan& FaultPlan::always(std::string_view point, std::uint64_t key,
+                             std::uint64_t key_mask) {
   Rule r;
   r.point = std::string(point);
   r.key = key;
+  r.key_mask = key_mask;
   r.every_hit = true;
   rules_.push_back(std::move(r));
   return *this;
@@ -100,13 +109,18 @@ FaultPlan& FaultPlan::always(std::string_view point, std::uint64_t key) {
 
 FaultPlan& FaultPlan::with_probability(std::string_view point, double p,
                                        std::uint64_t seed,
-                                       std::uint64_t key) {
-  if (p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("fault probability must be in [0, 1]");
+                                       std::uint64_t key,
+                                       std::uint64_t key_mask) {
+  // The negated form also rejects NaN, which satisfies neither comparison.
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(
+        "with_probability(\"" + std::string(point) +
+        "\"): probability must be in [0, 1]");
   }
   Rule r;
   r.point = std::string(point);
   r.key = key;
+  r.key_mask = key_mask;
   r.probability = p;
   r.seed = seed;
   rules_.push_back(std::move(r));
@@ -117,6 +131,22 @@ void arm(const FaultPlan& plan) {
   for (const auto& r : plan.rules()) {
     if (!known_point(r.point)) {
       throw std::invalid_argument("unknown fault point: " + r.point);
+    }
+  }
+  // Two rules for the same (point, key, mask) would race on which fires
+  // first at each hit — never intended, always a copy-paste slip. Keys that
+  // merely overlap through different masks remain legal (a broad "device 1
+  // is flaky" rule plus a pinpoint "chunk 7 dies" rule compose fine).
+  for (std::size_t i = 0; i < plan.rules().size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.rules().size(); ++j) {
+      const auto& a = plan.rules()[i];
+      const auto& b = plan.rules()[j];
+      if (a.point == b.point && a.key == b.key && a.key_mask == b.key_mask) {
+        throw std::invalid_argument(
+            "duplicate fault rules for (\"" + a.point + "\", key=" +
+            std::to_string(a.key) + ", mask=" + std::to_string(a.key_mask) +
+            ") — merge them into one rule");
+      }
     }
   }
   ArmedState& s = state();

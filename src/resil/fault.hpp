@@ -52,29 +52,61 @@ inline constexpr std::string_view kFaultPoints[] = {
 /// Key wildcard: the rule applies to every caller key.
 inline constexpr std::uint64_t kAnyKey = ~std::uint64_t{0};
 
+/// Fault-domain key packing for the multi-device offload executor. A caller
+/// key encodes (device, stream, ordinal) so one rule can target a whole
+/// device (every stream, every chunk), one device x stream lane, or one
+/// exact chunk attempt — the masks below select the granularity. Layout:
+///   bits 48..63  device index
+///   bits 32..47  stream index within the device (0 = transfer, 1 = compute)
+///   bits  0..31  ordinal (global chunk index)
+constexpr std::uint64_t device_key(std::uint64_t device, std::uint64_t stream,
+                                   std::uint64_t ordinal) {
+  return (device << 48) | ((stream & 0xFFFFULL) << 32) |
+         (ordinal & 0xFFFFFFFFULL);
+}
+
+/// Rule key masks: a rule matches when (rule.key ^ caller_key) is zero under
+/// the mask. kExactKeyMask (the default) preserves the historical exact-match
+/// behavior.
+inline constexpr std::uint64_t kExactKeyMask = ~std::uint64_t{0};
+/// Match every stream and ordinal on one device ("this card is dead").
+inline constexpr std::uint64_t kDeviceKeyMask = 0xFFFF000000000000ULL;
+/// Match one device x stream lane, any ordinal ("this card's PCIe link").
+inline constexpr std::uint64_t kDeviceStreamKeyMask = 0xFFFFFFFF00000000ULL;
+
 /// A declarative schedule of injected failures. Build one in a test, then
-/// arm it (PlanGuard) around the code under attack.
+/// arm it (PlanGuard) around the code under attack. Builders validate
+/// eagerly (std::invalid_argument): probabilities must lie in [0, 1],
+/// fail_at requires a non-empty hit list (use always() for "every hit"),
+/// and arm() rejects duplicate rules for the same (point, key, mask) —
+/// a duplicate is always a test-authoring bug, never a feature.
 class FaultPlan {
  public:
   /// Fire on the given 0-based hit indices of (point, key). E.g.
   /// fail_at("offload.transfer", {0, 1}, /*key=*/2): the first two attempts
-  /// at pipeline stage 2 fail, the third succeeds.
+  /// at pipeline stage 2 fail, the third succeeds. `key_mask` widens the
+  /// match (see kDeviceKeyMask); hit indices always count per exact caller
+  /// key, so "hit 0" means each matching domain's first attempt.
   FaultPlan& fail_at(std::string_view point, std::vector<std::uint64_t> hits,
-                     std::uint64_t key = kAnyKey);
+                     std::uint64_t key = kAnyKey,
+                     std::uint64_t key_mask = kExactKeyMask);
 
   /// Fire every hit of (point, key) — the "link is down for good" case that
   /// must exhaust retries and force degradation.
-  FaultPlan& always(std::string_view point, std::uint64_t key = kAnyKey);
+  FaultPlan& always(std::string_view point, std::uint64_t key = kAnyKey,
+                    std::uint64_t key_mask = kExactKeyMask);
 
   /// Fire each hit independently with probability `p`, decided by a counter
   /// mix of (seed, point, key, hit index) — reproducible chaos soaks.
   FaultPlan& with_probability(std::string_view point, double p,
                               std::uint64_t seed,
-                              std::uint64_t key = kAnyKey);
+                              std::uint64_t key = kAnyKey,
+                              std::uint64_t key_mask = kExactKeyMask);
 
   struct Rule {
     std::string point;
     std::uint64_t key = kAnyKey;
+    std::uint64_t key_mask = kExactKeyMask;  // caller-key bits that must match
     std::vector<std::uint64_t> fire_on;  // explicit hit indices
     bool every_hit = false;
     double probability = 0.0;
@@ -87,7 +119,8 @@ class FaultPlan {
 };
 
 /// Arm `plan` globally (copies it). Throws std::invalid_argument if the plan
-/// names an unregistered fault point. Arming while faultable work is in
+/// names an unregistered fault point or holds duplicate rules for the same
+/// (point, key, mask). Arming while faultable work is in
 /// flight is undefined — arm/disarm at quiescent points (tests do this
 /// naturally around World::run / run_pipelined calls).
 void arm(const FaultPlan& plan);

@@ -1,0 +1,117 @@
+// DevicePool: the deterministic device roster behind the multi-device
+// offload executor. The paper's alpha = 0.62 symmetric split generalizes to
+// rate-proportional shares alpha_d = r_d / sum r_j; assign() must turn those
+// into contiguous largest-remainder blocks as a pure function of
+// (n_chunks, specs) — scheduling never depends on timing or faults.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/device_pool.hpp"
+
+namespace {
+
+using namespace vmc::exec;
+
+std::vector<CostModel> mixed_pool() {
+  return {CostModel(DeviceSpec::mic_7120a()), CostModel(DeviceSpec::mic_se10p()),
+          CostModel(DeviceSpec::jlse_host())};
+}
+
+TEST(DevicePool, RejectsEmptyDeviceList) {
+  EXPECT_THROW(DevicePool({}, BreakerPolicy{}), std::invalid_argument);
+}
+
+TEST(DevicePool, RejectsInvalidBreakerPolicy) {
+  EXPECT_THROW(DevicePool(mixed_pool(), BreakerPolicy{1, 0, 2}),
+               std::invalid_argument);
+}
+
+TEST(DevicePool, SharesAreRateProportionalAndSumToOne) {
+  const DevicePool pool(mixed_pool(), BreakerPolicy{});
+  ASSERT_EQ(pool.size(), 3u);
+  const auto& s = pool.shares();
+  double total = 0.0;
+  for (const double a : s) {
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, 1.0);
+    total += a;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Identical devices get identical shares.
+  const DevicePool twins({CostModel(DeviceSpec::mic_7120a()),
+                          CostModel(DeviceSpec::mic_7120a())},
+                         BreakerPolicy{});
+  EXPECT_DOUBLE_EQ(twins.shares()[0], 0.5);
+  EXPECT_DOUBLE_EQ(twins.shares()[1], 0.5);
+}
+
+TEST(DevicePool, AssignCoversEveryChunkWithContiguousBlocks) {
+  const DevicePool pool(mixed_pool(), BreakerPolicy{});
+  for (const std::size_t n : {1u, 2u, 7u, 16u, 101u}) {
+    const auto owner = pool.assign(n);
+    ASSERT_EQ(owner.size(), n);
+    // Contiguous blocks in device order: the owner sequence never decreases
+    // and never skips past pool.size().
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LT(owner[i], pool.size());
+      if (i > 0) {
+        EXPECT_GE(owner[i], owner[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(DevicePool, AssignQuotasTrackSharesWithinOne) {
+  // Largest remainder: every device's block is within one chunk of its
+  // exact fractional entitlement share * n.
+  const DevicePool pool(mixed_pool(), BreakerPolicy{});
+  const std::size_t n = 64;
+  const auto owner = pool.assign(n);
+  std::vector<int> quota(pool.size(), 0);
+  for (const std::size_t d : owner) ++quota[d];
+  for (std::size_t d = 0; d < pool.size(); ++d) {
+    const double exact = pool.shares()[d] * static_cast<double>(n);
+    EXPECT_GE(static_cast<double>(quota[d]), exact - 1.0);
+    EXPECT_LE(static_cast<double>(quota[d]), exact + 1.0);
+  }
+}
+
+TEST(DevicePool, AssignIsDeterministic) {
+  const DevicePool a(mixed_pool(), BreakerPolicy{});
+  const DevicePool b(mixed_pool(), BreakerPolicy{});
+  EXPECT_EQ(a.assign(37), b.assign(37));
+}
+
+TEST(DevicePool, SingleDeviceOwnsEverything) {
+  const DevicePool pool({CostModel(DeviceSpec::mic_7120a())}, BreakerPolicy{});
+  EXPECT_DOUBLE_EQ(pool.shares()[0], 1.0);
+  const auto owner = pool.assign(9);
+  for (const std::size_t d : owner) EXPECT_EQ(d, 0u);
+}
+
+TEST(DevicePool, AcceptingDevicesExcludesTrippedAndHalfOpen) {
+  DevicePool pool(mixed_pool(), BreakerPolicy{});
+  // All healthy at the start.
+  EXPECT_EQ(pool.accepting_devices(),
+            (std::vector<std::size_t>{0, 1, 2}));
+
+  // Trip device 1 (trip_after = 3 consecutive failures).
+  for (int i = 0; i < 3; ++i) pool.at(1).health.record_chunk(4, false);
+  EXPECT_EQ(pool.accepting_devices(), (std::vector<std::size_t>{0, 2}));
+
+  // A suspect device still accepts rescheduled work.
+  pool.at(0).health.record_chunk(1, true);
+  EXPECT_EQ(pool.accepting_devices(), (std::vector<std::size_t>{0, 2}));
+
+  // Walk device 1 into half_open: still not accepting — it owes a probe,
+  // not a batch.
+  pool.at(1).health.admit();
+  pool.at(1).health.admit();
+  ASSERT_EQ(pool.at(1).health.state(), HealthState::half_open);
+  EXPECT_EQ(pool.accepting_devices(), (std::vector<std::size_t>{0, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// HealthMonitor: the per-device circuit breaker driven purely by counts —
+// chunk outcomes and scheduling denials — so a device's state trajectory is
+// a pure function of its outcome sequence, never of wall-clock or thread
+// timing. These tests walk the full healthy -> suspect -> tripped ->
+// half_open -> {healthy | tripped} cycle one transition at a time.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exec/health.hpp"
+
+namespace {
+
+using namespace vmc::exec;
+
+TEST(BreakerPolicy, ValidateRejectsNonPositiveThresholds) {
+  EXPECT_NO_THROW(BreakerPolicy{}.validate());
+  EXPECT_THROW((BreakerPolicy{0, 3, 2}.validate()), std::invalid_argument);
+  EXPECT_THROW((BreakerPolicy{1, 0, 2}.validate()), std::invalid_argument);
+  EXPECT_THROW((BreakerPolicy{1, 3, -1}.validate()), std::invalid_argument);
+  EXPECT_THROW(HealthMonitor(BreakerPolicy{1, 0, 2}), std::invalid_argument);
+}
+
+TEST(HealthMonitor, CleanChunksStayHealthy) {
+  HealthMonitor m;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(m.admit());
+    m.record_chunk(/*faults=*/0, /*succeeded=*/true);
+    EXPECT_EQ(m.state(), HealthState::healthy);
+  }
+  EXPECT_EQ(m.trips(), 0);
+  EXPECT_EQ(m.denials(), 0);
+  EXPECT_EQ(m.faulted_chunks(), 0);
+}
+
+TEST(HealthMonitor, RetriedChunkMakesSuspectCleanChunkHeals) {
+  HealthMonitor m;  // suspect_after = 1
+  m.record_chunk(/*faults=*/2, /*succeeded=*/true);
+  EXPECT_EQ(m.state(), HealthState::suspect);
+  EXPECT_TRUE(m.admit());  // suspect devices still take work
+  m.record_chunk(0, true);
+  EXPECT_EQ(m.state(), HealthState::healthy);
+  EXPECT_EQ(m.faulted_chunks(), 1);
+  EXPECT_EQ(m.failed_chunks(), 0);
+}
+
+TEST(HealthMonitor, ConsecutiveFailuresTripTheBreaker) {
+  HealthMonitor m;  // trip_after = 3
+  m.record_chunk(4, false);
+  EXPECT_EQ(m.state(), HealthState::suspect);
+  m.record_chunk(4, false);
+  EXPECT_EQ(m.state(), HealthState::suspect);
+  m.record_chunk(4, false);
+  EXPECT_EQ(m.state(), HealthState::tripped);
+  EXPECT_EQ(m.trips(), 1);
+  EXPECT_EQ(m.failed_chunks(), 3);
+  EXPECT_FALSE(m.admit());
+}
+
+TEST(HealthMonitor, SuccessBetweenFailuresResetsTheTripStreak) {
+  // trip_after counts CONSECUTIVE failures: an intervening success (even a
+  // shaky one) proves the device is alive and restarts the count.
+  HealthMonitor m;
+  m.record_chunk(4, false);
+  m.record_chunk(4, false);
+  m.record_chunk(1, true);  // delivered after a retry
+  m.record_chunk(4, false);
+  m.record_chunk(4, false);
+  EXPECT_EQ(m.state(), HealthState::suspect);
+  EXPECT_EQ(m.trips(), 0);
+}
+
+TEST(HealthMonitor, CooldownDenialsOpenTheProbeWindow) {
+  HealthMonitor m;  // cooldown_denials = 2
+  for (int i = 0; i < 3; ++i) m.record_chunk(4, false);
+  ASSERT_EQ(m.state(), HealthState::tripped);
+  EXPECT_FALSE(m.admit());  // denial 1
+  EXPECT_EQ(m.state(), HealthState::tripped);
+  EXPECT_FALSE(m.admit());  // denial 2: opens the half-open window...
+  EXPECT_EQ(m.state(), HealthState::half_open);
+  EXPECT_TRUE(m.admit());  // ...and THIS admit is the single probe
+  EXPECT_EQ(m.probes(), 1);
+  EXPECT_EQ(m.denials(), 2);
+  // The probe is in flight: no second chunk may pass before its outcome.
+  EXPECT_FALSE(m.admit());
+}
+
+TEST(HealthMonitor, CleanProbeClosesTheBreaker) {
+  HealthMonitor m;
+  for (int i = 0; i < 3; ++i) m.record_chunk(4, false);
+  m.admit();
+  m.admit();
+  ASSERT_TRUE(m.admit());  // probe
+  m.record_chunk(0, true);
+  EXPECT_EQ(m.state(), HealthState::healthy);
+  EXPECT_TRUE(m.admit());
+}
+
+TEST(HealthMonitor, ShakyProbeReopensAsSuspectNotHealthy) {
+  HealthMonitor m;
+  for (int i = 0; i < 3; ++i) m.record_chunk(4, false);
+  m.admit();
+  m.admit();
+  ASSERT_TRUE(m.admit());
+  m.record_chunk(/*faults=*/1, /*succeeded=*/true);
+  EXPECT_EQ(m.state(), HealthState::suspect);
+  EXPECT_TRUE(m.admit());
+}
+
+TEST(HealthMonitor, FailedProbeRetripsImmediately) {
+  HealthMonitor m;
+  for (int i = 0; i < 3; ++i) m.record_chunk(4, false);
+  m.admit();
+  m.admit();
+  ASSERT_TRUE(m.admit());
+  m.record_chunk(4, false);  // the probe itself fails
+  EXPECT_EQ(m.state(), HealthState::tripped);
+  EXPECT_EQ(m.trips(), 2);
+  // The cooldown restarted: the same denial count reopens the window.
+  EXPECT_FALSE(m.admit());
+  EXPECT_FALSE(m.admit());
+  EXPECT_EQ(m.state(), HealthState::half_open);
+}
+
+TEST(HealthMonitor, ToStringCoversEveryState) {
+  EXPECT_EQ(to_string(HealthState::healthy), "healthy");
+  EXPECT_EQ(to_string(HealthState::suspect), "suspect");
+  EXPECT_EQ(to_string(HealthState::tripped), "tripped");
+  EXPECT_EQ(to_string(HealthState::half_open), "half_open");
+}
+
+}  // namespace

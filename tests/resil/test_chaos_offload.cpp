@@ -1,12 +1,18 @@
-// Chaos: injected PCIe/device faults against the offload pipeline. The
-// contract under attack — retries are invisible to the physics (bit-level:
-// same kernel re-runs), and exhausted retries degrade to the scalar host
-// kernel, whose agreement with the SIMD kernel is the documented cross-
-// kernel bound (3e-4/element, tests/xsdata/test_lookup.cpp) — so degraded
-// checksums are compared at kKernelAgreement, not the same-kernel 1e-9.
+// Chaos: injected PCIe/device faults against the multi-device offload
+// executor. The contract under attack is BIT-IDENTITY: every cascade tier
+// (retry on the owning device, reschedule to a healthy peer, host floor)
+// runs the SAME banked kernel over the same staged bits, and per-chunk
+// results reduce with ordered_sum in global chunk order — so the pipelined
+// checksum under ANY armed FaultPlan is EXPECT_EQ-equal (exact doubles) to
+// the fault-free run. Scenarios per the acceptance bar, each over >= 3
+// seeds: (a) transient faults on every device, (b) one device permanently
+// dead (trips mid-run, work steals to peers), (c) all devices dead (full
+// host degradation).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "exec/offload.hpp"
 #include "hm/hm_model.hpp"
@@ -19,10 +25,7 @@ namespace {
 using namespace vmc::exec;
 namespace resil = vmc::resil;
 
-// Relative checksum tolerance when a stage ran the scalar fallback kernel
-// instead of the SIMD one (observed ~1e-8 on this bank; bounded by the
-// per-element cross-kernel tolerance).
-constexpr double kKernelAgreement = 1e-6;
+constexpr std::uint64_t kSeeds[] = {5, 11, 23};
 
 class ChaosOffloadTest : public ::testing::Test {
  protected:
@@ -33,22 +36,31 @@ class ChaosOffloadTest : public ::testing::Test {
     int fuel = -1;
     lib_ = new vmc::xs::Library(vmc::hm::build_library(mo, &fuel));
     fuel_ = fuel;
-    runtime_ = new OffloadRuntime(*lib_, CostModel(DeviceSpec::jlse_host()),
-                                  CostModel(DeviceSpec::mic_7120a()));
-    // Injected faults should not slow the suite down with real backoff.
-    runtime_->set_retry_policy({/*max_retries=*/3, /*base_backoff_s=*/1e-9,
-                                /*backoff_multiplier=*/2.0});
+
+    const CostModel host(DeviceSpec::jlse_host());
+    const CostModel mic_a(DeviceSpec::mic_7120a());
+    const CostModel mic_b(DeviceSpec::mic_se10p());
+    pools_[0] = new OffloadRuntime(*lib_, host, {mic_a});
+    pools_[1] = new OffloadRuntime(*lib_, host, {mic_a, mic_b});
+    pools_[2] = new OffloadRuntime(*lib_, host, {mic_a, mic_b, mic_a, mic_b});
+    for (OffloadRuntime* rt : pools_) {
+      // Injected faults should not slow the suite down with real backoff.
+      rt->set_retry_policy({/*max_retries=*/3, /*base_backoff_s=*/1e-9,
+                            /*backoff_multiplier=*/2.0});
+    }
   }
   static void TearDownTestSuite() {
-    delete runtime_;
+    for (OffloadRuntime*& rt : pools_) {
+      delete rt;
+      rt = nullptr;
+    }
     delete lib_;
-    runtime_ = nullptr;
     lib_ = nullptr;
   }
 
-  // The fault-free reference: one flat banked sweep.
-  static vmc::simd::aligned_vector<double> energies(std::size_t n) {
-    vmc::rng::Stream rs(5);
+  static vmc::simd::aligned_vector<double> energies(std::size_t n,
+                                                    std::uint64_t seed) {
+    vmc::rng::Stream rs(seed);
     vmc::simd::aligned_vector<double> es(n);
     for (auto& e : es) {
       e = vmc::xs::kEnergyMin *
@@ -56,95 +68,208 @@ class ChaosOffloadTest : public ::testing::Test {
     }
     return es;
   }
-  static double reference_checksum(const vmc::simd::aligned_vector<double>& es) {
-    vmc::simd::aligned_vector<double> flat(es.size());
-    vmc::xs::macro_total_banked(*lib_, fuel_, es, flat);
-    double ref = 0.0;
-    for (const double t : flat) ref += t;
-    return ref;
+
+  // The bit-identity reference: the SAME pipelined run with no plan armed.
+  static double fault_free_checksum(const OffloadRuntime& rt,
+                                    const vmc::simd::aligned_vector<double>& es,
+                                    int n_banks) {
+    resil::disarm();  // paranoia: never measure the reference under a plan
+    const auto run = rt.run_pipelined(fuel_, es, n_banks);
+    EXPECT_EQ(run.degraded_stages, 0);
+    EXPECT_EQ(run.retries, 0);
+    return run.checksum;
   }
 
   static vmc::xs::Library* lib_;
   static int fuel_;
-  static OffloadRuntime* runtime_;
+  static OffloadRuntime* pools_[3];  // 1, 2, and 4 modeled devices
 };
 
 vmc::xs::Library* ChaosOffloadTest::lib_ = nullptr;
 int ChaosOffloadTest::fuel_ = -1;
-OffloadRuntime* ChaosOffloadTest::runtime_ = nullptr;
+OffloadRuntime* ChaosOffloadTest::pools_[3] = {nullptr, nullptr, nullptr};
 
-TEST_F(ChaosOffloadTest, TransientTransferFaultIsRetriedNotDegraded) {
-  const auto es = energies(20000);
-  const double ref = reference_checksum(es);
+// --- sanity: the pipeline itself --------------------------------------------
 
-  // Stage 1's first transfer attempt fails; the retry succeeds.
+TEST_F(ChaosOffloadTest, FaultFreePipelineMatchesFlatSweep) {
+  // The chunked + ordered_sum checksum agrees with one flat banked sweep to
+  // reduction-reassociation tolerance (the chunking changes the summation
+  // tree, nothing else).
+  const auto es = energies(20000, 5);
+  vmc::simd::aligned_vector<double> flat(es.size());
+  vmc::xs::macro_total_banked(*lib_, fuel_, es, flat);
+  double ref = 0.0;
+  for (const double t : flat) ref += t;
+  for (OffloadRuntime* rt : pools_) {
+    const auto run = rt->run_pipelined(fuel_, es, 8);
+    EXPECT_EQ(run.n_stages, 8);
+    EXPECT_NEAR(run.checksum, ref, 1e-9 * std::abs(ref));
+  }
+}
+
+TEST_F(ChaosOffloadTest, FaultFreeChecksumIsDeterministicAcrossPoolSizes) {
+  // ordered_sum in global chunk order makes the checksum independent of how
+  // many devices swept the chunks — the value depends only on (bits, chunk
+  // split), so 1-, 2- and 4-device pools agree bitwise.
+  const auto es = energies(12000, 11);
+  const double one = pools_[0]->run_pipelined(fuel_, es, 8).checksum;
+  EXPECT_EQ(one, pools_[1]->run_pipelined(fuel_, es, 8).checksum);
+  EXPECT_EQ(one, pools_[2]->run_pipelined(fuel_, es, 8).checksum);
+}
+
+// --- scenario (a): transient faults on every device -------------------------
+
+TEST_F(ChaosOffloadTest, TransientFaultsOnEveryDeviceAreBitInvisible) {
+  for (OffloadRuntime* rt : pools_) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto es = energies(12000, seed);
+      const double ref = fault_free_checksum(*rt, es, 8);
+
+      // Wildcard-key probability rules hit every device x stream x chunk
+      // attempt independently; p = 0.4 makes retries near-certain and lets
+      // some chunks exhaust into the reschedule/degrade tiers too.
+      resil::FaultPlan plan;
+      plan.with_probability("offload.transfer", 0.4, seed);
+      plan.with_probability("offload.compute", 0.4, seed + 1);
+      resil::PlanGuard guard(plan);
+
+      const auto run = rt->run_pipelined(fuel_, es, 8);
+      EXPECT_EQ(run.n_stages, 8);
+      EXPECT_EQ(run.checksum, ref)
+          << "devices=" << rt->device_count() << " seed=" << seed;
+      EXPECT_GT(resil::hits("offload.transfer"), 0u);
+      EXPECT_EQ(run.devices.size(), rt->device_count());
+    }
+  }
+}
+
+TEST_F(ChaosOffloadTest, SingleTransientTransferFaultIsRetriedNotDegraded) {
+  // Pinpoint injection: chunk 1's first transfer attempt on device 0 fails,
+  // the retry succeeds; nothing reschedules or degrades.
+  const auto es = energies(12000, 5);
+  const double ref = fault_free_checksum(*pools_[0], es, 4);
+
   resil::FaultPlan plan;
-  plan.fail_at("offload.transfer", {0}, /*key=*/1);
+  plan.fail_at("offload.transfer", {0}, resil::device_key(0, 0, 1));
   resil::PlanGuard guard(plan);
 
-  const auto run = runtime_->run_pipelined(fuel_, es, 4);
+  const auto run = pools_[0]->run_pipelined(fuel_, es, 4);
   EXPECT_EQ(run.n_stages, 4);
   EXPECT_GE(run.retries, 1);
+  EXPECT_EQ(run.rescheduled_stages, 0);
   EXPECT_EQ(run.degraded_stages, 0);
   EXPECT_FALSE(run.degraded());
-  EXPECT_NEAR(run.checksum, ref, 1e-9 * std::abs(ref));
+  EXPECT_EQ(run.checksum, ref);
   EXPECT_EQ(resil::fires("offload.transfer"), 1u);
 }
 
-TEST_F(ChaosOffloadTest, DeadTransferLinkDegradesStageChecksumIntact) {
-  const auto es = energies(20000);
-  const double ref = reference_checksum(es);
+// --- scenario (b): one device permanently dead ------------------------------
 
-  // Stage 2's link is down for good: every attempt fails, retries exhaust,
-  // and the stage must run on the host — same physics, cross-kernel bound.
+TEST_F(ChaosOffloadTest, DeadDeviceTripsAndWorkStealsToPeersBitIdentical) {
+  for (OffloadRuntime* rt : {pools_[1], pools_[2]}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto es = energies(12000, seed);
+      // 16 chunks: even a quarter-share device owns >= trip_after of them,
+      // so the dead device is guaranteed to trip BEFORE phase 2 and drop
+      // out of the accepting set (nothing reaches the host floor).
+      const double ref = fault_free_checksum(*rt, es, 16);
+
+      // Device 1's whole fault domain (every stream, every chunk) is down
+      // for the entire run: the masked rule matches any key whose device
+      // field is 1.
+      resil::FaultPlan plan;
+      plan.always("offload.transfer", resil::device_key(1, 0, 0),
+                  resil::kDeviceKeyMask);
+      resil::PlanGuard guard(plan);
+
+      const auto run = rt->run_pipelined(fuel_, es, 16);
+      EXPECT_EQ(run.checksum, ref)
+          << "devices=" << rt->device_count() << " seed=" << seed;
+
+      // The dead device completed nothing, tripped its breaker mid-run, and
+      // its share moved to healthy peers — not to the host floor.
+      const auto& dead = run.devices.at(1);
+      EXPECT_EQ(dead.chunks_ok, 0);
+      EXPECT_GT(dead.chunks_failed, 0);
+      EXPECT_GE(dead.trips, 1);
+      EXPECT_NE(dead.final_state, HealthState::healthy);
+      EXPECT_GT(run.rescheduled_stages, 0);
+      EXPECT_EQ(run.degraded_stages, 0);
+      int steals = 0;
+      for (const auto& d : run.devices) steals += d.steals_in;
+      EXPECT_EQ(steals, run.rescheduled_stages);
+    }
+  }
+}
+
+TEST_F(ChaosOffloadTest, DeadChunkOnSoleDeviceFallsToHostFloorBitIdentical) {
+  // Single device, one chunk's link permanently down: retries exhaust in
+  // phase 1, the phase-2 reschedule lands on the same sole device (still
+  // healthy — one failure < trip_after) and fails again, the host floor
+  // sweeps it. 2 x (1 initial + max_retries) fires.
+  const auto es = energies(12000, 5);
+  const double ref = fault_free_checksum(*pools_[0], es, 4);
+
   resil::FaultPlan plan;
-  plan.always("offload.transfer", /*key=*/2);
+  plan.always("offload.transfer", resil::device_key(0, 0, 2));
   resil::PlanGuard guard(plan);
 
-  const auto run = runtime_->run_pipelined(fuel_, es, 4);
-  EXPECT_EQ(run.n_stages, 4);
+  const auto run = pools_[0]->run_pipelined(fuel_, es, 4);
   EXPECT_EQ(run.degraded_stages, 1);
   EXPECT_TRUE(run.degraded());
-  EXPECT_NEAR(run.checksum, ref, kKernelAgreement * std::abs(ref));
-  // 1 initial attempt + max_retries, all fired.
-  EXPECT_EQ(resil::fires("offload.transfer"),
-            1u + static_cast<unsigned>(runtime_->retry_policy().max_retries));
+  EXPECT_EQ(run.checksum, ref);
+  EXPECT_EQ(
+      resil::fires("offload.transfer"),
+      2u * (1u + static_cast<unsigned>(pools_[0]->retry_policy().max_retries)));
 }
 
-TEST_F(ChaosOffloadTest, DeadDeviceSweepDegradesStageChecksumIntact) {
-  const auto es = energies(20000);
-  const double ref = reference_checksum(es);
+TEST_F(ChaosOffloadTest, DeadComputeStreamFallsToHostFloorBitIdentical) {
+  // Same cascade, but the fault domain is the compute stream: the transfer
+  // lands, the sweep never does.
+  const auto es = energies(12000, 5);
+  const double ref = fault_free_checksum(*pools_[0], es, 4);
 
   resil::FaultPlan plan;
-  plan.always("offload.compute", /*key=*/0);
+  plan.always("offload.compute", resil::device_key(0, 1, 0));
   resil::PlanGuard guard(plan);
 
-  const auto run = runtime_->run_pipelined(fuel_, es, 4);
+  const auto run = pools_[0]->run_pipelined(fuel_, es, 4);
   EXPECT_EQ(run.degraded_stages, 1);
-  EXPECT_NEAR(run.checksum, ref, kKernelAgreement * std::abs(ref));
+  EXPECT_EQ(run.checksum, ref);
 }
 
-TEST_F(ChaosOffloadTest, EveryStageDegradedStillMatches) {
-  // Worst case: the device is simply gone. All stages fall back to the
-  // host; the run completes with the right physics anyway.
-  const auto es = energies(10000);
-  const double ref = reference_checksum(es);
+// --- scenario (c): all devices dead -----------------------------------------
 
-  resil::FaultPlan plan;
-  plan.always("offload.transfer");
-  resil::PlanGuard guard(plan);
+TEST_F(ChaosOffloadTest, AllDevicesDeadFullyDegradesBitIdentical) {
+  for (OffloadRuntime* rt : pools_) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto es = energies(12000, seed);
+      const double ref = fault_free_checksum(*rt, es, 8);
 
-  const auto run = runtime_->run_pipelined(fuel_, es, 4);
-  EXPECT_EQ(run.degraded_stages, 4);
-  EXPECT_NEAR(run.checksum, ref, kKernelAgreement * std::abs(ref));
+      // Every transfer attempt on every device fails: breakers trip, the
+      // accepting set empties, and the entire run lands on the host floor.
+      resil::FaultPlan plan;
+      plan.always("offload.transfer");
+      resil::PlanGuard guard(plan);
+
+      const auto run = rt->run_pipelined(fuel_, es, 8);
+      EXPECT_EQ(run.degraded_stages, run.n_stages)
+          << "devices=" << rt->device_count() << " seed=" << seed;
+      EXPECT_EQ(run.checksum, ref)
+          << "devices=" << rt->device_count() << " seed=" << seed;
+      for (const auto& d : run.devices) EXPECT_EQ(d.chunks_ok, 0);
+    }
+  }
 }
+
+// --- the single-device iteration path ---------------------------------------
 
 TEST_F(ChaosOffloadTest, IterationRetriesTransientComputeFault) {
   resil::FaultPlan plan;
   plan.fail_at("offload.compute", {0}, /*key=*/0);  // banked lookup sweep
   resil::PlanGuard guard(plan);
 
-  const auto rep = runtime_->run_iteration(fuel_, 5000, 7);
+  const auto rep = pools_[0]->run_iteration(fuel_, 5000, 7);
   EXPECT_EQ(rep.retries, 1);
   EXPECT_FALSE(rep.degraded);
 }
@@ -154,7 +279,7 @@ TEST_F(ChaosOffloadTest, IterationDegradesOnPersistentComputeFault) {
   plan.always("offload.compute");
   resil::PlanGuard guard(plan);
 
-  const auto rep = runtime_->run_iteration(fuel_, 5000, 7);
+  const auto rep = pools_[0]->run_iteration(fuel_, 5000, 7);
   EXPECT_TRUE(rep.degraded);
   // The report is still complete: the fallback sweeps really ran.
   EXPECT_GT(rep.wall_banked_lookup_s, 0.0);
@@ -162,11 +287,21 @@ TEST_F(ChaosOffloadTest, IterationDegradesOnPersistentComputeFault) {
 }
 
 TEST_F(ChaosOffloadTest, UnarmedRunReportsCleanResilienceFields) {
-  const auto es = energies(5000);
-  const auto run = runtime_->run_pipelined(fuel_, es, 2);
+  const auto es = energies(5000, 5);
+  const auto run = pools_[1]->run_pipelined(fuel_, es, 2);
   EXPECT_EQ(run.retries, 0);
+  EXPECT_EQ(run.rescheduled_stages, 0);
   EXPECT_EQ(run.degraded_stages, 0);
   EXPECT_FALSE(run.degraded());
+  ASSERT_EQ(run.devices.size(), 2u);
+  int ok = 0;
+  for (const auto& d : run.devices) {
+    EXPECT_EQ(d.final_state, HealthState::healthy);
+    EXPECT_EQ(d.chunks_failed, 0);
+    EXPECT_EQ(d.trips, 0);
+    ok += d.chunks_ok;
+  }
+  EXPECT_EQ(ok, run.n_stages);
 }
 
 }  // namespace

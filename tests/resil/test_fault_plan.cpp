@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <string>
 
 #include "resil/fault.hpp"
 #include "resil/retry.hpp"
@@ -97,42 +99,104 @@ TEST(FaultPlan, CountersReadableAfterDisarm) {
   EXPECT_EQ(fires("statepoint.write"), 0u);
 }
 
-TEST(RetryBackoff, CountsRetriesAndRethrowsWhenExhausted) {
-  RetryPolicy fast{/*max_retries=*/3, /*base_backoff_s=*/0.0,
-                   /*backoff_multiplier=*/2.0};
-  int attempts = 0;
-  const int retries = retry_with_backoff(fast, [&] {
-    if (++attempts < 3) throw TransientError("flaky");
-  });
-  EXPECT_EQ(retries, 2);
-  EXPECT_EQ(attempts, 3);
+// --- input validation --------------------------------------------------------
+// retry_with_backoff itself is covered in isolation in test_retry.cpp.
 
-  attempts = 0;
-  EXPECT_THROW(retry_with_backoff(fast,
-                                  [&] {
-                                    ++attempts;
-                                    throw TransientError("down for good");
-                                  }),
-               TransientError);
-  EXPECT_EQ(attempts, 4);  // initial try + max_retries
+TEST(FaultPlanValidation, RejectsProbabilityOutsideUnitInterval) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.with_probability("comm.send", -0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(plan.with_probability("comm.send", 1.0001, 1),
+               std::invalid_argument);
+  EXPECT_THROW(plan.with_probability("comm.send",
+                                     std::numeric_limits<double>::quiet_NaN(),
+                                     1),
+               std::invalid_argument);
+  // The boundary values are legal (p = 0 never fires, p = 1 always does).
+  EXPECT_NO_THROW(plan.with_probability("comm.send", 0.0, 1));
+  EXPECT_NO_THROW(plan.with_probability("comm.send", 1.0, 2, /*key=*/9));
 }
 
-TEST(RetryBackoff, NonTransientErrorsPropagateImmediately) {
-  RetryPolicy fast{3, 0.0, 2.0};
-  int attempts = 0;
-  EXPECT_THROW(retry_with_backoff(fast,
-                                  [&] {
-                                    ++attempts;
-                                    throw std::logic_error("bug, not weather");
-                                  }),
-               std::logic_error);
-  EXPECT_EQ(attempts, 1);
+TEST(FaultPlanValidation, RejectsEmptyHitList) {
+  FaultPlan plan;
+  try {
+    plan.fail_at("offload.transfer", {});
+    FAIL() << "empty hit list must be rejected";
+  } catch (const std::invalid_argument& e) {
+    // The message names the point and points at always().
+    EXPECT_NE(std::string(e.what()).find("offload.transfer"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("always()"), std::string::npos);
+  }
 }
 
-TEST(FaultPlan, FaultErrorIsTransient) {
-  // retry_with_backoff's catch contract: injected faults are retryable.
-  static_assert(std::is_base_of_v<TransientError, FaultError>);
-  static_assert(std::is_base_of_v<std::runtime_error, TransientError>);
+TEST(FaultPlanValidation, ArmRejectsDuplicateRulesForSamePointAndKey) {
+  FaultPlan plan;
+  plan.fail_at("offload.compute", {0}, /*key=*/5);
+  plan.always("offload.compute", /*key=*/5);
+  try {
+    arm(plan);
+    FAIL() << "duplicate (point, key) rules must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("offload.compute"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(fault_fires("offload.compute", 5));  // left unarmed
+
+  // Same key under DIFFERENT masks composes: a broad device-down rule plus a
+  // pinpoint chunk rule are distinct domains, not duplicates.
+  FaultPlan layered;
+  layered.always("offload.compute", device_key(1, 0, 0), kDeviceKeyMask);
+  layered.fail_at("offload.compute", {0}, device_key(1, 0, 0));
+  EXPECT_NO_THROW(arm(layered));
+  disarm();
+}
+
+// --- device-keyed fault domains ---------------------------------------------
+
+TEST(FaultPlanDeviceKeys, PackingIsDisjointAndMaskable) {
+  const std::uint64_t k = device_key(3, 1, 0x1234);
+  EXPECT_EQ(k >> 48, 3u);
+  EXPECT_EQ((k >> 32) & 0xFFFFu, 1u);
+  EXPECT_EQ(k & 0xFFFFFFFFu, 0x1234u);
+  // The masks select exactly their fields.
+  EXPECT_EQ(k & kDeviceKeyMask, device_key(3, 0, 0));
+  EXPECT_EQ(k & kDeviceStreamKeyMask, device_key(3, 1, 0));
+}
+
+TEST(FaultPlanDeviceKeys, DeviceMaskMatchesEveryStreamAndOrdinal) {
+  FaultPlan plan;
+  plan.always("offload.compute", device_key(2, 0, 0), kDeviceKeyMask);
+  PlanGuard guard(plan);
+  EXPECT_TRUE(fault_fires("offload.compute", device_key(2, 0, 0)));
+  EXPECT_TRUE(fault_fires("offload.compute", device_key(2, 1, 77)));
+  EXPECT_FALSE(fault_fires("offload.compute", device_key(1, 0, 0)));
+  EXPECT_FALSE(fault_fires("offload.compute", device_key(3, 1, 77)));
+}
+
+TEST(FaultPlanDeviceKeys, StreamMaskPinsDeviceAndStream) {
+  FaultPlan plan;
+  // Device 1's transfer stream (stream 0) is down; its compute stream works.
+  plan.always("offload.transfer", device_key(1, 0, 0), kDeviceStreamKeyMask);
+  PlanGuard guard(plan);
+  EXPECT_TRUE(fault_fires("offload.transfer", device_key(1, 0, 5)));
+  EXPECT_TRUE(fault_fires("offload.transfer", device_key(1, 0, 99)));
+  EXPECT_FALSE(fault_fires("offload.transfer", device_key(1, 1, 5)));
+  EXPECT_FALSE(fault_fires("offload.transfer", device_key(0, 0, 5)));
+}
+
+TEST(FaultPlanDeviceKeys, MaskedRulesKeepPerExactKeyHitCounters) {
+  // A masked fail_at({0}) rule fires on the FIRST attempt of every chunk in
+  // the domain independently — hit counters stay per exact caller key, so
+  // "hit 0" means each chunk's first attempt, not the domain's first hit.
+  FaultPlan plan;
+  plan.fail_at("offload.transfer", {0}, device_key(0, 0, 0), kDeviceKeyMask);
+  PlanGuard guard(plan);
+  EXPECT_TRUE(fault_fires("offload.transfer", device_key(0, 0, 4)));
+  EXPECT_FALSE(fault_fires("offload.transfer", device_key(0, 0, 4)));
+  EXPECT_TRUE(fault_fires("offload.transfer", device_key(0, 1, 9)));
+  EXPECT_FALSE(fault_fires("offload.transfer", device_key(0, 1, 9)));
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// retry_with_backoff in isolation: the recovery half of the transient-fault
+// story, tested without any pipeline around it. Covers the deterministic
+// backoff schedule, the exhaustion path (rethrows the LAST error), the
+// non-transient passthrough, and the zero-cost property when nothing faults.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "prof/profiler.hpp"
+#include "resil/fault.hpp"
+#include "resil/retry.hpp"
+
+namespace {
+
+using namespace vmc::resil;
+
+TEST(RetryBackoff, CountsRetriesAndRethrowsWhenExhausted) {
+  RetryPolicy fast{/*max_retries=*/3, /*base_backoff_s=*/0.0,
+                   /*backoff_multiplier=*/2.0};
+  int attempts = 0;
+  const int retries = retry_with_backoff(fast, [&] {
+    if (++attempts < 3) throw TransientError("flaky");
+  });
+  EXPECT_EQ(retries, 2);
+  EXPECT_EQ(attempts, 3);
+
+  attempts = 0;
+  EXPECT_THROW(retry_with_backoff(fast,
+                                  [&] {
+                                    ++attempts;
+                                    throw TransientError("down for good");
+                                  }),
+               TransientError);
+  EXPECT_EQ(attempts, 4);  // initial try + max_retries
+}
+
+TEST(RetryBackoff, ExhaustionRethrowsTheLastError) {
+  // Each attempt throws a distinguishable error; the caller must see the
+  // final one (the freshest diagnosis of why the stage is down).
+  RetryPolicy fast{2, 0.0, 2.0};
+  int attempts = 0;
+  try {
+    retry_with_backoff(fast, [&] {
+      throw TransientError("attempt " + std::to_string(++attempts));
+    });
+    FAIL() << "retries must exhaust";
+  } catch (const TransientError& e) {
+    EXPECT_STREQ(e.what(), "attempt 3");  // 1 initial + 2 retries
+  }
+}
+
+TEST(RetryBackoff, BackoffScheduleIsDeterministicExponential) {
+  // base 2 ms doubling over 3 retries: the sleeps sum to at least
+  // 2 + 4 + 8 = 14 ms. sleep_for guarantees a lower bound, so this is a
+  // timing assertion that cannot flake on a loaded runner.
+  RetryPolicy policy{3, 2e-3, 2.0};
+  const double t0 = vmc::prof::now_seconds();
+  EXPECT_THROW(
+      retry_with_backoff(policy, [] { throw TransientError("down"); }),
+      TransientError);
+  EXPECT_GE(vmc::prof::now_seconds() - t0, 14e-3);
+}
+
+TEST(RetryBackoff, ZeroRetriesMeansSingleAttempt) {
+  RetryPolicy none{0, 0.0, 2.0};
+  int attempts = 0;
+  EXPECT_THROW(retry_with_backoff(none,
+                                  [&] {
+                                    ++attempts;
+                                    throw TransientError("once");
+                                  }),
+               TransientError);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryBackoff, NonTransientErrorsPropagateImmediately) {
+  RetryPolicy fast{3, 0.0, 2.0};
+  int attempts = 0;
+  EXPECT_THROW(retry_with_backoff(fast,
+                                  [&] {
+                                    ++attempts;
+                                    throw std::logic_error("bug, not weather");
+                                  }),
+               std::logic_error);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryBackoff, ZeroCostWhenNoFaultArmed) {
+  // An absurd base backoff proves no sleep happens on the success path: the
+  // op (guarded by an UNarmed fault point) succeeds on its first attempt,
+  // so a single hidden backoff would hang the test past its timeout.
+  RetryPolicy glacial{3, /*base_backoff_s=*/1000.0, 2.0};
+  {
+    // Arm + disarm a throwaway plan: arming resets the surviving hit/fire
+    // counters earlier tests may have left behind.
+    FaultPlan reset;
+    reset.always("comm.send");
+    PlanGuard guard(reset);
+  }
+  int attempts = 0;
+  const double t0 = vmc::prof::now_seconds();
+  const int retries = retry_with_backoff(glacial, [&] {
+    ++attempts;
+    if (fault_fires("offload.compute", 42)) {
+      throw FaultError("never: nothing is armed");
+    }
+  });
+  EXPECT_EQ(retries, 0);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_LT(vmc::prof::now_seconds() - t0, 1.0);
+  EXPECT_EQ(hits("offload.compute"), 0u);  // unarmed points count nothing
+}
+
+TEST(RetryBackoff, FaultErrorIsTransient) {
+  // retry_with_backoff's catch contract: injected faults are retryable.
+  static_assert(std::is_base_of_v<TransientError, FaultError>);
+  static_assert(std::is_base_of_v<std::runtime_error, TransientError>);
+}
+
+}  // namespace

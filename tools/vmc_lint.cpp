@@ -82,6 +82,13 @@
 //                    helpers (core::ordered_sum*, TallyAccumulator):
 //                    summation order is part of the event==history and
 //                    recovery==healthy bit-exactness contracts.
+//   naked-catch-in-exec
+//                    No `catch (...)` in src/exec/ that neither rethrows
+//                    (`throw;`) nor routes through a named resil:: recovery
+//                    helper: the executor's fault-domain cascade (retry ->
+//                    reschedule -> host floor) only stays observable and
+//                    deterministic if every swallowed fault is accounted for
+//                    by the resilience layer, never silently dropped.
 //   stale-allow      An allow marker that no longer suppresses anything (or
 //                    names an unknown rule) is itself an error, so exception
 //                    lists can't rot.
@@ -391,6 +398,10 @@ const RuleScope kScopes[] = {
     // itself.
     {"float-order-dependence", {"src/core/", "src/exec/", "tools/vmc_run.cpp"},
      {"src/core/tally."}},
+    // The executor is where fault domains live: a catch-all that drops the
+    // exception on the floor erases a fault the cascade was supposed to
+    // account for.
+    {"naked-catch-in-exec", {"src/exec/"}, {}},
     {"stale-allow", kAllRoots, {}},
 };
 
@@ -415,7 +426,7 @@ const std::set<std::string, std::less<>> kKnownRules = {
     "hot-loop-mutex", "stream-overlap",        "raw-clock",
     "unchecked-io",   "hot-loop-binary-search", "raw-intrinsic",
     "hardcoded-lane-width", "unmasked-remainder", "float-order-dependence",
-    "stale-allow"};
+    "naked-catch-in-exec", "stale-allow"};
 
 // --- legacy line rules ------------------------------------------------------
 
@@ -929,6 +940,52 @@ void rule_float_order(TokenRuleCtx& c) {
   }
 }
 
+// naked-catch-in-exec: a `catch (...)` handler in src/exec/ must either
+// rethrow (`throw;`) or hand the fault to a named resil:: recovery helper.
+// Typed catches (e.g. resil::TransientError) are deliberate and exempt.
+void rule_naked_catch(TokenRuleCtx& c) {
+  const std::vector<Token>& T = c.f.tokens;
+  for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+    if (T[i].kind != Token::Kind::ident || T[i].text != "catch" ||
+        T[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t close = match_paren(T, i + 1);
+    // `...` tokenizes as three '.' puncts; anything else is a typed catch.
+    if (close != i + 5 || T[i + 2].text != "." || T[i + 3].text != "." ||
+        T[i + 4].text != ".") {
+      continue;
+    }
+    if (close + 1 >= T.size() || T[close + 1].text != "{") continue;
+    const int open_depth = T[close + 1].depth;
+    bool routed = false;
+    std::size_t j = close + 2;
+    for (; j < T.size(); ++j) {
+      if (T[j].kind == Token::Kind::punct && T[j].text == "}" &&
+          T[j].depth == open_depth) {
+        break;  // end of the handler body
+      }
+      // Bare rethrow: `throw ;`
+      if (T[j].kind == Token::Kind::ident && T[j].text == "throw" &&
+          j + 1 < T.size() && T[j + 1].text == ";") {
+        routed = true;
+      }
+      // Named recovery helper: `resil::<helper>(`
+      if (T[j].kind == Token::Kind::ident && T[j].text == "resil" &&
+          j + 3 < T.size() && T[j + 1].text == "::" &&
+          T[j + 2].kind == Token::Kind::ident && T[j + 3].text == "(") {
+        routed = true;
+      }
+    }
+    if (!routed) {
+      c.fire(T[i].line, "naked-catch-in-exec",
+             "catch (...) in src/exec/ swallows a fault anonymously; rethrow "
+             "(`throw;`) or route it through a named resil:: recovery helper "
+             "so the retry/reschedule/degrade cascade stays accounted for");
+    }
+  }
+}
+
 // --- analyzer ---------------------------------------------------------------
 
 struct ScanResult {
@@ -956,6 +1013,7 @@ class Analyzer {
       if (in_scope("float-order-dependence", f.rel_path)) {
         rule_float_order(ctx);
       }
+      if (in_scope("naked-catch-in-exec", f.rel_path)) rule_naked_catch(ctx);
     }
     // Cross-file pass 1: stream derivation overlap.
     for (const auto& [args, sites] : stream_ctors) {
@@ -1379,6 +1437,67 @@ int self_test() {
       {"allow marker silences float-order", "src/exec/driver.cpp",
        "// vmc-lint: allow(float-order-dependence)\n"
        "const double s = std::accumulate(v.begin(), v.end(), 0.0);", ""},
+      // --- naked-catch-in-exec ---
+      {"swallowing catch-all in exec fires", "src/exec/offload.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    sweep();\n"
+       "  } catch (...) {\n"
+       "    count = 0;\n"
+       "  }\n"
+       "}\n", "naked-catch-in-exec"},
+      {"rethrowing catch-all is clean", "src/exec/offload.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    sweep();\n"
+       "  } catch (...) {\n"
+       "    cleanup();\n"
+       "    throw;\n"
+       "  }\n"
+       "}\n", ""},
+      {"catch-all routed through resil helper is clean",
+       "src/exec/offload.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    sweep();\n"
+       "  } catch (...) {\n"
+       "    resil::record_degrade(\"offload.compute\");\n"
+       "  }\n"
+       "}\n", ""},
+      {"typed catch is clean", "src/exec/offload.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    sweep();\n"
+       "  } catch (const resil::TransientError&) {\n"
+       "    out.ok = false;\n"
+       "  }\n"
+       "}\n", ""},
+      {"throwing a NEW exception does not sanction the swallow",
+       "src/exec/pipe.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    sweep();\n"
+       "  } catch (...) {\n"
+       "    if (fatal) throw std::runtime_error(\"x\");\n"
+       "  }\n"
+       "}\n", "naked-catch-in-exec"},
+      {"catch-all outside exec is clean", "src/core/statepoint.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    read();\n"
+       "  } catch (...) {\n"
+       "    ok = false;\n"
+       "  }\n"
+       "}\n", ""},
+      {"allow marker silences naked-catch", "src/exec/offload.cpp",
+       "void f() {\n"
+       "  try {\n"
+       "    sweep();\n"
+       "  // vmc-lint: allow(naked-catch-in-exec)\n"
+       "  } catch (...) {\n"
+       "    best_effort_trace();\n"
+       "  }\n"
+       "}\n", ""},
       // --- stale-allow ---
       {"stale allow marker fires", "src/core/driver.cpp",
        "// vmc-lint: allow(raw-clock)\n"
