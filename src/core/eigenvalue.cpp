@@ -265,6 +265,11 @@ RunResult Simulation::run() {
       sp.source = source;
       write_statepoint(settings_.checkpoint_path, sp);
     }
+
+    // After the checkpoint: a callback that throws (serve.worker_death)
+    // leaves a consistent statepoint behind, so resume replays bit-identically.
+    if (settings_.on_generation)
+      settings_.on_generation(result.generations.back(), gen);
   }
 
   result.k_eff = k_stats.mean();

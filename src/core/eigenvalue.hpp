@@ -24,6 +24,8 @@ namespace vmc::core {
 
 enum class TransportMode : unsigned char { history, event };
 
+struct GenerationResult;
+
 struct Settings {
   std::uint64_t n_particles = 10000;
   int n_inactive = 2;
@@ -55,6 +57,13 @@ struct Settings {
   /// an error); generations already completed are not re-run, and the
   /// restored k history is prepended to RunResult::k_collision_history.
   std::string resume_from;
+  /// Invoked after each generation completes (after the checkpoint for that
+  /// generation, if any, has been written). The serving layer uses this to
+  /// stream per-generation progress metrics and to host the
+  /// `serve.worker_death` fault site: an exception thrown here aborts the
+  /// run after a consistent checkpoint, so a resumed run replays to the
+  /// identical k history. Must not mutate simulation state.
+  std::function<void(const GenerationResult&, int gen)> on_generation;
 };
 
 struct GenerationResult {

@@ -29,6 +29,19 @@ void scale_grid(xs::SynthParams& p, double s) {
   p.grid_points = std::max(64, static_cast<int>(p.grid_points * s));
 }
 
+/// Doppler-broaden the synthetic resonances: the Doppler width grows with
+/// sqrt(T). At 300 K the factor is exactly 1.0, so the default library is
+/// bit-identical to the historical (temperature-less) one.
+void apply_temperature(xs::SynthParams& p, double temperature_K) {
+  p.gamma_mean *= std::sqrt(temperature_K / 300.0);
+}
+
+/// Per-model-option tuning applied to every nuclide in the library.
+void tune(xs::SynthParams& p, const ModelOptions& opt) {
+  scale_grid(p, opt.grid_scale);
+  apply_temperature(p, opt.temperature_K);
+}
+
 }  // namespace
 
 int fuel_nuclide_count(FuelSize size) {
@@ -96,18 +109,18 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
   // --- shared / structural nuclides --------------------------------------
   auto o16p = xs::SynthParams::light_like(15.86);
   o16p.with_thermal = false;
-  scale_grid(o16p, opt.grid_scale);
+  tune(o16p, opt);
   const int o16 = lib.add_nuclide(xs::make_synthetic_nuclide("O16", 16, o16p));
 
   auto h1p = xs::SynthParams::light_like(0.9992);
   h1p.with_thermal = opt.with_thermal;
-  scale_grid(h1p, opt.grid_scale);
+  tune(h1p, opt);
   const int h1 = lib.add_nuclide(xs::make_synthetic_nuclide("H1", 1, h1p));
 
   auto b10p = xs::SynthParams::light_like(9.93);
   b10p.with_thermal = false;
   b10p.sigma_a_thermal = 3837.0;  // the strong 1/v boron absorber
-  scale_grid(b10p, opt.grid_scale);
+  tune(b10p, opt);
   const int b10 = lib.add_nuclide(xs::make_synthetic_nuclide("B10", 10, b10p));
 
   auto zrp = xs::SynthParams::fission_product_like();
@@ -116,7 +129,7 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
   zrp.sigma0_mean = 30.0;
   zrp.n_resonances = 60;
   zrp.with_urr = opt.with_urr;
-  scale_grid(zrp, opt.grid_scale);
+  tune(zrp, opt);
   const int zr = lib.add_nuclide(xs::make_synthetic_nuclide("Zr-nat", 40, zrp));
 
   // --- fuel nuclides -------------------------------------------------------
@@ -125,13 +138,13 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
 
   auto u238p = xs::SynthParams::u238_like();
   u238p.with_urr = opt.with_urr;
-  scale_grid(u238p, opt.grid_scale);
+  tune(u238p, opt);
   const int u238 =
       lib.add_nuclide(xs::make_synthetic_nuclide("U238", 92238, u238p));
 
   auto u235p = xs::SynthParams::u235_like();
   u235p.with_urr = opt.with_urr;
-  scale_grid(u235p, opt.grid_scale);
+  tune(u235p, opt);
   const int u235 =
       lib.add_nuclide(xs::make_synthetic_nuclide("U235", 92235, u235p));
 
@@ -139,7 +152,9 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
   fuel.add(u235, 1.25e-3);  // ~5.5 w/o enrichment
   fuel.add(o16, 4.58e-2);
 
-  const int extra = fuel_nuclide_count(opt.fuel) - 3;
+  const int n_fuel = opt.fuel_nuclides > 0 ? std::max(3, opt.fuel_nuclides)
+                                           : fuel_nuclide_count(opt.fuel);
+  const int extra = n_fuel - 3;
   // A handful of higher-density actinides (some fissionable), the remainder
   // fission products with trace densities.
   const int n_actinides = std::min(8, extra);
@@ -150,7 +165,7 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
     p.n_resonances = 200;
     p.grid_points = 2500;
     p.with_urr = opt.with_urr;
-    scale_grid(p, opt.grid_scale);
+    tune(p, opt);
     const int id = lib.add_nuclide(xs::make_synthetic_nuclide(
         "actinide-" + std::to_string(i), 93000 + i, p));
     fuel.add(id, 1.0e-5 * std::exp(1.5 * (ds.next() - 0.5)));
@@ -159,7 +174,7 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
     auto p = xs::SynthParams::fission_product_like();
     p.awr = 80.0 + 80.0 * ds.next();
     p.with_urr = opt.with_urr;
-    scale_grid(p, opt.grid_scale);
+    tune(p, opt);
     const int id = lib.add_nuclide(xs::make_synthetic_nuclide(
         "fp-" + std::to_string(i), 50000 + i, p));
     fuel.add(id, 1.0e-6 * std::exp(3.0 * (ds.next() - 0.5)));
@@ -187,6 +202,7 @@ MaterialIds build_materials(xs::Library& lib, const ModelOptions& opt) {
 xs::Library build_library(const ModelOptions& opt, int* fuel_material) {
   xs::Library lib(opt.max_union_points);
   const MaterialIds ids = build_materials(lib, opt);
+  lib.set_hash_options(opt.hash);
   lib.finalize();
   if (fuel_material != nullptr) *fuel_material = ids.fuel;
   return lib;
@@ -196,6 +212,7 @@ Model build_model(const ModelOptions& opt) {
   Model m;
   m.library = xs::Library(opt.max_union_points);
   const MaterialIds ids = build_materials(m.library, opt);
+  m.library.set_hash_options(opt.hash);
   m.library.finalize();
   m.fuel_material = ids.fuel;
   m.water_material = ids.water;

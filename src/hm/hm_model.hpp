@@ -28,6 +28,10 @@ enum class FuelSize : unsigned char { small, large };
 
 struct ModelOptions {
   FuelSize fuel = FuelSize::small;
+  /// Override the fuel-nuclide count (0 = the FuelSize default, 34/320).
+  /// Minimum effective count is 3 (U238 + U235 + O16); the serving layer
+  /// exposes this as the job-spec `nuclides` axis.
+  int fuel_nuclides = 0;
   /// Multiplier on per-nuclide grid sizes (1.0 = the defaults in
   /// xs::SynthParams; benchmarks use >= 1, unit tests < 1).
   double grid_scale = 1.0;
@@ -35,6 +39,15 @@ struct ModelOptions {
   std::size_t max_union_points = 1u << 17;
   bool with_urr = true;
   bool with_thermal = true;
+  /// Hash-index shape built by Library::finalize (bins/decade, per-nuclide
+  /// start table). The serve cache derives `nuclide_index` from the job's
+  /// grid-search tier so cached libraries carry exactly the index they need.
+  xs::HashGridOptions hash{};
+  /// Fuel temperature (K). Doppler-broadens the synthetic resonances by
+  /// widening each nuclide's Gaussian resonance width with sqrt(T/300)
+  /// (the classic Doppler-width scaling). 300 K reproduces the historical
+  /// library bit-for-bit (the scale factor is exactly 1.0).
+  double temperature_K = 300.0;
   /// true: the full 241-assembly core with vacuum boundaries.
   /// false: one assembly with reflective sides (fast infinite-lattice
   /// configuration for tests).

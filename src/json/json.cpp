@@ -1,11 +1,11 @@
-#include "obs/json.hpp"
+#include "json/json.hpp"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
-namespace vmc::obs {
+namespace vmc::json {
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -439,4 +439,4 @@ bool json_valid(std::string_view text, std::string* error) {
   }
 }
 
-}  // namespace vmc::obs
+}  // namespace vmc::json

@@ -1,0 +1,107 @@
+// Minimal JSON layer shared across the codebase.
+//
+// Everything vectormc emits or consumes as JSON — metric snapshots, Chrome
+// trace_event files, run manifests, the benchmark harnesses' BENCH_*.json
+// reports, and the serving layer's vectormc.job.v1 specs — goes through ONE
+// streaming writer and ONE strict parser, so escaping, number formatting, and
+// error semantics cannot drift between subsystems. Historically this lived in
+// src/obs; it moved here when src/serve needed the parser without dragging in
+// the metrics registry. obs/json.hpp forwards to this header for existing
+// includes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmc::json {
+
+/// JSON-escape `s` (quotes, backslashes, control characters; non-ASCII bytes
+/// pass through untouched — documents are byte-oriented, not validated UTF-8).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with structural bookkeeping: commas and key/value
+/// alternation are handled here, misuse (value with a pending key in an
+/// array, end_object inside an array, ...) throws std::logic_error so a bad
+/// exporter fails loudly in tests instead of emitting garbage.
+///
+/// Non-finite doubles serialize as null (JSON has no Inf/NaN); exporters
+/// that need those values must encode them as strings themselves (the
+/// Prometheus text exposition does).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Splice a pre-serialized JSON value verbatim. The caller must guarantee
+  /// `json` is a complete valid value (use json_valid); this is the single
+  /// escape hatch from the structural bookkeeping, for embedding documents
+  /// produced by another JsonWriter.
+  JsonWriter& raw_value(std::string_view json);
+
+  /// key(k) + value(v) in one call.
+  template <class T>
+  JsonWriter& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document. Throws std::logic_error if containers are still
+  /// open — a truncated document must never escape silently.
+  const std::string& str() const;
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  std::vector<char> stack_;   // '{' or '['
+  std::vector<bool> first_;   // first element at each level
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+/// Parsed JSON document (order-preserving object members).
+struct JsonValue {
+  enum class Type : unsigned char { null, boolean, number, string, array, object };
+  Type type = Type::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::null; }
+  bool is_number() const { return type == Type::number; }
+  bool is_string() const { return type == Type::string; }
+  bool is_array() const { return type == Type::array; }
+  bool is_object() const { return type == Type::object; }
+
+  /// First member named `k`, or nullptr (objects only).
+  const JsonValue* find(std::string_view k) const;
+};
+
+/// Strict recursive-descent parse of a complete document: one top-level
+/// value, no trailing bytes, nesting capped at 256 levels. Throws
+/// std::runtime_error with byte offset on malformed input.
+JsonValue json_parse(std::string_view text);
+
+/// Validation wrapper: true if `text` parses; on failure stores the parse
+/// error in *error when non-null.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace vmc::json

@@ -76,6 +76,11 @@ RunManifest& RunManifest::add_device_health(const DeviceHealth& d) {
   return *this;
 }
 
+RunManifest& RunManifest::add_job(const JobRecord& j) {
+  jobs_.push_back(j);
+  return *this;
+}
+
 RunManifest& RunManifest::capture_metrics() {
   metrics_json_ = metrics().snapshot().json();
   return *this;
@@ -147,6 +152,23 @@ std::string RunManifest::json() const {
       w.member("trips", d.trips);
       w.member("probes", d.probes);
       w.member("steals_in", d.steals_in);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (!jobs_.empty()) {
+    w.key("jobs").begin_array();
+    for (const auto& j : jobs_) {
+      w.begin_object();
+      w.member("job_id", j.job_id);
+      w.member("tenant", j.tenant);
+      w.member("status", j.status);
+      w.member("digest", j.digest);
+      w.member("cache_hit", j.cache_hit);
+      w.member("resumes", j.resumes);
+      w.member("latency_seconds", j.latency_seconds);
+      w.member("k_eff", j.k_eff);
       w.end_object();
     }
     w.end_array();

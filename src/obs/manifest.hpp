@@ -52,6 +52,21 @@ class RunManifest {
   };
   RunManifest& add_device_health(const DeviceHealth& d);
 
+  /// One served job's end-of-run record (vmc_serve). Plain strings/numbers
+  /// so obs stays independent of serve; the daemon maps its JobResult onto
+  /// this 1:1 and vmc_obs_check --serve validates the resulting array.
+  struct JobRecord {
+    std::string job_id;
+    std::string tenant;
+    std::string status;          // done | rejected | failed
+    std::uint64_t digest = 0;    // content-address of the cached library
+    bool cache_hit = false;
+    int resumes = 0;             // worker deaths survived via checkpoint
+    double latency_seconds = 0;  // submit -> completion wall time
+    double k_eff = 0;
+  };
+  RunManifest& add_job(const JobRecord& j);
+
   /// Embed a snapshot of the global metrics registry.
   RunManifest& capture_metrics();
 
@@ -77,6 +92,7 @@ class RunManifest {
   std::vector<FaultSummary> faults_;
   bool has_faults_ = false;
   std::vector<DeviceHealth> device_health_;
+  std::vector<JobRecord> jobs_;
   std::string metrics_json_;  // pre-serialized snapshot, spliced raw
 };
 

@@ -19,6 +19,10 @@
 //   comm.send          point-to-point message injection
 //   comm.rank_death    a rank dies at the top of a generation (key = rank)
 //   statepoint.write   torn checkpoint write (crash mid-fwrite)
+//   serve.accept       the serving layer's ingress path dies mid-admission
+//                      (key = job seq)
+//   serve.worker_death a serve worker dies after a generation's checkpoint
+//                      (key = (job seq << 16) | generation)
 #pragma once
 
 #include <cstdint>
@@ -45,8 +49,9 @@ struct FaultError : TransientError {
 /// this list turns a typo'd point name into an immediate test failure
 /// instead of a chaos test that silently injects nothing.
 inline constexpr std::string_view kFaultPoints[] = {
-    "offload.transfer", "offload.compute", "comm.send",
-    "comm.rank_death",  "statepoint.write",
+    "offload.transfer", "offload.compute",    "comm.send",
+    "comm.rank_death",  "statepoint.write",   "serve.accept",
+    "serve.worker_death",
 };
 
 /// Key wildcard: the rule applies to every caller key.

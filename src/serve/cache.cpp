@@ -1,0 +1,124 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vmc::serve {
+
+ModelCache::Entry* ModelCache::find_locked(std::uint64_t digest) {
+  for (Entry& e : entries_)
+    if (e.digest == digest) return &e;
+  return nullptr;
+}
+
+std::shared_ptr<const hm::Model> ModelCache::acquire(const JobSpec& spec,
+                                                     bool* was_hit) {
+  const std::uint64_t digest = spec.digest();
+  std::unique_lock lk(mu_);
+  for (;;) {
+    Entry* e = find_locked(digest);
+    if (e != nullptr && e->model) {
+      e->last_use = ++use_clock_;
+      ++hits_;
+      if (was_hit != nullptr) *was_hit = true;
+      return e->model;
+    }
+    if (e != nullptr && e->building) {
+      // Another job is mid-finalize for this digest: wait for it rather
+      // than duplicating the build. Its completion (or failure) wakes us.
+      built_.wait(lk, [&] {
+        Entry* cur = find_locked(digest);
+        return cur == nullptr || !cur->building;
+      });
+      continue;  // re-evaluate: hit the fresh model, or retry after failure
+    }
+    break;  // no entry (or a failed one): this request runs the build
+  }
+
+  // Claim the flight, then build OUTSIDE the lock — finalize is the
+  // expensive part and other digests must proceed concurrently.
+  {
+    Entry* e = find_locked(digest);
+    if (e == nullptr) {
+      entries_.push_back({});
+      e = &entries_.back();
+      e->digest = digest;
+    }
+    e->building = true;
+    e->failed = false;
+  }
+  ++misses_;
+  if (was_hit != nullptr) *was_hit = false;
+  lk.unlock();
+
+  std::shared_ptr<const hm::Model> model;
+  try {
+    model = std::make_shared<const hm::Model>(hm::build_model(spec.model_options()));
+  } catch (...) {
+    lk.lock();
+    if (Entry* e = find_locked(digest)) {
+      e->building = false;
+      e->failed = true;
+    }
+    built_.notify_all();
+    throw;
+  }
+
+  lk.lock();
+  Entry* e = find_locked(digest);
+  e->model = model;
+  e->building = false;
+  e->bytes = model->library.union_bytes() + model->library.pointwise_bytes() +
+             model->library.hash_bytes();
+  e->last_use = ++use_clock_;
+  built_.notify_all();
+  evict_locked();
+  return model;
+}
+
+void ModelCache::evict_locked() {
+  // LRU over idle entries only: an entry whose model is also held outside
+  // the cache (use_count > 1) backs a running job and must survive even if
+  // the budget is blown — the budget is a target, not a correctness limit.
+  auto resident = [this] {
+    std::size_t total = 0;
+    for (const Entry& e : entries_)
+      if (e.model) total += e.bytes;
+    return total;
+  };
+  std::size_t total = resident();
+  while (total > byte_budget_) {
+    Entry* victim = nullptr;
+    for (Entry& e : entries_) {
+      if (!e.model || e.building) continue;
+      if (e.model.use_count() > 1) continue;  // in use by a job
+      if (victim == nullptr || e.last_use < victim->last_use) victim = &e;
+    }
+    if (victim == nullptr) break;  // everything left is in use
+    total -= victim->bytes;
+    ++evictions_;
+    entries_.erase(entries_.begin() + (victim - entries_.data()));
+  }
+}
+
+void ModelCache::enforce_budget() {
+  std::lock_guard lk(mu_);
+  evict_locked();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  for (const Entry& e : entries_) {
+    if (e.model) {
+      s.bytes += e.bytes;
+      ++s.entries;
+    }
+  }
+  return s;
+}
+
+}  // namespace vmc::serve

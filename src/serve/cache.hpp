@@ -1,0 +1,85 @@
+// Content-addressed cache of finalized models (xsdata::Library + HashGrid +
+// geometry), shared across concurrent jobs.
+//
+// `Library::finalize` (grid unionization + hash-index build) is the dominant
+// cold-start cost of a job — exactly the cost OpenMC-style serving setups
+// amortize across runs. The cache keys on `JobSpec::digest()` (the
+// library-determining axes only), so any two jobs over the same physics
+// share ONE immutable `hm::Model` instance regardless of seed, size, or
+// tenant. Guarantees:
+//
+//  * single-flight: concurrent first requests for a digest build once; the
+//    losers block until the winner's finalize completes (a coalesced wait
+//    counts as a hit — no finalize ran for it);
+//  * hits never touch finalize()/rebuild_hash(): the entry is handed out
+//    as-is, which is what makes warm-vs-cold bit-identity provable;
+//  * LRU eviction against a byte budget, where an entry's cost is the
+//    library's own accounting (union_bytes + pointwise_bytes + hash_bytes);
+//    entries still referenced by a running job are never evicted (the map's
+//    shared_ptr use_count is the reference census — acquisition happens
+//    under the same mutex, so the census cannot race upward mid-eviction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <vector>
+
+#include "hm/hm_model.hpp"
+#include "serve/job_spec.hpp"
+
+namespace vmc::serve {
+
+class ModelCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;       // includes coalesced waits on in-flight builds
+    std::uint64_t misses = 0;     // builds actually executed
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;        // resident library bytes
+    std::size_t entries = 0;
+  };
+
+  explicit ModelCache(std::size_t byte_budget = std::size_t{256} << 20)
+      : byte_budget_(byte_budget) {}
+
+  /// The shared model for `spec`'s digest, building it at most once per
+  /// digest. Sets *was_hit to false only for the request that ran the build.
+  /// Propagates build exceptions to every waiter of that flight.
+  std::shared_ptr<const hm::Model> acquire(const JobSpec& spec,
+                                           bool* was_hit = nullptr);
+
+  Stats stats() const;
+
+  /// Drop this thread's interest hint; eviction is automatic (budget is
+  /// enforced after every insert), this just re-runs it eagerly — used by
+  /// tests to observe eviction at a known point.
+  void enforce_budget();
+
+  std::size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::uint64_t digest = 0;
+    std::shared_ptr<const hm::Model> model;  // null while building
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;              // logical LRU clock
+    bool building = false;
+    bool failed = false;                     // build threw; waiters re-throw
+  };
+
+  Entry* find_locked(std::uint64_t digest);
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable built_;
+  std::vector<Entry> entries_;
+  std::size_t byte_budget_;
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vmc::serve

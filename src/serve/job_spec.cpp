@@ -1,0 +1,207 @@
+#include "serve/job_spec.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "json/json.hpp"
+#include "resil/crc32.hpp"
+
+namespace vmc::serve {
+
+namespace {
+
+[[noreturn]] void reject(std::string code, std::string field, std::string msg) {
+  throw SpecRejected({std::move(code), std::move(field), std::move(msg)});
+}
+
+double need_finite_number(const json::JsonValue& v, const std::string& field) {
+  if (!v.is_number()) reject("wrong_type", field, "expected a number");
+  if (!std::isfinite(v.number))
+    reject("bad_value", field, "non-finite numbers are not representable");
+  return v.number;
+}
+
+std::int64_t need_integer(const json::JsonValue& v, const std::string& field) {
+  const double d = need_finite_number(v, field);
+  if (d != std::floor(d) || std::fabs(d) > 9.0e15)
+    reject("bad_value", field, "expected an integer");
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& need_string(const json::JsonValue& v, const std::string& field) {
+  if (!v.is_string()) reject("wrong_type", field, "expected a string");
+  return v.string;
+}
+
+}  // namespace
+
+const char* tier_name(xs::GridSearch tier) {
+  switch (tier) {
+    case xs::GridSearch::binary: return "binary";
+    case xs::GridSearch::hash: return "hash";
+    case xs::GridSearch::hash_nuclide: return "hash_nuclide";
+  }
+  return "hash";
+}
+
+int JobSpec::effective_nuclides() const {
+  if (nuclides > 0) return nuclides;
+  return hm::fuel_nuclide_count(model == "large" ? hm::FuelSize::large
+                                                 : hm::FuelSize::small);
+}
+
+std::uint64_t JobSpec::digest() const {
+  // Hash only the axes that change the finalized library (+index shape).
+  // Raw little-endian double bits, not formatted text, so e.g. 600.0 and
+  // 600.00000000000001 K are honestly distinct libraries.
+  resil::Crc32 c;
+  const auto add = [&c](const void* p, std::size_t n) { c.update(p, n); };
+  const char schema_salt[] = "vectormc.job.v1";
+  add(schema_salt, sizeof schema_salt);
+  add(model.data(), model.size());
+  const std::int64_t n_fuel = effective_nuclides();
+  add(&n_fuel, sizeof n_fuel);
+  // Index shape, not tier identity: binary/hash need no per-nuclide table.
+  const unsigned char nuclide_index = tier == xs::GridSearch::hash_nuclide;
+  add(&nuclide_index, sizeof nuclide_index);
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof temperature_K);
+  std::memcpy(&bits, &temperature_K, sizeof bits);
+  add(&bits, sizeof bits);
+  std::memcpy(&bits, &grid_scale, sizeof bits);
+  add(&bits, sizeof bits);
+  return c.value();
+}
+
+hm::ModelOptions JobSpec::model_options() const {
+  hm::ModelOptions opt;
+  opt.fuel = model == "large" ? hm::FuelSize::large : hm::FuelSize::small;
+  opt.fuel_nuclides = nuclides;
+  opt.grid_scale = grid_scale;
+  opt.temperature_K = temperature_K;
+  // Served jobs run the single-assembly (infinite-lattice) configuration:
+  // the library dominates setup cost and is what the cache shares; geometry
+  // is rebuilt per model in milliseconds.
+  opt.full_core = false;
+  opt.hash.nuclide_index = tier == xs::GridSearch::hash_nuclide;
+  return opt;
+}
+
+core::Settings JobSpec::settings() const {
+  core::Settings st;
+  st.n_particles = particles;
+  st.n_inactive = inactive;
+  st.n_active = batches - inactive;
+  st.seed = seed;
+  st.event.lookup.search = tier;
+  return st;
+}
+
+void validate_spec(const JobSpec& spec) {
+  if (spec.model != "small" && spec.model != "large")
+    reject("bad_value", "model", "expected \"small\" or \"large\"");
+  if (spec.nuclides < 0)
+    reject("bad_value", "nuclides", "must be >= 0 (0 = model default)");
+  if (spec.nuclides != 0 && spec.nuclides < 3)
+    reject("bad_value", "nuclides", "a fuel needs at least 3 nuclides");
+  if (spec.batches < 1) reject("bad_value", "batches", "must be >= 1");
+  if (spec.inactive < 0 || spec.inactive >= spec.batches)
+    reject("bad_value", "inactive", "need 0 <= inactive < batches");
+  if (spec.particles == 0) reject("bad_value", "particles", "must be >= 1");
+  if (!(spec.temperature_K > 0.0))
+    reject("bad_value", "temperature_K", "must be > 0");
+  if (!(spec.grid_scale > 0.0))
+    reject("bad_value", "grid_scale", "must be > 0");
+  if (!(spec.weight > 0.0)) reject("bad_value", "weight", "must be > 0");
+  if (spec.devices < 0) reject("bad_value", "devices", "must be >= 0");
+  if (spec.tenant.empty()) reject("bad_value", "tenant", "must be non-empty");
+}
+
+JobSpec parse_job_spec(std::string_view text) {
+  json::JsonValue doc;
+  try {
+    doc = json::json_parse(text);
+  } catch (const std::exception& e) {
+    reject("bad_json", "", e.what());
+  }
+  if (!doc.is_object()) reject("wrong_type", "", "document must be an object");
+
+  JobSpec spec;
+  bool saw_schema = false;
+  for (const auto& [key, v] : doc.object) {
+    if (key == "schema") {
+      if (need_string(v, key) != "vectormc.job.v1")
+        reject("bad_value", "schema", "expected \"vectormc.job.v1\"");
+      saw_schema = true;
+    } else if (key == "job_id") {
+      spec.job_id = need_string(v, key);
+    } else if (key == "tenant") {
+      spec.tenant = need_string(v, key);
+    } else if (key == "weight") {
+      spec.weight = need_finite_number(v, key);
+    } else if (key == "model") {
+      spec.model = need_string(v, key);
+    } else if (key == "nuclides") {
+      spec.nuclides = static_cast<int>(need_integer(v, key));
+    } else if (key == "tier") {
+      const std::string& t = need_string(v, key);
+      if (t == "binary")
+        spec.tier = xs::GridSearch::binary;
+      else if (t == "hash")
+        spec.tier = xs::GridSearch::hash;
+      else if (t == "hash_nuclide")
+        spec.tier = xs::GridSearch::hash_nuclide;
+      else
+        reject("bad_value", "tier",
+               "expected \"binary\", \"hash\", or \"hash_nuclide\"");
+    } else if (key == "temperature_K") {
+      spec.temperature_K = need_finite_number(v, key);
+    } else if (key == "grid_scale") {
+      spec.grid_scale = need_finite_number(v, key);
+    } else if (key == "batches") {
+      spec.batches = static_cast<int>(need_integer(v, key));
+    } else if (key == "inactive") {
+      spec.inactive = static_cast<int>(need_integer(v, key));
+    } else if (key == "particles") {
+      const std::int64_t p = need_integer(v, key);
+      if (p < 0) reject("bad_value", "particles", "must be >= 0");
+      spec.particles = static_cast<std::uint64_t>(p);
+    } else if (key == "seed") {
+      const std::int64_t s = need_integer(v, key);
+      if (s < 0) reject("bad_value", "seed", "must be >= 0");
+      spec.seed = static_cast<std::uint64_t>(s);
+    } else if (key == "devices") {
+      spec.devices = static_cast<int>(need_integer(v, key));
+    } else {
+      reject("unknown_field", key, "not a vectormc.job.v1 member");
+    }
+  }
+  if (!saw_schema)
+    reject("missing_field", "schema", "documents must carry the schema tag");
+  validate_spec(spec);
+  return spec;
+}
+
+std::string JobSpec::json() const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "vectormc.job.v1");
+  if (!job_id.empty()) w.member("job_id", job_id);
+  w.member("tenant", tenant);
+  w.member("weight", weight);
+  w.member("model", model);
+  w.member("nuclides", nuclides);
+  w.member("tier", tier_name(tier));
+  w.member("temperature_K", temperature_K);
+  w.member("grid_scale", grid_scale);
+  w.member("batches", batches);
+  w.member("inactive", inactive);
+  w.member("particles", particles);
+  w.member("seed", seed);
+  w.member("devices", devices);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace vmc::serve

@@ -1,0 +1,104 @@
+// vectormc.job.v1: the strict job-spec document accepted by the serving
+// layer (tools/vmc_served) and by `vmc_run --job-spec`.
+//
+// A spec names WHAT to simulate (material set, fuel-nuclide count,
+// grid-search tier, temperature — the axes that determine the cross-section
+// library) and HOW MUCH (batches, particles, seed, devices — the axes that
+// only shape the transport run). The split matters: `digest()` hashes only
+// the library-determining axes, so thousands of jobs that differ in seed or
+// size content-address the same finalized `xsdata::Library` in the serve
+// cache.
+//
+// Parsing is strict: unknown keys, wrong-typed fields, non-finite numbers,
+// and out-of-range values are rejected with a structured error (code +
+// field), never coerced. See README.md for the schema reference.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/eigenvalue.hpp"
+#include "hm/hm_model.hpp"
+#include "xsdata/hash_grid.hpp"
+
+namespace vmc::serve {
+
+/// Structured rejection: machine-readable code + offending field. Every
+/// admission/validation failure surfaces as one of these (serialized into
+/// the result document), never as a bare string.
+struct SpecError {
+  std::string code;     // bad_json | missing_field | wrong_type |
+                        // unknown_field | bad_value | over_budget |
+                        // queue_full | unavailable
+  std::string field;    // offending member ("" for document-level errors)
+  std::string message;  // human-readable detail
+};
+
+/// Thrown by parse_job_spec / Server::submit on any rejection.
+class SpecRejected : public std::runtime_error {
+ public:
+  explicit SpecRejected(SpecError e)
+      : std::runtime_error(e.code + (e.field.empty() ? "" : " (" + e.field + ")") +
+                           ": " + e.message),
+        error_(std::move(e)) {}
+  const SpecError& error() const { return error_; }
+
+ private:
+  SpecError error_;
+};
+
+struct JobSpec {
+  // --- identity / scheduling (NOT part of the content digest) -------------
+  std::string job_id;            // assigned by the server when empty
+  std::string tenant = "default";
+  double weight = 1.0;           // fair-share weight, > 0
+
+  // --- library-determining axes (content digest) --------------------------
+  std::string model = "small";   // "small" (H.M. 34) | "large" (H.M. 320)
+  int nuclides = 0;              // fuel-nuclide override; 0 = model default
+  xs::GridSearch tier = xs::GridSearch::hash;
+  double temperature_K = 300.0;  // Doppler axis (sqrt(T/300) width scaling)
+  double grid_scale = 1.0;       // per-nuclide grid-size multiplier
+
+  // --- run-shaping axes (excluded from the digest) ------------------------
+  int batches = 5;               // total generations (inactive + active)
+  int inactive = 2;
+  std::uint64_t particles = 2000;
+  std::uint64_t seed = 42;
+  int devices = 0;               // modeled offload devices (0 = host sweep)
+
+  /// Content address of the finalized library this spec requires: a CRC-32
+  /// over the library-determining axes only. Note the grid-search tier
+  /// contributes through the index shape it needs (`hash_nuclide` builds the
+  /// per-nuclide start table, `binary`/`hash` share the plain index), so
+  /// binary- and hash-tier jobs over the same physics share one entry.
+  std::uint64_t digest() const;
+
+  /// Model options this spec resolves to (serve runs use the single-assembly
+  /// configuration; geometry is rebuilt per job, the library is cached).
+  hm::ModelOptions model_options() const;
+
+  /// Transport settings (history mode, no checkpointing — the server fills
+  /// in checkpoint/resume and callbacks).
+  core::Settings settings() const;
+
+  /// Effective fuel-nuclide count (override or model default).
+  int effective_nuclides() const;
+
+  /// Serialize back to a vectormc.job.v1 document (round-trips via parse).
+  std::string json() const;
+};
+
+/// Strict parse of a vectormc.job.v1 document. Throws SpecRejected with a
+/// structured error on any malformation; never coerces.
+JobSpec parse_job_spec(std::string_view text);
+
+/// Validate ranges only (parse_job_spec already calls this; exposed so specs
+/// built in code go through the same gate).
+void validate_spec(const JobSpec& spec);
+
+const char* tier_name(xs::GridSearch tier);
+
+}  // namespace vmc::serve

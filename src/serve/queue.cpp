@@ -1,0 +1,69 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace vmc::serve {
+
+void FairShareQueue::push_locked(Job&& job, bool resumed) {
+  TenantState* ts = nullptr;
+  for (TenantState& t : tenants_)
+    if (t.tenant == job.spec.tenant) ts = &t;
+  if (ts == nullptr) {
+    tenants_.push_back({job.spec.tenant, 0.0});
+    ts = &tenants_.back();
+  }
+  Pending p;
+  if (resumed) {
+    // Resumed work already earned its slot; schedule it at the current
+    // virtual time so it goes next within fair order, not to the back.
+    p.vfinish = vclock_;
+  } else {
+    const double vstart = std::max(vclock_, ts->vfinish);
+    p.vfinish = vstart + 1.0 / job.spec.weight;
+    ts->vfinish = p.vfinish;
+  }
+  p.job = std::move(job);
+  pending_.push_back(std::move(p));
+  ready_.notify_one();
+}
+
+void FairShareQueue::push(Job job) {
+  std::lock_guard lk(mu_);
+  push_locked(std::move(job), /*resumed=*/false);
+}
+
+void FairShareQueue::push_resumed(Job job) {
+  std::lock_guard lk(mu_);
+  push_locked(std::move(job), /*resumed=*/true);
+}
+
+bool FairShareQueue::pop(Job& out) {
+  std::unique_lock lk(mu_);
+  ready_.wait(lk, [&] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return false;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const Pending& a = pending_[i];
+    const Pending& b = pending_[best];
+    if (a.vfinish < b.vfinish ||
+        (a.vfinish == b.vfinish && a.job.seq < b.job.seq))
+      best = i;
+  }
+  vclock_ = std::max(vclock_, pending_[best].vfinish);
+  out = std::move(pending_[best].job);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  return true;
+}
+
+void FairShareQueue::close() {
+  std::lock_guard lk(mu_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+std::size_t FairShareQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return pending_.size();
+}
+
+}  // namespace vmc::serve

@@ -1,0 +1,71 @@
+// Fair-share weighted job queue (start-time fair queuing).
+//
+// Each tenant owns a virtual clock. A job's virtual start time is
+// max(global virtual time, tenant's last finish), and its virtual finish is
+// start + 1/weight — so a tenant with weight 2 advances half as fast per job
+// and drains twice the share. Workers always pop the smallest virtual
+// finish, which bounds any backlogged tenant's extra latency by one job of
+// every other tenant per share round, independent of submission bursts.
+// FIFO order is preserved within a tenant (ties break on admission sequence).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job_spec.hpp"
+
+namespace vmc::serve {
+
+/// One admitted unit of work. `resumes`/`checkpoint` carry worker-death
+/// recovery state across re-enqueues.
+struct Job {
+  JobSpec spec;
+  std::uint64_t seq = 0;       // admission order; also the fault/trace key
+  double submitted_at = 0.0;   // prof::now_seconds() at admission
+  int resumes = 0;             // times resumed from a checkpoint
+  std::string checkpoint;      // statepoint to resume from ("" = fresh)
+};
+
+class FairShareQueue {
+ public:
+  /// Blocks never: admission control bounds depth before push.
+  void push(Job job);
+
+  /// Re-admit a resumed job at the FRONT of its tenant's share (virtual
+  /// finish of "now"), so a death doesn't send the job to the back of the
+  /// fair-share order it already won.
+  void push_resumed(Job job);
+
+  /// Pop the job with the smallest virtual finish time; blocks until a job
+  /// arrives or close() is called. Returns false iff closed and drained.
+  bool pop(Job& out);
+
+  /// Unblock all poppers once the queue empties (pending jobs still drain).
+  void close();
+
+  std::size_t depth() const;
+
+ private:
+  struct Pending {
+    Job job;
+    double vfinish = 0.0;
+  };
+  struct TenantState {
+    std::string tenant;
+    double vfinish = 0.0;  // virtual finish of the tenant's last admitted job
+  };
+
+  void push_locked(Job&& job, bool resumed);
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<Pending> pending_;
+  std::vector<TenantState> tenants_;
+  double vclock_ = 0.0;  // virtual time of the last pop
+  bool closed_ = false;
+};
+
+}  // namespace vmc::serve

@@ -1,0 +1,291 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "json/json.hpp"
+#include "obs/trace.hpp"
+#include "prof/profiler.hpp"
+#include "resil/fault.hpp"
+#include "serve/spool.hpp"
+
+namespace vmc::serve {
+
+namespace {
+
+/// Thrown by the serve.worker_death fault site inside the per-generation
+/// callback; models a worker process dying mid-job. Deliberately NOT a
+/// resil::TransientError — nothing in core may silently retry it; the
+/// server's recovery path (checkpoint resume) is the only handler.
+struct WorkerDeath {};
+
+}  // namespace
+
+std::string JobResult::json() const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "vectormc.result.v1");
+  w.member("job_id", job_id);
+  w.member("tenant", tenant);
+  w.member("status", status);
+  if (status != "done") {
+    w.key("error").begin_object();
+    w.member("code", error.code);
+    w.member("field", error.field);
+    w.member("message", error.message);
+    w.end_object();
+  }
+  w.member("digest", digest);
+  w.member("cache_hit", cache_hit);
+  w.member("resumes", resumes);
+  w.member("latency_seconds", latency_seconds);
+  w.member("k_eff", k_eff);
+  w.member("k_std", k_std);
+  w.key("k_history").begin_array();
+  for (double k : k_history) w.value(k);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), cache_(cfg_.cache_bytes) {
+  auto& reg = obs::metrics();
+  submitted_ = reg.counter("vmc_serve_jobs_submitted_total", {},
+                           "jobs admitted past validation and admission control");
+  rejects_ = reg.counter("vmc_serve_admission_rejects_total", {},
+                         "specs bounced at the door (all reasons)");
+  completed_done_ = reg.counter("vmc_serve_jobs_completed_total",
+                                {{"status", "done"}}, "finished jobs by status");
+  completed_failed_ = reg.counter("vmc_serve_jobs_completed_total",
+                                  {{"status", "failed"}});
+  cache_hits_ = reg.counter("vmc_serve_cache_hits_total", {},
+                            "model-cache hits (incl. coalesced builds)");
+  cache_misses_ = reg.counter("vmc_serve_cache_misses_total", {},
+                              "model-cache builds executed");
+  cache_evictions_ = reg.counter("vmc_serve_cache_evictions_total", {},
+                                 "LRU evictions under the byte budget");
+  worker_deaths_ = reg.counter("vmc_serve_worker_deaths_total", {},
+                               "serve.worker_death fires survived via resume");
+  generations_ = reg.counter("vmc_serve_generations_total", {},
+                             "transport generations completed across all jobs");
+  queue_depth_g_ = reg.gauge("vmc_serve_queue_depth", {},
+                             "jobs waiting in the fair-share queue");
+  cache_bytes_g_ = reg.gauge("vmc_serve_cache_bytes", {},
+                             "resident model-cache bytes (library accounting)");
+  latency_ = reg.histogram(
+      "vmc_serve_job_latency_seconds",
+      {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+       10.0, 30.0},
+      {}, "submit-to-completion wall time");
+
+  obs::tracer().set_process_name(kServePid, "vmc_serve jobs");
+  const int n = std::max(1, cfg_.workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    obs::tracer().set_thread_name(kServePid, i, "worker-" + std::to_string(i));
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::string Server::checkpoint_path(const Job& job) const {
+  return cfg_.checkpoint_dir + "/job_" + std::to_string(job.seq) + ".sp";
+}
+
+std::string Server::submit(JobSpec spec) {
+  validate_spec(spec);
+
+  const auto bounce = [this](std::string code, std::string field,
+                             std::string msg) {
+    rejects_.inc();
+    obs::metrics()
+        .counter("vmc_serve_admission_rejects_total", {{"reason", code}})
+        .inc();
+    throw SpecRejected({std::move(code), std::move(field), std::move(msg)});
+  };
+
+  // Admission budgets: anything over budget is a structured reject, not a
+  // queued-then-failed job — the queue only ever holds runnable work.
+  if (spec.particles > cfg_.max_particles)
+    bounce("over_budget", "particles",
+           "budget is " + std::to_string(cfg_.max_particles));
+  if (spec.batches > cfg_.max_batches)
+    bounce("over_budget", "batches",
+           "budget is " + std::to_string(cfg_.max_batches));
+  if (spec.effective_nuclides() > cfg_.max_nuclides)
+    bounce("over_budget", "nuclides",
+           "budget is " + std::to_string(cfg_.max_nuclides));
+  if (spec.temperature_K < cfg_.min_temperature_K ||
+      spec.temperature_K > cfg_.max_temperature_K)
+    bounce("over_budget", "temperature_K", "outside the served range");
+  if (spec.devices > cfg_.max_devices)
+    bounce("over_budget", "devices",
+           "budget is " + std::to_string(cfg_.max_devices));
+  if (queue_.depth() >= cfg_.max_queue_depth)
+    bounce("queue_full", "", "fair-share queue is at capacity");
+
+  Job job;
+  {
+    std::lock_guard lk(mu_);
+    if (!accepting_)
+      bounce("unavailable", "", "server is shutting down");
+    job.seq = next_seq_++;
+  }
+  // Ingress fault site: models the accept path dying under chaos (socket
+  // reset, inbox torn mid-claim). Fires before any state is committed; the
+  // consumed seq is simply abandoned (seqs are unique, not dense).
+  if (resil::fault_fires("serve.accept", job.seq))
+    bounce("unavailable", "", "injected accept fault");
+
+  if (spec.job_id.empty()) spec.job_id = "job-" + std::to_string(job.seq);
+  const std::string id = spec.job_id;
+  job.spec = std::move(spec);
+  job.submitted_at = prof::now_seconds();
+  {
+    std::lock_guard lk(mu_);
+    ++inflight_;
+  }
+  submitted_.inc();
+  queue_.push(std::move(job));
+  queue_depth_g_.set(static_cast<double>(queue_.depth()));
+  return id;
+}
+
+std::string Server::submit_json(std::string_view text) {
+  return submit(parse_job_spec(text));
+}
+
+void Server::worker_loop(int worker_id) {
+  Job job;
+  while (queue_.pop(job)) {
+    queue_depth_g_.set(static_cast<double>(queue_.depth()));
+    run_job(std::move(job), worker_id);
+  }
+}
+
+void Server::run_job(Job job, int worker_id) {
+  const double t0 = prof::now_seconds();
+  JobResult r;
+  r.job_id = job.spec.job_id;
+  r.tenant = job.spec.tenant;
+  r.seq = job.seq;
+  r.digest = job.spec.digest();
+  r.resumes = job.resumes;
+
+  try {
+    bool hit = false;
+    std::shared_ptr<const hm::Model> model = cache_.acquire(job.spec, &hit);
+    r.cache_hit = hit;
+    (hit ? cache_hits_ : cache_misses_).inc();
+    const ModelCache::Stats cs = cache_.stats();
+    cache_bytes_g_.set(static_cast<double>(cs.bytes));
+    // Evictions are a cache-internal event; mirror the running total into
+    // the counter by topping it up to the cache's census.
+    if (cs.evictions > cache_evictions_.value())
+      cache_evictions_.inc(cs.evictions - cache_evictions_.value());
+
+    core::Settings st = job.spec.settings();
+    if (job.spec.devices > 0) st.mode = core::TransportMode::event;
+    if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_dir.empty()) {
+      st.checkpoint_every = cfg_.checkpoint_every;
+      st.checkpoint_path = checkpoint_path(job);
+    }
+    if (!job.checkpoint.empty()) st.resume_from = job.checkpoint;
+    const std::uint64_t seq = job.seq;
+    st.on_generation = [this, seq](const core::GenerationResult&, int gen) {
+      generations_.inc();
+      if (resil::fault_fires("serve.worker_death",
+                             (seq << 16) |
+                                 static_cast<std::uint64_t>(gen & 0xFFFF)))
+        throw WorkerDeath{};
+    };
+
+    core::Simulation sim(model->geometry, model->library, st);
+    const core::RunResult run = sim.run();
+
+    r.status = "done";
+    r.k_eff = run.k_eff;
+    r.k_std = run.k_std;
+    r.k_history = run.k_collision_history;
+  } catch (const WorkerDeath&) {
+    worker_deaths_.inc();
+    const std::string cp = checkpoint_path(job);
+    if (job.resumes < cfg_.max_resumes && spool::file_exists(cp)) {
+      // The statepoint on disk is consistent (the fault site runs after the
+      // write); re-admit at the front of this tenant's share.
+      job.resumes += 1;
+      job.checkpoint = cp;
+      obs::tracer().inject_instant(kServePid, worker_id,
+                                   job.spec.job_id + " death",
+                                   "serve.death", prof::now_seconds());
+      queue_.push_resumed(std::move(job));
+      queue_depth_g_.set(static_cast<double>(queue_.depth()));
+      return;  // job still in flight; no result yet
+    }
+    r.status = "failed";
+    r.error = {"worker_death", "",
+               "worker died " + std::to_string(job.resumes + 1) +
+                   " times; resume budget exhausted"};
+  } catch (const SpecRejected& e) {
+    r.status = "failed";
+    r.error = e.error();
+  } catch (const std::exception& e) {
+    r.status = "failed";
+    r.error = {"internal", "", e.what()};
+  }
+
+  const double t1 = prof::now_seconds();
+  r.latency_seconds = t1 - job.submitted_at;
+  obs::tracer().inject_span(kServePid, worker_id, r.job_id, "serve.job", t0,
+                            t1 - t0);
+  latency_.observe(r.latency_seconds);
+  (r.status == "done" ? completed_done_ : completed_failed_).inc();
+  finish(std::move(r));
+}
+
+void Server::finish(JobResult r) {
+  std::lock_guard lk(mu_);
+  obs::RunManifest::JobRecord j;
+  j.job_id = r.job_id;
+  j.tenant = r.tenant;
+  j.status = r.status;
+  j.digest = r.digest;
+  j.cache_hit = r.cache_hit;
+  j.resumes = r.resumes;
+  j.latency_seconds = r.latency_seconds;
+  j.k_eff = r.k_eff;
+  archive_.push_back(std::move(j));
+  results_.push_back(std::move(r));
+  if (inflight_ > 0) --inflight_;
+  idle_.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock lk(mu_);
+  idle_.wait(lk, [&] { return inflight_ == 0; });
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    accepting_ = false;
+  }
+  drain();
+  queue_.close();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+std::vector<JobResult> Server::take_results() {
+  std::lock_guard lk(mu_);
+  return std::exchange(results_, {});
+}
+
+void Server::fill_manifest(obs::RunManifest& m) {
+  std::lock_guard lk(mu_);
+  for (const obs::RunManifest::JobRecord& j : archive_) m.add_job(j);
+}
+
+}  // namespace vmc::serve

@@ -1,0 +1,149 @@
+// vmc_serve: the multi-tenant simulation server.
+//
+// Lifecycle of a job:
+//
+//   submit(spec)
+//     -> strict validation (parse layer) + admission control (budget caps,
+//        queue depth, serve.accept fault point) — rejects throw SpecRejected
+//        with a structured error and are counted, never queued;
+//     -> fair-share weighted queue (serve/queue.hpp);
+//   worker pool (N threads)
+//     -> content-addressed model acquire (serve/cache.hpp — the finalize
+//        skip on warm digests is the serving layer's key perf property);
+//     -> core::Simulation in history/event mode with periodic statepoints
+//        (cfg.checkpoint_every) and the serve.worker_death fault site in the
+//        per-generation callback;
+//     -> a killed worker's job is re-admitted at the front of its tenant's
+//        share and resumes from its last checkpoint — PR 2's restart
+//        equivalence makes the k history bit-identical to an undisturbed run;
+//   completion
+//     -> JobResult (vectormc.result.v1), latency histogram, manifest record.
+//
+// Observability: every stage ticks `vmc_serve_*` metric families on the
+// global registry, and each job is a span on the serve tracer track
+// (pid kServePid).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/queue.hpp"
+
+namespace vmc::serve {
+
+struct ServerConfig {
+  int workers = 2;
+  /// Cache byte budget (library accounting; see ModelCache).
+  std::size_t cache_bytes = std::size_t{256} << 20;
+  /// Admission: queue depth beyond which submissions bounce (queue_full).
+  std::size_t max_queue_depth = 4096;
+  // Admission budgets (over_budget rejections name the offending field).
+  std::uint64_t max_particles = 1'000'000;
+  int max_batches = 500;
+  int max_nuclides = 512;
+  double min_temperature_K = 250.0;
+  double max_temperature_K = 2400.0;
+  int max_devices = 8;
+  /// Statepoint directory; empty disables checkpointing (and thus resume).
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;  // generations between statepoints (0 = never)
+  /// Worker deaths a single job may survive before it is failed outright.
+  int max_resumes = 4;
+};
+
+/// Completed-job record (schema vectormc.result.v1 via json()).
+struct JobResult {
+  std::string job_id;
+  std::string tenant;
+  std::string status;  // done | failed | rejected
+  SpecError error;     // set when status != done
+  std::uint64_t seq = 0;
+  std::uint64_t digest = 0;
+  bool cache_hit = false;
+  int resumes = 0;
+  double latency_seconds = 0.0;
+  double k_eff = 0.0;
+  double k_std = 0.0;
+  std::vector<double> k_history;
+
+  std::string json() const;
+};
+
+class Server {
+ public:
+  /// Tracer pid for the per-job serve track (host=0 and the modeled devices=1
+  /// are taken by obs/exec).
+  static constexpr int kServePid = 2;
+
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  /// Admit a spec. Returns the assigned job id. Throws SpecRejected on
+  /// validation/admission failure (the rejection is also recorded as a
+  /// JobResult so file-drop clients get a result document either way).
+  std::string submit(JobSpec spec);
+
+  /// parse + submit in one step (the daemon's ingress path).
+  std::string submit_json(std::string_view text);
+
+  /// Block until every admitted job has completed or failed.
+  void drain();
+
+  /// drain, stop the workers, and refuse further submissions.
+  void shutdown();
+
+  /// Completed/rejected results accumulated so far (completion order).
+  std::vector<JobResult> take_results();
+
+  ModelCache::Stats cache_stats() const { return cache_.stats(); }
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+  /// Append per-job records + serve run kind to a manifest.
+  void fill_manifest(obs::RunManifest& m);
+
+ private:
+  void worker_loop(int worker_id);
+  void run_job(Job job, int worker_id);
+  void finish(JobResult r);
+  std::string checkpoint_path(const Job& job) const;
+
+  ServerConfig cfg_;
+  ModelCache cache_;
+  FairShareQueue queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_;
+  std::vector<JobResult> results_;
+  /// Every finished job's manifest record; unlike results_, never consumed
+  /// by take_results(), so end-of-run manifests see the whole history.
+  std::vector<obs::RunManifest::JobRecord> archive_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t inflight_ = 0;  // admitted, not yet finished
+  bool accepting_ = true;
+
+  // vmc_serve_* metric family handles (global registry).
+  obs::Counter submitted_;
+  obs::Counter rejects_;  // labeled total; per-reason counters made on demand
+  obs::Counter completed_done_;
+  obs::Counter completed_failed_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
+  obs::Counter cache_evictions_;
+  obs::Counter worker_deaths_;
+  obs::Counter generations_;
+  obs::Gauge queue_depth_g_;
+  obs::Gauge cache_bytes_g_;
+  obs::Histogram latency_;
+};
+
+}  // namespace vmc::serve

@@ -1,0 +1,146 @@
+#include "serve/spool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "serve/server.hpp"
+
+namespace vmc::serve {
+
+namespace fs = std::filesystem;
+
+namespace spool {
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(fs::path(path), ec);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("spool: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("spool: read failed for " + path);
+  return std::move(ss).str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("spool: cannot open " + tmp);
+    out << content;
+    out.flush();
+    if (!out) throw std::runtime_error("spool: write failed for " + tmp);
+  }
+  fs::rename(fs::path(tmp), fs::path(path));
+}
+
+std::vector<std::string> list_json(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(fs::path(dir), ec)) {
+    if (!e.is_regular_file()) continue;
+    const fs::path& p = e.path();
+    if (p.extension() != ".json") continue;
+    if (p.filename().string().front() == '.') continue;
+    out.push_back(p.string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool claim(const std::string& path, std::string* claimed) {
+  const std::string dst = path + ".claimed";
+  std::error_code ec;
+  fs::rename(fs::path(path), fs::path(dst), ec);
+  if (ec) return false;
+  if (claimed != nullptr) *claimed = dst;
+  return true;
+}
+
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(fs::path(path), ec);
+}
+
+void make_dirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir), ec);
+}
+
+void sleep_seconds(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace spool
+
+std::size_t run_inbox(Server& server, const InboxConfig& cfg) {
+  spool::make_dirs(cfg.inbox);
+  spool::make_dirs(cfg.outbox);
+  const std::string sentinel = cfg.inbox + "/" + cfg.sentinel;
+
+  // job_id -> the outbox basename its result publishes under.
+  std::vector<std::pair<std::string, std::string>> names;
+  std::size_t published = 0;
+
+  const auto publish_finished = [&] {
+    for (JobResult& r : server.take_results()) {
+      std::string base = r.job_id;
+      for (const auto& [id, b] : names)
+        if (id == r.job_id) base = b;
+      spool::write_file_atomic(cfg.outbox + "/" + base + ".result.json",
+                               r.json());
+      ++published;
+    }
+  };
+
+  bool stop = false;
+  while (!stop) {
+    stop = spool::file_exists(sentinel);
+    for (const std::string& path : spool::list_json(cfg.inbox)) {
+      std::string claimed;
+      if (!spool::claim(path, &claimed)) continue;  // raced with a peer
+      const std::string base = fs::path(path).stem().string();
+      std::string text;
+      try {
+        text = spool::read_file(claimed);
+        const std::string id = server.submit_json(text);
+        names.emplace_back(id, base);
+      } catch (const SpecRejected& e) {
+        JobResult r;
+        r.job_id = base;
+        r.status = "rejected";
+        r.error = e.error();
+        spool::write_file_atomic(cfg.outbox + "/" + base + ".result.json",
+                                 r.json());
+        ++published;
+      } catch (const std::exception& e) {
+        JobResult r;
+        r.job_id = base;
+        r.status = "rejected";
+        r.error = {"io", "", e.what()};
+        spool::write_file_atomic(cfg.outbox + "/" + base + ".result.json",
+                                 r.json());
+        ++published;
+      }
+      spool::remove_file(claimed);
+    }
+    publish_finished();
+    if (!stop) spool::sleep_seconds(cfg.poll_seconds);
+  }
+  server.drain();
+  publish_finished();
+  spool::remove_file(sentinel);
+  return published;
+}
+
+}  // namespace vmc::serve

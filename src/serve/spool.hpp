@@ -1,0 +1,64 @@
+// Sanctioned blocking-I/O helpers for the serving layer.
+//
+// This file (spool.*) is the ONE place in src/serve allowed to sleep or
+// touch the filesystem — the vmc_lint `blocking-in-worker` rule excludes it
+// and flags blocking calls anywhere else in src/serve, so a worker thread
+// can never stall the fair-share pool on disk or a timer by accident.
+// Checkpoint writes happen inside core (src/core/statepoint.cpp, its own
+// sanctioned home); everything else — inbox claims, result drops, existence
+// probes, the poll sleep — funnels through here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmc::serve {
+
+class Server;
+
+namespace spool {
+
+bool file_exists(const std::string& path);
+
+/// Whole-file read; throws std::runtime_error on failure.
+std::string read_file(const std::string& path);
+
+/// Atomic publish: write to `<path>.tmp`, flush, rename over `path`. A
+/// reader polling the directory never observes a torn document.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// The *.json documents in `dir`, lexicographically sorted (submission
+/// order for zero-padded names). Ignores dotfiles, *.tmp, and subdirs.
+std::vector<std::string> list_json(const std::string& dir);
+
+/// Claim `path` by renaming it to `<path>.claimed`; false if another
+/// consumer won the race (or the file vanished). The claimed path is
+/// returned through `claimed`.
+bool claim(const std::string& path, std::string* claimed);
+
+void remove_file(const std::string& path);
+
+void make_dirs(const std::string& dir);
+
+void sleep_seconds(double s);
+
+}  // namespace spool
+
+/// File-drop ingress for the daemon: poll `inbox` for vectormc.job.v1
+/// documents, claim + submit each to `server`, and drop a
+/// vectormc.result.v1 per job into `outbox` (same basename, `.result.json`).
+/// Rejected specs get a result document too (status "rejected"). A file
+/// named `sentinel` in the inbox stops the loop after a final drain.
+struct InboxConfig {
+  std::string inbox;
+  std::string outbox;
+  double poll_seconds = 0.05;
+  std::string sentinel = "STOP";
+};
+
+/// Runs until the sentinel appears; returns the number of jobs whose result
+/// documents were published (including rejections).
+std::size_t run_inbox(Server& server, const InboxConfig& cfg);
+
+}  // namespace vmc::serve

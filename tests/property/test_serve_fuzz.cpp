@@ -1,0 +1,110 @@
+// Warm-vs-cold fuzz for the serving layer's cache contract: for randomized
+// job-spec shapes (model size, nuclide count, tier, temperature, run shape),
+// a simulation run against a cache-acquired model is bit-identical — k-eff
+// history AND mesh tallies — to one against a freshly built model of the
+// same spec. This is the property that makes a cache hit safe: skipping
+// finalize/rebuild may change latency, never physics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/eigenvalue.hpp"
+#include "core/mesh_tally.hpp"
+#include "hm/hm_model.hpp"
+#include "rng/stream.hpp"
+#include "serve/cache.hpp"
+#include "serve/job_spec.hpp"
+
+namespace serve = vmc::serve;
+
+namespace {
+
+serve::JobSpec random_spec(vmc::rng::Stream& s) {
+  serve::JobSpec spec;
+  spec.model = s.next() < 0.85 ? "small" : "large";
+  const int nuc[] = {0, 4, 6, 10};
+  spec.nuclides = nuc[static_cast<int>(s.next() * 4.0) % 4];
+  if (spec.model == "large" && spec.nuclides == 0) spec.nuclides = 10;
+  const vmc::xs::GridSearch tiers[] = {vmc::xs::GridSearch::binary,
+                                       vmc::xs::GridSearch::hash,
+                                       vmc::xs::GridSearch::hash_nuclide};
+  spec.tier = tiers[static_cast<int>(s.next() * 3.0) % 3];
+  const double temps[] = {300.0, 450.0, 900.0, 1800.0};
+  spec.temperature_K = temps[static_cast<int>(s.next() * 4.0) % 4];
+  spec.grid_scale = 0.015 + 0.01 * s.next();
+  spec.batches = 2 + (static_cast<int>(s.next() * 2.0) % 2);
+  spec.inactive = 1;
+  spec.particles = 80 + static_cast<std::uint64_t>(s.next() * 80.0);
+  spec.seed = static_cast<std::uint64_t>(s.next() * 1.0e6);
+  serve::validate_spec(spec);
+  return spec;
+}
+
+struct RunFingerprint {
+  std::vector<double> k_history;
+  std::vector<double> spectrum;
+};
+
+RunFingerprint run_once(const vmc::hm::Model& model, const serve::JobSpec& spec) {
+  vmc::core::MeshTally::Spec ms;
+  ms.lower = model.source_lo;
+  ms.upper = model.source_hi;
+  ms.nx = ms.ny = 3;
+  ms.nz = 1;
+  ms.group_edges = vmc::core::log_group_edges(1e-11, 20.0, 4);
+  vmc::core::MeshTally mesh(ms);
+
+  vmc::core::Settings st = spec.settings();
+  st.source_lo = model.source_lo;
+  st.source_hi = model.source_hi;
+  st.mesh_tally = &mesh;
+  vmc::core::Simulation sim(model.geometry, model.library, st);
+  const vmc::core::RunResult r = sim.run();
+  return {r.k_collision_history, mesh.energy_spectrum()};
+}
+
+TEST(ServeFuzz, WarmModelReproducesColdRunBitwise) {
+  vmc::rng::Stream shapes(0x5EFEFF5EULL);
+  serve::ModelCache cache;
+  for (int round = 0; round < 6; ++round) {
+    const serve::JobSpec spec = random_spec(shapes);
+    SCOPED_TRACE("round " + std::to_string(round) + " digest " +
+                 std::to_string(spec.digest()));
+
+    // Cold: a from-scratch build of this spec's model, no cache involved.
+    const vmc::hm::Model cold = vmc::hm::build_model(spec.model_options());
+    const RunFingerprint want = run_once(cold, spec);
+
+    // Warm: whatever the shared cache hands out for the digest (a build on
+    // the first encounter, the cached instance on repeats).
+    const auto warm = cache.acquire(spec);
+    const RunFingerprint got = run_once(*warm, spec);
+
+    ASSERT_EQ(got.k_history.size(), want.k_history.size());
+    for (std::size_t g = 0; g < want.k_history.size(); ++g) {
+      EXPECT_EQ(got.k_history[g], want.k_history[g])
+          << "k history diverged at generation " << g;
+    }
+    ASSERT_EQ(got.spectrum.size(), want.spectrum.size());
+    for (std::size_t b = 0; b < want.spectrum.size(); ++b) {
+      EXPECT_EQ(got.spectrum[b], want.spectrum[b])
+          << "mesh tally diverged in group " << b;
+    }
+  }
+}
+
+TEST(ServeFuzz, RepeatAcquireIsAlwaysTheIdenticalObject) {
+  vmc::rng::Stream shapes(0x5EFEFF5FULL);
+  serve::ModelCache cache;
+  for (int round = 0; round < 8; ++round) {
+    serve::JobSpec spec = random_spec(shapes);
+    spec.grid_scale = 0.02;  // collapse to few digests so repeats happen
+    spec.temperature_K = 300.0;
+    const auto a = cache.acquire(spec);
+    const auto b = cache.acquire(spec);
+    EXPECT_EQ(a.get(), b.get());
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Chaos tests for the serving layer's two fault domains:
+//
+//   serve.accept        the ingress path dies mid-admission — the client gets
+//                       a structured `unavailable` rejection and the server
+//                       stays healthy for the next submit;
+//   serve.worker_death  a worker dies after a generation's checkpoint — the
+//                       job resumes from the statepoint at the front of its
+//                       tenant's share, and PR 2's restart equivalence makes
+//                       the killed-and-resumed k history bit-identical to an
+//                       undisturbed run. Exhausting the resume budget (or
+//                       dying with no checkpoint to resume from) fails the
+//                       job with a structured `worker_death` error instead of
+//                       wedging the queue.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "resil/fault.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/server.hpp"
+#include "serve/spool.hpp"
+
+namespace serve = vmc::serve;
+namespace resil = vmc::resil;
+
+namespace {
+
+serve::JobSpec tiny_spec(std::uint64_t seed = 21) {
+  serve::JobSpec s;
+  s.model = "small";
+  s.nuclides = 4;
+  s.grid_scale = 0.02;
+  s.batches = 4;
+  s.inactive = 1;
+  s.particles = 150;
+  s.seed = seed;
+  return s;
+}
+
+std::string chaos_dir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  serve::spool::make_dirs(dir);
+  std::remove((dir + "/job_0.sp").c_str());
+  return dir;
+}
+
+TEST(ChaosServe, AcceptFaultRejectsStructuredAndServerSurvives) {
+  resil::FaultPlan plan;
+  plan.fail_at("serve.accept", {0}, /*key=*/0);  // kill admission of seq 0
+  resil::PlanGuard guard(plan);
+
+  serve::Server server(serve::ServerConfig{});
+  try {
+    server.submit(tiny_spec(1));
+    FAIL() << "the armed accept fault did not fire";
+  } catch (const serve::SpecRejected& e) {
+    EXPECT_EQ(e.error().code, "unavailable");
+  }
+  EXPECT_EQ(resil::fires("serve.accept"), 1u);
+
+  // The next admission (seq 1, no rule) must sail through: an ingress fault
+  // is a per-request event, not a poisoned server.
+  const std::string id = server.submit(tiny_spec(2));
+  server.drain();
+  const auto rs = server.take_results();
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].job_id, id);
+  EXPECT_EQ(rs[0].status, "done");
+}
+
+TEST(ChaosServe, KilledWorkerResumesBitIdentical) {
+  // Undisturbed baseline (checkpointing on, so the only difference between
+  // the two runs is the injected death + resume).
+  const std::string dir = chaos_dir("chaos_serve_baseline");
+  std::vector<double> baseline_k;
+  {
+    serve::ServerConfig cfg;
+    cfg.checkpoint_dir = dir;
+    cfg.checkpoint_every = 1;
+    serve::Server server(cfg);
+    server.submit(tiny_spec(33));
+    server.drain();
+    const auto rs = server.take_results();
+    ASSERT_EQ(rs.size(), 1u);
+    ASSERT_EQ(rs[0].status, "done");
+    EXPECT_EQ(rs[0].resumes, 0);
+    baseline_k = rs[0].k_history;
+  }
+  ASSERT_EQ(baseline_k.size(), 4u);
+
+  // Chaos run: the worker dies right after generation 1's checkpoint
+  // (key = (seq 0 << 16) | gen 1). The job must resume from that statepoint
+  // and replay generations 2..3 to the same bits.
+  const std::string dir2 = chaos_dir("chaos_serve_killed");
+  resil::FaultPlan plan;
+  plan.fail_at("serve.worker_death", {0}, /*key=*/(0ull << 16) | 1ull);
+  resil::PlanGuard guard(plan);
+  serve::ServerConfig cfg;
+  cfg.checkpoint_dir = dir2;
+  cfg.checkpoint_every = 1;
+  serve::Server server(cfg);
+  server.submit(tiny_spec(33));
+  server.drain();
+  EXPECT_EQ(resil::fires("serve.worker_death"), 1u);
+  const auto rs = server.take_results();
+  ASSERT_EQ(rs.size(), 1u);
+  ASSERT_EQ(rs[0].status, "done");
+  EXPECT_EQ(rs[0].resumes, 1);
+  ASSERT_EQ(rs[0].k_history.size(), baseline_k.size());
+  for (std::size_t g = 0; g < baseline_k.size(); ++g) {
+    EXPECT_EQ(rs[0].k_history[g], baseline_k[g])
+        << "killed-and-resumed run diverged at generation " << g;
+  }
+}
+
+TEST(ChaosServe, DeathWithoutCheckpointFailsStructured) {
+  // No checkpoint_dir: there is nothing to resume from, so the first death
+  // must fail the job with a structured error — not retry, not hang.
+  resil::FaultPlan plan;
+  plan.always("serve.worker_death");
+  resil::PlanGuard guard(plan);
+  serve::Server server(serve::ServerConfig{});
+  server.submit(tiny_spec(4));
+  server.drain();
+  const auto rs = server.take_results();
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].status, "failed");
+  EXPECT_EQ(rs[0].error.code, "worker_death");
+}
+
+TEST(ChaosServe, ResumeBudgetExhaustionFailsInsteadOfLooping) {
+  // Every generation kills the worker; with checkpoints available the job
+  // resumes max_resumes times, then fails — bounded recovery, no livelock.
+  const std::string dir = chaos_dir("chaos_serve_budget");
+  resil::FaultPlan plan;
+  plan.always("serve.worker_death");
+  resil::PlanGuard guard(plan);
+  serve::ServerConfig cfg;
+  cfg.checkpoint_dir = dir;
+  cfg.checkpoint_every = 1;
+  cfg.max_resumes = 2;
+  serve::Server server(cfg);
+  server.submit(tiny_spec(5));
+  server.drain();
+  const auto rs = server.take_results();
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].status, "failed");
+  EXPECT_EQ(rs[0].error.code, "worker_death");
+  EXPECT_EQ(rs[0].resumes, cfg.max_resumes);
+  EXPECT_EQ(resil::fires("serve.worker_death"),
+            static_cast<std::uint64_t>(cfg.max_resumes) + 1u);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// vectormc.job.v1 parse/validate contract: strict rejection with structured
+// errors (code + field) on every malformation, lossless round-trips on every
+// valid document, and content-digest semantics that hash exactly the
+// library-determining axes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/job_spec.hpp"
+
+namespace serve = vmc::serve;
+
+namespace {
+
+serve::SpecError parse_error(const std::string& text) {
+  try {
+    serve::parse_job_spec(text);
+  } catch (const serve::SpecRejected& e) {
+    return e.error();
+  }
+  ADD_FAILURE() << "spec was accepted: " << text;
+  return {};
+}
+
+std::string valid_doc() {
+  return R"({"schema":"vectormc.job.v1","tenant":"t","model":"small",)"
+         R"("nuclides":8,"tier":"hash","temperature_K":600,"grid_scale":0.05,)"
+         R"("batches":4,"inactive":1,"particles":500,"seed":9,"devices":0})";
+}
+
+TEST(JobSpec, ValidDocumentParses) {
+  const serve::JobSpec s = serve::parse_job_spec(valid_doc());
+  EXPECT_EQ(s.tenant, "t");
+  EXPECT_EQ(s.model, "small");
+  EXPECT_EQ(s.nuclides, 8);
+  EXPECT_EQ(s.tier, vmc::xs::GridSearch::hash);
+  EXPECT_DOUBLE_EQ(s.temperature_K, 600.0);
+  EXPECT_DOUBLE_EQ(s.grid_scale, 0.05);
+  EXPECT_EQ(s.batches, 4);
+  EXPECT_EQ(s.inactive, 1);
+  EXPECT_EQ(s.particles, 500u);
+  EXPECT_EQ(s.seed, 9u);
+}
+
+TEST(JobSpec, RoundTripsThroughJson) {
+  serve::JobSpec s = serve::parse_job_spec(valid_doc());
+  s.job_id = "rt-1";
+  const serve::JobSpec back = serve::parse_job_spec(s.json());
+  EXPECT_EQ(back.job_id, s.job_id);
+  EXPECT_EQ(back.tenant, s.tenant);
+  EXPECT_EQ(back.model, s.model);
+  EXPECT_EQ(back.nuclides, s.nuclides);
+  EXPECT_EQ(back.tier, s.tier);
+  EXPECT_EQ(back.temperature_K, s.temperature_K);  // bit-exact via %.17g
+  EXPECT_EQ(back.grid_scale, s.grid_scale);
+  EXPECT_EQ(back.batches, s.batches);
+  EXPECT_EQ(back.particles, s.particles);
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.digest(), s.digest());
+}
+
+// The malformed-spec fixture table: every entry is a distinct way a client
+// can get the document wrong, and each must surface the documented
+// structured error — never a coercion, never a bare string.
+struct Malformed {
+  const char* name;
+  std::string text;
+  const char* code;
+  const char* field;
+};
+
+TEST(JobSpec, MalformedFixturesRejectWithStructuredErrors) {
+  const Malformed fixtures[] = {
+      {"truncated document",
+       R"({"schema":"vectormc.job.v1","particles":)", "bad_json", ""},
+      {"trailing garbage", valid_doc() + "x", "bad_json", ""},
+      {"not an object", R"([1,2,3])", "wrong_type", ""},
+      {"missing schema tag", R"({"tenant":"t"})", "missing_field", "schema"},
+      {"wrong schema value",
+       R"({"schema":"vectormc.job.v2","particles":1})", "bad_value", "schema"},
+      {"unknown member",
+       R"({"schema":"vectormc.job.v1","particels":100})", "unknown_field",
+       "particels"},
+      {"string where number expected",
+       R"({"schema":"vectormc.job.v1","particles":"many"})", "wrong_type",
+       "particles"},
+      {"number where string expected",
+       R"({"schema":"vectormc.job.v1","tenant":7})", "wrong_type", "tenant"},
+      {"non-finite weight",
+       R"({"schema":"vectormc.job.v1","weight":1e999})", "bad_value",
+       "weight"},
+      {"fractional batches",
+       R"({"schema":"vectormc.job.v1","batches":2.5})", "bad_value",
+       "batches"},
+      {"unknown tier",
+       R"({"schema":"vectormc.job.v1","tier":"quantum"})", "bad_value",
+       "tier"},
+      {"negative seed",
+       R"({"schema":"vectormc.job.v1","seed":-1})", "bad_value", "seed"},
+      {"bad model",
+       R"({"schema":"vectormc.job.v1","model":"huge"})", "bad_value", "model"},
+      {"two-nuclide fuel",
+       R"({"schema":"vectormc.job.v1","nuclides":2})", "bad_value",
+       "nuclides"},
+      {"zero particles",
+       R"({"schema":"vectormc.job.v1","particles":0})", "bad_value",
+       "particles"},
+      {"inactive >= batches",
+       R"({"schema":"vectormc.job.v1","batches":3,"inactive":3})", "bad_value",
+       "inactive"},
+      {"zero temperature",
+       R"({"schema":"vectormc.job.v1","temperature_K":0})", "bad_value",
+       "temperature_K"},
+      {"zero grid scale",
+       R"({"schema":"vectormc.job.v1","grid_scale":0})", "bad_value",
+       "grid_scale"},
+      {"zero weight",
+       R"({"schema":"vectormc.job.v1","weight":0})", "bad_value", "weight"},
+      {"empty tenant",
+       R"({"schema":"vectormc.job.v1","tenant":""})", "bad_value", "tenant"},
+      {"negative devices",
+       R"({"schema":"vectormc.job.v1","devices":-1})", "bad_value",
+       "devices"},
+  };
+  for (const Malformed& m : fixtures) {
+    const serve::SpecError e = parse_error(m.text);
+    EXPECT_EQ(e.code, m.code) << m.name;
+    EXPECT_EQ(e.field, m.field) << m.name;
+    EXPECT_FALSE(e.message.empty()) << m.name;
+  }
+}
+
+TEST(JobSpec, ValidateCatchesCodeBuiltSpecs) {
+  serve::JobSpec s;
+  s.batches = 0;
+  EXPECT_THROW(serve::validate_spec(s), serve::SpecRejected);
+}
+
+// --- digest semantics ------------------------------------------------------
+
+TEST(JobSpecDigest, RunShapingAxesDoNotChangeIt) {
+  const serve::JobSpec base = serve::parse_job_spec(valid_doc());
+  serve::JobSpec s = base;
+  s.seed = 777;
+  s.particles = 9999;
+  s.batches = 10;
+  s.inactive = 4;
+  s.tenant = "someone-else";
+  s.weight = 3.0;
+  s.devices = 2;
+  s.job_id = "other";
+  EXPECT_EQ(s.digest(), base.digest())
+      << "seed/size/tenant axes must not fragment the cache";
+}
+
+TEST(JobSpecDigest, LibraryAxesEachChangeIt) {
+  const serve::JobSpec base = serve::parse_job_spec(valid_doc());
+  serve::JobSpec s = base;
+  s.model = "large";
+  s.nuclides = 0;
+  EXPECT_NE(s.digest(), base.digest());
+  s = base;
+  s.nuclides = 16;
+  EXPECT_NE(s.digest(), base.digest());
+  s = base;
+  s.temperature_K = 900.0;
+  EXPECT_NE(s.digest(), base.digest());
+  s = base;
+  s.grid_scale = 0.06;
+  EXPECT_NE(s.digest(), base.digest());
+}
+
+TEST(JobSpecDigest, BinaryAndHashTiersShareALibrary) {
+  // binary and hash need the same finalized index; only hash_nuclide builds
+  // the per-nuclide start table, i.e. a structurally different library.
+  serve::JobSpec s = serve::parse_job_spec(valid_doc());
+  s.tier = vmc::xs::GridSearch::binary;
+  const std::uint64_t binary = s.digest();
+  s.tier = vmc::xs::GridSearch::hash;
+  EXPECT_EQ(s.digest(), binary);
+  s.tier = vmc::xs::GridSearch::hash_nuclide;
+  EXPECT_NE(s.digest(), binary);
+}
+
+TEST(JobSpecDigest, NuclideOverrideMatchingDefaultIsSameLibrary) {
+  // nuclides=34 spelled explicitly is the same fuel as the small default:
+  // the digest hashes the EFFECTIVE count, not the raw field.
+  serve::JobSpec a = serve::parse_job_spec(valid_doc());
+  a.nuclides = 0;
+  serve::JobSpec b = a;
+  b.nuclides = a.effective_nuclides();
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+}  // namespace

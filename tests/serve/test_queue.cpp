@@ -1,0 +1,102 @@
+// FairShareQueue contract: start-time fair queuing — weighted shares, FIFO
+// within a tenant, resumed jobs re-enter at the front of fair order, and
+// close() drains before unblocking poppers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace serve = vmc::serve;
+
+namespace {
+
+serve::Job make_job(const std::string& tenant, double weight,
+                    std::uint64_t seq) {
+  serve::Job j;
+  j.spec.tenant = tenant;
+  j.spec.weight = weight;
+  j.spec.job_id = tenant + "-" + std::to_string(seq);
+  j.seq = seq;
+  return j;
+}
+
+std::vector<std::string> pop_all(serve::FairShareQueue& q) {
+  q.close();
+  std::vector<std::string> order;
+  serve::Job j;
+  while (q.pop(j)) order.push_back(j.spec.job_id);
+  return order;
+}
+
+TEST(FairShareQueue, FifoWithinATenant) {
+  serve::FairShareQueue q;
+  for (std::uint64_t i = 0; i < 5; ++i) q.push(make_job("a", 1.0, i));
+  const auto order = pop_all(q);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[i], "a-" + std::to_string(i));
+  }
+}
+
+TEST(FairShareQueue, WeightedTenantDrainsProportionally) {
+  // alpha (weight 2) and beta (weight 1) submit alternately; virtual finish
+  // times are alpha: .5, 1, 1.5, 2 and beta: 1, 2, 3, 4, so the pop order is
+  // fully determined (ties break on admission seq).
+  serve::FairShareQueue q;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    q.push(make_job("alpha", 2.0, seq++));
+    q.push(make_job("beta", 1.0, seq++));
+  }
+  const auto order = pop_all(q);
+  const std::vector<std::string> expect = {"alpha-0", "beta-1", "alpha-2",
+                                           "alpha-4", "beta-3", "alpha-6",
+                                           "beta-5",  "beta-7"};
+  EXPECT_EQ(order, expect);
+  // The share property the exact order implies: alpha's 4 jobs all landed in
+  // the first 6 pops — twice beta's drain rate.
+}
+
+TEST(FairShareQueue, EqualWeightsInterleaveFairly) {
+  // A burst from one tenant cannot starve another: after "hog" enqueues 4
+  // jobs, a single "late" job still pops second, not fifth.
+  serve::FairShareQueue q;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) q.push(make_job("hog", 1.0, seq++));
+  q.push(make_job("late", 1.0, seq++));
+  const auto order = pop_all(q);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], "hog-0");
+  EXPECT_EQ(order[1], "late-4");
+}
+
+TEST(FairShareQueue, ResumedJobGoesToTheFrontOfFairOrder) {
+  serve::FairShareQueue q;
+  for (std::uint64_t i = 0; i < 3; ++i) q.push(make_job("a", 1.0, i));
+  serve::Job j;
+  ASSERT_TRUE(q.pop(j));
+  EXPECT_EQ(j.spec.job_id, "a-0");
+  // a-0's worker died: re-admitted at the current virtual time, it must pop
+  // before the jobs that were already queued behind it.
+  j.resumes = 1;
+  q.push_resumed(std::move(j));
+  ASSERT_TRUE(q.pop(j));
+  EXPECT_EQ(j.spec.job_id, "a-0");
+  EXPECT_EQ(j.resumes, 1);
+}
+
+TEST(FairShareQueue, CloseDrainsPendingThenUnblocks) {
+  serve::FairShareQueue q;
+  q.push(make_job("a", 1.0, 0));
+  q.push(make_job("a", 1.0, 1));
+  q.close();
+  serve::Job j;
+  EXPECT_TRUE(q.pop(j));
+  EXPECT_TRUE(q.pop(j));
+  EXPECT_FALSE(q.pop(j)) << "closed and drained must return false";
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Server end-to-end contract: admitted jobs run to completion with results,
+// warm cache hits skip the library build yet reproduce a cold run's k-eff
+// history bit-for-bit, admission control bounces with structured errors, and
+// the manifest ledger survives result consumption.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/server.hpp"
+
+namespace serve = vmc::serve;
+
+namespace {
+
+serve::JobSpec tiny_spec(std::uint64_t seed = 11) {
+  serve::JobSpec s;
+  s.model = "small";
+  s.nuclides = 4;
+  s.grid_scale = 0.02;
+  s.batches = 3;
+  s.inactive = 1;
+  s.particles = 150;
+  s.seed = seed;
+  return s;
+}
+
+const serve::JobResult* find_result(const std::vector<serve::JobResult>& rs,
+                                    const std::string& id) {
+  for (const serve::JobResult& r : rs)
+    if (r.job_id == id) return &r;
+  return nullptr;
+}
+
+TEST(Server, RunsAdmittedJobsToCompletion) {
+  serve::Server server(serve::ServerConfig{});
+  const std::string a = server.submit(tiny_spec(1));
+  const std::string b = server.submit(tiny_spec(2));
+  server.drain();
+  const auto results = server.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  for (const std::string& id : {a, b}) {
+    const serve::JobResult* r = find_result(results, id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->status, "done");
+    EXPECT_EQ(r->k_history.size(), 3u);
+    EXPECT_GT(r->k_eff, 0.0);
+    EXPECT_GT(r->latency_seconds, 0.0);
+  }
+  // Same digest: the second job must have ridden the first one's library.
+  EXPECT_EQ(server.cache_stats().misses, 1u);
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+}
+
+TEST(Server, WarmHitIsBitIdenticalToAColdRun) {
+  // Cold: a fresh server builds the library for this spec from nothing.
+  std::vector<double> cold_k;
+  {
+    serve::Server server(serve::ServerConfig{});
+    const std::string id = server.submit(tiny_spec(77));
+    server.drain();
+    const auto rs = server.take_results();
+    const serve::JobResult* r = find_result(rs, id);
+    ASSERT_NE(r, nullptr);
+    ASSERT_EQ(r->status, "done");
+    EXPECT_FALSE(r->cache_hit);
+    cold_k = r->k_history;
+  }
+  // Warm: a different server whose cache already holds this digest (plus an
+  // unrelated entry) serves the same spec as a hit — finalize/rebuild never
+  // ran for it, yet the transport history must match the cold run bit for
+  // bit, because the cached library is the same immutable object a cold
+  // build produces.
+  {
+    serve::ServerConfig cfg;
+    cfg.workers = 1;  // deterministic admission->run order for this check
+    serve::Server server(cfg);
+    serve::JobSpec other = tiny_spec(5);
+    other.temperature_K = 600.0;  // different digest: populates the cache
+    server.submit(other);
+    server.submit(tiny_spec(123));  // same digest as the cold spec, cold here
+    const std::string id = server.submit(tiny_spec(77));
+    server.drain();
+    const auto rs = server.take_results();
+    const serve::JobResult* r = find_result(rs, id);
+    ASSERT_NE(r, nullptr);
+    ASSERT_EQ(r->status, "done");
+    EXPECT_TRUE(r->cache_hit) << "third submit shares the second's digest";
+    ASSERT_EQ(r->k_history.size(), cold_k.size());
+    for (std::size_t g = 0; g < cold_k.size(); ++g) {
+      EXPECT_EQ(r->k_history[g], cold_k[g])
+          << "bitwise divergence at generation " << g;
+    }
+  }
+}
+
+TEST(Server, OverBudgetSubmissionsBounceWithStructuredErrors) {
+  serve::ServerConfig cfg;
+  cfg.max_particles = 1000;
+  cfg.max_batches = 10;
+  serve::Server server(cfg);
+
+  serve::JobSpec s = tiny_spec();
+  s.particles = 2000;
+  try {
+    server.submit(s);
+    FAIL() << "over-budget particles were admitted";
+  } catch (const serve::SpecRejected& e) {
+    EXPECT_EQ(e.error().code, "over_budget");
+    EXPECT_EQ(e.error().field, "particles");
+  }
+
+  s = tiny_spec();
+  s.batches = 50;
+  s.inactive = 1;
+  try {
+    server.submit(s);
+    FAIL() << "over-budget batches were admitted";
+  } catch (const serve::SpecRejected& e) {
+    EXPECT_EQ(e.error().code, "over_budget");
+    EXPECT_EQ(e.error().field, "batches");
+  }
+
+  s = tiny_spec();
+  s.temperature_K = 10.0;  // valid physics, outside the served band
+  try {
+    server.submit(s);
+    FAIL() << "out-of-band temperature was admitted";
+  } catch (const serve::SpecRejected& e) {
+    EXPECT_EQ(e.error().code, "over_budget");
+    EXPECT_EQ(e.error().field, "temperature_K");
+  }
+  server.shutdown();
+}
+
+TEST(Server, ShutdownRefusesNewWork) {
+  serve::Server server(serve::ServerConfig{});
+  server.shutdown();
+  try {
+    server.submit(tiny_spec());
+    FAIL() << "submit after shutdown was admitted";
+  } catch (const serve::SpecRejected& e) {
+    EXPECT_EQ(e.error().code, "unavailable");
+  }
+}
+
+TEST(Server, SubmitJsonAssignsIdsAndRejectsMalformed) {
+  serve::Server server(serve::ServerConfig{});
+  const std::string id = server.submit_json(
+      R"({"schema":"vectormc.job.v1","model":"small","nuclides":4,)"
+      R"("grid_scale":0.02,"batches":2,"inactive":1,"particles":100})");
+  EXPECT_FALSE(id.empty());
+  EXPECT_THROW(server.submit_json("{not json"), serve::SpecRejected);
+  server.drain();
+  const auto rs = server.take_results();
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].job_id, id);
+  EXPECT_EQ(rs[0].status, "done");
+}
+
+TEST(Server, ManifestLedgerSurvivesResultConsumption) {
+  serve::Server server(serve::ServerConfig{});
+  server.submit(tiny_spec(3));
+  server.drain();
+  // The daemon consumes results to publish documents...
+  EXPECT_EQ(server.take_results().size(), 1u);
+  EXPECT_TRUE(server.take_results().empty());
+  // ...but the end-of-run manifest still sees the whole history.
+  vmc::obs::RunManifest m;
+  server.fill_manifest(m);
+  const std::string doc = m.json();
+  EXPECT_NE(doc.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tenant\""), std::string::npos);
+}
+
+TEST(Server, DeviceJobsRunInEventMode) {
+  serve::Server server(serve::ServerConfig{});
+  serve::JobSpec s = tiny_spec(9);
+  s.devices = 2;  // budget-validated and recorded; selects the event sweep
+  const std::string id = server.submit(s);
+  server.drain();
+  const auto rs = server.take_results();
+  const serve::JobResult* r = find_result(rs, id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status, "done");
+}
+
+}  // namespace

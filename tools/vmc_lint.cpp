@@ -55,6 +55,16 @@
 //                    searches never re-grow an O(log n) binary search in
 //                    transport code. Grid resolution must go through
 //                    Library's lookup kernels (or HashGrid directly).
+//   blocking-in-worker
+//                    No sleeps (std::this_thread::sleep_for/until) and no
+//                    blocking file I/O (fstream family, fopen,
+//                    std::filesystem) in src/serve/ outside the sanctioned
+//                    spool helpers (src/serve/spool.*): a worker that blocks
+//                    on the filesystem stalls every queued tenant behind it,
+//                    and a sleep in the serve control plane turns latency
+//                    SLOs into lottery tickets. All spool traffic goes
+//                    through serve::spool, which is the one place allowed to
+//                    touch the disk and the clock.
 //
 // Token-scoped SIMD-portability rules (the backend-confinement precondition
 // for the multi-ISA Vec<T, Backend> work, ROADMAP item 1):
@@ -378,6 +388,10 @@ const RuleScope kScopes[] = {
     // src/xsdata/ owns the sanctioned searches (UnionGrid::find, HashGrid's
     // window resolution); everywhere else must call those.
     {"hot-loop-binary-search", kAllRoots, {"src/xsdata/"}},
+    // serve::spool (spool.hpp/.cpp) is the one sanctioned home for disk and
+    // sleep in the serving stack; workers and the control plane must stay
+    // non-blocking.
+    {"blocking-in-worker", {"src/serve/"}, {"src/serve/spool."}},
     // src/simd/ is the one sanctioned home for ISA-specific code.
     {"raw-intrinsic", kAllRoots, {"src/simd/"}},
     // Kernels, banks, event queues, leapfrog RNG fills, and the bench
@@ -426,7 +440,7 @@ const std::set<std::string, std::less<>> kKnownRules = {
     "hot-loop-mutex", "stream-overlap",        "raw-clock",
     "unchecked-io",   "hot-loop-binary-search", "raw-intrinsic",
     "hardcoded-lane-width", "unmasked-remainder", "float-order-dependence",
-    "naked-catch-in-exec", "stale-allow"};
+    "naked-catch-in-exec", "blocking-in-worker", "stale-allow"};
 
 // --- legacy line rules ------------------------------------------------------
 
@@ -454,6 +468,11 @@ const std::regex kUncheckedIo(
 // without a call don't match.
 const std::regex kBinarySearch(
     R"(\b(?:std::)?(?:upper|lower)_bound\s*\()");
+// Sleeps and blocking file I/O in serving code: the sleep_for/sleep_until
+// calls, any fstream-family object, C fopen, and std::filesystem operations
+// (each of which can block on disk for unbounded time).
+const std::regex kBlockingInWorker(
+    R"(std::this_thread::sleep_(?:for|until)|\bstd::(?:i|o)?fstream\b|\bfopen\s*\(|\bstd::filesystem\b)");
 
 // Two seed derivations overlap when they mix in the same constants, even if
 // the non-constant part is spelled differently (`settings.seed` vs
@@ -542,6 +561,16 @@ void scan_lines(SourceFile& f, std::vector<Violation>& out,
                      "std::upper_bound/lower_bound outside src/xsdata/; "
                      "grid searches belong in the lookup kernels, which use "
                      "the hash-binned accelerator (xsdata/hash_grid.hpp)"});
+    }
+
+    if (in_scope("blocking-in-worker", rel) &&
+        std::regex_search(line, kBlockingInWorker) &&
+        !allowed(f, ln, "blocking-in-worker")) {
+      out.push_back({rel, ln, "blocking-in-worker",
+                     "sleep/blocking file I/O in serving code outside "
+                     "serve::spool; workers and the control plane must stay "
+                     "non-blocking — route disk and sleeps through the spool "
+                     "helpers (src/serve/spool.hpp)"});
     }
 
     if (in_scope("stream-overlap", rel)) {
@@ -1275,6 +1304,27 @@ int self_test() {
       {"allow marker silences binary-search", "src/core/mesh_tally.cpp",
        "// vmc-lint: allow(hot-loop-binary-search)\n"
        "const auto it = std::upper_bound(e.begin(), e.end(), x);", ""},
+      // --- blocking-in-worker ---
+      {"sleep_for in server fires", "src/serve/server.cpp",
+       "std::this_thread::sleep_for(std::chrono::milliseconds(10));",
+       "blocking-in-worker"},
+      {"ifstream in cache fires", "src/serve/cache.cpp",
+       "std::ifstream in(path, std::ios::binary);", "blocking-in-worker"},
+      {"fopen in queue fires", "src/serve/queue.cpp",
+       "FILE* f = fopen(path.c_str(), \"rb\");", "blocking-in-worker"},
+      {"filesystem op in server fires", "src/serve/server.cpp",
+       "std::filesystem::rename(src, dst);", "blocking-in-worker"},
+      {"spool helpers are exempt", "src/serve/spool.cpp",
+       "std::this_thread::sleep_for(std::chrono::duration<double>(s));", ""},
+      {"ofstream outside serve is clean", "src/core/mesh_io.cpp",
+       "std::ofstream out(path);", ""},
+      {"condvar wait in server is clean", "src/serve/server.cpp",
+       "idle_.wait(lk, [&] { return inflight_ == 0; });", ""},
+      {"sleep in serve comment is clean", "src/serve/server.cpp",
+       "// never std::this_thread::sleep_for here; spool owns the clock", ""},
+      {"allow marker silences blocking-in-worker", "src/serve/cache.cpp",
+       "// vmc-lint: allow(blocking-in-worker)\n"
+       "std::ifstream probe(path);", ""},
       // --- stream-overlap ---
       {"duplicate stream tags fire", "src/core/a.cpp",
        "rng::Stream s(seed ^ 0xbadc0deULL);\n"

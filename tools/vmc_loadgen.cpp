@@ -1,0 +1,267 @@
+// vmc_loadgen: seeded traffic generator + latency/cache report for vmc_serve.
+//
+// Generates a deterministic multi-tenant job stream — thousands of small
+// H.M. jobs with mixed temperatures, grid-search tiers, and fuel-nuclide
+// counts, plus a sprinkling of H.M. Large (320-nuclide) jobs — and drives it
+// either through an in-process Server (default; what the serve-smoke CI job
+// gates) or through a running vmc_served daemon's file-drop inbox
+// (--inbox/--outbox), exercising the full claim/publish transport.
+//
+// Emits BENCH_serve_loadgen.json (vectormc.bench.v1): ten submission-order
+// windows with p50/p99 job latency and the cache-hit-rate series, gated in
+// CI by vmc_bench_diff against bench/baselines/BENCH_serve_loadgen.json.
+// The job count scales with VMC_BENCH_SCALE; per-job work is fixed so the
+// latency distribution, not the job mix, is what scale changes.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "json/json.hpp"
+#include "rng/stream.hpp"
+#include "serve/server.hpp"
+#include "serve/spool.hpp"
+
+namespace {
+
+using vmc::serve::JobSpec;
+
+struct Args {
+  std::size_t jobs = 2000;   // pre-scale
+  int workers = 4;
+  std::uint64_t seed = 1;
+  std::string inbox;         // non-empty: drive an external daemon
+  std::string outbox;
+  std::size_t cache_mb = 512;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--jobs")
+      a.jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (flag == "--workers")
+      a.workers = std::atoi(next().c_str());
+    else if (flag == "--seed")
+      a.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    else if (flag == "--inbox")
+      a.inbox = next();
+    else if (flag == "--outbox")
+      a.outbox = next();
+    else if (flag == "--cache-mb")
+      a.cache_mb = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else {
+      std::fprintf(stderr,
+                   "usage: vmc_loadgen [--jobs N] [--workers N] [--seed S]\n"
+                   "        [--cache-mb MB] [--inbox DIR --outbox DIR]\n");
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// Deterministic traffic: the i-th job depends only on (seed, i).
+JobSpec make_job(vmc::rng::Stream& ts, std::size_t i) {
+  JobSpec s;
+  s.seed = 1000 + i;
+  s.grid_scale = 0.05;  // serving-sized libraries; the mix, not size, varies
+  s.inactive = 1;
+  static const char* kTenants[] = {"alpha", "beta", "gamma"};
+  s.tenant = kTenants[i % 3];
+  s.weight = s.tenant == std::string("alpha") ? 2.0 : 1.0;
+
+  const double r = ts.next();
+  static const double kTemps[] = {300.0, 600.0, 900.0, 1200.0};
+  s.temperature_K = kTemps[static_cast<int>(ts.next() * 4.0) & 3];
+  static const vmc::xs::GridSearch kTiers[] = {
+      vmc::xs::GridSearch::binary, vmc::xs::GridSearch::hash,
+      vmc::xs::GridSearch::hash_nuclide};
+  s.tier = kTiers[static_cast<int>(ts.next() * 3.0) % 3];
+
+  if (i % 64 == 63) {
+    // The occasional H.M. Large: the full 320-nuclide fuel.
+    s.model = "large";
+    s.batches = 3;
+    s.particles = 200;
+  } else {
+    s.model = "small";
+    static const int kNuclides[] = {8, 16, 34};
+    s.nuclides = kNuclides[static_cast<int>(r * 3.0) % 3];
+    s.batches = 3 + (static_cast<int>(ts.next() * 3.0) % 3);
+    s.particles = 200 + static_cast<std::uint64_t>(ts.next() * 300.0);
+  }
+  return s;
+}
+
+struct Sample {
+  std::size_t index = 0;  // submission order
+  double latency_s = 0.0;
+  bool cache_hit = false;
+  bool done = false;
+};
+
+double quantile_ms(std::vector<double>& ms, double q) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(ms.size() - 1) + 0.5);
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+std::vector<Sample> run_in_process(const Args& args,
+                                   const std::vector<JobSpec>& specs) {
+  vmc::serve::ServerConfig cfg;
+  cfg.workers = args.workers;
+  cfg.cache_bytes = args.cache_mb << 20;
+  vmc::serve::Server server(cfg);
+
+  std::vector<Sample> samples(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    JobSpec s = specs[i];
+    s.job_id = "load-" + std::to_string(i);
+    server.submit(std::move(s));
+  }
+  server.drain();
+
+  for (const vmc::serve::JobResult& r : server.take_results()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(std::atoll(r.job_id.c_str() + 5));
+    if (idx >= samples.size()) continue;
+    samples[idx] = {idx, r.latency_seconds, r.cache_hit, r.status == "done"};
+  }
+  const auto cs = server.cache_stats();
+  std::printf("cache: %llu hits / %llu misses / %llu evictions, %zu bytes\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions), cs.bytes);
+  server.shutdown();
+  return samples;
+}
+
+std::vector<Sample> run_against_daemon(const Args& args,
+                                       const std::vector<JobSpec>& specs) {
+  namespace spool = vmc::serve::spool;
+  std::vector<Sample> samples(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "load-%06zu", i);
+    JobSpec s = specs[i];
+    s.job_id = name;
+    spool::write_file_atomic(args.inbox + "/" + name + ".json", s.json());
+  }
+
+  std::size_t seen = 0;
+  const double deadline = vmc::prof::now_seconds() + 600.0;
+  while (seen < specs.size()) {
+    if (vmc::prof::now_seconds() > deadline) {
+      std::fprintf(stderr, "vmc_loadgen: daemon timed out (%zu/%zu results)\n",
+                   seen, specs.size());
+      std::exit(1);
+    }
+    seen = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (samples[i].done) {
+        ++seen;
+        continue;
+      }
+      char name[48];
+      std::snprintf(name, sizeof name, "load-%06zu.result.json", i);
+      const std::string path = args.outbox + "/" + name;
+      if (!spool::file_exists(path)) continue;
+      const vmc::json::JsonValue doc = vmc::json::json_parse(spool::read_file(path));
+      Sample s;
+      s.index = i;
+      if (const auto* v = doc.find("latency_seconds")) s.latency_s = v->number;
+      if (const auto* v = doc.find("cache_hit")) s.cache_hit = v->boolean;
+      if (const auto* v = doc.find("status")) s.done = v->string == "done";
+      samples[i] = s;
+      ++seen;
+    }
+    if (seen < specs.size()) spool::sleep_seconds(0.05);
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const std::size_t n_jobs = vmc::bench::scaled(args.jobs);
+
+  vmc::bench::Report report(
+      "serve_loadgen", "serve load test",
+      "multi-tenant traffic against vmc_serve: p50/p99 job latency and "
+      "cache-hit rate over submission-order windows");
+
+  vmc::rng::Stream ts(0x10ADC0DEULL ^ args.seed);  // traffic stream
+  std::vector<JobSpec> specs;
+  specs.reserve(n_jobs);
+  for (std::size_t i = 0; i < n_jobs; ++i) specs.push_back(make_job(ts, i));
+
+  const double t0 = vmc::prof::now_seconds();
+  const std::vector<Sample> samples = args.inbox.empty()
+                                          ? run_in_process(args, specs)
+                                          : run_against_daemon(args, specs);
+  const double wall = vmc::prof::now_seconds() - t0;
+
+  // Ten submission-order windows: early windows are cold (library builds in
+  // the latency path), late windows should be all warm — the report shape
+  // shows the cache doing its job.
+  const std::size_t kWindows = 10;
+  std::size_t all_done = 0, all_hits = 0;
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const std::size_t lo = w * samples.size() / kWindows;
+    const std::size_t hi = (w + 1) * samples.size() / kWindows;
+    std::vector<double> ms;
+    std::size_t hits = 0, done = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!samples[i].done) continue;
+      ++done;
+      if (samples[i].cache_hit) ++hits;
+      ms.push_back(samples[i].latency_s * 1000.0);
+    }
+    all_done += done;
+    all_hits += hits;
+    const double hit_rate = done > 0 ? static_cast<double>(hits) /
+                                           static_cast<double>(done)
+                                     : 0.0;
+    const double p50 = quantile_ms(ms, 0.50);
+    const double p99 = quantile_ms(ms, 0.99);
+    std::printf("window %2zu: %4zu jobs | hit rate %5.3f | p50 %8.2f ms | "
+                "p99 %8.2f ms\n",
+                w + 1, done, hit_rate, p50, p99);
+    report.row({{"window", static_cast<double>(w + 1)},
+                {"jobs", static_cast<double>(done)},
+                {"cache_hit_rate", hit_rate},
+                {"p50_ms", p50},
+                {"p99_ms", p99}});
+  }
+
+  report.note("jobs_total", static_cast<double>(n_jobs));
+  report.note("jobs_done", static_cast<double>(all_done));
+  report.note("overall_hit_rate",
+              all_done > 0 ? static_cast<double>(all_hits) /
+                                 static_cast<double>(all_done)
+                           : 0.0);
+  report.note("workers", static_cast<double>(args.workers));
+  report.note("wall_seconds", wall);
+  report.note("transport", args.inbox.empty() ? "in-process" : "file-drop");
+  std::printf("%zu/%zu jobs done in %.2fs, overall hit rate %.3f\n", all_done,
+              n_jobs, wall,
+              all_done > 0
+                  ? static_cast<double>(all_hits) / static_cast<double>(all_done)
+                  : 0.0);
+  return all_done == n_jobs ? 0 : 1;
+}

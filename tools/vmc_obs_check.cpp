@@ -17,6 +17,12 @@
 //   vmc_obs_check --trace <file>     single-file trace check
 //   vmc_obs_check --metrics <file>   single-file exposition check
 //   vmc_obs_check --bench <file>     BENCH_*.json schema (vectormc.bench.v1)
+//   vmc_obs_check --serve <dir>      vmc_served artifact directory: every
+//                                    vmc_serve_* metric family present as a
+//                                    sample line in metrics.prom, a valid
+//                                    trace.json, and a manifest.json with a
+//                                    non-empty jobs[] whose records carry
+//                                    job_id/tenant/status/digest
 //
 // Exit status 0 on success; 1 with one line per failure otherwise.
 #include <cstdio>
@@ -70,7 +76,11 @@ const JsonValue* object_get(const JsonValue& v, const char* key) {
 
 // --- trace ---------------------------------------------------------------
 
-void check_trace(const std::string& path) {
+// aux_pid/aux_label name the second process lane the trace must contain in
+// addition to host (pid 0): the simulated device (pid 1) for traced runs,
+// the serve control plane (pid 2) for daemon runs.
+void check_trace(const std::string& path, double aux_pid = 1.0,
+                 const char* aux_label = "simulated-device") {
   JsonValue doc;
   if (!parse_file(path, &doc)) return;
   const JsonValue* events = object_get(doc, "traceEvents");
@@ -101,11 +111,12 @@ void check_trace(const std::string& path) {
       return;
     }
     if (pid->number == 0.0) ++host_spans;
-    if (pid->number == 1.0) ++device_spans;
+    if (pid->number == aux_pid) ++device_spans;
   }
   if (host_spans == 0) fail(path + ": no host (pid 0) duration events");
   if (device_spans == 0) {
-    fail(path + ": no simulated-device (pid 1) duration events");
+    fail(path + ": no " + aux_label + " (pid " +
+         std::to_string(static_cast<int>(aux_pid)) + ") duration events");
   }
 }
 
@@ -229,6 +240,86 @@ void check_bench(const std::string& path) {
   }
 }
 
+// --- serve ---------------------------------------------------------------
+
+void check_serve(const std::string& dir) {
+  // Trace: the daemon injects per-job serve spans under pid 2 alongside the
+  // workers' host simulation spans.
+  check_trace(dir + "/trace.json", /*aux_pid=*/2.0, "serve");
+
+  // Metrics: exposition-valid, and every serve family present as a sample
+  // line (not merely a HELP comment) — a family that never registered means
+  // a metric path in the server went dead.
+  const std::string prom = dir + "/metrics.prom";
+  std::string text;
+  if (read_file(prom, &text)) {
+    std::string err;
+    if (!vmc::obs::prometheus_validate(text, &err)) {
+      fail(prom + " fails exposition validation: " + err);
+    } else {
+      for (const char* series :
+           {"vmc_serve_jobs_submitted_total", "vmc_serve_admission_rejects_total",
+            "vmc_serve_jobs_completed_total", "vmc_serve_cache_hits_total",
+            "vmc_serve_cache_misses_total", "vmc_serve_cache_evictions_total",
+            "vmc_serve_worker_deaths_total", "vmc_serve_generations_total",
+            "vmc_serve_queue_depth", "vmc_serve_cache_bytes",
+            "vmc_serve_job_latency_seconds"}) {
+        bool found = false;
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+          if (line.rfind(series, 0) == 0) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) fail(prom + ": missing series " + series);
+      }
+    }
+  }
+
+  // Manifest: served runs carry a jobs[] ledger instead of a driver_k.json
+  // cross-check — each record must identify the job and its cache outcome.
+  const std::string manifest = dir + "/manifest.json";
+  JsonValue doc;
+  if (!parse_file(manifest, &doc)) return;
+  const JsonValue* schema = object_get(doc, "schema");
+  if (schema == nullptr || schema->string != "vectormc.manifest.v1") {
+    fail(manifest + ": schema is not vectormc.manifest.v1");
+    return;
+  }
+  const JsonValue* kind = object_get(doc, "run_kind");
+  if (kind == nullptr || kind->string != "vmc_served") {
+    fail(manifest + ": run_kind is not vmc_served");
+  }
+  const JsonValue* jobs = object_get(doc, "jobs");
+  if (jobs == nullptr || jobs->type != JsonValue::Type::array ||
+      jobs->array.empty()) {
+    fail(manifest + ": jobs array missing or empty");
+    return;
+  }
+  for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+    const JsonValue& job = jobs->array[i];
+    for (const char* key : {"job_id", "tenant", "status"}) {
+      const JsonValue* v = object_get(job, key);
+      if (v == nullptr || v->type != JsonValue::Type::string ||
+          v->string.empty()) {
+        fail(manifest + ": jobs[" + std::to_string(i) +
+             "] missing string field '" + key + "'");
+        return;
+      }
+    }
+    for (const char* key : {"digest", "latency_seconds"}) {
+      const JsonValue* v = object_get(job, key);
+      if (v == nullptr || v->type != JsonValue::Type::number) {
+        fail(manifest + ": jobs[" + std::to_string(i) +
+             "] missing numeric field '" + key + "'");
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,6 +329,8 @@ int main(int argc, char** argv) {
     check_metrics(argv[2], /*require_offload_series=*/false);
   } else if (argc == 3 && std::strcmp(argv[1], "--bench") == 0) {
     check_bench(argv[2]);
+  } else if (argc == 3 && std::strcmp(argv[1], "--serve") == 0) {
+    check_serve(argv[2]);
   } else if (argc == 2 && argv[1][0] != '-') {
     const std::string dir = argv[1];
     check_trace(dir + "/trace.json");
@@ -248,7 +341,8 @@ int main(int argc, char** argv) {
                  "usage: vmc_obs_check <artifact-dir>\n"
                  "       vmc_obs_check --trace <trace.json>\n"
                  "       vmc_obs_check --metrics <metrics.prom>\n"
-                 "       vmc_obs_check --bench <BENCH_*.json>\n");
+                 "       vmc_obs_check --bench <BENCH_*.json>\n"
+                 "       vmc_obs_check --serve <artifact-dir>\n");
     return 2;
   }
   if (n_failures == 0) {

@@ -14,6 +14,10 @@
 //     --grid-scale <X>                 synthetic-grid scale (default 0.3)
 //     --mesh <NXY> [--groups <G>]      radial mesh tally + energy spectrum
 //     --plot                           ASCII slice of the model at z = 0
+//     --job-spec <file>                run a vectormc.job.v1 document (the
+//                                      same schema vmc_served accepts; see
+//                                      README.md) — overrides the model/run
+//                                      flags above
 //     --help
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +30,8 @@
 #include "core/tally.hpp"
 #include "geom/plot.hpp"
 #include "hm/hm_model.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/spool.hpp"
 
 namespace {
 
@@ -42,6 +48,7 @@ struct Args {
   int mesh = 0;
   int groups = 8;
   bool plot = false;
+  std::string job_spec;
 };
 
 [[noreturn]] void usage(int code) {
@@ -49,7 +56,7 @@ struct Args {
       "vmc_run --model <assembly|small|large> --particles N --inactive N\n"
       "        --active N --seed S --threads T --mode <history|event>\n"
       "        [--survival-biasing] [--grid-scale X] [--mesh NXY]\n"
-      "        [--groups G] [--plot]");
+      "        [--groups G] [--plot] [--job-spec FILE]");
   std::exit(code);
 }
 
@@ -85,6 +92,8 @@ Args parse(int argc, char** argv) {
       a.groups = std::atoi(need_value(i));
     } else if (flag == "--plot") {
       a.plot = true;
+    } else if (flag == "--job-spec") {
+      a.job_spec = need_value(i);
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else {
@@ -109,14 +118,43 @@ int main(int argc, char** argv) {
   using namespace vmc;
   const Args args = parse(argc, argv);
 
+  // --job-spec: the CLI runs the exact document a served job would, so a
+  // result can be reproduced outside the daemon byte-for-byte.
+  serve::JobSpec spec;
+  const bool use_spec = !args.job_spec.empty();
+  if (use_spec) {
+    try {
+      spec = serve::parse_job_spec(serve::spool::read_file(args.job_spec));
+    } catch (const serve::SpecRejected& e) {
+      std::fprintf(stderr, "vmc_run: job spec rejected [%s] %s: %s\n",
+                   e.error().code.c_str(), e.error().field.c_str(),
+                   e.error().message.c_str());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vmc_run: %s\n", e.what());
+      return 2;
+    }
+  }
+
   hm::ModelOptions mo;
-  mo.full_core = args.model != "assembly";
-  mo.fuel = args.model == "large" ? hm::FuelSize::large : hm::FuelSize::small;
-  mo.grid_scale = args.grid_scale;
-  std::printf("vmc_run: model=%s particles=%zu batches=%d+%d mode=%s%s\n",
-              args.model.c_str(), args.particles, args.inactive, args.active,
-              args.mode.c_str(),
-              args.survival_biasing ? " (survival biasing)" : "");
+  if (use_spec) {
+    mo = spec.model_options();
+    std::printf("vmc_run: job-spec %s model=%s nuclides=%d tier=%s T=%.0fK "
+                "particles=%llu batches=%d digest=%llu\n",
+                args.job_spec.c_str(), spec.model.c_str(),
+                spec.effective_nuclides(), serve::tier_name(spec.tier),
+                spec.temperature_K,
+                static_cast<unsigned long long>(spec.particles), spec.batches,
+                static_cast<unsigned long long>(spec.digest()));
+  } else {
+    mo.full_core = args.model != "assembly";
+    mo.fuel = args.model == "large" ? hm::FuelSize::large : hm::FuelSize::small;
+    mo.grid_scale = args.grid_scale;
+    std::printf("vmc_run: model=%s particles=%zu batches=%d+%d mode=%s%s\n",
+                args.model.c_str(), args.particles, args.inactive, args.active,
+                args.mode.c_str(),
+                args.survival_biasing ? " (survival biasing)" : "");
+  }
   const hm::Model model = hm::build_model(mo);
   std::printf("library: %d nuclides, %zu union-grid points, %.1f MB "
               "(%.1f MB hash index)\n",
@@ -136,26 +174,31 @@ int main(int argc, char** argv) {
   }
 
   core::Settings st;
-  st.n_particles = args.particles;
-  st.n_inactive = args.inactive;
-  st.n_active = args.active;
-  st.seed = args.seed;
-  st.n_threads = args.threads;
-  st.mode = args.mode == "event" ? core::TransportMode::event
-                                 : core::TransportMode::history;
-  st.tracker.survival_biasing = args.survival_biasing;
+  if (use_spec) {
+    st = spec.settings();
+    st.n_threads = args.threads;  // execution width is the operator's call
+  } else {
+    st.n_particles = args.particles;
+    st.n_inactive = args.inactive;
+    st.n_active = args.active;
+    st.seed = args.seed;
+    st.n_threads = args.threads;
+    st.mode = args.mode == "event" ? core::TransportMode::event
+                                   : core::TransportMode::history;
+    st.tracker.survival_biasing = args.survival_biasing;
+  }
   st.source_lo = model.source_lo;
   st.source_hi = model.source_hi;
 
   std::unique_ptr<core::MeshTally> mesh;
   if (args.mesh > 0) {
-    core::MeshTally::Spec spec;
-    spec.lower = model.source_lo;
-    spec.upper = model.source_hi;
-    spec.nx = spec.ny = args.mesh;
-    spec.nz = 1;
-    spec.group_edges = core::log_group_edges(1e-11, 20.0, args.groups);
-    mesh = std::make_unique<core::MeshTally>(spec);
+    core::MeshTally::Spec mspec;
+    mspec.lower = model.source_lo;
+    mspec.upper = model.source_hi;
+    mspec.nx = mspec.ny = args.mesh;
+    mspec.nz = 1;
+    mspec.group_edges = core::log_group_edges(1e-11, 20.0, args.groups);
+    mesh = std::make_unique<core::MeshTally>(mspec);
     st.mesh_tally = mesh.get();
   }
 

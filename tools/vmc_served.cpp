@@ -1,0 +1,124 @@
+// vmc_served: the vmc_serve daemon over a file-drop inbox.
+//
+// Clients drop vectormc.job.v1 documents (*.json) into --inbox; the daemon
+// claims each (rename — safe against concurrent producers and peer daemons),
+// admits it through the serve stack, and publishes a vectormc.result.v1 per
+// job into --outbox as <basename>.result.json (atomic tmp+rename, so pollers
+// never see a torn document). Rejections publish a result too, carrying the
+// structured error. Touching `<inbox>/STOP` drains in-flight work, writes
+// the observability artifacts (metrics.prom, manifest.json, trace.json when
+// --obs-dir is set), and exits 0.
+//
+// Usage:
+//   vmc_served --inbox DIR --outbox DIR [--workers N] [--cache-mb MB]
+//              [--checkpoint-dir DIR] [--checkpoint-every G]
+//              [--obs-dir DIR] [--poll-ms MS]
+//
+// The file-drop transport was chosen over a socket deliberately: it is
+// load-balancer-friendly (N daemons can share one inbox via rename claims),
+// trivially scriptable in CI, and needs no privileged ports in containers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "serve/spool.hpp"
+
+namespace {
+
+struct Args {
+  std::string inbox;
+  std::string outbox;
+  std::string obs_dir;
+  vmc::serve::ServerConfig cfg;
+  double poll_seconds = 0.05;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --inbox DIR --outbox DIR [--workers N]\n"
+               "        [--cache-mb MB] [--checkpoint-dir DIR]\n"
+               "        [--checkpoint-every G] [--obs-dir DIR] [--poll-ms MS]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--inbox") {
+      a.inbox = next();
+    } else if (flag == "--outbox") {
+      a.outbox = next();
+    } else if (flag == "--workers") {
+      a.cfg.workers = std::atoi(next().c_str());
+    } else if (flag == "--cache-mb") {
+      a.cfg.cache_bytes = static_cast<std::size_t>(std::atoll(next().c_str()))
+                          << 20;
+    } else if (flag == "--checkpoint-dir") {
+      a.cfg.checkpoint_dir = next();
+    } else if (flag == "--checkpoint-every") {
+      a.cfg.checkpoint_every = std::atoi(next().c_str());
+    } else if (flag == "--obs-dir") {
+      a.obs_dir = next();
+    } else if (flag == "--poll-ms") {
+      a.poll_seconds = std::atof(next().c_str()) / 1000.0;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (a.inbox.empty() || a.outbox.empty()) usage(argv[0]);
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  if (!args.cfg.checkpoint_dir.empty())
+    vmc::serve::spool::make_dirs(args.cfg.checkpoint_dir);
+  if (!args.obs_dir.empty()) {
+    vmc::serve::spool::make_dirs(args.obs_dir);
+    vmc::obs::tracer().set_enabled(true);
+  }
+
+  vmc::serve::Server server(args.cfg);
+  vmc::serve::InboxConfig inbox;
+  inbox.inbox = args.inbox;
+  inbox.outbox = args.outbox;
+  inbox.poll_seconds = args.poll_seconds;
+
+  const std::size_t published = vmc::serve::run_inbox(server, inbox);
+  server.shutdown();
+
+  const auto cache = server.cache_stats();
+  std::printf("vmc_served: %zu results published | cache %llu hits / %llu "
+              "misses / %llu evictions, %zu bytes resident\n",
+              published, static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions), cache.bytes);
+
+  if (!args.obs_dir.empty()) {
+    vmc::obs::RunManifest manifest;
+    manifest.set_run_kind("vmc_served");
+    server.fill_manifest(manifest);
+    manifest.capture_fault_summary();
+    manifest.capture_metrics();
+    manifest.write(args.obs_dir + "/manifest.json");
+    vmc::serve::spool::write_file_atomic(
+        args.obs_dir + "/metrics.prom",
+        vmc::obs::metrics().snapshot().prometheus());
+    vmc::obs::tracer().write(args.obs_dir + "/trace.json");
+  }
+  return 0;
+}
