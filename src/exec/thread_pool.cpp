@@ -83,7 +83,20 @@ void ThreadPool::parallel_for(
     const std::size_t end = std::min(n, begin + chunk);
     futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
   }
-  for (auto& f : futures) f.get();
+  // Join EVERY chunk before returning, even when one throws: the queued
+  // tasks hold `fn` by reference, so an early exit would leave stragglers
+  // calling through a dangling reference into the caller's dead stack slot.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      // Not swallowed: the first chunk failure is rethrown below, after the
+      // join. vmc-lint: allow(naked-catch-in-exec)
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace vmc::exec

@@ -5,47 +5,53 @@
 
 namespace vmc::serve {
 
-ModelCache::Entry* ModelCache::find_locked(std::uint64_t digest) {
+ModelCache::Entry* ModelCache::find_locked(const JobSpec::LibraryKey& key) {
   for (Entry& e : entries_)
-    if (e.digest == digest) return &e;
+    if (e.key == key) return &e;
   return nullptr;
+}
+
+void ModelCache::erase_locked(const JobSpec::LibraryKey& key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) {
+      entries_.erase(it);
+      return;
+    }
+  }
 }
 
 std::shared_ptr<const hm::Model> ModelCache::acquire(const JobSpec& spec,
                                                      bool* was_hit) {
-  const std::uint64_t digest = spec.digest();
+  const JobSpec::LibraryKey key = spec.library_key();
   std::unique_lock lk(mu_);
-  for (;;) {
-    Entry* e = find_locked(digest);
-    if (e != nullptr && e->model) {
+  if (Entry* e = find_locked(key); e != nullptr) {
+    if (e->model) {
       e->last_use = ++use_clock_;
       ++hits_;
       if (was_hit != nullptr) *was_hit = true;
       return e->model;
     }
-    if (e != nullptr && e->building) {
-      // Another job is mid-finalize for this digest: wait for it rather
-      // than duplicating the build. Its completion (or failure) wakes us.
-      built_.wait(lk, [&] {
-        Entry* cur = find_locked(digest);
-        return cur == nullptr || !cur->building;
-      });
-      continue;  // re-evaluate: hit the fresh model, or retry after failure
-    }
-    break;  // no entry (or a failed one): this request runs the build
+    // Another job is mid-finalize for this key: coalesce onto its flight
+    // rather than duplicating the build. Holding the Flight (not the entry,
+    // which a failure removes) lets a failed build's exception reach us.
+    const std::shared_ptr<Flight> f = e->flight;
+    built_.wait(lk, [&] { return f->done; });
+    if (f->error) std::rethrow_exception(f->error);
+    ++hits_;
+    if (was_hit != nullptr) *was_hit = true;
+    if (Entry* cur = find_locked(key)) cur->last_use = ++use_clock_;
+    return f->model;
   }
 
   // Claim the flight, then build OUTSIDE the lock — finalize is the
-  // expensive part and other digests must proceed concurrently.
+  // expensive part and other keys must proceed concurrently.
+  const auto flight = std::make_shared<Flight>();
   {
-    Entry* e = find_locked(digest);
-    if (e == nullptr) {
-      entries_.push_back({});
-      e = &entries_.back();
-      e->digest = digest;
-    }
-    e->building = true;
-    e->failed = false;
+    Entry e;
+    e.key = key;
+    e.digest = spec.digest();
+    e.flight = flight;
+    entries_.push_back(std::move(e));
   }
   ++misses_;
   if (was_hit != nullptr) *was_hit = false;
@@ -53,24 +59,29 @@ std::shared_ptr<const hm::Model> ModelCache::acquire(const JobSpec& spec,
 
   std::shared_ptr<const hm::Model> model;
   try {
-    model = std::make_shared<const hm::Model>(hm::build_model(spec.model_options()));
+    model = builder_ ? builder_(spec)
+                     : std::make_shared<const hm::Model>(
+                           hm::build_model(spec.model_options()));
   } catch (...) {
     lk.lock();
-    if (Entry* e = find_locked(digest)) {
-      e->building = false;
-      e->failed = true;
-    }
+    flight->error = std::current_exception();
+    flight->done = true;
+    // Remove the entry: waiters already on this flight rethrow via the
+    // Flight they hold; anyone arriving later starts a fresh build.
+    erase_locked(key);
     built_.notify_all();
     throw;
   }
 
   lk.lock();
-  Entry* e = find_locked(digest);
+  Entry* e = find_locked(key);
   e->model = model;
-  e->building = false;
   e->bytes = model->library.union_bytes() + model->library.pointwise_bytes() +
              model->library.hash_bytes();
   e->last_use = ++use_clock_;
+  flight->model = model;
+  flight->done = true;
+  e->flight.reset();
   built_.notify_all();
   evict_locked();
   return model;
@@ -90,15 +101,21 @@ void ModelCache::evict_locked() {
   while (total > byte_budget_) {
     Entry* victim = nullptr;
     for (Entry& e : entries_) {
-      if (!e.model || e.building) continue;
+      if (!e.model) continue;  // still building
       if (e.model.use_count() > 1) continue;  // in use by a job
       if (victim == nullptr || e.last_use < victim->last_use) victim = &e;
     }
     if (victim == nullptr) break;  // everything left is in use
     total -= victim->bytes;
     ++evictions_;
+    if (on_evict_) on_evict_();
     entries_.erase(entries_.begin() + (victim - entries_.data()));
   }
+}
+
+void ModelCache::set_eviction_hook(std::function<void()> hook) {
+  std::lock_guard lk(mu_);
+  on_evict_ = std::move(hook);
 }
 
 void ModelCache::enforce_budget() {

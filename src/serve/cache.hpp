@@ -3,14 +3,20 @@
 //
 // `Library::finalize` (grid unionization + hash-index build) is the dominant
 // cold-start cost of a job — exactly the cost OpenMC-style serving setups
-// amortize across runs. The cache keys on `JobSpec::digest()` (the
-// library-determining axes only), so any two jobs over the same physics
-// share ONE immutable `hm::Model` instance regardless of seed, size, or
-// tenant. Guarantees:
+// amortize across runs. The cache identifies entries by
+// `JobSpec::library_key()` (the library-determining axes, compared in full —
+// the 32-bit `digest()` is only the compact report form, and a digest
+// collision between different physics is treated as the miss it is), so any
+// two jobs over the same physics share ONE immutable `hm::Model` instance
+// regardless of seed, size, or tenant. Guarantees:
 //
-//  * single-flight: concurrent first requests for a digest build once; the
+//  * single-flight: concurrent first requests for a key build once; the
 //    losers block until the winner's finalize completes (a coalesced wait
 //    counts as a hit — no finalize ran for it);
+//  * a failed build rethrows its exception to every waiter coalesced onto
+//    that flight, and the entry is removed so a LATER request retries with
+//    a fresh build (one failure never becomes sticky, and N waiters never
+//    become N serial rebuilds);
 //  * hits never touch finalize()/rebuild_hash(): the entry is handed out
 //    as-is, which is what makes warm-vs-cold bit-identity provable;
 //  * LRU eviction against a byte budget, where an entry's cost is the
@@ -21,6 +27,8 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <condition_variable>
@@ -41,41 +49,64 @@ class ModelCache {
     std::size_t entries = 0;
   };
 
-  explicit ModelCache(std::size_t byte_budget = std::size_t{256} << 20)
-      : byte_budget_(byte_budget) {}
+  /// Builds the model for a spec. The default runs hm::build_model; tests
+  /// inject one to observe build counts or force failures.
+  using Builder =
+      std::function<std::shared_ptr<const hm::Model>(const JobSpec&)>;
 
-  /// The shared model for `spec`'s digest, building it at most once per
-  /// digest. Sets *was_hit to false only for the request that ran the build.
-  /// Propagates build exceptions to every waiter of that flight.
+  explicit ModelCache(std::size_t byte_budget = std::size_t{256} << 20,
+                      Builder builder = {})
+      : byte_budget_(byte_budget), builder_(std::move(builder)) {}
+
+  /// The shared model for `spec`'s library key, building it at most once per
+  /// key. Sets *was_hit to false only for the request that ran the build.
+  /// Propagates a build exception to every waiter coalesced onto that
+  /// flight; the next acquire of the same key starts a fresh build.
   std::shared_ptr<const hm::Model> acquire(const JobSpec& spec,
                                            bool* was_hit = nullptr);
 
   Stats stats() const;
 
-  /// Drop this thread's interest hint; eviction is automatic (budget is
-  /// enforced after every insert), this just re-runs it eagerly — used by
-  /// tests to observe eviction at a known point.
+  /// Called once per evicted entry, under the cache mutex — keep it cheap
+  /// (the server mirrors evictions into a metrics counter here, so the
+  /// counter cannot drift from the cache's own census).
+  void set_eviction_hook(std::function<void()> hook);
+
+  /// Eviction is automatic (budget is enforced after every insert); this
+  /// just re-runs it eagerly — used by tests to observe eviction at a known
+  /// point.
   void enforce_budget();
 
   std::size_t byte_budget() const { return byte_budget_; }
 
  private:
-  struct Entry {
-    std::uint64_t digest = 0;
-    std::shared_ptr<const hm::Model> model;  // null while building
-    std::size_t bytes = 0;
-    std::uint64_t last_use = 0;              // logical LRU clock
-    bool building = false;
-    bool failed = false;                     // build threw; waiters re-throw
+  /// Shared state of one in-flight build. Waiters hold their own reference,
+  /// so a failure's exception_ptr outlives the (removed) entry.
+  struct Flight {
+    std::shared_ptr<const hm::Model> model;  // set on success
+    std::exception_ptr error;                // set on failure
+    bool done = false;
   };
 
-  Entry* find_locked(std::uint64_t digest);
+  struct Entry {
+    JobSpec::LibraryKey key;        // full-axes identity, compared on lookup
+    std::uint64_t digest = 0;       // compact report form only
+    std::shared_ptr<const hm::Model> model;  // null while building
+    std::shared_ptr<Flight> flight;          // non-null while building
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;              // logical LRU clock
+  };
+
+  Entry* find_locked(const JobSpec::LibraryKey& key);
+  void erase_locked(const JobSpec::LibraryKey& key);
   void evict_locked();
 
   mutable std::mutex mu_;
   std::condition_variable built_;
   std::vector<Entry> entries_;
   std::size_t byte_budget_;
+  Builder builder_;
+  std::function<void()> on_evict_;
   std::uint64_t use_clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

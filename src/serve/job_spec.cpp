@@ -51,26 +51,34 @@ int JobSpec::effective_nuclides() const {
                                                  : hm::FuelSize::small);
 }
 
-std::uint64_t JobSpec::digest() const {
-  // Hash only the axes that change the finalized library (+index shape).
-  // Raw little-endian double bits, not formatted text, so e.g. 600.0 and
+JobSpec::LibraryKey JobSpec::library_key() const {
+  // Only the axes that change the finalized library (+index shape). Raw
+  // little-endian double bits, not formatted text, so e.g. 600.0 and
   // 600.00000000000001 K are honestly distinct libraries.
+  LibraryKey k;
+  k.model = model;
+  k.nuclides = effective_nuclides();
+  // Index shape, not tier identity: binary/hash need no per-nuclide table.
+  k.nuclide_index = tier == xs::GridSearch::hash_nuclide;
+  static_assert(sizeof k.temperature_bits == sizeof temperature_K);
+  std::memcpy(&k.temperature_bits, &temperature_K, sizeof k.temperature_bits);
+  std::memcpy(&k.grid_scale_bits, &grid_scale, sizeof k.grid_scale_bits);
+  return k;
+}
+
+std::uint64_t JobSpec::digest() const {
+  const LibraryKey k = library_key();
   resil::Crc32 c;
   const auto add = [&c](const void* p, std::size_t n) { c.update(p, n); };
   const char schema_salt[] = "vectormc.job.v1";
   add(schema_salt, sizeof schema_salt);
-  add(model.data(), model.size());
-  const std::int64_t n_fuel = effective_nuclides();
+  add(k.model.data(), k.model.size());
+  const std::int64_t n_fuel = k.nuclides;
   add(&n_fuel, sizeof n_fuel);
-  // Index shape, not tier identity: binary/hash need no per-nuclide table.
-  const unsigned char nuclide_index = tier == xs::GridSearch::hash_nuclide;
+  const unsigned char nuclide_index = k.nuclide_index ? 1 : 0;
   add(&nuclide_index, sizeof nuclide_index);
-  std::uint64_t bits = 0;
-  static_assert(sizeof bits == sizeof temperature_K);
-  std::memcpy(&bits, &temperature_K, sizeof bits);
-  add(&bits, sizeof bits);
-  std::memcpy(&bits, &grid_scale, sizeof bits);
-  add(&bits, sizeof bits);
+  add(&k.temperature_bits, sizeof k.temperature_bits);
+  add(&k.grid_scale_bits, sizeof k.grid_scale_bits);
   return c.value();
 }
 

@@ -69,8 +69,24 @@ struct JobSpec {
   std::uint64_t seed = 42;
   int devices = 0;               // modeled offload devices (0 = host sweep)
 
+  /// The library-determining axes, verbatim — the serve cache's identity.
+  /// `digest()` is a CRC-32 over exactly these fields, but a 32-bit hash can
+  /// collide (and an adversarial tenant could construct a collision), so the
+  /// cache compares the full key on every lookup and treats a digest match
+  /// with a key mismatch as a miss; the digest is only the compact form used
+  /// in result documents, manifests, and traces.
+  struct LibraryKey {
+    std::string model;
+    int nuclides = 0;                    // EFFECTIVE count (override resolved)
+    bool nuclide_index = false;          // index shape (hash_nuclide tier)
+    std::uint64_t temperature_bits = 0;  // raw little-endian double bits
+    std::uint64_t grid_scale_bits = 0;
+    bool operator==(const LibraryKey&) const = default;
+  };
+  LibraryKey library_key() const;
+
   /// Content address of the finalized library this spec requires: a CRC-32
-  /// over the library-determining axes only. Note the grid-search tier
+  /// over `library_key()`'s fields only. Note the grid-search tier
   /// contributes through the index shape it needs (`hash_nuclide` builds the
   /// per-nuclide start table, `binary`/`hash` share the plain index), so
   /// binary- and hash-tier jobs over the same physics share one entry.

@@ -1,10 +1,13 @@
 #include "serve/queue.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace vmc::serve {
 
 void FairShareQueue::push_locked(Job&& job, bool resumed) {
+  if (closed_)
+    throw std::logic_error("FairShareQueue: push after close()");
   TenantState* ts = nullptr;
   for (TenantState& t : tenants_)
     if (t.tenant == job.spec.tenant) ts = &t;

@@ -31,7 +31,9 @@ struct Job {
 
 class FairShareQueue {
  public:
-  /// Blocks never: admission control bounds depth before push.
+  /// Blocks never: admission control bounds depth before push. Throws
+  /// std::logic_error after close() — the server's submit critical section
+  /// guarantees no push can race a completed shutdown.
   void push(Job job);
 
   /// Re-admit a resumed job at the FRONT of its tenant's share (virtual

@@ -78,6 +78,11 @@ Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), cache_(cfg_.cache_bytes
        10.0, 30.0},
       {}, "submit-to-completion wall time");
 
+  // The cache ticks the counter itself, under its own mutex, so the metric
+  // can never drift from the cache's eviction census (a top-up read in the
+  // workers would race).
+  cache_.set_eviction_hook([this] { cache_evictions_.inc(); });
+
   obs::tracer().set_process_name(kServePid, "vmc_serve jobs");
   const int n = std::max(1, cfg_.workers);
   workers_.reserve(static_cast<std::size_t>(n));
@@ -126,24 +131,25 @@ std::string Server::submit(JobSpec spec) {
     bounce("queue_full", "", "fair-share queue is at capacity");
 
   Job job;
+  std::string id;
   {
+    // One critical section from the accepting_ check through the inflight_
+    // increment: a submission either commits while shutdown()'s drain still
+    // sees it in flight, or bounces — no straggler can slip between the
+    // check and the increment and push into a queue the workers have left.
     std::lock_guard lk(mu_);
     if (!accepting_)
       bounce("unavailable", "", "server is shutting down");
     job.seq = next_seq_++;
-  }
-  // Ingress fault site: models the accept path dying under chaos (socket
-  // reset, inbox torn mid-claim). Fires before any state is committed; the
-  // consumed seq is simply abandoned (seqs are unique, not dense).
-  if (resil::fault_fires("serve.accept", job.seq))
-    bounce("unavailable", "", "injected accept fault");
-
-  if (spec.job_id.empty()) spec.job_id = "job-" + std::to_string(job.seq);
-  const std::string id = spec.job_id;
-  job.spec = std::move(spec);
-  job.submitted_at = prof::now_seconds();
-  {
-    std::lock_guard lk(mu_);
+    // Ingress fault site: models the accept path dying under chaos (socket
+    // reset, inbox torn mid-claim). Fires before any state is committed; the
+    // consumed seq is simply abandoned (seqs are unique, not dense).
+    if (resil::fault_fires("serve.accept", job.seq))
+      bounce("unavailable", "", "injected accept fault");
+    if (spec.job_id.empty()) spec.job_id = "job-" + std::to_string(job.seq);
+    id = spec.job_id;
+    job.spec = std::move(spec);
+    job.submitted_at = prof::now_seconds();
     ++inflight_;
   }
   submitted_.inc();
@@ -178,12 +184,7 @@ void Server::run_job(Job job, int worker_id) {
     std::shared_ptr<const hm::Model> model = cache_.acquire(job.spec, &hit);
     r.cache_hit = hit;
     (hit ? cache_hits_ : cache_misses_).inc();
-    const ModelCache::Stats cs = cache_.stats();
-    cache_bytes_g_.set(static_cast<double>(cs.bytes));
-    // Evictions are a cache-internal event; mirror the running total into
-    // the counter by topping it up to the cache's census.
-    if (cs.evictions > cache_evictions_.value())
-      cache_evictions_.inc(cs.evictions - cache_evictions_.value());
+    cache_bytes_g_.set(static_cast<double>(cache_.stats().bytes));
 
     core::Settings st = job.spec.settings();
     if (job.spec.devices > 0) st.mode = core::TransportMode::event;

@@ -3,10 +3,18 @@
 // the in-use protection that keeps running jobs' models resident.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "resil/crc32.hpp"
 #include "serve/cache.hpp"
 #include "serve/job_spec.hpp"
 
@@ -102,6 +110,160 @@ TEST(ModelCache, ReleasedEntriesBecomeEvictable) {
   cache.enforce_budget();
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+// --- digest-collision safety ----------------------------------------------
+//
+// The digest is a 32-bit CRC, so collisions between DIFFERENT physics are
+// constructible (CRC32 is linear: four chosen trailing bytes steer the state
+// anywhere). The cache must compare the full library key on lookup and treat
+// such a collision as a miss — otherwise one tenant's forged spec would be
+// served another tenant's model.
+
+// Internal (pre-final-xor) CRC-32 state over `bytes`. Digest equality is
+// state equality, so forging targets the state directly.
+std::uint32_t crc_state(const std::vector<unsigned char>& bytes) {
+  const auto& T = vmc::resil::detail::kCrc32Table;
+  std::uint32_t s = 0xFFFFFFFFu;
+  for (unsigned char b : bytes) s = T[(s ^ b) & 0xFFu] ^ (s >> 8);
+  return s;
+}
+
+// JobSpec::digest()'s byte stream, truncated to the first `grid_bytes` bytes
+// of the trailing grid_scale field.
+std::vector<unsigned char> digest_stream(const serve::JobSpec& s,
+                                         std::size_t grid_bytes) {
+  std::vector<unsigned char> out;
+  const auto add = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  const char salt[] = "vectormc.job.v1";
+  add(salt, sizeof salt);
+  add(s.model.data(), s.model.size());
+  const std::int64_t n_fuel = s.effective_nuclides();
+  add(&n_fuel, sizeof n_fuel);
+  const unsigned char nuclide_index =
+      s.tier == vmc::xs::GridSearch::hash_nuclide;
+  add(&nuclide_index, 1);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &s.temperature_K, sizeof bits);
+  add(&bits, sizeof bits);
+  std::memcpy(&bits, &s.grid_scale, sizeof bits);
+  add(&bits, grid_bytes);
+  return out;
+}
+
+// The four trailing bytes that take internal CRC state `from` to `to`.
+// The table's top bytes form a permutation, so each target byte (top-down)
+// pins exactly one table index, and each index is reachable because the
+// message byte is free.
+std::array<unsigned char, 4> crc_patch(std::uint32_t from, std::uint32_t to) {
+  const auto& T = vmc::resil::detail::kCrc32Table;
+  std::array<unsigned char, 256> rev{};
+  for (int i = 0; i < 256; ++i)
+    rev[T[static_cast<std::size_t>(i)] >> 24] = static_cast<unsigned char>(i);
+  std::array<unsigned char, 4> idx{};
+  std::uint32_t d = to;
+  idx[3] = rev[(d >> 24) & 0xFFu];
+  d ^= T[idx[3]];
+  idx[2] = rev[(d >> 16) & 0xFFu];
+  d ^= T[idx[2]] >> 8;
+  idx[1] = rev[(d >> 8) & 0xFFu];
+  d ^= T[idx[1]] >> 16;
+  idx[0] = rev[d & 0xFFu];
+  std::array<unsigned char, 4> patch{};
+  std::uint32_t cur = from;
+  for (int k = 0; k < 4; ++k) {
+    patch[static_cast<std::size_t>(k)] =
+        static_cast<unsigned char>((cur ^ idx[static_cast<std::size_t>(k)]) & 0xFFu);
+    cur = (cur >> 8) ^ T[idx[static_cast<std::size_t>(k)]];
+  }
+  return patch;
+}
+
+TEST(ModelCache, ForgedDigestCollisionsNeverAliasEntries) {
+  serve::JobSpec a = tiny_spec(300.0);
+  serve::JobSpec b = tiny_spec(600.0);
+  // Forge b's grid_scale bits so digest(b) == digest(a) while the physics
+  // (temperature) differs — the adversarial-tenant construction.
+  const std::uint32_t target = crc_state(digest_stream(a, 8));
+  const auto patch = crc_patch(crc_state(digest_stream(b, 4)), target);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &b.grid_scale, sizeof bits);
+  std::memcpy(reinterpret_cast<unsigned char*>(&bits) + 4, patch.data(), 4);
+  std::memcpy(&b.grid_scale, &bits, sizeof bits);
+  ASSERT_EQ(a.digest(), b.digest()) << "forge must actually collide";
+  ASSERT_FALSE(a.library_key() == b.library_key());
+
+  // Injected builder: the forged grid_scale is garbage bits, so no real
+  // build must run; the cache must still keep the specs apart.
+  int builds = 0;
+  serve::ModelCache cache(std::size_t{256} << 20,
+                          [&builds](const serve::JobSpec&) {
+                            ++builds;
+                            return std::make_shared<const vmc::hm::Model>();
+                          });
+  const auto ma = cache.acquire(a);
+  bool hit = true;
+  const auto mb = cache.acquire(b, &hit);
+  EXPECT_FALSE(hit) << "a digest collision must read as a miss";
+  EXPECT_NE(ma.get(), mb.get())
+      << "colliding digests must never share a model";
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+// --- build-failure semantics -----------------------------------------------
+
+TEST(ModelCache, BuildFailureRethrowsToEveryCoalescedWaiter) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> builds{0};
+  std::atomic<bool> fail{true};
+  serve::ModelCache cache(
+      std::size_t{256} << 20,
+      [&](const serve::JobSpec&) -> std::shared_ptr<const vmc::hm::Model> {
+        builds.fetch_add(1);
+        gate.wait();
+        if (fail.load()) throw std::runtime_error("injected build failure");
+        return std::make_shared<const vmc::hm::Model>();
+      });
+
+  constexpr int kThreads = 6;
+  std::atomic<int> arrived{0};
+  std::atomic<int> caught{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      arrived.fetch_add(1);
+      try {
+        cache.acquire(tiny_spec());
+      } catch (const std::runtime_error&) {
+        caught.fetch_add(1);
+      }
+    });
+  }
+  // Hold the build until every thread is at (or coalesced onto) the flight.
+  while (arrived.load() < kThreads)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(caught.load(), kThreads)
+      << "every waiter of the failed flight must rethrow";
+  EXPECT_EQ(builds.load(), 1)
+      << "one failed flight, not N serial failed rebuilds";
+
+  // The failure is not sticky: the entry is gone, the next acquire retries.
+  fail.store(false);
+  bool hit = true;
+  const auto m = cache.acquire(tiny_spec(), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(m.get(), nullptr);
+  EXPECT_EQ(builds.load(), 2);
 }
 
 TEST(ModelCache, BytesTrackTheLibraryAccounting) {

@@ -182,6 +182,35 @@ TEST(JobSpecDigest, BinaryAndHashTiersShareALibrary) {
   EXPECT_NE(s.digest(), binary);
 }
 
+TEST(JobSpecDigest, LibraryKeyMirrorsTheDigestAxes) {
+  // The cache's identity is the full key, not the 32-bit digest; the key
+  // must be invariant under run-shaping axes and sensitive to every
+  // library-determining one.
+  const serve::JobSpec base = serve::parse_job_spec(valid_doc());
+  serve::JobSpec s = base;
+  s.seed = 777;
+  s.particles = 9999;
+  s.tenant = "someone-else";
+  s.devices = 2;
+  EXPECT_TRUE(s.library_key() == base.library_key());
+  s = base;
+  s.model = "large";
+  s.nuclides = 0;
+  EXPECT_FALSE(s.library_key() == base.library_key());
+  s = base;
+  s.nuclides = 16;
+  EXPECT_FALSE(s.library_key() == base.library_key());
+  s = base;
+  s.temperature_K = 900.0;
+  EXPECT_FALSE(s.library_key() == base.library_key());
+  s = base;
+  s.grid_scale = 0.06;
+  EXPECT_FALSE(s.library_key() == base.library_key());
+  s = base;
+  s.tier = vmc::xs::GridSearch::hash_nuclide;
+  EXPECT_FALSE(s.library_key() == base.library_key());
+}
+
 TEST(JobSpecDigest, NuclideOverrideMatchingDefaultIsSameLibrary) {
   // nuclides=34 spelled explicitly is the same fuel as the small default:
   // the digest hashes the EFFECTIVE count, not the raw field.

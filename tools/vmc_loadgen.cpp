@@ -125,6 +125,9 @@ std::vector<Sample> run_in_process(const Args& args,
   vmc::serve::ServerConfig cfg;
   cfg.workers = args.workers;
   cfg.cache_bytes = args.cache_mb << 20;
+  // The bench submits the whole stream up front; the queue-depth admission
+  // guard is a daemon-facing limit and must never bounce scaled runs.
+  cfg.max_queue_depth = std::max(cfg.max_queue_depth, specs.size() + 1);
   vmc::serve::Server server(cfg);
 
   std::vector<Sample> samples(specs.size());
