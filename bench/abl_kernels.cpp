@@ -210,5 +210,32 @@ int main() {
                 search_s[0] / search_s[1]);
     report.note("grid_search_hash_speedup", search_s[0] / search_s[1]);
   }
+
+  // --- 8. ISA backend ablation ----------------------------------------------
+  // The full-XsSet banked kernel under every backend level this run may
+  // dispatch (scalar up to the selected level, so a VMC_SIMD_ISA-pinned run
+  // has a deterministic row set). Same binary, same data, bit-identical
+  // outputs — the rate isolates what lane width alone buys on the
+  // 34-nuclide small fuel.
+  std::printf("[8] macro_xs_banked per ISA backend (%zu energies):\n", n);
+  {
+    const simd::IsaLevel selected = simd::dispatch().isa;
+    constexpr xs::XsLookupOptions kHash{xs::GridSearch::hash};
+    for (int li = 0; li <= static_cast<int>(selected); ++li) {
+      const auto level = static_cast<simd::IsaLevel>(li);
+      simd::force_isa(level);
+      const double t = bench::best_seconds(3, [&] {
+        xs::macro_xs_banked(lib, fuel, es, out, kHash);
+      });
+      std::printf("    %-10s (%3d-bit)   %12.3e lookups/s\n",
+                  simd::isa_display_name(level), simd::isa_simd_bits(level),
+                  static_cast<double>(n) / t);
+      report.row(
+          {{"sweep_level", static_cast<double>(li)},
+           {"sweep_simd_bits", static_cast<double>(simd::isa_simd_bits(level))},
+           {"sweep_lookups_per_s", static_cast<double>(n) / t}});
+    }
+    simd::clear_forced_isa();
+  }
   return 0;
 }

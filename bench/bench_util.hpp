@@ -42,8 +42,10 @@ inline void header(const char* artifact, const char* description) {
   std::printf("==============================================================\n");
   std::printf("VectorMC reproduction: %s\n", artifact);
   std::printf("  %s\n", description);
-  std::printf("  host ISA: %s (%d-bit vectors), bench scale: %.3g\n",
-              simd::isa_name(), simd::native_bits(), scale());
+  std::printf("  ISA backend: %s (%d-bit vectors, host max %s), "
+              "bench scale: %.3g\n",
+              simd::dispatch().name, simd::dispatch().simd_bits,
+              simd::isa_display_name(simd::host_max_isa()), scale());
   std::printf("==============================================================\n");
 }
 
@@ -101,8 +103,10 @@ class Report {
     w.member("name", slug_);
     w.member("artifact", artifact_);
     w.member("description", description_);
-    w.member("isa", simd::isa_name());
-    w.member("simd_bits", simd::native_bits());
+    // The dispatched backend the measured kernels ran on (vmc_bench_diff
+    // keys baselines by this field and refuses cross-ISA comparisons).
+    w.member("isa", simd::dispatch().name);
+    w.member("simd_bits", simd::dispatch().simd_bits);
     w.member("bench_scale", scale());
     w.key("notes").begin_object();
     for (const auto& [k, v] : string_notes_) w.member(k, v);

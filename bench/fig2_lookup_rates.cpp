@@ -147,6 +147,55 @@ int main() {
                 {"search_speedup", t_bin / t_hash}});
   }
 
+  // --- ISA lane-width sweep -------------------------------------------------
+  // The multi-ISA dispatch refactor's own figure of merit: the SAME binary,
+  // the SAME data, every backend level this run may dispatch (scalar up to
+  // the selected level — bounded by the selection, not the host, so a
+  // VMC_SIMD_ISA-pinned run has a deterministic row set for its per-ISA
+  // baseline). Results are bitwise identical across rows (the forced-ISA
+  // fuzz proves it); only the rate moves with lane width.
+  {
+    const simd::IsaLevel selected = simd::dispatch().isa;
+    const std::size_t n = bench::scaled(30000);
+    rng::Stream rs(n ^ 0xA5A5);
+    simd::aligned_vector<double> es(n);
+    for (auto& e : es) {
+      e = xs::kEnergyMin * std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
+    }
+    simd::aligned_vector<double> out(n);
+    simd::aligned_vector<std::int32_t> us(n);
+    std::printf("\nISA lane-width sweep (forced backend, same data):\n");
+    std::printf("%10s %6s | %15s %15s\n", "backend", "bits", "total banked/s",
+                "search/s");
+    double banked_rate[simd::kNumIsaLevels] = {};
+    for (int li = 0; li <= static_cast<int>(selected); ++li) {
+      const auto level = static_cast<simd::IsaLevel>(li);
+      simd::force_isa(level);
+      const double t_total = bench::best_seconds(3, [&] {
+        xs::macro_total_banked(lib, fuel, es, out, kHash);
+      });
+      const double t_search = bench::best_seconds(3, [&] {
+        hg.find_banked(ug.energy, es, us.data());
+      });
+      banked_rate[li] = static_cast<double>(n) / t_total;
+      std::printf("%10s %6d | %15.3e %15.3e\n", simd::isa_display_name(level),
+                  simd::isa_simd_bits(level), banked_rate[li],
+                  static_cast<double>(n) / t_search);
+      report.row(
+          {{"sweep_level", static_cast<double>(li)},
+           {"sweep_simd_bits", static_cast<double>(simd::isa_simd_bits(level))},
+           {"sweep_total_banked_per_s", banked_rate[li]},
+           {"sweep_search_per_s", static_cast<double>(n) / t_search}});
+    }
+    simd::clear_forced_isa();
+    if (selected >= simd::IsaLevel::avx2 && banked_rate[1] > 0.0) {
+      // The hardware-gather payoff the dispatch refactor exists for.
+      std::printf("  AVX2-vs-SSE2 banked lookup: %.2fx\n",
+                  banked_rate[2] / banked_rate[1]);
+      report.note("sweep_banked_avx2_over_sse2", banked_rate[2] / banked_rate[1]);
+    }
+  }
+
   std::printf(
       "\npaper shape: banking on the MIC ~10x the CPU history rate; the\n"
       "host-measured columns show the same-silicon SIMD+tiling gain, which\n"

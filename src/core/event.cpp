@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simd/simd.hpp"
+#include "xsdata/kernels.hpp"
 #include "xsdata/lookup.hpp"
 
 namespace vmc::core {
@@ -16,23 +17,26 @@ constexpr double kEnergyFloor = 1.0e-11;
 
 // Per-kernel banked-sweep throughput counters, shared by the naive and the
 // compacting scheduler so the series stays comparable across the ablation.
-// Registered once (labels carry the compiled ISA so mixed-build comparisons
-// stay separable) and bumped once per run() — no per-iteration metrics cost.
+// Registered once — the isa label captures the backend DISPATCHED at first
+// bump (force_isa() switches after that keep the original label; the
+// forced-ISA sweeps compare kernel outputs, not this counter) — and bumped
+// once per run(), so there is no per-iteration metrics cost.
 void bump_sweep_counters(std::uint64_t n_xs, std::uint64_t n_dist,
                          std::uint64_t n_adv, std::uint64_t n_coll) {
   static const char* kHelp = "Particles processed per banked event kernel";
+  static const char* kIsa = simd::dispatch().name;
   static const obs::Counter c_xs = obs::metrics().counter(
       "vmc_bank_sweep_particles_total",
-      {{"kernel", "xs_lookup"}, {"isa", simd::isa_name()}}, kHelp);
+      {{"kernel", "xs_lookup"}, {"isa", kIsa}}, kHelp);
   static const obs::Counter c_dist = obs::metrics().counter(
       "vmc_bank_sweep_particles_total",
-      {{"kernel", "sample_distance"}, {"isa", simd::isa_name()}}, kHelp);
+      {{"kernel", "sample_distance"}, {"isa", kIsa}}, kHelp);
   static const obs::Counter c_adv = obs::metrics().counter(
       "vmc_bank_sweep_particles_total",
-      {{"kernel", "advance_geometry"}, {"isa", simd::isa_name()}}, kHelp);
+      {{"kernel", "advance_geometry"}, {"isa", kIsa}}, kHelp);
   static const obs::Counter c_coll = obs::metrics().counter(
       "vmc_bank_sweep_particles_total",
-      {{"kernel", "collide"}, {"isa", simd::isa_name()}}, kHelp);
+      {{"kernel", "collide"}, {"isa", kIsa}}, kHelp);
   c_xs.inc(n_xs);
   c_dist.inc(n_dist);
   c_adv.inc(n_adv);
@@ -151,25 +155,11 @@ void EventTracker::run_naive(std::span<particle::Particle> particles,
     }
     counts.rng_draws_est += na;
     if (opt_.simd_distance) {
-      using VD = simd::vdouble;
-      constexpr int L = simd::width_v<double>;
-      for (std::size_t j = 0; j < na; j += L) {
-        // Masked remainder, same idiom as the compacting scheduler: dead
-        // lanes get xi=0.5 / sigma=1.0 (harmless ahead of the log and the
-        // divide) and never reach memory.
-        const int rem = static_cast<int>(std::min<std::size_t>(L, na - j));
-        const VD x = rem == L ? VD::load(xi.data() + j)
-                              : VD::load_partial(xi.data() + j, rem, 0.5);
-        const VD st = rem == L
-                          ? VD::load(sig_total.data() + j)
-                          : VD::load_partial(sig_total.data() + j, rem, 1.0);
-        const VD d = -simd::vlog(x) / st;
-        if (rem == L) {
-          d.store(dist.data() + j);
-        } else {
-          d.store_partial(dist.data() + j, rem);
-        }
-      }
+      // Runtime-dispatched banked distance kernel (masked remainder inside;
+      // dead lanes get xi=0.5 / sigma=1.0 and never reach memory).
+      xs::kern::active_isa_kernels().distance(
+          xi.data(), sig_total.data(), dist.data(),
+          static_cast<std::int64_t>(na));
     } else {
       for (std::size_t j = 0; j < na; ++j) {
         dist[j] = sig_total[j] > 0.0 ? -std::log(xi[j]) / sig_total[j]
@@ -365,22 +355,11 @@ void EventTracker::run_compact(std::span<particle::Particle> particles,
     }
     counts.rng_draws_est += na;
     if (opt_.simd_distance) {
-      using VD = simd::vdouble;
-      constexpr int L = simd::width_v<double>;
-      const std::size_t nv = na / L * L;
-      for (std::size_t j = 0; j < nv; j += L) {
-        const VD x = VD::load(xi.data() + j);
-        const VD st = VD::load(sig_total.data() + j);
-        (-simd::vlog(x) / st).store(dist.data() + j);
-      }
-      if (nv < na) {
-        // Masked remainder instead of a scalar tail: inactive lanes are fed
-        // harmless operands and never stored.
-        const int rem = static_cast<int>(na - nv);
-        const VD x = VD::load_partial(xi.data() + nv, rem, 0.5);
-        const VD st = VD::load_partial(sig_total.data() + nv, rem, 1.0);
-        (-simd::vlog(x) / st).store_partial(dist.data() + nv, rem);
-      }
+      // Runtime-dispatched banked distance kernel; the masked remainder
+      // replaces a scalar std::log tail just as before.
+      xs::kern::active_isa_kernels().distance(
+          xi.data(), sig_total.data(), dist.data(),
+          static_cast<std::int64_t>(na));
     } else {
       for (std::size_t j = 0; j < na; ++j) {
         dist[j] = sig_total[j] > 0.0 ? -std::log(xi[j]) / sig_total[j]

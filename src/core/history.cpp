@@ -182,7 +182,7 @@ void HistoryTracker::track(particle::Particle& p, TallyScores& tally,
       "Histories completed per transport method");
   static const obs::Counter c_lookups = obs::metrics().counter(
       "vmc_xs_lookups_total",
-      {{"method", "history"}, {"isa", simd::isa_name()}},
+      {{"method", "history"}, {"isa", simd::dispatch().name}},
       "Macroscopic cross-section lookups per transport method");
   c_hist.inc();
   c_lookups.inc(counts.lookups - lookups0);

@@ -94,8 +94,12 @@ std::string RunManifest::json() const {
   w.member("run_kind", run_kind_);
 
   w.key("machine").begin_object();
-  w.member("isa", simd::isa_name());
-  w.member("simd_bits", simd::native_bits());
+  // The SELECTED backend (CPUID dispatch / VMC_SIMD_ISA), i.e. what the hot
+  // kernels executed — not what this TU was compiled to. The forced-ISA CI
+  // matrix asserts on this field.
+  w.member("isa", simd::dispatch().name);
+  w.member("simd_bits", simd::dispatch().simd_bits);
+  w.member("compiled_isa", simd::isa_name());
   w.member("hardware_concurrency",
            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   w.end_object();

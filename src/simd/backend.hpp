@@ -1,0 +1,54 @@
+// ISA backend identities for the multi-ISA kernel family.
+//
+// One VectorMC binary carries the hot kernels (the six lookup kernels,
+// HashGrid::find_banked, and the EventQueues distance stage) compiled once
+// per ISA level in separately-flagged translation units. This header names
+// those levels; src/simd/dispatch.hpp selects one at runtime via CPUID (with
+// a VMC_SIMD_ISA env override), and src/xsdata/kernels.hpp holds the
+// function tables the selected level routes through.
+//
+// Level 0 (`scalar`) is the oracle: every wider backend must produce
+// bitwise-identical k-eff, tallies, and lookup results against it
+// (tests/property/test_isa_dispatch_fuzz.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace vmc::simd {
+
+/// Runtime-dispatchable backend levels, ordered by width. The numeric values
+/// are load-bearing: they index the per-level kernel tables and match the
+/// VMC_SIMD_LEVEL macro the per-ISA TUs are compiled with.
+enum class IsaLevel : std::uint8_t {
+  scalar = 0,  ///< 1 lane of every type; the bit-exactness oracle
+  sse2 = 1,    ///< 128-bit (x86-64 baseline)
+  avx2 = 2,    ///< 256-bit, hardware gathers
+  avx512 = 3,  ///< 512-bit (F+DQ), the paper's MIC register width
+};
+
+inline constexpr int kNumIsaLevels = 4;
+
+/// What the dispatcher selected (or was forced to).
+struct DispatchInfo {
+  IsaLevel isa = IsaLevel::scalar;
+  const char* name = "scalar";      ///< display name ("AVX2", ...)
+  const char* env_name = "scalar";  ///< VMC_SIMD_ISA spelling ("avx2", ...)
+  int simd_bits = 64;               ///< vector register width of the backend
+  int lanes_f32 = 1;                ///< float lanes at that width
+  int lanes_f64 = 1;                ///< double lanes at that width
+};
+
+/// Display name, e.g. "AVX-512" — matches the strings the compile-time
+/// `native_isa` constant uses, so manifests stay comparable.
+const char* isa_display_name(IsaLevel l);
+
+/// Environment-variable spelling, e.g. "avx512" (the VMC_SIMD_ISA values).
+const char* isa_env_name(IsaLevel l);
+
+/// Vector register width in bits for a level (scalar reports 64).
+int isa_simd_bits(IsaLevel l);
+
+/// Fully-populated DispatchInfo for a level.
+DispatchInfo isa_info(IsaLevel l);
+
+}  // namespace vmc::simd

@@ -1,0 +1,129 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace vmc::simd {
+
+namespace {
+
+struct LevelMeta {
+  const char* display;
+  const char* env;
+  int bits;
+  int lanes_f32;
+  int lanes_f64;
+};
+
+// Indexed by IsaLevel value. Display names match the compile-time
+// `native_isa` strings so manifests and metrics labels stay comparable.
+constexpr LevelMeta kLevels[kNumIsaLevels] = {
+    {"scalar", "scalar", 64, 1, 1},
+    {"SSE2", "sse2", 128, 4, 2},
+    {"AVX2", "avx2", 256, 8, 4},
+    {"AVX-512", "avx512", 512, 16, 8},
+};
+
+IsaLevel probe_host_max() {
+#if defined(__x86_64__) || defined(__i386__)
+  // AVX-512 needs F+DQ: the avx512 kernel TU compiles with
+  // -mavx512f -mavx512dq, so both must execute.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return IsaLevel::avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::avx2;
+  return IsaLevel::sse2;  // x86-64 baseline
+#else
+  return IsaLevel::scalar;
+#endif
+}
+
+/// Env-resolved default level. Parsed once; a bad value throws on EVERY
+/// dispatch() call (hard startup error, not a one-shot warning).
+IsaLevel env_default() {
+  static const IsaLevel l = [] {
+    const char* env = std::getenv("VMC_SIMD_ISA");
+    if (env == nullptr || env[0] == '\0') return host_max_isa();
+    IsaLevel req;
+    if (!parse_isa_name(env, req)) {
+      throw std::runtime_error(
+          std::string("VMC_SIMD_ISA=") + env +
+          " is not a backend level (valid: scalar, sse2, avx2, avx512)");
+    }
+    if (!host_supports(req)) {
+      throw std::runtime_error(
+          std::string("VMC_SIMD_ISA=") + env + " requests the " +
+          isa_display_name(req) +
+          " backend, but this host only supports up to " +
+          isa_display_name(host_max_isa()) +
+          " — refusing to run (unset VMC_SIMD_ISA or pick a supported "
+          "level)");
+    }
+    return req;
+  }();
+  return l;
+}
+
+// force_isa() override; -1 = none. Relaxed is enough: callers that force a
+// level and then run kernels do so from one thread or with their own
+// synchronization (the fuzz harness runs levels sequentially).
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* isa_display_name(IsaLevel l) {
+  return kLevels[static_cast<int>(l)].display;
+}
+
+const char* isa_env_name(IsaLevel l) {
+  return kLevels[static_cast<int>(l)].env;
+}
+
+int isa_simd_bits(IsaLevel l) { return kLevels[static_cast<int>(l)].bits; }
+
+DispatchInfo isa_info(IsaLevel l) {
+  const LevelMeta& m = kLevels[static_cast<int>(l)];
+  return DispatchInfo{l, m.display, m.env, m.bits, m.lanes_f32, m.lanes_f64};
+}
+
+IsaLevel host_max_isa() {
+  static const IsaLevel l = probe_host_max();
+  return l;
+}
+
+bool host_supports(IsaLevel l) {
+  return static_cast<int>(l) <= static_cast<int>(host_max_isa());
+}
+
+bool parse_isa_name(const char* s, IsaLevel& out) {
+  const std::string v(s == nullptr ? "" : s);
+  for (int i = 0; i < kNumIsaLevels; ++i) {
+    if (v == kLevels[i].env) {
+      out = static_cast<IsaLevel>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+DispatchInfo dispatch() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return isa_info(static_cast<IsaLevel>(forced));
+  return isa_info(env_default());
+}
+
+void force_isa(IsaLevel l) {
+  if (!host_supports(l)) {
+    throw std::runtime_error(
+        std::string("force_isa(") + isa_display_name(l) +
+        "): host only supports up to " + isa_display_name(host_max_isa()));
+  }
+  g_forced.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void clear_forced_isa() { g_forced.store(-1, std::memory_order_relaxed); }
+
+}  // namespace vmc::simd

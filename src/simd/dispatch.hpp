@@ -1,0 +1,44 @@
+// Runtime CPUID dispatch for the multi-ISA kernel backends.
+//
+// Selection order:
+//   1. `force_isa()` (test/bench hook, e.g. the fig2 lane-width sweep and
+//      the forced-ISA property fuzz) — must name a host-supported level;
+//   2. the VMC_SIMD_ISA environment variable (scalar|sse2|avx2|avx512).
+//      Requesting a level the host cannot execute is a HARD error (throws,
+//      naming both the request and the host maximum): silently clamping
+//      would let CI "pass" a backend it never ran;
+//   3. otherwise the widest level CPUID reports (AVX-512 requires F+DQ,
+//      matching the per-TU compile flags).
+//
+// The result only chooses which kernel TABLE the hot paths call through
+// (src/xsdata/kernels.hpp); every table is always compiled in, so one binary
+// serves every level.
+#pragma once
+
+#include "simd/backend.hpp"
+
+namespace vmc::simd {
+
+/// Widest level this host can execute (CPUID probe, cached).
+IsaLevel host_max_isa();
+
+/// Can this host execute `l`?
+bool host_supports(IsaLevel l);
+
+/// Parse a VMC_SIMD_ISA spelling ("sse2", ...). Returns false on unknown.
+bool parse_isa_name(const char* s, IsaLevel& out);
+
+/// The selected backend (force hook > env override > CPUID max). Throws
+/// std::runtime_error on an invalid or host-unsupported VMC_SIMD_ISA value.
+DispatchInfo dispatch();
+
+/// Force a level for this process (overrides VMC_SIMD_ISA). Throws
+/// std::runtime_error if the host cannot execute it. Thread-safe; used by
+/// the lane-width sweeps and the forced-ISA fuzz to walk every dispatchable
+/// level inside one process.
+void force_isa(IsaLevel l);
+
+/// Drop a force_isa() override; dispatch() falls back to env/CPUID.
+void clear_forced_isa();
+
+}  // namespace vmc::simd

@@ -17,6 +17,8 @@
 
 namespace vmc::simd {
 
+inline namespace VMC_SIMD_ABI {
+
 /// Natural logarithm, lane-wise, single precision.
 /// log(0) = -inf, log(x<0) = NaN, log(inf) = inf. Denormal inputs are
 /// treated as zero (flush-to-zero, matching MIC behaviour).
@@ -192,5 +194,7 @@ Vec<double, N> vexp(Vec<double, N> x) {
   out = select(under, VD(0.0), out);
   return out;
 }
+
+}  // inline namespace VMC_SIMD_ABI
 
 }  // namespace vmc::simd

@@ -1,18 +1,23 @@
 // Umbrella header for the VectorMC portable SIMD layer.
 #pragma once
 
-#include "simd/aligned.hpp"  // IWYU pragma: export
-#include "simd/math.hpp"     // IWYU pragma: export
-#include "simd/vec.hpp"      // IWYU pragma: export
-#include "simd/width.hpp"    // IWYU pragma: export
+#include "simd/aligned.hpp"   // IWYU pragma: export
+#include "simd/backend.hpp"   // IWYU pragma: export
+#include "simd/dispatch.hpp"  // IWYU pragma: export
+#include "simd/math.hpp"      // IWYU pragma: export
+#include "simd/vec.hpp"       // IWYU pragma: export
+#include "simd/width.hpp"     // IWYU pragma: export
 
 namespace vmc::simd {
 
-/// Human-readable name of the instruction set the library was compiled for
-/// ("AVX-512", "AVX2", ...). Reported by every benchmark header.
+/// Human-readable name of the instruction set THIS translation unit's
+/// `vfloat`/`vdouble` aliases compile to. For the backend the hot kernels
+/// actually execute (the runtime-dispatched level, which is what manifests
+/// and bench reports must carry), use `dispatch().name` instead.
 const char* isa_name();
 
-/// Vector width in bits the `vfloat`/`vdouble` aliases use.
+/// Vector width in bits the `vfloat`/`vdouble` aliases use at compile time.
+/// The dispatched counterpart is `dispatch().simd_bits`.
 int native_bits();
 
 }  // namespace vmc::simd

@@ -6,6 +6,11 @@
 // hand-coded, while the identical source also builds for AVX2 (8 lanes) or
 // plain scalar hardware. Only this header touches compiler extensions; all
 // kernels use the typed API.
+//
+// Everything in this header lives inside the `VMC_SIMD_ABI` inline namespace
+// (see simd/width.hpp): the per-ISA kernel TUs instantiate these templates
+// under different `-m` flags, and the ABI tag keeps those instantiations
+// from ever being merged across translation units.
 #pragma once
 
 #include <cmath>
@@ -41,6 +46,8 @@ struct IntFor<std::int64_t> {
   using type = std::int64_t;
 };
 }  // namespace detail
+
+inline namespace VMC_SIMD_ABI {
 
 template <class T, int N>
 struct Vec;
@@ -109,7 +116,7 @@ struct Vec {
   /// Portable spelling of the lane count for kernel code. Kernels must size
   /// stride loops and remainder math with `Vec::width` or `simd::width_v<T>`
   /// (vmc_lint rule hardcoded-lane-width), never a literal, so lane width
-  /// can become a backend template parameter without touching call sites.
+  /// can stay a per-backend constant without touching call sites.
   static constexpr int width = N;
 
   native_type v;
@@ -184,7 +191,10 @@ struct Vec {
     // Hardware gather where available: GCC does not turn the scalar lane
     // loop into vgather on its own, and the banked lookup kernel's speedup
     // over the scalar path depends on the gather overlapping many cache
-    // misses at once (the effect the paper exploits on the MIC).
+    // misses at once (the effect the paper exploits on the MIC). The AVX-512
+    // and AVX2 blocks chain (AVX-512 implies AVX2): a 512-bit backend still
+    // uses the 256/128-bit gathers for its narrower index vectors (e.g. the
+    // 8-lane double search tiles of HashGrid::find_banked).
 #if defined(__AVX512F__)
     // GCC's _mm512_i32gather_* seed their destination with
     // _mm512_undefined_*(), which trips -Wmaybe-uninitialized at every
@@ -218,8 +228,8 @@ struct Vec {
       std::memcpy(&r.v, &g, sizeof(r.v));
       return r;
     } else
-#pragma GCC diagnostic pop
-#elif defined(__AVX2__)
+#endif
+#if defined(__AVX2__)
     if constexpr (std::is_same_v<T, float> && N == 8 &&
                   std::is_same_v<I, std::int32_t>) {
       Vec r;
@@ -245,6 +255,25 @@ struct Vec {
           _mm256_i32gather_epi32(reinterpret_cast<const int*>(base), vi, 4);
       std::memcpy(&r.v, &g, sizeof(r.v));
       return r;
+    } else if constexpr (std::is_same_v<T, float> && N == 4 &&
+                         std::is_same_v<I, std::int32_t>) {
+      // 128-bit gathers: the AVX2 backend's 4-lane double search tiles
+      // carry 4-lane int32 index/float payload companions.
+      Vec r;
+      __m128i vi;
+      std::memcpy(&vi, &idx.v, sizeof(vi));
+      const __m128 g = _mm_i32gather_ps(base, vi, 4);
+      std::memcpy(&r.v, &g, sizeof(r.v));
+      return r;
+    } else if constexpr (std::is_same_v<T, std::int32_t> && N == 4 &&
+                         std::is_same_v<I, std::int32_t>) {
+      Vec r;
+      __m128i vi;
+      std::memcpy(&vi, &idx.v, sizeof(vi));
+      const __m128i g =
+          _mm_i32gather_epi32(reinterpret_cast<const int*>(base), vi, 4);
+      std::memcpy(&r.v, &g, sizeof(r.v));
+      return r;
     } else
 #endif
     {
@@ -254,6 +283,9 @@ struct Vec {
       }
       return r;
     }
+#if defined(__AVX512F__)
+#pragma GCC diagnostic pop
+#endif
   }
 
   // --- arithmetic ------------------------------------------------------
@@ -367,8 +399,12 @@ Vec<T, N> abs(Vec<T, N> a) {
 }
 
 /// Multiply-add a*b + c. Written as plain vector ops so it stays a single
-/// vmul+vadd (or one vfmadd under -ffp-contract=fast, which the build
+/// vmul+vadd (or one vfmadd under -ffp-contract=fast, which the base build
 /// enables): a per-lane std::fma loop would decay to scalar libm calls.
+/// The per-ISA kernel TUs compile with -ffp-contract=off instead, so every
+/// backend evaluates mul-then-add — the bitwise-identity contract across
+/// lane widths requires one rounding behaviour everywhere, and SSE2 has no
+/// FMA instruction to fuse with.
 template <class T, int N>
 Vec<T, N> fma(Vec<T, N> a, Vec<T, N> b, Vec<T, N> c) {
   return Vec<T, N>::from(a.v * b.v + c.v);
@@ -381,11 +417,13 @@ Vec<T, N> sqrt(Vec<T, N> a) {
   return r;
 }
 
-/// Natural-width aliases: on this host vfloat is 16 lanes under AVX-512,
+/// Natural-width aliases: on an AVX-512 host build vfloat is 16 lanes,
 /// matching the paper's `_m512` register of "16 floating point elements".
 using vfloat = Vec<float, native_lanes<float>>;
 using vdouble = Vec<double, native_lanes<double>>;
 using vint32 = Vec<std::int32_t, native_lanes<std::int32_t>>;
 using vint64 = Vec<std::int64_t, native_lanes<std::int64_t>>;
+
+}  // inline namespace VMC_SIMD_ABI
 
 }  // namespace vmc::simd

@@ -5,44 +5,88 @@
 // compile time and expose it as `native_bytes`; on an AVX-512 host the
 // Algorithm-4 reproduction therefore runs with genuine 16-lane float vectors,
 // exactly like the paper's `_m512` registers.
+//
+// Multi-ISA backends: a translation unit may pin the width instead of
+// detecting it by defining `VMC_SIMD_LEVEL` (0 = scalar oracle, one lane of
+// every type; 1 = SSE2/128-bit; 2 = AVX2/256-bit; 3 = AVX-512/512-bit). The
+// per-ISA hot-kernel TUs in src/xsdata use this together with per-TU `-m`
+// flags so one binary carries every backend and selects one at runtime
+// (src/simd/dispatch.hpp).
+//
+// ODR shield: every ISA-dependent entity in this layer (`native_bytes`,
+// `width_v`, `Vec`, `Mask`, `vlog`, ...) lives inside the `VMC_SIMD_ABI`
+// inline namespace, whose name encodes the selected width AND whether the TU
+// is a per-ISA kernel TU (which additionally compiles with
+// -ffp-contract=off). Without the tag, identical template instantiations
+// compiled under different `-m` flags would be merged by the linker and a
+// narrow-ISA call path could end up executing wide-ISA code — an instant
+// SIGILL on hosts without that ISA. With the tag, each flag combination
+// mangles distinctly and never cross-links. Width-independent helpers
+// (`cacheline_bytes`, `round_up`, `aligned_vector`) stay OUTSIDE the tag:
+// they participate in shared data-structure layouts and must be one entity
+// program-wide.
 #pragma once
 
 #include <cstddef>
 
-namespace vmc::simd {
+#define VMC_SIMD_PP_CAT2(a, b) a##b
+#define VMC_SIMD_PP_CAT(a, b) VMC_SIMD_PP_CAT2(a, b)
 
-#if defined(__AVX512F__)
-inline constexpr int native_bytes = 64;
-inline constexpr const char* native_isa = "AVX-512";
-#elif defined(__AVX2__)
-inline constexpr int native_bytes = 32;
-inline constexpr const char* native_isa = "AVX2";
-#elif defined(__AVX__)
-inline constexpr int native_bytes = 32;
-inline constexpr const char* native_isa = "AVX";
-#elif defined(__SSE2__) || defined(__x86_64__)
-inline constexpr int native_bytes = 16;
-inline constexpr const char* native_isa = "SSE2";
+#if defined(VMC_SIMD_KERNEL_TU)
+#define VMC_SIMD_ABI_TAIL k
 #else
-inline constexpr int native_bytes = 8;
-inline constexpr const char* native_isa = "scalar";
+#define VMC_SIMD_ABI_TAIL n
 #endif
 
-/// Number of lanes of element type T in the widest native vector register.
-template <class T>
-inline constexpr int native_lanes = native_bytes / static_cast<int>(sizeof(T));
+#if defined(VMC_SIMD_LEVEL)
+#if VMC_SIMD_LEVEL == 0
+#define VMC_SIMD_FORCE_SCALAR 1
+#define VMC_SIMD_ABI_BASE abi_s1_
+#elif VMC_SIMD_LEVEL == 1
+#define VMC_SIMD_BYTES 16
+#define VMC_SIMD_ISA_NAME "SSE2"
+#define VMC_SIMD_ABI_BASE abi_b16_
+#elif VMC_SIMD_LEVEL == 2
+#define VMC_SIMD_BYTES 32
+#define VMC_SIMD_ISA_NAME "AVX2"
+#define VMC_SIMD_ABI_BASE abi_b32_
+#elif VMC_SIMD_LEVEL == 3
+#define VMC_SIMD_BYTES 64
+#define VMC_SIMD_ISA_NAME "AVX-512"
+#define VMC_SIMD_ABI_BASE abi_b64_
+#else
+#error "VMC_SIMD_LEVEL must be 0 (scalar), 1 (SSE2), 2 (AVX2) or 3 (AVX-512)"
+#endif
+#elif defined(__AVX512F__)
+#define VMC_SIMD_BYTES 64
+#define VMC_SIMD_ISA_NAME "AVX-512"
+#define VMC_SIMD_ABI_BASE abi_b64_
+#elif defined(__AVX2__)
+#define VMC_SIMD_BYTES 32
+#define VMC_SIMD_ISA_NAME "AVX2"
+#define VMC_SIMD_ABI_BASE abi_b32_
+#elif defined(__AVX__)
+#define VMC_SIMD_BYTES 32
+#define VMC_SIMD_ISA_NAME "AVX"
+#define VMC_SIMD_ABI_BASE abi_b32_
+#elif defined(__SSE2__) || defined(__x86_64__)
+#define VMC_SIMD_BYTES 16
+#define VMC_SIMD_ISA_NAME "SSE2"
+#define VMC_SIMD_ABI_BASE abi_b16_
+#else
+#define VMC_SIMD_BYTES 8
+#define VMC_SIMD_ISA_NAME "scalar"
+#define VMC_SIMD_ABI_BASE abi_b8_
+#endif
 
-/// Kernel-facing lane count. Stride loops, bank padding, and remainder math
-/// outside src/simd/ must be sized with `width_v<T>` (or `Vec::width`), never
-/// a literal lane count — enforced by vmc_lint (hardcoded-lane-width) so the
-/// multi-ISA backends of ROADMAP item 1 can turn the width into a backend
-/// template parameter without touching kernel call sites. Today it is simply
-/// the native width.
-template <class T>
-inline constexpr int width_v = native_lanes<T>;
+#define VMC_SIMD_ABI VMC_SIMD_PP_CAT(VMC_SIMD_ABI_BASE, VMC_SIMD_ABI_TAIL)
+
+namespace vmc::simd {
 
 /// Cache line / ideal alignment in bytes (also the MIC's vector alignment,
-/// which the paper aligns all key data structures to).
+/// which the paper aligns all key data structures to). Width-independent:
+/// shared data-structure layouts depend on it, so it must stay outside the
+/// ABI tag.
 inline constexpr std::size_t cacheline_bytes = 64;
 
 /// Round `n` down to a multiple of `step` (vector-loop trip count).
@@ -54,5 +98,35 @@ constexpr std::size_t round_down(std::size_t n, std::size_t step) {
 constexpr std::size_t round_up(std::size_t n, std::size_t step) {
   return (n + step - 1) / step * step;
 }
+
+inline namespace VMC_SIMD_ABI {
+
+#if defined(VMC_SIMD_FORCE_SCALAR)
+// Scalar oracle backend: one lane of EVERY element type. This is the
+// reference the property-fuzz suites compare every wider backend against
+// bit-for-bit, so it must express "width 1", not "8-byte registers".
+inline constexpr int native_bytes = 8;
+inline constexpr const char* native_isa = "scalar";
+
+template <class T>
+inline constexpr int native_lanes = 1;
+#else
+inline constexpr int native_bytes = VMC_SIMD_BYTES;
+inline constexpr const char* native_isa = VMC_SIMD_ISA_NAME;
+
+/// Number of lanes of element type T in the widest native vector register.
+template <class T>
+inline constexpr int native_lanes = native_bytes / static_cast<int>(sizeof(T));
+#endif
+
+/// Kernel-facing lane count. Stride loops, bank padding, and remainder math
+/// outside src/simd/ must be sized with `width_v<T>` (or `Vec::width`), never
+/// a literal lane count — enforced by vmc_lint (hardcoded-lane-width) so the
+/// multi-ISA kernel TUs can pin the width per backend without touching
+/// kernel call sites.
+template <class T>
+inline constexpr int width_v = native_lanes<T>;
+
+}  // inline namespace VMC_SIMD_ABI
 
 }  // namespace vmc::simd

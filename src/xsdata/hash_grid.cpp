@@ -11,15 +11,6 @@ namespace vmc::xs {
 
 namespace {
 
-using simd::Mask;
-using simd::Vec;
-
-constexpr int kD = simd::width_v<double>;
-using VD = Vec<double, kD>;
-using VI = Vec<std::int32_t, kD>;
-using VL = Vec<std::int64_t, kD>;
-using MI = Mask<std::int32_t, kD>;
-
 /// Bucket windows narrower than this resolve faster with the masked linear
 /// walk (early exit, ~1 gather per step) than with fixed-depth bisection.
 constexpr int kLinearWalkMax = 8;
@@ -144,61 +135,12 @@ std::size_t HashGrid::find(std::span<const double> grid, double e) const {
 void HashGrid::find_banked(std::span<const double> grid,
                            std::span<const double> energies,
                            std::int32_t* out_u) const {
-  const std::size_t n = energies.size();
-  std::uint64_t steps = 0;
-
-  for (std::size_t j = 0; j < n; j += kD) {
-    // Masked remainder: dead lanes replicate the last real energy, so they
-    // walk/bisect to a valid interval that is simply never stored. The real
-    // lanes see exactly the operations of a full tile — bit-identical.
-    const int rem = static_cast<int>(std::min<std::size_t>(kD, n - j));
-    const VD ev = rem == kD
-                      ? VD::loadu(energies.data() + j)
-                      : VD::load_partial(energies.data() + j, rem, energies[n - 1]);
-    // Lane buckets: hi32 via a 64-bit shift, then the clamp + reciprocal
-    // multiply — identical IEEE operations to the scalar bucket_of, so the
-    // lanes land in identical buckets.
-    const VI h = (ev.bitcast_int() >> 32).convert<std::int32_t>() - VI(h0_);
-    const VI hc = simd::min(simd::max(h, VI(0)), VI(span_));
-    const VI b = (hc.convert<double>() * VD(scale_)).convert<std::int32_t>();
-    const VI lo = VI::gather(start_.data(), b);
-    const VI hi = VI::gather(start_.data(), b + VI(1));
-
-    VI idx;
-    if (linear_walk_) {
-      // Masked walk with early exit; comparisons in DOUBLE so the interval
-      // matches the scalar path bit-for-bit.
-      idx = lo;
-      for (int w = 0; w < max_bucket_points_; ++w) {
-        const VD e_next = VD::gather(grid.data(), idx + VI(1));
-        const MI need{(e_next <= ev).convert<std::int32_t>().m & (idx < hi).m};
-        if (!need.any()) break;
-        idx.v -= need.m;  // mask lanes are -1 where true
-        steps += static_cast<std::uint64_t>(need.count());
-      }
-    } else {
-      // Fixed-depth masked bisection: every iteration at least halves each
-      // lane's window, so bisect_iters_ = bit_width(max window) suffices.
-      VI lov = lo;
-      VI hiv = hi;
-      for (int it = 0; it < bisect_iters_; ++it) {
-        const MI cont = lov < hiv;
-        if (!cont.any()) break;
-        const VI mid = (lov + hiv + VI(1)) >> 1;
-        const VD emid = VD::gather(grid.data(), mid);
-        const MI le = (emid <= ev).convert<std::int32_t>();
-        lov = simd::select(MI{cont.m & le.m}, mid, lov);
-        hiv = simd::select(MI{cont.m & ~le.m}, mid - VI(1), hiv);
-        steps += static_cast<std::uint64_t>(cont.count());
-      }
-      idx = lov;
-    }
-    if (rem == kD) {
-      idx.storeu(out_u + j);
-    } else {
-      idx.store_partial(out_u + j, rem);
-    }
-  }
+  // The search body lives in the per-ISA kernel tables (kernels_isa.cpp);
+  // this wrapper flattens the index into a POD view, routes through the
+  // runtime-dispatched backend and keeps the metrics bump in a base TU.
+  const std::uint64_t steps = kern::active_isa_kernels().find_banked(
+      view(), grid.data(), energies.data(),
+      static_cast<std::int64_t>(energies.size()), out_u);
   if (steps != 0) walk_counter().inc(steps);
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "simd/aligned.hpp"
+#include "xsdata/kernels.hpp"
 #include "xsdata/nuclide.hpp"
 
 namespace vmc::xs {
@@ -111,6 +112,14 @@ class HashGrid {
   const std::int32_t* nuclide_row(int bucket) const {
     return nuclide_start_.data() +
            static_cast<std::size_t>(bucket) * static_cast<std::size_t>(nn_);
+  }
+
+  /// POD view over the bucket index, handed to the per-ISA kernel tables
+  /// (kern::IsaKernels::find_banked and the double-indexed lookup path).
+  kern::HashGridView view() const {
+    return kern::HashGridView{start_.data(),       h0_,           span_,
+                              scale_,              max_bucket_points_,
+                              bisect_iters_,       linear_walk_};
   }
 
   /// Top 32 bits of the IEEE-754 pattern: the log-energy axis coordinate.

@@ -1,0 +1,27 @@
+// Level -> kernel-table mapping (base TU; the tables themselves come from
+// the four per-ISA compilations of kernels_isa.cpp).
+#include "xsdata/kernels.hpp"
+
+#include "simd/dispatch.hpp"
+
+namespace vmc::xs::kern {
+
+const IsaKernels& kernel_table(simd::IsaLevel level) {
+  switch (level) {
+    case simd::IsaLevel::scalar:
+      return kernel_table_0();
+    case simd::IsaLevel::sse2:
+      return kernel_table_1();
+    case simd::IsaLevel::avx2:
+      return kernel_table_2();
+    case simd::IsaLevel::avx512:
+      return kernel_table_3();
+  }
+  return kernel_table_1();  // unreachable: all enumerators handled above
+}
+
+const IsaKernels& active_isa_kernels() {
+  return kernel_table(simd::dispatch().isa);
+}
+
+}  // namespace vmc::xs::kern

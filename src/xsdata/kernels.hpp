@@ -1,0 +1,129 @@
+// Per-ISA hot-kernel tables: the indirection layer between the public
+// lookup/search/distance entry points and the backend implementations that
+// are compiled once per ISA level (src/xsdata/kernels_isa.cpp, built four
+// times under different -m flags; see src/xsdata/CMakeLists.txt).
+//
+// Everything in this header is deliberately POD — raw pointers, fixed-width
+// integers, function pointers. The per-ISA translation units include it, and
+// they must not instantiate std::vector/std::span or any other shared
+// template whose code could be comdat-merged across differently-flagged TUs
+// (the base wrappers in lookup.cpp / hash_grid.cpp / event.cpp own all
+// container handling and flatten it into these views).
+//
+// Bitwise-identity contract: for identical inputs, every kernel in every
+// level's table returns results bit-identical to the level-0 (scalar
+// oracle) table. The per-ISA TUs compile with -ffp-contract=off (one
+// rounding behaviour everywhere — SSE2 cannot fuse), interval searches and
+// walks are per-lane independent, and the banked accumulators use a
+// 16-slot canonical reduction (slot = nuclide index mod 16, fixed-order
+// final sum) so the grouping of float additions does not depend on the lane
+// count. Enforced by tests/property/test_isa_dispatch_fuzz.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "simd/backend.hpp"
+#include "xsdata/types.hpp"
+
+namespace vmc::xs::kern {
+
+/// Canonical accumulator slot count for the banked reductions. Every
+/// backend folds nuclide term i into slot (i mod 16) and sums the slots in
+/// fixed order, so all lane widths (1/4/8/16 floats) produce one result.
+/// 16 = the widest backend's float lane count; narrower backends use 16/L
+/// accumulator registers.
+inline constexpr int kAccSlots = 16;
+
+/// HashGrid::find_banked inputs, flattened (mirrors HashGrid's fields).
+struct HashGridView {
+  const std::int32_t* start;  ///< bucket window table, n_buckets+1 entries
+  std::int32_t h0 = 0;
+  std::int32_t span = 0;
+  double scale = 0.0;
+  std::int32_t max_bucket_points = 0;
+  std::int32_t bisect_iters = 0;
+  bool linear_walk = false;
+};
+
+/// Library::Flat, flattened.
+struct FlatView {
+  const double* energy;
+  const float* energy_f;
+  const float* total;
+  const float* scatter;
+  const float* absorption;
+  const float* fission;
+  const std::int32_t* offset;
+  const std::int32_t* grid_size;
+};
+
+/// One material's nuclide list + densities.
+struct MaterialView {
+  const std::int32_t* nuclides;
+  const float* density;
+  std::int32_t nn = 0;
+};
+
+/// Everything a banked lookup kernel reads. Two grid-search shapes share it:
+///  * union path (imap != nullptr): the caller resolved per-particle union
+///    intervals into `us` (passed separately) and the kernel walks
+///    imap[u*imap_stride + nuclide] to the exact interval;
+///  * double-indexed path (hash_nuclide; us == nullptr): the kernel hashes
+///    each energy itself and resolves per-nuclide intervals from
+///    nuclide_start, using nidx_scratch (caller-owned, padded to a multiple
+///    of kAccSlots, tail zero-filled) as the per-particle index staging row.
+struct BankedView {
+  FlatView fl;
+  MaterialView mat;
+  // Union-imap path:
+  const std::int32_t* imap = nullptr;
+  std::int32_t imap_stride = 0;  ///< union n_nuclides
+  std::int32_t walk_bound = 0;   ///< union thinning walk bound
+  // Double-indexed (hash_nuclide) path:
+  const std::int32_t* nuclide_start = nullptr;  ///< [bucket][nn_total]
+  std::int32_t nn_total = 0;
+  std::int32_t hg_h0 = 0;
+  std::int32_t hg_span = 0;
+  double hg_scale = 0.0;
+  std::int32_t* nidx_scratch = nullptr;
+};
+
+/// One ISA level's hot-kernel table. The find/xs/total kernels return or
+/// write values that are bitwise identical across levels; walk-step COUNTS
+/// (find_banked's return, folded into a metrics counter by the wrapper) are
+/// diagnostics and may legitimately differ with the lane count.
+struct IsaKernels {
+  std::int32_t level;  ///< simd::IsaLevel value this table was compiled for
+  std::int32_t lanes_f32;
+  std::int32_t lanes_f64;
+  std::int32_t simd_bits;
+  const char* abi;  ///< ABI namespace tag (diagnostics)
+
+  std::uint64_t (*find_banked)(const HashGridView& hg, const double* grid,
+                               const double* energies, std::int64_t n,
+                               std::int32_t* out_u);
+  void (*xs_banked)(const BankedView& v, const double* energies,
+                    std::int64_t n, const std::int32_t* us, XsSet* out);
+  void (*xs_banked_outer)(const BankedView& v, const double* energies,
+                          std::int64_t n, const std::int32_t* us, XsSet* out);
+  void (*total_banked)(const BankedView& v, const double* energies,
+                       std::int64_t n, const std::int32_t* us, double* out);
+  void (*distance)(const double* xi, const double* sig_total, double* dist,
+                   std::int64_t n);
+};
+
+// One accessor per level, each defined by one per-ISA TU (the function name
+// is pasted from VMC_SIMD_LEVEL in kernels_isa.cpp).
+const IsaKernels& kernel_table_0();
+const IsaKernels& kernel_table_1();
+const IsaKernels& kernel_table_2();
+const IsaKernels& kernel_table_3();
+
+/// Table for an explicit level (kernels.cpp).
+const IsaKernels& kernel_table(simd::IsaLevel level);
+
+/// Table for the runtime-dispatched level (simd::dispatch()). Looked up per
+/// call so force_isa()/VMC_SIMD_ISA switches take effect immediately.
+const IsaKernels& active_isa_kernels();
+
+}  // namespace vmc::xs::kern

@@ -1,0 +1,401 @@
+// Per-ISA backend bodies for the hot kernels: the banked hash-grid search,
+// the three banked lookup kernels and the event-mode distance stage. This
+// file is compiled FOUR times by src/xsdata/CMakeLists.txt — once per
+// simd::IsaLevel, each with -DVMC_SIMD_LEVEL=<n> plus that level's -m flags
+// and -ffp-contract=off — and each compilation defines exactly one
+// kernel_table_<n>() accessor (declared in kernels.hpp).
+//
+// Rules for this TU (the comdat shield):
+//  * everything except the accessor lives in an anonymous namespace, and all
+//    simd:: types resolve inside a per-level VMC_SIMD_ABI inline namespace,
+//    so no code here can be merged with another level's instantiations;
+//  * no std containers, no <algorithm>, no metrics/library headers — only
+//    the POD views from kernels.hpp. A std::vector method instantiated here
+//    under -mavx512f and comdat-merged into the baseline build would SIGILL
+//    on a non-AVX-512 host;
+//  * no FP transformation may depend on the lane count: contraction is off,
+//    reductions go through the 16-slot canonical accumulators (kernels.hpp),
+//    and every search/walk is per-lane independent. That is what makes each
+//    level bitwise-identical to the level-0 scalar oracle.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "simd/math.hpp"
+#include "simd/vec.hpp"
+#include "simd/width.hpp"
+#include "xsdata/kernels.hpp"
+
+#if !defined(VMC_SIMD_KERNEL_TU) || !defined(VMC_SIMD_LEVEL)
+#error "kernels_isa.cpp must be built with -DVMC_SIMD_KERNEL_TU=1 -DVMC_SIMD_LEVEL=<0..3>"
+#endif
+
+namespace vmc::xs::kern {
+
+namespace {
+
+constexpr int kF = simd::width_v<float>;
+constexpr int kD = simd::width_v<double>;
+static_assert(kAccSlots % kF == 0, "slot count must cover the float width");
+
+using VF = simd::Vec<float, kF>;
+using VIf = simd::Vec<std::int32_t, kF>;
+using VD = simd::Vec<double, kD>;
+using VId = simd::Vec<std::int32_t, kD>;
+using MId = simd::Mask<std::int32_t, kD>;
+
+/// Accumulator vectors per channel: slot (nuclide mod 16) s lives in
+/// acc[s / kF] lane (s mod kF).
+constexpr int kAccF = kAccSlots / kF;
+
+inline std::int64_t min64(std::int64_t a, std::int64_t b) {
+  return a < b ? a : b;
+}
+
+/// hi32 log-energy coordinate (HashGrid::hi32, re-spelled here so this TU
+/// needs no class headers).
+inline std::int32_t hi32(double e) {
+  std::int64_t b;
+  std::memcpy(&b, &e, sizeof(b));
+  return static_cast<std::int32_t>(b >> 32);
+}
+
+/// The canonical reduction: slots 0..15 summed in FLOAT, in slot order.
+/// This is exactly the 16-lane hsum of the widest backend, so it is also
+/// the law every narrower backend (and the scalar oracle) reproduces. The
+/// loop must stay a plain sequential sum — no -ffast-math in this TU, so
+/// the compiler cannot re-associate it.
+inline float canonical_sum(const VF* acc) {
+  float s = 0.0f;
+  for (int a = 0; a < kAccF; ++a) {
+    for (int l = 0; l < kF; ++l) s += acc[a][l];
+  }
+  return s;
+}
+
+std::uint64_t find_banked_impl(const HashGridView& hg, const double* grid,
+                               const double* energies, std::int64_t n,
+                               std::int32_t* out_u) {
+  std::uint64_t steps = 0;
+  for (std::int64_t j = 0; j < n; j += kD) {
+    // Masked remainder: dead lanes replicate the last real energy, so they
+    // walk/bisect to a valid interval that is simply never stored. The real
+    // lanes see exactly the operations of a full tile — bit-identical.
+    const int rem = static_cast<int>(min64(kD, n - j));
+    const VD ev = rem == kD
+                      ? VD::loadu(energies + j)
+                      : VD::load_partial(energies + j, rem, energies[n - 1]);
+    // Lane buckets: hi32 via a 64-bit shift, then the clamp + reciprocal
+    // multiply — identical IEEE operations to the scalar bucket_of, so the
+    // lanes land in identical buckets.
+    const VId h = (ev.bitcast_int() >> 32).convert<std::int32_t>() - VId(hg.h0);
+    const VId hc = simd::min(simd::max(h, VId(0)), VId(hg.span));
+    const VId b = (hc.convert<double>() * VD(hg.scale)).convert<std::int32_t>();
+    const VId lo = VId::gather(hg.start, b);
+    const VId hi = VId::gather(hg.start, b + VId(1));
+
+    VId idx;
+    if (hg.linear_walk) {
+      // Masked walk with early exit; comparisons in DOUBLE so the interval
+      // matches the scalar path bit-for-bit.
+      idx = lo;
+      for (int w = 0; w < hg.max_bucket_points; ++w) {
+        const VD e_next = VD::gather(grid, idx + VId(1));
+        const MId need{(e_next <= ev).convert<std::int32_t>().m & (idx < hi).m};
+        if (!need.any()) break;
+        idx.v -= need.m;  // mask lanes are -1 where true
+        steps += static_cast<std::uint64_t>(need.count());
+      }
+    } else {
+      // Fixed-depth masked bisection: every iteration at least halves each
+      // lane's window, so bisect_iters = bit_width(max window) suffices.
+      VId lov = lo;
+      VId hiv = hi;
+      for (int it = 0; it < hg.bisect_iters; ++it) {
+        const MId cont = lov < hiv;
+        if (!cont.any()) break;
+        const VId mid = (lov + hiv + VId(1)) >> 1;
+        const VD emid = VD::gather(grid, mid);
+        const MId le = (emid <= ev).convert<std::int32_t>();
+        lov = simd::select(MId{cont.m & le.m}, mid, lov);
+        hiv = simd::select(MId{cont.m & ~le.m}, mid - VId(1), hiv);
+        steps += static_cast<std::uint64_t>(cont.count());
+      }
+      idx = lov;
+    }
+    if (rem == kD) {
+      idx.storeu(out_u + j);
+    } else {
+      idx.store_partial(out_u + j, rem);
+    }
+  }
+  return steps;
+}
+
+void xs_banked_impl(const BankedView& v, const double* energies,
+                    std::int64_t n, const std::int32_t* us, XsSet* out) {
+  const int nn = v.mat.nn;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const double e = energies[j];
+    const std::int32_t* imap_row = nullptr;
+    if (us == nullptr) {
+      // Tier (b), double-indexed: resolve every nuclide's EXACT interval
+      // from the per-bucket per-nuclide starts. Scalar integer/double code,
+      // identical on every backend (walks in double precision on the flat
+      // grid; the union imap is never read).
+      std::int32_t h = hi32(e) - v.hg_h0;
+      h = h < 0 ? 0 : (h > v.hg_span ? v.hg_span : h);
+      const std::size_t b =
+          static_cast<std::size_t>(static_cast<double>(h) * v.hg_scale);
+      const std::int32_t* row =
+          v.nuclide_start + b * static_cast<std::size_t>(v.nn_total);
+      const std::int32_t* row_hi = row + v.nn_total;
+      for (int i = 0; i < nn; ++i) {
+        const std::int32_t nuc = v.mat.nuclides[i];
+        const std::int32_t base = v.fl.offset[nuc];
+        const double* ge = v.fl.energy + base;
+        std::int32_t idx = row[nuc];
+        const std::int32_t hi = row_hi[nuc];
+        while (idx < hi && ge[idx + 1] <= e) ++idx;
+        v.nidx_scratch[i] = base + idx;
+      }
+    } else {
+      imap_row = v.imap + static_cast<std::size_t>(us[j]) *
+                              static_cast<std::size_t>(v.imap_stride);
+    }
+    const VF ev(static_cast<float>(e));
+
+    VF acc_t[kAccF], acc_s[kAccF], acc_a[kAccF], acc_f[kAccF];
+    for (int a = 0; a < kAccF; ++a) {
+      acc_t[a] = VF(0.0f);
+      acc_s[a] = VF(0.0f);
+      acc_a[a] = VF(0.0f);
+      acc_f[a] = VF(0.0f);
+    }
+    for (int nb = 0; nb < nn; nb += kF) {
+      // Nuclide block nb feeds canonical slots [nb mod 16, nb mod 16 + kF).
+      const int a = (nb / kF) % kAccF;
+      // Masked remainder: the last block loads partial lanes with density 0,
+      // so dead lanes gather nuclide 0's first interval and contribute
+      // exactly nothing (same idiom as the distance stage).
+      const int rem = nn - nb;
+      const VIf nucid = rem >= kF
+                            ? VIf::loadu(v.mat.nuclides + nb)
+                            : VIf::load_partial(v.mat.nuclides + nb, rem, 0);
+      const VF dens = rem >= kF
+                          ? VF::loadu(v.mat.density + nb)
+                          : VF::load_partial(v.mat.density + nb, rem, 0.0f);
+      VIf idx;
+      if (us == nullptr) {
+        // Padded staging row: the wrapper zero-fills up to a slot-block
+        // boundary, so full-lane loads past nn stay in bounds.
+        idx = VIf::loadu(v.nidx_scratch + nb);
+      } else {
+        const VIf base = VIf::gather(v.fl.offset, nucid);
+        idx = VIf::gather(imap_row, nucid) + base;
+        // Bounded walk to the exact interval (skipped entirely for an exact
+        // union, which also avoids the grid-size gather).
+        if (v.walk_bound > 0) {
+          const VIf gsz = VIf::gather(v.fl.grid_size, nucid);
+          // Highest valid interval start for each lane's nuclide.
+          const VIf limit = base + gsz - VIf(2);
+          for (int w = 0; w < v.walk_bound; ++w) {
+            const VF e_next = VF::gather(v.fl.energy_f, idx + VIf(1));
+            const auto need = (e_next <= ev).m & (idx < limit).m;
+            idx.v -= need;  // mask lanes are -1 where true
+          }
+        }
+      }
+      const VF e_lo = VF::gather(v.fl.energy_f, idx);
+      const VF e_hi = VF::gather(v.fl.energy_f, idx + VIf(1));
+      VF f = (ev - e_lo) / (e_hi - e_lo);
+      f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
+
+      const auto channel = [&](const float* xs, VF& acc) {
+        const VF lo = VF::gather(xs, idx);
+        const VF hi = VF::gather(xs, idx + VIf(1));
+        acc = simd::fma(dens, simd::fma(f, hi - lo, lo), acc);
+      };
+      channel(v.fl.total, acc_t[a]);
+      channel(v.fl.scatter, acc_s[a]);
+      channel(v.fl.absorption, acc_a[a]);
+      channel(v.fl.fission, acc_f[a]);
+    }
+
+    out[j] = XsSet{static_cast<double>(canonical_sum(acc_t)),
+                   static_cast<double>(canonical_sum(acc_s)),
+                   static_cast<double>(canonical_sum(acc_a)),
+                   static_cast<double>(canonical_sum(acc_f))};
+  }
+}
+
+void xs_banked_outer_impl(const BankedView& v, const double* energies,
+                          std::int64_t n, const std::int32_t* us, XsSet* out) {
+  const int nn = v.mat.nn;
+  for (std::int64_t j = 0; j < n; j += kF) {
+    // Masked particle remainder: the final tile replicates its last real
+    // particle into the dead lanes (valid energies and union rows, so every
+    // gather below stays in bounds) and stores only the real lanes back.
+    const int rem = static_cast<int>(min64(kF, n - j));
+    float ebuf[kF];
+    for (int l = 0; l < rem; ++l) {
+      ebuf[l] = static_cast<float>(energies[j + l]);
+    }
+    // Per-lane particle state: energy and union-row offset. Each lane
+    // accumulates its own particle serially over the nuclides, so the sum
+    // order never depends on the lane count.
+    const VF ev = VF::load_partial(ebuf, rem, ebuf[rem - 1]);
+    const VIf urow =
+        (rem == kF ? VIf::loadu(us + j)
+                   : VIf::load_partial(us + j, rem, us[j + rem - 1])) *
+        VIf(v.imap_stride);
+    VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
+    for (int ni = 0; ni < nn; ++ni) {
+      const std::int32_t nucid = v.mat.nuclides[ni];
+      const std::int32_t base = v.fl.offset[nucid];
+      const std::int32_t gsz = v.fl.grid_size[nucid];
+      VIf idx = VIf::gather(v.imap, urow + VIf(nucid)) + VIf(base);
+      const VIf limit(base + gsz - 2);
+      for (int w = 0; w < v.walk_bound; ++w) {
+        const VF e_next = VF::gather(v.fl.energy_f, idx + VIf(1));
+        const auto need = (e_next <= ev).m & (idx < limit).m;
+        idx.v -= need;
+      }
+      const VF e_lo = VF::gather(v.fl.energy_f, idx);
+      const VF e_hi = VF::gather(v.fl.energy_f, idx + VIf(1));
+      VF f = (ev - e_lo) / (e_hi - e_lo);
+      f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
+      const VF dens(v.mat.density[ni]);
+      const auto channel = [&](const float* xs, VF& acc) {
+        const VF lo = VF::gather(xs, idx);
+        const VF hi = VF::gather(xs, idx + VIf(1));
+        acc = simd::fma(dens, simd::fma(f, hi - lo, lo), acc);
+      };
+      channel(v.fl.total, acc_t);
+      channel(v.fl.scatter, acc_s);
+      channel(v.fl.absorption, acc_a);
+      channel(v.fl.fission, acc_f);
+    }
+    for (int l = 0; l < rem; ++l) {
+      out[j + l] = XsSet{static_cast<double>(acc_t[l]),
+                         static_cast<double>(acc_s[l]),
+                         static_cast<double>(acc_a[l]),
+                         static_cast<double>(acc_f[l])};
+    }
+  }
+}
+
+void total_banked_impl(const BankedView& v, const double* energies,
+                       std::int64_t n, const std::int32_t* us, double* out) {
+  const int nn = v.mat.nn;
+  const std::size_t stride = static_cast<std::size_t>(v.imap_stride);
+  // Tile P particles against each nuclide block: the kernel is bound by
+  // gather latency on the (much larger than cache) grid data, and P
+  // independent gather chains give the memory system P times the
+  // parallelism. On the in-order MIC the vector unit alone provided this
+  // effect; on out-of-order AVX-512 hosts the tiling is what beats the
+  // scalar path (measured ~1.5x on H.M. Large; see bench/fig2).
+  constexpr int P = 8;
+  for (std::int64_t j = 0; j < n; j += P) {
+    // Masked particle remainder: dead tile slots replicate the last real
+    // particle (valid union rows, in-bounds gathers) and are never stored.
+    const int pr = static_cast<int>(min64(P, n - j));
+    const std::int32_t* rows[P];
+    VF ev[P];
+    VF acc[P][kAccF];
+    for (int p = 0; p < P; ++p) {
+      const std::int64_t jp = j + (p < pr ? p : pr - 1);
+      rows[p] = v.imap + static_cast<std::size_t>(us[jp]) * stride;
+      ev[p] = VF(static_cast<float>(energies[jp]));
+      for (int a = 0; a < kAccF; ++a) acc[p][a] = VF(0.0f);
+    }
+    for (int nb = 0; nb < nn; nb += kF) {
+      const int a = (nb / kF) % kAccF;
+      // Masked nuclide remainder: the last block loads partial lanes with
+      // density 0, same idiom as xs_banked_impl.
+      const int rem = nn - nb;
+      const VIf nucid = rem >= kF
+                            ? VIf::loadu(v.mat.nuclides + nb)
+                            : VIf::load_partial(v.mat.nuclides + nb, rem, 0);
+      const VF dens = rem >= kF
+                          ? VF::loadu(v.mat.density + nb)
+                          : VF::load_partial(v.mat.density + nb, rem, 0.0f);
+      const VIf base = VIf::gather(v.fl.offset, nucid);
+      VIf idx[P];
+      for (int p = 0; p < P; ++p) {
+        idx[p] = VIf::gather(rows[p], nucid) + base;
+      }
+      if (v.walk_bound > 0) {
+        const VIf gsz = VIf::gather(v.fl.grid_size, nucid);
+        const VIf limit = base + gsz - VIf(2);
+        for (int w = 0; w < v.walk_bound; ++w) {
+          for (int p = 0; p < P; ++p) {
+            const VF e_next = VF::gather(v.fl.energy_f, idx[p] + VIf(1));
+            const auto need = (e_next <= ev[p]).m & (idx[p] < limit).m;
+            idx[p].v -= need;
+          }
+        }
+      }
+      VF e_lo[P], e_hi[P], x_lo[P], x_hi[P];
+      for (int p = 0; p < P; ++p) e_lo[p] = VF::gather(v.fl.energy_f, idx[p]);
+      for (int p = 0; p < P; ++p) {
+        e_hi[p] = VF::gather(v.fl.energy_f, idx[p] + VIf(1));
+      }
+      for (int p = 0; p < P; ++p) x_lo[p] = VF::gather(v.fl.total, idx[p]);
+      for (int p = 0; p < P; ++p) {
+        x_hi[p] = VF::gather(v.fl.total, idx[p] + VIf(1));
+      }
+      for (int p = 0; p < P; ++p) {
+        VF f = (ev[p] - e_lo[p]) / (e_hi[p] - e_lo[p]);
+        f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
+        acc[p][a] = simd::fma(dens, simd::fma(f, x_hi[p] - x_lo[p], x_lo[p]),
+                              acc[p][a]);
+      }
+    }
+    for (int p = 0; p < pr; ++p) {
+      out[j + p] = static_cast<double>(canonical_sum(acc[p]));
+    }
+  }
+}
+
+void distance_impl(const double* xi, const double* sig_total, double* dist,
+                   std::int64_t n) {
+  for (std::int64_t j = 0; j < n; j += kD) {
+    // Masked remainder: dead lanes get xi=0.5 / sigma=1.0 (harmless ahead
+    // of the log and the divide) and never reach memory.
+    const int rem = static_cast<int>(min64(kD, n - j));
+    const VD x = rem == kD ? VD::loadu(xi + j)
+                           : VD::load_partial(xi + j, rem, 0.5);
+    const VD st = rem == kD ? VD::loadu(sig_total + j)
+                            : VD::load_partial(sig_total + j, rem, 1.0);
+    const VD d = -simd::vlog(x) / st;
+    if (rem == kD) {
+      d.storeu(dist + j);
+    } else {
+      d.store_partial(dist + j, rem);
+    }
+  }
+}
+
+}  // namespace
+
+#define VMC_KERN_STR2(x) #x
+#define VMC_KERN_STR(x) VMC_KERN_STR2(x)
+
+const IsaKernels& VMC_SIMD_PP_CAT(kernel_table_, VMC_SIMD_LEVEL)() {
+  static constexpr IsaKernels t{
+      VMC_SIMD_LEVEL,
+      kF,
+      kD,
+      VMC_SIMD_LEVEL == 0 ? 64 : kF * 32,
+      VMC_KERN_STR(VMC_SIMD_ABI),
+      &find_banked_impl,
+      &xs_banked_impl,
+      &xs_banked_outer_impl,
+      &total_banked_impl,
+      &distance_impl,
+  };
+  return t;
+}
+
+}  // namespace vmc::xs::kern

@@ -4,17 +4,11 @@
 #include <cassert>
 
 #include "simd/simd.hpp"
+#include "xsdata/kernels.hpp"
 
 namespace vmc::xs {
 
 namespace {
-
-using simd::Mask;
-using simd::Vec;
-
-constexpr int kLanes = simd::width_v<float>;
-using VF = Vec<float, kLanes>;
-using VI = Vec<std::int32_t, kLanes>;
 
 /// Downgrade the requested search mode to what this library can serve (the
 /// accelerator is always built by finalize(); the guards cover libraries
@@ -82,6 +76,40 @@ inline XsSet nuclide_xs_from_union(const Library& lib, int nuc, std::size_t u,
   return n.evaluate_at(idx, e);
 }
 
+/// Flatten the SoA library + material into the POD views the per-ISA kernel
+/// tables consume (kernels.hpp). Container handling stays in this base TU.
+template <class FlatT>
+kern::FlatView flat_view(const FlatT& fl) {
+  return kern::FlatView{fl.energy.data(),     fl.energy_f.data(),
+                        fl.total.data(),      fl.scatter.data(),
+                        fl.absorption.data(), fl.fission.data(),
+                        fl.offset.data(),     fl.grid_size.data()};
+}
+
+kern::MaterialView material_view(const Material& mat) {
+  return kern::MaterialView{mat.nuclides.data(), mat.density.data(),
+                            static_cast<std::int32_t>(mat.size())};
+}
+
+/// Resolve every particle's union-grid interval into `u_scratch()` (tier c
+/// for the hash path, a scalar loop for the binary ablation — both produce
+/// the same interval indices bit-for-bit, see DESIGN.md). The kernels then
+/// read `us` instead of re-searching per particle.
+const std::int32_t* resolve_union_rows(const Library& lib, GridSearch mode,
+                                       std::span<const double> energies) {
+  const auto& ug = lib.union_grid();
+  auto& s = u_scratch();
+  s.resize(energies.size());
+  if (mode == GridSearch::hash) {
+    lib.hash_grid().find_banked(ug.energy, energies, s.data());
+  } else {
+    for (std::size_t j = 0; j < energies.size(); ++j) {
+      s[j] = static_cast<std::int32_t>(ug.find(energies[j]));
+    }
+  }
+  return s.data();
+}
+
 }  // namespace
 
 XsSet macro_xs_history(const Library& lib, int material, double e,
@@ -135,186 +163,72 @@ void macro_xs_banked(const Library& lib, int material,
                      const XsLookupOptions& opt) {
   assert(lib.finalized());
   assert(energies.size() == out.size());
+  if (energies.empty()) return;
   const auto& mat = lib.material(material);
-  const auto& fl = lib.flat();
   const auto& ug = lib.union_grid();
   const auto& hg = lib.hash_grid();
   const GridSearch mode = effective_mode(lib, opt.search);
   const int nn = static_cast<int>(mat.size());
-  const std::int32_t* imap = ug.imap.data();
-  const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
 
-  // Tier (c): one batched SIMD search for the whole bank replaces the
-  // per-particle scalar upper_bound.
+  kern::BankedView v;
+  v.fl = flat_view(lib.flat());
+  v.mat = material_view(mat);
+
   const std::int32_t* us = nullptr;
-  if (mode == GridSearch::hash) {
-    auto& s = u_scratch();
-    s.resize(energies.size());
-    hg.find_banked(ug.energy, energies, s.data());
-    us = s.data();
-  }
-  // Tier (b): per-particle exact nuclide intervals, padded to full lanes so
-  // the vector loop can load them unconditionally.
-  std::int32_t* nidx = nullptr;
-  const int npad = (nn + kLanes - 1) / kLanes * kLanes;
   if (mode == GridSearch::hash_nuclide) {
+    // Tier (b): the kernel resolves every nuclide's EXACT interval from the
+    // double index itself (us == nullptr signals that path). Hand it the
+    // per-bucket starts plus a staging row padded to a slot-block boundary
+    // so its full-lane loads stay in bounds at every lane width.
+    const kern::HashGridView hv = hg.view();
+    v.nuclide_start = hg.nuclide_row(0);
+    v.nn_total = static_cast<std::int32_t>(lib.n_nuclides());
+    v.hg_h0 = hv.h0;
+    v.hg_span = hv.span;
+    v.hg_scale = hv.scale;
     auto& s = nidx_scratch();
+    const int npad = simd::round_up(nn, kern::kAccSlots);
     s.resize(static_cast<std::size_t>(npad));
-    nidx = s.data();
-    for (int i = nn; i < npad; ++i) nidx[i] = 0;  // harmless dead lanes
-  }
-
-  for (std::size_t j = 0; j < energies.size(); ++j) {
-    const double e = energies[j];
-    const std::int32_t* imap_row = nullptr;
-    if (mode == GridSearch::hash_nuclide) {
-      // Resolve every nuclide's EXACT interval from the double index (walks
-      // in double precision on the flat grid; the union imap is never read).
-      const int b = hg.bucket_of(e);
-      const std::int32_t* row = hg.nuclide_row(b);
-      const std::int32_t* row_hi = hg.nuclide_row(b + 1);
-      for (int i = 0; i < nn; ++i) {
-        const std::int32_t nuc = mat.nuclides[static_cast<std::size_t>(i)];
-        const std::int32_t base = fl.offset[static_cast<std::size_t>(nuc)];
-        const double* ge = fl.energy.data() + base;
-        std::int32_t idx = row[nuc];
-        const std::int32_t hi = row_hi[nuc];
-        while (idx < hi && ge[idx + 1] <= e) ++idx;
-        nidx[i] = base + idx;
-      }
-    } else {
-      const std::size_t u =
-          us != nullptr ? static_cast<std::size_t>(us[j]) : ug.find(e);
-      imap_row = imap + u * stride;
+    for (int i = nn; i < npad; ++i) {
+      s[static_cast<std::size_t>(i)] = 0;  // harmless dead lanes
     }
-    const float ef = static_cast<float>(e);
-    const VF ev(ef);
-
-    VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
-    for (int n = 0; n < nn; n += kLanes) {
-      // Masked remainder: the last block loads partial lanes with density 0,
-      // so dead lanes gather nuclide 0's first interval and contribute
-      // exactly nothing (same idiom as the distance stage).
-      const int rem = nn - n;
-      const VI nucid =
-          rem >= kLanes
-              ? VI::loadu(mat.nuclides.data() + n)
-              : VI::load_partial(mat.nuclides.data() + n, rem, 0);
-      const VF dens =
-          rem >= kLanes
-              ? VF::loadu(mat.density.data() + n)
-              : VF::load_partial(mat.density.data() + n, rem, 0.0f);
-      VI idx;
-      if (mode == GridSearch::hash_nuclide) {
-        idx = VI::loadu(nidx + n);
-      } else {
-        const VI base = VI::gather(fl.offset.data(), nucid);
-        idx = VI::gather(imap_row, nucid) + base;
-        // Bounded walk to the exact interval (skipped entirely for an exact
-        // union, which also avoids the grid-size gather).
-        if (ug.walk_bound > 0) {
-          const VI gsz = VI::gather(fl.grid_size.data(), nucid);
-          // Highest valid interval start for each lane's nuclide.
-          const VI limit = base + gsz - VI(2);
-          for (int w = 0; w < ug.walk_bound; ++w) {
-            const VF e_next = VF::gather(fl.energy_f.data(), idx + VI(1));
-            const auto need = (e_next <= ev).m & (idx < limit).m;
-            idx.v -= need;  // mask lanes are -1 where true
-          }
-        }
-      }
-      const VF e_lo = VF::gather(fl.energy_f.data(), idx);
-      const VF e_hi = VF::gather(fl.energy_f.data(), idx + VI(1));
-      VF f = (ev - e_lo) / (e_hi - e_lo);
-      f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
-
-      const auto channel = [&](const float* xs, VF& acc) {
-        const VF lo = VF::gather(xs, idx);
-        const VF hi = VF::gather(xs, idx + VI(1));
-        acc = simd::fma(dens, simd::fma(f, hi - lo, lo), acc);
-      };
-      channel(fl.total.data(), acc_t);
-      channel(fl.scatter.data(), acc_s);
-      channel(fl.absorption.data(), acc_a);
-      channel(fl.fission.data(), acc_f);
-    }
-
-    out[j] = XsSet{acc_t.hsum(), acc_s.hsum(), acc_a.hsum(), acc_f.hsum()};
+    v.nidx_scratch = s.data();
+  } else {
+    // Tier (c): one batched SIMD search for the whole bank replaces the
+    // per-particle scalar upper_bound (binary mode resolves the same rows
+    // with the scalar find — identical indices, the ablation baseline).
+    v.imap = ug.imap.data();
+    v.imap_stride = static_cast<std::int32_t>(ug.n_nuclides);
+    v.walk_bound = static_cast<std::int32_t>(ug.walk_bound);
+    us = resolve_union_rows(lib, mode, energies);
   }
+  kern::active_isa_kernels().xs_banked(
+      v, energies.data(), static_cast<std::int64_t>(energies.size()), us,
+      out.data());
 }
 
 void macro_xs_banked_outer(const Library& lib, int material,
                            std::span<const double> energies,
                            std::span<XsSet> out, const XsLookupOptions& opt) {
   assert(lib.finalized());
+  if (energies.empty()) return;
   const auto& mat = lib.material(material);
-  const auto& fl = lib.flat();
   const auto& ug = lib.union_grid();
-  const auto& hg = lib.hash_grid();
   // The lane-per-particle tiles read the union imap by construction, so the
   // double-indexed tier degenerates to the plain hash search here.
   GridSearch mode = effective_mode(lib, opt.search);
   if (mode == GridSearch::hash_nuclide) mode = GridSearch::hash;
-  const int nn = static_cast<int>(mat.size());
-  const std::size_t np = energies.size();
-  const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
 
-  for (std::size_t j = 0; j < np; j += kLanes) {
-    // Masked particle remainder: the final tile replicates its last real
-    // particle into the dead lanes (valid energies and union rows, so every
-    // gather below stays in bounds) and stores only the real lanes back.
-    const int rem = static_cast<int>(std::min<std::size_t>(kLanes, np - j));
-    std::int32_t ubuf[kLanes];
-    float ebuf[kLanes];
-    if (mode == GridSearch::hash) {
-      hg.find_banked(ug.energy,
-                     energies.subspan(j, static_cast<std::size_t>(rem)), ubuf);
-    } else {
-      for (int l = 0; l < rem; ++l) {
-        ubuf[l] = static_cast<std::int32_t>(
-            ug.find(energies[j + static_cast<std::size_t>(l)]));
-      }
-    }
-    for (int l = 0; l < rem; ++l) {
-      ebuf[l] = static_cast<float>(energies[j + static_cast<std::size_t>(l)]);
-    }
-    // Per-lane particle state: energy and union-row offset.
-    const VF ev = VF::load_partial(ebuf, rem, ebuf[rem - 1]);
-    const VI urow = VI::load_partial(ubuf, rem, ubuf[rem - 1]) *
-                    VI(static_cast<std::int32_t>(stride));
-    VF acc_t(0.0f), acc_s(0.0f), acc_a(0.0f), acc_f(0.0f);
-    for (int n = 0; n < nn; ++n) {
-      const std::int32_t nucid = mat.nuclides[static_cast<std::size_t>(n)];
-      const std::int32_t base = fl.offset[static_cast<std::size_t>(nucid)];
-      const std::int32_t gsz = fl.grid_size[static_cast<std::size_t>(nucid)];
-      VI idx = VI::gather(ug.imap.data(), urow + VI(nucid)) + VI(base);
-      const VI limit(base + gsz - 2);
-      for (int w = 0; w < ug.walk_bound; ++w) {
-        const VF e_next = VF::gather(fl.energy_f.data(), idx + VI(1));
-        const auto need = (e_next <= ev).m & (idx < limit).m;
-        idx.v -= need;
-      }
-      const VF e_lo = VF::gather(fl.energy_f.data(), idx);
-      const VF e_hi = VF::gather(fl.energy_f.data(), idx + VI(1));
-      VF f = (ev - e_lo) / (e_hi - e_lo);
-      f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
-      const VF dens(mat.density[static_cast<std::size_t>(n)]);
-      const auto channel = [&](const float* xs, VF& acc) {
-        const VF lo = VF::gather(xs, idx);
-        const VF hi = VF::gather(xs, idx + VI(1));
-        acc = simd::fma(dens, simd::fma(f, hi - lo, lo), acc);
-      };
-      channel(fl.total.data(), acc_t);
-      channel(fl.scatter.data(), acc_s);
-      channel(fl.absorption.data(), acc_a);
-      channel(fl.fission.data(), acc_f);
-    }
-    for (int l = 0; l < rem; ++l) {
-      out[j + static_cast<std::size_t>(l)] =
-          XsSet{static_cast<double>(acc_t[l]), static_cast<double>(acc_s[l]),
-                static_cast<double>(acc_a[l]), static_cast<double>(acc_f[l])};
-    }
-  }
+  kern::BankedView v;
+  v.fl = flat_view(lib.flat());
+  v.mat = material_view(mat);
+  v.imap = ug.imap.data();
+  v.imap_stride = static_cast<std::int32_t>(ug.n_nuclides);
+  v.walk_bound = static_cast<std::int32_t>(ug.walk_bound);
+  const std::int32_t* us = resolve_union_rows(lib, mode, energies);
+  kern::active_isa_kernels().xs_banked_outer(
+      v, energies.data(), static_cast<std::int64_t>(energies.size()), us,
+      out.data());
 }
 
 double macro_total_history(const Library& lib, int material, double e,
@@ -374,93 +288,27 @@ void macro_total_banked(const Library& lib, int material,
                         std::span<double> out, const XsLookupOptions& opt) {
   assert(lib.finalized());
   assert(energies.size() == out.size());
+  if (energies.empty()) return;
   const auto& mat = lib.material(material);
-  const auto& fl = lib.flat();
   const auto& ug = lib.union_grid();
-  const auto& hg = lib.hash_grid();
-  // The particle tiles below read the union imap by construction, so the
+  // The particle tiles read the union imap by construction, so the
   // double-indexed tier degenerates to the plain hash search (which selects
   // the same interval as binary, bit-for-bit).
   GridSearch tile_mode = effective_mode(lib, opt.search);
   if (tile_mode == GridSearch::hash_nuclide) tile_mode = GridSearch::hash;
-  const int nn = static_cast<int>(mat.size());
-  const std::size_t stride = static_cast<std::size_t>(ug.n_nuclides);
 
+  kern::BankedView v;
+  v.fl = flat_view(lib.flat());
+  v.mat = material_view(mat);
+  v.imap = ug.imap.data();
+  v.imap_stride = static_cast<std::int32_t>(ug.n_nuclides);
+  v.walk_bound = static_cast<std::int32_t>(ug.walk_bound);
   // Tier (c): resolve every particle's union interval in one batched SIMD
-  // search before the tiled sweep.
-  const std::int32_t* us = nullptr;
-  if (tile_mode == GridSearch::hash) {
-    auto& s = u_scratch();
-    s.resize(energies.size());
-    hg.find_banked(ug.energy, energies, s.data());
-    us = s.data();
-  }
-
-  // Tile P particles against each nuclide block: the kernel is bound by
-  // gather latency on the (much larger than cache) grid data, and P
-  // independent gather chains give the memory system P times the
-  // parallelism. On the in-order MIC the vector unit alone provided this
-  // effect; on out-of-order AVX-512 hosts the tiling is what beats the
-  // scalar path (measured ~1.5x on H.M. Large; see bench/fig2).
-  constexpr int P = 8;
-  for (std::size_t j = 0; j < energies.size(); j += P) {
-    // Masked particle remainder: dead tile slots replicate the last real
-    // particle (valid union rows, in-bounds gathers) and are never stored.
-    const int pr =
-        static_cast<int>(std::min<std::size_t>(P, energies.size() - j));
-    const std::int32_t* rows[P];
-    VF ev[P];
-    VF acc[P];
-    for (int p = 0; p < P; ++p) {
-      const std::size_t jp = j + static_cast<std::size_t>(p < pr ? p : pr - 1);
-      const std::size_t u = us != nullptr ? static_cast<std::size_t>(us[jp])
-                                          : ug.find(energies[jp]);
-      rows[p] = ug.imap.data() + u * stride;
-      ev[p] = VF(static_cast<float>(energies[jp]));
-      acc[p] = VF(0.0f);
-    }
-    for (int n = 0; n < nn; n += kLanes) {
-      // Masked nuclide remainder: the last block loads partial lanes with
-      // density 0, same idiom as macro_xs_banked.
-      const int rem = nn - n;
-      const VI nucid = rem >= kLanes
-                           ? VI::loadu(mat.nuclides.data() + n)
-                           : VI::load_partial(mat.nuclides.data() + n, rem, 0);
-      const VF dens =
-          rem >= kLanes ? VF::loadu(mat.density.data() + n)
-                        : VF::load_partial(mat.density.data() + n, rem, 0.0f);
-      const VI base = VI::gather(fl.offset.data(), nucid);
-      VI idx[P];
-      for (int p = 0; p < P; ++p) {
-        idx[p] = VI::gather(rows[p], nucid) + base;
-      }
-      if (ug.walk_bound > 0) {
-        const VI gsz = VI::gather(fl.grid_size.data(), nucid);
-        const VI limit = base + gsz - VI(2);
-        for (int w = 0; w < ug.walk_bound; ++w) {
-          for (int p = 0; p < P; ++p) {
-            const VF e_next = VF::gather(fl.energy_f.data(), idx[p] + VI(1));
-            const auto need = (e_next <= ev[p]).m & (idx[p] < limit).m;
-            idx[p].v -= need;
-          }
-        }
-      }
-      VF e_lo[P], e_hi[P], x_lo[P], x_hi[P];
-      for (int p = 0; p < P; ++p) e_lo[p] = VF::gather(fl.energy_f.data(), idx[p]);
-      for (int p = 0; p < P; ++p) e_hi[p] = VF::gather(fl.energy_f.data(), idx[p] + VI(1));
-      for (int p = 0; p < P; ++p) x_lo[p] = VF::gather(fl.total.data(), idx[p]);
-      for (int p = 0; p < P; ++p) x_hi[p] = VF::gather(fl.total.data(), idx[p] + VI(1));
-      for (int p = 0; p < P; ++p) {
-        VF f = (ev[p] - e_lo[p]) / (e_hi[p] - e_lo[p]);
-        f = simd::min(simd::max(f, VF(0.0f)), VF(1.0f));
-        acc[p] = simd::fma(dens, simd::fma(f, x_hi[p] - x_lo[p], x_lo[p]),
-                           acc[p]);
-      }
-    }
-    for (int p = 0; p < pr; ++p) {
-      out[j + static_cast<std::size_t>(p)] = acc[p].hsum();
-    }
-  }
+  // search before the kernel's tiled sweep.
+  const std::int32_t* us = resolve_union_rows(lib, tile_mode, energies);
+  kern::active_isa_kernels().total_banked(
+      v, energies.data(), static_cast<std::int64_t>(energies.size()), us,
+      out.data());
 }
 
 // ---------------------------------------------------------------------------

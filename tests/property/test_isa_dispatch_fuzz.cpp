@@ -1,0 +1,251 @@
+// Forced-ISA dispatch fuzz: the multi-ISA kernel backends are only safe to
+// dispatch between if they are indistinguishable. For random libraries and
+// random simulations, EVERY level this host can execute (scalar upward) must
+// produce bit-identical results to the level-0 scalar oracle — union
+// intervals from the batched search, all six lookup-kernel outputs, the
+// distance stage, and whole-simulation k-eff histories and mesh tallies.
+// EQ, never NEAR: a single rounding difference between backends would make
+// VMC_SIMD_ISA (and CPU generation!) a physics parameter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/eigenvalue.hpp"
+#include "core/mesh_tally.hpp"
+#include "hm/hm_model.hpp"
+#include "rng/stream.hpp"
+#include "simd/dispatch.hpp"
+#include "xsdata/kernels.hpp"
+#include "xsdata/lookup.hpp"
+#include "xsdata/synth.hpp"
+
+namespace {
+
+using namespace vmc::xs;
+namespace simd = vmc::simd;
+
+/// RAII force of one backend level; always restores env/CPUID dispatch.
+class ForcedIsa {
+ public:
+  explicit ForcedIsa(simd::IsaLevel l) { simd::force_isa(l); }
+  ~ForcedIsa() { simd::clear_forced_isa(); }
+  ForcedIsa(const ForcedIsa&) = delete;
+  ForcedIsa& operator=(const ForcedIsa&) = delete;
+};
+
+std::vector<simd::IsaLevel> dispatchable_levels() {
+  std::vector<simd::IsaLevel> v;
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<simd::IsaLevel>(i);
+    if (simd::host_supports(l)) v.push_back(l);
+  }
+  return v;
+}
+
+class IsaDispatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsaDispatchFuzz, LookupKernelsMatchScalarOracleOnEveryLevel) {
+  const int round = GetParam();
+  vmc::rng::Stream cfg(static_cast<std::uint64_t>(round) * 6089 + 17);
+
+  // Random library shape (same family as the hash-search fuzz).
+  const int nn = 2 + static_cast<int>(cfg.next() * 12.0);
+  const bool thin = cfg.next() < 0.5;
+  const std::size_t max_union =
+      thin ? 600 + static_cast<std::size_t>(cfg.next() * 3000.0) : (1u << 20);
+  Library lib(max_union);
+  Material m;
+  for (int i = 0; i < nn; ++i) {
+    SynthParams p = (i % 3 == 0) ? SynthParams::u238_like()
+                                 : (i % 3 == 1)
+                                       ? SynthParams::u235_like()
+                                       : SynthParams::fission_product_like();
+    p.grid_points = 60 + static_cast<int>(cfg.next() * 400.0);
+    p.n_resonances = 10 + static_cast<int>(cfg.next() * 40.0);
+    lib.add_nuclide(make_synthetic_nuclide(
+        "isa" + std::to_string(round) + "_" + std::to_string(i),
+        static_cast<std::uint64_t>(round * 100 + i), p));
+    m.add(i, 1e-3 * (1.0 + cfg.next()));
+  }
+  lib.add_material(std::move(m));
+  const int bpd_choices[] = {7, 64, 1024};
+  lib.set_hash_options({bpd_choices[round % 3], true});
+  lib.finalize();
+  const auto& ug = lib.union_grid();
+
+  // Energies: random log-uniform plus grid points and their neighbours (the
+  // interval-edge cases where a backend disagreement would hide). Odd count
+  // on purpose — every lane width gets a masked remainder tile.
+  std::vector<double> es;
+  vmc::rng::Stream s(static_cast<std::uint64_t>(round) + 90001);
+  for (int i = 0; i < 701; ++i) {
+    es.push_back(kEnergyMin * std::pow(kEnergyMax / kEnergyMin, s.next()));
+  }
+  for (int i = 0; i < 25; ++i) {
+    const std::size_t u =
+        static_cast<std::size_t>(s.next() * static_cast<double>(ug.size()));
+    const double g = ug.energy[std::min(u, ug.size() - 1)];
+    es.push_back(g);
+    es.push_back(std::nextafter(g, 0.0));
+  }
+
+  constexpr XsLookupOptions kB{GridSearch::binary};
+  constexpr XsLookupOptions kH{GridSearch::hash};
+  constexpr XsLookupOptions kN{GridSearch::hash_nuclide};
+  const std::size_t ne = es.size();
+
+  // Scalar oracle results for every kernel.
+  std::vector<std::int32_t> us0(ne);
+  std::vector<XsSet> xsb0(ne), xsh0(ne), xsn0(ne), outer0(ne), sc0(ne);
+  std::vector<double> tot0(ne), hist0(ne);
+  {
+    ForcedIsa f(simd::IsaLevel::scalar);
+    lib.hash_grid().find_banked(ug.energy, es, us0.data());
+    macro_xs_banked(lib, 0, es, xsb0, kB);
+    macro_xs_banked(lib, 0, es, xsh0, kH);
+    macro_xs_banked(lib, 0, es, xsn0, kN);
+    macro_xs_banked_outer(lib, 0, es, outer0, kH);
+    macro_total_banked(lib, 0, es, tot0, kH);
+    macro_xs_banked_scalar(lib, 0, es, sc0, kN);
+    for (std::size_t i = 0; i < ne; ++i) {
+      hist0[i] = macro_total_history(lib, 0, es[i], kH);
+    }
+  }
+
+  for (const simd::IsaLevel level : dispatchable_levels()) {
+    ForcedIsa f(level);
+    SCOPED_TRACE(std::string("backend ") + simd::isa_display_name(level) +
+                 " round " + std::to_string(round));
+    ASSERT_EQ(simd::dispatch().isa, level);
+
+    std::vector<std::int32_t> us(ne);
+    lib.hash_grid().find_banked(ug.energy, es, us.data());
+    for (std::size_t i = 0; i < ne; ++i) {
+      ASSERT_EQ(us[i], us0[i]) << "union interval diverged, E=" << es[i];
+    }
+
+    std::vector<XsSet> xs(ne), outer(ne), sc(ne);
+    std::vector<double> tot(ne);
+    const auto expect_sets = [&](const std::vector<XsSet>& got,
+                                 const std::vector<XsSet>& want,
+                                 const char* kernel) {
+      for (std::size_t i = 0; i < ne; ++i) {
+        ASSERT_EQ(got[i].total, want[i].total)
+            << kernel << " total diverged, E=" << es[i];
+        ASSERT_EQ(got[i].scatter, want[i].scatter) << kernel;
+        ASSERT_EQ(got[i].absorption, want[i].absorption) << kernel;
+        ASSERT_EQ(got[i].fission, want[i].fission) << kernel;
+      }
+    };
+    macro_xs_banked(lib, 0, es, xs, kB);
+    expect_sets(xs, xsb0, "xs_banked/binary");
+    macro_xs_banked(lib, 0, es, xs, kH);
+    expect_sets(xs, xsh0, "xs_banked/hash");
+    macro_xs_banked(lib, 0, es, xs, kN);
+    expect_sets(xs, xsn0, "xs_banked/hash_nuclide");
+    macro_xs_banked_outer(lib, 0, es, outer, kH);
+    expect_sets(outer, outer0, "xs_banked_outer");
+    macro_xs_banked_scalar(lib, 0, es, sc, kN);
+    expect_sets(sc, sc0, "xs_banked_scalar");
+    macro_total_banked(lib, 0, es, tot, kH);
+    for (std::size_t i = 0; i < ne; ++i) {
+      ASSERT_EQ(tot[i], tot0[i]) << "total_banked diverged, E=" << es[i];
+      ASSERT_EQ(macro_total_history(lib, 0, es[i], kH), hist0[i]);
+    }
+  }
+}
+
+TEST_P(IsaDispatchFuzz, DistanceKernelMatchesScalarOracleOnEveryLevel) {
+  const int round = GetParam();
+  vmc::rng::Stream s(static_cast<std::uint64_t>(round) * 40503 + 7);
+  const std::size_t n = 97 + static_cast<std::size_t>(s.next() * 400.0);
+  std::vector<double> xi(n), st(n), want(n), got(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xi[i] = s.next();
+    if (xi[i] <= 0.0) xi[i] = 0.5;
+    // Include zero total cross sections: the kernel's -log(xi)/0 = +inf path.
+    st[i] = s.next() < 0.05 ? 0.0 : s.next() * 10.0;
+  }
+  kern::kernel_table(simd::IsaLevel::scalar)
+      .distance(xi.data(), st.data(), want.data(),
+                static_cast<std::int64_t>(n));
+  for (const simd::IsaLevel level : dispatchable_levels()) {
+    SCOPED_TRACE(simd::isa_display_name(level));
+    const kern::IsaKernels& k = kern::kernel_table(level);
+    EXPECT_EQ(k.level, static_cast<std::int32_t>(level));
+    k.distance(xi.data(), st.data(), got.data(),
+               static_cast<std::int64_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bitwise, inf-and-all: compare via EQ on doubles (inf==inf holds).
+      ASSERT_EQ(got[i], want[i]) << "i=" << i << " xi=" << xi[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, IsaDispatchFuzz, ::testing::Range(0, 4));
+
+/// Whole-simulation invariant: k-eff history and mesh tallies of an
+/// event-mode eigenvalue run (banked SIMD lookups + distance) are bitwise
+/// identical under every dispatchable backend. This is the serve warm==cold
+/// property extended across ISA levels — the simulation service may dispatch
+/// on whatever the host supports without perturbing physics.
+TEST(IsaDispatchSimulationFuzz, EventModeRunIsBitwiseIsaInvariant) {
+  vmc::hm::ModelOptions mo;
+  mo.fuel = vmc::hm::FuelSize::small;
+  mo.fuel_nuclides = 6;
+  mo.grid_scale = 0.02;
+  mo.full_core = false;
+  const vmc::hm::Model model = vmc::hm::build_model(mo);
+
+  const auto run_once = [&]() {
+    vmc::core::MeshTally::Spec ms;
+    ms.lower = model.source_lo;
+    ms.upper = model.source_hi;
+    ms.nx = ms.ny = 3;
+    ms.nz = 1;
+    ms.group_edges = vmc::core::log_group_edges(1e-11, 20.0, 4);
+    vmc::core::MeshTally mesh(ms);
+    vmc::core::Settings st;
+    st.n_particles = 120;
+    st.n_inactive = 1;
+    st.n_active = 2;
+    st.seed = 99;
+    st.mode = vmc::core::TransportMode::event;
+    st.mesh_tally = &mesh;
+    st.source_lo = model.source_lo;
+    st.source_hi = model.source_hi;
+    vmc::core::Simulation sim(model.geometry, model.library, st);
+    const vmc::core::RunResult r = sim.run();
+    std::pair<std::vector<double>, std::vector<double>> fp{
+        r.k_collision_history, mesh.energy_spectrum()};
+    return fp;
+  };
+
+  std::pair<std::vector<double>, std::vector<double>> want;
+  {
+    ForcedIsa f(simd::IsaLevel::scalar);
+    want = run_once();
+  }
+  ASSERT_FALSE(want.first.empty());
+  for (const simd::IsaLevel level : dispatchable_levels()) {
+    ForcedIsa f(level);
+    SCOPED_TRACE(simd::isa_display_name(level));
+    const auto got = run_once();
+    ASSERT_EQ(got.first.size(), want.first.size());
+    for (std::size_t g = 0; g < want.first.size(); ++g) {
+      EXPECT_EQ(got.first[g], want.first[g])
+          << "k history diverged at generation " << g;
+    }
+    ASSERT_EQ(got.second.size(), want.second.size());
+    for (std::size_t b = 0; b < want.second.size(); ++b) {
+      EXPECT_EQ(got.second[b], want.second[b])
+          << "mesh tally diverged in group " << b;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Unit tests for the runtime ISA dispatcher (src/simd/dispatch.*): level
+// metadata, CPUID monotonicity, the force_isa() hook, and the guarantee that
+// every per-level kernel table agrees with the dispatcher's own metadata.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "simd/dispatch.hpp"
+#include "simd/simd.hpp"
+#include "xsdata/kernels.hpp"
+
+namespace {
+
+namespace simd = vmc::simd;
+using simd::IsaLevel;
+
+struct ClearForceOnExit {
+  ~ClearForceOnExit() { simd::clear_forced_isa(); }
+};
+
+TEST(Dispatch, LevelMetadataIsConsistent) {
+  const char* display[] = {"scalar", "SSE2", "AVX2", "AVX-512"};
+  const char* env[] = {"scalar", "sse2", "avx2", "avx512"};
+  const int bits[] = {64, 128, 256, 512};
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    EXPECT_STREQ(simd::isa_display_name(l), display[i]);
+    EXPECT_STREQ(simd::isa_env_name(l), env[i]);
+    EXPECT_EQ(simd::isa_simd_bits(l), bits[i]);
+    const simd::DispatchInfo info = simd::isa_info(l);
+    EXPECT_EQ(info.isa, l);
+    EXPECT_STREQ(info.name, display[i]);
+    EXPECT_STREQ(info.env_name, env[i]);
+    EXPECT_EQ(info.simd_bits, bits[i]);
+    // Lane counts follow the register width (scalar = one lane of each).
+    EXPECT_EQ(info.lanes_f32, i == 0 ? 1 : bits[i] / 32);
+    EXPECT_EQ(info.lanes_f64, i == 0 ? 1 : bits[i] / 64);
+  }
+}
+
+TEST(Dispatch, ParseIsaNameRoundTripsAndRejectsUnknown) {
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    IsaLevel out = IsaLevel::avx512;
+    ASSERT_TRUE(simd::parse_isa_name(simd::isa_env_name(l), out));
+    EXPECT_EQ(out, l);
+  }
+  IsaLevel out;
+  EXPECT_FALSE(simd::parse_isa_name("", out));
+  EXPECT_FALSE(simd::parse_isa_name("AVX2", out));   // env spelling is lower
+  EXPECT_FALSE(simd::parse_isa_name("avx", out));
+  EXPECT_FALSE(simd::parse_isa_name("sse4.2", out));
+  EXPECT_FALSE(simd::parse_isa_name("native", out));
+}
+
+TEST(Dispatch, HostSupportIsMonotoneAndIncludesScalar) {
+  // Scalar is always executable; support can only shrink with width.
+  EXPECT_TRUE(simd::host_supports(IsaLevel::scalar));
+  const IsaLevel max = simd::host_max_isa();
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    EXPECT_EQ(simd::host_supports(l), i <= static_cast<int>(max));
+  }
+}
+
+TEST(Dispatch, DefaultSelectionIsHostMaxAndForceOverridesIt) {
+  ClearForceOnExit guard;
+  // This test binary runs without VMC_SIMD_ISA (CI forces the variable on
+  // whole ctest invocations, where the assertion below still holds because
+  // the sweep only requests supported levels — dispatch() is then that
+  // level, which host_supports covers).
+  const simd::DispatchInfo def = simd::dispatch();
+  EXPECT_TRUE(simd::host_supports(def.isa));
+
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    if (!simd::host_supports(l)) continue;
+    simd::force_isa(l);
+    const simd::DispatchInfo d = simd::dispatch();
+    EXPECT_EQ(d.isa, l);
+    EXPECT_STREQ(d.name, simd::isa_display_name(l));
+    EXPECT_EQ(d.simd_bits, simd::isa_simd_bits(l));
+  }
+  simd::clear_forced_isa();
+  EXPECT_EQ(simd::dispatch().isa, def.isa);
+}
+
+TEST(Dispatch, ForcingAnUnsupportedLevelThrows) {
+  ClearForceOnExit guard;
+  const IsaLevel max = simd::host_max_isa();
+  for (int i = static_cast<int>(max) + 1; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    try {
+      simd::force_isa(l);
+      FAIL() << "force_isa(" << simd::isa_display_name(l)
+             << ") should have thrown on this host";
+    } catch (const std::runtime_error& e) {
+      // The message must name both the request and the host maximum so CI
+      // failures are self-explanatory.
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(simd::isa_display_name(l)), std::string::npos) << msg;
+      EXPECT_NE(msg.find(simd::isa_display_name(max)), std::string::npos)
+          << msg;
+    }
+    // A failed force must not stick.
+    EXPECT_TRUE(simd::host_supports(simd::dispatch().isa));
+  }
+  if (max == IsaLevel::avx512) {
+    GTEST_LOG_(INFO) << "host executes every level; unsupported-force path "
+                        "exercised only via parse errors";
+  }
+}
+
+TEST(Dispatch, KernelTablesMatchDispatcherMetadata) {
+  // The per-level kernel tables are compiled in separately-flagged TUs; this
+  // pins their self-reported identity to the dispatcher's view of the level.
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    const vmc::xs::kern::IsaKernels& k = vmc::xs::kern::kernel_table(l);
+    const simd::DispatchInfo info = simd::isa_info(l);
+    EXPECT_EQ(k.level, i);
+    EXPECT_EQ(k.lanes_f32, info.lanes_f32);
+    EXPECT_EQ(k.lanes_f64, info.lanes_f64);
+    EXPECT_EQ(k.simd_bits, info.simd_bits);
+    ASSERT_NE(k.abi, nullptr);
+    EXPECT_NE(std::strlen(k.abi), 0u);
+    // Every entry is populated — a null slot would be a silent scalar hole.
+    EXPECT_NE(k.find_banked, nullptr);
+    EXPECT_NE(k.xs_banked, nullptr);
+    EXPECT_NE(k.xs_banked_outer, nullptr);
+    EXPECT_NE(k.total_banked, nullptr);
+    EXPECT_NE(k.distance, nullptr);
+  }
+  // Distinct levels expose distinct ABI tags (the ODR shield is real).
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    for (int j = i + 1; j < simd::kNumIsaLevels; ++j) {
+      EXPECT_STRNE(vmc::xs::kern::kernel_table(static_cast<IsaLevel>(i)).abi,
+                   vmc::xs::kern::kernel_table(static_cast<IsaLevel>(j)).abi);
+    }
+  }
+}
+
+TEST(Dispatch, ActiveKernelsFollowDispatch) {
+  ClearForceOnExit guard;
+  for (int i = 0; i < simd::kNumIsaLevels; ++i) {
+    const auto l = static_cast<IsaLevel>(i);
+    if (!simd::host_supports(l)) continue;
+    simd::force_isa(l);
+    EXPECT_EQ(vmc::xs::kern::active_isa_kernels().level, i);
+  }
+}
+
+}  // namespace

@@ -11,9 +11,11 @@
 // A candidate value is a REGRESSION when it is worse than the baseline by
 // more than the series' fractional tolerance (--tolerance, overridable per
 // series with --series name=tol). Schema problems — wrong schema string,
-// mismatched report name, mismatched bench_scale, row identity drift — are
-// hard errors: a baseline measured at one scale must never be compared
-// against a candidate run at another.
+// mismatched report name, mismatched bench_scale, mismatched isa, row
+// identity drift — are hard errors: a baseline measured at one scale must
+// never be compared against a candidate run at another, and a baseline
+// measured on one SIMD backend must never gate a candidate dispatched to a
+// different one (baselines live per-ISA under bench/baselines/<isa>/).
 //
 // Exit codes: 0 = no regressions, 1 = regression(s), 2 = usage/schema error.
 #include <algorithm>
@@ -154,11 +156,19 @@ CompareResult compare_reports(const JsonValue& base, const JsonValue& cand,
     res.schema_errors = 1;
     return res;
   }
-  if (base.find("isa")->string != cand.find("isa")->string && !opt.quiet) {
-    std::printf("  note: ISA differs (baseline %s, candidate %s) — expect "
-                "rate shifts\n",
-                base.find("isa")->string.c_str(),
-                cand.find("isa")->string.c_str());
+  if (base.find("isa")->string != cand.find("isa")->string) {
+    // A cross-ISA comparison is meaningless, in both directions: AVX-512
+    // rates vs an SSE2 baseline "pass" vacuously, and the reverse fails
+    // spuriously. Baselines are committed per backend; compare like with
+    // like or refresh the <isa> baseline directory.
+    std::fprintf(stderr,
+                 "vmc_bench_diff: %s: ISA mismatch (baseline %s, candidate "
+                 "%s) — baselines are per-backend; compare against "
+                 "bench/baselines/<isa>/ for the dispatched backend\n",
+                 name.c_str(), base.find("isa")->string.c_str(),
+                 cand.find("isa")->string.c_str());
+    res.schema_errors = 1;
+    return res;
   }
 
   const auto& brows = base.find("rows")->array;
@@ -316,14 +326,15 @@ int compare_dirs(const std::filesystem::path& baselines,
 // --------------------------------------------------------------------------
 
 std::string make_report(double scale, double rate, double seconds,
-                        double speedup, double n = 1000.0) {
+                        double speedup, double n = 1000.0,
+                        const char* isa = "testisa") {
   vmc::obs::JsonWriter w;
   w.begin_object();
   w.member("schema", "vectormc.bench.v1");
   w.member("name", "selftest");
   w.member("artifact", "self-test");
   w.member("description", "synthetic");
-  w.member("isa", "testisa");
+  w.member("isa", isa);
   w.member("simd_bits", 512);
   w.member("bench_scale", scale);
   w.key("notes").begin_object();
@@ -400,6 +411,13 @@ int self_test() {
   r = compare_reports(
       base, vmc::obs::json_parse(make_report(0.1, 1e6, 2.0, 1.5)), opt);
   SELF_CHECK(r.schema_errors == 1);
+
+  // ISA mismatch: schema error (per-ISA baselines), never a silent pass.
+  r = compare_reports(
+      base,
+      vmc::obs::json_parse(make_report(1.0, 1e6, 2.0, 1.5, 1000.0, "AVX2")),
+      opt);
+  SELF_CHECK(r.schema_errors == 1 && r.regressions == 0);
 
   // Row identity drift (different n_banked): schema error.
   r = compare_reports(

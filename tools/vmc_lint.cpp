@@ -394,6 +394,10 @@ const RuleScope kScopes[] = {
     {"blocking-in-worker", {"src/serve/"}, {"src/serve/spool."}},
     // src/simd/ is the one sanctioned home for ISA-specific code.
     {"raw-intrinsic", kAllRoots, {"src/simd/"}},
+    // The multi-ISA backend boundary: only src/simd/ and the per-level
+    // kernel TU may carry ISA-retargeting attributes/pragmas; everything
+    // else gets its ISA from its TU's build flags and runtime dispatch.
+    {"isa-flag-leak", kAllRoots, {"src/simd/", "src/xsdata/kernels_isa."}},
     // Kernels, banks, event queues, leapfrog RNG fills, and the bench
     // kernels that mirror them. src/simd/ itself is the backend: literal
     // widths there (specializations, width tables) are the implementation.
@@ -439,8 +443,9 @@ const std::set<std::string, std::less<>> kKnownRules = {
     "raw-alloc",      "unaligned-simd-buffer", "raw-rand",
     "hot-loop-mutex", "stream-overlap",        "raw-clock",
     "unchecked-io",   "hot-loop-binary-search", "raw-intrinsic",
-    "hardcoded-lane-width", "unmasked-remainder", "float-order-dependence",
-    "naked-catch-in-exec", "blocking-in-worker", "stale-allow"};
+    "isa-flag-leak",  "hardcoded-lane-width", "unmasked-remainder",
+    "float-order-dependence", "naked-catch-in-exec", "blocking-in-worker",
+    "stale-allow"};
 
 // --- legacy line rules ------------------------------------------------------
 
@@ -678,6 +683,52 @@ void rule_raw_intrinsic(TokenRuleCtx& c) {
       c.fire(p.line, "raw-intrinsic",
              "ISA intrinsic header included outside src/simd/; the Vec/Mask "
              "backend owns all intrinsic headers");
+    }
+  }
+}
+
+// isa-flag-leak: per-function/per-pragma ISA retargeting outside the
+// sanctioned multi-ISA structure (src/simd/ + the per-level kernel TU
+// src/xsdata/kernels_isa.cpp, whose -m flags live in CMake). Function
+// multiversioning (`target_clones`), `__attribute__((target(...)))`, and
+// `#pragma GCC target`/`push_options`/`optimize` all re-flag code inside a
+// TU the build system compiled for one ISA — exactly the comdat/ODR hazard
+// the per-TU backend layout exists to prevent. So are literal `-mavx*` /
+// `-msse*` flag spellings reaching code (e.g. a _Pragma string).
+void rule_isa_flag_leak(TokenRuleCtx& c) {
+  const auto& T = c.f.tokens;
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != Token::Kind::ident) continue;
+    if (T[i].text == "target_clones") {
+      c.fire(T[i].line, "isa-flag-leak",
+             "target_clones multiversioning outside src/simd/; add the "
+             "kernel to the per-ISA TU family (src/xsdata/kernels_isa.cpp) "
+             "so the dispatcher and the bitwise-identity fuzz cover it");
+    }
+    if (T[i].text == "__attribute__" && i + 3 < T.size() &&
+        T[i + 1].text == "(" && T[i + 2].text == "(" &&
+        (T[i + 3].text == "target" || T[i + 3].text == "target_clones")) {
+      c.fire(T[i].line, "isa-flag-leak",
+             "__attribute__((target...)) retargets one function inside a "
+             "TU compiled for another ISA; per-ISA code belongs in the "
+             "kernel TU family behind simd::dispatch()");
+    }
+  }
+  static const std::regex kTargetPragma(
+      R"(pragma\s+(GCC|clang)\s+(target|push_options|optimize)\b)");
+  static const std::regex kIsaFlag(R"(-m(avx|sse)[0-9a-z.]*\b)");
+  for (const PpLine& p : c.f.pp) {
+    if (std::regex_search(p.text, kTargetPragma)) {
+      c.fire(p.line, "isa-flag-leak",
+             "ISA/optimization pragma re-flags code mid-TU; backend flags "
+             "are per-TU CMake options on the kernel object libraries");
+    }
+  }
+  for (std::size_t i = 0; i < c.f.code.size(); ++i) {
+    if (std::regex_search(c.f.code[i], kIsaFlag)) {
+      c.fire(i + 1, "isa-flag-leak",
+             "literal -mavx*/-msse* flag in code; ISA flags live only in "
+             "the per-level kernel objects (src/xsdata/CMakeLists.txt)");
     }
   }
 }
@@ -1033,6 +1084,7 @@ class Analyzer {
       scan_lines(f, r.violations, stream_ctors);
       TokenRuleCtx ctx{f, r.violations, {}};
       if (in_scope("raw-intrinsic", f.rel_path)) rule_raw_intrinsic(ctx);
+      if (in_scope("isa-flag-leak", f.rel_path)) rule_isa_flag_leak(ctx);
       if (in_scope("hardcoded-lane-width", f.rel_path)) {
         rule_hardcoded_lane_width(ctx);
       }
@@ -1355,6 +1407,30 @@ int self_test() {
        "__mmask16 m = 0xffff;", "raw-intrinsic"},
       {"allow marker silences raw-intrinsic", "src/exec/offload.cpp",
        "// vmc-lint: allow(raw-intrinsic)\n_mm_pause();", ""},
+      // --- isa-flag-leak ---
+      {"target attribute in kernel fires", "src/xsdata/lookup.cpp",
+       "__attribute__((target(\"avx2\"))) void k(const double* p);",
+       "isa-flag-leak"},
+      {"target_clones in core fires", "src/core/event.cpp",
+       "[[gnu::target_clones(\"avx2\", \"default\")]] void sweep();",
+       "isa-flag-leak"},
+      {"GCC target pragma fires", "src/physics/collision.cpp",
+       "#pragma GCC target(\"avx512f\")", "isa-flag-leak"},
+      {"push_options pragma fires", "src/exec/offload.cpp",
+       "#pragma GCC push_options", "isa-flag-leak"},
+      {"target attribute in src/simd is clean", "src/simd/vec.hpp",
+       "__attribute__((target(\"avx2\"))) inline __m256 g(const float* p);",
+       ""},
+      {"per-ISA kernel TU is exempt", "src/xsdata/kernels_isa.cpp",
+       "#pragma GCC push_options", ""},
+      {"target pragma in comment is clean", "src/core/event.cpp",
+       "// #pragma GCC target would re-flag this TU; dispatch instead", ""},
+      {"diagnostic pragma is clean", "src/xsdata/lookup.cpp",
+       "#pragma GCC diagnostic push", ""},
+      {"aligned attribute is clean", "src/particle/bank.cpp",
+       "struct __attribute__((aligned(64))) Slab { double v[8]; };", ""},
+      {"allow marker silences isa-flag-leak", "src/exec/offload.cpp",
+       "// vmc-lint: allow(isa-flag-leak)\n#pragma GCC push_options", ""},
       // --- hardcoded-lane-width ---
       {"literal Vec lanes fires", "src/xsdata/kern.cpp",
        "simd::Vec<float, 8> v(0.0f);", "hardcoded-lane-width"},

@@ -18,6 +18,9 @@
 //                                      same schema vmc_served accepts; see
 //                                      README.md) — overrides the model/run
 //                                      flags above
+//     --print-dispatch                 print the selected SIMD backend and
+//                                      every host-dispatchable level, then
+//                                      exit (the CI dispatch-sweep probe)
 //     --help
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +35,7 @@
 #include "hm/hm_model.hpp"
 #include "serve/job_spec.hpp"
 #include "serve/spool.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -48,15 +52,37 @@ struct Args {
   int mesh = 0;
   int groups = 8;
   bool plot = false;
+  bool print_dispatch = false;
   std::string job_spec;
 };
+
+/// --print-dispatch: one `selected=` line plus one line per backend level
+/// with its host support, parseable by the CI dispatch-sweep probe.
+/// Exits non-zero if dispatch() itself rejects VMC_SIMD_ISA, so a forced
+/// unsupported level fails the probe the same way it fails the run.
+[[noreturn]] void print_dispatch_and_exit() {
+  try {
+    const vmc::simd::DispatchInfo d = vmc::simd::dispatch();
+    std::printf("selected=%s isa=%s simd_bits=%d lanes_f32=%d lanes_f64=%d\n",
+                d.env_name, d.name, d.simd_bits, d.lanes_f32, d.lanes_f64);
+    for (int i = 0; i < vmc::simd::kNumIsaLevels; ++i) {
+      const auto l = static_cast<vmc::simd::IsaLevel>(i);
+      std::printf("level=%s supported=%d\n", vmc::simd::isa_env_name(l),
+                  vmc::simd::host_supports(l) ? 1 : 0);
+    }
+    std::exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vmc_run: %s\n", e.what());
+    std::exit(1);
+  }
+}
 
 [[noreturn]] void usage(int code) {
   std::puts(
       "vmc_run --model <assembly|small|large> --particles N --inactive N\n"
       "        --active N --seed S --threads T --mode <history|event>\n"
       "        [--survival-biasing] [--grid-scale X] [--mesh NXY]\n"
-      "        [--groups G] [--plot] [--job-spec FILE]");
+      "        [--groups G] [--plot] [--job-spec FILE] [--print-dispatch]");
   std::exit(code);
 }
 
@@ -94,6 +120,8 @@ Args parse(int argc, char** argv) {
       a.plot = true;
     } else if (flag == "--job-spec") {
       a.job_spec = need_value(i);
+    } else if (flag == "--print-dispatch") {
+      a.print_dispatch = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else {
@@ -117,6 +145,7 @@ Args parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace vmc;
   const Args args = parse(argc, argv);
+  if (args.print_dispatch) print_dispatch_and_exit();
 
   // --job-spec: the CLI runs the exact document a served job would, so a
   // result can be reproduced outside the daemon byte-for-byte.
