@@ -152,6 +152,65 @@ void run_pool_sweeps(vmc::bench::Report& report) {
   std::printf("\n");
 }
 
+// Stream-depth rows: the same real pipelined sweep driven at S = 1, 2 and 4
+// streams per device. The checksum-relevant outcome (stages, chunk counts,
+// breaker counters) and the in-flight high water are deterministic — the
+// window bound is min(2*S, chunks per device) — so they are recorded as the
+// regression signal; wall time stays info-direction like the pool sweep's.
+void run_depth_sweeps(vmc::bench::Report& report) {
+  using namespace vmc;
+  hm::ModelOptions mo;
+  mo.fuel = hm::FuelSize::small;
+  mo.grid_scale = std::min(1.0, 0.5 * bench::scale());
+  int fuel_mat = -1;
+  const xs::Library lib = hm::build_library(mo, &fuel_mat);
+
+  const std::size_t n = bench::scaled(100000);
+  rng::Stream rs(2);
+  simd::aligned_vector<double> es(n);
+  for (auto& e : es) {
+    e = xs::kEnergyMin * std::pow(xs::kEnergyMax / xs::kEnergyMin, rs.next());
+  }
+
+  exec::OffloadRuntime runtime(
+      lib, exec::CostModel(exec::DeviceSpec::jlse_host()),
+      {exec::CostModel(exec::DeviceSpec::mic_7120a()),
+       exec::CostModel(exec::DeviceSpec::mic_se10p())});
+
+  std::printf(
+      "--- stream-depth sweep, 2 devices, %zu particles, 8 banks ---\n", n);
+  std::printf("%8s %12s %10s %12s %12s\n", "streams", "wall (ms)", "stages",
+              "in-flight", "chunks ok");
+  for (const int streams : {1, 2, 4}) {
+    runtime.set_stream_depth(streams);
+    auto run = runtime.run_pipelined(fuel_mat, es, 8);
+    for (int rep = 1; rep < 5; ++rep) {
+      const double best = run.wall_s;
+      run = runtime.run_pipelined(fuel_mat, es, 8);
+      if (best < run.wall_s) run.wall_s = best;
+    }
+    int trips = 0;
+    int chunks_ok = 0;
+    for (const auto& dr : run.devices) {
+      trips += dr.trips;
+      chunks_ok += dr.chunks_ok;
+    }
+    std::printf("%8d %12.2f %10d %12d %12d\n", streams, run.wall_s * 1e3,
+                run.n_stages, run.inflight_high_water, chunks_ok);
+    report.row({{"streams", static_cast<double>(streams)},
+                {"particles", static_cast<double>(n)},
+                {"pipeline_wall_millis", run.wall_s * 1e3},
+                {"stages", static_cast<double>(run.n_stages)},
+                {"inflight_high_water",
+                 static_cast<double>(run.inflight_high_water)},
+                {"chunks_ok", static_cast<double>(chunks_ok)},
+                {"retries", static_cast<double>(run.retries)},
+                {"degraded_stages", static_cast<double>(run.degraded_stages)},
+                {"breaker_trips", static_cast<double>(trips)}});
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main() {
@@ -170,5 +229,6 @@ int main() {
   run_case(report, "H.M. Small (34 fuel nuclides)", hm::FuelSize::small, n);
   run_case(report, "H.M. Large (320 fuel nuclides)", hm::FuelSize::large, n);
   run_pool_sweeps(report);
+  run_depth_sweeps(report);
   return 0;
 }

@@ -12,10 +12,14 @@
 // to additionally arm a small deterministic fault plan so the retry and
 // degraded-stage series are exercised. Set VMC_DEVICES=1|2|4 to size the
 // modeled device pool (default 1; the nightly chaos matrix runs all three) —
-// the manifest then carries one device_health record per device.
+// the manifest then carries one device_health record per device. Set
+// VMC_STREAMS=1|2|4 to pick the per-device stream depth S (default 2): each
+// device keeps up to 2*S chunks in flight, and the report below prints the
+// depth it ran with plus the in-flight high-water mark per device.
 //
 //   $ ./offload_pipeline [n_particles]
-//   $ VMC_OBS_DIR=/tmp/obs VMC_OBS_FAULTS=1 VMC_DEVICES=2 ./offload_pipeline 20000
+//   $ VMC_OBS_DIR=/tmp/obs VMC_DEVICES=2 VMC_STREAMS=4 ./offload_pipeline 20000
+//     (add VMC_OBS_FAULTS=1 to also arm the deterministic fault plan)
 #include <cstdio>
 #include <cstdlib>
 
@@ -69,12 +73,21 @@ int main(int argc, char** argv) {
     devices.emplace_back(d % 2 == 0 ? exec::DeviceSpec::mic_7120a()
                                     : exec::DeviceSpec::mic_se10p());
   }
-  const exec::OffloadRuntime runtime(
+  exec::OffloadRuntime runtime(
       lib, exec::CostModel(exec::DeviceSpec::jlse_host()), devices);
 
+  // VMC_STREAMS picks the per-device stream depth (default 2 so the plain
+  // run already overlaps two chunks per device).
+  const char* streams_env = std::getenv("VMC_STREAMS");
+  std::size_t n_streams =
+      streams_env != nullptr ? std::strtoull(streams_env, nullptr, 10) : 2;
+  if (n_streams < 1) n_streams = 1;
+  runtime.set_stream_depth(static_cast<int>(n_streams));
+
   std::printf("offload pipeline, %zu particles, %zu-nuclide material, "
-              "%zu modeled device(s)\n\n",
-              n, lib.material(fuel).size(), runtime.device_count());
+              "%zu modeled device(s), stream depth %d\n\n",
+              n, lib.material(fuel).size(), runtime.device_count(),
+              runtime.stream_depth());
   const auto rep = runtime.run_iteration(fuel, n, /*seed=*/1);
 
   std::printf("this host, measured:\n");
@@ -112,10 +125,14 @@ int main(int argc, char** argv) {
       // Deterministic chaos on device 0's fault domains: chunk 1's first
       // transfer attempt fails (retried to success), chunk 3's compute
       // stream fails persistently (reschedule, then the host floor).
-      // Exercises the retry, reschedule, and degraded-stage series.
+      // Exercises the retry, reschedule, and degraded-stage series. Chunk g
+      // rides device 0's stream g % S, so the lane half of the key follows
+      // the configured depth (at S=1 these are the legacy lanes 0 and 1).
       resil::FaultPlan plan;
-      plan.fail_at("offload.transfer", {0}, resil::device_key(0, 0, 1));
-      plan.always("offload.compute", resil::device_key(0, 1, 3));
+      plan.fail_at("offload.transfer", {0},
+                   resil::device_key(0, resil::transfer_lane(1 % n_streams), 1));
+      plan.always("offload.compute",
+                  resil::device_key(0, resil::compute_lane(3 % n_streams), 3));
       resil::PlanGuard guard(plan);
       pipe = runtime.run_pipelined(fuel, es, 4);
       std::printf("  real pipelined sweep      : %8.2f ms over %d stages "
@@ -128,14 +145,20 @@ int main(int argc, char** argv) {
                   "(checksum %.3e)\n",
                   pipe.wall_s * 1e3, pipe.n_stages, pipe.checksum);
     }
+    std::printf("  stream depth %d, in-flight high water %d chunk(s) "
+                "(window bound 2 x S = %d)\n",
+                pipe.stream_depth, pipe.inflight_high_water,
+                2 * pipe.stream_depth);
     for (std::size_t d = 0; d < pipe.devices.size(); ++d) {
       const auto& dr = pipe.devices[d];
       std::printf("  device %zu (%s): %s, %d ok / %d failed / %d skipped, "
-                  "%d retries, %d trips, %d steals in\n",
+                  "%d retries, %d trips, %d steals in, "
+                  "%d streams, high water %d\n",
                   d, dr.name.c_str(),
                   std::string(exec::to_string(dr.final_state)).c_str(),
                   dr.chunks_ok, dr.chunks_failed, dr.chunks_skipped,
-                  dr.retries, dr.trips, dr.steals_in);
+                  dr.retries, dr.trips, dr.steals_in, dr.streams,
+                  dr.inflight_high_water);
     }
   }
   const double terms = static_cast<double>(lib.material(fuel).size());
@@ -190,6 +213,9 @@ int main(int argc, char** argv) {
                    static_cast<double>(settings.n_particles))
         .set_extra("device", runtime.device().spec().name)
         .set_extra("n_devices", static_cast<double>(runtime.device_count()))
+        .set_extra("n_streams", static_cast<double>(runtime.stream_depth()))
+        .set_extra("inflight_high_water",
+                   static_cast<double>(pipe.inflight_high_water))
         .set_extra("grid_hash_bytes",
                    static_cast<double>(model.library.hash_bytes()))
         .set_extra("faults_injected", inject ? "yes" : "no")
@@ -206,6 +232,9 @@ int main(int argc, char** argv) {
       dh.trips = static_cast<std::uint64_t>(dr.trips);
       dh.probes = static_cast<std::uint64_t>(dr.probes);
       dh.steals_in = static_cast<std::uint64_t>(dr.steals_in);
+      dh.streams = static_cast<std::uint64_t>(dr.streams);
+      dh.inflight_high_water =
+          static_cast<std::uint64_t>(dr.inflight_high_water);
       manifest.add_device_health(dh);
     }
     manifest.write(dir + "/manifest.json");

@@ -133,7 +133,9 @@ class Comm {
   template <class T>
   static std::vector<T> unpack(const std::vector<std::byte>& raw) {
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // An empty message yields a null raw.data(); memcpy's pointer
+    // arguments are declared nonnull even for n == 0.
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 

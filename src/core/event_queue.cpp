@@ -57,6 +57,20 @@ void EventQueues::build_lookup(std::span<const particle::Particle> particles,
   }
 }
 
+std::size_t EventQueues::hand_off_runs(
+    std::size_t per,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) const {
+  if (per == 0) per = 1;
+  std::size_t n_chunks = 0;
+  for (const MaterialRun& r : runs_) {
+    for (std::size_t b = r.begin; b < r.end; b += per) {
+      fn(r.material, b, std::min(r.end, b + per));
+      ++n_chunks;
+    }
+  }
+  return n_chunks;
+}
+
 void EventQueues::begin_iteration() {
   dead_.assign(live_.size(), 0);
   collide_.clear();

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -69,6 +70,16 @@ class EventQueues {
 
   // Lookup-order views, valid after build_lookup() until the next compact().
   std::span<const MaterialRun> runs() const { return runs_; }
+
+  /// Stream the material runs to a scheduler as bounded same-material chunks
+  /// of at most `per` staging slots, in lookup order, without materializing
+  /// an intermediate chunk vector: fn(material, begin, end) with
+  /// [begin, end) indexing the staging buffers. A run never spans a chunk
+  /// boundary, so consumers bank one contiguous same-material slice per
+  /// call. Returns the number of chunks handed off.
+  std::size_t hand_off_runs(
+      std::size_t per,
+      const std::function<void(int, std::size_t, std::size_t)>& fn) const;
   std::span<const std::uint32_t> lookup() const { return lookup_; }
   std::span<const double> staged_energies() const { return e_stage_; }
   std::span<const std::int32_t> staged_materials() const { return mat_stage_; }

@@ -68,8 +68,7 @@ std::vector<std::size_t> DevicePool::assign(std::size_t n_chunks) const {
 std::vector<std::size_t> DevicePool::accepting_devices() const {
   std::vector<std::size_t> out;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    const HealthState s = devices_[d].health.state();
-    if (s == HealthState::healthy || s == HealthState::suspect) out.push_back(d);
+    if (devices_[d].health.accepting()) out.push_back(d);
   }
   return out;
 }

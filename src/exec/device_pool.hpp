@@ -34,6 +34,8 @@ struct DeviceState {
   int chunks_skipped = 0;  // chunks denied by the breaker
   int retries = 0;         // transient faults absorbed by retry_with_backoff
   int steals_in = 0;       // phase-2 chunks rescheduled TO this device
+  int streams = 1;         // stream depth S the last pipelined run used
+  int inflight_high_water = 0;  // most chunks in flight at once, last run
   double model_transfer_s = 0.0;  // accumulated cost-model projections
   double model_compute_s = 0.0;
 

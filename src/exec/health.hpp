@@ -57,6 +57,13 @@ class HealthMonitor {
   HealthState state() const { return state_; }
   const BreakerPolicy& policy() const { return policy_; }
 
+  /// Would this device accept rescheduled work right now? Pure read — unlike
+  /// admit() it never advances the cooldown — used by the scheduler's
+  /// all-dead short-circuit and DevicePool::accepting_devices.
+  bool accepting() const {
+    return state_ != HealthState::tripped && state_ != HealthState::half_open;
+  }
+
   /// May the next chunk be dispatched to this device? tripped: counts the
   /// denial and — after `cooldown_denials` of them — opens the half-open
   /// window, so the NEXT admit() lets the probe through.

@@ -1,0 +1,59 @@
+#include "exec/kernel_queue.hpp"
+
+#include <stdexcept>
+
+namespace vmc::exec {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::lookup: return "lookup";
+    case EventKind::distance: return "distance";
+    case EventKind::collision: return "collision";
+  }
+  return "?";
+}
+
+void KernelQueue::push(const KernelChunk& c) {
+  if (c.kind != kind_)
+    throw std::logic_error("KernelQueue: chunk kind does not match queue");
+  chunks_.push_back(c);
+  ++pushed_;
+  if (chunks_.size() > high_water_) high_water_ = chunks_.size();
+}
+
+KernelChunk KernelQueue::pop() {
+  if (chunks_.empty()) throw std::logic_error("KernelQueue: pop() on empty");
+  KernelChunk c = chunks_.front();
+  chunks_.pop_front();
+  ++popped_;
+  return c;
+}
+
+KernelQueueSet::KernelQueueSet()
+    : queues_{KernelQueue(EventKind::lookup), KernelQueue(EventKind::distance),
+              KernelQueue(EventKind::collision)} {}
+
+bool KernelQueueSet::empty() const {
+  for (const auto& q : queues_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+std::size_t KernelQueueSet::size() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::optional<KernelChunk> KernelQueueSet::pop_fair() {
+  for (int step = 0; step < kEventKinds; ++step) {
+    int k = (cursor_ + step) % kEventKinds;
+    if (!queues_[static_cast<std::size_t>(k)].empty()) {
+      cursor_ = (k + 1) % kEventKinds;
+      return queues_[static_cast<std::size_t>(k)].pop();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vmc::exec

@@ -1,0 +1,93 @@
+// Per-event-type kernel queues for the persistent offload scheduler.
+//
+// The compacting core::EventQueues sorts live particles into same-material
+// runs; the scheduler slices those runs into bounded chunks and files each
+// chunk under the kernel that will consume it (macroscopic lookup, distance
+// to collision, collision processing). Devices then pull work with
+// pop_fair(), a rotating cursor over the non-empty queues, so a burst of
+// one event type can never starve the others — the fairness property the
+// unit tests pin down.
+//
+// Single-threaded by design: the dispatch loop that feeds devices owns the
+// queue set, exactly like exec::HealthMonitor is owned by its driver. The
+// determinism contract of the offload path (checksums reduced in global
+// chunk order) is unaffected by queue rotation because every popped chunk
+// keeps its global ordinal.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace vmc::exec {
+
+/// Which device kernel a queued chunk feeds.
+enum class EventKind : int { lookup = 0, distance = 1, collision = 2 };
+
+inline constexpr int kEventKinds = 3;
+
+const char* to_string(EventKind k);
+
+/// One chunk of bank positions destined for a single kernel.
+struct KernelChunk {
+  EventKind kind = EventKind::lookup;
+  int material = 0;
+  std::size_t begin = 0;  // bank slice [begin, end)
+  std::size_t end = 0;
+  std::size_t ordinal = 0;  // global chunk index — fault keys + reduction order
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Bounded-history FIFO for one event kind with occupancy tracking.
+class KernelQueue {
+ public:
+  explicit KernelQueue(EventKind kind) : kind_(kind) {}
+
+  EventKind kind() const { return kind_; }
+  bool empty() const { return chunks_.empty(); }
+  std::size_t size() const { return chunks_.size(); }
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t popped() const { return popped_; }
+
+  void push(const KernelChunk& c);
+  /// FIFO pop; throws std::logic_error when empty.
+  KernelChunk pop();
+
+ private:
+  EventKind kind_;
+  std::deque<KernelChunk> chunks_;
+  std::size_t high_water_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+/// The three per-event-type queues plus the fair dispatch cursor.
+class KernelQueueSet {
+ public:
+  KernelQueueSet();
+
+  KernelQueue& queue(EventKind k) { return queues_[static_cast<int>(k)]; }
+  const KernelQueue& queue(EventKind k) const {
+    return queues_[static_cast<int>(k)];
+  }
+
+  bool empty() const;
+  std::size_t size() const;
+
+  void push(const KernelChunk& c) { queue(c.kind).push(c); }
+
+  /// Round-robin over the non-empty queues: resumes scanning one past the
+  /// kind served last, so no kind is starved while any other holds work.
+  /// Returns nullopt when all queues are empty.
+  std::optional<KernelChunk> pop_fair();
+
+ private:
+  std::array<KernelQueue, kEventKinds> queues_;
+  int cursor_ = 0;  // next kind to consider
+};
+
+}  // namespace vmc::exec

@@ -1,9 +1,12 @@
 #include "exec/offload.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <future>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/tally.hpp"
@@ -14,6 +17,7 @@
 #include "prof/profiler.hpp"
 #include "resil/fault.hpp"
 #include "rng/stream.hpp"
+#include "exec/stream.hpp"
 #include "exec/thread_pool.hpp"
 #include "xsdata/lookup.hpp"
 
@@ -54,6 +58,16 @@ const obs::Counter& offload_bytes_counter() {
 
 obs::Labels device_label(std::size_t d) {
   return {{"device", std::to_string(d)}};
+}
+
+// Has every breaker in the pool landed in `tripped`? (half_open does NOT
+// count: a half-open breaker is owed its probe chunk, so the normal pipeline
+// must run.) Used by the all-dead short-circuit.
+bool all_tripped(const DevicePool& pool) {
+  for (std::size_t d = 0; d < pool.size(); ++d) {
+    if (pool.at(d).health.state() != HealthState::tripped) return false;
+  }
+  return pool.size() > 0;
 }
 
 }  // namespace
@@ -264,11 +278,13 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined(
   const std::size_t per =
       (n + static_cast<std::size_t>(n_banks) - 1) /
       static_cast<std::size_t>(n_banks);
-  std::vector<Chunk> chunks;
+  KernelQueueSet queues;
+  std::size_t ordinal = 0;
   for (std::size_t b = 0; b < n; b += per) {
-    chunks.push_back(Chunk{material, b, std::min(n, b + per)});
+    queues.push(KernelChunk{EventKind::lookup, material, b, std::min(n, b + per),
+                            ordinal++});
   }
-  return pipeline_chunks(energies, chunks);
+  return pipeline_queue_set(energies, queues);
 }
 
 OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined_queues(
@@ -282,22 +298,115 @@ OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined_queues(
   const std::size_t per = std::max<std::size_t>(
       1, (n + static_cast<std::size_t>(n_banks) - 1) /
              static_cast<std::size_t>(n_banks));
-  std::vector<Chunk> chunks;
+  KernelQueueSet queues;
+  std::size_t ordinal = 0;
   for (const core::MaterialRun& r : runs) {
     for (std::size_t b = r.begin; b < r.end; b += per) {
-      chunks.push_back(Chunk{r.material, b, std::min(r.end, b + per)});
+      queues.push(KernelChunk{EventKind::lookup, r.material, b,
+                              std::min(r.end, b + per), ordinal++});
     }
   }
-  if (chunks.empty()) return {};
-  return pipeline_chunks(std::span<const double>(bank.energy), chunks);
+  if (queues.empty()) return {};
+  return pipeline_queue_set(std::span<const double>(bank.energy), queues);
+}
+
+OffloadRuntime::PipelineRun OffloadRuntime::run_pipelined_queues(
+    const particle::SoABank& bank, const core::EventQueues& eq,
+    int n_banks) const {
+  if (n_banks <= 0 || bank.empty()) return {};
+  const std::size_t n = bank.size();
+  const std::size_t per = std::max<std::size_t>(
+      1, (n + static_cast<std::size_t>(n_banks) - 1) /
+             static_cast<std::size_t>(n_banks));
+
+  // The all-dead short-circuit (persistent scheduler only — fresh per-run
+  // pools always start healthy): when every breaker is tripped at entry,
+  // skip the kernel-queue feed and the per-chunk device staging entirely and
+  // sweep the same chunk split on the host floor. Each short-circuited run
+  // still charges one denial per device so the tripped -> half_open cooldown
+  // keeps advancing and a later run dispatches the recovery probe.
+  if (persistent_ && persistent_pool_ && all_tripped(*persistent_pool_)) {
+    std::vector<Chunk> chunks;
+    eq.hand_off_runs(per, [&](int m, std::size_t b, std::size_t e) {
+      chunks.push_back(Chunk{m, b, e});
+    });
+    if (chunks.empty()) return {};
+    for (std::size_t d = 0; d < persistent_pool_->size(); ++d) {
+      persistent_pool_->at(d).health.admit();
+    }
+    return host_floor_all(std::span<const double>(bank.energy), chunks,
+                          *persistent_pool_);
+  }
+
+  KernelQueueSet queues;
+  std::size_t ordinal = 0;
+  eq.hand_off_runs(per, [&](int m, std::size_t b, std::size_t e) {
+    queues.push(KernelChunk{EventKind::lookup, m, b, e, ordinal++});
+  });
+  if (queues.empty()) return {};
+  return pipeline_queue_set(std::span<const double>(bank.energy), queues);
+}
+
+OffloadRuntime::PipelineRun OffloadRuntime::pipeline_queue_set(
+    std::span<const double> energies, KernelQueueSet& queues) const {
+  static const obs::Histogram h_occ = obs::metrics().histogram(
+      "vmc_offload_kernel_queue_occupancy",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}, {},
+      "Kernel-queue depth high-water per event kind at dispatch");
+  const std::size_t n_chunks = queues.size();
+  std::vector<Chunk> chunks(n_chunks);
+  // Fair drain across the event kinds; the ordinal assigned at push time
+  // pins each chunk's global reduction slot, so the rotation can never
+  // perturb the checksum order.
+  while (auto c = queues.pop_fair()) {
+    if (c->ordinal >= n_chunks) {
+      throw std::logic_error("pipeline_queue_set: ordinal out of range");
+    }
+    chunks[c->ordinal] = Chunk{c->material, c->begin, c->end};
+  }
+  for (int k = 0; k < kEventKinds; ++k) {
+    const KernelQueue& q = queues.queue(static_cast<EventKind>(k));
+    if (q.pushed() > 0) h_occ.observe(static_cast<double>(q.high_water()));
+  }
+  return pipeline_chunks(energies, chunks);
 }
 
 OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
     std::span<const double> energies, std::span<const Chunk> chunks) const {
   PipelineRun run;
   const std::size_t n_chunks = chunks.size();
-  DevicePool pool(devices_, breaker_);
+  std::unique_ptr<DevicePool> fresh;
+  DevicePool& pool = acquire_pool(fresh);
   const std::size_t k = pool.size();
+  const int S = stream_depth_;
+  run.stream_depth = S;
+
+  // Persistent pools carry their counters across runs; every report and
+  // metric below must cover THIS run alone, so snapshot the lifetime
+  // counters at entry and publish deltas.
+  struct Snap {
+    int ok = 0, failed = 0, skipped = 0, retries = 0, steals = 0;
+    int trips = 0, probes = 0;
+    double xfer_s = 0.0, comp_s = 0.0;
+  };
+  std::vector<Snap> snap(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    const DeviceState& dev = pool.at(d);
+    snap[d] = Snap{dev.chunks_ok,       dev.chunks_failed,
+                   dev.chunks_skipped,  dev.retries,
+                   dev.steals_in,       dev.health.trips(),
+                   dev.health.probes(), dev.model_transfer_s,
+                   dev.model_compute_s};
+  }
+
+  // A persistent pool can enter with every breaker open (a fresh pool never
+  // does). Short-circuit to the host floor before building streams or
+  // staging anything, charging one denial per device so the cooldown toward
+  // the half-open probe still advances.
+  if (all_tripped(pool)) {
+    for (std::size_t d = 0; d < k; ++d) pool.at(d).health.admit();
+    return host_floor_all(energies, chunks, pool);
+  }
 
   // Global per-chunk result slots. Each chunk is written by exactly one
   // executor (its phase-1 owner, a phase-2 peer, or the phase-3 host floor);
@@ -344,13 +453,25 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
     return out;
   };
 
-  // One device's serial chunk driver. `list` = global chunk indices in
-  // ascending order. A private DMA lane prefetches chunk i+1's transfer
-  // while the driver sweeps chunk i (the per-device double buffer).
-  // Determinism: prefetches are issued unconditionally — before the breaker
-  // rules on their chunk — so fault-point hit counts are a pure function of
-  // the chunk list; and the breaker is read/advanced only on this driver, at
-  // chunk granularity, in list order.
+  // Per-run, per-device bookkeeping the driver below fills in: modeled
+  // seconds attributed to each stream lane (for the per-stream tracer
+  // tracks) and the in-flight high-water mark.
+  std::vector<std::vector<double>> stream_xfer_s(
+      k, std::vector<double>(static_cast<std::size_t>(S), 0.0));
+  std::vector<std::vector<double>> stream_comp_s(
+      k, std::vector<double>(static_cast<std::size_t>(S), 0.0));
+  std::vector<int> high_water(k, 0);
+
+  // One device's chunk driver, generalized from the old double buffer to S
+  // streams x a ring of Stream::kRingDepth slots each: up to 2*S chunks in
+  // flight, chunk at list position p on stream p % S. The advance loop is
+  // non-blocking — it polls the oldest slot's atomic phase and yields, never
+  // sleeps or waits on a future (vmc_lint: lockstep-wait-in-stream).
+  // Determinism: transfers are staged eagerly and UNCONDITIONALLY in list
+  // order onto one DMA lane — before the breaker rules on their chunk — so
+  // fault-point hit counts are a pure function of the chunk list; computes
+  // retire strictly in list order on this driver, so the breaker (single
+  // writer) sees the same outcome sequence at every depth S.
   const auto drive_device = [&](std::size_t d,
                                 const std::vector<std::size_t>& list,
                                 bool stealing) {
@@ -358,51 +479,101 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
     if (list.empty()) return;
     if (stealing) dev.steals_in += static_cast<int>(list.size());
 
+    // Ring storage first, DMA pool last: ~ThreadPool joins the lane before
+    // the buffers it writes go away.
+    std::vector<Stream> streams;
+    streams.reserve(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s) streams.emplace_back(s);
+    std::vector<std::array<simd::aligned_vector<double>, Stream::kRingDepth>>
+        staging(static_cast<std::size_t>(S));
+    std::vector<std::array<StageOutcome, Stream::kRingDepth>> xfer(
+        static_cast<std::size_t>(S));
     ThreadPool dma(1);
-    simd::aligned_vector<double> staging[2];
-    StageOutcome xfer[2];
-    const auto transfer = [&](std::size_t pos, int buf) {
-      // Runs on the DMA lane: the span lands on that lane's own track, so
-      // the exported trace shows transfer(i+1) overlapping compute(i).
-      obs::Tracer::Scope span(obs::tracer(), "pcie_transfer", "offload");
-      const Chunk& c = chunks[list[pos]];
-      xfer[buf] =
-          run_stage("offload.transfer", resil::device_key(d, 0, list[pos]),
-                    [&] {
-                      staging[buf].assign(
-                          energies.begin() + static_cast<std::ptrdiff_t>(c.begin),
-                          energies.begin() + static_cast<std::ptrdiff_t>(c.end));
-                    });
-    };
 
-    int cur = 0;
-    transfer(0, cur);  // prime the first transfer (cannot be hidden)
-    for (std::size_t pos = 0; pos < list.size(); ++pos) {
-      const std::size_t gi = list[pos];
-      const Chunk& c = chunks[gi];
-      const int nxt = 1 - cur;
-      std::future<void> prefetch;
-      if (pos + 1 < list.size()) {
-        prefetch = dma.submit([&transfer, pos, nxt] { transfer(pos + 1, nxt); });
+    std::size_t next_stage = 0;    // next list position to put in flight
+    std::size_t next_compute = 0;  // next list position to sweep + retire
+    while (next_compute < list.size()) {
+      // Fill: stage transfers in list order until every target ring is full
+      // (the in-flight window is the 2*S positions [next_compute,
+      // next_stage)). Futures are discarded — completion is signalled by
+      // the slot phase, not by blocking on the pool.
+      while (next_stage < list.size()) {
+        const int s = static_cast<int>(next_stage % static_cast<std::size_t>(S));
+        Stream& st = streams[static_cast<std::size_t>(s)];
+        if (!st.can_stage()) break;
+        const int slot = st.stage(next_stage);
+        const std::size_t gi = list[next_stage];
+        dma.submit([&, d, s, slot, gi] {
+          // DMA lane: ship the chunk into its ring slot. The span lands on
+          // the lane's own track, so the exported trace shows transfer(k+1)
+          // overlapping compute(k).
+          Stream& lane = streams[static_cast<std::size_t>(s)];
+          lane.begin_transfer(slot);
+          obs::Tracer::Scope span(obs::tracer(), "pcie_transfer", "offload");
+          const Chunk& c = chunks[gi];
+          xfer[static_cast<std::size_t>(s)][static_cast<std::size_t>(slot)] =
+              run_stage(
+                  "offload.transfer",
+                  resil::device_key(d, resil::transfer_lane(
+                                           static_cast<std::uint64_t>(s)),
+                                    gi),
+                  [&] {
+                    staging[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(slot)]
+                               .assign(energies.begin() +
+                                           static_cast<std::ptrdiff_t>(c.begin),
+                                       energies.begin() +
+                                           static_cast<std::ptrdiff_t>(c.end));
+                  });
+          lane.mark_transferred(slot);
+        });
+        ++next_stage;
       }
+      high_water[d] = std::max(high_water[d],
+                               static_cast<int>(next_stage - next_compute));
+
+      const int s =
+          static_cast<int>(next_compute % static_cast<std::size_t>(S));
+      Stream& st = streams[static_cast<std::size_t>(s)];
+      if (!st.front_transferred(next_compute)) {
+        // Non-blocking advance: the oldest chunk's bank is still on the
+        // link. Yield and re-poll (the terminal drain included).
+        std::this_thread::yield();
+        continue;
+      }
+      const int slot = st.front_slot();
+      const std::size_t gi = list[next_compute];
+      const Chunk& c = chunks[gi];
+      const StageOutcome& tx =
+          xfer[static_cast<std::size_t>(s)][static_cast<std::size_t>(slot)];
 
       if (dev.health.admit()) {
         StageOutcome comp;
-        if (xfer[cur].ok) {
-          obs::Tracer::Scope span(obs::tracer(), "banked_sweep", "offload");
-          comp = run_stage("offload.compute", resil::device_key(d, 1, gi),
-                           [&] {
-                             totals[gi].resize(staging[cur].size());
-                             xs::macro_total_banked(lib_, c.material,
-                                                    staging[cur], totals[gi],
-                                                    lookup_);
-                           });
+        if (tx.ok) {
+          st.begin_compute(slot);
+          {
+            obs::Tracer::Scope span(obs::tracer(), "banked_sweep", "offload");
+            comp = run_stage(
+                "offload.compute",
+                resil::device_key(
+                    d, resil::compute_lane(static_cast<std::uint64_t>(s)), gi),
+                [&] {
+                  const auto& bank = staging[static_cast<std::size_t>(s)]
+                                            [static_cast<std::size_t>(slot)];
+                  totals[gi].resize(bank.size());
+                  xs::macro_total_banked(lib_, c.material, bank, totals[gi],
+                                         lookup_);
+                });
+          }
+          st.finish_compute(slot);
         } else {
-          // The bank never crossed the link; there is nothing to sweep.
+          // The bank never crossed the link; there is nothing to sweep, but
+          // the slot still drains through the ring in order.
           comp.ok = false;
+          st.skip_compute(slot);
         }
-        const bool ok = xfer[cur].ok && comp.ok;
-        const int faults = xfer[cur].faulted + comp.faulted;
+        const bool ok = tx.ok && comp.ok;
+        const int faults = tx.faulted + comp.faulted;
         if (ok) {
           done[gi] = 1;
           ++dev.chunks_ok;
@@ -410,20 +581,27 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
           const std::size_t len = c.end - c.begin;
           const double terms =
               static_cast<double>(lib_.material(c.material).size());
-          dev.model_transfer_s +=
+          const double mx =
               dev.model.transfer_seconds(len * sizeof(double), false);
-          dev.model_compute_s += dev.model.banked_lookup_seconds(len, terms);
+          const double mc = dev.model.banked_lookup_seconds(len, terms);
+          dev.model_transfer_s += mx;
+          dev.model_compute_s += mc;
+          stream_xfer_s[d][static_cast<std::size_t>(s)] += mx;
+          stream_comp_s[d][static_cast<std::size_t>(s)] += mc;
         } else {
           ++dev.chunks_failed;
         }
         dev.health.record_chunk(faults, ok);
       } else {
         ++dev.chunks_skipped;
+        st.skip_compute(slot);
       }
 
-      if (prefetch.valid()) prefetch.get();
-      cur = nxt;
+      st.retire();
+      ++next_compute;
     }
+    // Every staged transfer was consumed above, so the DMA lane is idle;
+    // ~ThreadPool joins it.
   };
 
   const double t0 = prof::now_seconds();
@@ -509,53 +687,84 @@ OffloadRuntime::PipelineRun OffloadRuntime::pipeline_chunks(
   run.n_stages = static_cast<int>(n_chunks);
 
   // --- reports, metrics, device tracks --------------------------------------
+  // Everything below is a PER-RUN delta against the entry snapshot, so a
+  // persistent pool (lifetime counters spanning runs) reports each run the
+  // same way a fresh pool does.
   for (std::size_t d = 0; d < k; ++d) {
-    const DeviceState& dev = pool.at(d);
+    DeviceState& dev = pool.at(d);
+    dev.streams = S;
+    dev.inflight_high_water = high_water[d];
     DeviceReport r;
     r.name = dev.model.spec().name;
     r.final_state = dev.health.state();
-    r.chunks_ok = dev.chunks_ok;
-    r.chunks_failed = dev.chunks_failed;
-    r.chunks_skipped = dev.chunks_skipped;
-    r.retries = dev.retries;
-    r.trips = dev.health.trips();
-    r.probes = dev.health.probes();
-    r.steals_in = dev.steals_in;
+    r.chunks_ok = dev.chunks_ok - snap[d].ok;
+    r.chunks_failed = dev.chunks_failed - snap[d].failed;
+    r.chunks_skipped = dev.chunks_skipped - snap[d].skipped;
+    r.retries = dev.retries - snap[d].retries;
+    r.trips = dev.health.trips() - snap[d].trips;
+    r.probes = dev.health.probes() - snap[d].probes;
+    r.steals_in = dev.steals_in - snap[d].steals;
+    r.streams = S;
+    r.inflight_high_water = high_water[d];
     run.devices.push_back(r);
-    run.retries += dev.retries;
+    run.retries += r.retries;
+    run.inflight_high_water = std::max(run.inflight_high_water, high_water[d]);
 
     obs::metrics()
         .counter("vmc_offload_device_retries_total", device_label(d),
                  "Per-device offload faults absorbed by retries")
-        .inc(static_cast<std::uint64_t>(dev.retries));
+        .inc(static_cast<std::uint64_t>(r.retries));
     obs::metrics()
         .counter("vmc_offload_device_trips_total", device_label(d),
                  "Per-device circuit-breaker trips")
-        .inc(static_cast<std::uint64_t>(dev.health.trips()));
+        .inc(static_cast<std::uint64_t>(r.trips));
     obs::metrics()
         .counter("vmc_offload_device_steals_total", device_label(d),
                  "Chunks rescheduled onto this device from a faulted peer")
-        .inc(static_cast<std::uint64_t>(dev.steals_in));
+        .inc(static_cast<std::uint64_t>(r.steals_in));
     obs::metrics()
         .gauge("vmc_offload_device_health_state", device_label(d),
                "Breaker state after the last pipelined run "
                "(0 healthy, 1 suspect, 2 tripped, 3 half_open)")
         .set(static_cast<double>(static_cast<int>(dev.health.state())));
+    obs::metrics()
+        .gauge("vmc_offload_inflight_chunks", device_label(d),
+               "Most chunks in flight at once on this device during the last "
+               "pipelined run (window bound: 2 x stream depth)")
+        .set(static_cast<double>(high_water[d]));
 
-    if (tracing && dev.chunks_ok > 0) {
+    const double run_xfer_s = dev.model_transfer_s - snap[d].xfer_s;
+    const double run_comp_s = dev.model_compute_s - snap[d].comp_s;
+    if (tracing && r.chunks_ok > 0) {
       const int pid = obs::Tracer::kDevicePid + static_cast<int>(d);
       obs::JsonWriter args;
       args.begin_object()
           .member("device", dev.model.spec().name)
           .member("chunks", static_cast<std::uint64_t>(
-                                static_cast<unsigned>(dev.chunks_ok)))
+                                static_cast<unsigned>(r.chunks_ok)))
+          .member("streams", static_cast<std::uint64_t>(
+                                 static_cast<unsigned>(S)))
           .end_object();
       tr.inject_span(pid, 1, "model:pcie_transfer", "offload-model", trace_t0,
-                     dev.model_transfer_s, args.str());
+                     run_xfer_s, args.str());
       tr.inject_span(pid, 2, "model:banked_sweep", "offload-model",
-                     trace_t0 + dev.model_transfer_s, dev.model_compute_s);
+                     trace_t0 + run_xfer_s, run_comp_s);
       tr.set_thread_name(pid, 1, "pcie (modeled)");
       tr.set_thread_name(pid, 2, "device sweep (modeled)");
+      // Per-stream tracks (tid 10+s): each stream's modeled transfer leg
+      // followed by its modeled sweep leg, so Perfetto shows how the device
+      // aggregate divides across the S streams.
+      for (int s = 0; s < S; ++s) {
+        const int tid = 10 + s;
+        const double sx = stream_xfer_s[d][static_cast<std::size_t>(s)];
+        const double sc = stream_comp_s[d][static_cast<std::size_t>(s)];
+        tr.inject_span(pid, tid, "model:stream_transfer", "offload-model",
+                       trace_t0, sx);
+        tr.inject_span(pid, tid, "model:stream_sweep", "offload-model",
+                       trace_t0 + sx, sc);
+        tr.set_thread_name(pid, tid,
+                           "stream " + std::to_string(s) + " (modeled)");
+      }
     }
   }
 
@@ -585,6 +794,107 @@ double OffloadRuntime::pipelined_seconds(std::size_t n_particles, double terms,
   // first transfer and the last compute cannot be hidden:
   //   T = t_1 + sum_{i=2..n} max(t_i, c_{i-1}) + c_n.
   return transfer + (n_banks - 1) * std::max(transfer, compute) + compute;
+}
+
+double OffloadRuntime::pipelined_depth_seconds(
+    std::span<const std::size_t> chunk_particles, double terms,
+    int streams) const {
+  if (streams < 1) {
+    throw std::invalid_argument("pipelined_depth_seconds: streams must be >= 1");
+  }
+  if (chunk_particles.empty()) return 0.0;
+  const CostModel& device = devices_.front();
+  const std::size_t n = chunk_particles.size();
+  const std::size_t window = 2 * static_cast<std::size_t>(streams);
+  // Two-lane pipeline with a bounded in-flight window: transfer i may not
+  // start until chunk i - 2S has retired (its ring slot frees), and computes
+  // run in order. ft/fc are the lanes' finish times.
+  std::vector<double> ft(n), fc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = device.transfer_seconds(
+        chunk_particles[i] * offload_record_bytes(), false);
+    const double c = device.banked_lookup_seconds(chunk_particles[i], terms);
+    double start_t = i > 0 ? ft[i - 1] : 0.0;
+    if (i >= window) start_t = std::max(start_t, fc[i - window]);
+    ft[i] = start_t + t;
+    fc[i] = std::max(i > 0 ? fc[i - 1] : 0.0, ft[i]) + c;
+  }
+  return fc[n - 1];
+}
+
+void OffloadRuntime::set_stream_depth(int streams) {
+  if (streams < 1) {
+    throw std::invalid_argument("OffloadRuntime: stream depth must be >= 1");
+  }
+  stream_depth_ = streams;
+}
+
+DevicePool& OffloadRuntime::acquire_pool(
+    std::unique_ptr<DevicePool>& fresh) const {
+  if (persistent_) {
+    if (!persistent_pool_) {
+      persistent_pool_ = std::make_unique<DevicePool>(devices_, breaker_);
+    }
+    return *persistent_pool_;
+  }
+  fresh = std::make_unique<DevicePool>(devices_, breaker_);
+  return *fresh;
+}
+
+OffloadRuntime::PipelineRun OffloadRuntime::host_floor_all(
+    std::span<const double> energies, std::span<const Chunk> chunks,
+    DevicePool& pool) const {
+  PipelineRun run;
+  const std::size_t n_chunks = chunks.size();
+  run.stream_depth = stream_depth_;
+  run.n_stages = static_cast<int>(n_chunks);
+  run.degraded_stages = static_cast<int>(n_chunks);
+
+  // Same chunk split, same kernel, same += order as pipeline_chunks' final
+  // reduction — the checksum is bit-identical to any device-path run over
+  // these chunks. One reused staging buffer; no transfers, no fault points.
+  const double t0 = prof::now_seconds();
+  simd::aligned_vector<double> host_staging;
+  simd::aligned_vector<double> totals;
+  double checksum = 0.0;
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    const Chunk& c = chunks[i];
+    obs::Tracer::Scope span(obs::tracer(), "host_floor_sweep", "offload");
+    host_staging.assign(energies.begin() + static_cast<std::ptrdiff_t>(c.begin),
+                        energies.begin() + static_cast<std::ptrdiff_t>(c.end));
+    totals.resize(host_staging.size());
+    xs::macro_total_banked(lib_, c.material, host_staging, totals, lookup_);
+    checksum += core::ordered_sum(totals);
+    bytes += (c.end - c.begin) * sizeof(double);
+  }
+  run.wall_s = prof::now_seconds() - t0;
+  run.checksum = checksum;
+
+  for (std::size_t d = 0; d < pool.size(); ++d) {
+    DeviceState& dev = pool.at(d);
+    dev.streams = stream_depth_;
+    dev.inflight_high_water = 0;
+    DeviceReport r;
+    r.name = dev.model.spec().name;
+    r.final_state = dev.health.state();
+    r.streams = stream_depth_;
+    run.devices.push_back(r);
+    obs::metrics()
+        .gauge("vmc_offload_device_health_state", device_label(d),
+               "Breaker state after the last pipelined run "
+               "(0 healthy, 1 suspect, 2 tripped, 3 half_open)")
+        .set(static_cast<double>(static_cast<int>(dev.health.state())));
+    obs::metrics()
+        .gauge("vmc_offload_inflight_chunks", device_label(d),
+               "Most chunks in flight at once on this device during the last "
+               "pipelined run (window bound: 2 x stream depth)")
+        .set(0.0);
+  }
+
+  offload_degraded_counter().inc(static_cast<std::uint64_t>(n_chunks));
+  offload_bytes_counter().inc(bytes);
+  return run;
 }
 
 }  // namespace vmc::exec

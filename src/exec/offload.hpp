@@ -10,8 +10,10 @@
 //      DeviceSpec),
 //   3. the banked cross-section sweep runs — really, on this host's vector
 //      units — and is *also* projected onto the MIC cost model,
-//   4. double-buffering overlaps the next bank's transfer with the current
-//      bank's compute, as the paper prescribes.
+//   4. each device runs S streams (exec/stream.hpp), each a bounded ring of
+//      in-flight chunks, so up to 2*S transfers overlap compute — the
+//      paper's double buffer is the S = 1 configuration, deeper S absorbs
+//      uneven chunk sizes.
 // The one-time energy-grid staging cost (Table II's largest row) is
 // accounted separately, amortized over batches exactly as the paper argues.
 //
@@ -35,12 +37,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/event_queue.hpp"
 #include "exec/device_pool.hpp"
+#include "exec/kernel_queue.hpp"
 #include "exec/machine.hpp"
 #include "particle/bank.hpp"
 #include "resil/retry.hpp"
@@ -121,6 +125,18 @@ class OffloadRuntime {
   double pipelined_seconds(std::size_t n_particles, double terms,
                            int n_banks) const;
 
+  /// Depth-S generalization of pipelined_seconds over possibly UNEVEN chunk
+  /// sizes (particles per chunk). Models one transfer lane + one compute
+  /// lane with a bounded in-flight window of 2*S chunks:
+  ///   ft[i] = max(ft[i-1], fc[i-2S]) + t_i   (transfer i waits for a slot)
+  ///   fc[i] = max(fc[i-1], ft[i])    + c_i   (compute in order)
+  /// For S = 1 and uniform chunks this reduces exactly to
+  /// pipelined_seconds; deeper S only helps when chunk sizes are uneven —
+  /// the window keeps the compute lane fed across a run of short transfers.
+  /// Single device (devices()[0]).
+  double pipelined_depth_seconds(std::span<const std::size_t> chunk_particles,
+                                 double terms, int streams) const;
+
   /// Final health + accounting for one modeled device after a pipelined run.
   struct DeviceReport {
     std::string name;            // DeviceSpec name
@@ -132,6 +148,8 @@ class OffloadRuntime {
     int trips = 0;               // breaker open events
     int probes = 0;              // half-open probes dispatched
     int steals_in = 0;           // chunks rescheduled TO this device
+    int streams = 1;             // stream depth S this run drove the device at
+    int inflight_high_water = 0; // most chunks in flight at once on it
   };
 
   /// REAL double-buffered execution across the device pool. Returns the
@@ -149,6 +167,8 @@ class OffloadRuntime {
     int retries = 0;
     int rescheduled_stages = 0;
     int degraded_stages = 0;
+    int stream_depth = 1;         // S the run executed with
+    int inflight_high_water = 0;  // max over devices
     std::vector<DeviceReport> devices;
     bool degraded() const { return degraded_stages > 0; }
   };
@@ -166,19 +186,50 @@ class OffloadRuntime {
                                    std::span<const core::MaterialRun> runs,
                                    int n_banks) const;
 
+  /// Incremental form: the event scheduler hands its material runs straight
+  /// to the per-event-type kernel queues (EventQueues::hand_off_runs), so no
+  /// intermediate chunk vector is materialized. With the persistent
+  /// scheduler enabled and EVERY device breaker tripped at entry, this
+  /// short-circuits to the host floor before any device staging happens —
+  /// the all-dead path skips the wasted transfers entirely (checksum still
+  /// bit-identical: same chunk split, same kernel, same ordered reduction).
+  PipelineRun run_pipelined_queues(const particle::SoABank& bank,
+                                   const core::EventQueues& queues,
+                                   int n_banks) const;
+
   const CostModel& host() const { return host_; }
   /// First (or only) device — the legacy single-device accessor.
   const CostModel& device() const { return devices_.front(); }
   const std::vector<CostModel>& devices() const { return devices_; }
   std::size_t device_count() const { return devices_.size(); }
 
+  /// Streams per modeled device (depth S >= 1, default 1). Each stream holds
+  /// a ring of Stream::kRingDepth in-flight chunks, so a device keeps up to
+  /// 2*S chunks outstanding. Checksums are bit-identical across depths: the
+  /// chunk split and the ordered reduction never depend on S.
+  int stream_depth() const { return stream_depth_; }
+  void set_stream_depth(int streams);
+
+  /// Persistent scheduler: keep one DevicePool — breaker states, lifetime
+  /// counters — alive across pipelined runs instead of building a fresh pool
+  /// per run. Off by default so independent runs stay independent (the chaos
+  /// suite's contract); turn it on to model a long-lived service where a
+  /// device tripped in run i is still tripped entering run i+1. Per-run
+  /// reports and metrics always cover the run alone (deltas), either way.
+  bool persistent_scheduler() const { return persistent_; }
+  void set_persistent_scheduler(bool on) {
+    persistent_ = on;
+    if (!on) persistent_pool_.reset();
+  }
+
   /// Retry schedule for injected/transient offload faults. Default: 3
   /// retries starting at 1 µs backoff, doubling.
   const resil::RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(const resil::RetryPolicy& p) { retry_ = p; }
 
-  /// Circuit-breaker thresholds shared by every device's HealthMonitor
-  /// (fresh monitors are built per pipelined run, so runs are independent).
+  /// Circuit-breaker thresholds shared by every device's HealthMonitor.
+  /// Fresh monitors are built per pipelined run — runs are independent —
+  /// unless set_persistent_scheduler(true) carries them across runs.
   const BreakerPolicy& breaker_policy() const { return breaker_; }
   void set_breaker_policy(const BreakerPolicy& p) {
     p.validate();
@@ -202,6 +253,19 @@ class OffloadRuntime {
   };
   PipelineRun pipeline_chunks(std::span<const double> energies,
                               std::span<const Chunk> chunks) const;
+  /// Drain a fed KernelQueueSet with pop_fair into the global chunk order
+  /// (ordinals assigned at push time keep the reduction order), record the
+  /// queue-occupancy histogram, then run pipeline_chunks.
+  PipelineRun pipeline_queue_set(std::span<const double> energies,
+                                 KernelQueueSet& queues) const;
+  /// The all-dead short-circuit: sweep every chunk on the host floor without
+  /// touching devices, streams, or fault points.
+  PipelineRun host_floor_all(std::span<const double> energies,
+                             std::span<const Chunk> chunks,
+                             DevicePool& pool) const;
+  /// The run's pool: the persistent one (created on first use) or a fresh
+  /// per-run pool owned by `fresh`.
+  DevicePool& acquire_pool(std::unique_ptr<DevicePool>& fresh) const;
 
   const xs::Library& lib_;
   CostModel host_;
@@ -209,6 +273,9 @@ class OffloadRuntime {
   BreakerPolicy breaker_;
   resil::RetryPolicy retry_;
   xs::XsLookupOptions lookup_;
+  int stream_depth_ = 1;
+  bool persistent_ = false;
+  mutable std::unique_ptr<DevicePool> persistent_pool_;
 };
 
 }  // namespace vmc::exec

@@ -1,0 +1,119 @@
+#include "exec/stream.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vmc::exec {
+
+const char* to_string(ChunkPhase p) {
+  switch (p) {
+    case ChunkPhase::empty: return "empty";
+    case ChunkPhase::staged: return "staged";
+    case ChunkPhase::transferring: return "transferring";
+    case ChunkPhase::transferred: return "transferred";
+    case ChunkPhase::computing: return "computing";
+    case ChunkPhase::readback: return "readback";
+  }
+  return "?";
+}
+
+Stream::Stream(int index, int ring_depth) : index_(index) {
+  if (ring_depth < 1) throw std::invalid_argument("Stream: ring_depth < 1");
+  ring_ = std::vector<Slot>(static_cast<std::size_t>(ring_depth));
+}
+
+Stream::Stream(Stream&& other) noexcept
+    : index_(other.index_),
+      ring_(other.ring_.size()),
+      head_(other.head_),
+      count_(other.count_),
+      high_water_(other.high_water_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ring_[i].phase.store(other.ring_[i].phase.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    ring_[i].position = other.ring_[i].position;
+  }
+}
+
+void Stream::expect(int slot, ChunkPhase from, ChunkPhase to) {
+  if (slot < 0 || slot >= capacity())
+    throw std::logic_error("Stream: slot id out of range");
+  ChunkPhase cur = ring_[static_cast<std::size_t>(slot)].phase.load(
+      std::memory_order_acquire);
+  if (cur != from)
+    throw std::logic_error(std::string("Stream ") + std::to_string(index_) +
+                           ": illegal transition " + to_string(cur) + " -> " +
+                           to_string(to) + " (slot expected " +
+                           to_string(from) + ")");
+}
+
+int Stream::stage(std::size_t position) {
+  if (!can_stage()) throw std::logic_error("Stream: stage() on a full ring");
+  int slot = (head_ + count_) % capacity();
+  expect(slot, ChunkPhase::empty, ChunkPhase::staged);
+  Slot& s = ring_[static_cast<std::size_t>(slot)];
+  s.position = position;
+  s.phase.store(ChunkPhase::staged, std::memory_order_release);
+  ++count_;
+  if (count_ > high_water_) high_water_ = count_;
+  return slot;
+}
+
+void Stream::begin_transfer(int slot) {
+  expect(slot, ChunkPhase::staged, ChunkPhase::transferring);
+  ring_[static_cast<std::size_t>(slot)].phase.store(
+      ChunkPhase::transferring, std::memory_order_release);
+}
+
+void Stream::mark_transferred(int slot) {
+  expect(slot, ChunkPhase::transferring, ChunkPhase::transferred);
+  ring_[static_cast<std::size_t>(slot)].phase.store(
+      ChunkPhase::transferred, std::memory_order_release);
+}
+
+bool Stream::front_transferred(std::size_t position) const {
+  if (count_ == 0) return false;
+  const Slot& s = ring_[static_cast<std::size_t>(head_)];
+  return s.position == position &&
+         s.phase.load(std::memory_order_acquire) == ChunkPhase::transferred;
+}
+
+int Stream::front_slot() const {
+  if (count_ == 0) throw std::logic_error("Stream: front_slot() on empty ring");
+  return head_;
+}
+
+void Stream::begin_compute(int slot) {
+  if (slot != front_slot())
+    throw std::logic_error("Stream: begin_compute() out of order");
+  expect(slot, ChunkPhase::transferred, ChunkPhase::computing);
+  ring_[static_cast<std::size_t>(slot)].phase.store(
+      ChunkPhase::computing, std::memory_order_release);
+}
+
+void Stream::finish_compute(int slot) {
+  expect(slot, ChunkPhase::computing, ChunkPhase::readback);
+  ring_[static_cast<std::size_t>(slot)].phase.store(
+      ChunkPhase::readback, std::memory_order_release);
+}
+
+void Stream::skip_compute(int slot) {
+  if (slot != front_slot())
+    throw std::logic_error("Stream: skip_compute() out of order");
+  expect(slot, ChunkPhase::transferred, ChunkPhase::readback);
+  ring_[static_cast<std::size_t>(slot)].phase.store(
+      ChunkPhase::readback, std::memory_order_release);
+}
+
+std::size_t Stream::retire() {
+  int slot = front_slot();
+  expect(slot, ChunkPhase::readback, ChunkPhase::empty);
+  Slot& s = ring_[static_cast<std::size_t>(slot)];
+  std::size_t pos = s.position;
+  s.phase.store(ChunkPhase::empty, std::memory_order_release);
+  head_ = (head_ + 1) % capacity();
+  --count_;
+  return pos;
+}
+
+}  // namespace vmc::exec

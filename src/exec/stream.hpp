@@ -1,0 +1,112 @@
+// Stream: one modeled device-side stream — a bounded ring of in-flight
+// chunks walking the lifecycle
+//
+//     empty -> staged -> transferring -> transferred -> computing
+//                                                          |
+//     empty <------------------ retire() <-- readback <----+
+//
+// The persistent offload scheduler gives each device S streams; chunk at
+// device-list position p belongs to stream p % S, so up to 2*S chunks (ring
+// depth 2 per stream) are in flight per device while the driver issues
+// computes strictly in list order. That generalizes the old two-buffer
+// prefetch (S = 1) to depth S without giving up the determinism contract:
+// transfers are issued on one DMA lane in list order, computes retire in
+// list order, and the breaker stays single-writer.
+//
+// Thread model: exactly two writers touch a slot, never concurrently on the
+// same transition — the driver thread (stage / begin_compute /
+// finish_compute / retire) and the DMA lane (begin_transfer /
+// mark_transferred). The phase field is atomic so the driver's non-blocking
+// poll (front_transferred) never blocks on the DMA lane; every transition is
+// checked and throws std::logic_error on an illegal move, which is what the
+// state-machine unit tests pin down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace vmc::exec {
+
+/// Lifecycle phase of one in-flight chunk slot.
+enum class ChunkPhase : unsigned char {
+  empty,         // slot free
+  staged,        // chunk queued on this stream, transfer not started
+  transferring,  // DMA lane is shipping the bank slice
+  transferred,   // bank landed; awaiting its in-order compute turn
+  computing,     // kernel running on the device
+  readback,      // results back on the host; awaiting retirement
+};
+
+const char* to_string(ChunkPhase p);
+
+class Stream {
+ public:
+  /// Ring depth per stream: one chunk computing/readback plus one staged or
+  /// in transfer — the depth-1 configuration is exactly the legacy double
+  /// buffer.
+  static constexpr int kRingDepth = 2;
+
+  explicit Stream(int index, int ring_depth = kRingDepth);
+
+  Stream(Stream&&) noexcept;
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  int index() const { return index_; }
+  int capacity() const { return static_cast<int>(ring_.size()); }
+  int in_flight() const { return count_; }
+  bool can_stage() const { return count_ < capacity(); }
+  bool idle() const { return count_ == 0; }
+
+  /// Highest in_flight() ever observed on this stream.
+  int high_water() const { return high_water_; }
+
+  /// Admit a chunk (identified by its device-list position) into the ring.
+  /// Returns the slot id the caller uses for the later transitions. Throws
+  /// if the ring is full (callers gate on can_stage()).
+  int stage(std::size_t position);
+
+  /// DMA lane: staged -> transferring.
+  void begin_transfer(int slot);
+  /// DMA lane: transferring -> transferred. Release-ordered so the driver's
+  /// poll observes the staging buffer the DMA lane just filled.
+  void mark_transferred(int slot);
+
+  /// Driver poll, non-blocking: does the OLDEST slot hold `position` with
+  /// its transfer complete? The oldest-slot restriction is the in-order
+  /// compute guarantee.
+  bool front_transferred(std::size_t position) const;
+
+  /// Oldest slot id (throws when the ring is empty).
+  int front_slot() const;
+
+  /// Driver: transferred -> computing (oldest slot only).
+  void begin_compute(int slot);
+  /// Driver: computing -> readback.
+  void finish_compute(int slot);
+  /// Driver: transferred -> readback without computing (oldest slot only) —
+  /// the breaker denied the chunk, but the slot must still drain through the
+  /// ring so later chunks keep their in-order completion.
+  void skip_compute(int slot);
+
+  /// Driver: readback -> empty; frees the oldest slot and returns the
+  /// device-list position it carried.
+  std::size_t retire();
+
+ private:
+  struct Slot {
+    std::atomic<ChunkPhase> phase{ChunkPhase::empty};
+    std::size_t position = 0;
+  };
+
+  void expect(int slot, ChunkPhase from, ChunkPhase to);
+
+  int index_;
+  std::vector<Slot> ring_;
+  int head_ = 0;   // oldest occupied slot
+  int count_ = 0;  // occupied slots
+  int high_water_ = 0;
+};
+
+}  // namespace vmc::exec

@@ -156,6 +156,8 @@ std::string RunManifest::json() const {
       w.member("trips", d.trips);
       w.member("probes", d.probes);
       w.member("steals_in", d.steals_in);
+      w.member("streams", d.streams);
+      w.member("inflight_high_water", d.inflight_high_water);
       w.end_object();
     }
     w.end_array();

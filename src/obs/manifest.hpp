@@ -49,6 +49,8 @@ class RunManifest {
     std::uint64_t trips = 0;
     std::uint64_t probes = 0;
     std::uint64_t steals_in = 0;
+    std::uint64_t streams = 1;             // stream depth S the run drove
+    std::uint64_t inflight_high_water = 0; // most chunks in flight at once
   };
   RunManifest& add_device_health(const DeviceHealth& d);
 

@@ -58,16 +58,31 @@ inline constexpr std::string_view kFaultPoints[] = {
 inline constexpr std::uint64_t kAnyKey = ~std::uint64_t{0};
 
 /// Fault-domain key packing for the multi-device offload executor. A caller
-/// key encodes (device, stream, ordinal) so one rule can target a whole
-/// device (every stream, every chunk), one device x stream lane, or one
-/// exact chunk attempt — the masks below select the granularity. Layout:
+/// key encodes (device, stream lane, ordinal) so one rule can target a whole
+/// device (every lane, every chunk), one device x lane, or one exact chunk
+/// attempt — the masks below select the granularity. Layout:
 ///   bits 48..63  device index
-///   bits 32..47  stream index within the device (0 = transfer, 1 = compute)
+///   bits 32..47  stream lane within the device: lane = 2*stream + phase,
+///                where phase 0 = transfer, 1 = compute. With the depth-1
+///                scheduler this reduces to the historical lanes 0 (transfer)
+///                and 1 (compute); at depth S the device exposes 2*S lanes.
 ///   bits  0..31  ordinal (global chunk index)
 constexpr std::uint64_t device_key(std::uint64_t device, std::uint64_t stream,
                                    std::uint64_t ordinal) {
   return (device << 48) | ((stream & 0xFFFFULL) << 32) |
          (ordinal & 0xFFFFFFFFULL);
+}
+
+/// Lane of stream s's DMA transfers (lane 0 on stream 0 — the legacy
+/// transfer lane).
+constexpr std::uint64_t transfer_lane(std::uint64_t stream) {
+  return 2 * stream;
+}
+
+/// Lane of stream s's kernel launches (lane 1 on stream 0 — the legacy
+/// compute lane).
+constexpr std::uint64_t compute_lane(std::uint64_t stream) {
+  return 2 * stream + 1;
 }
 
 /// Rule key masks: a rule matches when (rule.key ^ caller_key) is zero under

@@ -84,6 +84,66 @@ TEST(EventQueues, CountingSortIsStableAndRunsCoverTheLiveSet) {
   }
 }
 
+TEST(EventQueues, HandOffRunsSlicesRunsWithoutSpanningMaterials) {
+  // hand_off_runs streams the material runs as bounded chunks: every chunk
+  // stays inside one run ([begin, end) same-material), chunks are emitted in
+  // lookup order covering the staging buffers exactly once, and no chunk
+  // exceeds `per` slots. The offload scheduler's per-event-type queues are
+  // fed straight from this walk.
+  const int n_materials = 3;
+  const std::size_t n = 10;
+  std::vector<Particle> ps(n);
+  std::vector<vmc::geom::Geometry::State> states(n);
+  const int mats[n] = {2, 0, 1, 2, 0, 1, 2, 0, 0, 1};
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i].id = i;
+    ps[i].energy = 1.0;
+    states[i].material = mats[i];
+  }
+  EventQueues q;
+  q.reset(n_materials, n);
+  for (std::size_t i = 0; i < n; ++i) q.push_live(static_cast<std::uint32_t>(i));
+  q.begin_iteration();
+  q.build_lookup(ps, states);
+  // Runs: material 0 holds 4 slots, materials 1 and 2 hold 3 each.
+  ASSERT_EQ(q.runs().size(), 3u);
+
+  for (const std::size_t per : {1u, 2u, 3u, 100u}) {
+    struct Got {
+      int material;
+      std::size_t begin, end;
+    };
+    std::vector<Got> got;
+    const std::size_t n_chunks = q.hand_off_runs(
+        per, [&](int m, std::size_t b, std::size_t e) { got.push_back({m, b, e}); });
+    EXPECT_EQ(n_chunks, got.size());
+
+    std::size_t covered = 0;
+    for (const Got& g : got) {
+      EXPECT_EQ(g.begin, covered);  // contiguous, in lookup order
+      EXPECT_LE(g.end - g.begin, per);
+      EXPECT_GT(g.end, g.begin);
+      for (std::size_t k = g.begin; k < g.end; ++k) {
+        EXPECT_EQ(q.staged_materials()[k], g.material);  // never spans runs
+      }
+      covered = g.end;
+    }
+    EXPECT_EQ(covered, n);
+  }
+
+  // per = 0 is clamped to 1 (one slot per chunk), and an empty queue hands
+  // off nothing.
+  EXPECT_EQ(q.hand_off_runs(0, [](int, std::size_t, std::size_t) {}), n);
+  EventQueues empty;
+  empty.reset(1, 0);
+  empty.begin_iteration();
+  empty.build_lookup({}, {});
+  EXPECT_EQ(empty.hand_off_runs(4, [](int, std::size_t, std::size_t) {
+    FAIL() << "no chunks expected";
+  }),
+            0u);
+}
+
 TEST(EventQueues, CompactIsStableAndInPlace) {
   EventQueues q;
   q.reset(1, 8);

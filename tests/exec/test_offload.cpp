@@ -2,8 +2,11 @@
 // and the Figure 3 ratio trends (offload pays off above ~1e4 particles).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "rng/stream.hpp"
 #include "xsdata/lookup.hpp"
@@ -129,6 +132,100 @@ TEST_F(OffloadTest, PipelineOverlapsTransferWithCompute) {
            runtime_->device().banked_lookup_seconds(25000, 300.0));
   EXPECT_LT(t4, sum_unpipelined);
   EXPECT_EQ(runtime_->pipelined_seconds(100000, 300.0, 0), 0.0);
+}
+
+TEST_F(OffloadTest, DepthModelReducesToLegacyPipelineAtDepthOne) {
+  // For S = 1 and uniform chunks the windowed recurrence collapses to the
+  // closed-form double-buffer cost, in both the transfer-bound and the
+  // compute-bound regime (terms low/high swings the per-chunk balance).
+  for (const double terms : {5.0, 300.0, 5000.0}) {
+    for (const int banks : {1, 2, 4, 8}) {
+      const std::size_t per = 100000 / static_cast<std::size_t>(banks);
+      const std::vector<std::size_t> sizes(static_cast<std::size_t>(banks), per);
+      const double legacy =
+          runtime_->pipelined_seconds(per * banks, terms, banks);
+      const double depth1 = runtime_->pipelined_depth_seconds(sizes, terms, 1);
+      EXPECT_NEAR(depth1, legacy, 1e-12 * legacy)
+          << "terms=" << terms << " banks=" << banks;
+    }
+  }
+  EXPECT_EQ(runtime_->pipelined_depth_seconds({}, 300.0, 2), 0.0);
+  const std::vector<std::size_t> one{1000};
+  EXPECT_THROW(runtime_->pipelined_depth_seconds(one, 300.0, 0),
+               std::invalid_argument);
+}
+
+TEST_F(OffloadTest, DeeperStreamsNeverHurtAndAbsorbUnevenChunks) {
+  // Uneven split: a few huge chunks (compute-heavy at high terms) between
+  // runs of tiny latency-dominated chunks. The in-flight window of 2*S
+  // chunks lets transfers of the tiny chunks complete behind a long compute,
+  // so S >= 2 strictly beats S = 1; deeper never costs more.
+  std::vector<std::size_t> sizes;
+  for (int rep = 0; rep < 4; ++rep) {
+    sizes.push_back(200000);
+    for (int k = 0; k < 6; ++k) sizes.push_back(64);
+  }
+  const double terms = 5000.0;
+  const double s1 = runtime_->pipelined_depth_seconds(sizes, terms, 1);
+  const double s2 = runtime_->pipelined_depth_seconds(sizes, terms, 2);
+  const double s4 = runtime_->pipelined_depth_seconds(sizes, terms, 4);
+  const double s8 = runtime_->pipelined_depth_seconds(sizes, terms, 8);
+  EXPECT_LT(s2, s1);  // the fig3 depth-sweep claim
+  EXPECT_LE(s4, s2);
+  EXPECT_LE(s8, s4);
+
+  // Lower bound: no schedule beats the busier lane running back to back.
+  double sum_t = 0.0, sum_c = 0.0;
+  for (const std::size_t n : sizes) {
+    sum_t += runtime_->device().transfer_seconds(n * offload_record_bytes(),
+                                                 false);
+    sum_c += runtime_->device().banked_lookup_seconds(n, terms);
+  }
+  EXPECT_GE(s8, std::max(sum_t, sum_c));
+
+  // Uniform chunks leave nothing for depth to absorb: all S agree.
+  const std::vector<std::size_t> uniform(16, 4096);
+  const double u1 = runtime_->pipelined_depth_seconds(uniform, terms, 1);
+  const double u4 = runtime_->pipelined_depth_seconds(uniform, terms, 4);
+  EXPECT_NEAR(u4, u1, 1e-12 * u1);
+}
+
+TEST_F(OffloadTest, ChecksumIsBitIdenticalAcrossStreamDepths) {
+  // The stream scheduler changes WHEN chunks move, never what they compute
+  // or the reduction order: checksums across S in {1, 2, 4} are exact
+  // doubles of each other, and the in-flight high water hits the window
+  // bound min(2*S, n_chunks).
+  const auto es = [] {
+    vmc::rng::Stream rs(17);
+    vmc::simd::aligned_vector<double> v(16000);
+    for (auto& e : v) {
+      e = vmc::xs::kEnergyMin *
+          std::pow(vmc::xs::kEnergyMax / vmc::xs::kEnergyMin, rs.next());
+    }
+    return v;
+  }();
+  OffloadRuntime rt(*lib_, CostModel(DeviceSpec::jlse_host()),
+                    CostModel(DeviceSpec::mic_7120a()));
+  const int n_chunks = 8;
+  double ref = 0.0;
+  for (const int streams : {1, 2, 4}) {
+    rt.set_stream_depth(streams);
+    EXPECT_EQ(rt.stream_depth(), streams);
+    const auto run = rt.run_pipelined(fuel_, es, n_chunks);
+    EXPECT_EQ(run.n_stages, n_chunks);
+    EXPECT_EQ(run.stream_depth, streams);
+    EXPECT_EQ(run.inflight_high_water, std::min(2 * streams, n_chunks));
+    ASSERT_EQ(run.devices.size(), 1u);
+    EXPECT_EQ(run.devices[0].streams, streams);
+    EXPECT_EQ(run.devices[0].inflight_high_water,
+              std::min(2 * streams, n_chunks));
+    if (streams == 1) {
+      ref = run.checksum;
+    } else {
+      EXPECT_EQ(run.checksum, ref) << "S=" << streams;
+    }
+  }
+  EXPECT_THROW(rt.set_stream_depth(0), std::invalid_argument);
 }
 
 TEST_F(OffloadTest, RealPipelineMatchesUnpipelinedSweep) {

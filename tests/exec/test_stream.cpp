@@ -1,0 +1,270 @@
+// Stream ring state machine + per-event-type kernel queues: the two halves
+// of the persistent offload scheduler. The Stream tests pin the lifecycle
+// (every legal transition, every illegal one throwing), the bounded ring
+// (capacity, high water), and the in-order drain contract (begin_compute /
+// skip_compute / retire act on the OLDEST slot only). The queue tests pin
+// FIFO order per kind, ordinal preservation, and pop_fair's starvation
+// freedom — a burst on one kind can never shut out the others.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "exec/kernel_queue.hpp"
+#include "exec/stream.hpp"
+
+namespace {
+
+using namespace vmc::exec;
+
+// ---------------------------------------------------------------------------
+// Stream: lifecycle and ring bounds.
+// ---------------------------------------------------------------------------
+
+TEST(Stream, FullLifecycleRoundTrip) {
+  Stream st(0);
+  EXPECT_EQ(st.index(), 0);
+  EXPECT_EQ(st.capacity(), Stream::kRingDepth);
+  EXPECT_TRUE(st.idle());
+  EXPECT_TRUE(st.can_stage());
+  EXPECT_EQ(st.high_water(), 0);
+
+  const int slot = st.stage(7);
+  EXPECT_EQ(st.in_flight(), 1);
+  EXPECT_FALSE(st.idle());
+  EXPECT_FALSE(st.front_transferred(7));  // staged, not transferred yet
+
+  st.begin_transfer(slot);
+  EXPECT_FALSE(st.front_transferred(7));
+  st.mark_transferred(slot);
+  EXPECT_TRUE(st.front_transferred(7));
+  EXPECT_FALSE(st.front_transferred(8));  // wrong position never matches
+
+  EXPECT_EQ(st.front_slot(), slot);
+  st.begin_compute(slot);
+  st.finish_compute(slot);
+  EXPECT_EQ(st.retire(), 7u);
+  EXPECT_TRUE(st.idle());
+  EXPECT_EQ(st.high_water(), 1);
+}
+
+TEST(Stream, RingIsBoundedAndStagesInOrder) {
+  Stream st(1, 2);
+  const int a = st.stage(0);
+  const int b = st.stage(1);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(st.can_stage());
+  EXPECT_THROW(st.stage(2), std::logic_error);  // ring full
+  EXPECT_EQ(st.in_flight(), 2);
+  EXPECT_EQ(st.high_water(), 2);
+
+  // Drain the oldest; position 1 is NOT the front until 0 retires.
+  st.begin_transfer(a);
+  st.mark_transferred(a);
+  st.begin_transfer(b);
+  st.mark_transferred(b);
+  EXPECT_TRUE(st.front_transferred(0));
+  EXPECT_FALSE(st.front_transferred(1));
+  st.begin_compute(a);
+  st.finish_compute(a);
+  EXPECT_EQ(st.retire(), 0u);
+  EXPECT_TRUE(st.front_transferred(1));
+  EXPECT_TRUE(st.can_stage());  // slot freed
+  st.begin_compute(b);
+  st.finish_compute(b);
+  EXPECT_EQ(st.retire(), 1u);
+  EXPECT_EQ(st.high_water(), 2);  // high water survives the drain
+}
+
+TEST(Stream, IllegalTransitionsThrow) {
+  Stream st(0);
+  const int slot = st.stage(0);
+  // Compute before the transfer completed.
+  EXPECT_THROW(st.begin_compute(slot), std::logic_error);
+  EXPECT_THROW(st.mark_transferred(slot), std::logic_error);  // skipped begin
+  st.begin_transfer(slot);
+  EXPECT_THROW(st.begin_transfer(slot), std::logic_error);  // double begin
+  st.mark_transferred(slot);
+  EXPECT_THROW(st.finish_compute(slot), std::logic_error);  // never computing
+  st.begin_compute(slot);
+  EXPECT_THROW(st.retire(), std::logic_error);  // still computing
+  st.finish_compute(slot);
+  st.retire();
+  EXPECT_THROW(st.retire(), std::logic_error);     // empty ring
+  EXPECT_THROW(st.front_slot(), std::logic_error);  // empty ring
+}
+
+TEST(Stream, ComputeIsOldestSlotOnly) {
+  // The in-order guarantee: even with both slots transferred, only the
+  // oldest may start computing or be skipped.
+  Stream st(0, 2);
+  const int a = st.stage(4);
+  const int b = st.stage(5);
+  st.begin_transfer(b);  // DMA order is the driver's business; ring allows it
+  st.mark_transferred(b);
+  st.begin_transfer(a);
+  st.mark_transferred(a);
+  EXPECT_THROW(st.begin_compute(b), std::logic_error);
+  EXPECT_THROW(st.skip_compute(b), std::logic_error);
+  st.begin_compute(a);
+  st.finish_compute(a);
+  EXPECT_EQ(st.retire(), 4u);
+  st.begin_compute(b);
+  st.finish_compute(b);
+  EXPECT_EQ(st.retire(), 5u);
+}
+
+TEST(Stream, SkipComputeDrainsDeniedChunksInOrder) {
+  // A breaker-denied chunk still occupies its slot until its in-order turn:
+  // skip_compute moves transferred -> readback without a kernel, and retire
+  // frees it exactly like a computed chunk.
+  Stream st(0, 2);
+  const int a = st.stage(0);
+  st.begin_transfer(a);
+  st.mark_transferred(a);
+  EXPECT_THROW(st.skip_compute(st.stage(1)), std::logic_error);  // not oldest
+  st.skip_compute(a);
+  EXPECT_EQ(st.retire(), 0u);
+  const int b = st.front_slot();
+  st.begin_transfer(b);
+  st.mark_transferred(b);
+  st.begin_compute(b);
+  st.finish_compute(b);
+  EXPECT_EQ(st.retire(), 1u);
+  EXPECT_TRUE(st.idle());
+}
+
+TEST(Stream, MoveConstructionCarriesState) {
+  Stream a(3, 2);
+  const int slot = a.stage(9);
+  a.begin_transfer(slot);
+  a.mark_transferred(slot);
+  Stream b(std::move(a));
+  EXPECT_EQ(b.index(), 3);
+  EXPECT_EQ(b.in_flight(), 1);
+  EXPECT_TRUE(b.front_transferred(9));
+  b.begin_compute(slot);
+  b.finish_compute(slot);
+  EXPECT_EQ(b.retire(), 9u);
+}
+
+TEST(Stream, PhaseNamesAreStable) {
+  EXPECT_STREQ(to_string(ChunkPhase::empty), "empty");
+  EXPECT_STREQ(to_string(ChunkPhase::staged), "staged");
+  EXPECT_STREQ(to_string(ChunkPhase::transferring), "transferring");
+  EXPECT_STREQ(to_string(ChunkPhase::transferred), "transferred");
+  EXPECT_STREQ(to_string(ChunkPhase::computing), "computing");
+  EXPECT_STREQ(to_string(ChunkPhase::readback), "readback");
+}
+
+// ---------------------------------------------------------------------------
+// KernelQueue / KernelQueueSet.
+// ---------------------------------------------------------------------------
+
+KernelChunk chunk(EventKind kind, std::size_t ordinal) {
+  KernelChunk c;
+  c.kind = kind;
+  c.material = static_cast<int>(ordinal % 3);
+  c.begin = 100 * ordinal;
+  c.end = 100 * ordinal + 50;
+  c.ordinal = ordinal;
+  return c;
+}
+
+TEST(KernelQueue, FifoWithCountersAndKindCheck) {
+  KernelQueue q(EventKind::distance);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop(), std::logic_error);
+  q.push(chunk(EventKind::distance, 0));
+  q.push(chunk(EventKind::distance, 1));
+  EXPECT_THROW(q.push(chunk(EventKind::lookup, 2)), std::logic_error);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+  EXPECT_EQ(q.pop().ordinal, 0u);
+  EXPECT_EQ(q.pop().ordinal, 1u);
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.popped(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);  // sticky across the drain
+}
+
+TEST(KernelQueueSet, PopFairRotatesAcrossKinds) {
+  // One chunk of each kind: pop_fair serves each exactly once, regardless of
+  // push order, and returns nullopt when drained.
+  KernelQueueSet qs;
+  qs.push(chunk(EventKind::collision, 2));
+  qs.push(chunk(EventKind::lookup, 0));
+  qs.push(chunk(EventKind::distance, 1));
+  EXPECT_EQ(qs.size(), 3u);
+  int seen[kEventKinds] = {0, 0, 0};
+  for (int i = 0; i < kEventKinds; ++i) {
+    const auto c = qs.pop_fair();
+    ASSERT_TRUE(c.has_value());
+    ++seen[static_cast<int>(c->kind)];
+  }
+  for (int k = 0; k < kEventKinds; ++k) EXPECT_EQ(seen[k], 1);
+  EXPECT_TRUE(qs.empty());
+  EXPECT_FALSE(qs.pop_fair().has_value());
+}
+
+TEST(KernelQueueSet, BurstOnOneKindCannotStarveTheOthers) {
+  // 64 lookup chunks vs one distance and one collision chunk: the minority
+  // kinds must be served within one full rotation (<= kEventKinds pops),
+  // not after the burst drains.
+  KernelQueueSet qs;
+  for (std::size_t i = 0; i < 64; ++i) qs.push(chunk(EventKind::lookup, i));
+  qs.push(chunk(EventKind::distance, 64));
+  qs.push(chunk(EventKind::collision, 65));
+
+  int pops_until_distance = 0, pops_until_collision = 0, pops = 0;
+  while (const auto c = qs.pop_fair()) {
+    ++pops;
+    if (c->kind == EventKind::distance) pops_until_distance = pops;
+    if (c->kind == EventKind::collision) pops_until_collision = pops;
+  }
+  EXPECT_EQ(pops, 66);
+  EXPECT_LE(pops_until_distance, kEventKinds);
+  EXPECT_LE(pops_until_collision, kEventKinds);
+}
+
+TEST(KernelQueueSet, OrdinalsSurviveRotation) {
+  // The determinism hook: rotation may reorder SERVICE, but every chunk
+  // keeps the global ordinal assigned at push time, so a consumer that
+  // scatters into ordinal slots reconstructs the global chunk order exactly.
+  KernelQueueSet qs;
+  const EventKind kinds[] = {EventKind::lookup,    EventKind::lookup,
+                             EventKind::collision, EventKind::distance,
+                             EventKind::lookup,    EventKind::distance};
+  for (std::size_t i = 0; i < 6; ++i) qs.push(chunk(kinds[i], i));
+  std::vector<KernelChunk> by_ordinal(6);
+  while (const auto c = qs.pop_fair()) by_ordinal.at(c->ordinal) = *c;
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(by_ordinal[i].ordinal, i);
+    EXPECT_EQ(by_ordinal[i].kind, kinds[i]);
+    EXPECT_EQ(by_ordinal[i].begin, 100 * i);
+  }
+}
+
+TEST(KernelQueueSet, FairnessResumesPastLastServedKind) {
+  // After serving lookup, the next pop must consider distance FIRST even if
+  // more lookup work arrived in between — the cursor advances past the kind
+  // it just served.
+  KernelQueueSet qs;
+  qs.push(chunk(EventKind::lookup, 0));
+  const auto first = qs.pop_fair();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kind, EventKind::lookup);
+  qs.push(chunk(EventKind::lookup, 1));
+  qs.push(chunk(EventKind::distance, 2));
+  const auto second = qs.pop_fair();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->kind, EventKind::distance);
+}
+
+TEST(KernelQueueSet, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::lookup), "lookup");
+  EXPECT_STREQ(to_string(EventKind::distance), "distance");
+  EXPECT_STREQ(to_string(EventKind::collision), "collision");
+}
+
+}  // namespace

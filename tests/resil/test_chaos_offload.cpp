@@ -262,6 +262,157 @@ TEST_F(ChaosOffloadTest, AllDevicesDeadFullyDegradesBitIdentical) {
   }
 }
 
+// --- stream-depth chaos matrix ----------------------------------------------
+
+TEST_F(ChaosOffloadTest, MidFlightStreamFaultsAreBitInvisibleAtAnyDepth) {
+  // The acceptance matrix: (1, 2, 4 devices) x (S = 1, 2, 4) x 3 seeds. One
+  // device x stream fault domain — device 0's transfer lane for stream
+  // (1 % S) — is down for the whole run via the device+stream masked rule,
+  // so faults strike chunks mid-flight inside the ring while sibling streams
+  // keep moving. Every row must reproduce the fault-free checksum exactly.
+  // Local runtimes: stream depth is runtime state and the shared fixtures
+  // stay depth-1 for the legacy scenarios.
+  const CostModel host(DeviceSpec::jlse_host());
+  const CostModel mic_a(DeviceSpec::mic_7120a());
+  const CostModel mic_b(DeviceSpec::mic_se10p());
+  const std::vector<std::vector<CostModel>> pools = {
+      {mic_a}, {mic_a, mic_b}, {mic_a, mic_b, mic_a, mic_b}};
+  for (const auto& devices : pools) {
+    OffloadRuntime rt(*lib_, host, devices);
+    rt.set_retry_policy({3, 1e-9, 2.0});
+    for (const std::uint64_t seed : kSeeds) {
+      const auto es = energies(12000, seed);
+      const double ref = fault_free_checksum(rt, es, 8);
+      for (const int streams : {1, 2, 4}) {
+        rt.set_stream_depth(streams);
+        const std::uint64_t lane =
+            resil::transfer_lane(1 % static_cast<std::uint64_t>(streams));
+        resil::FaultPlan plan;
+        plan.always("offload.transfer", resil::device_key(0, lane, 0),
+                    resil::kDeviceStreamKeyMask);
+        resil::PlanGuard guard(plan);
+        const auto run = rt.run_pipelined(fuel_, es, 8);
+        EXPECT_EQ(run.stream_depth, streams);
+        EXPECT_EQ(run.checksum, ref)
+            << "devices=" << rt.device_count() << " S=" << streams
+            << " seed=" << seed;
+        EXPECT_GT(resil::fires("offload.transfer"), 0u);
+      }
+      rt.set_stream_depth(1);
+    }
+  }
+}
+
+TEST_F(ChaosOffloadTest, DeviceMaskedKillIsDepthInvariant) {
+  // A whole-device kill (every lane, so it fires identically at any S) must
+  // yield the same bits at S = 1, 2, 4: the cascade's reroute decisions ride
+  // chunk outcomes, which the stream schedule never changes.
+  const CostModel host(DeviceSpec::jlse_host());
+  OffloadRuntime rt(*lib_, host,
+                    {CostModel(DeviceSpec::mic_7120a()),
+                     CostModel(DeviceSpec::mic_se10p())});
+  rt.set_retry_policy({3, 1e-9, 2.0});
+  for (const std::uint64_t seed : kSeeds) {
+    const auto es = energies(12000, seed);
+    const double ref = fault_free_checksum(rt, es, 16);
+    for (const int streams : {1, 2, 4}) {
+      rt.set_stream_depth(streams);
+      resil::FaultPlan plan;
+      plan.always("offload.transfer", resil::device_key(1, 0, 0),
+                  resil::kDeviceKeyMask);
+      resil::PlanGuard guard(plan);
+      const auto run = rt.run_pipelined(fuel_, es, 16);
+      EXPECT_EQ(run.checksum, ref) << "S=" << streams << " seed=" << seed;
+      EXPECT_EQ(run.devices.at(1).chunks_ok, 0) << "S=" << streams;
+      EXPECT_GT(run.rescheduled_stages, 0) << "S=" << streams;
+      EXPECT_EQ(run.degraded_stages, 0) << "S=" << streams;
+    }
+    rt.set_stream_depth(1);
+  }
+}
+
+// --- persistent scheduler: all-dead short-circuit and recovery ---------------
+
+TEST_F(ChaosOffloadTest, PersistentAllDeadShortCircuitsThenRecovers) {
+  // Long-lived scheduler, every breaker tripped: subsequent runs must reach
+  // the host floor WITHOUT touching a single fault point (no wasted
+  // transfer attempts into dead devices), still bit-identical — and the
+  // denial-per-run cooldown keeps advancing so the pool eventually probes
+  // its way back to healthy.
+  const CostModel host(DeviceSpec::jlse_host());
+  const CostModel mic(DeviceSpec::mic_7120a());
+  OffloadRuntime rt(*lib_, host, {mic, mic},
+                    BreakerPolicy{/*suspect_after=*/1, /*trip_after=*/3,
+                                  /*cooldown_denials=*/3});
+  rt.set_retry_policy({3, 1e-9, 2.0});
+  rt.set_persistent_scheduler(true);
+  ASSERT_TRUE(rt.persistent_scheduler());
+
+  const auto es = energies(12000, 5);
+  resil::disarm();
+  const double ref = rt.run_pipelined(fuel_, es, 8).checksum;
+
+  {
+    resil::FaultPlan plan;
+    plan.always("offload.transfer");
+    resil::PlanGuard guard(plan);
+
+    // Run 1: every transfer fails, both breakers trip mid-run, everything
+    // lands on the host floor. Two identical devices own 4 chunks each:
+    // 3 failures trip the breaker, the 4th chunk's denial starts the
+    // cooldown at 1.
+    const auto dead = rt.run_pipelined(fuel_, es, 8);
+    EXPECT_EQ(dead.degraded_stages, dead.n_stages);
+    EXPECT_EQ(dead.checksum, ref);
+    for (const auto& d : dead.devices) {
+      EXPECT_EQ(d.final_state, HealthState::tripped);
+      EXPECT_EQ(d.chunks_ok, 0);
+    }
+    const std::uint64_t hits_after_dead = resil::hits("offload.transfer");
+    EXPECT_GT(hits_after_dead, 0u);
+
+    // Runs 2 and 3: all-tripped at entry -> short-circuit. The armed plan
+    // proves no fault point is touched: hits stay frozen. Checksums stay
+    // bit-identical, nothing is in flight, and each run charges one denial
+    // (cooldown 1 -> 2 -> 3 = half_open armed for the next run).
+    for (int sc = 0; sc < 2; ++sc) {
+      const auto run = rt.run_pipelined(fuel_, es, 8);
+      EXPECT_EQ(run.checksum, ref) << "short-circuit run " << sc;
+      EXPECT_EQ(run.degraded_stages, run.n_stages);
+      EXPECT_EQ(run.inflight_high_water, 0);
+      EXPECT_EQ(resil::hits("offload.transfer"), hits_after_dead)
+          << "short-circuit run " << sc << " touched a fault point";
+      for (const auto& d : run.devices) {
+        EXPECT_EQ(d.chunks_ok, 0);
+        EXPECT_EQ(d.retries, 0);
+      }
+    }
+  }
+
+  // Fault cleared: the breakers are half_open, so the pipeline runs normally
+  // again; each device's probe succeeds and closes its breaker. Full
+  // recovery, same bits.
+  const auto recovered = rt.run_pipelined(fuel_, es, 8);
+  EXPECT_EQ(recovered.checksum, ref);
+  EXPECT_EQ(recovered.degraded_stages, 0);
+  int ok = 0;
+  for (const auto& d : recovered.devices) {
+    EXPECT_EQ(d.final_state, HealthState::healthy);
+    EXPECT_GE(d.probes, 1);
+    ok += d.chunks_ok;
+  }
+  EXPECT_EQ(ok, recovered.n_stages);
+
+  // Turning the persistent scheduler off drops the carried pool: the next
+  // run starts from healthy breakers as the independent-runs contract
+  // requires.
+  rt.set_persistent_scheduler(false);
+  const auto fresh = rt.run_pipelined(fuel_, es, 8);
+  EXPECT_EQ(fresh.checksum, ref);
+  EXPECT_EQ(fresh.degraded_stages, 0);
+  for (const auto& d : fresh.devices) EXPECT_EQ(d.probes, 0);
+}
+
 // --- the single-device iteration path ---------------------------------------
 
 TEST_F(ChaosOffloadTest, IterationRetriesTransientComputeFault) {

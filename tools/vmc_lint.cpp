@@ -375,8 +375,19 @@ const RuleScope kScopes[] = {
       "src/rng/", "src/core/history.", "src/core/event.", "src/particle/bank."},
      {}},
     // Benches/examples are separate processes, so a repeated literal seed
-    // across them is not an in-process overlap.
-    {"stream-overlap", {"src/", "tools/"}, {"src/rng/"}},
+    // across them is not an in-process overlap. src/exec/stream.* declares
+    // the offload exec::Stream ring — a pipeline stage, not an RNG stream —
+    // so its constructors are not seed derivations.
+    {"stream-overlap",
+     {"src/", "tools/"},
+     {"src/rng/", "src/exec/stream.", "src/exec/kernel_queue."}},
+    // The offload stream advance loop must stay non-blocking: chunk
+    // completion is signalled through the slot-phase atomics and the driver
+    // polls + yields. A sleep or a blocking future/condvar wait on that path
+    // re-serializes the rings into the old lockstep double-buffer loop.
+    {"lockstep-wait-in-stream",
+     {"src/exec/stream.", "src/exec/kernel_queue.", "src/exec/offload."},
+     {}},
     // src/prof/ defines the sanctioned monotonic clock (prof::now_seconds);
     // src/obs/ is allowed system_clock for wall-time manifest stamps; the
     // bench harnesses already route through prof::now_seconds and keep their
@@ -445,7 +456,7 @@ const std::set<std::string, std::less<>> kKnownRules = {
     "unchecked-io",   "hot-loop-binary-search", "raw-intrinsic",
     "isa-flag-leak",  "hardcoded-lane-width", "unmasked-remainder",
     "float-order-dependence", "naked-catch-in-exec", "blocking-in-worker",
-    "stale-allow"};
+    "lockstep-wait-in-stream", "stale-allow"};
 
 // --- legacy line rules ------------------------------------------------------
 
@@ -478,6 +489,11 @@ const std::regex kBinarySearch(
 // (each of which can block on disk for unbounded time).
 const std::regex kBlockingInWorker(
     R"(std::this_thread::sleep_(?:for|until)|\bstd::(?:i|o)?fstream\b|\bfopen\s*\(|\bstd::filesystem\b)");
+// Blocking waits on the stream advance path: sleeps, future/condvar
+// .wait()/.wait_for()/.wait_until(), and ThreadPool::wait_idle() barriers.
+// The driver loop must poll the slot-phase atomics and yield instead.
+const std::regex kLockstepWait(
+    R"(std::this_thread::sleep_(?:for|until)|\.\s*wait(?:_for|_until)?\s*\(|\bwait_idle\s*\()");
 
 // Two seed derivations overlap when they mix in the same constants, even if
 // the non-constant part is spelled differently (`settings.seed` vs
@@ -576,6 +592,16 @@ void scan_lines(SourceFile& f, std::vector<Violation>& out,
                      "serve::spool; workers and the control plane must stay "
                      "non-blocking — route disk and sleeps through the spool "
                      "helpers (src/serve/spool.hpp)"});
+    }
+
+    if (in_scope("lockstep-wait-in-stream", rel) &&
+        std::regex_search(line, kLockstepWait) &&
+        !allowed(f, ln, "lockstep-wait-in-stream")) {
+      out.push_back({rel, ln, "lockstep-wait-in-stream",
+                     "sleep/blocking wait on the stream advance path; the "
+                     "scheduler must stay non-blocking — poll the slot-phase "
+                     "atomics and std::this_thread::yield() so transfers of "
+                     "chunk k+1 overlap compute of chunk k"});
     }
 
     if (in_scope("stream-overlap", rel)) {
@@ -1377,6 +1403,27 @@ int self_test() {
       {"allow marker silences blocking-in-worker", "src/serve/cache.cpp",
        "// vmc-lint: allow(blocking-in-worker)\n"
        "std::ifstream probe(path);", ""},
+      // --- lockstep-wait-in-stream ---
+      {"sleep in stream advance fires", "src/exec/stream.cpp",
+       "std::this_thread::sleep_for(std::chrono::microseconds(50));",
+       "lockstep-wait-in-stream"},
+      {"future wait in offload fires", "src/exec/offload.cpp",
+       "xfer_done.wait();", "lockstep-wait-in-stream"},
+      {"timed wait in kernel queue fires", "src/exec/kernel_queue.cpp",
+       "cv_.wait_for(lk, std::chrono::milliseconds(1));",
+       "lockstep-wait-in-stream"},
+      {"wait_idle barrier in offload fires", "src/exec/offload.cpp",
+       "dma.wait_idle();", "lockstep-wait-in-stream"},
+      {"yield poll loop is clean", "src/exec/offload.cpp",
+       "if (!st.front_transferred(next_compute)) { "
+       "std::this_thread::yield(); continue; }", ""},
+      {"sleep outside the stream path is clean", "src/exec/machine.cpp",
+       "std::this_thread::sleep_for(std::chrono::milliseconds(5));", ""},
+      {"wait in stream comment is clean", "src/exec/stream.cpp",
+       "// never .wait() here; the DMA lane signals via the slot phase", ""},
+      {"allow marker silences lockstep-wait", "src/exec/offload.cpp",
+       "// terminal drain barrier. vmc-lint: allow(lockstep-wait-in-stream)\n"
+       "dma.wait_idle();", ""},
       // --- stream-overlap ---
       {"duplicate stream tags fire", "src/core/a.cpp",
        "rng::Stream s(seed ^ 0xbadc0deULL);\n"

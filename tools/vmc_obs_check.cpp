@@ -6,10 +6,12 @@
 //   vmc_obs_check <dir>              full artifact-directory check:
 //     <dir>/trace.json      parses as Chrome trace_event JSON and contains
 //                           both host (pid 0) and simulated-device (pid 1)
-//                           duration events;
+//                           duration events, plus the per-stream device
+//                           tracks ("stream <s> (modeled)" thread names and
+//                           model:stream_sweep spans);
 //     <dir>/metrics.prom    passes the Prometheus text-exposition validator
-//                           and contains the bank-sweep, offload-retry, and
-//                           degraded-stage series;
+//                           and contains the bank-sweep, offload-retry,
+//                           degraded-stage, and in-flight-depth series;
 //     <dir>/manifest.json   schema vectormc.manifest.v1, non-empty machine
 //                           ISA, and a k_history that exactly matches the
 //                           driver's own record in <dir>/driver_k.json.
@@ -120,6 +122,39 @@ void check_trace(const std::string& path, double aux_pid = 1.0,
   }
 }
 
+// Per-stream device tracks: the pipelined offload path injects, for every
+// stream s of each device that completed chunks, a modeled track named
+// "stream <s> (modeled)" carrying model:stream_transfer / model:stream_sweep
+// spans. Their absence means the scheduler ran but the per-stream
+// observability went dead.
+void check_stream_tracks(const std::string& path) {
+  JsonValue doc;
+  if (!parse_file(path, &doc)) return;
+  const JsonValue* events = object_get(doc, "traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::array) return;
+  std::size_t stream_names = 0;
+  std::size_t stream_spans = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = object_get(e, "ph");
+    const JsonValue* name = object_get(e, "name");
+    if (ph == nullptr || name == nullptr) continue;
+    if (ph->string == "M" && name->string == "thread_name") {
+      const JsonValue* args = object_get(e, "args");
+      const JsonValue* tn = args ? object_get(*args, "name") : nullptr;
+      if (tn != nullptr && tn->string.rfind("stream ", 0) == 0) ++stream_names;
+    }
+    if (ph->string == "X" && name->string == "model:stream_sweep") {
+      ++stream_spans;
+    }
+  }
+  if (stream_names == 0) {
+    fail(path + ": no per-stream thread_name metadata ('stream <s> ...')");
+  }
+  if (stream_spans == 0) {
+    fail(path + ": no model:stream_sweep spans on the device tracks");
+  }
+}
+
 // --- metrics -------------------------------------------------------------
 
 void check_metrics(const std::string& path, bool require_offload_series) {
@@ -133,7 +168,7 @@ void check_metrics(const std::string& path, bool require_offload_series) {
   if (!require_offload_series) return;
   for (const char* series :
        {"vmc_bank_sweep_particles_total", "vmc_offload_retries_total",
-        "vmc_offload_degraded_stages_total"}) {
+        "vmc_offload_degraded_stages_total", "vmc_offload_inflight_chunks"}) {
     // Must appear as a sample line, not merely in a HELP comment.
     bool found = false;
     std::istringstream lines(text);
@@ -169,6 +204,27 @@ void check_manifest(const std::string& manifest_path,
   if (k_hist == nullptr || k_hist->type != JsonValue::Type::array) {
     fail(manifest_path + ": k_history missing");
     return;
+  }
+
+  // device_health records (when present) must carry the stream-scheduler
+  // fields: depth >= 1 and a numeric in-flight high-water mark.
+  const JsonValue* dh = object_get(doc, "device_health");
+  if (dh != nullptr && dh->type == JsonValue::Type::array) {
+    for (std::size_t i = 0; i < dh->array.size(); ++i) {
+      const JsonValue& rec = dh->array[i];
+      const JsonValue* streams = object_get(rec, "streams");
+      const JsonValue* hw = object_get(rec, "inflight_high_water");
+      if (streams == nullptr || streams->type != JsonValue::Type::number ||
+          streams->number < 1.0) {
+        fail(manifest_path + ": device_health[" + std::to_string(i) +
+             "] missing streams >= 1");
+      }
+      if (hw == nullptr || hw->type != JsonValue::Type::number ||
+          hw->number < 0.0) {
+        fail(manifest_path + ": device_health[" + std::to_string(i) +
+             "] missing numeric inflight_high_water");
+      }
+    }
   }
 
   JsonValue driver;
@@ -334,6 +390,7 @@ int main(int argc, char** argv) {
   } else if (argc == 2 && argv[1][0] != '-') {
     const std::string dir = argv[1];
     check_trace(dir + "/trace.json");
+    check_stream_tracks(dir + "/trace.json");
     check_metrics(dir + "/metrics.prom", /*require_offload_series=*/true);
     check_manifest(dir + "/manifest.json", dir + "/driver_k.json");
   } else {
